@@ -1,0 +1,60 @@
+//! Cost of generating ground-truth training data with the conventional
+//! search flow (paper Fig. 1a "Step 3") — the offline price AIrchitect pays
+//! once per design space.
+
+use std::hint::black_box;
+
+use airchitect_dse::case1::{self, Case1DatasetSpec, Case1Problem};
+use airchitect_dse::case2::{self, Case2DatasetSpec, Case2Problem};
+use airchitect_dse::case3::{self, Case3DatasetSpec, Case3Problem};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagen_100_samples");
+    g.sample_size(10);
+
+    let p1 = Case1Problem::new(1 << 15);
+    g.bench_function("case1", |b| {
+        b.iter(|| {
+            black_box(case1::generate_dataset(
+                &p1,
+                &Case1DatasetSpec {
+                    samples: 100,
+                    budget_log2_range: (5, 15),
+                    seed: 0,
+                },
+            ))
+        })
+    });
+
+    let p2 = Case2Problem::new();
+    g.bench_function("case2", |b| {
+        b.iter(|| {
+            black_box(case2::generate_dataset(
+                &p2,
+                &Case2DatasetSpec {
+                    samples: 100,
+                    seed: 0,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+
+    let p3 = Case3Problem::new();
+    g.bench_function("case3", |b| {
+        b.iter(|| {
+            black_box(case3::generate_dataset(
+                &p3,
+                &Case3DatasetSpec {
+                    samples: 100,
+                    seed: 0,
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Throughput of the from-scratch NN stack: AIrchitect-sized forward and
+//! training steps (the paper's 16-wide embeddings, 256 hidden nodes, 459-way
+//! softmax).
+
+use std::hint::black_box;
+
+use airchitect_nn::loss::softmax_cross_entropy;
+use airchitect_nn::network::Sequential;
+use airchitect_nn::optim::Optimizer;
+use airchitect_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn batch(rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|i| (i % 13) as f32).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nn");
+    g.sample_size(20);
+
+    let net = Sequential::embedding_mlp(4, 64, 16, 256, 459, 0);
+    let single = batch(1, 4);
+    g.bench_function("airchitect_forward_batch1", |b| {
+        b.iter(|| black_box(net.infer(black_box(&single))))
+    });
+
+    let b256 = batch(256, 4);
+    g.bench_function("airchitect_forward_batch256", |b| {
+        b.iter(|| black_box(net.infer(black_box(&b256))))
+    });
+
+    let labels: Vec<u32> = (0..256).map(|i| (i % 459) as u32).collect();
+    g.bench_function("airchitect_train_step_batch256", |b| {
+        let mut net = Sequential::embedding_mlp(4, 64, 16, 256, 459, 0);
+        let mut opt = Optimizer::adam(1e-3);
+        b.iter(|| {
+            let logits = net.forward(&b256, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            net.backward(&grad);
+            opt.step(net.params_mut());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

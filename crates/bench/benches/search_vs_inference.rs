@@ -1,0 +1,88 @@
+//! The paper's headline claim (Fig. 1): a trained recommendation model
+//! answers an optimization query in constant time, replacing the
+//! simulate-and-search loop. This bench measures both sides:
+//!
+//! * exhaustive search (conventional flow) per query, for each case study,
+//! * one AIrchitect inference per query.
+//!
+//! Expected shape: inference is orders of magnitude faster than CS3 search
+//! and does not grow with the output-space size.
+
+use std::hint::black_box;
+
+use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+use airchitect_dse::case1::Case1Problem;
+use airchitect_dse::case2::{Case2Problem, Case2Query};
+use airchitect_dse::case3::Case3Problem;
+use airchitect_workload::GemmWorkload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn workload() -> GemmWorkload {
+    GemmWorkload::new(512, 256, 384).expect("static dims")
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    g.sample_size(20);
+
+    let p1 = Case1Problem::new(1 << 18);
+    let wl = workload();
+    g.bench_function("case1_search_459", |b| {
+        b.iter(|| black_box(p1.search(black_box(&wl), 1 << 18)))
+    });
+
+    let p2 = Case2Problem::new();
+    let q = Case2Query::from_features(&[1500.0, 512.0, 256.0, 384.0, 16.0, 16.0, 0.0, 8.0]);
+    g.bench_function("case2_search_1000", |b| {
+        b.iter(|| black_box(p2.search(black_box(&q))))
+    });
+
+    let p3 = Case3Problem::new();
+    let wls = vec![
+        GemmWorkload::new(1024, 512, 256).expect("static dims"),
+        GemmWorkload::new(64, 64, 64).expect("static dims"),
+        GemmWorkload::new(2048, 32, 128).expect("static dims"),
+        GemmWorkload::new(196, 512, 256).expect("static dims"),
+    ];
+    g.bench_function("case3_search_1944", |b| {
+        b.iter(|| black_box(p3.search(black_box(&wls))))
+    });
+    g.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference");
+
+    // Untrained weights have identical latency to trained ones; no need to
+    // pay training time in a latency benchmark.
+    for (case, classes, feats) in [
+        (CaseStudy::ArrayDataflow, 459u32, vec![18.0, 512.0, 256.0, 384.0]),
+        (
+            CaseStudy::BufferSizing,
+            1000,
+            vec![1500.0, 512.0, 256.0, 384.0, 16.0, 16.0, 0.0, 8.0],
+        ),
+        (
+            CaseStudy::MultiArrayScheduling,
+            1944,
+            vec![
+                1024.0, 512.0, 256.0, 64.0, 64.0, 64.0, 2048.0, 32.0, 128.0, 196.0, 512.0, 256.0,
+            ],
+        ),
+    ] {
+        let model = AirchitectModel::new(
+            case,
+            &AirchitectConfig {
+                num_classes: classes,
+                ..Default::default()
+            },
+        );
+        g.bench_function(format!("airchitect_{classes}_labels"), |b| {
+            b.iter(|| black_box(model.predict_row(black_box(&feats))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search, bench_inference);
+criterion_main!(benches);

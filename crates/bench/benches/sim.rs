@@ -1,0 +1,48 @@
+//! Throughput of the analytical simulator primitives — the cost of one
+//! "simulation" in the conventional DSE loop.
+
+use std::hint::black_box;
+
+use airchitect_sim::memory::BufferConfig;
+use airchitect_sim::multi::{MultiArraySystem, Schedule};
+use airchitect_sim::{compute, memory, ArrayConfig, Dataflow};
+use airchitect_workload::GemmWorkload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sim(c: &mut Criterion) {
+    let wl = GemmWorkload::new(512, 256, 384).expect("static dims");
+    let arr = ArrayConfig::new(16, 32).expect("static dims");
+    let bufs = BufferConfig::from_kb(300, 200, 100).expect("static sizes");
+
+    c.bench_function("compute_runtime_cycles", |b| {
+        b.iter(|| black_box(compute::runtime_cycles(black_box(&wl), arr, Dataflow::Os)))
+    });
+
+    c.bench_function("memory_stall_cycles", |b| {
+        b.iter(|| {
+            black_box(
+                memory::stall_cycles(black_box(&wl), arr, Dataflow::Os, bufs, 8)
+                    .expect("bandwidth > 0"),
+            )
+        })
+    });
+
+    c.bench_function("memory_dram_traffic", |b| {
+        b.iter(|| black_box(memory::dram_traffic(black_box(&wl), arr, Dataflow::Ws, bufs)))
+    });
+
+    let sys = MultiArraySystem::heterogeneous_4();
+    let wls = vec![
+        GemmWorkload::new(1024, 512, 256).expect("static dims"),
+        GemmWorkload::new(64, 64, 64).expect("static dims"),
+        GemmWorkload::new(2048, 32, 128).expect("static dims"),
+        GemmWorkload::new(196, 512, 256).expect("static dims"),
+    ];
+    let sched = Schedule::new(&[0, 1, 2, 3], &[Dataflow::Os; 4]);
+    c.bench_function("multi_array_evaluate", |b| {
+        b.iter(|| black_box(sys.evaluate(black_box(&wls), &sched).expect("valid schedule")))
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates paper Fig. 10(d-f): the distribution of actual vs predicted
+//! config IDs on the held-out test set.
+//!
+//! Expected shape: the predicted distribution tracks the actual one on the
+//! high-frequency configs and ignores the rare tail as statistical noise
+//! (the paper's robustness argument).
+
+use airchitect::pipeline::{run_case1, run_case2, run_case3, PipelineConfig};
+use airchitect_bench::{banner, scaled, write_csv};
+
+fn main() {
+    let config = PipelineConfig {
+        samples: scaled(20_000),
+        epochs: 12,
+        batch_size: 256,
+        seed: 10,
+        stratify: false,
+    };
+
+    banner("Fig 10(d-f): actual vs predicted label distributions");
+    let runs = [
+        ("case1", run_case1(&config, (5, 15))),
+        ("case2", run_case2(&config)),
+        (
+            "case3",
+            run_case3(&PipelineConfig {
+                samples: scaled(4_000),
+                ..config
+            }),
+        ),
+    ];
+
+    for (tag, run) in &runs {
+        let (actual, predicted) = &run.label_distributions;
+        let mut rows = Vec::new();
+        for (label, (&a, &p)) in actual.iter().zip(predicted).enumerate() {
+            if a + p > 0 {
+                rows.push(format!("{label},{a},{p}"));
+            }
+        }
+        write_csv(
+            &format!("fig10_dist_{tag}"),
+            "label,actual_count,predicted_count",
+            &rows,
+        );
+
+        // Top-8 actual labels with their predicted counts.
+        let mut order: Vec<usize> = (0..actual.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(actual[i]));
+        println!("\n  {tag} ({}):", run.case.name());
+        println!("    {:<8} {:>8} {:>10}", "label", "actual", "predicted");
+        for &i in order.iter().take(8) {
+            if actual[i] == 0 {
+                break;
+            }
+            println!("    {:<8} {:>8} {:>10}", i, actual[i], predicted[i]);
+        }
+        let distinct_actual = actual.iter().filter(|&&c| c > 0).count();
+        let distinct_pred = predicted.iter().filter(|&&c| c > 0).count();
+        println!(
+            "    distinct labels: actual {distinct_actual}, predicted {distinct_pred} \
+             (model ignores the rare tail)"
+        );
+    }
+}

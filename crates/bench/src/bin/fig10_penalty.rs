@@ -1,0 +1,61 @@
+//! Regenerates paper Fig. 10(g-h): the misprediction penalty — normalized
+//! performance of the predicted configurations on the test set.
+//!
+//! Expected shape: only a few points are catastrophic (<20% of optimal);
+//! most mispredictions cost 10-15%; the geometric mean lands near 1.0
+//! (paper: 99.99% for CS1, 99.1% for CS3).
+
+use airchitect::pipeline::{run_case1, run_case2, run_case3, PipelineConfig};
+use airchitect_bench::{banner, scaled, write_csv};
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let config = PipelineConfig {
+        samples: scaled(20_000),
+        epochs: 12,
+        batch_size: 256,
+        seed: 10,
+        stratify: false,
+    };
+
+    banner("Fig 10(g-h): misprediction penalty");
+    let runs = [
+        ("case1", run_case1(&config, (5, 15))),
+        ("case2", run_case2(&config)),
+        (
+            "case3",
+            run_case3(&PipelineConfig {
+                samples: scaled(4_000),
+                ..config
+            }),
+        ),
+    ];
+
+    for (tag, run) in &runs {
+        let curve = run.penalty.sorted_curve();
+        let rows: Vec<String> = curve
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{i},{p:.5}"))
+            .collect();
+        write_csv(&format!("fig10_penalty_{tag}"), "rank,normalized_perf", &rows);
+
+        println!("\n  {tag} ({}):", run.case.name());
+        println!("    test accuracy          {:.3}", run.penalty.accuracy);
+        println!("    geomean performance    {:.4}  (paper CS1: 0.9999, CS3: 0.991)", run.penalty.geomean);
+        println!(
+            "    catastrophic (<20%)    {:.4}  (paper: 'only a few data points')",
+            run.penalty.catastrophic_fraction
+        );
+        println!(
+            "    percentiles p1/p10/p50 {:.3} / {:.3} / {:.3}",
+            percentile(&curve, 0.01),
+            percentile(&curve, 0.10),
+            percentile(&curve, 0.50)
+        );
+    }
+}

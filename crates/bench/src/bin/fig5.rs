@@ -1,0 +1,93 @@
+//! Regenerates paper Fig. 5: the frequency of optimal array shapes.
+//!
+//! (a-c) For 10^4 GEMM workloads at a 2^9 MAC budget, the relative frequency
+//! with which each (rows, cols) shape is optimal, split by dataflow.
+//! (d) For budgets 2^5..2^15, the distribution of optimal aspect ratios and
+//! dataflows.
+//!
+//! Expected shape (paper Sec. III-A): optima cluster at square or
+//! cols ≈ 2×rows shapes; every shape is optimal for at least one workload;
+//! no single dataflow dominates.
+
+use airchitect_bench::{banner, scaled, write_csv};
+use airchitect_dse::case1::{optimal_shape_frequencies, Case1Problem};
+use airchitect_workload::distribution::CnnWorkloadSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let samples = scaled(10_000);
+    let sampler = CnnWorkloadSampler::new();
+
+    banner("Fig 5(a-c): optimal shape frequency at 2^9 MACs");
+    let problem = Case1Problem::new(1 << 9);
+    let mut rng = StdRng::seed_from_u64(5);
+    let workloads = sampler.sample_many(samples, &mut rng);
+    let freq = optimal_shape_frequencies(&problem, &workloads, 1 << 9);
+
+    let mut rows = Vec::new();
+    for ((r, c, df), n) in &freq {
+        rows.push(format!("{df},{r},{c},{n},{:.4}", *n as f64 / samples as f64));
+    }
+    write_csv("fig5_abc", "dataflow,rows,cols,count,rel_freq", &rows);
+
+    for df in airchitect_sim::Dataflow::ALL {
+        let mut per: Vec<_> = freq
+            .iter()
+            .filter(|((_, _, d), _)| *d == df)
+            .collect();
+        per.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+        println!("\n  {df}: top optimal shapes (of {} workloads)", samples);
+        for ((r, c, _), n) in per.iter().take(5) {
+            println!("    {r:>4} x {c:<4}  freq {:.3}", *n as f64 / samples as f64);
+        }
+    }
+
+    // Paper observation 1: optima are square or wider-than-tall.
+    let wide_or_square: usize = freq
+        .iter()
+        .filter(|((r, c, _), _)| c >= r)
+        .map(|(_, n)| *n)
+        .sum();
+    println!(
+        "\n  fraction of optima with cols >= rows: {:.3} (paper: most)",
+        wide_or_square as f64 / samples as f64
+    );
+
+    banner("Fig 5(d): optimal aspect ratio / dataflow vs MAC budget");
+    let sweep_samples = scaled(2_000);
+    let mut rows = Vec::new();
+    for budget_log2 in 5..=15u32 {
+        let problem = Case1Problem::new(1 << budget_log2);
+        let mut rng = StdRng::seed_from_u64(50 + budget_log2 as u64);
+        let wls = sampler.sample_many(sweep_samples, &mut rng);
+        let freq = optimal_shape_frequencies(&problem, &wls, 1 << budget_log2);
+        // Aggregate: dataflow shares and mean log2 aspect ratio.
+        let mut df_counts = [0usize; 3];
+        let mut aspect_sum = 0f64;
+        for ((r, c, df), n) in &freq {
+            df_counts[df.index()] += n;
+            aspect_sum += (*r as f64 / *c as f64).log2() * *n as f64;
+        }
+        let total: usize = df_counts.iter().sum();
+        let mean_aspect = aspect_sum / total as f64;
+        rows.push(format!(
+            "{budget_log2},{:.4},{:.4},{:.4},{:.4}",
+            mean_aspect,
+            df_counts[0] as f64 / total as f64,
+            df_counts[1] as f64 / total as f64,
+            df_counts[2] as f64 / total as f64,
+        ));
+        println!(
+            "  2^{budget_log2:<2} MACs: mean log2(rows/cols) {mean_aspect:+.2}  OS {:.2} WS {:.2} IS {:.2}",
+            df_counts[0] as f64 / total as f64,
+            df_counts[1] as f64 / total as f64,
+            df_counts[2] as f64 / total as f64
+        );
+    }
+    write_csv(
+        "fig5_d",
+        "budget_log2,mean_log2_aspect,os_share,ws_share,is_share",
+        &rows,
+    );
+}

@@ -1,0 +1,91 @@
+//! Regenerates paper Fig. 6(g): cluster structure of optimal schedules in
+//! the space of workload computation sizes.
+//!
+//! The paper plots three randomly-chosen schedule labels against the compute
+//! size of each workload and observes clear clusters. This binary samples
+//! CS3 instances, records (per-workload MACs, optimal label), and prints the
+//! centroid separation of the three most frequent labels.
+
+use airchitect_bench::{banner, scaled, write_csv};
+use airchitect_dse::case3::{generate_dataset, Case3DatasetSpec, Case3Problem};
+use std::collections::HashMap;
+
+fn main() {
+    let samples = scaled(2_000);
+    let problem = Case3Problem::new();
+    let ds = generate_dataset(
+        &problem,
+        &Case3DatasetSpec {
+            samples,
+            seed: 66,
+        },
+    );
+
+    banner("Fig 6(g): schedule clusters in workload-size space");
+    let mut rows = Vec::new();
+    let mut by_label: HashMap<u32, Vec<[f64; 4]>> = HashMap::new();
+    for i in 0..ds.len() {
+        let row = ds.row(i);
+        let label = ds.label(i);
+        let mut macs = [0f64; 4];
+        for w in 0..4 {
+            macs[w] = (row[w * 3] as f64 * row[w * 3 + 1] as f64 * row[w * 3 + 2] as f64)
+                .log2();
+        }
+        rows.push(format!(
+            "{label},{:.2},{:.2},{:.2},{:.2}",
+            macs[0], macs[1], macs[2], macs[3]
+        ));
+        by_label.entry(label).or_default().push(macs);
+    }
+    write_csv(
+        "fig6_g",
+        "label,log2_macs_wl0,log2_macs_wl1,log2_macs_wl2,log2_macs_wl3",
+        &rows,
+    );
+
+    let mut counts: Vec<(u32, usize)> = by_label.iter().map(|(&l, v)| (l, v.len())).collect();
+    counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!(
+        "\n  {} distinct optimal labels over {samples} instances (space: {})",
+        counts.len(),
+        problem.space().len()
+    );
+    println!("\n  top-3 labels and their centroids in log2-MACs space:");
+    let mut centroids = Vec::new();
+    for &(label, n) in counts.iter().take(3) {
+        let pts = &by_label[&label];
+        let mut c = [0f64; 4];
+        for p in pts {
+            for d in 0..4 {
+                c[d] += p[d];
+            }
+        }
+        for v in &mut c {
+            *v /= pts.len() as f64;
+        }
+        let (perm, dfs) = problem.space().decode(label).expect("label in space");
+        println!(
+            "    label {label:>4} (n={n:>4}): centroid [{:.1}, {:.1}, {:.1}, {:.1}]  perm {perm:?} dfs {dfs:?}",
+            c[0], c[1], c[2], c[3]
+        );
+        centroids.push(c);
+    }
+    if centroids.len() >= 2 {
+        let mut min_sep = f64::MAX;
+        for i in 0..centroids.len() {
+            for j in i + 1..centroids.len() {
+                let d: f64 = centroids[i]
+                    .iter()
+                    .zip(&centroids[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                min_sep = min_sep.min(d);
+            }
+        }
+        println!(
+            "\n  minimum centroid separation: {min_sep:.2} (clusters are distinct when > 0)"
+        );
+    }
+}

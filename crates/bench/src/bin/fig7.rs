@@ -1,0 +1,56 @@
+//! Regenerates paper Fig. 7: (a) the distribution of GEMM operand
+//! dimensions across popular CNNs, and (b) the combinatorial growth of the
+//! scheduling space (`N = 3^x · x!`).
+
+use airchitect_bench::{banner, write_csv};
+use airchitect_dse::space::scheduling_space_size;
+use airchitect_workload::distribution::log2_histogram;
+use airchitect_workload::models;
+
+fn main() {
+    banner("Fig 7(a): GEMM dimension distribution of popular CNNs");
+    let gemms = models::all_gemms();
+    println!(
+        "  {} GEMM layers across {} networks",
+        gemms.len(),
+        models::all_networks().len()
+    );
+    let ms = log2_histogram(gemms.iter().map(|(_, g)| g.m()));
+    let ns = log2_histogram(gemms.iter().map(|(_, g)| g.n()));
+    let ks = log2_histogram(gemms.iter().map(|(_, g)| g.k()));
+
+    let mut rows = Vec::new();
+    let max_bin = ms
+        .iter()
+        .chain(&ns)
+        .chain(&ks)
+        .map(|&(b, _)| b)
+        .max()
+        .unwrap_or(0);
+    let lookup = |h: &[(u32, usize)], bin: u32| {
+        h.iter().find(|&&(b, _)| b == bin).map_or(0, |&(_, n)| n)
+    };
+    println!("\n  log2(dim)   M    N    K");
+    for bin in 0..=max_bin {
+        let (m, n, k) = (lookup(&ms, bin), lookup(&ns, bin), lookup(&ks, bin));
+        rows.push(format!("{bin},{m},{n},{k}"));
+        if m + n + k > 0 {
+            println!("  2^{bin:<9} {m:<4} {n:<4} {k:<4}");
+        }
+    }
+    write_csv("fig7_a", "log2_bin,m_count,n_count,k_count", &rows);
+
+    banner("Fig 7(b): scheduling space growth N = 3^x * x!");
+    let mut rows = Vec::new();
+    for x in 1..=12u32 {
+        match scheduling_space_size(x) {
+            Some(n) => {
+                rows.push(format!("{x},{n}"));
+                println!("  {x:>2} arrays: {n} schedules");
+            }
+            None => println!("  {x:>2} arrays: overflow (> u64)"),
+        }
+    }
+    write_csv("fig7_b", "arrays,schedules", &rows);
+    println!("\n  paper quotes: 162 for 3 arrays, 1944 for 4 arrays");
+}

@@ -1,0 +1,50 @@
+//! Regenerates paper Fig. 8: the input-space layouts and output-space
+//! codecs of the three case studies, including the quoted sizes
+//! (459 / 1000 / 1944).
+
+use airchitect::CaseStudy;
+use airchitect_bench::banner;
+use airchitect_dse::space::{Case1Space, Case2Space, Case3Space};
+
+fn main() {
+    banner("Fig 8(a): input spaces");
+    for case in CaseStudy::ALL {
+        println!(
+            "  {:<38} {} input integers",
+            case.name(),
+            case.input_dim()
+        );
+    }
+
+    banner("Fig 8(b): CS1 output space (array rows, cols, dataflow)");
+    let s1 = Case1Space::new(1 << 18);
+    println!("  size: {} (paper: 459)", s1.len());
+    for label in [0u32, 1, 2, 3] {
+        let (a, df) = s1.decode(label).expect("label in space");
+        println!("  config {label:>4}: {:>6} x {:<6} {df}", a.rows(), a.cols());
+    }
+    let last = s1.len() as u32 - 1;
+    let (a, df) = s1.decode(last).expect("last label in space");
+    println!("  config {last:>4}: {:>6} x {:<6} {df}", a.rows(), a.cols());
+
+    banner("Fig 8(c): CS2 output space (buffer sizes, KB)");
+    let s2 = Case2Space::paper();
+    println!("  size: {} (paper: 1000)", s2.len());
+    for label in [0u32, 1, 2, 3, 999] {
+        let (i, f, o) = s2.decode(label).expect("label in space");
+        println!("  config {label:>4}: IFMAP {i:>5}  Filter {f:>5}  OFMAP {o:>5}");
+    }
+
+    banner("Fig 8(d): CS3 output space (workload mapping + dataflows)");
+    let s3 = Case3Space::paper();
+    println!("  size: {} (paper: 1944)", s3.len());
+    for label in [0u32, 1, 2, 3] {
+        let (perm, dfs) = s3.decode(label).expect("label in space");
+        let pretty: Vec<String> = perm
+            .iter()
+            .zip(&dfs)
+            .map(|(w, d)| format!("WL{w}:{d}"))
+            .collect();
+        println!("  config {label:>4}: [{}]", pretty.join(", "));
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the paper:
+//! it prints the series to stdout and writes a CSV under `results/` so the
+//! numbers can be plotted or diffed against EXPERIMENTS.md.
+//!
+//! Scale: the paper's experiments ran on a GPU with multi-million-point
+//! datasets; the defaults here are sized for one CPU core. Set
+//! `AIRCH_SCALE` (a positive float) to multiply every sample count — e.g.
+//! `AIRCH_SCALE=10 cargo run --release --bin fig9`.
+
+#![warn(missing_docs)]
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Sample-count multiplier from the `AIRCH_SCALE` env var (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("AIRCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&v| v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// `base` scaled by [`scale`], at least 1.
+pub fn scaled(base: usize) -> usize {
+    ((base as f64 * scale()).round() as usize).max(1)
+}
+
+/// Directory where figure CSVs land (`results/` under the workspace root,
+/// falling back to the current directory).
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    fs::create_dir_all(&dir).ok();
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench at compile time of the binaries.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+/// Writes rows as a CSV under `results/<name>.csv` and reports the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors — figure binaries should fail loudly.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut f = File::create(&path).expect("create results CSV");
+    writeln!(f, "{header}").expect("write CSV header");
+    for row in rows {
+        writeln!(f, "{row}").expect("write CSV row");
+    }
+    println!("[csv] wrote {} rows to {}", rows.len(), path.display());
+}
+
+/// Prints a section banner so multi-part figures read clearly in a log.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_is_at_least_one() {
+        assert!(scaled(0) >= 1);
+        assert!(scaled(100) >= 1);
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+        assert!(d.exists());
+    }
+}

@@ -1,0 +1,213 @@
+//! Gradient-boosted decision trees with a softmax objective (the paper's
+//! "XGBoost" baseline).
+//!
+//! Standard multiclass boosting: each round fits one regression tree per
+//! class on the softmax gradients `g = p − onehot(y)` with hessians
+//! `h = p(1 − p)`, and adds its (shrunken) scores to the class margin.
+
+use airchitect_data::Dataset;
+
+use crate::tree::{RegressionTree, TreeConfig};
+use crate::Classifier;
+
+/// Hyper-parameters for [`Gbdt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbdtConfig {
+    /// Boosting rounds (each round fits `num_classes` trees).
+    pub rounds: usize,
+    /// Shrinkage (learning rate) applied to every tree's output.
+    pub shrinkage: f32,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 5,
+            shrinkage: 0.3,
+            tree: TreeConfig::default(),
+        }
+    }
+}
+
+/// Multiclass gradient-boosted trees.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    config: GbdtConfig,
+    /// `trees[round][class]`.
+    trees: Vec<Vec<RegressionTree>>,
+    /// Log class priors used as the base score (so even zero rounds predict
+    /// the empirical class distribution, as in xgboost's `base_score`).
+    log_priors: Vec<f32>,
+    num_classes: usize,
+}
+
+impl Gbdt {
+    /// Creates an unfitted model.
+    pub fn new(config: GbdtConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+            log_priors: Vec::new(),
+            num_classes: 0,
+        }
+    }
+
+    /// Total number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.iter().map(|r| r.len()).sum()
+    }
+
+    fn margins(&self, row: &[f32]) -> Vec<f32> {
+        let mut m = self.log_priors.clone();
+        for round in &self.trees {
+            for (k, tree) in round.iter().enumerate() {
+                m[k] += self.config.shrinkage * tree.predict_row(row);
+            }
+        }
+        m
+    }
+}
+
+impl Classifier for Gbdt {
+    fn name(&self) -> &str {
+        "XGBoost"
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        let n = train.len();
+        let k = train.num_classes() as usize;
+        self.num_classes = k;
+        self.trees.clear();
+
+        // Base score: log of the (smoothed) empirical class distribution.
+        let mut counts = vec![1.0f64; k];
+        for i in 0..n {
+            counts[train.label(i) as usize] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        self.log_priors = counts.iter().map(|&c| (c / total).ln() as f32).collect();
+
+        // Running margins, n x k, updated as trees are added.
+        let mut scores = vec![0.0f32; n * k];
+        for i in 0..n {
+            scores[i * k..(i + 1) * k].copy_from_slice(&self.log_priors);
+        }
+        let mut probs = vec![0.0f32; k];
+        let mut grads = vec![0.0f32; n];
+        let mut hessians = vec![0.0f32; n];
+
+        for _ in 0..self.config.rounds {
+            let mut round_trees = Vec::with_capacity(k);
+            // Softmax probabilities for every sample under current margins.
+            let mut all_probs = vec![0.0f32; n * k];
+            for i in 0..n {
+                let row = &scores[i * k..(i + 1) * k];
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for (p, &s) in probs.iter_mut().zip(row) {
+                    *p = (s - max).exp();
+                    sum += *p;
+                }
+                for (dst, &p) in all_probs[i * k..(i + 1) * k].iter_mut().zip(&probs) {
+                    *dst = p / sum;
+                }
+            }
+            for class in 0..k {
+                for i in 0..n {
+                    let p = all_probs[i * k + class];
+                    let y = (train.label(i) as usize == class) as u8 as f32;
+                    grads[i] = p - y;
+                    hessians[i] = (p * (1.0 - p)).max(1e-6);
+                }
+                let tree = RegressionTree::fit(train, &grads, &hessians, &self.config.tree);
+                for i in 0..n {
+                    scores[i * k + class] +=
+                        self.config.shrinkage * tree.predict_row(train.row(i));
+                }
+                round_trees.push(tree);
+            }
+            self.trees.push(round_trees);
+        }
+    }
+
+    fn predict_row(&self, row: &[f32]) -> u32 {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let m = self.margins(row);
+        let mut best = 0usize;
+        for (j, &s) in m.iter().enumerate() {
+            if s > m[best] {
+                best = j;
+            }
+        }
+        best as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn learns_separable_blobs() {
+        let ds = testutil::blobs3(300);
+        let mut gbdt = Gbdt::new(GbdtConfig::default());
+        gbdt.fit(&ds);
+        assert!(gbdt.accuracy(&ds) > 0.95, "got {}", gbdt.accuracy(&ds));
+        assert_eq!(gbdt.num_trees(), 5 * 3);
+    }
+
+    #[test]
+    fn learns_circles() {
+        // Trees handle non-linear boundaries natively.
+        let ds = testutil::circles(300);
+        let mut gbdt = Gbdt::new(GbdtConfig::default());
+        gbdt.fit(&ds);
+        assert!(gbdt.accuracy(&ds) > 0.9, "got {}", gbdt.accuracy(&ds));
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_train_accuracy() {
+        let ds = testutil::circles(200);
+        let mut small = Gbdt::new(GbdtConfig {
+            rounds: 1,
+            ..Default::default()
+        });
+        let mut large = Gbdt::new(GbdtConfig {
+            rounds: 8,
+            ..Default::default()
+        });
+        small.fit(&ds);
+        large.fit(&ds);
+        assert!(large.accuracy(&ds) >= small.accuracy(&ds) - 0.02);
+    }
+
+    #[test]
+    fn prior_init_predicts_majority_class_with_zero_signal() {
+        // Features carry no signal; labels are 80/20. With log-prior base
+        // scores the model must fall back to the majority class, never worse.
+        let mut ds = airchitect_data::Dataset::new(1, 2).unwrap();
+        for i in 0..100 {
+            ds.push(&[0.0], u32::from(i % 5 == 0)).unwrap();
+        }
+        let mut gbdt = Gbdt::new(GbdtConfig {
+            rounds: 1,
+            ..Default::default()
+        });
+        gbdt.fit(&ds);
+        assert_eq!(gbdt.predict_row(&[0.0]), 0);
+        assert!(gbdt.accuracy(&ds) >= 0.8);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = testutil::blobs3(90);
+        let mut a = Gbdt::new(GbdtConfig::default());
+        let mut b = Gbdt::new(GbdtConfig::default());
+        a.fit(&ds);
+        b.fit(&ds);
+        assert_eq!(a.predict(&ds), b.predict(&ds));
+    }
+}

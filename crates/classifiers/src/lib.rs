@@ -1,0 +1,89 @@
+//! Baseline classifiers for the AIrchitect comparison (paper Fig. 9).
+//!
+//! The paper benchmarks off-the-shelf scikit-learn / xgboost / Keras models
+//! against its recommendation network. This crate re-implements that model
+//! zoo from scratch:
+//!
+//! * [`LinearSvc`] — multiclass linear SVM (Weston-Watkins hinge, SGD) —
+//!   "SVC Linear",
+//! * [`RffSvc`] — RBF-kernel SVM approximated with Random Fourier Features
+//!   plus a linear head — "SVC RBF" (see DESIGN.md for the substitution),
+//! * [`Gbdt`] — second-order gradient-boosted decision trees with a softmax
+//!   objective — "XGBoost",
+//! * [`mlp_zoo`] — the MLP-A/B/C/D baselines on z-scored raw features.
+//!
+//! All models implement the common [`Classifier`] trait so the Fig. 9
+//! harness can sweep them uniformly.
+
+#![warn(missing_docs)]
+
+mod gbdt;
+mod linear_svc;
+mod rff_svc;
+mod tree;
+
+pub mod mlp_zoo;
+
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use linear_svc::{LinearSvc, LinearSvcConfig};
+pub use rff_svc::{RffSvc, RffSvcConfig};
+pub use tree::{RegressionTree, TreeConfig};
+
+use airchitect_data::Dataset;
+
+/// A trainable multiclass classifier.
+///
+/// The trait is object-safe so harnesses can hold `Vec<Box<dyn Classifier>>`.
+pub trait Classifier {
+    /// A short display name (matches the paper's Fig. 9 labels).
+    fn name(&self) -> &str;
+
+    /// Fits the model to a labeled dataset.
+    fn fit(&mut self, train: &Dataset);
+
+    /// Predicts the label of one feature row.
+    fn predict_row(&self, row: &[f32]) -> u32;
+
+    /// Predicts labels for every row of a dataset.
+    fn predict(&self, dataset: &Dataset) -> Vec<u32> {
+        (0..dataset.len())
+            .map(|i| self.predict_row(dataset.row(i)))
+            .collect()
+    }
+
+    /// Classification accuracy on a labeled dataset.
+    fn accuracy(&self, dataset: &Dataset) -> f64 {
+        airchitect_nn::metrics::accuracy(&self.predict(dataset), dataset.labels())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use airchitect_data::Dataset;
+
+    /// Three well-separated 2-D blobs; any sane classifier reaches ~100%.
+    pub fn blobs3(n: usize) -> Dataset {
+        let mut ds = Dataset::new(2, 3).unwrap();
+        let centers = [(0.0f32, 0.0f32), (5.0, 5.0), (-5.0, 5.0)];
+        for i in 0..n {
+            let c = i % 3;
+            let (cx, cy) = centers[c];
+            let jx = ((i * 7919) % 100) as f32 / 100.0 - 0.5;
+            let jy = ((i * 104729) % 100) as f32 / 100.0 - 0.5;
+            ds.push(&[cx + jx, cy + jy], c as u32).unwrap();
+        }
+        ds
+    }
+
+    /// A concentric-circles dataset: NOT linearly separable.
+    pub fn circles(n: usize) -> Dataset {
+        let mut ds = Dataset::new(2, 2).unwrap();
+        for i in 0..n {
+            let angle = i as f32 * 0.7;
+            let (label, radius) = if i % 2 == 0 { (0u32, 1.0f32) } else { (1, 3.0) };
+            ds.push(&[radius * angle.cos(), radius * angle.sin()], label)
+                .unwrap();
+        }
+        ds
+    }
+}

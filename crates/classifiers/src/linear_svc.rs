@@ -1,0 +1,179 @@
+//! Multiclass linear SVM trained with SGD (the paper's "SVC Linear").
+//!
+//! Uses the Weston-Watkins multiclass hinge loss: for a sample with true
+//! class `y`, every class `j != y` whose score violates the unit margin
+//! (`s_j > s_y − 1`) pushes `w_j` away from and `w_y` toward the sample.
+//! L2 regularization is applied as weight decay.
+
+use airchitect_data::quantize::Normalizer;
+use airchitect_data::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Classifier;
+
+/// Hyper-parameters for [`LinearSvc`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSvcConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight-decay coefficient.
+    pub l2: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for LinearSvcConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            lr: 0.01,
+            l2: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+/// Multiclass linear SVM.
+#[derive(Debug, Clone)]
+pub struct LinearSvc {
+    config: LinearSvcConfig,
+    /// `num_classes x (dim + 1)` weights (last column is the bias).
+    weights: Vec<Vec<f32>>,
+    normalizer: Option<Normalizer>,
+}
+
+impl LinearSvc {
+    /// Creates an unfitted model.
+    pub fn new(config: LinearSvcConfig) -> Self {
+        Self {
+            config,
+            weights: Vec::new(),
+            normalizer: None,
+        }
+    }
+
+    fn scores(&self, row: &[f32]) -> Vec<f32> {
+        self.weights
+            .iter()
+            .map(|w| {
+                let mut s = w[row.len()]; // bias
+                for (wi, xi) in w.iter().zip(row) {
+                    s += wi * xi;
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+impl Classifier for LinearSvc {
+    fn name(&self) -> &str {
+        "SVC Linear"
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        let dim = train.feature_dim();
+        let classes = train.num_classes() as usize;
+        let normalizer = Normalizer::fit(train);
+        let mut data = train.clone();
+        normalizer.apply(&mut data);
+        self.normalizer = Some(normalizer);
+        self.weights = vec![vec![0.0; dim + 1]; classes];
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let row = data.row(i);
+                let y = data.label(i) as usize;
+                let scores = self.scores(row);
+                let decay = 1.0 - self.config.lr * self.config.l2;
+                // Accumulate the update for the true class from every
+                // violating class.
+                let mut true_push = 0.0f32;
+                for (j, &s) in scores.iter().enumerate() {
+                    if j == y {
+                        continue;
+                    }
+                    if s > scores[y] - 1.0 {
+                        true_push += 1.0;
+                        let wj = &mut self.weights[j];
+                        for (w, &x) in wj.iter_mut().zip(row) {
+                            *w = *w * decay - self.config.lr * x;
+                        }
+                        wj[dim] -= self.config.lr;
+                    }
+                }
+                if true_push > 0.0 {
+                    let wy = &mut self.weights[y];
+                    for (w, &x) in wy.iter_mut().zip(row) {
+                        *w = *w * decay + self.config.lr * true_push * x;
+                    }
+                    wy[dim] += self.config.lr * true_push;
+                }
+            }
+        }
+    }
+
+    fn predict_row(&self, row: &[f32]) -> u32 {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let row = self
+            .normalizer
+            .as_ref()
+            .expect("fitted model has a normalizer")
+            .transform_row(row);
+        let scores = self.scores(&row);
+        let mut best = 0usize;
+        for (j, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = j;
+            }
+        }
+        best as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn learns_separable_blobs() {
+        let ds = testutil::blobs3(300);
+        let mut svc = LinearSvc::new(LinearSvcConfig::default());
+        svc.fit(&ds);
+        assert!(svc.accuracy(&ds) > 0.95, "got {}", svc.accuracy(&ds));
+    }
+
+    #[test]
+    fn fails_on_circles() {
+        // Sanity: a linear model cannot separate concentric circles.
+        let ds = testutil::circles(200);
+        let mut svc = LinearSvc::new(LinearSvcConfig::default());
+        svc.fit(&ds);
+        assert!(svc.accuracy(&ds) < 0.8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = testutil::blobs3(60);
+        let mut a = LinearSvc::new(LinearSvcConfig::default());
+        let mut b = LinearSvc::new(LinearSvcConfig::default());
+        a.fit(&ds);
+        b.fit(&ds);
+        assert_eq!(a.predict(&ds), b.predict(&ds));
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let svc = LinearSvc::new(LinearSvcConfig::default());
+        let _ = svc.predict_row(&[0.0, 0.0]);
+    }
+}

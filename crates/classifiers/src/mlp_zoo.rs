@@ -1,0 +1,153 @@
+//! The MLP baselines of paper Fig. 9: raw (z-scored) features through one or
+//! two ReLU hidden layers.
+//!
+//! | name  | hidden layers |
+//! |-------|---------------|
+//! | MLP-A | 1 × 128       |
+//! | MLP-B | 1 × 256       |
+//! | MLP-C | 2 × 128       |
+//! | MLP-D | 2 × 256       |
+
+use airchitect_data::quantize::Normalizer;
+use airchitect_data::Dataset;
+use airchitect_nn::network::Sequential;
+use airchitect_nn::train::{fit, TrainConfig};
+
+use crate::Classifier;
+
+/// Which MLP baseline to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlpVariant {
+    /// 1 hidden layer, 128 nodes.
+    A,
+    /// 1 hidden layer, 256 nodes.
+    B,
+    /// 2 hidden layers, 128 nodes each.
+    C,
+    /// 2 hidden layers, 256 nodes each.
+    D,
+}
+
+impl MlpVariant {
+    /// The hidden-layer widths of the variant.
+    pub fn hidden(&self) -> Vec<usize> {
+        match self {
+            MlpVariant::A => vec![128],
+            MlpVariant::B => vec![256],
+            MlpVariant::C => vec![128, 128],
+            MlpVariant::D => vec![256, 256],
+        }
+    }
+
+    /// The paper's label for the variant.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MlpVariant::A => "MLP-A",
+            MlpVariant::B => "MLP-B",
+            MlpVariant::C => "MLP-C",
+            MlpVariant::D => "MLP-D",
+        }
+    }
+
+    /// All four variants.
+    pub const ALL: [MlpVariant; 4] = [MlpVariant::A, MlpVariant::B, MlpVariant::C, MlpVariant::D];
+}
+
+/// An MLP baseline: z-score normalization plus a [`Sequential`] MLP.
+#[derive(Debug, Clone)]
+pub struct MlpBaseline {
+    variant: MlpVariant,
+    train_config: TrainConfig,
+    seed: u64,
+    network: Option<Sequential>,
+    normalizer: Option<Normalizer>,
+}
+
+impl MlpBaseline {
+    /// Creates an unfitted baseline.
+    pub fn new(variant: MlpVariant, train_config: TrainConfig, seed: u64) -> Self {
+        Self {
+            variant,
+            train_config,
+            seed,
+            network: None,
+            normalizer: None,
+        }
+    }
+
+    /// The trained network, if fitted.
+    pub fn network(&self) -> Option<&Sequential> {
+        self.network.as_ref()
+    }
+}
+
+impl Classifier for MlpBaseline {
+    fn name(&self) -> &str {
+        self.variant.label()
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        let normalizer = Normalizer::fit(train);
+        let mut data = train.clone();
+        normalizer.apply(&mut data);
+        self.normalizer = Some(normalizer);
+        let mut net = Sequential::mlp(
+            data.feature_dim(),
+            &self.variant.hidden(),
+            data.num_classes() as usize,
+            self.seed,
+        );
+        fit(&mut net, &data, None, &self.train_config).expect("validated dataset");
+        self.network = Some(net);
+    }
+
+    fn predict_row(&self, row: &[f32]) -> u32 {
+        let normalizer = self.normalizer.as_ref().expect("predict before fit");
+        let net = self.network.as_ref().expect("predict before fit");
+        net.predict_one(&normalizer.transform_row(row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            epochs: 15,
+            batch_size: 32,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_variants_learn_blobs() {
+        let ds = testutil::blobs3(150);
+        for variant in MlpVariant::ALL {
+            let mut m = MlpBaseline::new(variant, quick_config(), 1);
+            m.fit(&ds);
+            assert!(
+                m.accuracy(&ds) > 0.9,
+                "{} got {}",
+                variant.label(),
+                m.accuracy(&ds)
+            );
+        }
+    }
+
+    #[test]
+    fn variant_shapes() {
+        assert_eq!(MlpVariant::A.hidden(), vec![128]);
+        assert_eq!(MlpVariant::D.hidden(), vec![256, 256]);
+        assert_eq!(MlpVariant::B.label(), "MLP-B");
+    }
+
+    #[test]
+    fn learns_circles() {
+        let ds = testutil::circles(300);
+        let mut m = MlpBaseline::new(MlpVariant::B, quick_config(), 2);
+        m.fit(&ds);
+        assert!(m.accuracy(&ds) > 0.85, "got {}", m.accuracy(&ds));
+    }
+}

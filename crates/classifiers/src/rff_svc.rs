@@ -1,0 +1,171 @@
+//! RBF-kernel SVM approximated with Random Fourier Features (the paper's
+//! "SVC RBF").
+//!
+//! Rahimi & Recht (2007): the Gaussian kernel `k(x, y) = exp(−γ‖x−y‖²)` is
+//! the expectation of `cos(wᵀx + b)·cos(wᵀy + b)` under `w ~ N(0, 2γI)`,
+//! `b ~ U(0, 2π)`. Mapping inputs through `D` such random features and
+//! fitting a *linear* model reproduces kernel-SVC behaviour in linear time —
+//! the substitution DESIGN.md documents for scikit-learn's O(n²) SVC.
+
+use airchitect_data::quantize::Normalizer;
+use airchitect_data::Dataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::linear_svc::{LinearSvc, LinearSvcConfig};
+use crate::Classifier;
+
+/// Hyper-parameters for [`RffSvc`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RffSvcConfig {
+    /// Number of random Fourier features.
+    pub num_features: usize,
+    /// RBF kernel width γ.
+    pub gamma: f32,
+    /// Linear head configuration.
+    pub head: LinearSvcConfig,
+    /// Feature-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for RffSvcConfig {
+    fn default() -> Self {
+        Self {
+            num_features: 256,
+            gamma: 0.5,
+            head: LinearSvcConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// RBF SVC via random Fourier features + a linear multiclass SVM head.
+#[derive(Debug, Clone)]
+pub struct RffSvc {
+    config: RffSvcConfig,
+    /// `num_features x dim` projection.
+    projection: Vec<Vec<f32>>,
+    /// Per-feature phase offsets.
+    phases: Vec<f32>,
+    head: LinearSvc,
+    normalizer: Option<Normalizer>,
+}
+
+impl RffSvc {
+    /// Creates an unfitted model.
+    pub fn new(config: RffSvcConfig) -> Self {
+        Self {
+            config,
+            projection: Vec::new(),
+            phases: Vec::new(),
+            head: LinearSvc::new(config.head),
+            normalizer: None,
+        }
+    }
+
+    /// Box-Muller standard normal sample.
+    fn normal(rng: &mut StdRng) -> f32 {
+        let u1: f32 = rng.random::<f32>().max(1e-12);
+        let u2: f32 = rng.random::<f32>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    fn lift(&self, row: &[f32]) -> Vec<f32> {
+        let scale = (2.0 / self.config.num_features as f32).sqrt();
+        self.projection
+            .iter()
+            .zip(&self.phases)
+            .map(|(w, &b)| {
+                let mut dot = b;
+                for (wi, xi) in w.iter().zip(row) {
+                    dot += wi * xi;
+                }
+                scale * dot.cos()
+            })
+            .collect()
+    }
+}
+
+impl Classifier for RffSvc {
+    fn name(&self) -> &str {
+        "SVC RBF"
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        let dim = train.feature_dim();
+        let normalizer = Normalizer::fit(train);
+        let mut data = train.clone();
+        normalizer.apply(&mut data);
+        self.normalizer = Some(normalizer);
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let sigma = (2.0 * self.config.gamma).sqrt();
+        self.projection = (0..self.config.num_features)
+            .map(|_| (0..dim).map(|_| sigma * Self::normal(&mut rng)).collect())
+            .collect();
+        self.phases = (0..self.config.num_features)
+            .map(|_| rng.random::<f32>() * 2.0 * std::f32::consts::PI)
+            .collect();
+
+        // Lift the training set and fit the linear head on it.
+        let mut lifted = Dataset::new(self.config.num_features, data.num_classes())
+            .expect("num_features > 0");
+        for i in 0..data.len() {
+            lifted
+                .push(&self.lift(data.row(i)), data.label(i))
+                .expect("lifted rows have the configured width");
+        }
+        self.head = LinearSvc::new(self.config.head);
+        self.head.fit(&lifted);
+    }
+
+    fn predict_row(&self, row: &[f32]) -> u32 {
+        assert!(!self.projection.is_empty(), "predict before fit");
+        let row = self
+            .normalizer
+            .as_ref()
+            .expect("fitted model has a normalizer")
+            .transform_row(row);
+        self.head.predict_row(&self.lift(&row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn learns_separable_blobs() {
+        let ds = testutil::blobs3(300);
+        let mut svc = RffSvc::new(RffSvcConfig::default());
+        svc.fit(&ds);
+        assert!(svc.accuracy(&ds) > 0.9, "got {}", svc.accuracy(&ds));
+    }
+
+    #[test]
+    fn learns_circles_where_linear_fails() {
+        // The whole point of the kernel: non-linear decision boundaries.
+        let ds = testutil::circles(300);
+        let mut rbf = RffSvc::new(RffSvcConfig {
+            gamma: 1.0,
+            head: LinearSvcConfig {
+                epochs: 30,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        rbf.fit(&ds);
+        assert!(rbf.accuracy(&ds) > 0.9, "rbf got {}", rbf.accuracy(&ds));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = testutil::blobs3(60);
+        let mut a = RffSvc::new(RffSvcConfig::default());
+        let mut b = RffSvc::new(RffSvcConfig::default());
+        a.fit(&ds);
+        b.fit(&ds);
+        assert_eq!(a.predict(&ds), b.predict(&ds));
+    }
+}

@@ -1,0 +1,289 @@
+//! Regression trees with second-order (gradient/hessian) statistics — the
+//! building block of the GBDT baseline, matching xgboost's formulation.
+
+use airchitect_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for a single regression tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// L2 regularization on leaf values (xgboost's λ).
+    pub lambda: f32,
+    /// Candidate split thresholds evaluated per feature (quantile sketch).
+    pub candidates_per_feature: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 4,
+            min_samples_leaf: 5,
+            lambda: 1.0,
+            candidates_per_feature: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree mapping feature rows to scalar scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree minimizing the second-order objective
+    /// `Σ g_i·f(x_i) + ½ Σ h_i·f(x_i)² + ½λ‖leaf values‖²`
+    /// (xgboost eq. 2): leaf value `-G/(H+λ)`, split gain
+    /// `G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads`/`hessians` lengths differ from the dataset length or
+    /// the dataset is empty.
+    pub fn fit(features: &Dataset, grads: &[f32], hessians: &[f32], config: &TreeConfig) -> Self {
+        assert_eq!(grads.len(), features.len(), "one gradient per row");
+        assert_eq!(hessians.len(), features.len(), "one hessian per row");
+        assert!(!features.is_empty(), "cannot fit a tree on no data");
+        let mut tree = Self { nodes: Vec::new() };
+        let indices: Vec<usize> = (0..features.len()).collect();
+        tree.build(features, grads, hessians, indices, 0, config);
+        tree
+    }
+
+    /// Predicted score for one feature row.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Recursively builds the subtree for `indices`; returns its node id.
+    fn build(
+        &mut self,
+        features: &Dataset,
+        grads: &[f32],
+        hessians: &[f32],
+        indices: Vec<usize>,
+        depth: usize,
+        config: &TreeConfig,
+    ) -> usize {
+        let g: f64 = indices.iter().map(|&i| grads[i] as f64).sum();
+        let h: f64 = indices.iter().map(|&i| hessians[i] as f64).sum();
+        let leaf_value = (-g / (h + config.lambda as f64)) as f32;
+
+        let make_leaf = depth >= config.max_depth
+            || indices.len() < 2 * config.min_samples_leaf;
+        if !make_leaf {
+            if let Some((feature, threshold)) =
+                self.best_split(features, grads, hessians, &indices, config)
+            {
+                let (li, ri): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| features.row(i)[feature] <= threshold);
+                if li.len() >= config.min_samples_leaf && ri.len() >= config.min_samples_leaf {
+                    let id = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+                    let left = self.build(features, grads, hessians, li, depth + 1, config);
+                    let right = self.build(features, grads, hessians, ri, depth + 1, config);
+                    self.nodes[id] = Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    };
+                    return id;
+                }
+            }
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: leaf_value });
+        id
+    }
+
+    /// Finds the gain-maximal `(feature, threshold)` over quantile-sketch
+    /// candidates, or `None` if no split improves on the parent.
+    fn best_split(
+        &self,
+        features: &Dataset,
+        grads: &[f32],
+        hessians: &[f32],
+        indices: &[usize],
+        config: &TreeConfig,
+    ) -> Option<(usize, f32)> {
+        let lambda = config.lambda as f64;
+        let g_total: f64 = indices.iter().map(|&i| grads[i] as f64).sum();
+        let h_total: f64 = indices.iter().map(|&i| hessians[i] as f64).sum();
+        let parent_score = g_total * g_total / (h_total + lambda);
+
+        let mut best: Option<(usize, f32, f64)> = None;
+        for feature in 0..features.feature_dim() {
+            let mut values: Vec<f32> = indices
+                .iter()
+                .map(|&i| features.row(i)[feature])
+                .collect();
+            values.sort_unstable_by(f32::total_cmp);
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            let step = (values.len() as f64 / (config.candidates_per_feature + 1) as f64).max(1.0);
+            let mut k = step;
+            while (k as usize) < values.len() {
+                let threshold = values[k as usize - 1];
+                let mut gl = 0f64;
+                let mut hl = 0f64;
+                for &i in indices {
+                    if features.row(i)[feature] <= threshold {
+                        gl += grads[i] as f64;
+                        hl += hessians[i] as f64;
+                    }
+                }
+                let gr = g_total - gl;
+                let hr = h_total - hl;
+                let gain = gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score;
+                if gain > 1e-9 && best.is_none_or(|(_, _, b)| gain > b) {
+                    best = Some((feature, threshold, gain));
+                }
+                k += step;
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Squared-error boosting stats for targets `y` at prediction 0:
+    /// `g = -y`, `h = 1`.
+    fn sq_stats(targets: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        (
+            targets.iter().map(|&t| -t).collect(),
+            vec![1.0; targets.len()],
+        )
+    }
+
+    fn step_data(n: usize) -> (Dataset, Vec<f32>) {
+        let mut ds = Dataset::new(1, 2).unwrap();
+        let mut targets = Vec::new();
+        for i in 0..n {
+            let x = i as f32 / n as f32;
+            ds.push(&[x], 0).unwrap();
+            targets.push(if x < 0.5 { -1.0 } else { 1.0 });
+        }
+        (ds, targets)
+    }
+
+    #[test]
+    fn fits_a_step_function() {
+        let (ds, targets) = step_data(200);
+        let (g, h) = sq_stats(&targets);
+        let tree = RegressionTree::fit(&ds, &g, &h, &TreeConfig::default());
+        // λ=1 shrinks leaves slightly; check sign and rough magnitude.
+        let lo = tree.predict_row(&[0.1]);
+        let hi = tree.predict_row(&[0.9]);
+        assert!(lo < -0.8, "left leaf {lo}");
+        assert!(hi > 0.8, "right leaf {hi}");
+    }
+
+    #[test]
+    fn depth_zero_is_a_single_leaf() {
+        let (ds, targets) = step_data(50);
+        let (g, h) = sq_stats(&targets);
+        let tree = RegressionTree::fit(
+            &ds,
+            &g,
+            &h,
+            &TreeConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(tree.num_nodes(), 1);
+        // Mean of ±1 is ~0 (λ shrinks it further).
+        assert!(tree.predict_row(&[0.3]).abs() < 0.1);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let (ds, targets) = step_data(20);
+        let (g, h) = sq_stats(&targets);
+        let tree = RegressionTree::fit(
+            &ds,
+            &g,
+            &h,
+            &TreeConfig {
+                min_samples_leaf: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(tree.num_nodes(), 1, "cannot split below min leaf size");
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 0 is noise; feature 1 carries the signal.
+        let mut ds = Dataset::new(2, 2).unwrap();
+        let mut targets = Vec::new();
+        for i in 0..100 {
+            let noise = ((i * 37) % 100) as f32 / 100.0;
+            let signal = if i % 2 == 0 { 0.0f32 } else { 1.0 };
+            ds.push(&[noise, signal], 0).unwrap();
+            targets.push(if signal > 0.5 { 1.0 } else { -1.0 });
+        }
+        let (g, h) = sq_stats(&targets);
+        let tree = RegressionTree::fit(&ds, &g, &h, &TreeConfig::default());
+        assert!(tree.predict_row(&[0.5, 0.0]) < 0.0);
+        assert!(tree.predict_row(&[0.5, 1.0]) > 0.0);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let mut ds = Dataset::new(1, 2).unwrap();
+        for i in 0..50 {
+            ds.push(&[i as f32], 0).unwrap();
+        }
+        let g = vec![-1.0f32; 50];
+        let h = vec![1.0f32; 50];
+        let tree = RegressionTree::fit(&ds, &g, &h, &TreeConfig::default());
+        assert_eq!(tree.num_nodes(), 1, "no split can improve a constant");
+    }
+}

@@ -1,0 +1,491 @@
+//! Subcommand implementations.
+
+use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+use airchitect::{persist, Recommender};
+use airchitect_data::codec;
+use airchitect_dse::case1::{self, Case1Problem};
+use airchitect_dse::case2::{self, Case2Problem, Case2Query};
+use airchitect_dse::case3::{self, Case3Problem};
+use airchitect_dse::search_algos::SearchStrategy;
+use airchitect_dse::space::{Case1Space, Case2Space, Case3Space};
+use airchitect_nn::optim::Optimizer;
+use airchitect_nn::train::TrainConfig;
+use airchitect_sim::functional::{FunctionalArray, SimMatrix};
+use airchitect_sim::memory::BufferConfig;
+use airchitect_sim::{report, ArrayConfig, Dataflow};
+use airchitect_workload::GemmWorkload;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::args::{parse_workloads, Args};
+use crate::CliError;
+
+fn run_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Run(e.to_string())
+}
+
+fn parse_dataflow(args: &Args) -> Result<Dataflow, CliError> {
+    match args.optional("dataflow") {
+        None => Ok(Dataflow::Os),
+        Some(s) => s.parse::<Dataflow>().map_err(run_err),
+    }
+}
+
+fn parse_case(args: &Args) -> Result<CaseStudy, CliError> {
+    match args.required("case")? {
+        "1" => Ok(CaseStudy::ArrayDataflow),
+        "2" => Ok(CaseStudy::BufferSizing),
+        "3" => Ok(CaseStudy::MultiArrayScheduling),
+        other => Err(CliError::Usage(format!(
+            "`--case` must be 1, 2, or 3 (got `{other}`)"
+        ))),
+    }
+}
+
+/// `airchitect simulate` — analytical model, optional functional verify.
+pub fn simulate(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    args.expect_only(&[
+        "m", "n", "k", "rows", "cols", "dataflow", "ifmap-kb", "filter-kb", "ofmap-kb",
+        "bandwidth", "verify", "trace",
+    ])?;
+    let wl = GemmWorkload::new(
+        args.required_u64("m")?,
+        args.required_u64("n")?,
+        args.required_u64("k")?,
+    )
+    .map_err(run_err)?;
+    let array = ArrayConfig::new(args.required_u64("rows")?, args.required_u64("cols")?)
+        .map_err(run_err)?;
+    let dataflow = parse_dataflow(&args)?;
+    let buffers = BufferConfig::from_kb(
+        args.u64_or("ifmap-kb", 256)?,
+        args.u64_or("filter-kb", 256)?,
+        args.u64_or("ofmap-kb", 128)?,
+    )
+    .map_err(run_err)?;
+    let bandwidth = args.u64_or("bandwidth", 16)?;
+
+    let r = report::simulate(&wl, array, dataflow, buffers, bandwidth).map_err(run_err)?;
+    println!("{wl} on {array} ({dataflow}), {bandwidth} B/cycle");
+    println!("  compute cycles : {}", r.compute_cycles);
+    println!("  stall cycles   : {}", r.stall_cycles);
+    println!("  total cycles   : {}", r.total_cycles);
+    println!("  utilization    : {:.4}", r.utilization);
+    println!(
+        "  DRAM traffic   : ifmap {} B, filter {} B, ofmap {} B",
+        r.traffic.ifmap, r.traffic.filter, r.traffic.ofmap
+    );
+    println!("  energy         : {:.3e} units", r.energy);
+
+    if args.flag("trace") {
+        let t = airchitect_sim::trace::trace(&wl, array, dataflow);
+        println!(
+            "  trace          : {} phases, peak bandwidth demand {:.2} B/cycle",
+            t.phases().len(),
+            t.peak_bandwidth()
+        );
+        println!(
+            "    {:>5} {:>7} {:>8} {:>10} {:>10} {:>10}",
+            "fold", "phase", "cycles", "ifmap B", "filter B", "ofmap B"
+        );
+        for p in t.phases().iter().take(12) {
+            println!(
+                "    {:>5} {:>7} {:>8} {:>10} {:>10} {:>10}",
+                p.fold, p.kind.to_string(), p.cycles, p.ifmap_bytes, p.filter_bytes, p.ofmap_bytes
+            );
+        }
+        if t.phases().len() > 12 {
+            println!("    ... ({} more phases)", t.phases().len() - 12);
+        }
+    }
+
+    if args.flag("verify") {
+        let (m, n, k) = (wl.m() as usize, wl.n() as usize, wl.k() as usize);
+        if m * k + k * n > 4_000_000 {
+            return Err(CliError::Run(
+                "--verify is for small GEMMs (operands over 4M elements)".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut fill = |rows: usize, cols: usize| {
+            SimMatrix::from_vec(
+                rows,
+                cols,
+                (0..rows * cols)
+                    .map(|_| (rng.random_range(-8i32..=8)) as f32)
+                    .collect(),
+            )
+        };
+        let a = fill(m, k);
+        let b = fill(k, n);
+        let result = FunctionalArray::new(array)
+            .execute(&wl, &a, &b, dataflow)
+            .map_err(run_err)?;
+        let ok_product = result.output == a.matmul_reference(&b);
+        let ok_cycles = result.cycles == r.compute_cycles;
+        println!(
+            "  verify         : product {}  cycles {} ({} functional vs {} analytical)",
+            if ok_product { "OK" } else { "MISMATCH" },
+            if ok_cycles { "OK" } else { "MISMATCH" },
+            result.cycles,
+            r.compute_cycles
+        );
+        if !(ok_product && ok_cycles) {
+            return Err(CliError::Run("functional verification failed".into()));
+        }
+    }
+    Ok(())
+}
+
+/// `airchitect search` — the conventional exhaustive flow.
+pub fn search(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    match args.required("case")? {
+        "1" => {
+            args.expect_only(&["case", "m", "n", "k", "budget-log2", "method"])?;
+            let wl = GemmWorkload::new(
+                args.required_u64("m")?,
+                args.required_u64("n")?,
+                args.required_u64("k")?,
+            )
+            .map_err(run_err)?;
+            let budget_log2 = args.u64_or("budget-log2", 18)? as u32;
+            let problem = Case1Problem::new(1u64 << budget_log2);
+            let t0 = std::time::Instant::now();
+            let r = match args.optional("method").unwrap_or("exhaustive") {
+                "exhaustive" => problem.search(&wl, 1u64 << budget_log2),
+                "random" => airchitect_dse::search_algos::RandomSearch {
+                    evaluations: 30,
+                    seed: 0,
+                }
+                .search(&problem, &wl, 1u64 << budget_log2),
+                "hill-climb" => airchitect_dse::search_algos::HillClimb {
+                    restarts: 3,
+                    seed: 0,
+                }
+                .search(&problem, &wl, 1u64 << budget_log2),
+                "genetic" => airchitect_dse::search_algos::GeneticSearch::default()
+                    .search(&problem, &wl, 1u64 << budget_log2),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown method `{other}` (exhaustive|random|hill-climb|genetic)"
+                    )))
+                }
+            };
+            let (array, df) = problem.space().decode(r.label).expect("label in space");
+            println!("{wl}, budget 2^{budget_log2} MACs");
+            println!(
+                "  result: {array} with {df} — {} cycles (label {}, {} evals in {:?})",
+                r.cost,
+                r.label,
+                r.evaluations,
+                t0.elapsed()
+            );
+        }
+        "2" => {
+            args.expect_only(&[
+                "case", "m", "n", "k", "rows", "cols", "dataflow", "bandwidth", "limit-kb",
+            ])?;
+            let query = Case2Query {
+                workload: GemmWorkload::new(
+                    args.required_u64("m")?,
+                    args.required_u64("n")?,
+                    args.required_u64("k")?,
+                )
+                .map_err(run_err)?,
+                array: ArrayConfig::new(args.required_u64("rows")?, args.required_u64("cols")?)
+                    .map_err(run_err)?,
+                dataflow: parse_dataflow(&args)?,
+                bandwidth: args.u64_or("bandwidth", 16)?,
+                limit_kb: args.u64_or("limit-kb", 1500)?,
+            };
+            let problem = Case2Problem::new();
+            let r = problem.search(&query);
+            let (i, f, o) = problem.space().decode(r.label).expect("label in space");
+            println!(
+                "optimum buffers: IFMAP {i} KB, Filter {f} KB, OFMAP {o} KB — {} stall cycles (label {})",
+                r.cost, r.label
+            );
+        }
+        "3" => {
+            args.expect_only(&["case", "workloads"])?;
+            let triples = parse_workloads(args.required("workloads")?)?;
+            if triples.len() != 4 {
+                return Err(CliError::Usage("case 3 needs exactly 4 workloads".into()));
+            }
+            let workloads: Vec<GemmWorkload> = triples
+                .iter()
+                .map(|&(m, n, k)| GemmWorkload::new(m, n, k).map_err(run_err))
+                .collect::<Result<_, _>>()?;
+            let problem = Case3Problem::new();
+            let r = problem.search(&workloads);
+            let (perm, dfs) = problem.space().decode(r.label).expect("label in space");
+            println!("optimum schedule (label {}): makespan {} cycles", r.label, r.cost);
+            for (array_idx, (wl_idx, df)) in perm.iter().zip(&dfs).enumerate() {
+                println!(
+                    "  array {array_idx} ({}) <- workload {wl_idx} {} with {df}",
+                    problem.system().instances()[array_idx].config,
+                    workloads[*wl_idx]
+                );
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "`--case` must be 1, 2, or 3 (got `{other}`)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// `airchitect spaces` — inspect the output spaces.
+pub fn spaces(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    args.expect_only(&["budget-log2"])?;
+    let budget_log2 = args.u64_or("budget-log2", 18)? as u32;
+    let s1 = Case1Space::new(1u64 << budget_log2);
+    let s2 = Case2Space::paper();
+    let s3 = Case3Space::paper();
+    println!("case 1 (budget 2^{budget_log2}): {} labels", s1.len());
+    println!("case 2 (buffers 100..1000 KB):   {} labels", s2.len());
+    println!("case 3 (4 arrays):               {} labels", s3.len());
+    Ok(())
+}
+
+/// `airchitect generate` — labeled dataset to a `.aids` file.
+pub fn generate(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    args.expect_only(&["case", "samples", "out", "seed", "budget-log2"])?;
+    let case = parse_case(&args)?;
+    let samples = args.required_u64("samples")? as usize;
+    let out = args.required("out")?;
+    let seed = args.u64_or("seed", 0)?;
+    let t0 = std::time::Instant::now();
+    let ds = match case {
+        CaseStudy::ArrayDataflow => {
+            let budget_log2 = args.u64_or("budget-log2", 15)? as u32;
+            let problem = Case1Problem::new(1u64 << budget_log2);
+            case1::generate_dataset(
+                &problem,
+                &case1::Case1DatasetSpec {
+                    samples,
+                    budget_log2_range: (5, budget_log2),
+                    seed,
+                },
+            )
+        }
+        CaseStudy::BufferSizing => case2::generate_dataset(
+            &Case2Problem::new(),
+            &case2::Case2DatasetSpec {
+                samples,
+                seed,
+                ..Default::default()
+            },
+        ),
+        CaseStudy::MultiArrayScheduling => case3::generate_dataset(
+            &Case3Problem::new(),
+            &case3::Case3DatasetSpec { samples, seed },
+        ),
+    };
+    codec::save(&ds, out).map_err(run_err)?;
+    println!(
+        "wrote {} samples ({} classes, {} features) to {out} in {:?}",
+        ds.len(),
+        ds.num_classes(),
+        ds.feature_dim(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+/// `airchitect train` — fit a model on a `.aids` dataset.
+pub fn train(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    args.expect_only(&["case", "data", "out", "epochs", "batch", "seed"])?;
+    let case = parse_case(&args)?;
+    let ds = codec::load(args.required("data")?).map_err(run_err)?;
+    if ds.feature_dim() != case.input_dim() {
+        return Err(CliError::Run(format!(
+            "dataset has {} features but {} expects {}",
+            ds.feature_dim(),
+            case.name(),
+            case.input_dim()
+        )));
+    }
+    let config = AirchitectConfig {
+        num_classes: ds.num_classes(),
+        train: TrainConfig {
+            epochs: args.u64_or("epochs", 15)? as usize,
+            batch_size: args.u64_or("batch", 256)? as usize,
+            optimizer: Optimizer::adam(1e-3),
+            seed: args.u64_or("seed", 0)?,
+            lr_decay: 1.0,
+        },
+        seed: args.u64_or("seed", 0)?,
+        ..Default::default()
+    };
+    let mut model = AirchitectModel::new(case, &config);
+    let t0 = std::time::Instant::now();
+    let report = model.train(&ds).map_err(run_err)?;
+    for e in &report.history.epochs {
+        println!(
+            "epoch {:>3}: loss {:.4}  accuracy {:.4}",
+            e.epoch, e.train_loss, e.train_accuracy
+        );
+    }
+    let out = args.required("out")?;
+    persist::save(&model, out).map_err(run_err)?;
+    println!(
+        "trained in {:?}, final accuracy {:.4}; model written to {out}",
+        t0.elapsed(),
+        report.history.final_train_accuracy()
+    );
+    Ok(())
+}
+
+/// `airchitect evaluate` — score a trained model against a labeled dataset.
+pub fn evaluate(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    args.expect_only(&["model", "data", "penalty", "calibration"])?;
+    let model = persist::load(args.required("model")?).map_err(run_err)?;
+    let ds = codec::load(args.required("data")?).map_err(run_err)?;
+    if ds.feature_dim() != model.case_study().input_dim() {
+        return Err(CliError::Run(format!(
+            "dataset has {} features but the model expects {}",
+            ds.feature_dim(),
+            model.case_study().input_dim()
+        )));
+    }
+    let t0 = std::time::Instant::now();
+    let predictions = model.predict(&ds);
+    let accuracy = airchitect_nn::metrics::accuracy(&predictions, ds.labels());
+    println!(
+        "{}: accuracy {:.4} over {} rows ({:.1} us/inference)",
+        model.case_study().name(),
+        accuracy,
+        ds.len(),
+        t0.elapsed().as_secs_f64() * 1e6 / ds.len().max(1) as f64
+    );
+    if args.flag("calibration") {
+        let bins = airchitect::eval::calibration(&model, &ds, 10);
+        let ece = airchitect::eval::expected_calibration_error(&bins);
+        println!("calibration (ECE {ece:.4}):");
+        println!("  {:>12} {:>10} {:>10} {:>8}", "confidence", "mean conf", "accuracy", "count");
+        for b in bins.iter().filter(|b| b.count > 0) {
+            println!(
+                "  [{:.1}, {:.1}) {:>10.3} {:>10.3} {:>8}",
+                b.lo, b.hi, b.mean_confidence, b.accuracy, b.count
+            );
+        }
+    }
+    if args.flag("penalty") {
+        let penalty = match model.case_study() {
+            CaseStudy::ArrayDataflow => {
+                let space = airchitect_dse::space::Case1Space::from_len(
+                    model.network().out_dim(),
+                )
+                .ok_or_else(|| CliError::Run("class count matches no CS1 space".into()))?;
+                let problem = Case1Problem::new(space.mac_budget());
+                airchitect::eval::case1_penalty(&problem, &ds, &predictions)
+            }
+            CaseStudy::BufferSizing => {
+                airchitect::eval::case2_penalty(&Case2Problem::new(), &ds, &predictions)
+            }
+            CaseStudy::MultiArrayScheduling => {
+                airchitect::eval::case3_penalty(&Case3Problem::new(), &ds, &predictions)
+            }
+        };
+        println!(
+            "penalty: geomean performance {:.4}, catastrophic (<20%) {:.4}",
+            penalty.geomean, penalty.catastrophic_fraction
+        );
+    }
+    Ok(())
+}
+
+/// `airchitect recommend` — constant-time query against a trained model.
+pub fn recommend(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let model = persist::load(args.required("model")?).map_err(run_err)?;
+    let case = model.case_study();
+    let recommender = Recommender::new(model).map_err(run_err)?;
+    match case {
+        CaseStudy::ArrayDataflow => {
+            args.expect_only(&["model", "m", "n", "k", "budget-log2"])?;
+            let wl = GemmWorkload::new(
+                args.required_u64("m")?,
+                args.required_u64("n")?,
+                args.required_u64("k")?,
+            )
+            .map_err(run_err)?;
+            let budget_log2 = args.u64_or("budget-log2", 15)? as u32;
+            // Labels are only meaningful in the training-time space; rebuild
+            // it from the model's class count.
+            let classes = recommender.model().network().out_dim();
+            let space = airchitect_dse::space::Case1Space::from_len(classes)
+                .ok_or_else(|| CliError::Run(format!(
+                    "model has {classes} classes, which matches no CS1 output space"
+                )))?;
+            let problem = Case1Problem::new(space.mac_budget());
+            let t0 = std::time::Instant::now();
+            let (array, df) = recommender
+                .recommend_array(&problem, &wl, 1u64 << budget_log2)
+                .map_err(run_err)?;
+            println!(
+                "recommended: {array} with {df} (inference {:?})",
+                t0.elapsed()
+            );
+        }
+        CaseStudy::BufferSizing => {
+            args.expect_only(&[
+                "model", "m", "n", "k", "rows", "cols", "dataflow", "bandwidth", "limit-kb",
+            ])?;
+            let query = Case2Query {
+                workload: GemmWorkload::new(
+                    args.required_u64("m")?,
+                    args.required_u64("n")?,
+                    args.required_u64("k")?,
+                )
+                .map_err(run_err)?,
+                array: ArrayConfig::new(args.required_u64("rows")?, args.required_u64("cols")?)
+                    .map_err(run_err)?,
+                dataflow: parse_dataflow(&args)?,
+                bandwidth: args.u64_or("bandwidth", 16)?,
+                limit_kb: args.u64_or("limit-kb", 1500)?,
+            };
+            let problem = Case2Problem::new();
+            let (i, f, o) = recommender
+                .recommend_buffers(&problem, &query)
+                .map_err(run_err)?;
+            println!("recommended buffers: IFMAP {i} KB, Filter {f} KB, OFMAP {o} KB");
+        }
+        CaseStudy::MultiArrayScheduling => {
+            args.expect_only(&["model", "workloads"])?;
+            let triples = parse_workloads(args.required("workloads")?)?;
+            if triples.len() != 4 {
+                return Err(CliError::Usage("case 3 needs exactly 4 workloads".into()));
+            }
+            let workloads: Vec<GemmWorkload> = triples
+                .iter()
+                .map(|&(m, n, k)| GemmWorkload::new(m, n, k).map_err(run_err))
+                .collect::<Result<_, _>>()?;
+            let problem = Case3Problem::new();
+            let schedule = recommender
+                .recommend_schedule(&problem, &workloads)
+                .map_err(run_err)?;
+            let cost = problem
+                .system()
+                .evaluate(&workloads, &schedule)
+                .map_err(run_err)?;
+            println!("recommended schedule (makespan {} cycles):", cost.makespan);
+            for (array_idx, asn) in schedule.assignments.iter().enumerate() {
+                println!(
+                    "  array {array_idx} <- workload {} with {}",
+                    asn.workload, asn.dataflow
+                );
+            }
+        }
+    }
+    Ok(())
+}

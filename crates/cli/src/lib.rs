@@ -1,0 +1,109 @@
+//! Implementation of the `airchitect` command-line tool.
+//!
+//! Subcommands (see `airchitect help`):
+//!
+//! * `simulate`  — run the analytical model for one configuration, with
+//!   optional register-level verification,
+//! * `search`    — exhaustive optimum for one query (the conventional flow),
+//! * `spaces`    — inspect the quantized output spaces,
+//! * `generate`  — produce a labeled dataset file (`.aids`),
+//! * `train`     — train an AIrchitect model on a dataset (`.airm` output),
+//! * `recommend` — constant-time recommendation from a trained model.
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to stay within the
+//! approved dependency set.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// Error produced by the CLI layer.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad or missing command-line arguments.
+    Usage(String),
+    /// Any downstream failure, stringified with context.
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Run(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Top-level dispatch: runs the subcommand named by `argv[0]`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, bad arguments, or downstream
+/// failures.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(CliError::Usage(HELP.trim_start().to_string()));
+    };
+    match cmd.as_str() {
+        "simulate" => commands::simulate(rest),
+        "search" => commands::search(rest),
+        "spaces" => commands::spaces(rest),
+        "generate" => commands::generate(rest),
+        "train" => commands::train(rest),
+        "recommend" => commands::recommend(rest),
+        "evaluate" => commands::evaluate(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", HELP.trim_start());
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}` (try `airchitect help`)"
+        ))),
+    }
+}
+
+/// The top-level help text.
+pub const HELP: &str = r#"
+airchitect — learned constant-time architecture & mapping optimization
+
+USAGE:
+  airchitect <command> [--key value ...]
+
+COMMANDS:
+  simulate   --m M --n N --k K --rows R --cols C [--dataflow OS|WS|IS]
+             [--ifmap-kb X --filter-kb X --ofmap-kb X --bandwidth B] [--verify]
+             Run the analytical model for one configuration. With --verify,
+             also execute the GEMM on the register-level array and check both
+             the product and the cycle count.
+
+  search     --case 1 --m M --n N --k K [--budget-log2 B]
+             --case 2 --m M --n N --k K --rows R --cols C
+                      [--dataflow OS] [--bandwidth B] [--limit-kb L]
+             --case 3 --workloads M,N,K;M,N,K;M,N,K;M,N,K
+             Exhaustive search for the optimal configuration.
+
+  spaces     [--budget-log2 B]
+             Print the three quantized output spaces and their sizes.
+
+  generate   --case 1|2|3 --samples N --out data.aids [--seed S]
+             Generate a labeled dataset with the conventional search flow.
+
+  train      --case 1|2|3 --data data.aids --out model.airm
+             [--epochs E] [--batch B] [--seed S]
+             Train an AIrchitect model on a generated dataset.
+
+  evaluate   --model model.airm --data data.aids [--penalty] [--calibration]
+             Accuracy (and optionally the misprediction penalty) of a trained
+             model on a labeled dataset.
+
+  recommend  --model model.airm  plus the same query flags as `search`
+             Constant-time recommendation from a trained model.
+
+  help       Show this message.
+"#;

@@ -1,0 +1,9 @@
+//! Entry point of the `airchitect` CLI.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = airchitect_cli::run(&argv) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Integration tests driving the CLI command functions end to end with
+//! temp files (no subprocess spawning needed — the binary is a thin shim).
+
+use airchitect_cli::run;
+use std::path::PathBuf;
+
+fn argv(s: &[&str]) -> Vec<String> {
+    s.iter().map(|v| v.to_string()).collect()
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("airchitect-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn help_and_unknown_commands() {
+    assert!(run(&argv(&["help"])).is_ok());
+    assert!(run(&argv(&["frobnicate"])).is_err());
+    assert!(run(&[]).is_err());
+}
+
+#[test]
+fn simulate_with_verification() {
+    assert!(run(&argv(&[
+        "simulate", "--m", "16", "--n", "16", "--k", "32", "--rows", "4", "--cols", "8",
+        "--dataflow", "IS", "--verify",
+    ]))
+    .is_ok());
+    // Bad dataflow is a run error, not a panic.
+    assert!(run(&argv(&[
+        "simulate", "--m", "4", "--n", "4", "--k", "4", "--rows", "2", "--cols", "2",
+        "--dataflow", "XX",
+    ]))
+    .is_err());
+    // Typo protection.
+    assert!(run(&argv(&[
+        "simulate", "--m", "4", "--n", "4", "--k", "4", "--rows", "2", "--cols", "2",
+        "--bogus", "1",
+    ]))
+    .is_err());
+}
+
+#[test]
+fn search_all_cases() {
+    assert!(run(&argv(&[
+        "search", "--case", "1", "--m", "100", "--n", "200", "--k", "300",
+        "--budget-log2", "9",
+    ]))
+    .is_ok());
+    assert!(run(&argv(&[
+        "search", "--case", "2", "--m", "100", "--n", "200", "--k", "300",
+        "--rows", "8", "--cols", "8", "--limit-kb", "900",
+    ]))
+    .is_ok());
+    assert!(run(&argv(&[
+        "search", "--case", "3", "--workloads", "64,64,64;128,32,16;8,8,8;256,16,32",
+    ]))
+    .is_ok());
+    // Wrong workload count for case 3.
+    assert!(run(&argv(&["search", "--case", "3", "--workloads", "1,2,3"])).is_err());
+}
+
+#[test]
+fn spaces_prints() {
+    assert!(run(&argv(&["spaces"])).is_ok());
+    assert!(run(&argv(&["spaces", "--budget-log2", "10"])).is_ok());
+}
+
+#[test]
+fn generate_train_recommend_cycle() {
+    let dir = tmpdir();
+    let data = dir.join("cs1.aids");
+    let model = dir.join("cs1.airm");
+    assert!(run(&argv(&[
+        "generate", "--case", "1", "--samples", "300", "--budget-log2", "9",
+        "--out", data.to_str().expect("utf8 path"),
+    ]))
+    .is_ok());
+    assert!(run(&argv(&[
+        "train", "--case", "1", "--data", data.to_str().expect("utf8 path"),
+        "--out", model.to_str().expect("utf8 path"), "--epochs", "2", "--batch", "64",
+    ]))
+    .is_ok());
+    assert!(run(&argv(&[
+        "recommend", "--model", model.to_str().expect("utf8 path"),
+        "--m", "64", "--n", "64", "--k", "64", "--budget-log2", "8",
+    ]))
+    .is_ok());
+    assert!(run(&argv(&[
+        "evaluate", "--model", model.to_str().expect("utf8 path"),
+        "--data", data.to_str().expect("utf8 path"), "--penalty", "--calibration",
+    ]))
+    .is_ok());
+    // Training a case-2 model on case-1 data is rejected with a clear error.
+    assert!(run(&argv(&[
+        "train", "--case", "2", "--data", data.to_str().expect("utf8 path"),
+        "--out", model.to_str().expect("utf8 path"),
+    ]))
+    .is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,302 @@
+//! Misprediction-penalty analysis (paper Fig. 10d-h).
+//!
+//! Accuracy alone understates the value of the learned optimizer: a
+//! "wrong" label whose configuration is only 2% slower than the optimum is
+//! a perfectly good recommendation. The paper therefore reports the
+//! *normalized performance* of every prediction — optimal cost over
+//! predicted-config cost — and summarizes it with the geometric mean
+//! (99.9% for CS1, 99.1% for CS3).
+
+use airchitect_data::Dataset;
+use airchitect_dse::case1::Case1Problem;
+use airchitect_dse::case2::{Case2Problem, Case2Query};
+use airchitect_dse::case3::Case3Problem;
+use airchitect_nn::metrics;
+
+/// Geometric-mean floor for catastrophic (performance-0) predictions.
+const GEOMEAN_FLOOR: f64 = 1e-3;
+
+/// Summary of prediction quality on a labeled test set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PenaltyReport {
+    /// Normalized performance (optimal / achieved) per test point, in input
+    /// order. 1.0 = the prediction was optimal.
+    pub performances: Vec<f64>,
+    /// Classification accuracy of the predictions.
+    pub accuracy: f64,
+    /// Geometric mean of the performances (paper's headline metric).
+    pub geomean: f64,
+    /// Fraction of predictions achieving less than 20% of the optimum
+    /// (the paper's "catastrophic" bucket).
+    pub catastrophic_fraction: f64,
+}
+
+impl PenaltyReport {
+    fn from_performances(performances: Vec<f64>, accuracy: f64) -> Self {
+        let geomean = metrics::geometric_mean(&performances, GEOMEAN_FLOOR);
+        let catastrophic_fraction = metrics::fraction_below(&performances, 0.2);
+        Self {
+            performances,
+            accuracy,
+            geomean,
+            catastrophic_fraction,
+        }
+    }
+
+    /// The performances sorted ascending — the curve of paper Fig. 10(g, h).
+    pub fn sorted_curve(&self) -> Vec<f64> {
+        let mut c = self.performances.clone();
+        c.sort_by(|a, b| a.partial_cmp(b).expect("performances are finite"));
+        c
+    }
+}
+
+/// Penalty analysis for case study 1 predictions.
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != test.len()` or `test` is empty.
+pub fn case1_penalty(
+    problem: &Case1Problem,
+    test: &Dataset,
+    predictions: &[u32],
+) -> PenaltyReport {
+    assert_eq!(predictions.len(), test.len(), "one prediction per row");
+    let performances = (0..test.len())
+        .map(|i| {
+            let (wl, budget) = Case1Problem::from_features(test.row(i));
+            problem.normalized_performance(&wl, budget, predictions[i])
+        })
+        .collect();
+    PenaltyReport::from_performances(performances, metrics::accuracy(predictions, test.labels()))
+}
+
+/// Penalty analysis for case study 2 predictions.
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != test.len()` or `test` is empty.
+pub fn case2_penalty(
+    problem: &Case2Problem,
+    test: &Dataset,
+    predictions: &[u32],
+) -> PenaltyReport {
+    assert_eq!(predictions.len(), test.len(), "one prediction per row");
+    let performances = (0..test.len())
+        .map(|i| {
+            let query = Case2Query::from_features(test.row(i));
+            problem.normalized_performance(&query, predictions[i])
+        })
+        .collect();
+    PenaltyReport::from_performances(performances, metrics::accuracy(predictions, test.labels()))
+}
+
+/// Penalty analysis for case study 3 predictions.
+///
+/// # Panics
+///
+/// Panics if `predictions.len() != test.len()` or `test` is empty.
+pub fn case3_penalty(
+    problem: &Case3Problem,
+    test: &Dataset,
+    predictions: &[u32],
+) -> PenaltyReport {
+    assert_eq!(predictions.len(), test.len(), "one prediction per row");
+    let performances = (0..test.len())
+        .map(|i| {
+            let workloads = Case3Problem::from_features(test.row(i));
+            problem.normalized_performance(&workloads, predictions[i])
+        })
+        .collect();
+    PenaltyReport::from_performances(performances, metrics::accuracy(predictions, test.labels()))
+}
+
+/// One bin of a confidence-calibration (reliability) analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBin {
+    /// Lower edge of the confidence bin.
+    pub lo: f64,
+    /// Upper edge of the confidence bin.
+    pub hi: f64,
+    /// Mean predicted confidence of samples in the bin.
+    pub mean_confidence: f64,
+    /// Empirical accuracy of samples in the bin.
+    pub accuracy: f64,
+    /// Number of samples in the bin.
+    pub count: usize,
+}
+
+/// Reliability analysis of a trained model: bins test samples by the
+/// softmax confidence of the top prediction and compares mean confidence
+/// to empirical accuracy per bin.
+///
+/// A recommender whose confidence is *calibrated* lets a designer trust
+/// high-confidence recommendations outright and fall back to search (or the
+/// top-k list) for low-confidence ones — the practical deployment story for
+/// a constant-time optimizer.
+///
+/// # Panics
+///
+/// Panics if `bins` is zero or the dataset is empty.
+pub fn calibration(
+    model: &crate::model::AirchitectModel,
+    test: &Dataset,
+    bins: usize,
+) -> Vec<CalibrationBin> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(!test.is_empty(), "empty dataset");
+    let mut conf_sum = vec![0f64; bins];
+    let mut correct = vec![0usize; bins];
+    let mut count = vec![0usize; bins];
+    for i in 0..test.len() {
+        let top = model.predict_topk(test.row(i), 1);
+        let (label, p) = top[0];
+        let b = ((p as f64 * bins as f64) as usize).min(bins - 1);
+        conf_sum[b] += p as f64;
+        correct[b] += usize::from(label == test.label(i));
+        count[b] += 1;
+    }
+    (0..bins)
+        .map(|b| CalibrationBin {
+            lo: b as f64 / bins as f64,
+            hi: (b + 1) as f64 / bins as f64,
+            mean_confidence: if count[b] > 0 {
+                conf_sum[b] / count[b] as f64
+            } else {
+                0.0
+            },
+            accuracy: if count[b] > 0 {
+                correct[b] as f64 / count[b] as f64
+            } else {
+                0.0
+            },
+            count: count[b],
+        })
+        .collect()
+}
+
+/// Expected calibration error (ECE): the count-weighted mean absolute gap
+/// between confidence and accuracy across bins.
+///
+/// # Panics
+///
+/// Panics if `bins` is empty or holds no samples.
+pub fn expected_calibration_error(bins: &[CalibrationBin]) -> f64 {
+    let total: usize = bins.iter().map(|b| b.count).sum();
+    assert!(total > 0, "no samples in calibration bins");
+    bins.iter()
+        .map(|b| (b.mean_confidence - b.accuracy).abs() * b.count as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+/// Actual-vs-predicted label histograms (paper Fig. 10d-f).
+///
+/// Returns `(actual, predicted)` counts per config ID.
+///
+/// # Panics
+///
+/// Panics if a prediction is out of range for the dataset's class count.
+pub fn label_distributions(test: &Dataset, predictions: &[u32]) -> (Vec<usize>, Vec<usize>) {
+    let k = test.num_classes() as usize;
+    let actual = test.label_histogram();
+    let mut predicted = vec![0usize; k];
+    for &p in predictions {
+        assert!((p as usize) < k, "prediction {p} out of range");
+        predicted[p as usize] += 1;
+    }
+    (actual, predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airchitect_dse::case1::{self, Case1DatasetSpec};
+
+    fn tiny_case1() -> (Case1Problem, Dataset) {
+        let problem = Case1Problem::new(1 << 8);
+        let ds = case1::generate_dataset(
+            &problem,
+            &Case1DatasetSpec {
+                samples: 40,
+                budget_log2_range: (5, 8),
+                seed: 4,
+            },
+        );
+        (problem, ds)
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let (problem, ds) = tiny_case1();
+        let labels: Vec<u32> = ds.labels().to_vec();
+        let report = case1_penalty(&problem, &ds, &labels);
+        assert!((report.accuracy - 1.0).abs() < 1e-12);
+        assert!((report.geomean - 1.0).abs() < 1e-9);
+        assert_eq!(report.catastrophic_fraction, 0.0);
+        assert!(report.performances.iter().all(|&p| (p - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn constant_prediction_scores_below_one() {
+        let (problem, ds) = tiny_case1();
+        // Predict label 0 (a 2x2 array) everywhere: feasible but usually slow.
+        let preds = vec![0u32; ds.len()];
+        let report = case1_penalty(&problem, &ds, &preds);
+        assert!(report.geomean < 1.0);
+        assert!(report.accuracy < 1.0);
+        // All performances are valid fractions.
+        assert!(report
+            .performances
+            .iter()
+            .all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+    }
+
+    #[test]
+    fn sorted_curve_is_ascending() {
+        let (problem, ds) = tiny_case1();
+        let preds = vec![0u32; ds.len()];
+        let curve = case1_penalty(&problem, &ds, &preds).sorted_curve();
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn calibration_bins_partition_the_test_set() {
+        use crate::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+        let (_, ds) = tiny_case1();
+        let mut model = AirchitectModel::new(
+            CaseStudy::ArrayDataflow,
+            &AirchitectConfig {
+                num_classes: ds.num_classes(),
+                train: airchitect_nn::train::TrainConfig {
+                    epochs: 4,
+                    batch_size: 16,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        model.train(&ds).unwrap();
+        let bins = calibration(&model, &ds, 10);
+        assert_eq!(bins.len(), 10);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), ds.len());
+        for b in &bins {
+            assert!(b.lo < b.hi);
+            if b.count > 0 {
+                assert!((b.lo..=b.hi + 1e-9).contains(&b.mean_confidence));
+                assert!((0.0..=1.0).contains(&b.accuracy));
+            }
+        }
+        let ece = expected_calibration_error(&bins);
+        assert!((0.0..=1.0).contains(&ece));
+    }
+
+    #[test]
+    fn label_distributions_count_correctly() {
+        let (_, ds) = tiny_case1();
+        let labels: Vec<u32> = ds.labels().to_vec();
+        let (actual, predicted) = label_distributions(&ds, &labels);
+        assert_eq!(actual, predicted);
+        assert_eq!(actual.iter().sum::<usize>(), ds.len());
+    }
+}

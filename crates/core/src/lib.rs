@@ -1,0 +1,66 @@
+//! # AIrchitect — learned constant-time architecture & mapping optimization
+//!
+//! Reproduction of *AIrchitect: Automating Hardware Architecture and Mapping
+//! Optimization* (Samajdar, Joseph, Krishna — DATE 2023).
+//!
+//! Conventional design-space exploration answers "what is the best
+//! accelerator configuration for this workload?" by running a simulator over
+//! many candidate configurations and searching for the optimum — for *every*
+//! query. AIrchitect replaces that loop with a trained recommendation
+//! network: the search-generated optima become training labels, and after
+//! offline training a single constant-time inference returns the predicted
+//! optimal configuration (paper Fig. 1).
+//!
+//! The network (paper Fig. 2) maps each integer input (workload dimensions
+//! and design constraints) through a learned per-feature embedding, then a
+//! 256-node hidden layer, onto a softmax over the quantized config space.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use airchitect::{AirchitectConfig, AirchitectModel, CaseStudy};
+//! use airchitect_dse::case1::{self, Case1DatasetSpec, Case1Problem};
+//!
+//! // 1. Generate ground-truth optima with the conventional search flow.
+//! let problem = Case1Problem::new(1 << 9);
+//! let spec = Case1DatasetSpec { samples: 1_000, budget_log2_range: (5, 9), seed: 1 };
+//! let dataset = case1::generate_dataset(&problem, &spec);
+//!
+//! // 2. Train the recommendation network on the optima.
+//! use airchitect_nn::train::TrainConfig;
+//! let mut model = AirchitectModel::new(CaseStudy::ArrayDataflow, &AirchitectConfig {
+//!     num_classes: problem.space().len() as u32,
+//!     train: TrainConfig { epochs: 10, batch_size: 64, ..Default::default() },
+//!     ..Default::default()
+//! });
+//! let report = model.train(&dataset)?;
+//! assert!(report.history.final_train_accuracy() > 0.2);
+//!
+//! // 3. Constant-time recommendation for a new workload.
+//! use airchitect_workload::GemmWorkload;
+//! let wl = GemmWorkload::new(512, 64, 256)?;
+//! let label = model.predict_row(&Case1Problem::features(&wl, 1 << 10));
+//! let (array, dataflow) = problem.space().decode(label).expect("label in space");
+//! println!("recommended: {array} with {dataflow}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`model`] — the recommendation network and its per-case-study feature
+//!   quantizers,
+//! * [`pipeline`] — end-to-end dataset → train → evaluate runs for all three
+//!   case studies,
+//! * [`eval`] — misprediction-penalty analysis (paper Fig. 10d-h),
+//! * [`recommend`] — the typed constant-time recommendation API.
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod model;
+pub mod persist;
+pub mod pipeline;
+pub mod recommend;
+
+pub use model::{AirchitectConfig, AirchitectModel, CaseStudy, FeatureQuantizer};
+pub use recommend::Recommender;

@@ -1,0 +1,483 @@
+//! The AIrchitect recommendation network (paper Fig. 2) and its per-case
+//! feature quantizers.
+
+use airchitect_data::Dataset;
+use airchitect_nn::network::Sequential;
+use airchitect_nn::train::{self, History, TrainConfig, TrainError};
+use airchitect_classifiers::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's three case studies a model targets.
+///
+/// The case study fixes the input layout (paper Fig. 8a) and therefore the
+/// feature quantizer; the output-space size is configured separately because
+/// CS1's grows with the MAC budget (paper Fig. 11b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaseStudy {
+    /// CS1: array shape & dataflow prediction (4 inputs).
+    ArrayDataflow,
+    /// CS2: SRAM buffer sizing (8 inputs).
+    BufferSizing,
+    /// CS3: multi-array scheduling (12 inputs).
+    MultiArrayScheduling,
+}
+
+impl CaseStudy {
+    /// Number of input features (paper Fig. 8a).
+    pub fn input_dim(&self) -> usize {
+        match self {
+            CaseStudy::ArrayDataflow => 4,
+            CaseStudy::BufferSizing => 8,
+            CaseStudy::MultiArrayScheduling => 12,
+        }
+    }
+
+    /// The paper's output-space size for the canonical configuration.
+    pub fn paper_output_space(&self) -> u32 {
+        match self {
+            CaseStudy::ArrayDataflow => 459,
+            CaseStudy::BufferSizing => 1000,
+            CaseStudy::MultiArrayScheduling => 1944,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CaseStudy::ArrayDataflow => "case study 1 (array & dataflow)",
+            CaseStudy::BufferSizing => "case study 2 (buffer sizing)",
+            CaseStudy::MultiArrayScheduling => "case study 3 (scheduling)",
+        }
+    }
+
+    /// All case studies in paper order.
+    pub const ALL: [CaseStudy; 3] = [
+        CaseStudy::ArrayDataflow,
+        CaseStudy::BufferSizing,
+        CaseStudy::MultiArrayScheduling,
+    ];
+}
+
+/// How one input column is quantized into an embedding bin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ColumnQuantizer {
+    /// The value is already a small integer (dataflow index, log2 budget).
+    Direct,
+    /// Log2 binning with the given resolution (workload/array dimensions).
+    Log2 {
+        /// Bins per power of two.
+        bins_per_octave: u32,
+    },
+    /// Linear binning: `value / step` (capacity limits in KB).
+    Scaled {
+        /// Bin width in input units.
+        step: f32,
+    },
+}
+
+impl ColumnQuantizer {
+    /// Bin index for a value, clamped to `[0, vocab)`.
+    pub fn bin(&self, v: f32, vocab: u32) -> u32 {
+        let b = match self {
+            ColumnQuantizer::Direct => v.max(0.0).round() as u32,
+            ColumnQuantizer::Log2 { bins_per_octave } => {
+                ((v.max(1.0) as f64).log2() * *bins_per_octave as f64).round() as u32
+            }
+            ColumnQuantizer::Scaled { step } => (v.max(0.0) / step).round() as u32,
+        };
+        b.min(vocab - 1)
+    }
+}
+
+/// Per-column quantization mapping raw integer features onto the embedding
+/// vocabulary (the "quantizing the optimization space" step of paper
+/// Sec. IV).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureQuantizer {
+    columns: Vec<ColumnQuantizer>,
+    vocab: u32,
+}
+
+impl FeatureQuantizer {
+    /// The canonical quantizer for a case study's input layout with a
+    /// 64-entry vocabulary.
+    pub fn for_case_study(case: CaseStudy) -> Self {
+        let log2 = ColumnQuantizer::Log2 { bins_per_octave: 2 };
+        let columns = match case {
+            // [log2 budget, M, N, K]
+            CaseStudy::ArrayDataflow => vec![ColumnQuantizer::Direct, log2, log2, log2],
+            // [limit KB, M, N, K, rows, cols, dataflow, bandwidth]
+            CaseStudy::BufferSizing => vec![
+                ColumnQuantizer::Scaled { step: 100.0 },
+                log2,
+                log2,
+                log2,
+                log2,
+                log2,
+                ColumnQuantizer::Direct,
+                ColumnQuantizer::Log2 { bins_per_octave: 4 },
+            ],
+            // 12 workload dimensions
+            CaseStudy::MultiArrayScheduling => vec![log2; 12],
+        };
+        Self { columns, vocab: 64 }
+    }
+
+    /// A custom quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or `vocab` is zero.
+    pub fn new(columns: Vec<ColumnQuantizer>, vocab: u32) -> Self {
+        assert!(!columns.is_empty(), "need at least one column");
+        assert!(vocab > 0, "vocab must be positive");
+        Self { columns, vocab }
+    }
+
+    /// Number of input columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The per-column quantizers.
+    pub fn columns(&self) -> &[ColumnQuantizer] {
+        &self.columns
+    }
+
+    /// Embedding vocabulary size.
+    pub fn vocab(&self) -> u32 {
+        self.vocab
+    }
+
+    /// Quantizes one raw feature row into bin indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the column count.
+    pub fn transform_row(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.columns.len(), "feature width mismatch");
+        row.iter()
+            .zip(&self.columns)
+            .map(|(&v, q)| q.bin(v, self.vocab) as f32)
+            .collect()
+    }
+
+    /// Quantizes a whole dataset out of place.
+    pub fn transform(&self, dataset: &Dataset) -> Dataset {
+        let mut out = Dataset::new(dataset.feature_dim(), dataset.num_classes())
+            .expect("source dataset is valid");
+        for i in 0..dataset.len() {
+            out.push(&self.transform_row(dataset.row(i)), dataset.label(i))
+                .expect("same shape as source");
+        }
+        out
+    }
+}
+
+/// Hyper-parameters of the recommendation network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AirchitectConfig {
+    /// Output-space size (number of config IDs).
+    pub num_classes: u32,
+    /// Embedding width per input feature (paper: 16).
+    pub embed_dim: usize,
+    /// Hidden-layer width (paper: 256).
+    pub hidden: usize,
+    /// Training schedule.
+    pub train: TrainConfig,
+    /// Weight-init / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for AirchitectConfig {
+    /// The paper's architecture: 16-wide embeddings, 256 hidden nodes,
+    /// 15 epochs.
+    fn default() -> Self {
+        Self {
+            num_classes: 459,
+            embed_dim: 16,
+            hidden: 256,
+            train: TrainConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// The AIrchitect recommendation network: a [`FeatureQuantizer`] front-end
+/// feeding per-feature embeddings, a 256-node hidden layer, and a softmax
+/// over config IDs (paper Fig. 2).
+#[derive(Debug, Clone)]
+pub struct AirchitectModel {
+    case: CaseStudy,
+    quantizer: FeatureQuantizer,
+    network: Sequential,
+    config: AirchitectConfig,
+    trained: bool,
+}
+
+/// Outcome of training an [`AirchitectModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Per-epoch loss/accuracy curves (paper Fig. 10a-c).
+    pub history: History,
+}
+
+impl AirchitectModel {
+    /// Builds an untrained model for a case study.
+    pub fn new(case: CaseStudy, config: &AirchitectConfig) -> Self {
+        let quantizer = FeatureQuantizer::for_case_study(case);
+        let network = Sequential::embedding_mlp(
+            quantizer.num_columns(),
+            quantizer.vocab() as usize,
+            config.embed_dim,
+            config.hidden,
+            config.num_classes as usize,
+            config.seed,
+        );
+        Self {
+            case,
+            quantizer,
+            network,
+            config: *config,
+            trained: false,
+        }
+    }
+
+    /// Rebuilds a model from its persisted parts (see [`crate::persist`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantizer width differs from the network input width.
+    pub fn from_parts(
+        case: CaseStudy,
+        quantizer: FeatureQuantizer,
+        network: Sequential,
+        trained: bool,
+    ) -> Self {
+        assert_eq!(
+            quantizer.num_columns(),
+            network.in_dim(),
+            "quantizer width must match network input"
+        );
+        let config = AirchitectConfig {
+            num_classes: network.out_dim() as u32,
+            ..Default::default()
+        };
+        Self {
+            case,
+            quantizer,
+            network,
+            config,
+            trained,
+        }
+    }
+
+    /// Replaces the feature quantizer (ablation studies). The network input
+    /// width must stay compatible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new quantizer's width differs from the network input.
+    pub fn with_quantizer(mut self, quantizer: FeatureQuantizer) -> Self {
+        assert_eq!(
+            quantizer.num_columns(),
+            self.network.in_dim(),
+            "quantizer width must match network input"
+        );
+        self.quantizer = quantizer;
+        self
+    }
+
+    /// The case study this model targets.
+    pub fn case_study(&self) -> CaseStudy {
+        self.case
+    }
+
+    /// The feature quantizer front-end.
+    pub fn quantizer(&self) -> &FeatureQuantizer {
+        &self.quantizer
+    }
+
+    /// The underlying network (e.g. for serialization).
+    pub fn network(&self) -> &Sequential {
+        &self.network
+    }
+
+    /// Whether [`AirchitectModel::train`] has completed.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Trains on a raw-feature dataset (quantization happens internally),
+    /// without a validation set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the trainer.
+    pub fn train(&mut self, dataset: &Dataset) -> Result<TrainReport, TrainError> {
+        self.train_with_validation(dataset, None)
+    }
+
+    /// Trains on a raw-feature dataset, tracking validation accuracy per
+    /// epoch when `validation` is given (paper Fig. 10a-c).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the trainer.
+    pub fn train_with_validation(
+        &mut self,
+        dataset: &Dataset,
+        validation: Option<&Dataset>,
+    ) -> Result<TrainReport, TrainError> {
+        let binned = self.quantizer.transform(dataset);
+        let binned_val = validation.map(|v| self.quantizer.transform(v));
+        let history = train::fit(
+            &mut self.network,
+            &binned,
+            binned_val.as_ref(),
+            &self.config.train,
+        )?;
+        self.trained = true;
+        Ok(TrainReport { history })
+    }
+
+    /// Constant-time recommendation: predicts the config ID for one raw
+    /// feature row.
+    pub fn predict_row(&self, row: &[f32]) -> u32 {
+        self.network.predict_one(&self.quantizer.transform_row(row))
+    }
+
+    /// The `k` most likely config IDs for one raw feature row, ranked with
+    /// softmax probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn predict_topk(&self, row: &[f32], k: usize) -> Vec<(u32, f32)> {
+        self.network
+            .predict_topk(&self.quantizer.transform_row(row), k)
+    }
+
+    /// Predicts config IDs for every row of a raw-feature dataset.
+    pub fn predict(&self, dataset: &Dataset) -> Vec<u32> {
+        let binned = self.quantizer.transform(dataset);
+        let mut net = self.network.clone();
+        train::predict_dataset(&mut net, &binned)
+    }
+
+    /// Accuracy against a labeled raw-feature dataset.
+    pub fn accuracy(&self, dataset: &Dataset) -> f64 {
+        airchitect_nn::metrics::accuracy(&self.predict(dataset), dataset.labels())
+    }
+}
+
+impl Classifier for AirchitectModel {
+    fn name(&self) -> &str {
+        "AIrchitect"
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        self.train(train).expect("validated dataset");
+    }
+
+    fn predict_row(&self, row: &[f32]) -> u32 {
+        AirchitectModel::predict_row(self, row)
+    }
+
+    fn predict(&self, dataset: &Dataset) -> Vec<u32> {
+        AirchitectModel::predict(self, dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_metadata_matches_paper() {
+        assert_eq!(CaseStudy::ArrayDataflow.input_dim(), 4);
+        assert_eq!(CaseStudy::BufferSizing.input_dim(), 8);
+        assert_eq!(CaseStudy::MultiArrayScheduling.input_dim(), 12);
+        assert_eq!(CaseStudy::ArrayDataflow.paper_output_space(), 459);
+        assert_eq!(CaseStudy::BufferSizing.paper_output_space(), 1000);
+        assert_eq!(CaseStudy::MultiArrayScheduling.paper_output_space(), 1944);
+    }
+
+    #[test]
+    fn quantizer_widths_match_case_inputs() {
+        for case in CaseStudy::ALL {
+            assert_eq!(
+                FeatureQuantizer::for_case_study(case).num_columns(),
+                case.input_dim()
+            );
+        }
+    }
+
+    #[test]
+    fn quantizer_keeps_bins_in_vocab() {
+        let q = FeatureQuantizer::for_case_study(CaseStudy::BufferSizing);
+        let row = [3000.0, 16384.0, 1.0, 500.0, 512.0, 4.0, 2.0, 100.0];
+        for b in q.transform_row(&row) {
+            assert!(b >= 0.0 && b < q.vocab() as f32);
+        }
+    }
+
+    #[test]
+    fn quantizer_is_monotone_per_column() {
+        let q = FeatureQuantizer::for_case_study(CaseStudy::ArrayDataflow);
+        let lo = q.transform_row(&[5.0, 8.0, 8.0, 8.0]);
+        let hi = q.transform_row(&[10.0, 800.0, 800.0, 800.0]);
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!(l <= h);
+        }
+    }
+
+    #[test]
+    fn model_learns_a_simple_mapping() {
+        // Label = coarse size class of M: trivially learnable from bins.
+        let mut ds = Dataset::new(4, 3).unwrap();
+        for i in 0..600 {
+            let m = match i % 3 {
+                0 => 8.0,
+                1 => 256.0,
+                _ => 8192.0,
+            };
+            ds.push(&[10.0, m, 64.0, 64.0], (i % 3) as u32).unwrap();
+        }
+        let mut model = AirchitectModel::new(
+            CaseStudy::ArrayDataflow,
+            &AirchitectConfig {
+                num_classes: 3,
+                train: TrainConfig {
+                    epochs: 20,
+                    batch_size: 32,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let report = model.train(&ds).unwrap();
+        assert!(report.history.final_train_accuracy() > 0.99);
+        assert!(model.is_trained());
+        assert_eq!(model.predict_row(&[10.0, 8.0, 64.0, 64.0]), 0);
+        assert_eq!(model.predict_row(&[10.0, 8192.0, 64.0, 64.0]), 2);
+    }
+
+    #[test]
+    fn model_is_deterministic() {
+        let cfg = AirchitectConfig {
+            num_classes: 5,
+            ..Default::default()
+        };
+        let a = AirchitectModel::new(CaseStudy::ArrayDataflow, &cfg);
+        let b = AirchitectModel::new(CaseStudy::ArrayDataflow, &cfg);
+        let row = [9.0, 100.0, 200.0, 300.0];
+        assert_eq!(a.predict_row(&row), b.predict_row(&row));
+    }
+
+    #[test]
+    fn classifier_trait_name() {
+        let m = AirchitectModel::new(CaseStudy::ArrayDataflow, &AirchitectConfig::default());
+        assert_eq!(Classifier::name(&m), "AIrchitect");
+    }
+}

@@ -1,0 +1,254 @@
+//! Save/load for trained [`AirchitectModel`]s: the feature quantizer and the
+//! network travel together, so a loaded model answers queries identically.
+//!
+//! Format: magic `AIRM`, version 1, case-study tag, quantizer columns, then
+//! the embedded `airchitect-nn` network blob.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use airchitect_nn::serialize as nn_serialize;
+
+use crate::model::{AirchitectModel, CaseStudy, ColumnQuantizer, FeatureQuantizer};
+
+const MAGIC: &[u8; 4] = b"AIRM";
+const VERSION: u32 = 1;
+
+/// Error produced by the model persistence codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Malformed buffer.
+    Corrupt(&'static str),
+    /// Error inside the embedded network blob.
+    Network(String),
+    /// Filesystem error, stringified.
+    Io(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+            PersistError::Network(e) => write!(f, "network blob: {e}"),
+            PersistError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e.to_string())
+    }
+}
+
+fn case_tag(case: CaseStudy) -> u8 {
+    match case {
+        CaseStudy::ArrayDataflow => 0,
+        CaseStudy::BufferSizing => 1,
+        CaseStudy::MultiArrayScheduling => 2,
+    }
+}
+
+fn case_from_tag(tag: u8) -> Option<CaseStudy> {
+    match tag {
+        0 => Some(CaseStudy::ArrayDataflow),
+        1 => Some(CaseStudy::BufferSizing),
+        2 => Some(CaseStudy::MultiArrayScheduling),
+        _ => None,
+    }
+}
+
+/// Serializes a model (trained or not) to bytes.
+pub fn to_bytes(model: &AirchitectModel) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u8(case_tag(model.case_study()));
+    buf.put_u8(model.is_trained() as u8);
+
+    let q = model.quantizer();
+    buf.put_u32_le(q.vocab());
+    buf.put_u32_le(q.num_columns() as u32);
+    for col in q.columns() {
+        match col {
+            ColumnQuantizer::Direct => buf.put_u8(0),
+            ColumnQuantizer::Log2 { bins_per_octave } => {
+                buf.put_u8(1);
+                buf.put_u32_le(*bins_per_octave);
+            }
+            ColumnQuantizer::Scaled { step } => {
+                buf.put_u8(2);
+                buf.put_f32_le(*step);
+            }
+        }
+    }
+
+    let net = nn_serialize::to_bytes(model.network());
+    buf.put_u64_le(net.len() as u64);
+    buf.put_slice(&net);
+    buf.freeze()
+}
+
+/// Deserializes a model from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on malformed input.
+pub fn from_bytes(mut buf: &[u8]) -> Result<AirchitectModel, PersistError> {
+    if buf.remaining() < 10 {
+        return Err(PersistError::Corrupt("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::Corrupt("bad magic"));
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(PersistError::Corrupt("unsupported version"));
+    }
+    let case = case_from_tag(buf.get_u8()).ok_or(PersistError::Corrupt("unknown case study"))?;
+    let trained = buf.get_u8() != 0;
+
+    if buf.remaining() < 8 {
+        return Err(PersistError::Corrupt("truncated quantizer header"));
+    }
+    let vocab = buf.get_u32_le();
+    let n_cols = buf.get_u32_le() as usize;
+    if vocab == 0 || n_cols == 0 || n_cols > 4096 {
+        return Err(PersistError::Corrupt("bad quantizer dimensions"));
+    }
+    let mut columns = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        if buf.remaining() < 1 {
+            return Err(PersistError::Corrupt("truncated quantizer column"));
+        }
+        columns.push(match buf.get_u8() {
+            0 => ColumnQuantizer::Direct,
+            1 => {
+                if buf.remaining() < 4 {
+                    return Err(PersistError::Corrupt("truncated log2 column"));
+                }
+                ColumnQuantizer::Log2 {
+                    bins_per_octave: buf.get_u32_le(),
+                }
+            }
+            2 => {
+                if buf.remaining() < 4 {
+                    return Err(PersistError::Corrupt("truncated scaled column"));
+                }
+                ColumnQuantizer::Scaled {
+                    step: buf.get_f32_le(),
+                }
+            }
+            _ => return Err(PersistError::Corrupt("unknown column tag")),
+        });
+    }
+    let quantizer = FeatureQuantizer::new(columns, vocab);
+
+    if buf.remaining() < 8 {
+        return Err(PersistError::Corrupt("truncated network length"));
+    }
+    let net_len = buf.get_u64_le() as usize;
+    if buf.remaining() != net_len {
+        return Err(PersistError::Corrupt("network blob size mismatch"));
+    }
+    let network =
+        nn_serialize::from_bytes(buf).map_err(|e| PersistError::Network(e.to_string()))?;
+    Ok(AirchitectModel::from_parts(case, quantizer, network, trained))
+}
+
+/// Saves a model to a file.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem errors.
+pub fn save(model: &AirchitectModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let mut f = File::create(path)?;
+    f.write_all(&to_bytes(model))?;
+    Ok(())
+}
+
+/// Loads a model from a file written by [`save`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or parse errors.
+pub fn load(path: impl AsRef<Path>) -> Result<AirchitectModel, PersistError> {
+    let mut f = File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AirchitectConfig;
+    use airchitect_data::Dataset;
+    use airchitect_nn::train::TrainConfig;
+
+    fn small_trained_model() -> AirchitectModel {
+        let mut ds = Dataset::new(4, 3).unwrap();
+        for i in 0..120 {
+            let m = [8.0, 256.0, 8192.0][i % 3];
+            ds.push(&[10.0, m, 64.0, 64.0], (i % 3) as u32).unwrap();
+        }
+        let mut model = AirchitectModel::new(
+            CaseStudy::ArrayDataflow,
+            &AirchitectConfig {
+                num_classes: 3,
+                train: TrainConfig {
+                    epochs: 5,
+                    batch_size: 32,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        model.train(&ds).unwrap();
+        model
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let model = small_trained_model();
+        let back = from_bytes(&to_bytes(&model)).unwrap();
+        assert_eq!(back.case_study(), CaseStudy::ArrayDataflow);
+        assert!(back.is_trained());
+        for m in [4.0f32, 100.0, 5000.0] {
+            let row = [10.0, m, 64.0, 64.0];
+            assert_eq!(model.predict_row(&row), back.predict_row(&row));
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let model = small_trained_model();
+        let mut bytes = to_bytes(&model).to_vec();
+        bytes[0] = b'Z';
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(PersistError::Corrupt("bad magic"))
+        ));
+        let bytes = to_bytes(&model);
+        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("airchitect-core-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.airm");
+        let model = small_trained_model();
+        save(&model, &path).unwrap();
+        let back = load(&path).unwrap();
+        let row = [9.0, 300.0, 64.0, 64.0];
+        assert_eq!(model.predict_row(&row), back.predict_row(&row));
+        std::fs::remove_file(&path).ok();
+    }
+}

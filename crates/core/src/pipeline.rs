@@ -1,0 +1,247 @@
+//! End-to-end pipelines: dataset generation → 80:10:10 split → training →
+//! test-set evaluation, for each case study.
+//!
+//! These are the flows the figure-regeneration binaries in
+//! `airchitect-bench` drive; they are also the highest-level public API for
+//! users who want a trained recommender in one call.
+
+use airchitect_data::{split, Dataset};
+use airchitect_dse::case1::{self, Case1DatasetSpec, Case1Problem};
+use airchitect_dse::case2::{self, Case2DatasetSpec, Case2Problem};
+use airchitect_dse::case3::{self, Case3DatasetSpec, Case3Problem};
+use airchitect_nn::optim::Optimizer;
+use airchitect_nn::train::TrainConfig;
+
+use crate::eval::{self, PenaltyReport};
+use crate::model::{AirchitectConfig, AirchitectModel, CaseStudy, TrainReport};
+
+/// Shared pipeline knobs.
+///
+/// Defaults are sized for a single CPU core (see DESIGN.md §3): they
+/// reproduce each figure's *shape* at reduced scale. Scale `samples` and
+/// `epochs` up on bigger machines to approach the paper's absolute numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Labeled samples to generate (paper: up to 4.5 M).
+    pub samples: usize,
+    /// Training epochs (paper: 15–22).
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Seed for generation, splitting, initialization, and shuffling.
+    pub seed: u64,
+    /// Use a class-stratified split instead of the paper's plain random
+    /// 80:10:10 — reduces evaluation noise on the long-tailed CS2/CS3 label
+    /// distributions (off by default for paper fidelity).
+    pub stratify: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            samples: 20_000,
+            epochs: 15,
+            batch_size: 256,
+            seed: 0,
+            stratify: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            optimizer: Optimizer::adam(1e-3),
+            seed: self.seed,
+            lr_decay: 1.0,
+        }
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct CaseStudyRun {
+    /// Which case study ran.
+    pub case: CaseStudy,
+    /// The trained model.
+    pub model: AirchitectModel,
+    /// Training curves (paper Fig. 10a-c).
+    pub report: TrainReport,
+    /// Accuracy on the held-out test split.
+    pub test_accuracy: f64,
+    /// Misprediction-penalty analysis on the test split (paper Fig. 10g-h).
+    pub penalty: PenaltyReport,
+    /// Actual-vs-predicted label histograms on the test split
+    /// (paper Fig. 10d-f).
+    pub label_distributions: (Vec<usize>, Vec<usize>),
+    /// The held-out test split (raw features), for further analysis.
+    pub test_set: Dataset,
+}
+
+fn run_common(
+    case: CaseStudy,
+    dataset: Dataset,
+    num_classes: u32,
+    config: &PipelineConfig,
+    penalty: impl FnOnce(&Dataset, &[u32]) -> PenaltyReport,
+) -> CaseStudyRun {
+    let split = if config.stratify {
+        split::stratified(&dataset, 0.8, 0.1, 0.1, config.seed)
+            .expect("80:10:10 fractions are valid")
+    } else {
+        split::paper_split(&dataset, config.seed).expect("80:10:10 fractions are valid")
+    };
+    let mut model = AirchitectModel::new(
+        case,
+        &AirchitectConfig {
+            num_classes,
+            train: config.train_config(),
+            seed: config.seed,
+            ..Default::default()
+        },
+    );
+    let report = model
+        .train_with_validation(&split.train, Some(&split.validation))
+        .expect("generated datasets are valid");
+    let predictions = model.predict(&split.test);
+    let test_accuracy =
+        airchitect_nn::metrics::accuracy(&predictions, split.test.labels());
+    let penalty = penalty(&split.test, &predictions);
+    let label_distributions = eval::label_distributions(&split.test, &predictions);
+    CaseStudyRun {
+        case,
+        model,
+        report,
+        test_accuracy,
+        penalty,
+        label_distributions,
+        test_set: split.test,
+    }
+}
+
+/// Runs the full case-study-1 pipeline for a given maximum MAC budget.
+///
+/// `budget_log2_range` is the range of budgets sampled into the dataset;
+/// the output space is enumerated at its upper end.
+pub fn run_case1(config: &PipelineConfig, budget_log2_range: (u32, u32)) -> CaseStudyRun {
+    let problem = Case1Problem::new(1u64 << budget_log2_range.1);
+    let dataset = case1::generate_dataset(
+        &problem,
+        &Case1DatasetSpec {
+            samples: config.samples,
+            budget_log2_range,
+            seed: config.seed,
+        },
+    );
+    let classes = problem.space().len() as u32;
+    run_common(
+        CaseStudy::ArrayDataflow,
+        dataset,
+        classes,
+        config,
+        |test, preds| eval::case1_penalty(&problem, test, preds),
+    )
+}
+
+/// Runs the full case-study-2 pipeline.
+pub fn run_case2(config: &PipelineConfig) -> CaseStudyRun {
+    let problem = Case2Problem::new();
+    let dataset = case2::generate_dataset(
+        &problem,
+        &Case2DatasetSpec {
+            samples: config.samples,
+            seed: config.seed,
+            ..Default::default()
+        },
+    );
+    run_common(
+        CaseStudy::BufferSizing,
+        dataset,
+        problem.space().len() as u32,
+        config,
+        |test, preds| eval::case2_penalty(&problem, test, preds),
+    )
+}
+
+/// Runs the full case-study-3 pipeline.
+pub fn run_case3(config: &PipelineConfig) -> CaseStudyRun {
+    let problem = Case3Problem::new();
+    let dataset = case3::generate_dataset(
+        &problem,
+        &Case3DatasetSpec {
+            samples: config.samples,
+            seed: config.seed,
+        },
+    );
+    run_common(
+        CaseStudy::MultiArrayScheduling,
+        dataset,
+        problem.space().len() as u32,
+        config,
+        |test, preds| eval::case3_penalty(&problem, test, preds),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> PipelineConfig {
+        PipelineConfig {
+            samples: 600,
+            epochs: 6,
+            batch_size: 64,
+            seed: 7,
+            stratify: false,
+        }
+    }
+
+    #[test]
+    fn case1_pipeline_end_to_end() {
+        let run = run_case1(&quick(), (5, 9));
+        assert_eq!(run.case, CaseStudy::ArrayDataflow);
+        assert!(run.model.is_trained());
+        assert_eq!(run.report.history.epochs.len(), 6);
+        // 10% test split of 600.
+        assert_eq!(run.test_set.len(), 60);
+        assert_eq!(run.penalty.performances.len(), 60);
+        // Even a barely-trained model beats random (1/space) by a lot, and
+        // its penalty geomean must be a valid fraction.
+        assert!(run.penalty.geomean > 0.0 && run.penalty.geomean <= 1.0 + 1e-9);
+        let (actual, predicted) = &run.label_distributions;
+        assert_eq!(actual.iter().sum::<usize>(), 60);
+        assert_eq!(predicted.iter().sum::<usize>(), 60);
+    }
+
+    #[test]
+    fn case2_pipeline_end_to_end() {
+        let run = run_case2(&quick());
+        assert_eq!(run.case, CaseStudy::BufferSizing);
+        assert_eq!(run.test_set.feature_dim(), 8);
+        assert!(run.test_accuracy >= 0.0);
+        assert!(run.penalty.geomean > 0.0);
+    }
+
+    #[test]
+    fn case3_pipeline_end_to_end() {
+        let cfg = PipelineConfig {
+            samples: 200,
+            epochs: 4,
+            ..quick()
+        };
+        let run = run_case3(&cfg);
+        assert_eq!(run.case, CaseStudy::MultiArrayScheduling);
+        assert_eq!(run.test_set.feature_dim(), 12);
+        assert!(run.penalty.geomean > 0.0);
+    }
+
+    #[test]
+    fn pipelines_are_reproducible() {
+        let a = run_case1(&quick(), (5, 8));
+        let b = run_case1(&quick(), (5, 8));
+        assert_eq!(a.test_accuracy, b.test_accuracy);
+        assert_eq!(a.penalty.performances, b.penalty.performances);
+    }
+}

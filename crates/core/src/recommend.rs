@@ -1,0 +1,244 @@
+//! The typed constant-time recommendation API (paper Fig. 1b, "Step 1'").
+//!
+//! A [`Recommender`] wraps a trained [`AirchitectModel`] together with the
+//! output-space codec of its case study, so callers get domain types
+//! (`ArrayConfig`, `Dataflow`, buffer sizes, `Schedule`) instead of raw
+//! config IDs.
+
+use airchitect_dse::case1::Case1Problem;
+use airchitect_dse::case2::{Case2Problem, Case2Query};
+use airchitect_dse::case3::Case3Problem;
+use airchitect_sim::multi::Schedule;
+use airchitect_sim::{ArrayConfig, Dataflow};
+use airchitect_workload::GemmWorkload;
+
+use crate::model::{AirchitectModel, CaseStudy};
+
+/// Error produced by a recommendation query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecommendError {
+    /// The wrapped model targets a different case study.
+    WrongCaseStudy {
+        /// The case study the model was trained for.
+        model: CaseStudy,
+        /// The case study the query requires.
+        query: CaseStudy,
+    },
+    /// The model has not been trained.
+    Untrained,
+    /// The model emitted a label outside the output space (can happen when
+    /// the configured class count exceeds the space size).
+    LabelOutOfSpace {
+        /// The offending label.
+        label: u32,
+    },
+}
+
+impl std::fmt::Display for RecommendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecommendError::WrongCaseStudy { model, query } => write!(
+                f,
+                "model trained for {} cannot answer {} queries",
+                model.name(),
+                query.name()
+            ),
+            RecommendError::Untrained => write!(f, "model has not been trained"),
+            RecommendError::LabelOutOfSpace { label } => {
+                write!(f, "predicted label {label} is outside the output space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecommendError {}
+
+/// A trained model plus its output-space codec.
+#[derive(Debug, Clone)]
+pub struct Recommender {
+    model: AirchitectModel,
+}
+
+impl Recommender {
+    /// Wraps a trained model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecommendError::Untrained`] if the model has not been
+    /// trained.
+    pub fn new(model: AirchitectModel) -> Result<Self, RecommendError> {
+        if !model.is_trained() {
+            return Err(RecommendError::Untrained);
+        }
+        Ok(Self { model })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &AirchitectModel {
+        &self.model
+    }
+
+    fn check_case(&self, query: CaseStudy) -> Result<(), RecommendError> {
+        if self.model.case_study() != query {
+            return Err(RecommendError::WrongCaseStudy {
+                model: self.model.case_study(),
+                query,
+            });
+        }
+        Ok(())
+    }
+
+    /// CS1: recommends an array shape and dataflow for a workload under a
+    /// MAC budget — one inference, no search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecommendError`] for case-study mismatches or out-of-space
+    /// predictions.
+    pub fn recommend_array(
+        &self,
+        problem: &Case1Problem,
+        workload: &GemmWorkload,
+        mac_budget: u64,
+    ) -> Result<(ArrayConfig, Dataflow), RecommendError> {
+        self.check_case(CaseStudy::ArrayDataflow)?;
+        let label = self
+            .model
+            .predict_row(&Case1Problem::features(workload, mac_budget));
+        problem
+            .space()
+            .decode(label)
+            .ok_or(RecommendError::LabelOutOfSpace { label })
+    }
+
+    /// CS1: a ranked list of the `k` most likely (array, dataflow)
+    /// recommendations with their softmax confidence — useful when the top
+    /// pick is inconvenient (e.g. floorplan constraints).
+    ///
+    /// Labels outside the output space (possible when the model's class
+    /// count exceeds the space) are skipped, so fewer than `k` entries may
+    /// return.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecommendError::WrongCaseStudy`] for non-CS1 models.
+    pub fn recommend_array_topk(
+        &self,
+        problem: &Case1Problem,
+        workload: &GemmWorkload,
+        mac_budget: u64,
+        k: usize,
+    ) -> Result<Vec<(ArrayConfig, Dataflow, f32)>, RecommendError> {
+        self.check_case(CaseStudy::ArrayDataflow)?;
+        let ranked = self
+            .model
+            .predict_topk(&Case1Problem::features(workload, mac_budget), k);
+        Ok(ranked
+            .into_iter()
+            .filter_map(|(label, p)| {
+                problem.space().decode(label).map(|(a, df)| (a, df, p))
+            })
+            .collect())
+    }
+
+    /// CS2: recommends `(ifmap_kb, filter_kb, ofmap_kb)` buffer sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecommendError`] for case-study mismatches or out-of-space
+    /// predictions.
+    pub fn recommend_buffers(
+        &self,
+        problem: &Case2Problem,
+        query: &Case2Query,
+    ) -> Result<(u64, u64, u64), RecommendError> {
+        self.check_case(CaseStudy::BufferSizing)?;
+        let label = self.model.predict_row(&query.features());
+        problem
+            .space()
+            .decode(label)
+            .ok_or(RecommendError::LabelOutOfSpace { label })
+    }
+
+    /// CS3: recommends a schedule (workload-to-array mapping plus per-array
+    /// dataflows) for four concurrent workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecommendError`] for case-study mismatches or out-of-space
+    /// predictions.
+    pub fn recommend_schedule(
+        &self,
+        problem: &Case3Problem,
+        workloads: &[GemmWorkload],
+    ) -> Result<Schedule, RecommendError> {
+        self.check_case(CaseStudy::MultiArrayScheduling)?;
+        let label = self.model.predict_row(&Case3Problem::features(workloads));
+        let (perm, dfs) = problem
+            .space()
+            .decode(label)
+            .ok_or(RecommendError::LabelOutOfSpace { label })?;
+        Ok(Schedule::new(&perm, &dfs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AirchitectConfig;
+    use crate::pipeline::{run_case1, PipelineConfig};
+
+    fn quick() -> PipelineConfig {
+        PipelineConfig {
+            samples: 400,
+            epochs: 5,
+            batch_size: 64,
+            seed: 3,
+            stratify: false,
+        }
+    }
+
+    #[test]
+    fn untrained_model_is_rejected() {
+        let model = AirchitectModel::new(CaseStudy::ArrayDataflow, &AirchitectConfig::default());
+        assert_eq!(Recommender::new(model).unwrap_err(), RecommendError::Untrained);
+    }
+
+    #[test]
+    fn trained_recommender_returns_in_space_configs() {
+        let run = run_case1(&quick(), (5, 9));
+        let problem = Case1Problem::new(1 << 9);
+        let rec = Recommender::new(run.model).unwrap();
+        let wl = GemmWorkload::new(128, 64, 256).unwrap();
+        let (array, df) = rec.recommend_array(&problem, &wl, 1 << 9).unwrap();
+        assert!(array.macs() <= 1 << 9 || array.macs() <= 1 << (9 * 2));
+        assert!(Dataflow::ALL.contains(&df));
+    }
+
+    #[test]
+    fn topk_is_ranked_and_headed_by_the_top1_pick() {
+        let run = run_case1(&quick(), (5, 9));
+        let problem = Case1Problem::new(1 << 9);
+        let rec = Recommender::new(run.model).unwrap();
+        let wl = GemmWorkload::new(200, 100, 50).unwrap();
+        let top = rec.recommend_array_topk(&problem, &wl, 1 << 9, 5).unwrap();
+        assert!(!top.is_empty() && top.len() <= 5);
+        assert!(top.windows(2).all(|w| w[0].2 >= w[1].2));
+        let (a1, d1) = rec.recommend_array(&problem, &wl, 1 << 9).unwrap();
+        assert_eq!((top[0].0, top[0].1), (a1, d1));
+    }
+
+    #[test]
+    fn wrong_case_study_is_rejected() {
+        let run = run_case1(&quick(), (5, 8));
+        let rec = Recommender::new(run.model).unwrap();
+        let problem = Case2Problem::new();
+        let query = Case2Query::from_features(&[
+            1000.0, 64.0, 64.0, 64.0, 8.0, 8.0, 0.0, 10.0,
+        ]);
+        assert!(matches!(
+            rec.recommend_buffers(&problem, &query),
+            Err(RecommendError::WrongCaseStudy { .. })
+        ));
+    }
+}

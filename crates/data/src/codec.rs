@@ -1,0 +1,188 @@
+//! Compact binary on-disk format for datasets.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   : [u8; 4] = b"AIDS"   (AIrchitect DataSet)
+//! version : u32     = 1
+//! rows    : u64
+//! dim     : u32
+//! classes : u32
+//! features: rows * dim * f32
+//! labels  : rows * u32
+//! ```
+//!
+//! Kept deliberately simple: generated datasets are caches, not archives.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{DataError, Dataset};
+
+const MAGIC: &[u8; 4] = b"AIDS";
+const VERSION: u32 = 1;
+
+/// Serializes a dataset to an in-memory buffer.
+pub fn to_bytes(dataset: &Dataset) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        20 + dataset.len() * (dataset.feature_dim() * 4 + 4),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(dataset.len() as u64);
+    buf.put_u32_le(dataset.feature_dim() as u32);
+    buf.put_u32_le(dataset.num_classes());
+    for &v in dataset.features() {
+        buf.put_f32_le(v);
+    }
+    for &l in dataset.labels() {
+        buf.put_u32_le(l);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a dataset from a buffer produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`DataError::Corrupt`] on any malformed input.
+pub fn from_bytes(mut buf: &[u8]) -> Result<Dataset, DataError> {
+    // Header: 4 magic + 4 version + 8 rows + 4 dim + 4 classes = 24 bytes.
+    if buf.remaining() < 24 {
+        return Err(DataError::Corrupt { what: "truncated header" });
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DataError::Corrupt { what: "bad magic" });
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(DataError::Corrupt { what: "unsupported version" });
+    }
+    let rows = buf.get_u64_le() as usize;
+    let dim = buf.get_u32_le() as usize;
+    let classes = buf.get_u32_le();
+    let need = rows
+        .checked_mul(dim)
+        .and_then(|f| f.checked_mul(4))
+        .and_then(|f| f.checked_add(rows * 4))
+        .ok_or(DataError::Corrupt { what: "size overflow" })?;
+    if buf.remaining() != need {
+        return Err(DataError::Corrupt { what: "payload size mismatch" });
+    }
+    if dim == 0 || classes == 0 {
+        return Err(DataError::Corrupt { what: "zero dim or classes" });
+    }
+    let mut features = Vec::with_capacity(rows * dim);
+    for _ in 0..rows * dim {
+        features.push(buf.get_f32_le());
+    }
+    let mut out = Dataset::new(dim, classes)?;
+    for r in 0..rows {
+        let label = buf.get_u32_le();
+        if label >= classes {
+            return Err(DataError::Corrupt { what: "label out of range" });
+        }
+        out.push(&features[r * dim..(r + 1) * dim], label)?;
+    }
+    Ok(out)
+}
+
+/// Writes a dataset to a file.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] on filesystem errors.
+pub fn save(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), DataError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&to_bytes(dataset))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a dataset from a file written by [`save`].
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] on filesystem errors and
+/// [`DataError::Corrupt`] on malformed content.
+pub fn load(path: impl AsRef<Path>) -> Result<Dataset, DataError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(3, 5).unwrap();
+        ds.push(&[1.5, -2.0, 3.25], 4).unwrap();
+        ds.push(&[0.0, 0.5, -0.5], 0).unwrap();
+        ds
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let ds = toy();
+        let bytes = to_bytes(&ds);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_dataset() {
+        let ds = Dataset::new(4, 9).unwrap();
+        let back = from_bytes(&to_bytes(&ds)).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.feature_dim(), 4);
+        assert_eq!(back.num_classes(), 9);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = to_bytes(&toy()).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(DataError::Corrupt { what: "bad magic" })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = to_bytes(&toy());
+        assert!(from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(from_bytes(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let ds = toy();
+        let mut bytes = to_bytes(&ds).to_vec();
+        // Patch the first label (immediately after the feature block).
+        let label_off = 24 + ds.len() * ds.feature_dim() * 4;
+        bytes[label_off..label_off + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(DataError::Corrupt { what: "label out of range" })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("airchitect-data-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.aids");
+        let ds = toy();
+        save(&ds, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

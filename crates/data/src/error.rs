@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by dataset construction, splitting, or (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Feature dimension was zero or a row had the wrong width.
+    BadFeatureDim {
+        /// Expected feature count.
+        expected: usize,
+        /// Provided feature count.
+        got: usize,
+    },
+    /// Class count was zero or a label was out of range.
+    BadLabel {
+        /// Number of classes in the dataset.
+        classes: u32,
+        /// The offending label.
+        label: u32,
+    },
+    /// A split ratio set did not sum to 1 (within tolerance) or contained
+    /// a non-positive entry.
+    BadSplit,
+    /// The binary codec encountered a malformed buffer.
+    Corrupt {
+        /// Human readable description of what failed to parse.
+        what: &'static str,
+    },
+    /// An I/O error wrapped as a string (keeps the type `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::BadFeatureDim { expected, got } => {
+                write!(f, "expected {expected} features, got {got}")
+            }
+            DataError::BadLabel { classes, label } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            DataError::BadSplit => write!(f, "split fractions must be positive and sum to 1"),
+            DataError::Corrupt { what } => write!(f, "corrupt dataset buffer: {what}"),
+            DataError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}

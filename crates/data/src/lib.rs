@@ -1,0 +1,38 @@
+//! Labeled-dataset plumbing shared by the DSE generators and the ML stack.
+//!
+//! The paper converts DSE into a classification problem: inputs are small
+//! integer vectors (workload dimensions plus design constraints), outputs are
+//! config-ID labels in a quantized output space. This crate provides the
+//! containers and feature transforms both sides agree on:
+//!
+//! * [`Dataset`] — row-major feature matrix + labels + class count,
+//! * [`split`] — seeded train/validation/test splits (the paper's 80:10:10),
+//! * [`quantize`] — per-feature transforms: log2 binning for the embedding
+//!   front-end and z-score normalization for the raw-feature baselines,
+//! * [`codec`] — a compact self-describing binary format so generated
+//!   datasets can be cached on disk (no serde_json dependency needed).
+//!
+//! # Example
+//!
+//! ```
+//! use airchitect_data::Dataset;
+//!
+//! let mut ds = Dataset::new(2, 3)?;
+//! ds.push(&[1.0, 2.0], 0)?;
+//! ds.push(&[3.0, 4.0], 2)?;
+//! assert_eq!(ds.len(), 2);
+//! assert_eq!(ds.row(1), &[3.0, 4.0]);
+//! # Ok::<(), airchitect_data::DataError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+
+pub mod codec;
+pub mod quantize;
+pub mod split;
+
+pub use dataset::Dataset;
+pub use error::DataError;

@@ -1,0 +1,251 @@
+//! Seeded dataset splits (the paper trains with an 80:10:10
+//! train/validation/test split).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{DataError, Dataset};
+
+/// A three-way split of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training partition.
+    pub train: Dataset,
+    /// Validation partition.
+    pub validation: Dataset,
+    /// Held-out test partition.
+    pub test: Dataset,
+}
+
+/// Splits `dataset` into train/validation/test partitions with the given
+/// fractions, shuffling with a seeded RNG for reproducibility.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadSplit`] if any fraction is negative or the
+/// fractions do not sum to 1 (±1e-6).
+///
+/// # Example
+///
+/// ```
+/// use airchitect_data::{split, Dataset};
+///
+/// let mut ds = Dataset::new(1, 2)?;
+/// for i in 0..100 {
+///     ds.push(&[i as f32], (i % 2) as u32)?;
+/// }
+/// let s = split::train_val_test(&ds, 0.8, 0.1, 0.1, 42)?;
+/// assert_eq!(s.train.len(), 80);
+/// assert_eq!(s.validation.len(), 10);
+/// assert_eq!(s.test.len(), 10);
+/// # Ok::<(), airchitect_data::DataError>(())
+/// ```
+pub fn train_val_test(
+    dataset: &Dataset,
+    train: f64,
+    validation: f64,
+    test: f64,
+    seed: u64,
+) -> Result<Split, DataError> {
+    if train < 0.0 || validation < 0.0 || test < 0.0 {
+        return Err(DataError::BadSplit);
+    }
+    if (train + validation + test - 1.0).abs() > 1e-6 {
+        return Err(DataError::BadSplit);
+    }
+    let n = dataset.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+
+    let n_train = (n as f64 * train).round() as usize;
+    let n_val = (n as f64 * validation).round() as usize;
+    let n_train = n_train.min(n);
+    let n_val = n_val.min(n - n_train);
+
+    Ok(Split {
+        train: dataset.select(&idx[..n_train]),
+        validation: dataset.select(&idx[n_train..n_train + n_val]),
+        test: dataset.select(&idx[n_train + n_val..]),
+    })
+}
+
+/// Convenience: the paper's 80:10:10 split.
+///
+/// # Errors
+///
+/// Propagates [`DataError::BadSplit`] (cannot occur for these constants).
+pub fn paper_split(dataset: &Dataset, seed: u64) -> Result<Split, DataError> {
+    train_val_test(dataset, 0.8, 0.1, 0.1, seed)
+}
+
+/// Stratified three-way split: each class's rows are shuffled and divided by
+/// the given fractions independently, so rare classes keep (approximate)
+/// representation in every partition.
+///
+/// For the long-tailed label distributions of case studies 2 and 3 (most
+/// config IDs appear a handful of times), a plain random split can leave
+/// whole classes absent from validation/test; stratification removes that
+/// source of evaluation noise.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadSplit`] under the same conditions as
+/// [`train_val_test`].
+pub fn stratified(
+    dataset: &Dataset,
+    train: f64,
+    validation: f64,
+    test: f64,
+    seed: u64,
+) -> Result<Split, DataError> {
+    if train < 0.0 || validation < 0.0 || test < 0.0 {
+        return Err(DataError::BadSplit);
+    }
+    if (train + validation + test - 1.0).abs() > 1e-6 {
+        return Err(DataError::BadSplit);
+    }
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes() as usize];
+    for i in 0..dataset.len() {
+        by_class[dataset.label(i) as usize].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut tr, mut va, mut te) = (Vec::new(), Vec::new(), Vec::new());
+    for rows in by_class.iter_mut() {
+        rows.shuffle(&mut rng);
+        let n = rows.len();
+        let n_train = (n as f64 * train).round() as usize;
+        let n_val = ((n as f64 * validation).round() as usize).min(n - n_train.min(n));
+        let n_train = n_train.min(n);
+        tr.extend_from_slice(&rows[..n_train]);
+        va.extend_from_slice(&rows[n_train..n_train + n_val]);
+        te.extend_from_slice(&rows[n_train + n_val..]);
+    }
+    // Shuffle partitions so per-class blocks don't survive into batching.
+    tr.shuffle(&mut rng);
+    va.shuffle(&mut rng);
+    te.shuffle(&mut rng);
+    Ok(Split {
+        train: dataset.select(&tr),
+        validation: dataset.select(&va),
+        test: dataset.select(&te),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut ds = Dataset::new(1, 10).unwrap();
+        for i in 0..n {
+            ds.push(&[i as f32], (i % 10) as u32).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn partitions_cover_everything_once() {
+        let ds = toy(103);
+        let s = paper_split(&ds, 1).unwrap();
+        assert_eq!(s.train.len() + s.validation.len() + s.test.len(), 103);
+        // Recover the multiset of features.
+        let mut all: Vec<i64> = s
+            .train
+            .features()
+            .iter()
+            .chain(s.validation.features())
+            .chain(s.test.features())
+            .map(|&v| v as i64)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn same_seed_same_split() {
+        let ds = toy(50);
+        let a = paper_split(&ds, 7).unwrap();
+        let b = paper_split(&ds, 7).unwrap();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seed_different_split() {
+        let ds = toy(50);
+        let a = paper_split(&ds, 7).unwrap();
+        let b = paper_split(&ds, 8).unwrap();
+        assert_ne!(a.train, b.train);
+    }
+
+    #[test]
+    fn bad_fractions_rejected() {
+        let ds = toy(10);
+        assert!(matches!(
+            train_val_test(&ds, 0.5, 0.5, 0.5, 0),
+            Err(DataError::BadSplit)
+        ));
+        assert!(matches!(
+            train_val_test(&ds, -0.1, 0.6, 0.5, 0),
+            Err(DataError::BadSplit)
+        ));
+    }
+
+    #[test]
+    fn stratified_preserves_class_representation() {
+        // 4 classes with 20 rows each: an 80:10:10 stratified split must put
+        // every class into every partition.
+        let mut ds = Dataset::new(1, 4).unwrap();
+        for i in 0..80 {
+            ds.push(&[i as f32], (i % 4) as u32).unwrap();
+        }
+        let s = stratified(&ds, 0.8, 0.1, 0.1, 5).unwrap();
+        assert_eq!(s.train.len() + s.validation.len() + s.test.len(), 80);
+        for part in [&s.train, &s.validation, &s.test] {
+            let hist = part.label_histogram();
+            assert!(
+                hist.iter().all(|&c| c > 0),
+                "a class is missing from a partition: {hist:?}"
+            );
+        }
+        // Train is balanced exactly (16 per class).
+        assert_eq!(s.train.label_histogram(), vec![16; 4]);
+    }
+
+    #[test]
+    fn stratified_covers_everything_once() {
+        let ds = toy(57);
+        let s = stratified(&ds, 0.6, 0.2, 0.2, 9).unwrap();
+        let mut all: Vec<i64> = s
+            .train
+            .features()
+            .iter()
+            .chain(s.validation.features())
+            .chain(s.test.features())
+            .map(|&v| v as i64)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..57).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn stratified_is_deterministic() {
+        let ds = toy(40);
+        let a = stratified(&ds, 0.8, 0.1, 0.1, 3).unwrap();
+        let b = stratified(&ds, 0.8, 0.1, 0.1, 3).unwrap();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn split_shuffles() {
+        let ds = toy(100);
+        let s = paper_split(&ds, 3).unwrap();
+        // The first 80 rows in order would be 0..80; a shuffle makes that
+        // astronomically unlikely.
+        let first: Vec<i64> = s.train.features().iter().map(|&v| v as i64).collect();
+        assert_ne!(first, (0..80).collect::<Vec<i64>>());
+    }
+}

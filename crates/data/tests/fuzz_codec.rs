@@ -1,0 +1,54 @@
+//! Failure injection: the dataset codec must reject arbitrary and mutated
+//! bytes with an error — never panic, never mis-parse silently.
+
+use airchitect_data::{codec, Dataset};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = codec::from_bytes(&bytes);
+    }
+
+    /// Single-byte corruptions of a valid buffer either fail cleanly or
+    /// decode to a structurally valid dataset (flipping a feature byte is
+    /// legitimately undetectable — but labels and headers must stay sound).
+    #[test]
+    fn mutated_buffers_fail_cleanly(
+        flip_at in 0usize..200,
+        xor in 1u8..=255,
+    ) {
+        let mut ds = Dataset::new(3, 7).expect("valid dims");
+        for i in 0..10 {
+            ds.push(&[i as f32, 2.0 * i as f32, -1.0], (i % 7) as u32)
+                .expect("valid row");
+        }
+        let mut bytes = codec::to_bytes(&ds).to_vec();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= xor;
+        match codec::from_bytes(&bytes) {
+            Err(_) => {} // clean rejection
+            Ok(decoded) => {
+                // Structural invariants must hold even for accepted mutants.
+                prop_assert_eq!(decoded.feature_dim(), 3);
+                prop_assert!(decoded.num_classes() >= 1);
+                for i in 0..decoded.len() {
+                    prop_assert!(decoded.label(i) < decoded.num_classes());
+                }
+            }
+        }
+    }
+
+    /// Truncations at every length fail cleanly.
+    #[test]
+    fn every_truncation_fails_cleanly(keep_frac in 0.0f64..1.0) {
+        let mut ds = Dataset::new(2, 3).expect("valid dims");
+        for i in 0..5 {
+            ds.push(&[i as f32, 1.0], i % 3).expect("valid row");
+        }
+        let bytes = codec::to_bytes(&ds);
+        let keep = ((bytes.len() - 1) as f64 * keep_frac) as usize;
+        prop_assert!(codec::from_bytes(&bytes[..keep]).is_err());
+    }
+}

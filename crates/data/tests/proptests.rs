@@ -1,0 +1,95 @@
+//! Property-based tests for dataset plumbing: codec roundtrips, split
+//! integrity, quantizer monotonicity.
+
+use airchitect_data::quantize::{Log2Binner, Normalizer};
+use airchitect_data::{codec, split, Dataset};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..=6, 2u32..=20, 0usize..=80).prop_flat_map(|(dim, classes, rows)| {
+        (
+            proptest::collection::vec(
+                (proptest::collection::vec(-1e6f32..1e6, dim), 0..classes),
+                rows,
+            ),
+            Just(dim),
+            Just(classes),
+        )
+            .prop_map(|(data, dim, classes)| {
+                let mut ds = Dataset::new(dim, classes).expect("valid dims");
+                for (row, label) in data {
+                    ds.push(&row, label).expect("valid row");
+                }
+                ds
+            })
+    })
+}
+
+proptest! {
+    /// Serialize/deserialize is the identity.
+    #[test]
+    fn codec_roundtrip(ds in arb_dataset()) {
+        let back = codec::from_bytes(&codec::to_bytes(&ds)).expect("well-formed");
+        prop_assert_eq!(ds, back);
+    }
+
+    /// Any truncation of a valid buffer is rejected, never mis-parsed.
+    #[test]
+    fn codec_rejects_truncations(ds in arb_dataset(), cut in 1usize..=32) {
+        let bytes = codec::to_bytes(&ds);
+        prop_assume!(bytes.len() > cut);
+        prop_assert!(codec::from_bytes(&bytes[..bytes.len() - cut]).is_err());
+    }
+
+    /// Splits partition the rows: sizes add up and every (row, label) pair
+    /// appears exactly as often as in the source.
+    #[test]
+    fn split_partitions_rows(ds in arb_dataset(), seed in 0u64..1000) {
+        prop_assume!(ds.len() >= 3);
+        let s = split::train_val_test(&ds, 0.6, 0.2, 0.2, seed).expect("valid fractions");
+        prop_assert_eq!(
+            s.train.len() + s.validation.len() + s.test.len(),
+            ds.len()
+        );
+        let collect = |d: &Dataset, out: &mut Vec<(Vec<u32>, u32)>| {
+            for i in 0..d.len() {
+                out.push((d.row(i).iter().map(|f| f.to_bits()).collect(), d.label(i)));
+            }
+        };
+        let mut original = Vec::new();
+        collect(&ds, &mut original);
+        let mut recombined = Vec::new();
+        collect(&s.train, &mut recombined);
+        collect(&s.validation, &mut recombined);
+        collect(&s.test, &mut recombined);
+        original.sort();
+        recombined.sort();
+        prop_assert_eq!(original, recombined);
+    }
+
+    /// Log2 binning is monotone and stays inside the vocabulary.
+    #[test]
+    fn binner_monotone_and_bounded(
+        a in 0f32..1e9, b in 0f32..1e9,
+        bins in 1u32..=8, vocab in 1u32..=128,
+    ) {
+        let q = Log2Binner::new(bins, vocab);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.bin(lo) <= q.bin(hi));
+        prop_assert!(q.bin(hi) < vocab);
+    }
+
+    /// Normalized columns have |mean| ~ 0 (when the column varies).
+    #[test]
+    fn normalizer_centers_columns(values in proptest::collection::vec(-1e3f32..1e3, 4..60)) {
+        let mut ds = Dataset::new(1, 2).expect("valid dims");
+        for &v in &values {
+            ds.push(&[v], 0).expect("valid row");
+        }
+        let nz = Normalizer::fit(&ds);
+        nz.apply(&mut ds);
+        let mean: f64 = ds.features().iter().map(|&v| v as f64).sum::<f64>()
+            / ds.len() as f64;
+        prop_assert!(mean.abs() < 1e-2, "mean {mean}");
+    }
+}

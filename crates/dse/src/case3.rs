@@ -1,0 +1,280 @@
+//! Case study 3: multi-array scheduling.
+//!
+//! Input space (paper Fig. 8a): 12 integers — `M`, `N`, `K` for each of the
+//! four workloads. Output space: the 1944 [`Case3Space`] labels (workload
+//! permutation × per-array dataflow). Ground truth: minimum makespan on the
+//! heterogeneous 4-array system, tie-broken by minimum energy (paper: "lowest
+//! runtime and consumes least energy"), then by lower label.
+
+use airchitect_data::Dataset;
+use airchitect_sim::multi::{MultiArraySystem, Schedule, ScheduleCost};
+use airchitect_workload::distribution::CnnWorkloadSampler;
+use airchitect_workload::GemmWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::space::Case3Space;
+use crate::SearchResult;
+
+/// The case-study-3 optimization problem: a fixed heterogeneous system plus
+/// the schedule output space.
+#[derive(Debug, Clone)]
+pub struct Case3Problem {
+    system: MultiArraySystem,
+    space: Case3Space,
+}
+
+impl Case3Problem {
+    /// The paper's setup: the 4-array heterogeneous system and its
+    /// 1944-label schedule space.
+    pub fn new() -> Self {
+        Self {
+            system: MultiArraySystem::heterogeneous_4(),
+            space: Case3Space::paper(),
+        }
+    }
+
+    /// A custom system; the space is derived from the array count.
+    pub fn with_system(system: MultiArraySystem) -> Self {
+        let space = Case3Space::new(system.len());
+        Self { system, space }
+    }
+
+    /// The system being scheduled.
+    pub fn system(&self) -> &MultiArraySystem {
+        &self.system
+    }
+
+    /// The problem's output space.
+    pub fn space(&self) -> &Case3Space {
+        &self.space
+    }
+
+    /// Cost of the schedule denoted by `label`, or `None` for out-of-space
+    /// labels.
+    pub fn cost_of(&self, workloads: &[GemmWorkload], label: u32) -> Option<ScheduleCost> {
+        let (perm, dfs) = self.space.decode(label)?;
+        let sched = Schedule::new(&perm, &dfs);
+        self.system.evaluate(workloads, &sched).ok()
+    }
+
+    /// Exhaustively searches all schedules for the (makespan, energy)-optimal
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len()` differs from the system's array count.
+    pub fn search(&self, workloads: &[GemmWorkload]) -> SearchResult {
+        assert_eq!(
+            workloads.len(),
+            self.system.len(),
+            "need exactly one workload per array"
+        );
+        let mut best: Option<(u32, ScheduleCost)> = None;
+        let mut evals = 0u64;
+        for label in 0..self.space.len() as u32 {
+            let cost = self
+                .cost_of(workloads, label)
+                .expect("all labels decode for matching workload count");
+            evals += 1;
+            best = Some(match best {
+                None => (label, cost),
+                Some(b) => {
+                    if cost.better_than(&b.1) {
+                        (label, cost)
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let (label, cost) = best.expect("space is non-empty");
+        SearchResult {
+            label,
+            cost: cost.makespan,
+            evaluations: evals,
+        }
+    }
+
+    /// Normalized performance of a predicted label:
+    /// `optimal_makespan / predicted_makespan`, in `[0, 1]`.
+    pub fn normalized_performance(&self, workloads: &[GemmWorkload], predicted: u32) -> f64 {
+        let best = self.search(workloads).cost;
+        match self.cost_of(workloads, predicted) {
+            Some(c) => best as f64 / c.makespan as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Feature vector: the 12 workload dimensions in workload order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len() != 4`.
+    pub fn features(workloads: &[GemmWorkload]) -> [f32; 12] {
+        assert_eq!(workloads.len(), 4, "the paper's CS3 uses 4 workloads");
+        let mut f = [0f32; 12];
+        for (i, wl) in workloads.iter().enumerate() {
+            f[i * 3] = wl.m() as f32;
+            f[i * 3 + 1] = wl.n() as f32;
+            f[i * 3 + 2] = wl.k() as f32;
+        }
+        f
+    }
+
+    /// Reconstructs the workload list from a feature row produced by
+    /// [`Case3Problem::features`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row does not encode 4 valid workloads.
+    pub fn from_features(row: &[f32]) -> Vec<GemmWorkload> {
+        assert!(row.len() >= 12, "CS3 feature rows have 12 entries");
+        (0..4)
+            .map(|i| {
+                GemmWorkload::new(
+                    row[i * 3] as u64,
+                    row[i * 3 + 1] as u64,
+                    row[i * 3 + 2] as u64,
+                )
+                .expect("feature rows encode valid workloads")
+            })
+            .collect()
+    }
+}
+
+impl Default for Case3Problem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Configuration for [`generate_dataset`].
+#[derive(Debug, Clone)]
+pub struct Case3DatasetSpec {
+    /// Number of labeled samples.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Case3DatasetSpec {
+    fn default() -> Self {
+        Self {
+            samples: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a labeled dataset of scheduling optima.
+pub fn generate_dataset(problem: &Case3Problem, spec: &Case3DatasetSpec) -> Dataset {
+    let sampler = CnnWorkloadSampler::new();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut ds = Dataset::new(12, problem.space().len() as u32)
+        .expect("space is non-empty and feature dim is 12");
+    for _ in 0..spec.samples {
+        let workloads = sampler.sample_many(4, &mut rng);
+        let result = problem.search(&workloads);
+        ds.push(&Case3Problem::features(&workloads), result.label)
+            .expect("search labels are within the space");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workloads() -> Vec<GemmWorkload> {
+        vec![
+            GemmWorkload::new(2048, 512, 1024).unwrap(),
+            GemmWorkload::new(64, 64, 64).unwrap(),
+            GemmWorkload::new(1024, 32, 512).unwrap(),
+            GemmWorkload::new(196, 512, 256).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn search_evaluates_full_space() {
+        let p = Case3Problem::new();
+        let r = p.search(&workloads());
+        assert_eq!(r.evaluations, 1944);
+    }
+
+    #[test]
+    fn search_is_optimal() {
+        let p = Case3Problem::new();
+        let wls = workloads();
+        let r = p.search(&wls);
+        for label in 0..p.space().len() as u32 {
+            let c = p.cost_of(&wls, label).unwrap();
+            assert!(
+                !c.better_than(&p.cost_of(&wls, r.label).unwrap()),
+                "label {label} beats the search"
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_performance_of_optimum_is_one() {
+        let p = Case3Problem::new();
+        let wls = workloads();
+        let r = p.search(&wls);
+        assert!((p.normalized_performance(&wls, r.label) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_schedule_scores_below_one() {
+        let p = Case3Problem::new();
+        let wls = workloads();
+        let mut worst = (0u32, 1.0f64);
+        for label in (0..1944).step_by(97) {
+            let perf = p.normalized_performance(&wls, label);
+            if perf < worst.1 {
+                worst = (label, perf);
+            }
+        }
+        assert!(worst.1 < 1.0, "some schedule must be suboptimal");
+    }
+
+    #[test]
+    fn features_roundtrip() {
+        let wls = workloads();
+        let f = Case3Problem::features(&wls);
+        assert_eq!(Case3Problem::from_features(&f), wls);
+    }
+
+    #[test]
+    fn three_array_system_searches_its_162_label_space() {
+        // The paper's Fig. 4 sketch: 3 arrays => 3^3 · 3! = 162 schedules.
+        let p = Case3Problem::with_system(
+            airchitect_sim::multi::MultiArraySystem::heterogeneous_3(),
+        );
+        assert_eq!(p.space().len(), 162);
+        let wls = vec![
+            GemmWorkload::new(1024, 512, 256).unwrap(),
+            GemmWorkload::new(64, 64, 64).unwrap(),
+            GemmWorkload::new(8, 8, 8).unwrap(),
+        ];
+        let r = p.search(&wls);
+        assert_eq!(r.evaluations, 162);
+        // The big workload must land on the big (first) array.
+        let (perm, _) = p.space().decode(r.label).unwrap();
+        assert_eq!(perm[0], 0, "monolithic array should take the big GEMM");
+    }
+
+    #[test]
+    fn dataset_generation_is_reproducible() {
+        let p = Case3Problem::new();
+        let spec = Case3DatasetSpec {
+            samples: 5,
+            seed: 2,
+        };
+        let a = generate_dataset(&p, &spec);
+        let b = generate_dataset(&p, &spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.num_classes(), 1944);
+    }
+}

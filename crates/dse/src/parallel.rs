@@ -1,0 +1,144 @@
+//! Multi-threaded dataset generation.
+//!
+//! Search-labeling is embarrassingly parallel: every sample is an
+//! independent (sample workload → exhaustive search) task. On multi-core
+//! machines this cuts the offline cost of Fig. 1(b)'s "Step 3" nearly
+//! linearly; on the single-core reference machine it degrades gracefully to
+//! the sequential path.
+//!
+//! Determinism: each worker owns an RNG seeded from `(seed, worker index)`
+//! and a fixed slice of the sample budget, and shards are concatenated in
+//! worker order — so output is a pure function of `(spec, threads)`.
+//! (It differs from the sequential generator's stream for the same seed;
+//! pick one generator per experiment.)
+
+use airchitect_data::Dataset;
+use airchitect_workload::distribution::CnnWorkloadSampler;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::case1::{Case1DatasetSpec, Case1Problem};
+
+/// Generates a case-study-1 dataset on `threads` worker threads.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+pub fn generate_case1_parallel(
+    problem: &Case1Problem,
+    spec: &Case1DatasetSpec,
+    threads: usize,
+) -> Dataset {
+    assert!(threads > 0, "need at least one thread");
+    let (lo, hi) = spec.budget_log2_range;
+    assert!(lo >= 2, "budgets below 2^2 admit no shapes");
+    assert!(hi >= lo, "budget range is inverted");
+
+    let per_worker = split_evenly(spec.samples, threads);
+    let shards: Vec<Dataset> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = per_worker
+            .iter()
+            .enumerate()
+            .map(|(worker, &count)| {
+                scope.spawn(move |_| {
+                    let sampler = CnnWorkloadSampler::new();
+                    let mut rng = StdRng::seed_from_u64(
+                        spec.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut shard = Dataset::new(4, problem.space().len() as u32)
+                        .expect("space is non-empty");
+                    for _ in 0..count {
+                        let wl = sampler.sample(&mut rng);
+                        let budget = 1u64 << rng.random_range(lo..=hi);
+                        let result = problem.search(&wl, budget);
+                        shard
+                            .push(&Case1Problem::features(&wl, budget), result.label)
+                            .expect("search labels are within the space");
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut out = Dataset::new(4, problem.space().len() as u32).expect("space is non-empty");
+    for shard in shards {
+        for i in 0..shard.len() {
+            out.push(shard.row(i), shard.label(i))
+                .expect("shards share the schema");
+        }
+    }
+    out
+}
+
+/// Splits `total` into `parts` chunks whose sizes differ by at most one.
+fn split_evenly(total: usize, parts: usize) -> Vec<usize> {
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts)
+        .map(|i| base + usize::from(i < extra))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_evenly_is_fair_and_complete() {
+        assert_eq!(split_evenly(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_evenly(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(split_evenly(0, 2), vec![0, 0]);
+        for (t, p) in [(17usize, 5usize), (100, 7), (3, 3)] {
+            let s = split_evenly(t, p);
+            assert_eq!(s.iter().sum::<usize>(), t);
+            assert!(s.iter().max().unwrap() - s.iter().min().unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn parallel_generation_is_deterministic_per_thread_count() {
+        let problem = Case1Problem::new(1 << 9);
+        let spec = Case1DatasetSpec {
+            samples: 60,
+            budget_log2_range: (5, 9),
+            seed: 5,
+        };
+        let a = generate_case1_parallel(&problem, &spec, 3);
+        let b = generate_case1_parallel(&problem, &spec, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 60);
+    }
+
+    #[test]
+    fn parallel_labels_match_fresh_searches() {
+        let problem = Case1Problem::new(1 << 9);
+        let spec = Case1DatasetSpec {
+            samples: 20,
+            budget_log2_range: (5, 9),
+            seed: 8,
+        };
+        let ds = generate_case1_parallel(&problem, &spec, 2);
+        for i in 0..ds.len() {
+            let (wl, budget) = Case1Problem::from_features(ds.row(i));
+            assert_eq!(ds.label(i), problem.search(&wl, budget).label);
+        }
+    }
+
+    #[test]
+    fn one_thread_still_works() {
+        let problem = Case1Problem::new(1 << 8);
+        let spec = Case1DatasetSpec {
+            samples: 10,
+            budget_log2_range: (5, 8),
+            seed: 1,
+        };
+        let ds = generate_case1_parallel(&problem, &spec, 1);
+        assert_eq!(ds.len(), 10);
+    }
+}

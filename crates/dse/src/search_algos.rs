@@ -1,0 +1,604 @@
+//! Sampling-based search baselines: random search, hill climbing, and a
+//! genetic algorithm over the case-study-1 space.
+//!
+//! The paper positions AIrchitect against two families of prior work: cost
+//! regressors that speed up each evaluation, and ML-guided *search* methods
+//! (GAMMA's genetic algorithm, ConfuciuX's RL) that reduce how many
+//! evaluations a query needs. This module implements that second family so
+//! the reproduction can quantify the trade-off the paper's Fig. 1 sketches:
+//! any search pays per-query evaluations; the learned recommender pays none.
+//!
+//! All strategies share the [`SearchStrategy`] trait and count their cost
+//! function evaluations, making sample-efficiency directly comparable (see
+//! the `search_methods` bench binary).
+
+use airchitect_sim::{compute, ArrayConfig, Dataflow};
+use airchitect_workload::GemmWorkload;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::case1::Case1Problem;
+use crate::SearchResult;
+
+/// A search method over the case-study-1 configuration space.
+pub trait SearchStrategy {
+    /// Display name for reports.
+    fn name(&self) -> &str;
+
+    /// Finds a (hopefully optimal) configuration for `workload` within
+    /// `mac_budget`, reporting the label, its cost, and evaluations spent.
+    fn search(
+        &mut self,
+        problem: &Case1Problem,
+        workload: &GemmWorkload,
+        mac_budget: u64,
+    ) -> SearchResult;
+}
+
+/// A genome: power-of-two exponents for rows/cols plus a dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Genome {
+    row_exp: u32,
+    col_exp: u32,
+    dataflow: Dataflow,
+}
+
+impl Genome {
+    /// Clamps the genome into the feasible region `row+col <= budget_log2`,
+    /// shrinking the larger exponent first.
+    fn repair(mut self, budget_log2: u32) -> Genome {
+        self.row_exp = self.row_exp.max(1);
+        self.col_exp = self.col_exp.max(1);
+        while self.row_exp + self.col_exp > budget_log2 {
+            if self.row_exp >= self.col_exp && self.row_exp > 1 {
+                self.row_exp -= 1;
+            } else if self.col_exp > 1 {
+                self.col_exp -= 1;
+            } else {
+                break;
+            }
+        }
+        self
+    }
+
+    fn random(rng: &mut StdRng, budget_log2: u32) -> Genome {
+        let row_exp = rng.random_range(1..budget_log2);
+        let col_exp = rng.random_range(1..=(budget_log2 - row_exp).max(1));
+        Genome {
+            row_exp,
+            col_exp,
+            dataflow: Dataflow::from_index(rng.random_range(0..3)).expect("index < 3"),
+        }
+    }
+
+    fn array(&self) -> ArrayConfig {
+        ArrayConfig::new(1 << self.row_exp, 1 << self.col_exp)
+            .expect("exponents >= 1 give non-zero dims")
+    }
+}
+
+fn budget_log2(mac_budget: u64) -> u32 {
+    63 - mac_budget.max(4).leading_zeros()
+}
+
+/// Evaluates a genome's runtime; the returned label comes from the space
+/// codec so results interoperate with the rest of the crate.
+fn evaluate(problem: &Case1Problem, wl: &GemmWorkload, genome: Genome) -> (u32, u64) {
+    let label = problem
+        .space()
+        .encode(genome.array(), genome.dataflow)
+        .expect("repaired genomes stay inside the enumerated space");
+    (label, compute::runtime_cycles(wl, genome.array(), genome.dataflow))
+}
+
+/// Uniform random sampling of the feasible space.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    /// Evaluation budget per query.
+    pub evaluations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SearchStrategy for RandomSearch {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn search(
+        &mut self,
+        problem: &Case1Problem,
+        workload: &GemmWorkload,
+        mac_budget: u64,
+    ) -> SearchResult {
+        let blog = budget_log2(mac_budget);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<(u32, u64)> = None;
+        for _ in 0..self.evaluations {
+            let g = Genome::random(&mut rng, blog).repair(blog);
+            let (label, cost) = evaluate(problem, workload, g);
+            if best.is_none_or(|(_, b)| cost < b) {
+                best = Some((label, cost));
+            }
+        }
+        let (label, cost) = best.expect("at least one evaluation");
+        SearchResult {
+            label,
+            cost,
+            evaluations: self.evaluations as u64,
+        }
+    }
+}
+
+/// Steepest-ascent hill climbing with random restarts.
+///
+/// Neighbors: ±1 on either exponent (budget-respecting) and the two other
+/// dataflows.
+#[derive(Debug, Clone)]
+pub struct HillClimb {
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SearchStrategy for HillClimb {
+    fn name(&self) -> &str {
+        "hill-climb"
+    }
+
+    fn search(
+        &mut self,
+        problem: &Case1Problem,
+        workload: &GemmWorkload,
+        mac_budget: u64,
+    ) -> SearchResult {
+        let blog = budget_log2(mac_budget);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<(u32, u64)> = None;
+        let mut evals = 0u64;
+        for _ in 0..self.restarts.max(1) {
+            let mut current = Genome::random(&mut rng, blog).repair(blog);
+            let (mut cur_label, mut cur_cost) = evaluate(problem, workload, current);
+            evals += 1;
+            loop {
+                let mut neighbors = Vec::with_capacity(6);
+                for (dr, dc) in [(1i32, 0i32), (-1, 0), (0, 1), (0, -1)] {
+                    let r = current.row_exp as i32 + dr;
+                    let c = current.col_exp as i32 + dc;
+                    if r >= 1 && c >= 1 && (r + c) as u32 <= blog {
+                        neighbors.push(Genome {
+                            row_exp: r as u32,
+                            col_exp: c as u32,
+                            ..current
+                        });
+                    }
+                }
+                for df in Dataflow::ALL {
+                    if df != current.dataflow {
+                        neighbors.push(Genome {
+                            dataflow: df,
+                            ..current
+                        });
+                    }
+                }
+                let mut improved = false;
+                for g in neighbors {
+                    let (label, cost) = evaluate(problem, workload, g);
+                    evals += 1;
+                    if cost < cur_cost {
+                        current = g;
+                        cur_label = label;
+                        cur_cost = cost;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+            if best.is_none_or(|(_, b)| cur_cost < b) {
+                best = Some((cur_label, cur_cost));
+            }
+        }
+        let (label, cost) = best.expect("at least one restart");
+        SearchResult {
+            label,
+            cost,
+            evaluations: evals,
+        }
+    }
+}
+
+/// A GAMMA-style genetic algorithm: tournament selection, uniform
+/// crossover over the three genes, ±1-exponent / dataflow mutation.
+#[derive(Debug, Clone)]
+pub struct GeneticSearch {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneticSearch {
+    fn default() -> Self {
+        Self {
+            population: 16,
+            generations: 8,
+            mutation_rate: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+impl SearchStrategy for GeneticSearch {
+    fn name(&self) -> &str {
+        "genetic"
+    }
+
+    fn search(
+        &mut self,
+        problem: &Case1Problem,
+        workload: &GemmWorkload,
+        mac_budget: u64,
+    ) -> SearchResult {
+        let blog = budget_log2(mac_budget);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evals = 0u64;
+
+        let mut population: Vec<(Genome, u32, u64)> = (0..self.population.max(2))
+            .map(|_| {
+                let g = Genome::random(&mut rng, blog).repair(blog);
+                let (label, cost) = evaluate(problem, workload, g);
+                evals += 1;
+                (g, label, cost)
+            })
+            .collect();
+
+        let mut best = population
+            .iter()
+            .min_by_key(|&&(_, _, c)| c)
+            .map(|&(_, l, c)| (l, c))
+            .expect("population is non-empty");
+
+        for _ in 0..self.generations {
+            let mut next = Vec::with_capacity(population.len());
+            while next.len() < population.len() {
+                let pick = |rng: &mut StdRng| {
+                    let a = rng.random_range(0..population.len());
+                    let b = rng.random_range(0..population.len());
+                    if population[a].2 <= population[b].2 {
+                        population[a].0
+                    } else {
+                        population[b].0
+                    }
+                };
+                let (pa, pb) = (pick(&mut rng), pick(&mut rng));
+                let mut child = Genome {
+                    row_exp: if rng.random::<bool>() { pa.row_exp } else { pb.row_exp },
+                    col_exp: if rng.random::<bool>() { pa.col_exp } else { pb.col_exp },
+                    dataflow: if rng.random::<bool>() {
+                        pa.dataflow
+                    } else {
+                        pb.dataflow
+                    },
+                };
+                if rng.random::<f64>() < self.mutation_rate {
+                    child.row_exp = (child.row_exp as i32 + if rng.random::<bool>() { 1 } else { -1 })
+                        .max(1) as u32;
+                }
+                if rng.random::<f64>() < self.mutation_rate {
+                    child.col_exp = (child.col_exp as i32 + if rng.random::<bool>() { 1 } else { -1 })
+                        .max(1) as u32;
+                }
+                if rng.random::<f64>() < self.mutation_rate {
+                    child.dataflow =
+                        Dataflow::from_index(rng.random_range(0..3)).expect("index < 3");
+                }
+                let child = child.repair(blog);
+                let (label, cost) = evaluate(problem, workload, child);
+                evals += 1;
+                if cost < best.1 {
+                    best = (label, cost);
+                }
+                next.push((child, label, cost));
+            }
+            population = next;
+        }
+        SearchResult {
+            label: best.0,
+            cost: best.1,
+            evaluations: evals,
+        }
+    }
+}
+
+/// GAMMA-style genetic algorithm over the case-study-3 schedule space:
+/// order-crossover on the workload permutation, uniform crossover plus
+/// random-resetting mutation on the per-array dataflows. This is where
+/// sampling search genuinely matters — CS3's exhaustive search visits
+/// 1944 schedules, each simulating every array.
+#[derive(Debug, Clone)]
+pub struct Case3GeneticSearch {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Case3GeneticSearch {
+    fn default() -> Self {
+        Self {
+            population: 24,
+            generations: 10,
+            mutation_rate: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+impl Case3GeneticSearch {
+    /// Searches the schedule space for `workloads`, counting evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len()` differs from the problem's array count.
+    pub fn search(
+        &mut self,
+        problem: &crate::case3::Case3Problem,
+        workloads: &[GemmWorkload],
+    ) -> SearchResult {
+        use airchitect_sim::multi::ScheduleCost;
+        let arrays = problem.system().len();
+        assert_eq!(workloads.len(), arrays, "one workload per array");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evals = 0u64;
+
+        let eval_genome = |perm: &[usize], dfs: &[Dataflow], evals: &mut u64| {
+            let label = problem
+                .space()
+                .encode(perm, dfs)
+                .expect("valid permutations encode");
+            *evals += 1;
+            let cost = problem
+                .cost_of(workloads, label)
+                .expect("encoded labels decode");
+            (label, cost)
+        };
+
+        let random_genome = |rng: &mut StdRng| {
+            let mut perm: Vec<usize> = (0..arrays).collect();
+            // Fisher-Yates.
+            for i in (1..arrays).rev() {
+                perm.swap(i, rng.random_range(0..=i));
+            }
+            let dfs: Vec<Dataflow> = (0..arrays)
+                .map(|_| Dataflow::from_index(rng.random_range(0..3)).expect("index < 3"))
+                .collect();
+            (perm, dfs)
+        };
+
+        type Individual = (Vec<usize>, Vec<Dataflow>, u32, ScheduleCost);
+        let mut population: Vec<Individual> = (0..self.population.max(2))
+            .map(|_| {
+                let (perm, dfs) = random_genome(&mut rng);
+                let (label, cost) = eval_genome(&perm, &dfs, &mut evals);
+                (perm, dfs, label, cost)
+            })
+            .collect();
+
+        let mut best: (u32, ScheduleCost) = population
+            .iter()
+            .map(|&(_, _, l, c)| (l, c))
+            .reduce(|a, b| if b.1.better_than(&a.1) { b } else { a })
+            .expect("population is non-empty");
+
+        for _ in 0..self.generations {
+            let mut next: Vec<Individual> = Vec::with_capacity(population.len());
+            while next.len() < population.len() {
+                let pick = |rng: &mut StdRng| {
+                    let a = rng.random_range(0..population.len());
+                    let b = rng.random_range(0..population.len());
+                    if population[a].3.better_than(&population[b].3) {
+                        (population[a].0.clone(), population[a].1.clone())
+                    } else {
+                        (population[b].0.clone(), population[b].1.clone())
+                    }
+                };
+                let (pa_perm, pa_dfs) = pick(&mut rng);
+                let (pb_perm, pb_dfs) = pick(&mut rng);
+                // Order crossover (OX1): copy a window from parent A, fill
+                // the rest in parent B's order.
+                let lo = rng.random_range(0..arrays);
+                let hi = rng.random_range(lo..arrays);
+                let mut child_perm = vec![usize::MAX; arrays];
+                child_perm[lo..=hi].copy_from_slice(&pa_perm[lo..=hi]);
+                let window: Vec<usize> = child_perm[lo..=hi].to_vec();
+                let mut fill = pb_perm.iter().filter(|w| !window.contains(w));
+                for slot in child_perm.iter_mut() {
+                    if *slot == usize::MAX {
+                        *slot = *fill.next().expect("B supplies the remaining workloads");
+                    }
+                }
+                let mut child_dfs: Vec<Dataflow> = pa_dfs
+                    .iter()
+                    .zip(&pb_dfs)
+                    .map(|(&a, &b)| if rng.random::<bool>() { a } else { b })
+                    .collect();
+                // Mutation: swap two permutation slots; reset dataflows.
+                if rng.random::<f64>() < self.mutation_rate && arrays >= 2 {
+                    let i = rng.random_range(0..arrays);
+                    let j = rng.random_range(0..arrays);
+                    child_perm.swap(i, j);
+                }
+                for df in child_dfs.iter_mut() {
+                    if rng.random::<f64>() < self.mutation_rate {
+                        *df = Dataflow::from_index(rng.random_range(0..3)).expect("index < 3");
+                    }
+                }
+                let (label, cost) = eval_genome(&child_perm, &child_dfs, &mut evals);
+                if cost.better_than(&best.1) {
+                    best = (label, cost);
+                }
+                next.push((child_perm, child_dfs, label, cost));
+            }
+            population = next;
+        }
+        SearchResult {
+            label: best.0,
+            cost: best.1.makespan,
+            evaluations: evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl() -> GemmWorkload {
+        GemmWorkload::new(300, 120, 90).unwrap()
+    }
+
+    #[test]
+    fn genome_repair_respects_budget() {
+        let g = Genome {
+            row_exp: 9,
+            col_exp: 9,
+            dataflow: Dataflow::Os,
+        }
+        .repair(10);
+        assert!(g.row_exp + g.col_exp <= 10);
+        assert!(g.row_exp >= 1 && g.col_exp >= 1);
+    }
+
+    #[test]
+    fn all_strategies_return_feasible_optimizable_labels() {
+        let problem = Case1Problem::new(1 << 10);
+        let budget = 1 << 10;
+        let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+            Box::new(RandomSearch {
+                evaluations: 30,
+                seed: 1,
+            }),
+            Box::new(HillClimb {
+                restarts: 3,
+                seed: 1,
+            }),
+            Box::new(GeneticSearch::default()),
+        ];
+        let optimum = problem.search(&wl(), budget).cost;
+        for mut s in strategies {
+            let r = s.search(&problem, &wl(), budget);
+            let (array, _) = problem.space().decode(r.label).unwrap();
+            assert!(array.macs() <= budget, "{} over budget", s.name());
+            assert!(r.cost >= optimum, "{} beat the exhaustive optimum?!", s.name());
+            assert!(r.evaluations > 0);
+        }
+    }
+
+    #[test]
+    fn genetic_beats_equal_budget_random_search_on_average() {
+        let problem = Case1Problem::new(1 << 12);
+        let budget = 1 << 12;
+        let mut ga_total = 0u64;
+        let mut rnd_total = 0u64;
+        for seed in 0..10 {
+            let mut ga = GeneticSearch {
+                population: 12,
+                generations: 8,
+                mutation_rate: 0.25,
+                seed,
+            };
+            let rga = ga.search(&problem, &wl(), budget);
+            let mut rnd = RandomSearch {
+                evaluations: rga.evaluations as usize,
+                seed,
+            };
+            let rrnd = rnd.search(&problem, &wl(), budget);
+            ga_total += rga.cost;
+            rnd_total += rrnd.cost;
+        }
+        assert!(
+            ga_total <= rnd_total,
+            "GA ({ga_total}) should not lose to random ({rnd_total}) at equal evals"
+        );
+    }
+
+    #[test]
+    fn hill_climb_converges_to_local_optimum() {
+        // From any start, the returned config must not have a strictly
+        // better neighbor (by construction of the loop); spot-check that
+        // multiple restarts reach the global optimum on a small space.
+        let problem = Case1Problem::new(1 << 8);
+        let budget = 1 << 8;
+        let optimum = problem.search(&wl(), budget).cost;
+        let mut hc = HillClimb {
+            restarts: 8,
+            seed: 3,
+        };
+        let r = hc.search(&problem, &wl(), budget);
+        assert_eq!(r.cost, optimum, "8 restarts should find the global optimum in a 63-point space");
+    }
+
+    #[test]
+    fn case3_ga_finds_near_optimal_schedules_with_fewer_evals() {
+        let problem = crate::case3::Case3Problem::new();
+        let workloads = vec![
+            GemmWorkload::new(2048, 512, 1024).unwrap(),
+            GemmWorkload::new(64, 64, 64).unwrap(),
+            GemmWorkload::new(1024, 32, 512).unwrap(),
+            GemmWorkload::new(196, 512, 256).unwrap(),
+        ];
+        let optimum = problem.search(&workloads);
+        let mut ga = Case3GeneticSearch::default();
+        let r = ga.search(&problem, &workloads);
+        assert!(r.evaluations < optimum.evaluations / 3, "GA must sample far less");
+        assert!(r.cost >= optimum.cost, "GA cannot beat the exhaustive optimum");
+        // Within 20% of the optimal makespan with a quarter of the evals.
+        assert!(
+            (r.cost as f64) <= optimum.cost as f64 * 1.2,
+            "GA makespan {} vs optimum {}",
+            r.cost,
+            optimum.cost
+        );
+        // Its label decodes to a valid permutation schedule.
+        let (perm, _) = problem.space().decode(r.label).unwrap();
+        let mut sorted = perm;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn case3_ga_is_deterministic_per_seed() {
+        let problem = crate::case3::Case3Problem::new();
+        let workloads = vec![
+            GemmWorkload::new(100, 100, 100).unwrap(),
+            GemmWorkload::new(200, 50, 80).unwrap(),
+            GemmWorkload::new(30, 300, 60).unwrap(),
+            GemmWorkload::new(500, 20, 40).unwrap(),
+        ];
+        let mut a = Case3GeneticSearch::default();
+        let mut b = Case3GeneticSearch::default();
+        assert_eq!(a.search(&problem, &workloads), b.search(&problem, &workloads));
+    }
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let problem = Case1Problem::new(1 << 10);
+        let mut a = GeneticSearch::default();
+        let mut b = GeneticSearch::default();
+        assert_eq!(
+            a.search(&problem, &wl(), 1 << 10),
+            b.search(&problem, &wl(), 1 << 10)
+        );
+    }
+}

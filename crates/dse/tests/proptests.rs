@@ -1,0 +1,80 @@
+//! Property-based tests for the output-space codecs and searchers.
+
+use airchitect_dse::case1::Case1Problem;
+use airchitect_dse::space::{scheduling_space_size, Case1Space, Case2Space, Case3Space};
+use airchitect_workload::GemmWorkload;
+use proptest::prelude::*;
+
+proptest! {
+    /// Case-1 labels roundtrip for any budget exponent.
+    #[test]
+    fn case1_labels_roundtrip(budget_log2 in 2u32..=24, label_frac in 0.0f64..1.0) {
+        let space = Case1Space::new(1u64 << budget_log2);
+        prop_assume!(!space.is_empty());
+        let label = ((space.len() - 1) as f64 * label_frac) as u32;
+        let (array, df) = space.decode(label).expect("label < len");
+        prop_assert_eq!(space.encode(array, df), Some(label));
+        prop_assert!(array.macs() <= 1u64 << budget_log2);
+    }
+
+    /// The closed form 3·(n−1)·n/2 matches the enumeration.
+    #[test]
+    fn case1_size_closed_form(budget_log2 in 2u64..=30) {
+        let space = Case1Space::new(1u64 << budget_log2);
+        let expected = 3 * (budget_log2 - 1) * budget_log2 / 2;
+        prop_assert_eq!(space.len() as u64, expected);
+    }
+
+    /// Case-2 labels roundtrip for arbitrary quantizations.
+    #[test]
+    fn case2_labels_roundtrip(step in 1u64..=500, steps in 1u32..=12, label_frac in 0.0f64..1.0) {
+        let space = Case2Space::new(step, steps);
+        let label = ((space.len() - 1) as f64 * label_frac) as u32;
+        let (i, f, o) = space.decode(label).expect("label < len");
+        prop_assert_eq!(space.encode(i, f, o), Some(label));
+        for v in [i, f, o] {
+            prop_assert!(v >= step && v <= step * steps as u64);
+            prop_assert_eq!(v % step, 0);
+        }
+    }
+
+    /// Case-3 labels decode to valid permutations and roundtrip.
+    #[test]
+    fn case3_labels_roundtrip(arrays in 1usize..=5, label_frac in 0.0f64..1.0) {
+        let space = Case3Space::new(arrays);
+        let label = ((space.len() - 1) as f64 * label_frac) as u32;
+        let (perm, dfs) = space.decode(label).expect("label < len");
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..arrays).collect::<Vec<_>>());
+        prop_assert_eq!(dfs.len(), arrays);
+        prop_assert_eq!(space.encode(&perm, &dfs), Some(label));
+    }
+
+    /// Space size matches the paper's 3^x · x! formula.
+    #[test]
+    fn case3_size_matches_formula(arrays in 1usize..=6) {
+        let space = Case3Space::new(arrays);
+        prop_assert_eq!(
+            space.len() as u64,
+            scheduling_space_size(arrays as u32).expect("small x")
+        );
+    }
+
+    /// The search optimum never loses to any individual configuration, and
+    /// relaxing the budget never hurts.
+    #[test]
+    fn case1_search_optimal_and_budget_monotone(
+        m in 1u64..=2048, n in 1u64..=2048, k in 1u64..=2048,
+        budget_log2 in 4u32..=12,
+    ) {
+        let problem = Case1Problem::new(1 << 12);
+        let wl = GemmWorkload::new(m, n, k).expect("dims >= 1");
+        let tight = problem.search(&wl, 1u64 << budget_log2);
+        let loose = problem.search(&wl, 1u64 << (budget_log2 + 2));
+        prop_assert!(loose.cost <= tight.cost, "bigger budget can only help");
+        // Perf of the optimum is exactly 1.
+        let perf = problem.normalized_performance(&wl, 1u64 << budget_log2, tight.label);
+        prop_assert!((perf - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! From-scratch neural-network stack for the AIrchitect reproduction.
+//!
+//! The paper implements its models "in TensorFlow's Keras"; this crate is the
+//! Rust substrate that replaces it. It provides exactly the pieces the paper
+//! needs — nothing more:
+//!
+//! * [`layer`] — [`layer::Dense`], [`layer::Relu`], and the per-feature
+//!   [`layer::Embedding`] front-end that defines AIrchitect (paper Fig. 2),
+//! * [`network`] — a [`network::Sequential`] container with forward/backward,
+//! * [`loss`] — fused softmax + categorical cross-entropy,
+//! * [`optim`] — SGD and Adam,
+//! * [`train`] — seeded minibatch trainer returning per-epoch accuracy
+//!   curves (paper Fig. 10a-c),
+//! * [`metrics`] — accuracy and the geometric mean used for the
+//!   misprediction-penalty analysis (paper Fig. 10g-h),
+//! * [`serialize`] — binary save/load of trained networks.
+//!
+//! # Example: learn XOR
+//!
+//! ```
+//! use airchitect_data::Dataset;
+//! use airchitect_nn::network::Sequential;
+//! use airchitect_nn::train::{fit, TrainConfig};
+//!
+//! let mut ds = Dataset::new(2, 2)?;
+//! for _ in 0..50 {
+//!     ds.push(&[0.0, 0.0], 0)?;
+//!     ds.push(&[0.0, 1.0], 1)?;
+//!     ds.push(&[1.0, 0.0], 1)?;
+//!     ds.push(&[1.0, 1.0], 0)?;
+//! }
+//! let mut net = Sequential::mlp(2, &[16], 2, 7);
+//! let history = fit(&mut net, &ds, None, &TrainConfig { epochs: 200, ..Default::default() })?;
+//! assert!(history.final_train_accuracy() > 0.9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod optim;
+pub mod serialize;
+pub mod train;
+
+/// A trainable parameter tensor: values, accumulated gradients, and the
+/// Adam moment buffers.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Param {
+    /// Parameter values (layout owned by the layer).
+    pub value: Vec<f32>,
+    /// Gradient accumulator, same layout as `value`.
+    pub grad: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Param {
+    /// Wraps initial values into a parameter with zeroed gradients/moments.
+    pub fn new(value: Vec<f32>) -> Self {
+        let n = value.len();
+        Self {
+            value,
+            grad: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.grad {
+            *g = 0.0;
+        }
+    }
+
+}

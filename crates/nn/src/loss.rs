@@ -1,0 +1,100 @@
+//! Fused softmax + categorical cross-entropy (the paper's loss function).
+
+use airchitect_tensor::{ops, Matrix};
+
+/// Computes mean categorical cross-entropy over a batch and the gradient of
+/// the loss w.r.t. the logits.
+///
+/// The gradient of softmax-CE w.r.t. the logits has the famously simple form
+/// `(softmax(logits) − onehot(labels)) / batch`, which is why the two are
+/// fused.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+///
+/// # Example
+///
+/// ```
+/// use airchitect_nn::loss::softmax_cross_entropy;
+/// use airchitect_tensor::Matrix;
+///
+/// // Confident and correct: low loss.
+/// let good = Matrix::from_rows(&[&[10.0, -10.0]]);
+/// let (l_good, _) = softmax_cross_entropy(&good, &[0]);
+/// // Confident and wrong: high loss.
+/// let bad = Matrix::from_rows(&[&[-10.0, 10.0]]);
+/// let (l_bad, _) = softmax_cross_entropy(&bad, &[0]);
+/// assert!(l_good < 0.01 && l_bad > 5.0);
+/// ```
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "one label per logits row required"
+    );
+    let batch = logits.rows();
+    let probs = ops::softmax_rows(logits);
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    for (r, &label) in labels.iter().enumerate() {
+        let label = label as usize;
+        assert!(label < logits.cols(), "label out of range");
+        let p = probs.get(r, label).max(1e-12);
+        loss -= (p as f64).ln();
+        grad.set(r, label, grad.get(r, label) - 1.0);
+    }
+    grad.scale(1.0 / batch as f32);
+    ((loss / batch as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Matrix::zeros(3, 4);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 1.0]]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let sum: f32 = grad.row(r).iter().sum();
+            assert!(sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.1]]);
+        let labels = [1u32];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut plus = logits.clone();
+            plus.set(0, j, plus.get(0, j) + eps);
+            let mut minus = logits.clone();
+            minus.set(0, j, minus.get(0, j) - eps);
+            let (lp, _) = softmax_cross_entropy(&plus, &labels);
+            let (lm, _) = softmax_cross_entropy(&minus, &labels);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.get(0, j)).abs() < 1e-3,
+                "logit {j}: fd {fd} vs analytic {}",
+                grad.get(0, j)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_label() {
+        let logits = Matrix::zeros(1, 2);
+        let _ = softmax_cross_entropy(&logits, &[5]);
+    }
+}

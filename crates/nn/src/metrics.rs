@@ -1,0 +1,110 @@
+//! Evaluation metrics: accuracy and the geometric mean the paper reports for
+//! misprediction penalties (Fig. 10g-h, "99.9% average performance
+//! (Geometric Mean)").
+
+/// Fraction of predictions equal to their labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(predictions: &[u32], labels: &[u32]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty inputs");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Geometric mean of strictly-positive values; zeros are clamped to `floor`
+/// so a single catastrophic outcome (performance 0) cannot send the mean to
+/// zero — matching how the paper reports a finite GeoMean despite a few
+/// catastrophic mispredictions.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `floor` is not positive.
+pub fn geometric_mean(values: &[f64], floor: f64) -> f64 {
+    assert!(!values.is_empty(), "empty inputs");
+    assert!(floor > 0.0, "floor must be positive");
+    let log_sum: f64 = values.iter().map(|&v| v.max(floor).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Top-k accuracy: fraction of samples whose true label appears in the
+/// model's ranked candidate list.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn topk_accuracy(ranked: &[Vec<u32>], labels: &[u32]) -> f64 {
+    assert_eq!(ranked.len(), labels.len(), "length mismatch");
+    assert!(!ranked.is_empty(), "empty inputs");
+    let hits = ranked
+        .iter()
+        .zip(labels)
+        .filter(|(cands, l)| cands.contains(l))
+        .count();
+    hits as f64 / labels.len() as f64
+}
+
+/// Fraction of values below `threshold` (e.g. the paper's "<20% of optimal"
+/// catastrophic bucket).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn fraction_below(values: &[f64], threshold: f64) -> f64 {
+    assert!(!values.is_empty(), "empty inputs");
+    values.iter().filter(|&&v| v < threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[5], &[5]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatched_lengths() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn geometric_mean_of_constant_is_constant() {
+        assert!((geometric_mean(&[0.5, 0.5, 0.5], 1e-6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_clamps_zeros() {
+        let g = geometric_mean(&[1.0, 0.0], 0.01);
+        assert!((g - (0.01f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_below_arithmetic_mean() {
+        let vals = [0.2, 0.9, 1.0, 0.6];
+        let arith: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(geometric_mean(&vals, 1e-9) < arith);
+    }
+
+    #[test]
+    fn topk_accuracy_counts_list_hits() {
+        let ranked = vec![vec![3, 1, 2], vec![0, 5], vec![9]];
+        let labels = [1, 7, 9];
+        assert!((topk_accuracy(&ranked, &labels) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_threshold() {
+        assert_eq!(fraction_below(&[0.1, 0.5, 0.9], 0.5), 1.0 / 3.0);
+        assert_eq!(fraction_below(&[1.0, 1.0], 0.2), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Sequential network container and the two architectures the paper uses.
+
+use airchitect_tensor::{ops, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::layer::{Dense, Dropout, Embedding, Layer, Relu};
+use crate::Param;
+
+/// A feed-forward stack of [`Layer`]s trained end to end.
+///
+/// Two constructors cover the paper's model zoo:
+///
+/// * [`Sequential::mlp`] — the MLP-A/B/C/D baselines (paper Fig. 9 table):
+///   raw (normalized) features through hidden ReLU layers,
+/// * [`Sequential::embedding_mlp`] — the AIrchitect architecture (paper
+///   Fig. 2): per-feature embeddings, then a hidden ReLU layer, then the
+///   classification head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Sequential {
+    /// Builds a plain MLP: `in_dim → hidden[0] → … → num_classes` with ReLU
+    /// between dense layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_dim` or `num_classes` is zero.
+    pub fn mlp(in_dim: usize, hidden: &[usize], num_classes: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && num_classes > 0, "dims must be positive");
+        let mut layers = Vec::new();
+        let mut prev = in_dim;
+        for (i, &h) in hidden.iter().enumerate() {
+            layers.push(Layer::Dense(Dense::new(prev, h, seed.wrapping_add(i as u64))));
+            layers.push(Layer::Relu(Relu::new()));
+            prev = h;
+        }
+        layers.push(Layer::Dense(Dense::new(
+            prev,
+            num_classes,
+            seed.wrapping_add(1000),
+        )));
+        Self {
+            layers,
+            in_dim,
+            out_dim: num_classes,
+        }
+    }
+
+    /// Builds the AIrchitect architecture: per-feature embeddings (size
+    /// `embed_dim`, vocabulary `vocab`) → Dense(`hidden`) → ReLU →
+    /// Dense(`num_classes`).
+    ///
+    /// The paper uses `embed_dim = 16` and `hidden = 256` across all case
+    /// studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn embedding_mlp(
+        num_features: usize,
+        vocab: usize,
+        embed_dim: usize,
+        hidden: usize,
+        num_classes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(hidden > 0 && num_classes > 0, "dims must be positive");
+        let emb = Embedding::new(num_features, vocab, embed_dim, seed);
+        let concat = emb.out_dim();
+        Self {
+            layers: vec![
+                Layer::Embedding(emb),
+                Layer::Dense(Dense::new(concat, hidden, seed.wrapping_add(1))),
+                Layer::Relu(Relu::new()),
+                Layer::Dense(Dense::new(hidden, num_classes, seed.wrapping_add(2))),
+            ],
+            in_dim: num_features,
+            out_dim: num_classes,
+        }
+    }
+
+    /// The AIrchitect architecture with dropout after the hidden ReLU —
+    /// the regularized variant for overfit-prone spaces (the paper's CS2
+    /// "starts to overfit" after ~22 epochs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `rate` is outside `[0, 1)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn embedding_mlp_dropout(
+        num_features: usize,
+        vocab: usize,
+        embed_dim: usize,
+        hidden: usize,
+        num_classes: usize,
+        rate: f32,
+        seed: u64,
+    ) -> Self {
+        let mut net =
+            Self::embedding_mlp(num_features, vocab, embed_dim, hidden, num_classes, seed);
+        // Insert dropout between the hidden ReLU and the classifier head.
+        let head = net.layers.pop().expect("embedding_mlp has layers");
+        net.layers.push(Layer::Dropout(Dropout::new(rate, seed)));
+        net.layers.push(head);
+        net
+    }
+
+    /// Input width the network expects.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Number of output classes.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Builds a network from explicit layers (used by the deserializer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn from_layers(layers: Vec<Layer>, in_dim: usize, out_dim: usize) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        Self {
+            layers,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Forward pass returning logits.
+    pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        let mut h = x.clone();
+        for l in &mut self.layers {
+            h = l.forward(&h, training);
+        }
+        h
+    }
+
+    /// Backward pass from the loss gradient on the logits.
+    pub fn backward(&mut self, grad: &Matrix) {
+        let mut g = grad.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Inference-only forward pass returning logits (no caches touched).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for l in &self.layers {
+            h = l.infer(&h);
+        }
+        h
+    }
+
+    /// Predicts class labels (argmax over logits) for a feature matrix.
+    pub fn predict(&self, x: &Matrix) -> Vec<u32> {
+        ops::argmax_rows(&self.infer(x))
+    }
+
+    /// Predicts the label of a single feature row.
+    pub fn predict_one(&self, row: &[f32]) -> u32 {
+        let x = Matrix::from_vec(1, row.len(), row.to_vec());
+        self.predict(&x)[0]
+    }
+
+    /// The `k` most likely labels for one feature row, with softmax
+    /// probabilities, sorted most-likely first.
+    ///
+    /// Recommenders naturally return ranked lists: a designer can inspect
+    /// the runner-up configurations when the top pick is inconvenient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn predict_topk(&self, row: &[f32], k: usize) -> Vec<(u32, f32)> {
+        assert!(k > 0, "k must be positive");
+        let x = Matrix::from_vec(1, row.len(), row.to_vec());
+        let probs = ops::softmax_rows(&self.infer(&x));
+        let mut ranked: Vec<(u32, f32)> = probs
+            .row(0)
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("softmax is finite"));
+        ranked.truncate(k.min(self.out_dim));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut net = Sequential::mlp(4, &[8, 8], 3, 1);
+        let y = net.forward(&Matrix::zeros(5, 4), false);
+        assert_eq!((y.rows(), y.cols()), (5, 3));
+        // 4*8+8 + 8*8+8 + 8*3+3 parameters.
+        assert_eq!(net.num_params(), 40 + 72 + 27);
+    }
+
+    #[test]
+    fn embedding_mlp_shapes() {
+        let mut net = Sequential::embedding_mlp(4, 64, 16, 256, 459, 1);
+        let y = net.forward(&Matrix::zeros(2, 4), false);
+        assert_eq!((y.rows(), y.cols()), (2, 459));
+        assert_eq!(net.in_dim(), 4);
+        assert_eq!(net.out_dim(), 459);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let mut a = Sequential::mlp(3, &[5], 2, 9);
+        let mut b = Sequential::mlp(3, &[5], 2, 9);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    fn predict_one_matches_batch() {
+        let net = Sequential::mlp(2, &[4], 3, 5);
+        let x = Matrix::from_rows(&[&[0.3, -1.2], &[2.0, 0.1]]);
+        let batch = net.predict(&x);
+        assert_eq!(net.predict_one(&[0.3, -1.2]), batch[0]);
+        assert_eq!(net.predict_one(&[2.0, 0.1]), batch[1]);
+    }
+
+    #[test]
+    fn dropout_variant_trains_and_infers_deterministically() {
+        let mut net = Sequential::embedding_mlp_dropout(2, 8, 4, 16, 3, 0.3, 1);
+        assert_eq!(net.layers().len(), 5);
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        // Inference is mask-free and stable.
+        assert_eq!(net.infer(&x), net.infer(&x));
+        // Training path runs end to end.
+        let y = net.forward(&x, true);
+        net.backward(&y);
+    }
+
+    #[test]
+    fn predict_topk_is_ranked_and_consistent() {
+        let net = Sequential::mlp(3, &[8], 5, 2);
+        let row = [0.4, -0.7, 1.3];
+        let top = net.predict_topk(&row, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(top[0].0, net.predict_one(&row));
+        // Probabilities are valid.
+        assert!(top.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)));
+        // k larger than the class count is clamped.
+        assert_eq!(net.predict_topk(&row, 99).len(), 5);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulators() {
+        let mut net = Sequential::mlp(2, &[4], 2, 1);
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let y = net.forward(&x, true);
+        net.backward(&y);
+        assert!(net.params_mut().iter().any(|p| p.grad.iter().any(|&g| g != 0.0)));
+        net.zero_grad();
+        assert!(net
+            .params_mut()
+            .iter()
+            .all(|p| p.grad.iter().all(|&g| g == 0.0)));
+    }
+}

@@ -1,0 +1,275 @@
+//! Binary save/load for trained networks.
+//!
+//! A small hand-rolled codec (magic `AINN`, version 1) keeps the dependency
+//! set within the approved offline list — no serde data-format crate is
+//! needed. Only values are stored; gradient and moment buffers are
+//! re-zeroed on load (a loaded model is for inference or fresh fine-tuning).
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::layer::{Dense, Dropout, Embedding, Layer, Relu};
+use crate::network::Sequential;
+use crate::Param;
+
+const MAGIC: &[u8; 4] = b"AINN";
+const VERSION: u32 = 1;
+
+const TAG_DENSE: u8 = 0;
+const TAG_RELU: u8 = 1;
+const TAG_EMBEDDING: u8 = 2;
+const TAG_DROPOUT: u8 = 3;
+
+/// Error produced by the model codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelCodecError {
+    /// Malformed buffer.
+    Corrupt(&'static str),
+    /// Filesystem error, stringified.
+    Io(String),
+}
+
+impl std::fmt::Display for ModelCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelCodecError::Corrupt(what) => write!(f, "corrupt model buffer: {what}"),
+            ModelCodecError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelCodecError {}
+
+impl From<std::io::Error> for ModelCodecError {
+    fn from(e: std::io::Error) -> Self {
+        ModelCodecError::Io(e.to_string())
+    }
+}
+
+fn put_values(buf: &mut BytesMut, values: &[f32]) {
+    buf.put_u64_le(values.len() as u64);
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_values(buf: &mut &[u8]) -> Result<Vec<f32>, ModelCodecError> {
+    if buf.remaining() < 8 {
+        return Err(ModelCodecError::Corrupt("truncated length"));
+    }
+    let n = buf.get_u64_le();
+    // Checked arithmetic: a corrupted length must not trigger a huge or
+    // overflowing allocation.
+    let need = n
+        .checked_mul(4)
+        .ok_or(ModelCodecError::Corrupt("length overflow"))?;
+    if (buf.remaining() as u64) < need {
+        return Err(ModelCodecError::Corrupt("truncated values"));
+    }
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+/// Serializes a network to bytes.
+pub fn to_bytes(network: &Sequential) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(network.in_dim() as u32);
+    buf.put_u32_le(network.out_dim() as u32);
+    buf.put_u32_le(network.layers().len() as u32);
+    for layer in network.layers() {
+        match layer {
+            Layer::Dense(d) => {
+                buf.put_u8(TAG_DENSE);
+                buf.put_u32_le(d.in_dim() as u32);
+                buf.put_u32_le(d.out_dim() as u32);
+                put_values(&mut buf, &d.weights().value);
+                put_values(&mut buf, &d.bias().value);
+            }
+            Layer::Relu(_) => buf.put_u8(TAG_RELU),
+            Layer::Dropout(d) => {
+                buf.put_u8(TAG_DROPOUT);
+                buf.put_f32_le(d.rate());
+            }
+            Layer::Embedding(e) => {
+                buf.put_u8(TAG_EMBEDDING);
+                buf.put_u32_le(e.num_features() as u32);
+                buf.put_u32_le(e.vocab() as u32);
+                buf.put_u32_le(e.embed_dim() as u32);
+                put_values(&mut buf, &e.table().value);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a network from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`ModelCodecError::Corrupt`] on malformed input.
+pub fn from_bytes(mut buf: &[u8]) -> Result<Sequential, ModelCodecError> {
+    if buf.remaining() < 20 {
+        return Err(ModelCodecError::Corrupt("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ModelCodecError::Corrupt("bad magic"));
+    }
+    if buf.get_u32_le() != VERSION {
+        return Err(ModelCodecError::Corrupt("unsupported version"));
+    }
+    let in_dim = buf.get_u32_le() as usize;
+    let out_dim = buf.get_u32_le() as usize;
+    let n_layers = buf.get_u32_le() as usize;
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        if buf.remaining() < 1 {
+            return Err(ModelCodecError::Corrupt("truncated layer tag"));
+        }
+        match buf.get_u8() {
+            TAG_DENSE => {
+                if buf.remaining() < 8 {
+                    return Err(ModelCodecError::Corrupt("truncated dense dims"));
+                }
+                let din = buf.get_u32_le() as usize;
+                let dout = buf.get_u32_le() as usize;
+                let w = get_values(&mut buf)?;
+                let b = get_values(&mut buf)?;
+                if w.len() != din * dout || b.len() != dout || din == 0 || dout == 0 {
+                    return Err(ModelCodecError::Corrupt("dense size mismatch"));
+                }
+                layers.push(Layer::Dense(Dense::from_params(
+                    din,
+                    dout,
+                    Param::new(w),
+                    Param::new(b),
+                )));
+            }
+            TAG_RELU => layers.push(Layer::Relu(Relu::new())),
+            TAG_DROPOUT => {
+                if buf.remaining() < 4 {
+                    return Err(ModelCodecError::Corrupt("truncated dropout rate"));
+                }
+                let rate = buf.get_f32_le();
+                if !(0.0..1.0).contains(&rate) {
+                    return Err(ModelCodecError::Corrupt("dropout rate out of range"));
+                }
+                layers.push(Layer::Dropout(Dropout::new(rate, 0)));
+            }
+            TAG_EMBEDDING => {
+                if buf.remaining() < 12 {
+                    return Err(ModelCodecError::Corrupt("truncated embedding dims"));
+                }
+                let nf = buf.get_u32_le() as usize;
+                let vocab = buf.get_u32_le() as usize;
+                let dim = buf.get_u32_le() as usize;
+                let table = get_values(&mut buf)?;
+                if table.len() != nf * vocab * dim || nf == 0 || vocab == 0 || dim == 0 {
+                    return Err(ModelCodecError::Corrupt("embedding size mismatch"));
+                }
+                layers.push(Layer::Embedding(Embedding::from_params(
+                    nf,
+                    vocab,
+                    dim,
+                    Param::new(table),
+                )));
+            }
+            _ => return Err(ModelCodecError::Corrupt("unknown layer tag")),
+        }
+    }
+    if buf.has_remaining() {
+        return Err(ModelCodecError::Corrupt("trailing bytes"));
+    }
+    if layers.is_empty() {
+        return Err(ModelCodecError::Corrupt("no layers"));
+    }
+    Ok(Sequential::from_layers(layers, in_dim, out_dim))
+}
+
+/// Saves a network to a file.
+///
+/// # Errors
+///
+/// Returns [`ModelCodecError::Io`] on filesystem errors.
+pub fn save(network: &Sequential, path: impl AsRef<Path>) -> Result<(), ModelCodecError> {
+    let mut f = File::create(path)?;
+    f.write_all(&to_bytes(network))?;
+    Ok(())
+}
+
+/// Loads a network from a file written by [`save`].
+///
+/// # Errors
+///
+/// Returns [`ModelCodecError`] on filesystem or parse errors.
+pub fn load(path: impl AsRef<Path>) -> Result<Sequential, ModelCodecError> {
+    let mut f = File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airchitect_tensor::Matrix;
+
+    #[test]
+    fn roundtrip_mlp() {
+        let mut net = Sequential::mlp(3, &[8], 4, 42);
+        let bytes = to_bytes(&net);
+        let mut back = from_bytes(&bytes).unwrap();
+        let x = Matrix::from_rows(&[&[0.1, -0.5, 2.0]]);
+        assert_eq!(net.forward(&x, false), back.forward(&x, false));
+    }
+
+    #[test]
+    fn roundtrip_embedding_mlp() {
+        let mut net = Sequential::embedding_mlp(4, 16, 8, 32, 10, 7);
+        let mut back = from_bytes(&to_bytes(&net)).unwrap();
+        let x = Matrix::from_rows(&[&[0.0, 3.0, 15.0, 7.0]]);
+        assert_eq!(net.forward(&x, false), back.forward(&x, false));
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let net = Sequential::mlp(2, &[4], 2, 1);
+        let mut bytes = to_bytes(&net).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ModelCodecError::Corrupt("bad magic"))
+        ));
+        let bytes = to_bytes(&net);
+        assert!(from_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let net = Sequential::mlp(2, &[4], 2, 1);
+        let mut bytes = to_bytes(&net).to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ModelCodecError::Corrupt("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("airchitect-nn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ainn");
+        let mut net = Sequential::mlp(2, &[4], 3, 5);
+        save(&net, &path).unwrap();
+        let mut back = load(&path).unwrap();
+        let x = Matrix::from_rows(&[&[1.0, -1.0]]);
+        assert_eq!(net.forward(&x, false), back.forward(&x, false));
+        std::fs::remove_file(&path).ok();
+    }
+}

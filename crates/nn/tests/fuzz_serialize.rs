@@ -1,0 +1,44 @@
+//! Failure injection for the model codec: arbitrary or mutated bytes must
+//! never panic the decoder, and surviving mutants must stay structurally
+//! sound (predictable without panics).
+
+use airchitect_nn::network::Sequential;
+use airchitect_nn::serialize;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..768)) {
+        let _ = serialize::from_bytes(&bytes);
+    }
+
+    /// Mutating a valid model blob either fails cleanly or yields a network
+    /// that still predicts without panicking (weight bit-flips are
+    /// legitimately undetectable).
+    #[test]
+    fn mutated_models_fail_cleanly_or_stay_usable(
+        flip_at in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let net = Sequential::embedding_mlp(3, 8, 4, 8, 5, 1);
+        let mut bytes = serialize::to_bytes(&net).to_vec();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= xor;
+        if let Ok(decoded) = serialize::from_bytes(&bytes) {
+            if decoded.in_dim() == 3 {
+                let label = decoded.predict_one(&[0.0, 3.0, 7.0]);
+                prop_assert!((label as usize) < decoded.out_dim().max(1));
+            }
+        }
+    }
+
+    /// Truncations at every length fail cleanly.
+    #[test]
+    fn every_truncation_fails_cleanly(keep_frac in 0.0f64..1.0) {
+        let net = Sequential::mlp(2, &[4], 3, 2);
+        let bytes = serialize::to_bytes(&net);
+        let keep = ((bytes.len() - 1) as f64 * keep_frac) as usize;
+        prop_assert!(serialize::from_bytes(&bytes[..keep]).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! End-to-end gradient check: backprop through the full network must match
+//! finite differences of the loss.
+
+use airchitect_nn::loss::softmax_cross_entropy;
+use airchitect_nn::network::Sequential;
+use airchitect_tensor::Matrix;
+
+/// Loss of `net` on a fixed batch.
+fn loss_of(net: &mut Sequential, x: &Matrix, labels: &[u32]) -> f32 {
+    let logits = net.forward(x, false);
+    softmax_cross_entropy(&logits, labels).0
+}
+
+fn grad_check(mut net: Sequential, x: Matrix, labels: Vec<u32>) {
+    // Analytic gradients.
+    let logits = net.forward(&x, true);
+    let (_, grad) = softmax_cross_entropy(&logits, &labels);
+    net.backward(&grad);
+    let analytic: Vec<Vec<f32>> = net.params_mut().iter().map(|p| p.grad.clone()).collect();
+
+    // Finite differences on a subsample of each parameter tensor. Individual
+    // entries may cross a ReLU kink under perturbation (the FD estimate is
+    // then wrong by construction), so the check is statistical: the vast
+    // majority of entries must match tightly.
+    let eps = 2e-3f32;
+    let n_params = analytic.len();
+    let mut checked = 0usize;
+    let mut mismatched = 0usize;
+    #[allow(clippy::needless_range_loop)]
+    for pi in 0..n_params {
+        let len = analytic[pi].len();
+        let stride = (len / 25).max(1);
+        for i in (0..len).step_by(stride) {
+            let orig = net.params_mut()[pi].value[i];
+            net.params_mut()[pi].value[i] = orig + eps;
+            let lp = loss_of(&mut net, &x, &labels);
+            net.params_mut()[pi].value[i] = orig - eps;
+            let lm = loss_of(&mut net, &x, &labels);
+            net.params_mut()[pi].value[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic[pi][i];
+            let denom = fd.abs().max(an.abs()).max(1e-2);
+            checked += 1;
+            if (fd - an).abs() / denom > 0.25 {
+                mismatched += 1;
+            }
+        }
+    }
+    assert!(checked > 20, "gradient check sampled too few entries");
+    let rate = mismatched as f64 / checked as f64;
+    assert!(
+        rate < 0.1,
+        "{mismatched}/{checked} sampled gradients disagree with finite differences"
+    );
+}
+
+#[test]
+fn mlp_gradients_match_finite_differences() {
+    let net = Sequential::mlp(3, &[6], 4, 11);
+    let x = Matrix::from_rows(&[
+        &[0.5, -1.2, 0.3],
+        &[1.1, 0.2, -0.4],
+        &[-0.3, 0.8, 1.5],
+    ]);
+    grad_check(net, x, vec![0, 3, 1]);
+}
+
+#[test]
+fn embedding_mlp_gradients_match_finite_differences() {
+    let net = Sequential::embedding_mlp(3, 8, 4, 10, 5, 13);
+    let x = Matrix::from_rows(&[&[0.0, 3.0, 7.0], &[2.0, 2.0, 1.0]]);
+    grad_check(net, x, vec![4, 0]);
+}

@@ -1,0 +1,140 @@
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// Physical shape of a monolithic systolic array: `rows x cols` MAC units.
+///
+/// # Example
+///
+/// ```
+/// use airchitect_sim::ArrayConfig;
+///
+/// let a = ArrayConfig::new(16, 32)?;
+/// assert_eq!(a.macs(), 512);
+/// assert!((a.aspect_ratio() - 0.5).abs() < 1e-12);
+/// # Ok::<(), airchitect_sim::SimError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ArrayConfig {
+    rows: u64,
+    cols: u64,
+}
+
+impl ArrayConfig {
+    /// Creates an array configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZeroArrayDim`] if either dimension is zero.
+    pub fn new(rows: u64, cols: u64) -> Result<Self, SimError> {
+        if rows == 0 {
+            return Err(SimError::ZeroArrayDim { which: "rows" });
+        }
+        if cols == 0 {
+            return Err(SimError::ZeroArrayDim { which: "cols" });
+        }
+        Ok(Self { rows, cols })
+    }
+
+    /// Number of PE rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of PE columns.
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Total MAC units (`rows · cols`).
+    pub fn macs(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// `rows / cols` — the paper plots optima in terms of this ratio
+    /// (Fig. 5d, Fig. 6a-c y-axis).
+    pub fn aspect_ratio(&self) -> f64 {
+        self.rows as f64 / self.cols as f64
+    }
+
+    /// Enumerates every power-of-two shape `(2^a, 2^b)` with `a, b >= 1` and
+    /// `2^(a+b) <= mac_budget`, in row-major order.
+    ///
+    /// For a budget of `2^18` this yields the paper's 153 shapes (Fig. 8b:
+    /// 153 shapes × 3 dataflows = 459 output labels).
+    pub fn enumerate_pow2(mac_budget: u64) -> Vec<ArrayConfig> {
+        let mut out = Vec::new();
+        let budget_log2 = 63 - mac_budget.max(1).leading_zeros() as u64;
+        for a in 1..=budget_log2 {
+            for b in 1..=budget_log2 {
+                if a + b <= budget_log2 {
+                    out.push(ArrayConfig {
+                        rows: 1 << a,
+                        cols: 1 << b,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ArrayConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert_eq!(
+            ArrayConfig::new(0, 4),
+            Err(SimError::ZeroArrayDim { which: "rows" })
+        );
+        assert_eq!(
+            ArrayConfig::new(4, 0),
+            Err(SimError::ZeroArrayDim { which: "cols" })
+        );
+    }
+
+    #[test]
+    fn enumerate_pow2_matches_paper_output_space() {
+        // a, b >= 1, a + b <= 18  =>  sum_{s=2}^{18} (s-1) = 153 shapes.
+        assert_eq!(ArrayConfig::enumerate_pow2(1 << 18).len(), 153);
+        // x3 dataflows = 459, the size of the paper's CS1 output space.
+        assert_eq!(ArrayConfig::enumerate_pow2(1 << 18).len() * 3, 459);
+    }
+
+    #[test]
+    fn enumerate_pow2_small_budgets() {
+        // 2^2 budget: only 2x2.
+        assert_eq!(
+            ArrayConfig::enumerate_pow2(4),
+            vec![ArrayConfig::new(2, 2).unwrap()]
+        );
+        // 2^3: 2x2, 2x4, 4x2.
+        assert_eq!(ArrayConfig::enumerate_pow2(8).len(), 3);
+        // Budget below 4 MACs: no legal shapes.
+        assert!(ArrayConfig::enumerate_pow2(2).is_empty());
+    }
+
+    #[test]
+    fn enumerate_respects_budget() {
+        for cfg in ArrayConfig::enumerate_pow2(1 << 10) {
+            assert!(cfg.macs() <= 1 << 10);
+            assert!(cfg.rows().is_power_of_two() && cfg.rows() >= 2);
+            assert!(cfg.cols().is_power_of_two() && cfg.cols() >= 2);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ArrayConfig::new(8, 64).unwrap().to_string(), "8x64");
+    }
+}

@@ -1,0 +1,112 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// A true systolic dataflow: which operand stays pinned in the PEs.
+///
+/// Following the paper (and Eyeriss/SCALE-Sim terminology) only the three
+/// dataflows that use exclusively neighbor-to-neighbor communication are
+/// modeled:
+///
+/// * [`Dataflow::Os`] — **Output Stationary**: each PE accumulates one output
+///   element; `A` and `B` stream through the array.
+/// * [`Dataflow::Ws`] — **Weight Stationary**: a `K x N` tile of the filter is
+///   pinned; IFMAP rows stream through and partial sums exit the columns.
+/// * [`Dataflow::Is`] — **Input Stationary**: a `K x M` tile of the IFMAP is
+///   pinned; filter columns stream through.
+///
+/// # Example
+///
+/// ```
+/// use airchitect_sim::Dataflow;
+///
+/// let df: Dataflow = "WS".parse()?;
+/// assert_eq!(df, Dataflow::Ws);
+/// assert_eq!(df.to_string(), "WS");
+/// # Ok::<(), airchitect_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Output stationary.
+    Os,
+    /// Weight stationary.
+    Ws,
+    /// Input stationary.
+    Is,
+}
+
+impl Dataflow {
+    /// All dataflows in the paper's canonical order (OS, WS, IS).
+    pub const ALL: [Dataflow; 3] = [Dataflow::Os, Dataflow::Ws, Dataflow::Is];
+
+    /// Stable index of the dataflow in [`Dataflow::ALL`] (used by the label
+    /// codecs in `airchitect-dse`).
+    pub fn index(&self) -> usize {
+        match self {
+            Dataflow::Os => 0,
+            Dataflow::Ws => 1,
+            Dataflow::Is => 2,
+        }
+    }
+
+    /// Inverse of [`Dataflow::index`]; returns `None` for indices >= 3.
+    pub fn from_index(idx: usize) -> Option<Dataflow> {
+        Dataflow::ALL.get(idx).copied()
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dataflow::Os => "OS",
+            Dataflow::Ws => "WS",
+            Dataflow::Is => "IS",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for Dataflow {
+    type Err = SimError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "OS" => Ok(Dataflow::Os),
+            "WS" => Ok(Dataflow::Ws),
+            "IS" => Ok(Dataflow::Is),
+            _ => Err(SimError::ParseDataflow { input: s.into() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, df) in Dataflow::ALL.iter().enumerate() {
+            assert_eq!(df.index(), i);
+            assert_eq!(Dataflow::from_index(i), Some(*df));
+        }
+        assert_eq!(Dataflow::from_index(3), None);
+    }
+
+    #[test]
+    fn parse_roundtrip_and_case_insensitivity() {
+        for df in Dataflow::ALL {
+            assert_eq!(df.to_string().parse::<Dataflow>().unwrap(), df);
+            assert_eq!(
+                df.to_string().to_lowercase().parse::<Dataflow>().unwrap(),
+                df
+            );
+        }
+        assert!(matches!(
+            "XX".parse::<Dataflow>(),
+            Err(SimError::ParseDataflow { .. })
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+//! Eyeriss-style per-access energy accounting.
+//!
+//! Energy is modeled as a weighted sum of three access classes with the
+//! classic relative costs (MAC : SRAM : DRAM ≈ 1 : 2 : 100 per element):
+//!
+//! ```text
+//! E = macs·e_mac + sram_accesses·e_sram + dram_bytes·e_dram
+//! ```
+//!
+//! where `sram_accesses` is the operand volume streamed across the array
+//! edges ([`crate::compute::array_io_elems`]) and `dram_bytes` comes from the
+//! tiling-reuse traffic model ([`crate::memory::dram_traffic`]).
+
+use airchitect_workload::GemmWorkload;
+use serde::{Deserialize, Serialize};
+
+use crate::memory::{self, BufferConfig};
+use crate::{compute, ArrayConfig, Dataflow};
+
+/// Relative energy costs per access class.
+///
+/// The absolute unit is arbitrary (think pJ); only ratios matter for the
+/// optimizer, which compares configurations.
+///
+/// # Example
+///
+/// ```
+/// use airchitect_sim::energy::EnergyModel;
+///
+/// let model = EnergyModel::default();
+/// assert!(model.dram > model.sram && model.sram > model.mac);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per MAC operation.
+    pub mac: f64,
+    /// Energy per SRAM (array edge) element access.
+    pub sram: f64,
+    /// Energy per DRAM byte moved.
+    pub dram: f64,
+}
+
+impl EnergyModel {
+    /// The default Eyeriss-style relative costs (1 : 2 : 100).
+    pub fn new() -> Self {
+        Self {
+            mac: 1.0,
+            sram: 2.0,
+            dram: 100.0,
+        }
+    }
+
+    /// Total energy for one workload execution.
+    pub fn energy(
+        &self,
+        workload: &GemmWorkload,
+        array: ArrayConfig,
+        dataflow: Dataflow,
+        buffers: BufferConfig,
+    ) -> f64 {
+        let macs = workload.macs() as f64;
+        let sram = compute::array_io_elems(workload, array, dataflow) as f64;
+        let dram = memory::dram_traffic(workload, array, dataflow, buffers).total() as f64;
+        macs * self.mac + sram * self.sram + dram * self.dram
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(m: u64, n: u64, k: u64) -> GemmWorkload {
+        GemmWorkload::new(m, n, k).unwrap()
+    }
+
+    #[test]
+    fn energy_is_positive_and_exceeds_mac_floor() {
+        let model = EnergyModel::default();
+        let w = wl(64, 64, 64);
+        let a = ArrayConfig::new(8, 8).unwrap();
+        let b = BufferConfig::from_kb(100, 100, 100).unwrap();
+        for df in Dataflow::ALL {
+            let e = model.energy(&w, a, df, b);
+            assert!(e >= w.macs() as f64 * model.mac);
+        }
+    }
+
+    #[test]
+    fn bigger_buffers_do_not_increase_energy() {
+        let model = EnergyModel::default();
+        let w = wl(512, 256, 512);
+        let a = ArrayConfig::new(16, 16).unwrap();
+        let small = model.energy(
+            &w,
+            a,
+            Dataflow::Os,
+            BufferConfig::from_kb(100, 100, 100).unwrap(),
+        );
+        let big = model.energy(
+            &w,
+            a,
+            Dataflow::Os,
+            BufferConfig::from_kb(1000, 1000, 1000).unwrap(),
+        );
+        assert!(big <= small);
+    }
+
+    #[test]
+    fn dram_dominates_for_thrashing_configs() {
+        // With a tiny buffer and big reuse, DRAM traffic should dominate the
+        // energy budget, as in every accelerator energy breakdown.
+        let model = EnergyModel::default();
+        let w = wl(2048, 2048, 2048);
+        let a = ArrayConfig::new(8, 8).unwrap();
+        let b = BufferConfig::from_kb(1, 1, 1).unwrap();
+        let e = model.energy(&w, a, Dataflow::Os, b);
+        let dram = memory::dram_traffic(&w, a, Dataflow::Os, b).total() as f64 * model.dram;
+        assert!(dram / e > 0.5);
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing an invalid simulator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An array dimension was zero.
+    ZeroArrayDim {
+        /// Which dimension (`"rows"` or `"cols"`) was zero.
+        which: &'static str,
+    },
+    /// A buffer capacity was zero.
+    ZeroBuffer {
+        /// Which buffer (`"ifmap"`, `"filter"`, `"ofmap"`) was zero.
+        which: &'static str,
+    },
+    /// Interface bandwidth was zero.
+    ZeroBandwidth,
+    /// A multi-array system was configured with no arrays.
+    EmptySystem,
+    /// A schedule referenced more workloads than the system has arrays.
+    ScheduleMismatch {
+        /// Number of arrays in the system.
+        arrays: usize,
+        /// Number of workloads in the schedule.
+        workloads: usize,
+    },
+    /// An unknown dataflow mnemonic was parsed.
+    ParseDataflow {
+        /// The rejected input string.
+        input: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ZeroArrayDim { which } => {
+                write!(f, "systolic array `{which}` must be non-zero")
+            }
+            SimError::ZeroBuffer { which } => {
+                write!(f, "`{which}` buffer capacity must be non-zero")
+            }
+            SimError::ZeroBandwidth => write!(f, "interface bandwidth must be non-zero"),
+            SimError::EmptySystem => write!(f, "multi-array system has no arrays"),
+            SimError::ScheduleMismatch { arrays, workloads } => write!(
+                f,
+                "schedule maps {workloads} workloads onto {arrays} arrays"
+            ),
+            SimError::ParseDataflow { input } => {
+                write!(f, "unknown dataflow `{input}` (expected OS, WS, or IS)")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}

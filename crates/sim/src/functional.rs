@@ -1,0 +1,550 @@
+//! Register-level functional simulation of the systolic array.
+//!
+//! The analytical model ([`crate::compute`]) is fast enough to label millions
+//! of workloads, but its equations are only trustworthy if they describe a
+//! machine that actually computes the right answer in that many cycles. This
+//! module is that machine: a cycle-stepped PE grid with explicit operand
+//! registers, skewed edge injection, and per-dataflow data movement —
+//! the same dual analytical/simulated structure SCALE-Sim uses.
+//!
+//! For every dataflow, a fold executes in the phases the analytical model
+//! charges for:
+//!
+//! | dataflow | fill | stream (pipelined) | drain | total per fold |
+//! |----------|------|--------------------|-------|----------------|
+//! | OS       | —    | `K + R + C − 2`    | `R`   | `2R + C + K − 2` |
+//! | WS       | `R`  | `M + R + C − 2`    | —     | `2R + C + M − 2` |
+//! | IS       | `R`  | `N + R + C − 2`    | —     | `2R + C + N − 2` |
+//!
+//! [`FunctionalArray::execute`] runs a full tiled GEMM: it slices the
+//! operands into folds exactly as [`crate::compute::tiling`] prescribes,
+//! steps every fold through the PE grid cycle by cycle, accumulates partial
+//! results, and returns both the numerical output and the cycle count. Tests
+//! assert the output equals the reference matrix product *and* the cycle
+//! count equals [`crate::compute::runtime_cycles`] — tying the analytical
+//! equations to executable hardware behaviour.
+
+use airchitect_workload::GemmWorkload;
+
+use crate::{ArrayConfig, Dataflow, SimError};
+
+/// A dense row-major matrix of `f32` used by the functional simulator.
+///
+/// (Deliberately minimal and local: the ML stack's matrix lives in
+/// `airchitect-tensor`; the simulator must not depend on the learning plane.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl SimMatrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Reference matrix product (golden model for the tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_reference(&self, other: &SimMatrix) -> SimMatrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = SimMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * out.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Outcome of a functional execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionResult {
+    /// The computed output matrix `C[M x N]`.
+    pub output: SimMatrix,
+    /// Total cycles across all folds (fill + stream + drain per fold).
+    pub cycles: u64,
+    /// Number of folds executed.
+    pub folds: u64,
+    /// MAC operations actually issued by PEs (equals `M·N·K`).
+    pub macs_issued: u64,
+}
+
+/// One processing element of the grid.
+#[derive(Debug, Clone, Copy, Default)]
+struct Pe {
+    /// Horizontally-moving operand register (valid flag + value).
+    a: Option<f32>,
+    /// Vertically-moving operand register.
+    b: Option<f32>,
+    /// Stationary operand (WS/IS) — `None` while unloaded.
+    stationary: Option<f32>,
+    /// Output-stationary accumulator (OS).
+    acc: f32,
+}
+
+/// A register-level systolic array executing GEMMs fold by fold.
+#[derive(Debug, Clone)]
+pub struct FunctionalArray {
+    config: ArrayConfig,
+}
+
+impl FunctionalArray {
+    /// Creates a functional array of the given shape.
+    ///
+    /// The grid is materialized per fold, so arbitrarily large configured
+    /// shapes are fine as long as individual folds fit in memory.
+    pub fn new(config: ArrayConfig) -> Self {
+        Self { config }
+    }
+
+    /// The array's shape.
+    pub fn config(&self) -> ArrayConfig {
+        self.config
+    }
+
+    /// Executes `C = A · B` under `dataflow`, tiling to the array shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ScheduleMismatch`] when the operand matrices'
+    /// shapes disagree with `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fold's grid would not fit in memory (`rows·cols` over
+    /// ~10^8 PEs).
+    pub fn execute(
+        &self,
+        workload: &GemmWorkload,
+        a: &SimMatrix,
+        b: &SimMatrix,
+        dataflow: Dataflow,
+    ) -> Result<ExecutionResult, SimError> {
+        let (m, n, k) = (
+            workload.m() as usize,
+            workload.n() as usize,
+            workload.k() as usize,
+        );
+        if a.rows() != m || a.cols() != k || b.rows() != k || b.cols() != n {
+            return Err(SimError::ScheduleMismatch {
+                arrays: a.rows() * a.cols(),
+                workloads: m * k,
+            });
+        }
+        let r = self.config.rows() as usize;
+        let c = self.config.cols() as usize;
+        assert!(
+            r.saturating_mul(c) <= 100_000_000,
+            "fold grid too large to materialize"
+        );
+
+        let mut output = SimMatrix::zeros(m, n);
+        let mut cycles = 0u64;
+        let mut folds = 0u64;
+        let mut macs = 0u64;
+
+        match dataflow {
+            Dataflow::Os => {
+                // Spatial: M on rows, N on cols; temporal: K.
+                for m0 in (0..m).step_by(r) {
+                    let mh = (m - m0).min(r);
+                    for n0 in (0..n).step_by(c) {
+                        let nw = (n - n0).min(c);
+                        let fold = self.run_os_fold(a, b, m0, mh, n0, nw, k, &mut output);
+                        macs += fold;
+                        // Stream K with skew, then drain the R-deep column.
+                        cycles += (k + r + c - 2 + r) as u64;
+                        folds += 1;
+                    }
+                }
+            }
+            Dataflow::Ws => {
+                // Spatial: K on rows, N on cols; temporal: M. Partial sums
+                // accumulate into `output` across the K folds.
+                for k0 in (0..k).step_by(r) {
+                    let kh = (k - k0).min(r);
+                    for n0 in (0..n).step_by(c) {
+                        let nw = (n - n0).min(c);
+                        let fold = self.run_ws_fold(a, b, k0, kh, n0, nw, m, &mut output);
+                        macs += fold;
+                        // Fill R rows of weights, then stream M with skew.
+                        cycles += (r + m + r + c - 2) as u64;
+                        folds += 1;
+                    }
+                }
+            }
+            Dataflow::Is => {
+                // Spatial: K on rows, M on cols; temporal: N.
+                for k0 in (0..k).step_by(r) {
+                    let kh = (k - k0).min(r);
+                    for m0 in (0..m).step_by(c) {
+                        let mw = (m - m0).min(c);
+                        let fold = self.run_is_fold(a, b, k0, kh, m0, mw, n, &mut output);
+                        macs += fold;
+                        cycles += (r + n + r + c - 2) as u64;
+                        folds += 1;
+                    }
+                }
+            }
+        }
+
+        Ok(ExecutionResult {
+            output,
+            cycles,
+            folds,
+            macs_issued: macs,
+        })
+    }
+
+    /// One OS fold: PEs accumulate `C[m0..m0+mh, n0..n0+nw]`; `A` slabs enter
+    /// west skewed by row, `B` slabs enter north skewed by column.
+    #[allow(clippy::too_many_arguments)]
+    fn run_os_fold(
+        &self,
+        a: &SimMatrix,
+        b: &SimMatrix,
+        m0: usize,
+        mh: usize,
+        n0: usize,
+        nw: usize,
+        k: usize,
+        output: &mut SimMatrix,
+    ) -> u64 {
+        let mut grid = vec![Pe::default(); mh * nw];
+        let mut macs = 0u64;
+        // The last operand enters the far corner at cycle (mh-1)+(nw-1)+k-1.
+        let horizon = k + mh + nw - 2;
+        for t in 0..horizon {
+            // Step back-to-front so reads see the previous cycle's registers.
+            for i in (0..mh).rev() {
+                for j in (0..nw).rev() {
+                    let a_in = if j == 0 {
+                        // West edge of row i: a[m0+i][t - i], skewed by i.
+                        t.checked_sub(i)
+                            .filter(|&kk| kk < k)
+                            .map(|kk| a.get(m0 + i, kk))
+                    } else {
+                        grid[i * nw + (j - 1)].a
+                    };
+                    let b_in = if i == 0 {
+                        // North edge of column j: b[t - j][n0+j], skewed by j.
+                        t.checked_sub(j)
+                            .filter(|&kk| kk < k)
+                            .map(|kk| b.get(kk, n0 + j))
+                    } else {
+                        grid[(i - 1) * nw + j].b
+                    };
+                    let pe = &mut grid[i * nw + j];
+                    if let (Some(av), Some(bv)) = (a_in, b_in) {
+                        pe.acc += av * bv;
+                        macs += 1;
+                    }
+                    pe.a = a_in;
+                    pe.b = b_in;
+                }
+            }
+        }
+        for i in 0..mh {
+            for j in 0..nw {
+                output.set(m0 + i, n0 + j, output.get(m0 + i, n0 + j) + grid[i * nw + j].acc);
+            }
+        }
+        macs
+    }
+
+    /// One WS fold: `B[k0..k0+kh, n0..n0+nw]` is pinned; `A` rows stream in
+    /// west (skewed by PE row) and partial sums flow south, exiting into
+    /// `output[ · , n0..n0+nw]`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_ws_fold(
+        &self,
+        a: &SimMatrix,
+        b: &SimMatrix,
+        k0: usize,
+        kh: usize,
+        n0: usize,
+        nw: usize,
+        m: usize,
+        output: &mut SimMatrix,
+    ) -> u64 {
+        let mut grid = vec![Pe::default(); kh * nw];
+        // Fill phase: pin the weight tile (modeled as kh loads, charged as R
+        // cycles by the caller to match shifting through the full array).
+        for i in 0..kh {
+            for j in 0..nw {
+                grid[i * nw + j].stationary = Some(b.get(k0 + i, n0 + j));
+            }
+        }
+        let mut macs = 0u64;
+        // Per-column psum pipeline: psum[i][j] holds the value that PE(i,j)
+        // will pass south next cycle, tagged with its A-row index.
+        let mut psum: Vec<Option<(usize, f32)>> = vec![None; kh * nw];
+        let horizon = m + kh + nw - 2;
+        for t in 0..horizon {
+            for i in (0..kh).rev() {
+                for j in (0..nw).rev() {
+                    // a values move west->east along PE row i, skewed so that
+                    // row `mi` of A enters row i at cycle mi + i.
+                    let a_in: Option<(usize, f32)> = if j == 0 {
+                        t.checked_sub(i)
+                            .filter(|&mi| mi < m)
+                            .map(|mi| (mi, a.get(mi, k0 + i)))
+                    } else {
+                        grid[i * nw + (j - 1)].a.map(|v| {
+                            // Recover the row index from the skew: a value at
+                            // column j at cycle t belongs to A row t - i - j.
+                            (t - i - j, v)
+                        })
+                    };
+                    let psum_in: Option<(usize, f32)> = if i == 0 {
+                        a_in.map(|(mi, _)| (mi, 0.0))
+                    } else {
+                        psum[(i - 1) * nw + j]
+                    };
+                    let pe_idx = i * nw + j;
+                    let w = grid[pe_idx].stationary.unwrap_or(0.0);
+                    let next = match (a_in, psum_in) {
+                        (Some((mi, av)), Some((pmi, pv))) => {
+                            debug_assert_eq!(mi, pmi, "psum and operand must stay in lockstep");
+                            macs += 1;
+                            Some((mi, pv + av * w))
+                        }
+                        _ => None,
+                    };
+                    // Bottom row writes the finished partial sum out.
+                    if i == kh - 1 {
+                        if let Some((mi, pv)) = next {
+                            output.set(mi, n0 + j, output.get(mi, n0 + j) + pv);
+                        }
+                        psum[pe_idx] = None;
+                    } else {
+                        psum[pe_idx] = next;
+                    }
+                    grid[pe_idx].a = a_in.map(|(_, v)| v);
+                }
+            }
+        }
+        macs
+    }
+
+    /// One IS fold: `A^T[k0..k0+kh, m0..m0+mw]` is pinned (PE(k, m) holds
+    /// `A[m][k]`); `B` columns stream in west and psums flow south into
+    /// `output[m0..m0+mw, · ]`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_is_fold(
+        &self,
+        a: &SimMatrix,
+        b: &SimMatrix,
+        k0: usize,
+        kh: usize,
+        m0: usize,
+        mw: usize,
+        n: usize,
+        output: &mut SimMatrix,
+    ) -> u64 {
+        let mut grid = vec![Pe::default(); kh * mw];
+        for i in 0..kh {
+            for j in 0..mw {
+                grid[i * mw + j].stationary = Some(a.get(m0 + j, k0 + i));
+            }
+        }
+        let mut macs = 0u64;
+        let mut psum: Vec<Option<(usize, f32)>> = vec![None; kh * mw];
+        let horizon = n + kh + mw - 2;
+        for t in 0..horizon {
+            for i in (0..kh).rev() {
+                for j in (0..mw).rev() {
+                    let b_in: Option<(usize, f32)> = if j == 0 {
+                        t.checked_sub(i)
+                            .filter(|&ni| ni < n)
+                            .map(|ni| (ni, b.get(k0 + i, ni)))
+                    } else {
+                        grid[i * mw + (j - 1)].b.map(|v| (t - i - j, v))
+                    };
+                    let psum_in: Option<(usize, f32)> = if i == 0 {
+                        b_in.map(|(ni, _)| (ni, 0.0))
+                    } else {
+                        psum[(i - 1) * mw + j]
+                    };
+                    let pe_idx = i * mw + j;
+                    let s = grid[pe_idx].stationary.unwrap_or(0.0);
+                    let next = match (b_in, psum_in) {
+                        (Some((ni, bv)), Some((pni, pv))) => {
+                            debug_assert_eq!(ni, pni, "psum and operand must stay in lockstep");
+                            macs += 1;
+                            Some((ni, pv + bv * s))
+                        }
+                        _ => None,
+                    };
+                    if i == kh - 1 {
+                        if let Some((ni, pv)) = next {
+                            output.set(m0 + j, ni, output.get(m0 + j, ni) + pv);
+                        }
+                        psum[pe_idx] = None;
+                    } else {
+                        psum[pe_idx] = next;
+                    }
+                    grid[pe_idx].b = b_in.map(|(_, v)| v);
+                }
+            }
+        }
+        macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute;
+
+    fn matrix(rows: usize, cols: usize, seed: u64) -> SimMatrix {
+        // Small integers keep f32 arithmetic exact.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 60) as i64 - 8) as f32
+            })
+            .collect();
+        SimMatrix::from_vec(rows, cols, data)
+    }
+
+    fn check(m: u64, n: u64, k: u64, r: u64, c: u64, df: Dataflow) {
+        let wl = GemmWorkload::new(m, n, k).unwrap();
+        let a = matrix(m as usize, k as usize, m * 31 + k);
+        let b = matrix(k as usize, n as usize, n * 17 + k);
+        let arr = FunctionalArray::new(ArrayConfig::new(r, c).unwrap());
+        let result = arr.execute(&wl, &a, &b, df).unwrap();
+        // Numerical correctness against the golden model.
+        let golden = a.matmul_reference(&b);
+        assert_eq!(
+            result.output, golden,
+            "{df} on {r}x{c}: wrong product for {m}x{n}x{k}"
+        );
+        // Every MAC was issued exactly once.
+        assert_eq!(result.macs_issued, wl.macs(), "{df}: MAC count mismatch");
+        // Cycle count matches the analytical model exactly.
+        assert_eq!(
+            result.cycles,
+            compute::runtime_cycles(&wl, arr.config(), df),
+            "{df} on {r}x{c}: cycle mismatch for {m}x{n}x{k}"
+        );
+    }
+
+    #[test]
+    fn os_single_fold_exact_fit() {
+        check(4, 4, 6, 4, 4, Dataflow::Os);
+    }
+
+    #[test]
+    fn ws_single_fold_exact_fit() {
+        check(6, 4, 4, 4, 4, Dataflow::Ws);
+    }
+
+    #[test]
+    fn is_single_fold_exact_fit() {
+        check(4, 6, 4, 4, 4, Dataflow::Is);
+    }
+
+    #[test]
+    fn os_multi_fold_with_ragged_edges() {
+        check(9, 7, 5, 4, 4, Dataflow::Os);
+        check(10, 3, 8, 4, 2, Dataflow::Os);
+    }
+
+    #[test]
+    fn ws_multi_fold_accumulates_partial_sums() {
+        // K > R forces cross-fold accumulation.
+        check(5, 6, 11, 4, 4, Dataflow::Ws);
+        check(7, 9, 13, 2, 4, Dataflow::Ws);
+    }
+
+    #[test]
+    fn is_multi_fold_accumulates_partial_sums() {
+        check(6, 5, 11, 4, 4, Dataflow::Is);
+        check(9, 7, 13, 4, 2, Dataflow::Is);
+    }
+
+    #[test]
+    fn degenerate_vectors_work() {
+        // Matrix-vector and vector-matrix products.
+        for df in Dataflow::ALL {
+            check(1, 8, 8, 4, 4, df);
+            check(8, 1, 8, 4, 4, df);
+            check(8, 8, 1, 4, 4, df);
+            check(1, 1, 1, 2, 2, df);
+        }
+    }
+
+    #[test]
+    fn workload_much_larger_than_array() {
+        for df in Dataflow::ALL {
+            check(17, 19, 23, 4, 4, df);
+        }
+    }
+
+    #[test]
+    fn mismatched_operands_rejected() {
+        let wl = GemmWorkload::new(4, 4, 4).unwrap();
+        let a = SimMatrix::zeros(4, 5); // wrong K
+        let b = SimMatrix::zeros(4, 4);
+        let arr = FunctionalArray::new(ArrayConfig::new(4, 4).unwrap());
+        assert!(arr.execute(&wl, &a, &b, Dataflow::Os).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Analytical systolic-array simulator for the AIrchitect reproduction.
+//!
+//! The paper generates its ground-truth optimization data with SCALE-Sim
+//! (Samajdar et al.), an analytical model of a monolithic systolic array, and
+//! an in-house multi-array simulator for the scheduling case study. This crate
+//! re-implements both from scratch:
+//!
+//! * [`compute`] — fold-based runtime model for the three true systolic
+//!   dataflows (Output/Weight/Input Stationary),
+//! * [`memory`] — SRAM buffer sizing: DRAM traffic as a function of buffer
+//!   capacity (tiling reuse) plus a double-buffering stall model,
+//! * [`energy`] — Eyeriss-style per-access energy accounting,
+//! * [`multi`] — concurrent execution of independent workloads on a set of
+//!   heterogeneous arrays (case study 3),
+//! * [`report`] — one-stop [`report::SimReport`] aggregating all of the above.
+//!
+//! # Model summary (see DESIGN.md §3 for the substitution rationale)
+//!
+//! Runtime per dataflow, for `C[M x N] = A[M x K] · B[K x N]` on an `R x C`
+//! array (`⌈·⌉` is ceiling division):
+//!
+//! ```text
+//! T_OS = ⌈M/R⌉·⌈N/C⌉·(2R + C + K − 2)
+//! T_WS = ⌈K/R⌉·⌈N/C⌉·(2R + C + M − 2)
+//! T_IS = ⌈K/R⌉·⌈M/C⌉·(2R + C + N − 2)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use airchitect_sim::{ArrayConfig, Dataflow};
+//! use airchitect_workload::GemmWorkload;
+//!
+//! let wl = GemmWorkload::new(64, 64, 256)?;
+//! let array = ArrayConfig::new(16, 32)?;
+//! let cycles = airchitect_sim::compute::runtime_cycles(&wl, array, Dataflow::Os);
+//! assert!(cycles >= wl.macs() / array.macs()); // compute lower bound
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod array;
+pub mod functional;
+mod dataflow;
+mod error;
+
+pub mod compute;
+pub mod energy;
+pub mod memory;
+pub mod multi;
+pub mod report;
+pub mod trace;
+
+pub use array::ArrayConfig;
+pub use dataflow::Dataflow;
+pub use error::SimError;

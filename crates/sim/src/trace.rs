@@ -1,0 +1,248 @@
+//! Phase-level execution traces.
+//!
+//! SCALE-Sim's second output (besides cycle counts) is per-cycle SRAM
+//! read/write traces. This module produces their phase-level equivalent: for
+//! every fold, the fill / stream / drain phases with their cycle spans and
+//! the operand bytes each phase moves across the array edge. Totals are tied
+//! to the analytical model by construction and by test:
+//!
+//! * summed phase cycles == [`crate::compute::runtime_cycles`],
+//! * summed phase bytes  == [`crate::compute::array_io_elems`].
+//!
+//! The trace drives bandwidth-demand plots (sawtooth per-fold curves) and
+//! the `simulate --trace`-style tooling a SCALE-Sim user expects.
+
+use airchitect_workload::GemmWorkload;
+use serde::{Deserialize, Serialize};
+
+use crate::compute::{self, Tiling};
+use crate::{ArrayConfig, Dataflow};
+
+/// What a phase does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Loading the stationary tile (WS/IS).
+    Fill,
+    /// Pipelined streaming of the moving operands (all dataflows).
+    Stream,
+    /// Draining output-stationary accumulators (OS).
+    Drain,
+}
+
+impl std::fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PhaseKind::Fill => "fill",
+            PhaseKind::Stream => "stream",
+            PhaseKind::Drain => "drain",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One phase of one fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Fold index (row-major over the fold grid).
+    pub fold: u64,
+    /// Phase kind.
+    pub kind: PhaseKind,
+    /// Cycle count of the phase.
+    pub cycles: u64,
+    /// IFMAP bytes crossing the array edge during the phase.
+    pub ifmap_bytes: u64,
+    /// Filter bytes crossing the array edge during the phase.
+    pub filter_bytes: u64,
+    /// OFMAP bytes crossing the array edge during the phase.
+    pub ofmap_bytes: u64,
+}
+
+impl Phase {
+    /// Total bytes moved in the phase.
+    pub fn total_bytes(&self) -> u64 {
+        self.ifmap_bytes + self.filter_bytes + self.ofmap_bytes
+    }
+
+    /// Mean bandwidth demand of the phase in bytes/cycle.
+    pub fn mean_bandwidth(&self) -> f64 {
+        self.total_bytes() as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// A full execution trace: phases in execution order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    phases: Vec<Phase>,
+}
+
+impl ExecutionTrace {
+    /// The phases in execution order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total cycles (equals the analytical runtime).
+    pub fn total_cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.cycles).sum()
+    }
+
+    /// Total bytes moved (equals the analytical array I/O volume).
+    pub fn total_bytes(&self) -> u64 {
+        self.phases.iter().map(Phase::total_bytes).sum()
+    }
+
+    /// Peak mean-bandwidth demand across phases, in bytes/cycle — the
+    /// interface provisioning point.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(Phase::mean_bandwidth)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Builds the phase trace of `workload` on `array` under `dataflow`.
+pub fn trace(workload: &GemmWorkload, array: ArrayConfig, dataflow: Dataflow) -> ExecutionTrace {
+    let t: Tiling = compute::tiling(workload, array, dataflow);
+    let (r, c) = (array.rows(), array.cols());
+    let eff_r = r.min(t.row_extent);
+    let eff_c = c.min(t.col_extent);
+    let temporal = t.temporal_extent;
+    let mut phases = Vec::with_capacity((t.folds() * 3) as usize);
+
+    for fold in 0..t.folds() {
+        match dataflow {
+            Dataflow::Os => {
+                // Stream: A slab (R x K) west + B slab (K x C) north.
+                phases.push(Phase {
+                    fold,
+                    kind: PhaseKind::Stream,
+                    cycles: temporal + r + c - 2,
+                    ifmap_bytes: eff_r * temporal,
+                    filter_bytes: temporal * eff_c,
+                    ofmap_bytes: 0,
+                });
+                // Drain: the R x C accumulator tile exits south.
+                phases.push(Phase {
+                    fold,
+                    kind: PhaseKind::Drain,
+                    cycles: r,
+                    ifmap_bytes: 0,
+                    filter_bytes: 0,
+                    ofmap_bytes: eff_r * eff_c,
+                });
+            }
+            Dataflow::Ws => {
+                phases.push(Phase {
+                    fold,
+                    kind: PhaseKind::Fill,
+                    cycles: r,
+                    ifmap_bytes: 0,
+                    filter_bytes: eff_r * eff_c,
+                    ofmap_bytes: 0,
+                });
+                phases.push(Phase {
+                    fold,
+                    kind: PhaseKind::Stream,
+                    cycles: temporal + r + c - 2,
+                    ifmap_bytes: temporal * eff_r,
+                    filter_bytes: 0,
+                    ofmap_bytes: temporal * eff_c,
+                });
+            }
+            Dataflow::Is => {
+                phases.push(Phase {
+                    fold,
+                    kind: PhaseKind::Fill,
+                    cycles: r,
+                    ifmap_bytes: eff_r * eff_c,
+                    filter_bytes: 0,
+                    ofmap_bytes: 0,
+                });
+                phases.push(Phase {
+                    fold,
+                    kind: PhaseKind::Stream,
+                    cycles: temporal + r + c - 2,
+                    ifmap_bytes: 0,
+                    filter_bytes: temporal * eff_r,
+                    ofmap_bytes: temporal * eff_c,
+                });
+            }
+        }
+    }
+    ExecutionTrace { phases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(m: u64, n: u64, k: u64) -> GemmWorkload {
+        GemmWorkload::new(m, n, k).unwrap()
+    }
+
+    fn arr(r: u64, c: u64) -> ArrayConfig {
+        ArrayConfig::new(r, c).unwrap()
+    }
+
+    #[test]
+    fn trace_cycles_match_analytical_runtime() {
+        for df in Dataflow::ALL {
+            for (m, n, k) in [(8, 8, 8), (100, 37, 211), (513, 9, 1024)] {
+                let w = wl(m, n, k);
+                let a = arr(8, 16);
+                assert_eq!(
+                    trace(&w, a, df).total_cycles(),
+                    compute::runtime_cycles(&w, a, df),
+                    "{df} {m}x{n}x{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_bytes_match_array_io() {
+        for df in Dataflow::ALL {
+            for (m, n, k) in [(8, 8, 8), (100, 37, 211), (513, 9, 1024)] {
+                let w = wl(m, n, k);
+                let a = arr(16, 4);
+                assert_eq!(
+                    trace(&w, a, df).total_bytes(),
+                    compute::array_io_elems(&w, a, df),
+                    "{df} {m}x{n}x{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn os_folds_have_stream_then_drain() {
+        let t = trace(&wl(16, 16, 32), arr(8, 8), Dataflow::Os);
+        assert_eq!(t.phases().len(), 4 * 2); // 4 folds, 2 phases each
+        for pair in t.phases().chunks(2) {
+            assert_eq!(pair[0].kind, PhaseKind::Stream);
+            assert_eq!(pair[1].kind, PhaseKind::Drain);
+            assert_eq!(pair[0].fold, pair[1].fold);
+            assert!(pair[1].ofmap_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn ws_fill_moves_only_filter_bytes() {
+        let t = trace(&wl(64, 16, 32), arr(8, 8), Dataflow::Ws);
+        for p in t.phases().iter().filter(|p| p.kind == PhaseKind::Fill) {
+            assert!(p.filter_bytes > 0);
+            assert_eq!(p.ifmap_bytes, 0);
+            assert_eq!(p.ofmap_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn peak_bandwidth_is_positive_and_bounded() {
+        let t = trace(&wl(100, 100, 100), arr(8, 8), Dataflow::Os);
+        let peak = t.peak_bandwidth();
+        assert!(peak > 0.0);
+        // A phase cannot move more than its bytes in one cycle each.
+        assert!(peak <= t.total_bytes() as f64);
+    }
+}

@@ -1,0 +1,65 @@
+//! Seeded weight initializers.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Matrix;
+
+/// Xavier/Glorot uniform initialization: `U(-limit, limit)` with
+/// `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Example
+///
+/// ```
+/// use airchitect_tensor::init::xavier_uniform;
+///
+/// let w = xavier_uniform(64, 256, 42);
+/// assert_eq!((w.rows(), w.cols()), (64, 256));
+/// let limit = (6.0f32 / (64.0 + 256.0)).sqrt();
+/// assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+/// ```
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(fan_in, fan_out, -limit, limit, seed)
+}
+
+/// Uniform initialization `U(lo, hi)` of a `rows x cols` matrix.
+///
+/// # Panics
+///
+/// Panics if `hi < lo`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> Matrix {
+    assert!(hi >= lo, "empty range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| lo + (hi - lo) * rng.random::<f32>())
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(xavier_uniform(8, 8, 1), xavier_uniform(8, 8, 1));
+        assert_ne!(xavier_uniform(8, 8, 1), xavier_uniform(8, 8, 2));
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let w = xavier_uniform(100, 50, 3);
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+        // And is not degenerate.
+        let spread = w.as_slice().iter().cloned().fold(0.0f32, |a, v| a.max(v.abs()));
+        assert!(spread > limit * 0.5);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let w = uniform(10, 10, 2.0, 3.0, 9);
+        assert!(w.as_slice().iter().all(|&v| (2.0..=3.0).contains(&v)));
+    }
+}

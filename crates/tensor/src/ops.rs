@@ -1,0 +1,118 @@
+//! Elementwise and reduction operations used by the NN layers.
+
+use crate::Matrix;
+
+/// ReLU applied out of place.
+pub fn relu(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for v in out.as_mut_slice() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+/// Masks `grad` by the ReLU activation pattern of `pre_activation`:
+/// `grad[i] if pre_activation[i] > 0 else 0`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn relu_backward(grad: &Matrix, pre_activation: &Matrix) -> Matrix {
+    assert_eq!(
+        (grad.rows(), grad.cols()),
+        (pre_activation.rows(), pre_activation.cols()),
+        "relu_backward shape mismatch"
+    );
+    let mut out = grad.clone();
+    for (g, &x) in out.as_mut_slice().iter_mut().zip(pre_activation.as_slice()) {
+        if x <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    out
+}
+
+/// Row-wise softmax with the usual max-subtraction for numerical stability.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Index of the maximum entry in each row.
+pub fn argmax_rows(m: &Matrix) -> Vec<u32> {
+    (0..m.rows())
+        .map(|r| {
+            let row = m.row(r);
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let m = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        assert_eq!(relu(&m).row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let pre = Matrix::from_rows(&[&[-1.0, 0.5, 0.0]]);
+        let grad = Matrix::from_rows(&[&[10.0, 10.0, 10.0]]);
+        assert_eq!(relu_backward(&grad, &pre).row(0), &[0.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(s.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let m = Matrix::from_rows(&[&[1000.0, 1001.0]]);
+        let s = softmax_rows(&m);
+        assert!(s.row(0).iter().all(|v| v.is_finite()));
+        assert!(s.get(0, 1) > s.get(0, 0));
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        let m = Matrix::from_rows(&[&[0.1, 0.9, 0.0], &[5.0, 1.0, 2.0]]);
+        assert_eq!(argmax_rows(&m), vec![1, 0]);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_first() {
+        let m = Matrix::from_rows(&[&[1.0, 1.0]]);
+        assert_eq!(argmax_rows(&m), vec![0]);
+    }
+}

@@ -1,0 +1,171 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GemmWorkload, WorkloadError};
+
+/// A 2-D convolution layer, lowered to a GEMM via im2col.
+///
+/// The im2col lowering used throughout the systolic-array literature (and by
+/// SCALE-Sim, the paper's cost model) maps a convolution onto a GEMM with
+///
+/// * `M = H_out · W_out` (number of output pixels),
+/// * `N = C_out` (number of filters),
+/// * `K = C_in · K_h · K_w` (unrolled receptive field).
+///
+/// # Example
+///
+/// ```
+/// use airchitect_workload::ConvLayer;
+///
+/// // AlexNet conv1: 227x227x3 input, 96 11x11 filters, stride 4.
+/// let conv1 = ConvLayer::new("conv1", 227, 227, 3, 96, 11, 11, 4, 0)?;
+/// let gemm = conv1.to_gemm()?;
+/// assert_eq!(gemm.m(), 55 * 55);
+/// assert_eq!(gemm.n(), 96);
+/// assert_eq!(gemm.k(), 3 * 11 * 11);
+/// # Ok::<(), airchitect_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvLayer {
+    name: String,
+    input_h: u64,
+    input_w: u64,
+    in_channels: u64,
+    out_channels: u64,
+    kernel_h: u64,
+    kernel_w: u64,
+    stride: u64,
+    padding: u64,
+}
+
+impl ConvLayer {
+    /// Creates a convolution layer description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConv`] if any size or the stride is
+    /// zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        input_h: u64,
+        input_w: u64,
+        in_channels: u64,
+        out_channels: u64,
+        kernel_h: u64,
+        kernel_w: u64,
+        stride: u64,
+        padding: u64,
+    ) -> Result<Self, WorkloadError> {
+        let checks: [(u64, &'static str); 7] = [
+            (input_h, "input height is zero"),
+            (input_w, "input width is zero"),
+            (in_channels, "input channels is zero"),
+            (out_channels, "output channels is zero"),
+            (kernel_h, "kernel height is zero"),
+            (kernel_w, "kernel width is zero"),
+            (stride, "stride is zero"),
+        ];
+        for (v, what) in checks {
+            if v == 0 {
+                return Err(WorkloadError::InvalidConv { what });
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            input_h,
+            input_w,
+            in_channels,
+            out_channels,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+        })
+    }
+
+    /// The layer's name (e.g. `"conv1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output height after convolution.
+    pub fn output_h(&self) -> u64 {
+        conv_out(self.input_h, self.kernel_h, self.stride, self.padding)
+    }
+
+    /// Output width after convolution.
+    pub fn output_w(&self) -> u64 {
+        conv_out(self.input_w, self.kernel_w, self.stride, self.padding)
+    }
+
+    /// Lowers the convolution to its im2col GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::EmptyOutput`] if the kernel does not fit in
+    /// the (padded) input.
+    pub fn to_gemm(&self) -> Result<GemmWorkload, WorkloadError> {
+        let (oh, ow) = (self.output_h(), self.output_w());
+        if oh == 0 || ow == 0 {
+            return Err(WorkloadError::EmptyOutput);
+        }
+        GemmWorkload::new(
+            oh * ow,
+            self.out_channels,
+            self.in_channels * self.kernel_h * self.kernel_w,
+        )
+    }
+}
+
+/// `floor((in + 2·pad - kernel) / stride) + 1`, saturating to 0 when the
+/// kernel does not fit.
+fn conv_out(input: u64, kernel: u64, stride: u64, padding: u64) -> u64 {
+    let padded = input + 2 * padding;
+    if padded < kernel {
+        return 0;
+    }
+    (padded - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_conv1_shape() {
+        let c = ConvLayer::new("conv1", 227, 227, 3, 96, 11, 11, 4, 0).unwrap();
+        assert_eq!(c.output_h(), 55);
+        assert_eq!(c.output_w(), 55);
+        let g = c.to_gemm().unwrap();
+        assert_eq!(g.as_tuple(), (3025, 96, 363));
+    }
+
+    #[test]
+    fn padding_preserves_size_for_3x3_stride_1() {
+        let c = ConvLayer::new("same", 56, 56, 64, 64, 3, 3, 1, 1).unwrap();
+        assert_eq!(c.output_h(), 56);
+        assert_eq!(c.output_w(), 56);
+    }
+
+    #[test]
+    fn kernel_larger_than_input_is_empty() {
+        let c = ConvLayer::new("bad", 2, 2, 1, 1, 5, 5, 1, 0).unwrap();
+        assert_eq!(c.to_gemm(), Err(WorkloadError::EmptyOutput));
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        assert!(matches!(
+            ConvLayer::new("bad", 8, 8, 1, 1, 3, 3, 0, 0),
+            Err(WorkloadError::InvalidConv { .. })
+        ));
+    }
+
+    #[test]
+    fn pointwise_conv_gemm() {
+        // MobileNet-style 1x1 conv.
+        let c = ConvLayer::new("pw", 14, 14, 256, 512, 1, 1, 1, 0).unwrap();
+        let g = c.to_gemm().unwrap();
+        assert_eq!(g.as_tuple(), (196, 512, 256));
+    }
+}

@@ -1,0 +1,222 @@
+//! Workload samplers reproducing the paper's GEMM dimension distribution.
+//!
+//! Paper Fig. 7a plots the distribution of operand matrix dimensions for the
+//! GEMM operations of popular neural networks; the dataset-generation step
+//! samples `M`, `N`, `K` from that distribution. We provide two samplers:
+//!
+//! * [`CnnWorkloadSampler`] — the faithful reproduction: an empirical sampler
+//!   seeded by the bundled CNN layer tables ([`crate::models`]), with
+//!   multiplicative log-space jitter so that 10^4..10^6 distinct workloads can
+//!   be drawn from a few hundred base layers,
+//! * [`LogUniformSampler`] — a simple log-uniform fallback used in tests and
+//!   in ablation benches.
+
+use rand::{Rng, RngExt};
+
+use crate::{models, GemmWorkload};
+
+/// Samples each GEMM dimension log-uniformly from `[min, max]`.
+///
+/// # Example
+///
+/// ```
+/// use airchitect_workload::distribution::LogUniformSampler;
+/// use rand::SeedableRng;
+///
+/// let sampler = LogUniformSampler::new(1, 4096);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let wl = sampler.sample(&mut rng);
+/// assert!(wl.m() >= 1 && wl.m() <= 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogUniformSampler {
+    min: u64,
+    max: u64,
+}
+
+impl LogUniformSampler {
+    /// Creates a sampler over `[min, max]`, clamping `min` to at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max < min`.
+    pub fn new(min: u64, max: u64) -> Self {
+        let min = min.max(1);
+        assert!(max >= min, "max ({max}) must be >= min ({min})");
+        Self { min, max }
+    }
+
+    /// Draws one dimension.
+    pub fn sample_dim<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let lo = (self.min as f64).ln();
+        let hi = (self.max as f64).ln();
+        let v = (lo + (hi - lo) * rng.random::<f64>()).exp();
+        (v.round() as u64).clamp(self.min, self.max)
+    }
+
+    /// Draws a full GEMM workload with independent dimensions.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> GemmWorkload {
+        GemmWorkload::new(
+            self.sample_dim(rng),
+            self.sample_dim(rng),
+            self.sample_dim(rng),
+        )
+        .expect("dims are >= 1 by construction")
+    }
+}
+
+/// Empirical sampler over the GEMM dimensions of the bundled CNNs.
+///
+/// Sampling picks a random base layer *per dimension* and applies
+/// multiplicative jitter `2^u` with `u ~ U(-jitter, +jitter)` in log2 space,
+/// then clamps to `[1, max_dim]`. Picking dimensions independently matches
+/// the paper's description of sampling `M`, `N`, `K` "from the distribution
+/// depicted in Fig. 7(a)" (a per-dimension histogram, not a joint one).
+#[derive(Debug, Clone)]
+pub struct CnnWorkloadSampler {
+    ms: Vec<u64>,
+    ns: Vec<u64>,
+    ks: Vec<u64>,
+    jitter: f64,
+    max_dim: u64,
+}
+
+impl CnnWorkloadSampler {
+    /// Default multiplicative jitter, in log2 units (one octave).
+    pub const DEFAULT_JITTER: f64 = 1.0;
+    /// Default dimension cap (matches the paper's bound "determined from
+    /// layers of popular conv-nets").
+    pub const DEFAULT_MAX_DIM: u64 = 1 << 14;
+
+    /// Builds the sampler from all bundled networks with default jitter.
+    pub fn new() -> Self {
+        Self::with_jitter(Self::DEFAULT_JITTER, Self::DEFAULT_MAX_DIM)
+    }
+
+    /// Builds the sampler with explicit jitter (log2 units) and dim cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is negative or `max_dim` is zero.
+    pub fn with_jitter(jitter: f64, max_dim: u64) -> Self {
+        assert!(jitter >= 0.0, "jitter must be non-negative");
+        assert!(max_dim >= 1, "max_dim must be >= 1");
+        let gemms = models::all_gemms();
+        Self {
+            ms: gemms.iter().map(|(_, g)| g.m()).collect(),
+            ns: gemms.iter().map(|(_, g)| g.n()).collect(),
+            ks: gemms.iter().map(|(_, g)| g.k()).collect(),
+            jitter,
+            max_dim,
+        }
+    }
+
+    fn jittered<R: Rng + ?Sized>(&self, base: u64, rng: &mut R) -> u64 {
+        let u = (rng.random::<f64>() * 2.0 - 1.0) * self.jitter;
+        let v = (base as f64) * u.exp2();
+        (v.round() as u64).clamp(1, self.max_dim)
+    }
+
+    /// Draws one GEMM workload.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> GemmWorkload {
+        let m = self.jittered(self.ms[rng.random_range(0..self.ms.len())], rng);
+        let n = self.jittered(self.ns[rng.random_range(0..self.ns.len())], rng);
+        let k = self.jittered(self.ks[rng.random_range(0..self.ks.len())], rng);
+        GemmWorkload::new(m, n, k).expect("dims clamped to >= 1")
+    }
+
+    /// Draws `count` workloads.
+    pub fn sample_many<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<GemmWorkload> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+impl Default for CnnWorkloadSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Histogram of `log2(dim)` rounded to the nearest integer bin, as plotted in
+/// paper Fig. 7a. Returns `(bin, count)` pairs sorted by bin.
+pub fn log2_histogram<I: IntoIterator<Item = u64>>(dims: I) -> Vec<(u32, usize)> {
+    use std::collections::BTreeMap;
+    let mut bins: BTreeMap<u32, usize> = BTreeMap::new();
+    for d in dims {
+        let bin = (d.max(1) as f64).log2().round() as u32;
+        *bins.entry(bin).or_insert(0) += 1;
+    }
+    bins.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_uniform_respects_bounds() {
+        let s = LogUniformSampler::new(4, 512);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let wl = s.sample(&mut rng);
+            for d in [wl.m(), wl.n(), wl.k()] {
+                assert!((4..=512).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >=")]
+    fn log_uniform_rejects_inverted_bounds() {
+        let _ = LogUniformSampler::new(10, 5);
+    }
+
+    #[test]
+    fn cnn_sampler_is_deterministic_per_seed() {
+        let s = CnnWorkloadSampler::new();
+        let a = s.sample_many(50, &mut StdRng::seed_from_u64(42));
+        let b = s.sample_many(50, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cnn_sampler_respects_cap() {
+        let s = CnnWorkloadSampler::with_jitter(2.0, 1 << 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        for wl in s.sample_many(500, &mut rng) {
+            assert!(wl.m() <= 1 << 10);
+            assert!(wl.n() <= 1 << 10);
+            assert!(wl.k() <= 1 << 10);
+        }
+    }
+
+    #[test]
+    fn cnn_sampler_produces_diverse_workloads() {
+        let s = CnnWorkloadSampler::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let wls = s.sample_many(200, &mut rng);
+        let mut uniq = wls.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() > 150, "sampler should rarely repeat workloads");
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_base_layers() {
+        let s = CnnWorkloadSampler::with_jitter(0.0, u64::MAX >> 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let base_ms = &s.ms;
+        for _ in 0..100 {
+            let wl = s.sample(&mut rng);
+            assert!(base_ms.contains(&wl.m()));
+        }
+    }
+
+    #[test]
+    fn histogram_bins_log2() {
+        let h = log2_histogram([1, 2, 2, 4, 1000]);
+        assert_eq!(h, vec![(0, 1), (1, 2), (2, 1), (10, 1)]);
+    }
+}

@@ -1,0 +1,37 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing an invalid workload description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A GEMM dimension was zero.
+    ZeroDimension {
+        /// Which of `M`, `N`, `K` was zero.
+        which: &'static str,
+    },
+    /// A convolution parameter was invalid (zero size or stride).
+    InvalidConv {
+        /// Human readable description of the offending parameter.
+        what: &'static str,
+    },
+    /// The convolution output would be empty for the given input size.
+    EmptyOutput,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ZeroDimension { which } => {
+                write!(f, "gemm dimension `{which}` must be non-zero")
+            }
+            WorkloadError::InvalidConv { what } => {
+                write!(f, "invalid convolution parameter: {what}")
+            }
+            WorkloadError::EmptyOutput => {
+                write!(f, "convolution produces an empty output feature map")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}

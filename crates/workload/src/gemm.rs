@@ -1,0 +1,152 @@
+use serde::{Deserialize, Serialize};
+
+use crate::WorkloadError;
+
+/// A dense GEMM workload computing `C[M x N] = A[M x K] · B[K x N]`.
+///
+/// In the paper's CNN terminology (Eyeriss-style, im2col lowering):
+///
+/// * `A` (`M x K`) is the **IFMAP** operand — `M` output pixels by `K`
+///   unrolled input-channel/kernel elements,
+/// * `B` (`K x N`) is the **Filter** operand — `N` output channels,
+/// * `C` (`M x N`) is the **OFMAP** (or partial sums while accumulating).
+///
+/// Dimensions are strictly positive; see [`GemmWorkload::new`].
+///
+/// # Example
+///
+/// ```
+/// use airchitect_workload::GemmWorkload;
+///
+/// let wl = GemmWorkload::new(128, 256, 64)?;
+/// assert_eq!(wl.macs(), 128 * 256 * 64);
+/// assert_eq!(wl.ifmap_elems(), 128 * 64);
+/// # Ok::<(), airchitect_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GemmWorkload {
+    m: u64,
+    n: u64,
+    k: u64,
+}
+
+impl GemmWorkload {
+    /// Creates a GEMM workload `M x K · K x N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroDimension`] if any dimension is zero.
+    pub fn new(m: u64, n: u64, k: u64) -> Result<Self, WorkloadError> {
+        for (v, which) in [(m, "M"), (n, "N"), (k, "K")] {
+            if v == 0 {
+                return Err(WorkloadError::ZeroDimension { which });
+            }
+        }
+        Ok(Self { m, n, k })
+    }
+
+    /// The `M` dimension (rows of `A` and `C`).
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// The `N` dimension (columns of `B` and `C`).
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The `K` dimension (inner / reduction dimension).
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Total number of multiply-accumulate operations: `M · N · K`.
+    pub fn macs(&self) -> u64 {
+        self.m * self.n * self.k
+    }
+
+    /// Number of elements in the IFMAP operand `A[M x K]`.
+    pub fn ifmap_elems(&self) -> u64 {
+        self.m * self.k
+    }
+
+    /// Number of elements in the Filter operand `B[K x N]`.
+    pub fn filter_elems(&self) -> u64 {
+        self.k * self.n
+    }
+
+    /// Number of elements in the OFMAP operand `C[M x N]`.
+    pub fn ofmap_elems(&self) -> u64 {
+        self.m * self.n
+    }
+
+    /// Aspect ratio `M : K` of the IFMAP operand (paper Fig. 6a x-axis).
+    pub fn ifmap_aspect(&self) -> f64 {
+        self.m as f64 / self.k as f64
+    }
+
+    /// Aspect ratio `K : N` of the Filter operand (paper Fig. 6b x-axis).
+    pub fn filter_aspect(&self) -> f64 {
+        self.k as f64 / self.n as f64
+    }
+
+    /// Aspect ratio `M : N` of the OFMAP operand (paper Fig. 6c x-axis).
+    pub fn ofmap_aspect(&self) -> f64 {
+        self.m as f64 / self.n as f64
+    }
+
+    /// The workload as an `(m, n, k)` tuple.
+    pub fn as_tuple(&self) -> (u64, u64, u64) {
+        (self.m, self.n, self.k)
+    }
+}
+
+impl std::fmt::Display for GemmWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GEMM(M={}, N={}, K={})", self.m, self.n, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_dims() {
+        assert_eq!(
+            GemmWorkload::new(0, 1, 1),
+            Err(WorkloadError::ZeroDimension { which: "M" })
+        );
+        assert_eq!(
+            GemmWorkload::new(1, 0, 1),
+            Err(WorkloadError::ZeroDimension { which: "N" })
+        );
+        assert_eq!(
+            GemmWorkload::new(1, 1, 0),
+            Err(WorkloadError::ZeroDimension { which: "K" })
+        );
+    }
+
+    #[test]
+    fn operand_sizes_are_consistent() {
+        let wl = GemmWorkload::new(3, 5, 7).unwrap();
+        assert_eq!(wl.macs(), 105);
+        assert_eq!(wl.ifmap_elems(), 21);
+        assert_eq!(wl.filter_elems(), 35);
+        assert_eq!(wl.ofmap_elems(), 15);
+    }
+
+    #[test]
+    fn aspect_ratios() {
+        let wl = GemmWorkload::new(10, 5, 2).unwrap();
+        assert!((wl.ifmap_aspect() - 5.0).abs() < 1e-12);
+        assert!((wl.filter_aspect() - 0.4).abs() < 1e-12);
+        assert!((wl.ofmap_aspect() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let wl = GemmWorkload::new(1, 2, 3).unwrap();
+        assert_eq!(wl.to_string(), "GEMM(M=1, N=2, K=3)");
+    }
+}

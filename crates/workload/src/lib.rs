@@ -1,0 +1,40 @@
+//! GEMM workload modeling for the AIrchitect reproduction.
+//!
+//! The paper evaluates design-space exploration on GEMM (GEneral Matrix-matrix
+//! Multiplication) workloads whose dimensions are drawn from the layers of
+//! popular convolutional networks (paper Fig. 7a). This crate provides:
+//!
+//! * [`GemmWorkload`] — the `M x K · K x N` workload description that every
+//!   other crate consumes,
+//! * [`ConvLayer`] — a convolution layer description plus its im2col lowering
+//!   to a GEMM,
+//! * [`models`] — layer tables for AlexNet, ResNet-18, MobileNet-V1,
+//!   GoogLeNet, and the FasterRCNN head (the networks named in paper Fig. 11a),
+//! * [`distribution`] — samplers that reproduce the paper's workload
+//!   distribution for dataset generation.
+//!
+//! # Example
+//!
+//! ```
+//! use airchitect_workload::{GemmWorkload, models};
+//!
+//! let wl = GemmWorkload::new(224, 64, 147)?;
+//! assert_eq!(wl.macs(), 224 * 64 * 147);
+//!
+//! // Every bundled CNN lowers to a non-empty list of GEMMs.
+//! assert!(!models::alexnet_gemms().is_empty());
+//! # Ok::<(), airchitect_workload::WorkloadError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod gemm;
+
+pub mod distribution;
+pub mod models;
+
+pub use conv::ConvLayer;
+pub use error::WorkloadError;
+pub use gemm::GemmWorkload;

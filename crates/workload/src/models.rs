@@ -1,0 +1,345 @@
+//! Layer tables for the CNNs used by the paper (Fig. 7a and Fig. 11a).
+//!
+//! The paper derives its workload distribution from "layers of popular
+//! conv-nets" and evaluates the trained model on layers of FasterRCNN,
+//! GoogLeNet, AlexNet, MobileNet, and ResNet-18. This module bundles those
+//! layer tables so the reproduction can regenerate both the distribution
+//! (Fig. 7a) and the unseen-layer evaluation (Fig. 11a).
+//!
+//! Layer hyper-parameters follow the original publications; fully-connected
+//! layers are expressed directly as `M=1` GEMMs (batch size one).
+
+use crate::{ConvLayer, GemmWorkload};
+
+/// A named network: its list of convolution layers plus any FC-layer GEMMs.
+#[derive(Debug, Clone)]
+pub struct NetworkTable {
+    /// Human readable network name (e.g. `"resnet18"`).
+    pub name: &'static str,
+    /// Convolution layers, lowered lazily via [`ConvLayer::to_gemm`].
+    pub convs: Vec<ConvLayer>,
+    /// Additional GEMMs (fully-connected layers), already lowered.
+    pub extra_gemms: Vec<(String, GemmWorkload)>,
+}
+
+impl NetworkTable {
+    /// All GEMM workloads of the network, in layer order, with names.
+    pub fn gemms(&self) -> Vec<(String, GemmWorkload)> {
+        let mut out: Vec<(String, GemmWorkload)> = self
+            .convs
+            .iter()
+            .filter_map(|c| c.to_gemm().ok().map(|g| (c.name().to_string(), g)))
+            .collect();
+        out.extend(self.extra_gemms.iter().cloned());
+        out
+    }
+}
+
+fn conv(
+    name: &str,
+    hw: u64,
+    cin: u64,
+    cout: u64,
+    k: u64,
+    stride: u64,
+    pad: u64,
+) -> ConvLayer {
+    ConvLayer::new(name, hw, hw, cin, cout, k, k, stride, pad)
+        .expect("static layer tables are valid")
+}
+
+fn fc(name: &str, inputs: u64, outputs: u64) -> (String, GemmWorkload) {
+    (
+        name.to_string(),
+        GemmWorkload::new(1, outputs, inputs).expect("static layer tables are valid"),
+    )
+}
+
+/// AlexNet (Krizhevsky et al., 2012): 5 convolutions and 3 FC layers.
+pub fn alexnet() -> NetworkTable {
+    NetworkTable {
+        name: "alexnet",
+        convs: vec![
+            conv("conv1", 227, 3, 96, 11, 4, 0),
+            conv("conv2", 27, 96, 256, 5, 1, 2),
+            conv("conv3", 13, 256, 384, 3, 1, 1),
+            conv("conv4", 13, 384, 384, 3, 1, 1),
+            conv("conv5", 13, 384, 256, 3, 1, 1),
+        ],
+        extra_gemms: vec![
+            fc("fc6", 9216, 4096),
+            fc("fc7", 4096, 4096),
+            fc("fc8", 4096, 1000),
+        ],
+    }
+}
+
+/// ResNet-18 (He et al., 2015): stem plus the four basic-block stages.
+pub fn resnet18() -> NetworkTable {
+    NetworkTable {
+        name: "resnet18",
+        convs: vec![
+            conv("conv1", 224, 3, 64, 7, 2, 3),
+            // Stage 1: 56x56, 64ch
+            conv("layer1.0.conv1", 56, 64, 64, 3, 1, 1),
+            conv("layer1.0.conv2", 56, 64, 64, 3, 1, 1),
+            conv("layer1.1.conv1", 56, 64, 64, 3, 1, 1),
+            conv("layer1.1.conv2", 56, 64, 64, 3, 1, 1),
+            // Stage 2: downsample to 28x28, 128ch
+            conv("layer2.0.conv1", 56, 64, 128, 3, 2, 1),
+            conv("layer2.0.conv2", 28, 128, 128, 3, 1, 1),
+            conv("layer2.0.downsample", 56, 64, 128, 1, 2, 0),
+            conv("layer2.1.conv1", 28, 128, 128, 3, 1, 1),
+            conv("layer2.1.conv2", 28, 128, 128, 3, 1, 1),
+            // Stage 3: 14x14, 256ch
+            conv("layer3.0.conv1", 28, 128, 256, 3, 2, 1),
+            conv("layer3.0.conv2", 14, 256, 256, 3, 1, 1),
+            conv("layer3.0.downsample", 28, 128, 256, 1, 2, 0),
+            conv("layer3.1.conv1", 14, 256, 256, 3, 1, 1),
+            conv("layer3.1.conv2", 14, 256, 256, 3, 1, 1),
+            // Stage 4: 7x7, 512ch
+            conv("layer4.0.conv1", 14, 256, 512, 3, 2, 1),
+            conv("layer4.0.conv2", 7, 512, 512, 3, 1, 1),
+            conv("layer4.0.downsample", 14, 256, 512, 1, 2, 0),
+            conv("layer4.1.conv1", 7, 512, 512, 3, 1, 1),
+            conv("layer4.1.conv2", 7, 512, 512, 3, 1, 1),
+        ],
+        extra_gemms: vec![fc("fc", 512, 1000)],
+    }
+}
+
+/// MobileNet-V1 (Howard et al., 2017): the pointwise (1x1) convolutions,
+/// which dominate its GEMM work. Depthwise stages are not GEMMs and are
+/// excluded, matching how SCALE-Sim-style tools ingest MobileNet.
+pub fn mobilenet_v1() -> NetworkTable {
+    NetworkTable {
+        name: "mobilenet",
+        convs: vec![
+            conv("conv1", 224, 3, 32, 3, 2, 1),
+            conv("pw2", 112, 32, 64, 1, 1, 0),
+            conv("pw3", 56, 64, 128, 1, 1, 0),
+            conv("pw4", 56, 128, 128, 1, 1, 0),
+            conv("pw5", 28, 128, 256, 1, 1, 0),
+            conv("pw6", 28, 256, 256, 1, 1, 0),
+            conv("pw7", 14, 256, 512, 1, 1, 0),
+            conv("pw8", 14, 512, 512, 1, 1, 0),
+            conv("pw9", 14, 512, 512, 1, 1, 0),
+            conv("pw10", 14, 512, 512, 1, 1, 0),
+            conv("pw11", 14, 512, 512, 1, 1, 0),
+            conv("pw12", 14, 512, 512, 1, 1, 0),
+            conv("pw13", 7, 512, 1024, 1, 1, 0),
+            conv("pw14", 7, 1024, 1024, 1, 1, 0),
+        ],
+        extra_gemms: vec![fc("fc", 1024, 1000)],
+    }
+}
+
+/// GoogLeNet (Szegedy et al., 2014): stem plus representative inception
+/// branches from each stage.
+pub fn googlenet() -> NetworkTable {
+    NetworkTable {
+        name: "googlenet",
+        convs: vec![
+            conv("conv1", 224, 3, 64, 7, 2, 3),
+            conv("conv2.reduce", 56, 64, 64, 1, 1, 0),
+            conv("conv2", 56, 64, 192, 3, 1, 1),
+            conv("inception3a.1x1", 28, 192, 64, 1, 1, 0),
+            conv("inception3a.3x3reduce", 28, 192, 96, 1, 1, 0),
+            conv("inception3a.3x3", 28, 96, 128, 3, 1, 1),
+            conv("inception3a.5x5reduce", 28, 192, 16, 1, 1, 0),
+            conv("inception3a.5x5", 28, 16, 32, 5, 1, 2),
+            conv("inception4a.1x1", 14, 480, 192, 1, 1, 0),
+            conv("inception4a.3x3reduce", 14, 480, 96, 1, 1, 0),
+            conv("inception4a.3x3", 14, 96, 208, 3, 1, 1),
+            conv("inception4e.3x3", 14, 160, 320, 3, 1, 1),
+            conv("inception5a.1x1", 7, 832, 256, 1, 1, 0),
+            conv("inception5b.3x3", 7, 192, 384, 3, 1, 1),
+        ],
+        extra_gemms: vec![fc("fc", 1024, 1000)],
+    }
+}
+
+/// VGG-16 (Simonyan & Zisserman, 2014): all 13 convolutions plus the three
+/// FC layers. Not part of the paper's Fig. 11a list (its FasterRCNN entry
+/// already carries the VGG backbone), so it is excluded from
+/// [`all_networks`]; useful as extra evaluation material.
+pub fn vgg16() -> NetworkTable {
+    NetworkTable {
+        name: "vgg16",
+        convs: vec![
+            conv("conv1_1", 224, 3, 64, 3, 1, 1),
+            conv("conv1_2", 224, 64, 64, 3, 1, 1),
+            conv("conv2_1", 112, 64, 128, 3, 1, 1),
+            conv("conv2_2", 112, 128, 128, 3, 1, 1),
+            conv("conv3_1", 56, 128, 256, 3, 1, 1),
+            conv("conv3_2", 56, 256, 256, 3, 1, 1),
+            conv("conv3_3", 56, 256, 256, 3, 1, 1),
+            conv("conv4_1", 28, 256, 512, 3, 1, 1),
+            conv("conv4_2", 28, 512, 512, 3, 1, 1),
+            conv("conv4_3", 28, 512, 512, 3, 1, 1),
+            conv("conv5_1", 14, 512, 512, 3, 1, 1),
+            conv("conv5_2", 14, 512, 512, 3, 1, 1),
+            conv("conv5_3", 14, 512, 512, 3, 1, 1),
+        ],
+        extra_gemms: vec![
+            fc("fc6", 25088, 4096),
+            fc("fc7", 4096, 4096),
+            fc("fc8", 4096, 1000),
+        ],
+    }
+}
+
+/// FasterRCNN (Ren et al., 2015) with a VGG-16 backbone: late backbone
+/// layers, the RPN head, and the detection FC layers.
+pub fn faster_rcnn() -> NetworkTable {
+    NetworkTable {
+        name: "faster_rcnn",
+        convs: vec![
+            conv("vgg.conv4_1", 75, 256, 512, 3, 1, 1),
+            conv("vgg.conv4_2", 75, 512, 512, 3, 1, 1),
+            conv("vgg.conv5_1", 37, 512, 512, 3, 1, 1),
+            conv("vgg.conv5_2", 37, 512, 512, 3, 1, 1),
+            conv("vgg.conv5_3", 37, 512, 512, 3, 1, 1),
+            conv("rpn.conv", 37, 512, 512, 3, 1, 1),
+            conv("rpn.cls", 37, 512, 18, 1, 1, 0),
+            conv("rpn.bbox", 37, 512, 36, 1, 1, 0),
+        ],
+        extra_gemms: vec![
+            fc("detector.fc6", 25088, 4096),
+            fc("detector.fc7", 4096, 4096),
+            fc("detector.cls", 4096, 21),
+            fc("detector.bbox", 4096, 84),
+        ],
+    }
+}
+
+/// BERT-base encoder GEMMs at sequence length 128 — an **extension beyond
+/// the paper's CNN-only evaluation** (its conclusion proposes applying the
+/// methodology to other workloads). One encoder block: the four attention
+/// projections and the two feed-forward layers, each an `M = seq` GEMM.
+///
+/// Deliberately *not* included in [`all_networks`], so the figure
+/// regenerators stay faithful to the paper's CNN corpus; use it to probe
+/// out-of-distribution generalization.
+pub fn bert_base() -> NetworkTable {
+    let seq = 128;
+    let gemm = |name: &str, n: u64, k: u64| {
+        (
+            name.to_string(),
+            GemmWorkload::new(seq, n, k).expect("static layer tables are valid"),
+        )
+    };
+    NetworkTable {
+        name: "bert_base",
+        convs: vec![],
+        extra_gemms: vec![
+            gemm("attn.q", 768, 768),
+            gemm("attn.k", 768, 768),
+            gemm("attn.v", 768, 768),
+            gemm("attn.out", 768, 768),
+            gemm("ffn.up", 3072, 768),
+            gemm("ffn.down", 768, 3072),
+            // Attention score/context products per head (64-dim heads).
+            (
+                "attn.scores".to_string(),
+                GemmWorkload::new(seq, seq, 64).expect("static layer tables are valid"),
+            ),
+            (
+                "attn.context".to_string(),
+                GemmWorkload::new(seq, 64, seq).expect("static layer tables are valid"),
+            ),
+        ],
+    }
+}
+
+/// All bundled networks, in the order the paper lists them (Fig. 11a).
+pub fn all_networks() -> Vec<NetworkTable> {
+    vec![
+        faster_rcnn(),
+        googlenet(),
+        alexnet(),
+        mobilenet_v1(),
+        resnet18(),
+    ]
+}
+
+/// Convenience: AlexNet's GEMM workloads without names.
+pub fn alexnet_gemms() -> Vec<GemmWorkload> {
+    alexnet().gemms().into_iter().map(|(_, g)| g).collect()
+}
+
+/// Convenience: every GEMM of every bundled network, with
+/// `(network, layer)` naming.
+pub fn all_gemms() -> Vec<(String, GemmWorkload)> {
+    let mut out = Vec::new();
+    for net in all_networks() {
+        for (layer, g) in net.gemms() {
+            out.push((format!("{}/{layer}", net.name), g));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_networks_lower_cleanly() {
+        for net in all_networks() {
+            let gemms = net.gemms();
+            assert!(!gemms.is_empty(), "{} has no GEMMs", net.name);
+            // Every conv layer must have lowered (no empty outputs).
+            assert_eq!(
+                gemms.len(),
+                net.convs.len() + net.extra_gemms.len(),
+                "{} dropped a layer during lowering",
+                net.name
+            );
+        }
+    }
+
+    #[test]
+    fn resnet18_has_expected_layer_count() {
+        // 20 convs (incl. 3 downsample projections) + 1 FC.
+        assert_eq!(resnet18().gemms().len(), 21);
+    }
+
+    #[test]
+    fn dims_span_the_paper_distribution_range() {
+        // Fig 7a shows dims spanning roughly 1..100k in log space.
+        let gemms = all_gemms();
+        let max_m = gemms.iter().map(|(_, g)| g.m()).max().unwrap();
+        let min_n = gemms.iter().map(|(_, g)| g.n()).min().unwrap();
+        assert!(max_m > 10_000, "expected large M from early conv layers");
+        assert!(min_n < 64, "expected small N from RPN/cls heads");
+    }
+
+    #[test]
+    fn vgg16_has_sixteen_weight_layers() {
+        let net = vgg16();
+        assert_eq!(net.gemms().len(), 16);
+        // conv5_3 feeding fc6: 7x7x512 = 25088 matches the fc6 K dim.
+        let (name, fc6) = &net.extra_gemms[0];
+        assert_eq!(name, "fc6");
+        assert_eq!(fc6.k(), 25088);
+        assert!(all_networks().iter().all(|n| n.name != "vgg16"));
+    }
+
+    #[test]
+    fn bert_extension_is_valid_but_excluded_from_the_paper_corpus() {
+        let bert = bert_base();
+        assert_eq!(bert.gemms().len(), 8);
+        assert!(bert.gemms().iter().all(|(_, g)| g.m() == 128));
+        assert!(all_networks().iter().all(|n| n.name != "bert_base"));
+    }
+
+    #[test]
+    fn all_gemms_are_uniquely_named() {
+        let gemms = all_gemms();
+        let mut names: Vec<&String> = gemms.iter().map(|(n, _)| n).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), gemms.len());
+    }
+}

@@ -1,0 +1,56 @@
+//! Domain example: SRAM buffer sizing under a capacity budget (case study 2).
+//!
+//! For a fixed 32x32 weight-stationary array, sweeps the interface bandwidth
+//! and the capacity limit, searching the 1000-point buffer space each time,
+//! and shows how the optimal (IFMAP, Filter, OFMAP) split shifts — the
+//! stationary operand's buffer stays minimal while the streaming operands
+//! compete for capacity.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example buffer_sizing
+//! ```
+
+use airchitect_repro::dse::case2::{Case2Problem, Case2Query};
+use airchitect_repro::sim::{ArrayConfig, Dataflow};
+use airchitect_repro::workload::GemmWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let problem = Case2Problem::new();
+    let workload = GemmWorkload::new(3136, 512, 1152)?; // a mid ResNet layer
+    let array = ArrayConfig::new(32, 32)?;
+
+    println!("workload: {workload} on a {array} array\n");
+
+    for dataflow in Dataflow::ALL {
+        println!("--- {dataflow} dataflow ---");
+        println!(
+            "  {:>4} {:>8} | {:>7} {:>7} {:>7} | {:>12}",
+            "bw", "limit", "IFMAP", "Filter", "OFMAP", "stalls"
+        );
+        for (bandwidth, limit_kb) in [(4u64, 600u64), (4, 1500), (32, 600), (32, 1500)] {
+            let query = Case2Query {
+                workload,
+                array,
+                dataflow,
+                bandwidth,
+                limit_kb,
+            };
+            let result = problem.search(&query);
+            let (i, f, o) = problem.space().decode(result.label).expect("label in space");
+            println!(
+                "  {bandwidth:>4} {limit_kb:>7}K | {i:>6}K {f:>6}K {o:>6}K | {:>12}",
+                result.cost
+            );
+        }
+        println!();
+    }
+
+    println!("observations (match paper Fig. 6d-f):");
+    println!("  * WS keeps the Filter buffer at the 100 KB minimum — weights are");
+    println!("    pinned in the array, the buffer only stages tiles;");
+    println!("  * IS does the same for the IFMAP buffer;");
+    println!("  * more bandwidth shrinks the buffers needed to reach zero stalls;");
+    println!("  * tighter limits squeeze the OFMAP buffer first.");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: train a small AIrchitect model for case study 1 and ask it
+//! for an accelerator configuration — the paper's Fig. 1(b) flow end to end.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use airchitect_repro::core::pipeline::{run_case1, PipelineConfig};
+use airchitect_repro::core::Recommender;
+use airchitect_repro::dse::case1::Case1Problem;
+use airchitect_repro::workload::GemmWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Offline phase (paper "Step 3"): generate search-labeled data and train.
+    // 8k samples / 10 epochs keeps this example under a minute; scale up for
+    // paper-grade accuracy.
+    println!("training AIrchitect on search-generated optima...");
+    let config = PipelineConfig {
+        samples: 8_000,
+        epochs: 10,
+        batch_size: 256,
+        seed: 42,
+        stratify: false,
+    };
+    let budget_log2_range = (5, 15);
+    let run = run_case1(&config, budget_log2_range);
+    println!(
+        "  trained: validation accuracy {:.3}, test accuracy {:.3}",
+        run.report.history.final_val_accuracy().unwrap_or(f64::NAN),
+        run.test_accuracy
+    );
+    println!(
+        "  misprediction penalty: geomean performance {:.4} of optimal",
+        run.penalty.geomean
+    );
+
+    // Online phase (paper "Step 1'"): constant-time recommendation.
+    let problem = Case1Problem::new(1 << budget_log2_range.1);
+    let recommender = Recommender::new(run.model)?;
+
+    let workload = GemmWorkload::new(3025, 96, 363)?; // AlexNet conv1 as GEMM
+    let budget = 1u64 << 10;
+    let t0 = std::time::Instant::now();
+    let (array, dataflow) = recommender.recommend_array(&problem, &workload, budget)?;
+    let inference_time = t0.elapsed();
+
+    println!("\nquery: {workload} with a budget of 2^10 MACs");
+    println!("  recommended array: {array} with {dataflow} dataflow");
+    println!("  inference time:    {inference_time:?} (constant — no search)");
+
+    // Compare with the conventional flow the model replaces.
+    let t0 = std::time::Instant::now();
+    let truth = problem.search(&workload, budget);
+    let search_time = t0.elapsed();
+    let (best_array, best_df) = problem.space().decode(truth.label).expect("label in space");
+    println!(
+        "  exhaustive search: {best_array} with {best_df} dataflow \
+         ({} configs evaluated in {search_time:?})",
+        truth.evaluations
+    );
+
+    let label = problem
+        .space()
+        .encode(array, dataflow)
+        .expect("recommended config is in the space");
+    let perf = problem.normalized_performance(&workload, budget, label);
+    println!("  recommendation achieves {:.1}% of the optimal runtime", perf * 100.0);
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Cross-crate consistency checks: the dataset codec, the output-space
+//! codecs, and the simulator agree wherever two crates touch.
+
+use airchitect_repro::data::{codec, split, Dataset};
+use airchitect_repro::dse::case2::{Case2Problem, Case2Query};
+use airchitect_repro::dse::case3::Case3Problem;
+use airchitect_repro::dse::{case1, case2, case3};
+use airchitect_repro::sim::memory::{self, BufferConfig};
+use airchitect_repro::sim::multi::Schedule;
+use airchitect_repro::workload::GemmWorkload;
+
+#[test]
+fn generated_datasets_survive_disk_roundtrip() {
+    let problem = case1::Case1Problem::new(1 << 10);
+    let ds = case1::generate_dataset(
+        &problem,
+        &case1::Case1DatasetSpec {
+            samples: 100,
+            budget_log2_range: (5, 10),
+            seed: 1,
+        },
+    );
+    let dir = std::env::temp_dir().join("airchitect-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cs1.aids");
+    codec::save(&ds, &path).unwrap();
+    let back = codec::load(&path).unwrap();
+    assert_eq!(ds, back);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn case2_labels_reproduce_searched_stalls() {
+    // Decoding a dataset label and re-simulating must reproduce the optimal
+    // stall count the search found.
+    let problem = Case2Problem::new();
+    let ds = case2::generate_dataset(
+        &problem,
+        &case2::Case2DatasetSpec {
+            samples: 20,
+            seed: 2,
+            ..Default::default()
+        },
+    );
+    for i in 0..ds.len() {
+        let query = Case2Query::from_features(ds.row(i));
+        let label = ds.label(i);
+        let (ikb, fkb, okb) = problem.space().decode(label).unwrap();
+        let bufs = BufferConfig::from_kb(ikb, fkb, okb).unwrap();
+        let stalls = memory::stall_cycles(
+            &query.workload,
+            query.array,
+            query.dataflow,
+            bufs,
+            query.bandwidth,
+        )
+        .unwrap();
+        let research = problem.search(&query);
+        assert_eq!(research.label, label, "search must be deterministic");
+        assert_eq!(research.cost, stalls, "label must reproduce the cost");
+    }
+}
+
+#[test]
+fn case3_labels_decode_to_valid_permutation_schedules() {
+    let problem = Case3Problem::new();
+    let ds = case3::generate_dataset(
+        &problem,
+        &case3::Case3DatasetSpec {
+            samples: 5,
+            seed: 3,
+        },
+    );
+    for i in 0..ds.len() {
+        let (perm, dfs) = problem.space().decode(ds.label(i)).unwrap();
+        let schedule = Schedule::new(&perm, &dfs);
+        assert!(schedule.is_permutation(), "optimal labels are permutations");
+        let workloads = case3::Case3Problem::from_features(ds.row(i));
+        let cost = problem.system().evaluate(&workloads, &schedule).unwrap();
+        assert!(cost.makespan > 0);
+    }
+}
+
+#[test]
+fn splits_preserve_feature_label_pairing() {
+    // Label must stay glued to its feature row through a shuffle+split.
+    let problem = case1::Case1Problem::new(1 << 9);
+    let mut ds = Dataset::new(4, problem.space().len() as u32).unwrap();
+    // Deterministic rows whose label is recomputable from the features.
+    for i in 1..=60u64 {
+        let wl = GemmWorkload::new(i * 7, i * 3, i * 5).unwrap();
+        let r = problem.search(&wl, 1 << 9);
+        ds.push(&case1::Case1Problem::features(&wl, 1 << 9), r.label)
+            .unwrap();
+    }
+    let s = split::paper_split(&ds, 99).unwrap();
+    for part in [&s.train, &s.validation, &s.test] {
+        for i in 0..part.len() {
+            let (wl, budget) = case1::Case1Problem::from_features(part.row(i));
+            let expect = problem.search(&wl, budget).label;
+            assert_eq!(part.label(i), expect, "row/label pairing broke in split");
+        }
+    }
+}

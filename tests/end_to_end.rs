@@ -1,0 +1,135 @@
+//! Workspace integration tests: the full paper flow across crates —
+//! simulator → search → dataset → training → constant-time recommendation.
+
+use airchitect_repro::core::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+use airchitect_repro::core::pipeline::{run_case1, PipelineConfig};
+use airchitect_repro::core::Recommender;
+use airchitect_repro::data::split;
+use airchitect_repro::dse::case1::{self, Case1DatasetSpec, Case1Problem};
+use airchitect_repro::nn::train::TrainConfig;
+use airchitect_repro::workload::distribution::CnnWorkloadSampler;
+use airchitect_repro::workload::GemmWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn learned_model_beats_uninformed_baselines_on_cs1() {
+    // A modest training run must recommend configurations much closer to
+    // optimal than both a fixed config and an untrained network.
+    let run = run_case1(
+        &PipelineConfig {
+            samples: 3_000,
+            epochs: 10,
+            batch_size: 128,
+            seed: 21,
+            stratify: false,
+        },
+        (5, 12),
+    );
+    let problem = Case1Problem::new(1 << 12);
+    let sampler = CnnWorkloadSampler::new();
+    let mut rng = StdRng::seed_from_u64(777);
+    let workloads = sampler.sample_many(50, &mut rng);
+
+    let mut learned = 0f64;
+    let mut fixed = 0f64;
+    for wl in &workloads {
+        let budget = 1 << 10;
+        let predicted = run.model.predict_row(&Case1Problem::features(wl, budget));
+        learned += problem.normalized_performance(wl, budget, predicted);
+        // Fixed baseline: label 0 (the smallest array, always feasible).
+        fixed += problem.normalized_performance(wl, budget, 0);
+    }
+    learned /= workloads.len() as f64;
+    fixed /= workloads.len() as f64;
+    assert!(
+        learned > fixed + 0.2,
+        "learned {learned:.3} should clearly beat the fixed config {fixed:.3}"
+    );
+    assert!(
+        learned > 0.7,
+        "learned recommendations average {learned:.3} of optimal"
+    );
+}
+
+#[test]
+fn training_improves_over_untrained_predictions() {
+    let problem = Case1Problem::new(1 << 10);
+    let dataset = case1::generate_dataset(
+        &problem,
+        &Case1DatasetSpec {
+            samples: 2_000,
+            budget_log2_range: (5, 10),
+            seed: 3,
+        },
+    );
+    let split = split::paper_split(&dataset, 3).unwrap();
+    let config = AirchitectConfig {
+        num_classes: problem.space().len() as u32,
+        train: TrainConfig {
+            epochs: 10,
+            batch_size: 128,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let untrained = AirchitectModel::new(CaseStudy::ArrayDataflow, &config);
+    let untrained_acc = untrained.accuracy(&split.test);
+    let mut trained = AirchitectModel::new(CaseStudy::ArrayDataflow, &config);
+    trained.train(&split.train).unwrap();
+    let trained_acc = trained.accuracy(&split.test);
+    assert!(
+        trained_acc > untrained_acc + 0.1,
+        "training must help: {untrained_acc:.3} -> {trained_acc:.3}"
+    );
+}
+
+#[test]
+fn recommender_round_trips_through_model_serialization() {
+    // Train, serialize the network, rebuild, and check predictions agree.
+    let run = run_case1(
+        &PipelineConfig {
+            samples: 800,
+            epochs: 5,
+            batch_size: 64,
+            seed: 5,
+            stratify: false,
+        },
+        (5, 9),
+    );
+    let bytes = airchitect_repro::nn::serialize::to_bytes(run.model.network());
+    let restored = airchitect_repro::nn::serialize::from_bytes(&bytes).unwrap();
+
+    let wl = GemmWorkload::new(256, 128, 512).unwrap();
+    let feats = Case1Problem::features(&wl, 1 << 9);
+    let binned = run.model.quantizer().transform_row(&feats);
+    assert_eq!(
+        run.model.predict_row(&feats),
+        restored.predict_one(&binned),
+        "serialized network must predict identically"
+    );
+}
+
+#[test]
+fn recommendation_is_consistent_with_search_labels_format() {
+    // The label the recommender decodes must be exactly what the search
+    // produces for the same (array, dataflow) — codec consistency across
+    // the dse and core crates.
+    let run = run_case1(
+        &PipelineConfig {
+            samples: 500,
+            epochs: 4,
+            batch_size: 64,
+            seed: 8,
+            stratify: false,
+        },
+        (5, 9),
+    );
+    let problem = Case1Problem::new(1 << 9);
+    let rec = Recommender::new(run.model).unwrap();
+    let wl = GemmWorkload::new(100, 300, 50).unwrap();
+    let (array, df) = rec.recommend_array(&problem, &wl, 1 << 9).unwrap();
+    let label = problem.space().encode(array, df).unwrap();
+    let (array2, df2) = problem.space().decode(label).unwrap();
+    assert_eq!((array, df), (array2, df2));
+}

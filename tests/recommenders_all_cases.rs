@@ -1,0 +1,93 @@
+//! Integration: the typed recommenders for case studies 2 and 3, end to end
+//! (CS1 is covered in `end_to_end.rs`).
+
+use airchitect_repro::core::pipeline::{run_case2, run_case3, PipelineConfig};
+use airchitect_repro::core::Recommender;
+use airchitect_repro::dse::case2::{Case2Problem, Case2Query};
+use airchitect_repro::dse::case3::Case3Problem;
+use airchitect_repro::sim::{ArrayConfig, Dataflow};
+use airchitect_repro::workload::GemmWorkload;
+
+fn quick() -> PipelineConfig {
+    PipelineConfig {
+        samples: 800,
+        epochs: 6,
+        batch_size: 64,
+        seed: 13,
+        stratify: false,
+    }
+}
+
+#[test]
+fn buffer_recommender_returns_valid_splits_that_beat_the_minimum() {
+    let run = run_case2(&quick());
+    let problem = Case2Problem::new();
+    let rec = Recommender::new(run.model).unwrap();
+
+    // A memory-hungry query: big workload, narrow interface.
+    let query = Case2Query {
+        workload: GemmWorkload::new(3136, 512, 1152).unwrap(),
+        array: ArrayConfig::new(32, 32).unwrap(),
+        dataflow: Dataflow::Os,
+        bandwidth: 4,
+        limit_kb: 2000,
+    };
+    let (i, f, o) = rec.recommend_buffers(&problem, &query).unwrap();
+    // On the quantization grid and within sane bounds.
+    for v in [i, f, o] {
+        assert!((100..=1000).contains(&v) && v % 100 == 0);
+    }
+    // The recommendation should not be worse than the all-minimum config
+    // for a query where buffers clearly matter.
+    let rec_label = problem.space().encode(i, f, o).unwrap();
+    let rec_perf = problem.normalized_performance(&query, rec_label);
+    let min_perf = problem.normalized_performance(&query, 0);
+    assert!(
+        rec_perf >= min_perf,
+        "recommended split ({rec_perf:.3}) should beat the 100/100/100 floor ({min_perf:.3})"
+    );
+}
+
+#[test]
+fn schedule_recommender_returns_permutations_and_beats_worst_case() {
+    let run = run_case3(&PipelineConfig {
+        samples: 400,
+        ..quick()
+    });
+    let problem = Case3Problem::new();
+    let rec = Recommender::new(run.model).unwrap();
+
+    let workloads = vec![
+        GemmWorkload::new(2048, 512, 1024).unwrap(),
+        GemmWorkload::new(64, 64, 64).unwrap(),
+        GemmWorkload::new(1024, 32, 512).unwrap(),
+        GemmWorkload::new(196, 512, 256).unwrap(),
+    ];
+    let schedule = rec.recommend_schedule(&problem, &workloads).unwrap();
+    assert!(schedule.is_permutation());
+    let cost = problem.system().evaluate(&workloads, &schedule).unwrap();
+
+    // Worst schedule in the space for comparison.
+    let mut worst = 0u64;
+    for label in (0..problem.space().len() as u32).step_by(13) {
+        let c = problem.cost_of(&workloads, label).unwrap();
+        worst = worst.max(c.makespan);
+    }
+    assert!(
+        cost.makespan <= worst,
+        "recommended schedule should not be the pathological one"
+    );
+}
+
+#[test]
+fn stratified_pipeline_runs_and_keeps_rare_labels_in_test() {
+    let run = run_case2(&PipelineConfig {
+        stratify: true,
+        ..quick()
+    });
+    // Stratification keeps the dominant config represented in test, so the
+    // distributions stay comparable.
+    let (actual, _) = &run.label_distributions;
+    assert!(actual.iter().sum::<usize>() > 0);
+    assert!(run.test_accuracy >= 0.0);
+}

@@ -1,0 +1,149 @@
+//! Hermetic, dependency-free stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark closure for a short warm-up plus a small measured
+//! batch and prints mean wall-clock time per iteration. No statistics,
+//! plots, or baselines — just enough to (a) keep `[[bench]]` targets
+//! compiling and running offline and (b) give a rough relative number.
+//!
+//! `cargo test` executes `harness = false` bench binaries too; the default
+//! iteration counts are kept small so that stays fast.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Runs one benchmark body repeatedly.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration of the last [`Bencher::iter`] call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..self.iters.min(2) {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        last_ns: 0.0,
+    };
+    f(&mut b);
+    if b.last_ns >= 1e6 {
+        println!("bench {label:<40} {:>12.3} ms/iter", b.last_ns / 1e6);
+    } else {
+        println!("bench {label:<40} {:>12.1} ns/iter", b.last_ns);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { iters: 5 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), self.iters, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.as_ref().to_string(),
+            iters: 5,
+        }
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured iteration count (upstream: sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).clamp(1, 50);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.as_ref());
+        run_one(&label, self.iters, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("counting", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,544 @@
+//! Hermetic, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements deterministic random-sampling property tests: the
+//! [`Strategy`] trait with range / `Just` / tuple / `vec` / `any`
+//! strategies, the `prop_map` / `prop_flat_map` adapters, `prop_oneof!`,
+//! and the `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! values but is not minimized) and a fixed per-test deterministic seed
+//! derived from the test name, so failures always reproduce.
+
+#![warn(missing_docs)]
+
+/// Number of accepted cases each property runs.
+pub const CASES: u32 = 48;
+
+/// Cap on total sampling attempts (accepted + rejected) per property.
+pub const MAX_ATTEMPTS: u32 = CASES * 25;
+
+/// Why a single sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — resample, don't fail the test.
+    Reject,
+    /// `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Outcome of running the property body on one sampled case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic SplitMix64 generator driving all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        rng.unit_f64() as f32 * 2e9 - 1e9
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64() * 2e18 - 1e18
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct AnyStrategy<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// Output of [`StrategyExt::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`StrategyExt::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Adapter methods available on every strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Applies `f` to every sampled value.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Derives a dependent strategy from every sampled value.
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// Uniform choice between boxed alternatives (see `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; `options` must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Boxes a strategy for use inside [`Union`].
+pub fn boxed_strategy<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// An inclusive size band for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `elem` values with lengths in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// The usual imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy, StrategyExt, TestCaseError,
+    };
+}
+
+/// Runner configuration, settable per block via `#![proptest_config(..)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self::with_cases(CASES)
+    }
+}
+
+/// Declares property tests. Each `fn` samples its arguments from the given
+/// strategies and runs the body [`CASES`] times, or `cases` times when the
+/// block starts with `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the first token tree is the
+/// [`ProptestConfig`] expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let max_attempts = config.cases.saturating_mul(25);
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "property {} rejected too many sampled cases (prop_assume too strict)",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)*
+                    let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::TestCaseError::Reject) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property {} failed: {}", stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property body; failure reports the sampled case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Discards the current sampled case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..=9), f in -1.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_any(bytes in crate::collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!(bytes.len() < 16);
+        }
+
+        #[test]
+        fn map_flat_map_oneof(v in prop_oneof![Just(1u32), Just(2), (10u32..12)]
+            .prop_map(|x| x * 2)
+            .prop_flat_map(|x| Just(x + 1))
+        ) {
+            prop_assert!([3, 5, 21, 23].contains(&v), "unexpected {v}");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let s = (0u64..1000, crate::collection::vec(any::<u8>(), 3));
+        let mut r1 = crate::TestRng::from_name("fixed");
+        let mut r2 = crate::TestRng::from_name("fixed");
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+}

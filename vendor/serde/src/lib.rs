@@ -1,0 +1,17 @@
+//! Hermetic, dependency-free stand-in for `serde`.
+//!
+//! The workspace never serializes through serde (all artifacts use the
+//! hand-rolled binary codecs); it only *derives* the traits on config types.
+//! This stub provides marker traits and re-exports the no-op derives so the
+//! annotations compile offline. If a future change actually needs a serde
+//! data format, replace this with the real crate (or extend the stub).
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Hermetic, dependency-free stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few config enums but
+//! never routes them through a serde data format — every on-disk artifact
+//! uses the hand-rolled binary codecs. These derives therefore expand to
+//! nothing; they exist so the `#[derive(...)]` and `#[serde(...)]`
+//! annotations in the source keep compiling offline.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` helpers.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` helpers.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

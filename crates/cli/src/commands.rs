@@ -1,9 +1,13 @@
 //! Subcommand implementations.
 
+use airchitect::checkpoint::CheckpointError;
 use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+use airchitect::persist::PersistError;
+use airchitect::pipeline::{self, CheckpointConfig, PipelineError};
 use airchitect::{persist, Recommender};
-use airchitect_data::codec;
+use airchitect_data::{codec, DataError};
 use airchitect_dse::case1::{self, Case1Problem};
+use airchitect_dse::parallel::{self, ParallelError};
 use airchitect_dse::case2::{self, Case2Problem, Case2Query};
 use airchitect_dse::case3::{self, Case3Problem};
 use airchitect_dse::search_algos::SearchStrategy;
@@ -22,6 +26,73 @@ use crate::CliError;
 
 fn run_err(e: impl std::fmt::Display) -> CliError {
     CliError::Run(e.to_string())
+}
+
+/// Maps a dataset-codec error for `path` onto the exit-code taxonomy:
+/// unreadable file → [`CliError::Io`], damaged contents →
+/// [`CliError::Corrupt`].
+fn data_err(path: &str) -> impl Fn(DataError) -> CliError + '_ {
+    move |e| match e {
+        DataError::Io(message) => CliError::Io {
+            path: path.to_string(),
+            message,
+        },
+        DataError::Corrupt { .. } | DataError::ChecksumMismatch { .. } => CliError::Corrupt {
+            path: path.to_string(),
+            message: e.to_string(),
+        },
+        other => CliError::Run(other.to_string()),
+    }
+}
+
+/// Maps a model-codec error for `path` onto the exit-code taxonomy.
+fn persist_err(path: &str) -> impl Fn(PersistError) -> CliError + '_ {
+    move |e| match e {
+        PersistError::Io(message) => CliError::Io {
+            path: path.to_string(),
+            message,
+        },
+        PersistError::Corrupt(_)
+        | PersistError::ChecksumMismatch { .. }
+        | PersistError::Network(_) => CliError::Corrupt {
+            path: path.to_string(),
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Maps a checkpointed-pipeline error onto the exit-code taxonomy, naming
+/// the checkpoint directory as the offending path.
+fn pipeline_err(dir: &str) -> impl Fn(PipelineError) -> CliError + '_ {
+    move |e| match e {
+        PipelineError::Config(what) => CliError::Usage(what.to_string()),
+        PipelineError::Checkpoint(CheckpointError::Io(message)) => CliError::Io {
+            path: dir.to_string(),
+            message,
+        },
+        PipelineError::Checkpoint(
+            ce @ (CheckpointError::Corrupt(_) | CheckpointError::ChecksumMismatch { .. }),
+        ) => CliError::Corrupt {
+            path: dir.to_string(),
+            message: ce.to_string(),
+        },
+        PipelineError::Generation(ParallelError::Data(de)) => data_err(dir)(de),
+        other => CliError::Run(other.to_string()),
+    }
+}
+
+/// Resolves the `--checkpoint-dir DIR` / `--resume DIR` pair shared by
+/// `generate` and `train`: at most one may be given; `--resume` implies
+/// resuming from (and continuing to checkpoint into) its directory.
+fn checkpoint_args(args: &Args) -> Result<Option<(String, bool)>, CliError> {
+    match (args.optional("checkpoint-dir"), args.optional("resume")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "pass either `--checkpoint-dir` or `--resume`, not both".into(),
+        )),
+        (Some(dir), None) => Ok(Some((dir.to_string(), false))),
+        (None, Some(dir)) => Ok(Some((dir.to_string(), true))),
+        (None, None) => Ok(None),
+    }
 }
 
 fn parse_dataflow(args: &Args) -> Result<Dataflow, CliError> {
@@ -256,39 +327,83 @@ pub fn spaces(argv: &[String]) -> Result<(), CliError> {
 /// `airchitect generate` — labeled dataset to a `.aids` file.
 pub fn generate(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
-    args.expect_only(&["case", "samples", "out", "seed", "budget-log2"])?;
+    args.expect_only(&[
+        "case",
+        "samples",
+        "out",
+        "seed",
+        "budget-log2",
+        "threads",
+        "checkpoint-dir",
+        "resume",
+    ])?;
     let case = parse_case(&args)?;
     let samples = args.required_u64("samples")? as usize;
     let out = args.required("out")?;
     let seed = args.u64_or("seed", 0)?;
+    let threads = args.u64_or("threads", 1)? as usize;
+    let checkpoint = checkpoint_args(&args)?;
+    if case != CaseStudy::ArrayDataflow && (threads != 1 || checkpoint.is_some()) {
+        return Err(CliError::Usage(
+            "`--threads`, `--checkpoint-dir`, and `--resume` are only supported for case 1".into(),
+        ));
+    }
     let t0 = std::time::Instant::now();
-    let ds = match case {
+    let (ds, resumed_shards) = match case {
         CaseStudy::ArrayDataflow => {
             let budget_log2 = args.u64_or("budget-log2", 15)? as u32;
             let problem = Case1Problem::new(1u64 << budget_log2);
-            case1::generate_dataset(
-                &problem,
-                &case1::Case1DatasetSpec {
-                    samples,
-                    budget_log2_range: (5, budget_log2),
-                    seed,
-                },
-            )
-        }
-        CaseStudy::BufferSizing => case2::generate_dataset(
-            &Case2Problem::new(),
-            &case2::Case2DatasetSpec {
+            let spec = case1::Case1DatasetSpec {
                 samples,
+                budget_log2_range: (5, budget_log2),
                 seed,
-                ..Default::default()
-            },
+            };
+            match &checkpoint {
+                Some((dir, _)) => {
+                    // Checkpointed generation always reuses intact shards;
+                    // `--resume` and `--checkpoint-dir` differ only in
+                    // intent (the spec manifest catches directory misuse).
+                    let run = parallel::generate_case1_checkpointed(
+                        &problem, &spec, threads, dir,
+                    )
+                    .map_err(|e| match e {
+                        ParallelError::Data(de) => data_err(dir)(de),
+                        other => run_err(other),
+                    })?;
+                    let resumed = run.shards.iter().filter(|s| s.resumed).count();
+                    (run.dataset, resumed)
+                }
+                None if threads > 1 => (
+                    parallel::generate_case1_parallel(&problem, &spec, threads)
+                        .map_err(run_err)?,
+                    0,
+                ),
+                None => (case1::generate_dataset(&problem, &spec), 0),
+            }
+        }
+        CaseStudy::BufferSizing => (
+            case2::generate_dataset(
+                &Case2Problem::new(),
+                &case2::Case2DatasetSpec {
+                    samples,
+                    seed,
+                    ..Default::default()
+                },
+            ),
+            0,
         ),
-        CaseStudy::MultiArrayScheduling => case3::generate_dataset(
-            &Case3Problem::new(),
-            &case3::Case3DatasetSpec { samples, seed },
+        CaseStudy::MultiArrayScheduling => (
+            case3::generate_dataset(
+                &Case3Problem::new(),
+                &case3::Case3DatasetSpec { samples, seed },
+            ),
+            0,
         ),
     };
-    codec::save(&ds, out).map_err(run_err)?;
+    codec::save(&ds, out).map_err(data_err(out))?;
+    if resumed_shards > 0 {
+        println!("resumed: reused {resumed_shards} checkpointed shard(s)");
+    }
     println!(
         "wrote {} samples ({} classes, {} features) to {out} in {:?}",
         ds.len(),
@@ -302,9 +417,20 @@ pub fn generate(argv: &[String]) -> Result<(), CliError> {
 /// `airchitect train` — fit a model on a `.aids` dataset.
 pub fn train(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
-    args.expect_only(&["case", "data", "out", "epochs", "batch", "seed"])?;
+    args.expect_only(&[
+        "case",
+        "data",
+        "out",
+        "epochs",
+        "batch",
+        "seed",
+        "checkpoint-dir",
+        "resume",
+        "every-epochs",
+    ])?;
     let case = parse_case(&args)?;
-    let ds = codec::load(args.required("data")?).map_err(run_err)?;
+    let data_path = args.required("data")?;
+    let ds = codec::load(data_path).map_err(data_err(data_path))?;
     if ds.feature_dim() != case.input_dim() {
         return Err(CliError::Run(format!(
             "dataset has {} features but {} expects {}",
@@ -312,6 +438,16 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
             case.name(),
             case.input_dim()
         )));
+    }
+    let checkpoint = checkpoint_args(&args)?;
+    let every_epochs = args.u64_or("every-epochs", 1)? as usize;
+    if every_epochs == 0 {
+        return Err(CliError::Usage("`--every-epochs` must be at least 1".into()));
+    }
+    if args.optional("every-epochs").is_some() && checkpoint.is_none() {
+        return Err(CliError::Usage(
+            "`--every-epochs` needs `--checkpoint-dir` or `--resume`".into(),
+        ));
     }
     let config = AirchitectConfig {
         num_classes: ds.num_classes(),
@@ -325,9 +461,32 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
         seed: args.u64_or("seed", 0)?,
         ..Default::default()
     };
-    let mut model = AirchitectModel::new(case, &config);
+    let fresh = AirchitectModel::new(case, &config);
     let t0 = std::time::Instant::now();
-    let report = model.train(&ds).map_err(run_err)?;
+    let (model, report) = match &checkpoint {
+        Some((dir, resume)) => {
+            let ckpt = CheckpointConfig {
+                every_epochs,
+                ..CheckpointConfig::new(dir.as_str())
+            };
+            let (model, report) =
+                pipeline::train_checkpointed(fresh, &ds, None, &ckpt, *resume)
+                    .map_err(pipeline_err(dir))?;
+            if report.history.epochs.len() < config.train.epochs {
+                println!(
+                    "resumed: {} epoch(s) restored from {dir}, {} to go",
+                    config.train.epochs - report.history.epochs.len(),
+                    report.history.epochs.len()
+                );
+            }
+            (model, report)
+        }
+        None => {
+            let mut model = fresh;
+            let report = model.train(&ds).map_err(run_err)?;
+            (model, report)
+        }
+    };
     for e in &report.history.epochs {
         println!(
             "epoch {:>3}: loss {:.4}  accuracy {:.4}",
@@ -335,12 +494,16 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
         );
     }
     let out = args.required("out")?;
-    persist::save(&model, out).map_err(run_err)?;
-    println!(
-        "trained in {:?}, final accuracy {:.4}; model written to {out}",
-        t0.elapsed(),
-        report.history.final_train_accuracy()
-    );
+    persist::save(&model, out).map_err(persist_err(out))?;
+    match report.history.epochs.last() {
+        Some(last) => println!(
+            "trained in {:?}, final accuracy {:.4}; model written to {out}",
+            t0.elapsed(),
+            last.train_accuracy
+        ),
+        // A resume that found the run already complete trains no epochs.
+        None => println!("nothing left to train; checkpointed model written to {out}"),
+    }
     Ok(())
 }
 
@@ -348,8 +511,10 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
 pub fn evaluate(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     args.expect_only(&["model", "data", "penalty", "calibration"])?;
-    let model = persist::load(args.required("model")?).map_err(run_err)?;
-    let ds = codec::load(args.required("data")?).map_err(run_err)?;
+    let model_path = args.required("model")?;
+    let model = persist::load(model_path).map_err(persist_err(model_path))?;
+    let data_path = args.required("data")?;
+    let ds = codec::load(data_path).map_err(data_err(data_path))?;
     if ds.feature_dim() != model.case_study().input_dim() {
         return Err(CliError::Run(format!(
             "dataset has {} features but the model expects {}",
@@ -407,7 +572,8 @@ pub fn evaluate(argv: &[String]) -> Result<(), CliError> {
 /// `airchitect recommend` — constant-time query against a trained model.
 pub fn recommend(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
-    let model = persist::load(args.required("model")?).map_err(run_err)?;
+    let model_path = args.required("model")?;
+    let model = persist::load(model_path).map_err(persist_err(model_path))?;
     let case = model.case_study();
     let recommender = Recommender::new(model).map_err(run_err)?;
     match case {

@@ -21,18 +21,55 @@ pub mod commands;
 use std::fmt;
 
 /// Error produced by the CLI layer.
-#[derive(Debug)]
+///
+/// Each variant maps to a distinct process exit code (see
+/// [`CliError::exit_code`]), so scripts can tell a typo from a missing
+/// file from a corrupt artifact without parsing stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CliError {
-    /// Bad or missing command-line arguments.
+    /// Bad or missing command-line arguments (exit code 2).
     Usage(String),
-    /// Any downstream failure, stringified with context.
+    /// A file could not be read or written (exit code 3).
+    Io {
+        /// The offending file or directory.
+        path: String,
+        /// The underlying error.
+        message: String,
+    },
+    /// An artifact file exists but is damaged: truncated, bit-flipped, or
+    /// failing its checksum (exit code 4).
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// What the codec rejected.
+        message: String,
+    },
+    /// Any other downstream failure, stringified with context (exit
+    /// code 1).
     Run(String),
+}
+
+impl CliError {
+    /// The process exit code for this error: usage 2, I/O 3, corrupt
+    /// artifact 4, anything else 1.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Corrupt { .. } => 4,
+            CliError::Run(_) => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io { path, message } => write!(f, "cannot access `{path}`: {message}"),
+            CliError::Corrupt { path, message } => {
+                write!(f, "corrupt artifact `{path}`: {message}")
+            }
             CliError::Run(msg) => write!(f, "{msg}"),
         }
     }
@@ -92,11 +129,20 @@ COMMANDS:
              Print the three quantized output spaces and their sizes.
 
   generate   --case 1|2|3 --samples N --out data.aids [--seed S]
+             [--threads T] [--checkpoint-dir DIR | --resume DIR]
              Generate a labeled dataset with the conventional search flow.
+             With --threads, case-1 generation fans out over T panic-isolated
+             workers. With --checkpoint-dir, every finished shard is persisted
+             so a killed run loses at most one shard of work; --resume DIR
+             reuses the intact shards and regenerates the rest (case 1 only).
 
   train      --case 1|2|3 --data data.aids --out model.airm
              [--epochs E] [--batch B] [--seed S]
-             Train an AIrchitect model on a generated dataset.
+             [--checkpoint-dir DIR | --resume DIR] [--every-epochs N]
+             Train an AIrchitect model on a generated dataset. With
+             --checkpoint-dir, the model + optimizer state is snapshotted
+             every N epochs (default 1); --resume DIR continues a killed run
+             bit-identically to an uninterrupted one.
 
   evaluate   --model model.airm --data data.aids [--penalty] [--calibration]
              Accuracy (and optionally the misprediction penalty) of a trained
@@ -106,4 +152,8 @@ COMMANDS:
              Constant-time recommendation from a trained model.
 
   help       Show this message.
+
+EXIT CODES:
+  0  success        2  usage error
+  1  other failure  3  file I/O error   4  corrupt artifact
 "#;

@@ -4,6 +4,6 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if let Err(e) = airchitect_cli::run(&argv) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }

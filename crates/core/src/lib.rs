@@ -52,10 +52,12 @@
 //! * [`pipeline`] — end-to-end dataset → train → evaluate runs for all three
 //!   case studies,
 //! * [`eval`] — misprediction-penalty analysis (paper Fig. 10d-h),
-//! * [`recommend`] — the typed constant-time recommendation API.
+//! * [`recommend`] — the typed constant-time recommendation API,
+//! * [`checkpoint`] — crash-safe training snapshots for resumable runs.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod eval;
 pub mod model;
 pub mod persist;

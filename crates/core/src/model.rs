@@ -303,6 +303,23 @@ impl AirchitectModel {
         &self.network
     }
 
+    /// Mutable network access for checkpoint restoration.
+    pub(crate) fn network_mut(&mut self) -> &mut Sequential {
+        &mut self.network
+    }
+
+    /// The model's hyper-parameters.
+    pub fn config(&self) -> &AirchitectConfig {
+        &self.config
+    }
+
+    /// Replaces the training schedule. Persisted models
+    /// ([`AirchitectModel::from_parts`]) come back with a default schedule;
+    /// a resumed run installs the real one before continuing training.
+    pub fn set_train_config(&mut self, train: TrainConfig) {
+        self.config.train = train;
+    }
+
     /// Whether [`AirchitectModel::train`] has completed.
     pub fn is_trained(&self) -> bool {
         self.trained
@@ -329,13 +346,42 @@ impl AirchitectModel {
         dataset: &Dataset,
         validation: Option<&Dataset>,
     ) -> Result<TrainReport, TrainError> {
+        self.train_resumable(dataset, validation, None, |_| Ok(()))
+    }
+
+    /// Trains like [`AirchitectModel::train_with_validation`], optionally
+    /// resuming from a checkpoint and invoking `observer` after every
+    /// completed epoch (see [`train::fit_resumable`]).
+    ///
+    /// A run resumed from a snapshot of `(network, optimizer, next_epoch)`
+    /// finishes bit-identical to an uninterrupted one; only the remaining
+    /// epochs appear in the report. The quantized training inputs the
+    /// observer sees are derived deterministically from `dataset`, so the
+    /// checkpoint only needs to fingerprint the raw dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the trainer, including
+    /// [`TrainError::Diverged`] and observer failures.
+    pub fn train_resumable<F>(
+        &mut self,
+        dataset: &Dataset,
+        validation: Option<&Dataset>,
+        resume: Option<train::ResumePoint>,
+        observer: F,
+    ) -> Result<TrainReport, TrainError>
+    where
+        F: FnMut(&train::EpochCheckpoint<'_>) -> Result<(), String>,
+    {
         let binned = self.quantizer.transform(dataset);
         let binned_val = validation.map(|v| self.quantizer.transform(v));
-        let history = train::fit(
+        let history = train::fit_resumable(
             &mut self.network,
             &binned,
             binned_val.as_ref(),
             &self.config.train,
+            resume,
+            observer,
         )?;
         self.trained = true;
         Ok(TrainReport { history })

@@ -1,27 +1,41 @@
 //! Save/load for trained [`AirchitectModel`]s: the feature quantizer and the
 //! network travel together, so a loaded model answers queries identically.
 //!
-//! Format: magic `AIRM`, version 1, case-study tag, quantizer columns, then
-//! the embedded `airchitect-nn` network blob.
+//! Format: magic `AIRM`, version 2, case-study tag, quantizer columns, the
+//! embedded `airchitect-nn` network blob, then a CRC32 footer over all
+//! preceding bytes. Version-1 files (no footer) still load and are flagged
+//! [`Integrity::UnverifiedLegacy`]. Saves are atomic (temp file + fsync +
+//! rename), so a crash mid-save never leaves a torn model behind.
 
 use std::fs::File;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use airchitect_data::integrity::{
+    append_crc_footer, atomic_write, crc32, split_crc_footer, Integrity,
+};
 use airchitect_nn::serialize as nn_serialize;
 
 use crate::model::{AirchitectModel, CaseStudy, ColumnQuantizer, FeatureQuantizer};
 
 const MAGIC: &[u8; 4] = b"AIRM";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const LEGACY_VERSION: u32 = 1;
 
 /// Error produced by the model persistence codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PersistError {
     /// Malformed buffer.
     Corrupt(&'static str),
+    /// A version-2 file's CRC32 footer did not match its contents.
+    ChecksumMismatch {
+        /// CRC stored in the file footer.
+        stored: u32,
+        /// CRC computed over the file body.
+        computed: u32,
+    },
     /// Error inside the embedded network blob.
     Network(String),
     /// Filesystem error, stringified.
@@ -32,6 +46,10 @@ impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PersistError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+            PersistError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "model checksum mismatch: file says {stored:#010x}, contents hash to {computed:#010x}"
+            ),
             PersistError::Network(e) => write!(f, "network blob: {e}"),
             PersistError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
@@ -63,7 +81,7 @@ fn case_from_tag(tag: u8) -> Option<CaseStudy> {
     }
 }
 
-/// Serializes a model (trained or not) to bytes.
+/// Serializes a model (trained or not) to bytes (version 2, checksummed).
 pub fn to_bytes(model: &AirchitectModel) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
@@ -91,26 +109,65 @@ pub fn to_bytes(model: &AirchitectModel) -> Bytes {
     let net = nn_serialize::to_bytes(model.network());
     buf.put_u64_le(net.len() as u64);
     buf.put_slice(&net);
-    buf.freeze()
+    let mut out = buf.freeze().to_vec();
+    append_crc_footer(&mut out);
+    Bytes::from(out)
+}
+
+/// Deserializes a model from bytes produced by [`to_bytes`], reporting
+/// whether its checksum was verified.
+///
+/// Version-2 buffers have their CRC32 footer checked before any payload
+/// parsing; version-1 buffers (pre-checksum) parse structurally and come
+/// back as [`Integrity::UnverifiedLegacy`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::Corrupt`] on malformed input and
+/// [`PersistError::ChecksumMismatch`] when a v2 footer disagrees with the
+/// body.
+pub fn from_bytes_integrity(buf: &[u8]) -> Result<(AirchitectModel, Integrity), PersistError> {
+    if buf.len() < 10 {
+        return Err(PersistError::Corrupt("truncated header"));
+    }
+    if &buf[..4] != MAGIC {
+        return Err(PersistError::Corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let (body, integrity) = match version {
+        LEGACY_VERSION => (buf, Integrity::UnverifiedLegacy),
+        VERSION => {
+            let (body, stored) =
+                split_crc_footer(buf).ok_or(PersistError::Corrupt("truncated header"))?;
+            let computed = crc32(body);
+            if computed != stored {
+                return Err(PersistError::ChecksumMismatch { stored, computed });
+            }
+            (body, Integrity::Verified)
+        }
+        _ => return Err(PersistError::Corrupt("unsupported version")),
+    };
+    parse_body(body).map(|m| (m, integrity))
 }
 
 /// Deserializes a model from bytes produced by [`to_bytes`].
 ///
+/// Convenience wrapper over [`from_bytes_integrity`] that discards the
+/// integrity flag.
+///
 /// # Errors
 ///
 /// Returns [`PersistError`] on malformed input.
-pub fn from_bytes(mut buf: &[u8]) -> Result<AirchitectModel, PersistError> {
+pub fn from_bytes(buf: &[u8]) -> Result<AirchitectModel, PersistError> {
+    from_bytes_integrity(buf).map(|(m, _)| m)
+}
+
+/// Parses the checksum-free body (header + payload) shared by v1 and v2.
+fn parse_body(mut buf: &[u8]) -> Result<AirchitectModel, PersistError> {
     if buf.remaining() < 10 {
         return Err(PersistError::Corrupt("truncated header"));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(PersistError::Corrupt("bad magic"));
-    }
-    if buf.get_u32_le() != VERSION {
-        return Err(PersistError::Corrupt("unsupported version"));
-    }
+    buf.advance(8); // magic + version, validated by the caller
     let case = case_from_tag(buf.get_u8()).ok_or(PersistError::Corrupt("unknown case study"))?;
     let trained = buf.get_u8() != 0;
 
@@ -162,15 +219,29 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<AirchitectModel, PersistError> {
     Ok(AirchitectModel::from_parts(case, quantizer, network, trained))
 }
 
-/// Saves a model to a file.
+/// Saves a model to a file atomically (temp file + fsync + rename).
 ///
 /// # Errors
 ///
 /// Returns [`PersistError::Io`] on filesystem errors.
 pub fn save(model: &AirchitectModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    let mut f = File::create(path)?;
-    f.write_all(&to_bytes(model))?;
+    atomic_write(path, &to_bytes(model))?;
     Ok(())
+}
+
+/// Loads a model from a file written by [`save`], with its integrity
+/// status.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or parse errors.
+pub fn load_integrity(
+    path: impl AsRef<Path>,
+) -> Result<(AirchitectModel, Integrity), PersistError> {
+    let mut f = File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    from_bytes_integrity(&buf)
 }
 
 /// Loads a model from a file written by [`save`].
@@ -179,10 +250,7 @@ pub fn save(model: &AirchitectModel, path: impl AsRef<Path>) -> Result<(), Persi
 ///
 /// Returns [`PersistError`] on filesystem or parse errors.
 pub fn load(path: impl AsRef<Path>) -> Result<AirchitectModel, PersistError> {
-    let mut f = File::open(path)?;
-    let mut buf = Vec::new();
-    f.read_to_end(&mut buf)?;
-    from_bytes(&buf)
+    load_integrity(path).map(|(m, _)| m)
 }
 
 #[cfg(test)]
@@ -217,13 +285,29 @@ mod tests {
     #[test]
     fn roundtrip_preserves_predictions() {
         let model = small_trained_model();
-        let back = from_bytes(&to_bytes(&model)).unwrap();
+        let (back, integrity) = from_bytes_integrity(&to_bytes(&model)).unwrap();
         assert_eq!(back.case_study(), CaseStudy::ArrayDataflow);
         assert!(back.is_trained());
+        assert_eq!(integrity, Integrity::Verified);
         for m in [4.0f32, 100.0, 5000.0] {
             let row = [10.0, m, 64.0, 64.0];
             assert_eq!(model.predict_row(&row), back.predict_row(&row));
         }
+    }
+
+    #[test]
+    fn legacy_v1_loads_unverified() {
+        let model = small_trained_model();
+        let bytes = to_bytes(&model);
+        // Strip the footer and patch the version back to 1, reproducing a
+        // legacy writer's byte stream.
+        let (body, _) = split_crc_footer(&bytes).unwrap();
+        let mut v1 = body.to_vec();
+        v1[4..8].copy_from_slice(&LEGACY_VERSION.to_le_bytes());
+        let (back, integrity) = from_bytes_integrity(&v1).unwrap();
+        assert_eq!(integrity, Integrity::UnverifiedLegacy);
+        let row = [10.0, 256.0, 64.0, 64.0];
+        assert_eq!(model.predict_row(&row), back.predict_row(&row));
     }
 
     #[test]
@@ -240,13 +324,26 @@ mod tests {
     }
 
     #[test]
+    fn bit_flip_fails_checksum() {
+        let model = small_trained_model();
+        let mut bytes = to_bytes(&model).to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("airchitect-core-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.airm");
         let model = small_trained_model();
         save(&model, &path).unwrap();
-        let back = load(&path).unwrap();
+        let (back, integrity) = load_integrity(&path).unwrap();
+        assert_eq!(integrity, Integrity::Verified);
         let row = [9.0, 300.0, 64.0, 64.0];
         assert_eq!(model.predict_row(&row), back.predict_row(&row));
         std::fs::remove_file(&path).ok();

@@ -26,6 +26,13 @@ pub enum DataError {
         /// Human readable description of what failed to parse.
         what: &'static str,
     },
+    /// A version-2 artifact's CRC32 footer did not match its contents.
+    ChecksumMismatch {
+        /// CRC stored in the file footer.
+        stored: u32,
+        /// CRC computed over the file body.
+        computed: u32,
+    },
     /// An I/O error wrapped as a string (keeps the type `Clone + Eq`).
     Io(String),
 }
@@ -41,6 +48,10 @@ impl fmt::Display for DataError {
             }
             DataError::BadSplit => write!(f, "split fractions must be positive and sum to 1"),
             DataError::Corrupt { what } => write!(f, "corrupt dataset buffer: {what}"),
+            DataError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: file says {stored:#010x}, contents hash to {computed:#010x}"
+            ),
             DataError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }

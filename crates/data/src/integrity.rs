@@ -1,0 +1,184 @@
+//! Artifact integrity primitives shared by every on-disk codec: CRC32
+//! checksums and crash-safe atomic file writes.
+//!
+//! Both the dataset codec (`AIDS`, [`crate::codec`]) and the model codec
+//! (`AIRM`, in `airchitect-core`) append a [`crc32`] footer to version-2
+//! files and verify it on load, so a truncated or bit-flipped artifact is
+//! reported as a typed checksum error instead of being half-parsed.
+//! [`atomic_write`] guarantees a reader never observes a partially written
+//! file: writes go to a temporary file in the target directory, are
+//! fsync'ed, and only then renamed over the destination.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Whether a loaded artifact's checksum was actually verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integrity {
+    /// A version-2 file whose CRC32 footer matched.
+    Verified,
+    /// A legacy version-1 file with no checksum footer; parsed structurally
+    /// but not integrity-checked.
+    UnverifiedLegacy,
+}
+
+/// The 4-byte trailer magic preceding nothing — the CRC is the last word of
+/// the file, computed over every preceding byte.
+pub const CRC_FOOTER_LEN: usize = 4;
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Appends the CRC32 footer over `buf`'s current contents.
+pub fn append_crc_footer(buf: &mut Vec<u8>) {
+    let crc = crc32(buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Splits a version-2 buffer into `(body, stored_crc)`.
+///
+/// Returns `None` if the buffer is too short to carry a footer.
+pub fn split_crc_footer(buf: &[u8]) -> Option<(&[u8], u32)> {
+    if buf.len() < CRC_FOOTER_LEN {
+        return None;
+    }
+    let (body, tail) = buf.split_at(buf.len() - CRC_FOOTER_LEN);
+    let stored = u32::from_le_bytes(tail.try_into().expect("footer is 4 bytes"));
+    Some((body, stored))
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory →
+/// flush + fsync → rename over the destination.
+///
+/// A process killed at any point leaves either the old file (or nothing)
+/// or the complete new file — never a torn write. The temp name embeds the
+/// pid and a counter so concurrent writers in the same directory cannot
+/// collide.
+///
+/// # Errors
+///
+/// Any underlying filesystem error; the temp file is removed on failure.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+    );
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+
+    let result = (|| {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&tmp_path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp_path, path)?;
+        // Persist the rename itself where the platform allows opening
+        // directories; failure to fsync the directory is not fatal.
+        if let Some(d) = dir {
+            if let Ok(dirf) = File::open(d) {
+                let _ = dirf.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn footer_roundtrip_detects_flips() {
+        let mut buf = b"payload bytes".to_vec();
+        append_crc_footer(&mut buf);
+        let (body, stored) = split_crc_footer(&buf).expect("long enough");
+        assert_eq!(crc32(body), stored);
+        // Any single-bit flip anywhere breaks the match.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            let (body, stored) = split_crc_footer(&bad).expect("long enough");
+            assert_ne!(crc32(body), stored, "flip at {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn split_rejects_short_buffers() {
+        assert!(split_crc_footer(&[1, 2, 3]).is_none());
+        assert!(split_crc_footer(&[]).is_none());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_survives_failure() {
+        let dir = std::env::temp_dir().join(format!("airchitect-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer");
+        // No temp litter left behind.
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(litter.is_empty(), "temp files left: {litter:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_rejects_bare_directory_path() {
+        assert!(atomic_write("/", b"x").is_err());
+    }
+}

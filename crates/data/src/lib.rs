@@ -31,8 +31,10 @@ mod dataset;
 mod error;
 
 pub mod codec;
+pub mod integrity;
 pub mod quantize;
 pub mod split;
 
 pub use dataset::Dataset;
 pub use error::DataError;
+pub use integrity::Integrity;

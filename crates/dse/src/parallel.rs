@@ -1,4 +1,4 @@
-//! Multi-threaded dataset generation.
+//! Multi-threaded, fault-tolerant dataset generation.
 //!
 //! Search-labeling is embarrassingly parallel: every sample is an
 //! independent (sample workload → exhaustive search) task. On multi-core
@@ -6,67 +6,269 @@
 //! linearly; on the single-core reference machine it degrades gracefully to
 //! the sequential path.
 //!
-//! Determinism: each worker owns an RNG seeded from `(seed, worker index)`
+//! Fault tolerance:
+//!
+//! * Worker bodies run under [`std::panic::catch_unwind`]; a panicking
+//!   shard is retried up to [`DEFAULT_MAX_RETRIES`] times with a fresh
+//!   derived seed (recorded in the shard's audit record), then retried
+//!   sequentially on the calling thread before the whole generation gives
+//!   up with a typed [`ParallelError::ShardFailed`].
+//! * [`generate_case1_checkpointed`] additionally persists each finished
+//!   shard to disk (checksummed, atomically written `.aids` files plus a
+//!   manifest); re-running after a crash reuses every intact shard and
+//!   regenerates only what is missing or corrupt, producing a
+//!   byte-identical final dataset.
+//!
+//! Determinism: each worker owns an RNG seeded from `(seed, shard index)`
 //! and a fixed slice of the sample budget, and shards are concatenated in
-//! worker order — so output is a pure function of `(spec, threads)`.
+//! shard order — so output is a pure function of `(spec, threads)`.
 //! (It differs from the sequential generator's stream for the same seed;
 //! pick one generator per experiment.)
 
-use airchitect_data::Dataset;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use airchitect_data::{codec, DataError, Dataset, Integrity};
 use airchitect_workload::distribution::CnnWorkloadSampler;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::case1::{Case1DatasetSpec, Case1Problem};
 
-/// Generates a case-study-1 dataset on `threads` worker threads.
-///
-/// # Panics
-///
-/// Panics if `threads` is zero or a worker thread panics.
-pub fn generate_case1_parallel(
-    problem: &Case1Problem,
-    spec: &Case1DatasetSpec,
-    threads: usize,
-) -> Dataset {
-    assert!(threads > 0, "need at least one thread");
-    let (lo, hi) = spec.budget_log2_range;
-    assert!(lo >= 2, "budgets below 2^2 admit no shapes");
-    assert!(hi >= lo, "budget range is inverted");
+/// How many times a panicking shard is re-attempted (with fresh derived
+/// seeds) in its worker thread, and again in the sequential fallback.
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
 
-    let per_worker = split_evenly(spec.samples, threads);
-    let shards: Vec<Dataset> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = per_worker
+/// Error produced by the parallel generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelError {
+    /// `threads` was zero.
+    ZeroThreads,
+    /// The budget range admits no shapes or is inverted.
+    BadBudgetRange {
+        /// Lower `log2(budget)` bound.
+        lo: u32,
+        /// Upper `log2(budget)` bound.
+        hi: u32,
+    },
+    /// One shard kept panicking through every parallel and sequential
+    /// retry.
+    ShardFailed {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Total attempts spent on it.
+        attempts: u32,
+        /// Panic message of the last attempt.
+        last_error: String,
+    },
+    /// A checkpoint directory's manifest does not match the requested
+    /// generation (or is malformed).
+    ManifestMismatch {
+        /// Which field disagreed or failed to parse.
+        what: &'static str,
+    },
+    /// Shard persistence failed.
+    Data(DataError),
+}
+
+impl std::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelError::ZeroThreads => write!(f, "need at least one thread"),
+            ParallelError::BadBudgetRange { lo, hi } => {
+                write!(f, "bad budget range 2^{lo}..=2^{hi}: need 2 <= lo <= hi")
+            }
+            ParallelError::ShardFailed { shard, attempts, last_error } => {
+                write!(f, "shard {shard} failed after {attempts} attempts: {last_error}")
+            }
+            ParallelError::ManifestMismatch { what } => {
+                write!(f, "checkpoint manifest mismatch: {what}")
+            }
+            ParallelError::Data(e) => write!(f, "shard i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+impl From<DataError> for ParallelError {
+    fn from(e: DataError) -> Self {
+        ParallelError::Data(e)
+    }
+}
+
+/// Audit record for one generated (or resumed) shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAudit {
+    /// Shard index (shards are concatenated in this order).
+    pub shard: usize,
+    /// RNG seed the successful attempt actually used.
+    pub seed: u64,
+    /// Attempts spent (1 = first try succeeded).
+    pub attempts: u32,
+    /// Whether the shard was loaded from a checkpoint instead of computed.
+    pub resumed: bool,
+}
+
+/// Result of a checkpointed generation run.
+#[derive(Debug, Clone)]
+pub struct CheckpointedRun {
+    /// The complete dataset, identical to an uninterrupted run.
+    pub dataset: Dataset,
+    /// Per-shard provenance, in shard order.
+    pub shards: Vec<ShardAudit>,
+}
+
+/// Seed for `(base, shard, attempt)`: attempt 0 reproduces the historical
+/// per-worker stream; retries derive a fresh, recorded seed.
+fn attempt_seed(base: u64, shard: usize, attempt: u32) -> u64 {
+    let s = base ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    if attempt == 0 {
+        s
+    } else {
+        s ^ (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// `(dataset, seed_used, attempts_spent)` from a successful attempt, or
+/// `(attempts_spent, last_panic_message)` when every attempt panicked.
+type ShardOutcome = Result<(Dataset, u64, u32), (u32, String)>;
+
+/// Runs `worker(shard, seed, count)` under `catch_unwind` for attempts
+/// `first..=last`, returning `(dataset, seed_used, attempts_spent)` on the
+/// first success.
+fn run_one_shard<F>(
+    shard: usize,
+    count: usize,
+    base_seed: u64,
+    first: u32,
+    last: u32,
+    worker: &F,
+) -> ShardOutcome
+where
+    F: Fn(usize, u64, usize) -> Dataset,
+{
+    let mut last_error = String::new();
+    for attempt in first..=last {
+        let seed = attempt_seed(base_seed, shard, attempt);
+        match catch_unwind(AssertUnwindSafe(|| worker(shard, seed, count))) {
+            Ok(ds) => return Ok((ds, seed, attempt + 1)),
+            Err(p) => last_error = panic_message(p),
+        }
+    }
+    Err((last + 1, last_error))
+}
+
+/// Fault-isolated fan-out: one thread per `(shard, count)` work item, each
+/// retried in place on panic, with a final sequential retry round on the
+/// calling thread for shards that failed every parallel attempt.
+///
+/// Results come back in `work` order.
+fn run_shards<F>(
+    work: &[(usize, usize)],
+    base_seed: u64,
+    max_retries: u32,
+    worker: &F,
+) -> Result<Vec<(usize, Dataset, u64, u32)>, ParallelError>
+where
+    F: Fn(usize, u64, usize) -> Dataset + Sync,
+{
+    let parallel: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = work
             .iter()
-            .enumerate()
-            .map(|(worker, &count)| {
-                scope.spawn(move |_| {
-                    let sampler = CnnWorkloadSampler::new();
-                    let mut rng = StdRng::seed_from_u64(
-                        spec.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    );
-                    let mut shard = Dataset::new(4, problem.space().len() as u32)
-                        .expect("space is non-empty");
-                    for _ in 0..count {
-                        let wl = sampler.sample(&mut rng);
-                        let budget = 1u64 << rng.random_range(lo..=hi);
-                        let result = problem.search(&wl, budget);
-                        shard
-                            .push(&Case1Problem::features(&wl, budget), result.label)
-                            .expect("search labels are within the space");
-                    }
-                    shard
+            .map(|&(shard, count)| {
+                scope.spawn(move || {
+                    run_one_shard(shard, count, base_seed, 0, max_retries, worker)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // The worker itself is panic-proofed; a join error means the
+                // retry loop machinery died, which we fold into the same
+                // sequential-fallback path.
+                Err(p) => Err((max_retries + 1, panic_message(p))),
+            })
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
 
-    let mut out = Dataset::new(4, problem.space().len() as u32).expect("space is non-empty");
+    let mut out = Vec::with_capacity(work.len());
+    for (&(shard, count), result) in work.iter().zip(parallel) {
+        match result {
+            Ok((ds, seed, attempts)) => out.push((shard, ds, seed, attempts)),
+            Err((spent, _)) => {
+                // Sequential fallback: same shard, fresh attempt numbers, on
+                // this thread.
+                match run_one_shard(
+                    shard,
+                    count,
+                    base_seed,
+                    spent,
+                    spent + max_retries,
+                    worker,
+                ) {
+                    Ok((ds, seed, attempts)) => out.push((shard, ds, seed, attempts)),
+                    Err((attempts, last_error)) => {
+                        return Err(ParallelError::ShardFailed { shard, attempts, last_error })
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn validate(spec: &Case1DatasetSpec, threads: usize) -> Result<(), ParallelError> {
+    if threads == 0 {
+        return Err(ParallelError::ZeroThreads);
+    }
+    let (lo, hi) = spec.budget_log2_range;
+    if lo < 2 || hi < lo {
+        return Err(ParallelError::BadBudgetRange { lo, hi });
+    }
+    Ok(())
+}
+
+/// The real shard body: sample workloads, label them by exhaustive search.
+fn shard_worker<'a>(
+    problem: &'a Case1Problem,
+    spec: &'a Case1DatasetSpec,
+) -> impl Fn(usize, u64, usize) -> Dataset + Sync + 'a {
+    let (lo, hi) = spec.budget_log2_range;
+    move |_shard, seed, count| {
+        let sampler = CnnWorkloadSampler::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shard = Dataset::new(4, problem.space().len() as u32)
+            .expect("space is non-empty");
+        for _ in 0..count {
+            let wl = sampler.sample(&mut rng);
+            let budget = 1u64 << rng.random_range(lo..=hi);
+            let result = problem.search(&wl, budget);
+            shard
+                .push(&Case1Problem::features(&wl, budget), result.label)
+                .expect("search labels are within the space");
+        }
+        shard
+    }
+}
+
+fn concat_shards(
+    classes: u32,
+    shards: impl IntoIterator<Item = Dataset>,
+) -> Dataset {
+    let mut out = Dataset::new(4, classes).expect("space is non-empty");
     for shard in shards {
         for i in 0..shard.len() {
             out.push(shard.row(i), shard.label(i))
@@ -74,6 +276,212 @@ pub fn generate_case1_parallel(
         }
     }
     out
+}
+
+/// Generates a case-study-1 dataset on `threads` worker threads.
+///
+/// Worker panics are isolated and retried (see the module docs); output is
+/// a pure function of `(spec, threads)`.
+///
+/// # Errors
+///
+/// Returns [`ParallelError::ZeroThreads`] / [`ParallelError::BadBudgetRange`]
+/// on invalid arguments and [`ParallelError::ShardFailed`] if a shard
+/// exhausts every retry.
+pub fn generate_case1_parallel(
+    problem: &Case1Problem,
+    spec: &Case1DatasetSpec,
+    threads: usize,
+) -> Result<Dataset, ParallelError> {
+    validate(spec, threads)?;
+    let work: Vec<(usize, usize)> = split_evenly(spec.samples, threads)
+        .into_iter()
+        .enumerate()
+        .collect();
+    let worker = shard_worker(problem, spec);
+    let shards = run_shards(&work, spec.seed, DEFAULT_MAX_RETRIES, &worker)?;
+    Ok(concat_shards(
+        problem.space().len() as u32,
+        shards.into_iter().map(|(_, ds, _, _)| ds),
+    ))
+}
+
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:04}.aids"))
+}
+
+fn meta_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:04}.meta"))
+}
+
+const MANIFEST_NAME: &str = "manifest.txt";
+
+#[derive(Debug, PartialEq, Eq)]
+struct Manifest {
+    samples: usize,
+    lo: u32,
+    hi: u32,
+    seed: u64,
+    shards: usize,
+    classes: u32,
+}
+
+impl Manifest {
+    fn render(&self) -> String {
+        format!(
+            "airchitect-gen v1\nsamples {}\nbudget_log2 {} {}\nseed {}\nshards {}\nclasses {}\n",
+            self.samples, self.lo, self.hi, self.seed, self.shards, self.classes
+        )
+    }
+
+    fn parse(text: &str) -> Result<Self, ParallelError> {
+        let bad = |what| ParallelError::ManifestMismatch { what };
+        let mut lines = text.lines();
+        if lines.next() != Some("airchitect-gen v1") {
+            return Err(bad("unknown manifest header"));
+        }
+        let mut field = |name: &'static str, what| -> Result<Vec<String>, ParallelError> {
+            let line = lines.next().ok_or(bad(what))?;
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some(name) {
+                return Err(bad(what));
+            }
+            Ok(parts.map(str::to_string).collect())
+        };
+        let samples = field("samples", "samples line")?;
+        let budget = field("budget_log2", "budget_log2 line")?;
+        let seed = field("seed", "seed line")?;
+        let shards = field("shards", "shards line")?;
+        let classes = field("classes", "classes line")?;
+        Ok(Manifest {
+            samples: samples.first().and_then(|s| s.parse().ok()).ok_or(bad("samples value"))?,
+            lo: budget.first().and_then(|s| s.parse().ok()).ok_or(bad("budget lo value"))?,
+            hi: budget.get(1).and_then(|s| s.parse().ok()).ok_or(bad("budget hi value"))?,
+            seed: seed.first().and_then(|s| s.parse().ok()).ok_or(bad("seed value"))?,
+            shards: shards.first().and_then(|s| s.parse().ok()).ok_or(bad("shards value"))?,
+            classes: classes.first().and_then(|s| s.parse().ok()).ok_or(bad("classes value"))?,
+        })
+    }
+}
+
+/// Reads a shard's audit sidecar; falls back to "first-try seed" defaults
+/// when the sidecar is missing or unreadable (it is advisory).
+fn read_meta(dir: &Path, shard: usize, base_seed: u64) -> (u64, u32) {
+    let default = (attempt_seed(base_seed, shard, 0), 1);
+    let Ok(text) = std::fs::read_to_string(meta_path(dir, shard)) else {
+        return default;
+    };
+    let mut seed = None;
+    let mut attempts = None;
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("seed") => seed = parts.next().and_then(|s| s.parse().ok()),
+            Some("attempts") => attempts = parts.next().and_then(|s| s.parse().ok()),
+            _ => {}
+        }
+    }
+    match (seed, attempts) {
+        (Some(s), Some(a)) => (s, a),
+        _ => default,
+    }
+}
+
+/// Generates a case-study-1 dataset with per-shard checkpointing in `dir`.
+///
+/// Every finished shard is written atomically (checksummed `.aids` plus a
+/// `seed`/`attempts` audit sidecar) before the run completes, and a
+/// manifest pins the generation spec. Re-invoking with the same arguments
+/// after a crash — even a `SIGKILL` mid-shard — reuses all intact shards
+/// and regenerates the rest, yielding a dataset byte-identical to an
+/// uninterrupted run. Corrupt or truncated shard files are detected by
+/// their checksum and silently regenerated (shards are caches).
+///
+/// # Errors
+///
+/// All of [`generate_case1_parallel`]'s errors, plus
+/// [`ParallelError::ManifestMismatch`] when `dir` holds a checkpoint for a
+/// different spec and [`ParallelError::Data`] on shard I/O failures.
+pub fn generate_case1_checkpointed(
+    problem: &Case1Problem,
+    spec: &Case1DatasetSpec,
+    threads: usize,
+    dir: impl AsRef<Path>,
+) -> Result<CheckpointedRun, ParallelError> {
+    let dir = dir.as_ref();
+    validate(spec, threads)?;
+    std::fs::create_dir_all(dir).map_err(|e| DataError::Io(e.to_string()))?;
+
+    let classes = problem.space().len() as u32;
+    let counts = split_evenly(spec.samples, threads);
+    let (lo, hi) = spec.budget_log2_range;
+    let manifest = Manifest {
+        samples: spec.samples,
+        lo,
+        hi,
+        seed: spec.seed,
+        shards: threads,
+        classes,
+    };
+    let manifest_path = dir.join(MANIFEST_NAME);
+    match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => {
+            let existing = Manifest::parse(&text)?;
+            if existing != manifest {
+                return Err(ParallelError::ManifestMismatch {
+                    what: "directory was checkpointed with a different spec",
+                });
+            }
+        }
+        Err(_) => {
+            airchitect_data::integrity::atomic_write(&manifest_path, manifest.render().as_bytes())
+                .map_err(|e| DataError::Io(e.to_string()))?;
+        }
+    }
+
+    // Resume: reuse every shard file that is present, checksum-verified,
+    // and the right shape.
+    let mut slots: Vec<Option<(Dataset, u64, u32, bool)>> =
+        (0..threads).map(|_| None).collect();
+    for (shard, &count) in counts.iter().enumerate() {
+        if let Ok((ds, Integrity::Verified)) = codec::load_integrity(shard_path(dir, shard)) {
+            if ds.len() == count && ds.num_classes() == classes && ds.feature_dim() == 4 {
+                let (seed, attempts) = read_meta(dir, shard, spec.seed);
+                slots[shard] = Some((ds, seed, attempts, true));
+            }
+        }
+    }
+
+    let missing: Vec<(usize, usize)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(shard, _)| slots[*shard].is_none())
+        .map(|(shard, &count)| (shard, count))
+        .collect();
+    let worker = shard_worker(problem, spec);
+    for (shard, ds, seed, attempts) in
+        run_shards(&missing, spec.seed, DEFAULT_MAX_RETRIES, &worker)?
+    {
+        codec::save(&ds, shard_path(dir, shard))?;
+        airchitect_data::integrity::atomic_write(
+            meta_path(dir, shard),
+            format!("seed {seed}\nattempts {attempts}\n").as_bytes(),
+        )
+        .map_err(|e| DataError::Io(e.to_string()))?;
+        slots[shard] = Some((ds, seed, attempts, false));
+    }
+
+    let mut audits = Vec::with_capacity(threads);
+    let mut shards = Vec::with_capacity(threads);
+    for (shard, slot) in slots.into_iter().enumerate() {
+        let (ds, seed, attempts, resumed) = slot.expect("every shard filled");
+        audits.push(ShardAudit { shard, seed, attempts, resumed });
+        shards.push(ds);
+    }
+    Ok(CheckpointedRun {
+        dataset: concat_shards(classes, shards),
+        shards: audits,
+    })
 }
 
 /// Splits `total` into `parts` chunks whose sizes differ by at most one.
@@ -89,6 +497,18 @@ fn split_evenly(total: usize, parts: usize) -> Vec<usize> {
 mod tests {
     use super::*;
 
+    fn problem() -> Case1Problem {
+        Case1Problem::new(1 << 9)
+    }
+
+    fn spec(samples: usize, seed: u64) -> Case1DatasetSpec {
+        Case1DatasetSpec {
+            samples,
+            budget_log2_range: (5, 9),
+            seed,
+        }
+    }
+
     #[test]
     fn split_evenly_is_fair_and_complete() {
         assert_eq!(split_evenly(10, 3), vec![4, 3, 3]);
@@ -103,27 +523,19 @@ mod tests {
 
     #[test]
     fn parallel_generation_is_deterministic_per_thread_count() {
-        let problem = Case1Problem::new(1 << 9);
-        let spec = Case1DatasetSpec {
-            samples: 60,
-            budget_log2_range: (5, 9),
-            seed: 5,
-        };
-        let a = generate_case1_parallel(&problem, &spec, 3);
-        let b = generate_case1_parallel(&problem, &spec, 3);
+        let problem = problem();
+        let spec = spec(60, 5);
+        let a = generate_case1_parallel(&problem, &spec, 3).unwrap();
+        let b = generate_case1_parallel(&problem, &spec, 3).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 60);
     }
 
     #[test]
     fn parallel_labels_match_fresh_searches() {
-        let problem = Case1Problem::new(1 << 9);
-        let spec = Case1DatasetSpec {
-            samples: 20,
-            budget_log2_range: (5, 9),
-            seed: 8,
-        };
-        let ds = generate_case1_parallel(&problem, &spec, 2);
+        let problem = problem();
+        let spec = spec(20, 8);
+        let ds = generate_case1_parallel(&problem, &spec, 2).unwrap();
         for i in 0..ds.len() {
             let (wl, budget) = Case1Problem::from_features(ds.row(i));
             assert_eq!(ds.label(i), problem.search(&wl, budget).label);
@@ -138,7 +550,175 @@ mod tests {
             budget_log2_range: (5, 8),
             seed: 1,
         };
-        let ds = generate_case1_parallel(&problem, &spec, 1);
+        let ds = generate_case1_parallel(&problem, &spec, 1).unwrap();
         assert_eq!(ds.len(), 10);
+    }
+
+    #[test]
+    fn invalid_arguments_are_typed_errors() {
+        let p = problem();
+        assert_eq!(
+            generate_case1_parallel(&p, &spec(10, 0), 0).unwrap_err(),
+            ParallelError::ZeroThreads
+        );
+        let mut bad = spec(10, 0);
+        bad.budget_log2_range = (1, 9);
+        assert!(matches!(
+            generate_case1_parallel(&p, &bad, 2).unwrap_err(),
+            ParallelError::BadBudgetRange { lo: 1, hi: 9 }
+        ));
+        bad.budget_log2_range = (9, 5);
+        assert!(matches!(
+            generate_case1_parallel(&p, &bad, 2).unwrap_err(),
+            ParallelError::BadBudgetRange { lo: 9, hi: 5 }
+        ));
+    }
+
+    #[test]
+    fn panicking_shard_is_retried_with_fresh_seed() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let failures = AtomicU32::new(0);
+        let worker = |shard: usize, seed: u64, count: usize| -> Dataset {
+            // Shard 1 panics on its first two attempts.
+            if shard == 1 && failures.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("injected shard failure");
+            }
+            let mut ds = Dataset::new(1, 2).unwrap();
+            for _ in 0..count {
+                ds.push(&[seed as f32], 0).unwrap();
+            }
+            ds
+        };
+        let work = vec![(0usize, 3usize), (1, 3), (2, 3)];
+        let out = run_shards(&work, 7, DEFAULT_MAX_RETRIES, &worker).unwrap();
+        assert_eq!(out.len(), 3);
+        let (shard, ds, seed, attempts) = &out[1];
+        assert_eq!(*shard, 1);
+        assert_eq!(*attempts, 3);
+        assert_eq!(*seed, attempt_seed(7, 1, 2));
+        assert_ne!(*seed, attempt_seed(7, 1, 0), "retry must derive a fresh seed");
+        assert_eq!(ds.len(), 3);
+        // Healthy shards succeed on their first try with the base seed.
+        assert_eq!(out[0].3, 1);
+        assert_eq!(out[0].2, attempt_seed(7, 0, 0));
+    }
+
+    #[test]
+    fn persistently_failing_shard_reaches_sequential_fallback_then_errors() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let attempts_seen = AtomicU32::new(0);
+        let always_fail = |shard: usize, _seed: u64, _count: usize| -> Dataset {
+            if shard == 0 {
+                attempts_seen.fetch_add(1, Ordering::SeqCst);
+                panic!("this shard never succeeds");
+            }
+            Dataset::new(1, 2).unwrap()
+        };
+        let err = run_shards(&[(0, 1)], 3, 1, &always_fail).unwrap_err();
+        match err {
+            ParallelError::ShardFailed { shard, attempts, last_error } => {
+                assert_eq!(shard, 0);
+                assert_eq!(attempts, 4); // 2 parallel + 2 sequential-fallback
+                assert!(last_error.contains("never succeeds"));
+            }
+            other => panic!("expected ShardFailed, got {other:?}"),
+        }
+        assert_eq!(attempts_seen.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn sequential_fallback_rescues_a_shard_that_fails_in_parallel_phase() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = AtomicU32::new(0);
+        // Fails the first 3 attempts (the whole parallel phase at
+        // max_retries=2), succeeds on the 4th — i.e. only in the fallback.
+        let worker = |_shard: usize, _seed: u64, _count: usize| -> Dataset {
+            if calls.fetch_add(1, Ordering::SeqCst) < 3 {
+                panic!("flaky");
+            }
+            Dataset::new(1, 2).unwrap()
+        };
+        let out = run_shards(&[(0, 0)], 11, DEFAULT_MAX_RETRIES, &worker).unwrap();
+        assert_eq!(out[0].3, 4);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "airchitect-ckpt-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_parallel_run() {
+        let p = problem();
+        let s = spec(30, 21);
+        let dir = temp_dir("match");
+        let plain = generate_case1_parallel(&p, &s, 3).unwrap();
+        let ckpt = generate_case1_checkpointed(&p, &s, 3, &dir).unwrap();
+        assert_eq!(ckpt.dataset, plain);
+        assert!(ckpt.shards.iter().all(|a| !a.resumed && a.attempts == 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_reuses_intact_shards_and_is_identical() {
+        let p = problem();
+        let s = spec(30, 22);
+        let dir = temp_dir("resume");
+        let first = generate_case1_checkpointed(&p, &s, 3, &dir).unwrap();
+        // Simulate a crash that lost one shard mid-write: delete it.
+        std::fs::remove_file(shard_path(&dir, 1)).unwrap();
+        let second = generate_case1_checkpointed(&p, &s, 3, &dir).unwrap();
+        assert_eq!(first.dataset, second.dataset);
+        assert!(second.shards[0].resumed);
+        assert!(!second.shards[1].resumed);
+        assert!(second.shards[2].resumed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_shard_is_regenerated_not_trusted() {
+        let p = problem();
+        let s = spec(30, 23);
+        let dir = temp_dir("corrupt");
+        let first = generate_case1_checkpointed(&p, &s, 3, &dir).unwrap();
+        // Bit-flip shard 2 on disk.
+        let path = shard_path(&dir, 2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let second = generate_case1_checkpointed(&p, &s, 3, &dir).unwrap();
+        assert_eq!(first.dataset, second.dataset);
+        assert!(!second.shards[2].resumed, "corrupt shard must be regenerated");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_spec_is_rejected() {
+        let p = problem();
+        let dir = temp_dir("mismatch");
+        generate_case1_checkpointed(&p, &spec(30, 24), 3, &dir).unwrap();
+        let err = generate_case1_checkpointed(&p, &spec(40, 24), 3, &dir).unwrap_err();
+        assert!(matches!(err, ParallelError::ManifestMismatch { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_garbage() {
+        let m = Manifest {
+            samples: 10,
+            lo: 5,
+            hi: 9,
+            seed: 42,
+            shards: 3,
+            classes: 7,
+        };
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+        assert!(Manifest::parse("not a manifest").is_err());
+        assert!(Manifest::parse("airchitect-gen v1\nsamples x\n").is_err());
     }
 }

@@ -453,6 +453,15 @@ impl Layer {
             Layer::Embedding(l) => l.params_mut(),
         }
     }
+
+    /// The layer's trainable parameters, read-only (possibly empty).
+    pub fn params(&self) -> Vec<&Param> {
+        match self {
+            Layer::Dense(l) => vec![l.weights(), l.bias()],
+            Layer::Relu(_) | Layer::Dropout(_) => Vec::new(),
+            Layer::Embedding(l) => vec![l.table()],
+        }
+    }
 }
 
 #[cfg(test)]

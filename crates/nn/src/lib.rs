@@ -86,4 +86,21 @@ impl Param {
         }
     }
 
+    /// The optimizer moment buffers `(m, v)` — SGD momentum lives in `m`,
+    /// Adam uses both. Exposed for training checkpoints.
+    pub fn moments(&self) -> (&[f32], &[f32]) {
+        (&self.m, &self.v)
+    }
+
+    /// Replaces the optimizer moment buffers (restoring a checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer's length differs from the parameter's.
+    pub fn set_moments(&mut self, m: Vec<f32>, v: Vec<f32>) {
+        assert_eq!(m.len(), self.value.len(), "moment m length mismatch");
+        assert_eq!(v.len(), self.value.len(), "moment v length mismatch");
+        self.m = m;
+        self.v = v;
+    }
 }

@@ -163,6 +163,12 @@ impl Sequential {
             .collect()
     }
 
+    /// All trainable parameters, read-only, in the same order as
+    /// [`Sequential::params_mut`].
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
     /// Zeroes every gradient accumulator.
     pub fn zero_grad(&mut self) {
         for p in self.params_mut() {

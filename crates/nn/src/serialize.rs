@@ -191,6 +191,74 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<Sequential, ModelCodecError> {
     Ok(Sequential::from_layers(layers, in_dim, out_dim))
 }
 
+const STATE_MAGIC: &[u8; 4] = b"AIMS";
+const STATE_VERSION: u32 = 1;
+
+/// Serializes the per-parameter optimizer state (momentum / Adam moment
+/// buffers) of `network` to bytes (magic `AIMS`).
+///
+/// [`to_bytes`] deliberately stores values only — inference artifacts stay
+/// compact and a loaded model fine-tunes from fresh moments. Training
+/// checkpoints pair the value blob with this state blob so a resumed run
+/// continues bit-for-bit where it stopped.
+pub fn state_to_bytes(network: &Sequential) -> Bytes {
+    let params = network.params();
+    let mut buf = BytesMut::new();
+    buf.put_slice(STATE_MAGIC);
+    buf.put_u32_le(STATE_VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        let (m, v) = p.moments();
+        put_values(&mut buf, m);
+        put_values(&mut buf, v);
+    }
+    buf.freeze()
+}
+
+/// Restores optimizer state produced by [`state_to_bytes`] into `network`.
+///
+/// # Errors
+///
+/// Returns [`ModelCodecError::Corrupt`] on malformed input or when the
+/// state does not match the network's parameter shapes.
+pub fn apply_state(network: &mut Sequential, mut buf: &[u8]) -> Result<(), ModelCodecError> {
+    if buf.remaining() < 12 {
+        return Err(ModelCodecError::Corrupt("truncated state header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != STATE_MAGIC {
+        return Err(ModelCodecError::Corrupt("bad state magic"));
+    }
+    if buf.get_u32_le() != STATE_VERSION {
+        return Err(ModelCodecError::Corrupt("unsupported state version"));
+    }
+    let n = buf.get_u32_le() as usize;
+    if n != network.params().len() {
+        return Err(ModelCodecError::Corrupt("state parameter count mismatch"));
+    }
+    // Parse fully before touching the network, so a corrupt buffer cannot
+    // leave it half-restored.
+    let mut moments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = get_values(&mut buf)?;
+        let v = get_values(&mut buf)?;
+        moments.push((m, v));
+    }
+    if buf.has_remaining() {
+        return Err(ModelCodecError::Corrupt("trailing state bytes"));
+    }
+    for (p, (m, v)) in network.params().iter().zip(&moments) {
+        if m.len() != p.len() || v.len() != p.len() {
+            return Err(ModelCodecError::Corrupt("state moment size mismatch"));
+        }
+    }
+    for (p, (m, v)) in network.params_mut().into_iter().zip(moments) {
+        p.set_moments(m, v);
+    }
+    Ok(())
+}
+
 /// Saves a network to a file.
 ///
 /// # Errors
@@ -258,6 +326,42 @@ mod tests {
             from_bytes(&bytes),
             Err(ModelCodecError::Corrupt("trailing bytes"))
         ));
+    }
+
+    #[test]
+    fn state_roundtrip_restores_moments() {
+        use crate::optim::Optimizer;
+        // Take some optimizer steps so the moment buffers are non-trivial.
+        let mut net = Sequential::mlp(2, &[4], 2, 3);
+        let mut opt = Optimizer::adam(1e-2);
+        let x = Matrix::from_rows(&[&[1.0, -1.0]]);
+        for _ in 0..3 {
+            let y = net.forward(&x, true);
+            net.backward(&y);
+            opt.step(net.params_mut());
+        }
+        let values = to_bytes(&net);
+        let state = state_to_bytes(&net);
+        let mut back = from_bytes(&values).unwrap();
+        assert_ne!(back, net, "values blob alone drops the moments");
+        apply_state(&mut back, &state).unwrap();
+        assert_eq!(back, net, "values + state must reproduce the network exactly");
+    }
+
+    #[test]
+    fn state_rejects_mismatch_and_corruption() {
+        let net = Sequential::mlp(2, &[4], 2, 3);
+        let state = state_to_bytes(&net);
+        // Wrong network shape.
+        let mut other = Sequential::mlp(2, &[5], 2, 3);
+        assert!(apply_state(&mut other, &state).is_err());
+        // Truncation and bad magic.
+        let mut same = Sequential::mlp(2, &[4], 2, 3);
+        assert!(apply_state(&mut same, &state[..state.len() - 3]).is_err());
+        let mut bad = state.to_vec();
+        bad[0] = b'X';
+        assert!(apply_state(&mut same, &bad).is_err());
+        assert!(apply_state(&mut same, &[]).is_err());
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl History {
     }
 }
 
-/// Error returned when training is misconfigured.
+/// Error returned when training is misconfigured or goes numerically wrong.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrainError {
     /// The training set is empty.
@@ -102,6 +102,21 @@ pub enum TrainError {
     },
     /// Zero epochs or zero batch size.
     BadConfig,
+    /// Training diverged: the loss went NaN/Inf or the gradient norm
+    /// exploded. The model is left in its (useless) post-divergence state;
+    /// restart from a checkpoint with a gentler configuration.
+    Diverged {
+        /// Epoch (0-based) in which divergence was detected.
+        epoch: usize,
+        /// Batch index within that epoch.
+        batch: usize,
+    },
+    /// A resume point is inconsistent with the configuration (e.g. more
+    /// epochs completed than the schedule has).
+    BadResume(&'static str),
+    /// The per-epoch checkpoint observer failed (e.g. disk full while
+    /// writing a snapshot).
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for TrainError {
@@ -112,11 +127,45 @@ impl std::fmt::Display for TrainError {
                 write!(f, "network expects {expected} features, dataset has {got}")
             }
             TrainError::BadConfig => write!(f, "epochs and batch size must be positive"),
+            TrainError::Diverged { epoch, batch } => {
+                write!(f, "training diverged at epoch {epoch}, batch {batch} (NaN/Inf loss or exploding gradients)")
+            }
+            TrainError::BadResume(what) => write!(f, "cannot resume: {what}"),
+            TrainError::Checkpoint(msg) => write!(f, "checkpoint observer failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for TrainError {}
+
+/// Gradient-norm ceiling for the divergence guard: generous enough for any
+/// healthy run of the paper's models, tripped quickly by a runaway one.
+const GRAD_NORM_LIMIT: f32 = 1e6;
+
+/// Where a resumed run picks up: the first epoch still to execute and the
+/// optimizer exactly as it was after the last completed epoch (learning-rate
+/// decay already applied — the trainer does not reapply it while catching
+/// up).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResumePoint {
+    /// The first epoch to run (= number of epochs already completed).
+    pub next_epoch: usize,
+    /// Optimizer state after the last completed epoch.
+    pub optimizer: Optimizer,
+}
+
+/// Everything a checkpoint observer needs to snapshot one completed epoch.
+#[derive(Debug)]
+pub struct EpochCheckpoint<'a> {
+    /// The epoch just completed (0-based).
+    pub epoch: usize,
+    /// Network after the epoch's updates.
+    pub network: &'a Sequential,
+    /// Optimizer after the epoch (learning-rate decay applied).
+    pub optimizer: &'a Optimizer,
+    /// The epoch's statistics.
+    pub stats: &'a EpochStats,
+}
 
 /// Builds the feature matrix and label slice for a batch of row indices.
 fn gather(dataset: &Dataset, indices: &[usize]) -> (Matrix, Vec<u32>) {
@@ -134,14 +183,50 @@ fn gather(dataset: &Dataset, indices: &[usize]) -> (Matrix, Vec<u32>) {
 ///
 /// # Errors
 ///
-/// Returns [`TrainError`] for empty datasets, width mismatches, or a zero
-/// epoch/batch configuration.
+/// Returns [`TrainError`] for empty datasets, width mismatches, a zero
+/// epoch/batch configuration, or numerical divergence.
 pub fn fit(
     network: &mut Sequential,
     train: &Dataset,
     validation: Option<&Dataset>,
     config: &TrainConfig,
 ) -> Result<History, TrainError> {
+    fit_resumable(network, train, validation, config, None, |_| Ok(()))
+}
+
+/// Trains `network` on `train`, optionally resuming from a checkpoint and
+/// invoking `observer` after every completed epoch.
+///
+/// When `resume` is given, the trainer fast-forwards its shuffle stream to
+/// `next_epoch` (replaying the completed epochs' permutations against the
+/// seeded RNG) and continues with the restored optimizer, so an interrupted
+/// run that restarts from a snapshot of `(network, optimizer, next_epoch)`
+/// produces bit-identical results to an uninterrupted one. Only the
+/// remaining epochs appear in the returned [`History`].
+///
+/// Note: the guarantee covers the dropout-free architectures the pipelines
+/// use; [`Sequential::embedding_mlp_dropout`]'s per-call mask counter is
+/// not part of the snapshot.
+///
+/// The observer typically writes a checkpoint; an `Err(msg)` from it
+/// surfaces as [`TrainError::Checkpoint`] and aborts training.
+///
+/// # Errors
+///
+/// Returns [`TrainError`] for invalid inputs/config, an inconsistent
+/// resume point, divergence (NaN/Inf loss or exploding gradients), or an
+/// observer failure.
+pub fn fit_resumable<F>(
+    network: &mut Sequential,
+    train: &Dataset,
+    validation: Option<&Dataset>,
+    config: &TrainConfig,
+    resume: Option<ResumePoint>,
+    mut observer: F,
+) -> Result<History, TrainError>
+where
+    F: FnMut(&EpochCheckpoint<'_>) -> Result<(), String>,
+{
     if train.is_empty() {
         return Err(TrainError::EmptyDataset);
     }
@@ -157,27 +242,54 @@ pub fn fit(
     if !(config.lr_decay > 0.0 && config.lr_decay <= 1.0) {
         return Err(TrainError::BadConfig);
     }
+    let (start, mut optimizer) = match resume {
+        Some(r) => {
+            if r.next_epoch > config.epochs {
+                return Err(TrainError::BadResume(
+                    "checkpoint has more epochs than the schedule",
+                ));
+            }
+            (r.next_epoch, r.optimizer)
+        }
+        None => (0, config.optimizer),
+    };
 
-    let mut optimizer = config.optimizer;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut indices: Vec<usize> = (0..train.len()).collect();
     let mut history = History::default();
 
-    for epoch in 0..config.epochs {
+    // Fast-forward the shuffle stream over the epochs a resumed run has
+    // already completed.
+    for _ in 0..start {
+        indices.shuffle(&mut rng);
+    }
+
+    for epoch in start..config.epochs {
         indices.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut correct = 0usize;
         let mut batches = 0usize;
-        for chunk in indices.chunks(config.batch_size) {
+        for (batch, chunk) in indices.chunks(config.batch_size).enumerate() {
             let (x, labels) = gather(train, chunk);
             let logits = network.forward(&x, true);
             let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            if !loss.is_finite() {
+                return Err(TrainError::Diverged { epoch, batch });
+            }
             correct += airchitect_tensor::ops::argmax_rows(&logits)
                 .iter()
                 .zip(&labels)
                 .filter(|(p, l)| p == l)
                 .count();
             network.backward(&grad);
+            let grad_sq: f32 = network
+                .params_mut()
+                .iter()
+                .map(|p| p.grad.iter().map(|g| g * g).sum::<f32>())
+                .sum();
+            if !grad_sq.is_finite() || grad_sq.sqrt() > GRAD_NORM_LIMIT {
+                return Err(TrainError::Diverged { epoch, batch });
+            }
             optimizer.step(network.params_mut());
             loss_sum += loss as f64;
             batches += 1;
@@ -190,6 +302,13 @@ pub fn fit(
             val_accuracy,
         });
         optimizer.scale_lr(config.lr_decay);
+        observer(&EpochCheckpoint {
+            epoch,
+            network,
+            optimizer: &optimizer,
+            stats: history.epochs.last().expect("just pushed"),
+        })
+        .map_err(TrainError::Checkpoint)?;
     }
     Ok(history)
 }
@@ -386,6 +505,104 @@ mod tests {
             h.final_train_accuracy() > 0.99,
             "embedding net should nail a lookup task, got {}",
             h.final_train_accuracy()
+        );
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted() {
+        let ds = blobs(200);
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            lr_decay: 0.9,
+            ..Default::default()
+        };
+        // Uninterrupted reference run.
+        let mut full = Sequential::mlp(2, &[8], 2, 3);
+        fit(&mut full, &ds, None, &cfg).unwrap();
+        // "Killed" run: stop after 5 epochs, snapshotting network +
+        // optimizer from the observer (what a checkpoint stores).
+        let mut snap: Option<(Sequential, Optimizer)> = None;
+        let mut partial = Sequential::mlp(2, &[8], 2, 3);
+        fit_resumable(
+            &mut partial,
+            &ds,
+            None,
+            &TrainConfig { epochs: 5, ..cfg },
+            None,
+            |c| {
+                if c.epoch == 4 {
+                    snap = Some((c.network.clone(), *c.optimizer));
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        let (mut resumed, optimizer) = snap.unwrap();
+        let history = fit_resumable(
+            &mut resumed,
+            &ds,
+            None,
+            &cfg,
+            Some(ResumePoint {
+                next_epoch: 5,
+                optimizer,
+            }),
+            |_| Ok(()),
+        )
+        .unwrap();
+        // Only the remaining epochs are reported…
+        assert_eq!(history.epochs.len(), 3);
+        assert_eq!(history.epochs[0].epoch, 5);
+        // …and the final network (values AND moment buffers) is identical
+        // to the uninterrupted run's.
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn divergence_is_a_typed_error() {
+        let ds = blobs(100);
+        let mut net = Sequential::mlp(2, &[8], 2, 3);
+        let cfg = TrainConfig {
+            epochs: 50,
+            batch_size: 16,
+            optimizer: Optimizer::sgd(1e30),
+            ..Default::default()
+        };
+        assert!(matches!(
+            fit(&mut net, &ds, None, &cfg),
+            Err(TrainError::Diverged { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_resume_and_observer_failure_are_typed() {
+        let ds = blobs(50);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            ..Default::default()
+        };
+        let mut net = Sequential::mlp(2, &[4], 2, 1);
+        assert_eq!(
+            fit_resumable(
+                &mut net,
+                &ds,
+                None,
+                &cfg,
+                Some(ResumePoint {
+                    next_epoch: 3,
+                    optimizer: cfg.optimizer,
+                }),
+                |_| Ok(()),
+            ),
+            Err(TrainError::BadResume(
+                "checkpoint has more epochs than the schedule"
+            ))
+        );
+        assert_eq!(
+            fit_resumable(&mut net, &ds, None, &cfg, None, |_| Err("disk full".into())),
+            Err(TrainError::Checkpoint("disk full".to_string()))
         );
     }
 

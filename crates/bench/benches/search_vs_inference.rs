@@ -56,7 +56,11 @@ fn bench_inference(c: &mut Criterion) {
     // Untrained weights have identical latency to trained ones; no need to
     // pay training time in a latency benchmark.
     for (case, classes, feats) in [
-        (CaseStudy::ArrayDataflow, 459u32, vec![18.0, 512.0, 256.0, 384.0]),
+        (
+            CaseStudy::ArrayDataflow,
+            459u32,
+            vec![18.0, 512.0, 256.0, 384.0],
+        ),
         (
             CaseStudy::BufferSizing,
             1000,

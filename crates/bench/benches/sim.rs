@@ -28,7 +28,14 @@ fn bench_sim(c: &mut Criterion) {
     });
 
     c.bench_function("memory_dram_traffic", |b| {
-        b.iter(|| black_box(memory::dram_traffic(black_box(&wl), arr, Dataflow::Ws, bufs)))
+        b.iter(|| {
+            black_box(memory::dram_traffic(
+                black_box(&wl),
+                arr,
+                Dataflow::Ws,
+                bufs,
+            ))
+        })
     });
 
     let sys = MultiArraySystem::heterogeneous_4();
@@ -40,7 +47,12 @@ fn bench_sim(c: &mut Criterion) {
     ];
     let sched = Schedule::new(&[0, 1, 2, 3], &[Dataflow::Os; 4]);
     c.bench_function("multi_array_evaluate", |b| {
-        b.iter(|| black_box(sys.evaluate(black_box(&wls), &sched).expect("valid schedule")))
+        b.iter(|| {
+            black_box(
+                sys.evaluate(black_box(&wls), &sched)
+                    .expect("valid schedule"),
+            )
+        })
     });
 }
 

@@ -5,7 +5,9 @@
 //! Sweeps the embedding width and the quantizer resolution on case study 1
 //! and compares against an identically-trained MLP-B on raw features.
 
-use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy, ColumnQuantizer, FeatureQuantizer};
+use airchitect::model::{
+    AirchitectConfig, AirchitectModel, CaseStudy, ColumnQuantizer, FeatureQuantizer,
+};
 use airchitect_bench::{banner, scaled, write_csv};
 use airchitect_classifiers::mlp_zoo::{MlpBaseline, MlpVariant};
 use airchitect_classifiers::Classifier;
@@ -62,10 +64,7 @@ fn main() {
         let log2 = ColumnQuantizer::Log2 {
             bins_per_octave: bins,
         };
-        let quantizer = FeatureQuantizer::new(
-            vec![ColumnQuantizer::Direct, log2, log2, log2],
-            64,
-        );
+        let quantizer = FeatureQuantizer::new(vec![ColumnQuantizer::Direct, log2, log2, log2], 64);
         let mut model = AirchitectModel::new(
             CaseStudy::ArrayDataflow,
             &AirchitectConfig {
@@ -82,7 +81,11 @@ fn main() {
         rows.push(format!("airchitect,16,{bins},{acc:.4}"));
     }
 
-    write_csv("ablation_embedding", "model,embed_dim,bins_per_octave,accuracy", &rows);
+    write_csv(
+        "ablation_embedding",
+        "model,embed_dim,bins_per_octave,accuracy",
+        &rows,
+    );
     println!("\n  expected: the embedding front-end beats raw MLP-B (paper Fig. 9);");
     println!("  16-wide embeddings (the paper's choice) sit at the knee of the sweep.");
 }

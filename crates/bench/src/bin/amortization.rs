@@ -139,7 +139,10 @@ fn main() {
         model.train(&ds).expect("valid dataset");
         let train_s = t0.elapsed().as_secs_f64();
         let wls: Vec<_> = (1..=4)
-            .map(|i| airchitect_workload::GemmWorkload::new(i * 100, i * 50, i * 25).expect("static dims"))
+            .map(|i| {
+                airchitect_workload::GemmWorkload::new(i * 100, i * 50, i * 25)
+                    .expect("static dims")
+            })
             .collect();
         let search = time_us(50, || problem.search(&wls));
         let feats = Case3Problem::features(&wls);

@@ -15,6 +15,7 @@ fn main() {
         batch_size: 256,
         seed: 10,
         stratify: false,
+        threads: 1,
     };
 
     banner("Fig 10(d-f): actual vs predicted label distributions");

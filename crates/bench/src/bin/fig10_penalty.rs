@@ -20,6 +20,7 @@ fn main() {
         batch_size: 256,
         seed: 10,
         stratify: false,
+        threads: 1,
     };
 
     banner("Fig 10(g-h): misprediction penalty");
@@ -42,11 +43,18 @@ fn main() {
             .enumerate()
             .map(|(i, p)| format!("{i},{p:.5}"))
             .collect();
-        write_csv(&format!("fig10_penalty_{tag}"), "rank,normalized_perf", &rows);
+        write_csv(
+            &format!("fig10_penalty_{tag}"),
+            "rank,normalized_perf",
+            &rows,
+        );
 
         println!("\n  {tag} ({}):", run.case.name());
         println!("    test accuracy          {:.3}", run.penalty.accuracy);
-        println!("    geomean performance    {:.4}  (paper CS1: 0.9999, CS3: 0.991)", run.penalty.geomean);
+        println!(
+            "    geomean performance    {:.4}  (paper CS1: 0.9999, CS3: 0.991)",
+            run.penalty.geomean
+        );
         println!(
             "    catastrophic (<20%)    {:.4}  (paper: 'only a few data points')",
             run.penalty.catastrophic_fraction

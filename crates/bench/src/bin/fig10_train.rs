@@ -15,10 +15,14 @@ fn main() {
         batch_size: 256,
         seed: 10,
         stratify: false,
+        threads: 1,
     };
 
     banner("Fig 10(a-c): AIrchitect training curves");
-    println!("  {} samples per case study, {} epochs\n", config.samples, config.epochs);
+    println!(
+        "  {} samples per case study, {} epochs\n",
+        config.samples, config.epochs
+    );
 
     let runs = [
         ("case1", run_case1(&config, (5, 15))),

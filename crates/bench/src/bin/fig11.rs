@@ -20,7 +20,8 @@ fn main() {
         epochs: 12,
         batch_size: 256,
         seed: 11,
-            stratify: false,
+        stratify: false,
+        threads: 1,
     };
     let run = run_case1(&config, (5, 15));
     let problem = Case1Problem::new(1 << 15);
@@ -30,13 +31,14 @@ fn main() {
     let mut hits = 0usize;
     let mut total = 0usize;
     let mut perf_sum = 0f64;
-    println!("  {:<28} {:>12} {:>12} {:>6}", "layer", "searched", "predicted", "perf");
+    println!(
+        "  {:<28} {:>12} {:>12} {:>6}",
+        "layer", "searched", "predicted", "perf"
+    );
     for net in models::all_networks() {
         for (layer, wl) in net.gemms().into_iter().take(4) {
             let truth = problem.search(&wl, budget);
-            let predicted = run
-                .model
-                .predict_row(&Case1Problem::features(&wl, budget));
+            let predicted = run.model.predict_row(&Case1Problem::features(&wl, budget));
             let (ta, tdf) = problem.space().decode(truth.label).expect("in space");
             let (pa, pdf) = problem.space().decode(predicted).expect("in space");
             let perf = problem.normalized_performance(&wl, budget, predicted);
@@ -88,6 +90,7 @@ fn main() {
             batch_size: 256,
             seed: 11,
             stratify: false,
+            threads: 1,
         };
         let run = run_case1(&cfg, (5, budget_log2));
         println!(

@@ -27,19 +27,22 @@ fn main() {
 
     let mut rows = Vec::new();
     for ((r, c, df), n) in &freq {
-        rows.push(format!("{df},{r},{c},{n},{:.4}", *n as f64 / samples as f64));
+        rows.push(format!(
+            "{df},{r},{c},{n},{:.4}",
+            *n as f64 / samples as f64
+        ));
     }
     write_csv("fig5_abc", "dataflow,rows,cols,count,rel_freq", &rows);
 
     for df in airchitect_sim::Dataflow::ALL {
-        let mut per: Vec<_> = freq
-            .iter()
-            .filter(|((_, _, d), _)| *d == df)
-            .collect();
+        let mut per: Vec<_> = freq.iter().filter(|((_, _, d), _)| *d == df).collect();
         per.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
         println!("\n  {df}: top optimal shapes (of {} workloads)", samples);
         for ((r, c, _), n) in per.iter().take(5) {
-            println!("    {r:>4} x {c:<4}  freq {:.3}", *n as f64 / samples as f64);
+            println!(
+                "    {r:>4} x {c:<4}  freq {:.3}",
+                *n as f64 / samples as f64
+            );
         }
     }
 

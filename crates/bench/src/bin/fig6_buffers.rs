@@ -26,9 +26,9 @@ fn main() {
     let mut rows = Vec::new();
     // Mean optimal buffer size per dataflow.
     let mut sums = [[0f64; 4]; 3]; // [df][ifmap, filter, ofmap, count]
-    // OFMAP size correlation: mean ofmap buffer for small/large outputs,
-    // conditioned on a binding capacity limit (the paper's inverse trend is
-    // a consequence of inputs and outputs competing for scarce capacity).
+                                   // OFMAP size correlation: mean ofmap buffer for small/large outputs,
+                                   // conditioned on a binding capacity limit (the paper's inverse trend is
+                                   // a consequence of inputs and outputs competing for scarce capacity).
     let mut ofmap_small = (0f64, 0usize);
     let mut ofmap_large = (0f64, 0usize);
     const BINDING_LIMIT_KB: u64 = 700;
@@ -87,9 +87,7 @@ fn main() {
     println!("  IS row has the smallest IFMAP mean (stationary).");
 
     if ofmap_small.1 > 0 && ofmap_large.1 > 0 {
-        println!(
-            "\n  mean OFMAP buffer under binding limits (<= {BINDING_LIMIT_KB} KB total):"
-        );
+        println!("\n  mean OFMAP buffer under binding limits (<= {BINDING_LIMIT_KB} KB total):");
         println!(
             "    small outputs {:.0} KB vs large outputs {:.0} KB",
             ofmap_small.0 / ofmap_small.1 as f64,

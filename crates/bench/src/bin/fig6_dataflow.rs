@@ -51,7 +51,10 @@ fn main() {
     );
 
     println!("\n  mean log2 operand aspect ratios per optimal dataflow:");
-    println!("  {:<4} {:>9} {:>9} {:>9} {:>8}", "df", "M:K", "K:N", "M:N", "count");
+    println!(
+        "  {:<4} {:>9} {:>9} {:>9} {:>8}",
+        "df", "M:K", "K:N", "M:N", "count"
+    );
     for df in Dataflow::ALL {
         let s = &stats[df.index()];
         if s[3] == 0.0 {

@@ -13,13 +13,7 @@ use std::collections::HashMap;
 fn main() {
     let samples = scaled(2_000);
     let problem = Case3Problem::new();
-    let ds = generate_dataset(
-        &problem,
-        &Case3DatasetSpec {
-            samples,
-            seed: 66,
-        },
-    );
+    let ds = generate_dataset(&problem, &Case3DatasetSpec { samples, seed: 66 });
 
     banner("Fig 6(g): schedule clusters in workload-size space");
     let mut rows = Vec::new();
@@ -29,8 +23,7 @@ fn main() {
         let label = ds.label(i);
         let mut macs = [0f64; 4];
         for w in 0..4 {
-            macs[w] = (row[w * 3] as f64 * row[w * 3 + 1] as f64 * row[w * 3 + 2] as f64)
-                .log2();
+            macs[w] = (row[w * 3] as f64 * row[w * 3 + 1] as f64 * row[w * 3 + 2] as f64).log2();
         }
         rows.push(format!(
             "{label},{:.2},{:.2},{:.2},{:.2}",
@@ -84,8 +77,6 @@ fn main() {
                 min_sep = min_sep.min(d);
             }
         }
-        println!(
-            "\n  minimum centroid separation: {min_sep:.2} (clusters are distinct when > 0)"
-        );
+        println!("\n  minimum centroid separation: {min_sep:.2} (clusters are distinct when > 0)");
     }
 }

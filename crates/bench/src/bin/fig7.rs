@@ -27,9 +27,8 @@ fn main() {
         .map(|&(b, _)| b)
         .max()
         .unwrap_or(0);
-    let lookup = |h: &[(u32, usize)], bin: u32| {
-        h.iter().find(|&&(b, _)| b == bin).map_or(0, |&(_, n)| n)
-    };
+    let lookup =
+        |h: &[(u32, usize)], bin: u32| h.iter().find(|&&(b, _)| b == bin).map_or(0, |&(_, n)| n);
     println!("\n  log2(dim)   M    N    K");
     for bin in 0..=max_bin {
         let (m, n, k) = (lookup(&ms, bin), lookup(&ns, bin), lookup(&ks, bin));

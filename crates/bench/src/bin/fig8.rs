@@ -9,11 +9,7 @@ use airchitect_dse::space::{Case1Space, Case2Space, Case3Space};
 fn main() {
     banner("Fig 8(a): input spaces");
     for case in CaseStudy::ALL {
-        println!(
-            "  {:<38} {} input integers",
-            case.name(),
-            case.input_dim()
-        );
+        println!("  {:<38} {} input integers", case.name(), case.input_dim());
     }
 
     banner("Fig 8(b): CS1 output space (array rows, cols, dataflow)");
@@ -21,7 +17,11 @@ fn main() {
     println!("  size: {} (paper: 459)", s1.len());
     for label in [0u32, 1, 2, 3] {
         let (a, df) = s1.decode(label).expect("label in space");
-        println!("  config {label:>4}: {:>6} x {:<6} {df}", a.rows(), a.cols());
+        println!(
+            "  config {label:>4}: {:>6} x {:<6} {df}",
+            a.rows(),
+            a.cols()
+        );
     }
     let last = s1.len() as u32 - 1;
     let (a, df) = s1.decode(last).expect("last label in space");

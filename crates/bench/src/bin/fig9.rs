@@ -47,13 +47,7 @@ fn dataset_for(case: CaseStudy, samples: usize) -> Dataset {
         }
         CaseStudy::MultiArrayScheduling => {
             let problem = case3::Case3Problem::new();
-            case3::generate_dataset(
-                &problem,
-                &case3::Case3DatasetSpec {
-                    samples,
-                    seed: 9,
-                },
-            )
+            case3::generate_dataset(&problem, &case3::Case3DatasetSpec { samples, seed: 9 })
         }
     }
 }
@@ -66,6 +60,7 @@ fn main() {
         optimizer: Optimizer::adam(1e-3),
         seed: 9,
         lr_decay: 1.0,
+        threads: 1,
     };
 
     banner("Fig 9: classifier comparison");
@@ -153,7 +148,10 @@ fn main() {
             name, accs[0], accs[1], accs[2]
         );
     }
-    let airch = table.iter().find(|(n, _)| n == "AIrchitect").expect("present");
+    let airch = table
+        .iter()
+        .find(|(n, _)| n == "AIrchitect")
+        .expect("present");
     let best_baseline: [f64; 3] = {
         let mut b = [0f64; 3];
         for (name, accs) in &table {

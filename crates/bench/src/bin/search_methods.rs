@@ -103,13 +103,20 @@ fn main() {
     }
     rows.push(("airchitect".into(), perf / queries as f64, 0.0));
 
-    println!("\n  {:<12} {:>18} {:>16}", "method", "mean perf (of opt)", "evals per query");
+    println!(
+        "\n  {:<12} {:>18} {:>16}",
+        "method", "mean perf (of opt)", "evals per query"
+    );
     let mut csv = Vec::new();
     for (name, perf, evals) in &rows {
         println!("  {name:<12} {perf:>18.4} {evals:>16.1}");
         csv.push(format!("{name},{perf:.4},{evals:.1}"));
     }
-    write_csv("search_methods", "method,mean_normalized_perf,evals_per_query", &csv);
+    write_csv(
+        "search_methods",
+        "method,mean_normalized_perf,evals_per_query",
+        &csv,
+    );
 
     println!("\n  the paper's argument in one table: sampling-based search trades");
     println!("  solution quality against per-query evaluations; the learned");

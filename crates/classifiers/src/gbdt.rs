@@ -123,8 +123,7 @@ impl Classifier for Gbdt {
                 }
                 let tree = RegressionTree::fit(train, &grads, &hessians, &self.config.tree);
                 for i in 0..n {
-                    scores[i * k + class] +=
-                        self.config.shrinkage * tree.predict_row(train.row(i));
+                    scores[i * k + class] += self.config.shrinkage * tree.predict_row(train.row(i));
                 }
                 round_trees.push(tree);
             }

@@ -108,8 +108,8 @@ impl Classifier for RffSvc {
             .collect();
 
         // Lift the training set and fit the linear head on it.
-        let mut lifted = Dataset::new(self.config.num_features, data.num_classes())
-            .expect("num_features > 0");
+        let mut lifted =
+            Dataset::new(self.config.num_features, data.num_classes()).expect("num_features > 0");
         for i in 0..data.len() {
             lifted
                 .push(&self.lift(data.row(i)), data.label(i))

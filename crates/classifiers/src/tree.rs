@@ -108,8 +108,7 @@ impl RegressionTree {
         let h: f64 = indices.iter().map(|&i| hessians[i] as f64).sum();
         let leaf_value = (-g / (h + config.lambda as f64)) as f32;
 
-        let make_leaf = depth >= config.max_depth
-            || indices.len() < 2 * config.min_samples_leaf;
+        let make_leaf = depth >= config.max_depth || indices.len() < 2 * config.min_samples_leaf;
         if !make_leaf {
             if let Some((feature, threshold)) =
                 self.best_split(features, grads, hessians, &indices, config)
@@ -154,10 +153,7 @@ impl RegressionTree {
 
         let mut best: Option<(usize, f32, f64)> = None;
         for feature in 0..features.feature_dim() {
-            let mut values: Vec<f32> = indices
-                .iter()
-                .map(|&i| features.row(i)[feature])
-                .collect();
+            let mut values: Vec<f32> = indices.iter().map(|&i| features.row(i)[feature]).collect();
             values.sort_unstable_by(f32::total_cmp);
             values.dedup();
             if values.len() < 2 {

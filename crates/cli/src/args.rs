@@ -28,16 +28,12 @@ impl Args {
         while i < argv.len() {
             let token = &argv[i];
             let Some(key) = token.strip_prefix("--") else {
-                return Err(CliError::Usage(format!(
-                    "expected `--key`, got `{token}`"
-                )));
+                return Err(CliError::Usage(format!("expected `--key`, got `{token}`")));
             };
             if key.is_empty() {
                 return Err(CliError::Usage("empty flag `--`".into()));
             }
-            let next_is_value = argv
-                .get(i + 1)
-                .is_some_and(|n| !n.starts_with("--"));
+            let next_is_value = argv.get(i + 1).is_some_and(|n| !n.starts_with("--"));
             if next_is_value {
                 if args
                     .values

@@ -1,0 +1,337 @@
+//! `airchitect bench` — reproducible benchmark harness for the compute
+//! engine.
+//!
+//! Three suites, each emitting one JSON artifact:
+//!
+//! * `train` — CS1 training epochs: the pre-PR naive loop (reference
+//!   kernels, per-batch allocations) against the engine path (blocked
+//!   multi-threaded kernels, zero-allocation workspace). The baseline is
+//!   recorded in the same file as the engine numbers so the speedup is
+//!   self-contained.
+//! * `infer` — batched inference ([`AirchitectModel::predict`]) and
+//!   constant-time single queries ([`Recommender::recommend_array`]).
+//! * `dse` — conventional search throughput: exhaustive
+//!   [`Case1Problem::search`] plus the sampling strategies in
+//!   `dse::search_algos`.
+//!
+//! JSON is hand-rolled (flat objects, fixed keys) to stay within the
+//! approved dependency set; `--quick` shrinks every suite for CI smoke
+//! runs.
+
+use std::time::Instant;
+
+use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+use airchitect::Recommender;
+use airchitect_data::Dataset;
+use airchitect_dse::case1::Case1Problem;
+use airchitect_dse::search_algos::{GeneticSearch, HillClimb, RandomSearch, SearchStrategy};
+use airchitect_nn::loss::softmax_cross_entropy;
+use airchitect_nn::network::Sequential;
+use airchitect_nn::optim::Optimizer;
+use airchitect_nn::train::{fit, TrainConfig};
+use airchitect_tensor::gemm::{self, Kernel};
+use airchitect_tensor::{ops, Matrix};
+use airchitect_workload::GemmWorkload;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// CS1 output-space size at the paper's default 2^18 MAC budget.
+const CS1_CLASSES: u32 = 459;
+/// MAC budget whose output space has [`CS1_CLASSES`] labels.
+const CS1_BUDGET_LOG2: u32 = 18;
+/// Embedding vocabulary of the paper's quantizer.
+const VOCAB: usize = 64;
+
+/// Entry point for `airchitect bench`.
+pub fn bench(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    args.expect_only(&["suite", "out-dir", "threads", "samples", "epochs", "quick"])?;
+    let suite = args.optional("suite").unwrap_or("all");
+    let out_dir = args.optional("out-dir").unwrap_or(".").to_string();
+    let threads = args.u64_or("threads", 4)? as usize;
+    if threads == 0 {
+        return Err(CliError::Usage("`--threads` must be at least 1".into()));
+    }
+    let quick = args.flag("quick");
+    let samples = args.u64_or("samples", if quick { 1024 } else { 8192 })? as usize;
+    let epochs = args.u64_or("epochs", if quick { 1 } else { 3 })? as usize;
+    if samples == 0 || epochs == 0 {
+        return Err(CliError::Usage(
+            "`--samples` and `--epochs` must be at least 1".into(),
+        ));
+    }
+
+    match suite {
+        "train" => bench_train(&out_dir, samples, epochs, threads)?,
+        "infer" => bench_infer(&out_dir, quick)?,
+        "dse" => bench_dse(&out_dir, quick)?,
+        "all" => {
+            bench_train(&out_dir, samples, epochs, threads)?;
+            bench_infer(&out_dir, quick)?;
+            bench_dse(&out_dir, quick)?;
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown suite `{other}` (train|infer|dse|all)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn write_json(out_dir: &str, name: &str, body: &str) -> Result<(), CliError> {
+    let path = format!("{out_dir}/{name}");
+    std::fs::write(&path, body).map_err(|e| CliError::Io {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// A synthetic CS1-shaped training set: 4 pre-binned features (what the
+/// quantizer feeds the embedding layer) and labels over the CS1 space.
+/// Throughput depends only on the shapes, so synthetic rows benchmark the
+/// same arithmetic the pipeline performs without paying for dataset
+/// generation.
+fn cs1_training_set(samples: usize) -> Dataset {
+    let mut ds = Dataset::new(4, CS1_CLASSES).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut row = [0.0f32; 4];
+    for _ in 0..samples {
+        for v in &mut row {
+            *v = rng.random_range(0..VOCAB as u32) as f32;
+        }
+        ds.push(&row, rng.random_range(0..CS1_CLASSES)).unwrap();
+    }
+    ds
+}
+
+/// The paper's CS1 recommendation network shape.
+fn cs1_network() -> Sequential {
+    Sequential::embedding_mlp(4, VOCAB, 16, 256, CS1_CLASSES as usize, 42)
+}
+
+/// One epoch exactly as the pre-PR trainer ran it: reference kernels are
+/// selected by the caller, every batch allocates its gather buffers, the
+/// loss materializes a fresh gradient matrix, and the optimizer collects
+/// `Vec<&mut Param>`.
+fn naive_epoch(
+    network: &mut Sequential,
+    ds: &Dataset,
+    indices: &mut Vec<usize>,
+    rng: &mut StdRng,
+    optimizer: &mut Optimizer,
+    batch_size: usize,
+) -> f64 {
+    indices.shuffle(rng);
+    let mut loss_sum = 0.0f64;
+    for chunk in indices.chunks(batch_size) {
+        let dim = ds.feature_dim();
+        let mut data = Vec::with_capacity(chunk.len() * dim);
+        let mut labels = Vec::with_capacity(chunk.len());
+        for &i in chunk {
+            data.extend_from_slice(ds.row(i));
+            labels.push(ds.label(i));
+        }
+        let x = Matrix::from_vec(chunk.len(), dim, data);
+        let logits = network.forward(&x, true);
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        let _ = ops::argmax_rows(&logits);
+        network.backward(&grad);
+        let _grad_sq: f32 = network
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.iter().map(|g| g * g).sum::<f32>())
+            .sum();
+        optimizer.step(network.params_mut());
+        loss_sum += loss as f64;
+    }
+    loss_sum
+}
+
+fn bench_train(
+    out_dir: &str,
+    samples: usize,
+    epochs: usize,
+    threads: usize,
+) -> Result<(), CliError> {
+    const BATCH: usize = 256;
+    println!("bench train: CS1 model, {samples} samples, {epochs} epoch(s), batch {BATCH}");
+    let ds = cs1_training_set(samples);
+
+    // Baseline: the pre-PR loop on the pre-PR kernels.
+    gemm::set_kernel(Kernel::Reference);
+    let mut network = cs1_network();
+    let mut optimizer = Optimizer::adam(1e-3);
+    let mut indices: Vec<usize> = (0..ds.len()).collect();
+    let mut rng = StdRng::seed_from_u64(0);
+    let t0 = Instant::now();
+    for _ in 0..epochs {
+        naive_epoch(
+            &mut network,
+            &ds,
+            &mut indices,
+            &mut rng,
+            &mut optimizer,
+            BATCH,
+        );
+    }
+    let baseline_secs = t0.elapsed().as_secs_f64() / epochs as f64;
+    println!("  baseline (reference kernel, 1 thread): {baseline_secs:.3} s/epoch");
+
+    // Engine: the new trainer on the blocked kernels.
+    gemm::set_kernel(Kernel::Blocked);
+    let mut network = cs1_network();
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: BATCH,
+        threads,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    fit(&mut network, &ds, None, &cfg).map_err(|e| CliError::Run(e.to_string()))?;
+    let engine_secs = t0.elapsed().as_secs_f64() / epochs as f64;
+    let speedup = baseline_secs / engine_secs;
+    println!("  engine   (blocked kernel, {threads} thread(s)): {engine_secs:.3} s/epoch");
+    println!("  speedup: {speedup:.2}x");
+
+    let body = format!(
+        "{{\n  \"suite\": \"train\",\n  \"case\": \"cs1\",\n  \"samples\": {samples},\n  \
+         \"batch_size\": {BATCH},\n  \"epochs_timed\": {epochs},\n  \
+         \"baseline\": {{ \"kernel\": \"reference\", \"threads\": 1, \
+         \"secs_per_epoch\": {baseline_secs:.6} }},\n  \
+         \"engine\": {{ \"kernel\": \"blocked\", \"threads\": {threads}, \
+         \"secs_per_epoch\": {engine_secs:.6} }},\n  \"speedup\": {speedup:.4}\n}}\n"
+    );
+    write_json(out_dir, "BENCH_train.json", &body)
+}
+
+fn bench_infer(out_dir: &str, quick: bool) -> Result<(), CliError> {
+    let rows = if quick { 2_000 } else { 20_000 };
+    let queries = if quick { 200 } else { 2_000 };
+    println!("bench infer: {rows} batched rows, {queries} single queries");
+
+    // A raw-feature CS1 dataset ([log2 budget, M, N, K]) and a briefly
+    // trained model (throughput does not depend on accuracy).
+    let problem = Case1Problem::new(1 << CS1_BUDGET_LOG2);
+    let mut ds = Dataset::new(4, CS1_CLASSES).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..rows {
+        let wl = random_workload(&mut rng);
+        let budget = 1u64 << rng.random_range(5..=CS1_BUDGET_LOG2);
+        ds.push(
+            &Case1Problem::features(&wl, budget),
+            rng.random_range(0..CS1_CLASSES),
+        )
+        .unwrap();
+    }
+    let mut model = AirchitectModel::new(
+        CaseStudy::ArrayDataflow,
+        &AirchitectConfig {
+            num_classes: CS1_CLASSES,
+            train: TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    model.train(&ds).map_err(|e| CliError::Run(e.to_string()))?;
+
+    let t0 = Instant::now();
+    let preds = model.predict(&ds);
+    let batch_secs = t0.elapsed().as_secs_f64();
+    let rows_per_sec = preds.len() as f64 / batch_secs;
+    println!("  batched:      {rows_per_sec:.0} rows/s");
+
+    let recommender = Recommender::new(model).map_err(|e| CliError::Run(e.to_string()))?;
+    let t0 = Instant::now();
+    for _ in 0..queries {
+        let wl = random_workload(&mut rng);
+        recommender
+            .recommend_array(&problem, &wl, 1 << 10)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+    }
+    let query_us = t0.elapsed().as_secs_f64() * 1e6 / queries as f64;
+    println!("  single query: {query_us:.1} us");
+
+    let body = format!(
+        "{{\n  \"suite\": \"infer\",\n  \"case\": \"cs1\",\n  \"rows\": {rows},\n  \
+         \"batch_rows_per_sec\": {rows_per_sec:.2},\n  \"queries\": {queries},\n  \
+         \"single_query_us\": {query_us:.3}\n}}\n"
+    );
+    write_json(out_dir, "BENCH_infer.json", &body)
+}
+
+fn random_workload(rng: &mut StdRng) -> GemmWorkload {
+    GemmWorkload::new(
+        rng.random_range(16..2048u64),
+        rng.random_range(16..2048u64),
+        rng.random_range(16..2048u64),
+    )
+    .expect("dims are positive")
+}
+
+fn bench_dse(out_dir: &str, quick: bool) -> Result<(), CliError> {
+    let queries = if quick { 5 } else { 50 };
+    let budget_log2 = CS1_BUDGET_LOG2;
+    println!("bench dse: {queries} queries per strategy, budget 2^{budget_log2}");
+    let problem = Case1Problem::new(1 << budget_log2);
+    let mut rng = StdRng::seed_from_u64(23);
+    let workloads: Vec<GemmWorkload> = (0..queries).map(|_| random_workload(&mut rng)).collect();
+
+    let mut entries = String::new();
+    let mut measure = |name: &str, f: &mut dyn FnMut(&GemmWorkload) -> u64| {
+        let t0 = Instant::now();
+        let mut evals = 0u64;
+        for wl in &workloads {
+            evals += f(wl);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let qps = queries as f64 / secs;
+        let eps = evals as f64 / secs;
+        println!("  {name:<11} {qps:>9.1} queries/s  {eps:>11.0} evals/s");
+        entries.push_str(&format!(
+            "  \"{name}\": {{ \"queries_per_sec\": {qps:.2}, \"evals_per_sec\": {eps:.2} }},\n"
+        ));
+    };
+
+    let budget = 1u64 << budget_log2;
+    measure("exhaustive", &mut |wl| {
+        problem.search(wl, budget).evaluations
+    });
+    measure("random", &mut |wl| {
+        RandomSearch {
+            evaluations: 30,
+            seed: 0,
+        }
+        .search(&problem, wl, budget)
+        .evaluations
+    });
+    measure("hill_climb", &mut |wl| {
+        HillClimb {
+            restarts: 3,
+            seed: 0,
+        }
+        .search(&problem, wl, budget)
+        .evaluations
+    });
+    measure("genetic", &mut |wl| {
+        GeneticSearch::default()
+            .search(&problem, wl, budget)
+            .evaluations
+    });
+    drop(measure);
+
+    let body = format!(
+        "{{\n  \"suite\": \"dse\",\n  \"case\": \"cs1\",\n  \"queries\": {queries},\n  \
+         \"budget_log2\": {budget_log2},\n{entries}  \"space_size\": {}\n}}\n",
+        problem.space().len()
+    );
+    write_json(out_dir, "BENCH_dse.json", &body)
+}

@@ -7,9 +7,9 @@ use airchitect::pipeline::{self, CheckpointConfig, PipelineError};
 use airchitect::{persist, Recommender};
 use airchitect_data::{codec, DataError};
 use airchitect_dse::case1::{self, Case1Problem};
-use airchitect_dse::parallel::{self, ParallelError};
 use airchitect_dse::case2::{self, Case2Problem, Case2Query};
 use airchitect_dse::case3::{self, Case3Problem};
+use airchitect_dse::parallel::{self, ParallelError};
 use airchitect_dse::search_algos::SearchStrategy;
 use airchitect_dse::space::{Case1Space, Case2Space, Case3Space};
 use airchitect_nn::optim::Optimizer;
@@ -117,8 +117,18 @@ fn parse_case(args: &Args) -> Result<CaseStudy, CliError> {
 pub fn simulate(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     args.expect_only(&[
-        "m", "n", "k", "rows", "cols", "dataflow", "ifmap-kb", "filter-kb", "ofmap-kb",
-        "bandwidth", "verify", "trace",
+        "m",
+        "n",
+        "k",
+        "rows",
+        "cols",
+        "dataflow",
+        "ifmap-kb",
+        "filter-kb",
+        "ofmap-kb",
+        "bandwidth",
+        "verify",
+        "trace",
     ])?;
     let wl = GemmWorkload::new(
         args.required_u64("m")?,
@@ -163,7 +173,12 @@ pub fn simulate(argv: &[String]) -> Result<(), CliError> {
         for p in t.phases().iter().take(12) {
             println!(
                 "    {:>5} {:>7} {:>8} {:>10} {:>10} {:>10}",
-                p.fold, p.kind.to_string(), p.cycles, p.ifmap_bytes, p.filter_bytes, p.ofmap_bytes
+                p.fold,
+                p.kind.to_string(),
+                p.cycles,
+                p.ifmap_bytes,
+                p.filter_bytes,
+                p.ofmap_bytes
             );
         }
         if t.phases().len() > 12 {
@@ -236,8 +251,11 @@ pub fn search(argv: &[String]) -> Result<(), CliError> {
                     seed: 0,
                 }
                 .search(&problem, &wl, 1u64 << budget_log2),
-                "genetic" => airchitect_dse::search_algos::GeneticSearch::default()
-                    .search(&problem, &wl, 1u64 << budget_log2),
+                "genetic" => airchitect_dse::search_algos::GeneticSearch::default().search(
+                    &problem,
+                    &wl,
+                    1u64 << budget_log2,
+                ),
                 other => {
                     return Err(CliError::Usage(format!(
                         "unknown method `{other}` (exhaustive|random|hill-climb|genetic)"
@@ -256,7 +274,15 @@ pub fn search(argv: &[String]) -> Result<(), CliError> {
         }
         "2" => {
             args.expect_only(&[
-                "case", "m", "n", "k", "rows", "cols", "dataflow", "bandwidth", "limit-kb",
+                "case",
+                "m",
+                "n",
+                "k",
+                "rows",
+                "cols",
+                "dataflow",
+                "bandwidth",
+                "limit-kb",
             ])?;
             let query = Case2Query {
                 workload: GemmWorkload::new(
@@ -292,7 +318,10 @@ pub fn search(argv: &[String]) -> Result<(), CliError> {
             let problem = Case3Problem::new();
             let r = problem.search(&workloads);
             let (perm, dfs) = problem.space().decode(r.label).expect("label in space");
-            println!("optimum schedule (label {}): makespan {} cycles", r.label, r.cost);
+            println!(
+                "optimum schedule (label {}): makespan {} cycles",
+                r.label, r.cost
+            );
             for (array_idx, (wl_idx, df)) in perm.iter().zip(&dfs).enumerate() {
                 println!(
                     "  array {array_idx} ({}) <- workload {wl_idx} {} with {df}",
@@ -363,19 +392,16 @@ pub fn generate(argv: &[String]) -> Result<(), CliError> {
                     // Checkpointed generation always reuses intact shards;
                     // `--resume` and `--checkpoint-dir` differ only in
                     // intent (the spec manifest catches directory misuse).
-                    let run = parallel::generate_case1_checkpointed(
-                        &problem, &spec, threads, dir,
-                    )
-                    .map_err(|e| match e {
-                        ParallelError::Data(de) => data_err(dir)(de),
-                        other => run_err(other),
-                    })?;
+                    let run = parallel::generate_case1_checkpointed(&problem, &spec, threads, dir)
+                        .map_err(|e| match e {
+                            ParallelError::Data(de) => data_err(dir)(de),
+                            other => run_err(other),
+                        })?;
                     let resumed = run.shards.iter().filter(|s| s.resumed).count();
                     (run.dataset, resumed)
                 }
                 None if threads > 1 => (
-                    parallel::generate_case1_parallel(&problem, &spec, threads)
-                        .map_err(run_err)?,
+                    parallel::generate_case1_parallel(&problem, &spec, threads).map_err(run_err)?,
                     0,
                 ),
                 None => (case1::generate_dataset(&problem, &spec), 0),
@@ -424,11 +450,16 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
         "epochs",
         "batch",
         "seed",
+        "threads",
         "checkpoint-dir",
         "resume",
         "every-epochs",
     ])?;
     let case = parse_case(&args)?;
+    let threads = args.u64_or("threads", 1)? as usize;
+    if threads == 0 {
+        return Err(CliError::Usage("`--threads` must be at least 1".into()));
+    }
     let data_path = args.required("data")?;
     let ds = codec::load(data_path).map_err(data_err(data_path))?;
     if ds.feature_dim() != case.input_dim() {
@@ -442,7 +473,9 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
     let checkpoint = checkpoint_args(&args)?;
     let every_epochs = args.u64_or("every-epochs", 1)? as usize;
     if every_epochs == 0 {
-        return Err(CliError::Usage("`--every-epochs` must be at least 1".into()));
+        return Err(CliError::Usage(
+            "`--every-epochs` must be at least 1".into(),
+        ));
     }
     if args.optional("every-epochs").is_some() && checkpoint.is_none() {
         return Err(CliError::Usage(
@@ -457,6 +490,7 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
             optimizer: Optimizer::adam(1e-3),
             seed: args.u64_or("seed", 0)?,
             lr_decay: 1.0,
+            threads,
         },
         seed: args.u64_or("seed", 0)?,
         ..Default::default()
@@ -469,9 +503,8 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
                 every_epochs,
                 ..CheckpointConfig::new(dir.as_str())
             };
-            let (model, report) =
-                pipeline::train_checkpointed(fresh, &ds, None, &ckpt, *resume)
-                    .map_err(pipeline_err(dir))?;
+            let (model, report) = pipeline::train_checkpointed(fresh, &ds, None, &ckpt, *resume)
+                .map_err(pipeline_err(dir))?;
             if report.history.epochs.len() < config.train.epochs {
                 println!(
                     "resumed: {} epoch(s) restored from {dir}, {} to go",
@@ -510,7 +543,12 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
 /// `airchitect evaluate` — score a trained model against a labeled dataset.
 pub fn evaluate(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
-    args.expect_only(&["model", "data", "penalty", "calibration"])?;
+    args.expect_only(&["model", "data", "penalty", "calibration", "threads"])?;
+    let threads = args.u64_or("threads", 1)? as usize;
+    if threads == 0 {
+        return Err(CliError::Usage("`--threads` must be at least 1".into()));
+    }
+    airchitect_tensor::gemm::set_num_threads(threads);
     let model_path = args.required("model")?;
     let model = persist::load(model_path).map_err(persist_err(model_path))?;
     let data_path = args.required("data")?;
@@ -536,7 +574,10 @@ pub fn evaluate(argv: &[String]) -> Result<(), CliError> {
         let bins = airchitect::eval::calibration(&model, &ds, 10);
         let ece = airchitect::eval::expected_calibration_error(&bins);
         println!("calibration (ECE {ece:.4}):");
-        println!("  {:>12} {:>10} {:>10} {:>8}", "confidence", "mean conf", "accuracy", "count");
+        println!(
+            "  {:>12} {:>10} {:>10} {:>8}",
+            "confidence", "mean conf", "accuracy", "count"
+        );
         for b in bins.iter().filter(|b| b.count > 0) {
             println!(
                 "  [{:.1}, {:.1}) {:>10.3} {:>10.3} {:>8}",
@@ -547,10 +588,8 @@ pub fn evaluate(argv: &[String]) -> Result<(), CliError> {
     if args.flag("penalty") {
         let penalty = match model.case_study() {
             CaseStudy::ArrayDataflow => {
-                let space = airchitect_dse::space::Case1Space::from_len(
-                    model.network().out_dim(),
-                )
-                .ok_or_else(|| CliError::Run("class count matches no CS1 space".into()))?;
+                let space = airchitect_dse::space::Case1Space::from_len(model.network().out_dim())
+                    .ok_or_else(|| CliError::Run("class count matches no CS1 space".into()))?;
                 let problem = Case1Problem::new(space.mac_budget());
                 airchitect::eval::case1_penalty(&problem, &ds, &predictions)
             }
@@ -589,10 +628,11 @@ pub fn recommend(argv: &[String]) -> Result<(), CliError> {
             // Labels are only meaningful in the training-time space; rebuild
             // it from the model's class count.
             let classes = recommender.model().network().out_dim();
-            let space = airchitect_dse::space::Case1Space::from_len(classes)
-                .ok_or_else(|| CliError::Run(format!(
+            let space = airchitect_dse::space::Case1Space::from_len(classes).ok_or_else(|| {
+                CliError::Run(format!(
                     "model has {classes} classes, which matches no CS1 output space"
-                )))?;
+                ))
+            })?;
             let problem = Case1Problem::new(space.mac_budget());
             let t0 = std::time::Instant::now();
             let (array, df) = recommender
@@ -605,7 +645,15 @@ pub fn recommend(argv: &[String]) -> Result<(), CliError> {
         }
         CaseStudy::BufferSizing => {
             args.expect_only(&[
-                "model", "m", "n", "k", "rows", "cols", "dataflow", "bandwidth", "limit-kb",
+                "model",
+                "m",
+                "n",
+                "k",
+                "rows",
+                "cols",
+                "dataflow",
+                "bandwidth",
+                "limit-kb",
             ])?;
             let query = Case2Query {
                 workload: GemmWorkload::new(

@@ -8,7 +8,8 @@
 //! * `spaces`    — inspect the quantized output spaces,
 //! * `generate`  — produce a labeled dataset file (`.aids`),
 //! * `train`     — train an AIrchitect model on a dataset (`.airm` output),
-//! * `recommend` — constant-time recommendation from a trained model.
+//! * `recommend` — constant-time recommendation from a trained model,
+//! * `bench`     — reproducible compute-engine benchmarks (`BENCH_*.json`).
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to stay within the
 //! approved dependency set.
@@ -16,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod bench;
 pub mod commands;
 
 use std::fmt;
@@ -95,6 +97,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "train" => commands::train(rest),
         "recommend" => commands::recommend(rest),
         "evaluate" => commands::evaluate(rest),
+        "bench" => bench::bench(rest),
         "help" | "--help" | "-h" => {
             println!("{}", HELP.trim_start());
             Ok(())
@@ -137,19 +140,28 @@ COMMANDS:
              reuses the intact shards and regenerates the rest (case 1 only).
 
   train      --case 1|2|3 --data data.aids --out model.airm
-             [--epochs E] [--batch B] [--seed S]
+             [--epochs E] [--batch B] [--seed S] [--threads T]
              [--checkpoint-dir DIR | --resume DIR] [--every-epochs N]
-             Train an AIrchitect model on a generated dataset. With
-             --checkpoint-dir, the model + optimizer state is snapshotted
-             every N epochs (default 1); --resume DIR continues a killed run
-             bit-identically to an uninterrupted one.
+             Train an AIrchitect model on a generated dataset. --threads runs
+             the compute kernels on T threads; any value produces the same
+             model, bit for bit. With --checkpoint-dir, the model + optimizer
+             state is snapshotted every N epochs (default 1); --resume DIR
+             continues a killed run bit-identically to an uninterrupted one.
 
   evaluate   --model model.airm --data data.aids [--penalty] [--calibration]
+             [--threads T]
              Accuracy (and optionally the misprediction penalty) of a trained
              model on a labeled dataset.
 
   recommend  --model model.airm  plus the same query flags as `search`
              Constant-time recommendation from a trained model.
+
+  bench      [--suite train|infer|dse|all] [--out-dir DIR] [--threads T]
+             [--samples N] [--epochs E] [--quick]
+             Time the compute engine (training epochs vs the naive baseline,
+             batched + single-query inference, DSE search throughput) and
+             write BENCH_<suite>.json artifacts. --quick shrinks every suite
+             for smoke runs.
 
   help       Show this message.
 

@@ -24,20 +24,43 @@ fn help_and_unknown_commands() {
 #[test]
 fn simulate_with_verification() {
     assert!(run(&argv(&[
-        "simulate", "--m", "16", "--n", "16", "--k", "32", "--rows", "4", "--cols", "8",
-        "--dataflow", "IS", "--verify",
+        "simulate",
+        "--m",
+        "16",
+        "--n",
+        "16",
+        "--k",
+        "32",
+        "--rows",
+        "4",
+        "--cols",
+        "8",
+        "--dataflow",
+        "IS",
+        "--verify",
     ]))
     .is_ok());
     // Bad dataflow is a run error, not a panic.
     assert!(run(&argv(&[
-        "simulate", "--m", "4", "--n", "4", "--k", "4", "--rows", "2", "--cols", "2",
-        "--dataflow", "XX",
+        "simulate",
+        "--m",
+        "4",
+        "--n",
+        "4",
+        "--k",
+        "4",
+        "--rows",
+        "2",
+        "--cols",
+        "2",
+        "--dataflow",
+        "XX",
     ]))
     .is_err());
     // Typo protection.
     assert!(run(&argv(&[
-        "simulate", "--m", "4", "--n", "4", "--k", "4", "--rows", "2", "--cols", "2",
-        "--bogus", "1",
+        "simulate", "--m", "4", "--n", "4", "--k", "4", "--rows", "2", "--cols", "2", "--bogus",
+        "1",
     ]))
     .is_err());
 }
@@ -45,17 +68,43 @@ fn simulate_with_verification() {
 #[test]
 fn search_all_cases() {
     assert!(run(&argv(&[
-        "search", "--case", "1", "--m", "100", "--n", "200", "--k", "300",
-        "--budget-log2", "9",
+        "search",
+        "--case",
+        "1",
+        "--m",
+        "100",
+        "--n",
+        "200",
+        "--k",
+        "300",
+        "--budget-log2",
+        "9",
     ]))
     .is_ok());
     assert!(run(&argv(&[
-        "search", "--case", "2", "--m", "100", "--n", "200", "--k", "300",
-        "--rows", "8", "--cols", "8", "--limit-kb", "900",
+        "search",
+        "--case",
+        "2",
+        "--m",
+        "100",
+        "--n",
+        "200",
+        "--k",
+        "300",
+        "--rows",
+        "8",
+        "--cols",
+        "8",
+        "--limit-kb",
+        "900",
     ]))
     .is_ok());
     assert!(run(&argv(&[
-        "search", "--case", "3", "--workloads", "64,64,64;128,32,16;8,8,8;256,16,32",
+        "search",
+        "--case",
+        "3",
+        "--workloads",
+        "64,64,64;128,32,16;8,8,8;256,16,32",
     ]))
     .is_ok());
     // Wrong workload count for case 3.
@@ -74,29 +123,64 @@ fn generate_train_recommend_cycle() {
     let data = dir.join("cs1.aids");
     let model = dir.join("cs1.airm");
     assert!(run(&argv(&[
-        "generate", "--case", "1", "--samples", "300", "--budget-log2", "9",
-        "--out", data.to_str().expect("utf8 path"),
+        "generate",
+        "--case",
+        "1",
+        "--samples",
+        "300",
+        "--budget-log2",
+        "9",
+        "--out",
+        data.to_str().expect("utf8 path"),
     ]))
     .is_ok());
     assert!(run(&argv(&[
-        "train", "--case", "1", "--data", data.to_str().expect("utf8 path"),
-        "--out", model.to_str().expect("utf8 path"), "--epochs", "2", "--batch", "64",
+        "train",
+        "--case",
+        "1",
+        "--data",
+        data.to_str().expect("utf8 path"),
+        "--out",
+        model.to_str().expect("utf8 path"),
+        "--epochs",
+        "2",
+        "--batch",
+        "64",
     ]))
     .is_ok());
     assert!(run(&argv(&[
-        "recommend", "--model", model.to_str().expect("utf8 path"),
-        "--m", "64", "--n", "64", "--k", "64", "--budget-log2", "8",
+        "recommend",
+        "--model",
+        model.to_str().expect("utf8 path"),
+        "--m",
+        "64",
+        "--n",
+        "64",
+        "--k",
+        "64",
+        "--budget-log2",
+        "8",
     ]))
     .is_ok());
     assert!(run(&argv(&[
-        "evaluate", "--model", model.to_str().expect("utf8 path"),
-        "--data", data.to_str().expect("utf8 path"), "--penalty", "--calibration",
+        "evaluate",
+        "--model",
+        model.to_str().expect("utf8 path"),
+        "--data",
+        data.to_str().expect("utf8 path"),
+        "--penalty",
+        "--calibration",
     ]))
     .is_ok());
     // Training a case-2 model on case-1 data is rejected with a clear error.
     assert!(run(&argv(&[
-        "train", "--case", "2", "--data", data.to_str().expect("utf8 path"),
-        "--out", model.to_str().expect("utf8 path"),
+        "train",
+        "--case",
+        "2",
+        "--data",
+        data.to_str().expect("utf8 path"),
+        "--out",
+        model.to_str().expect("utf8 path"),
     ]))
     .is_err());
     std::fs::remove_dir_all(&dir).ok();

@@ -73,11 +73,36 @@ fn usage_errors_exit_with_code_2() {
     for args in [
         vec!["frobnicate"],
         vec!["train", "--case", "1"], // missing --data
-        vec!["generate", "--case", "1", "--samples", "5", "--out", "/tmp/x.aids", "--bogus", "1"],
-        vec!["generate", "--case", "2", "--samples", "5", "--out", "/tmp/x.aids", "--threads", "4"],
+        vec![
+            "generate",
+            "--case",
+            "1",
+            "--samples",
+            "5",
+            "--out",
+            "/tmp/x.aids",
+            "--bogus",
+            "1",
+        ],
+        vec![
+            "generate",
+            "--case",
+            "2",
+            "--samples",
+            "5",
+            "--out",
+            "/tmp/x.aids",
+            "--threads",
+            "4",
+        ],
     ] {
         let out = airchitect(&args);
-        assert_eq!(out.status.code(), Some(2), "args {args:?}: {}", stderr(&out));
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?}: {}",
+            stderr(&out)
+        );
     }
 }
 
@@ -126,7 +151,10 @@ fn corrupt_artifacts_exit_with_code_4_and_never_panic() {
     for (what, corrupt) in corruptions {
         for (original, flag_pair) in [(&data, "--data"), (&model, "--model")] {
             let bytes = std::fs::read(original).unwrap();
-            let damaged = dir.join(format!("damaged-{what}-{}", original.file_name().unwrap().to_str().unwrap()));
+            let damaged = dir.join(format!(
+                "damaged-{what}-{}",
+                original.file_name().unwrap().to_str().unwrap()
+            ));
             std::fs::write(&damaged, corrupt(&bytes)).unwrap();
 
             // Point one flag at the damaged copy, the other at a good file.
@@ -183,8 +211,17 @@ fn checkpointed_generate_resumes_to_identical_bytes() {
     let first = dir.join("first.aids");
     let second = dir.join("second.aids");
     let base = [
-        "generate", "--case", "1", "--samples", "40", "--budget-log2", "8", "--seed", "3",
-        "--threads", "4",
+        "generate",
+        "--case",
+        "1",
+        "--samples",
+        "40",
+        "--budget-log2",
+        "8",
+        "--seed",
+        "3",
+        "--threads",
+        "4",
     ];
 
     let mut args: Vec<&str> = base.to_vec();
@@ -224,8 +261,17 @@ fn checkpointed_train_resumes_to_identical_bytes() {
     let first = dir.join("first.airm");
     let second = dir.join("second.airm");
     let base = [
-        "train", "--case", "1", "--data", data.to_str().unwrap(), "--epochs", "3", "--batch",
-        "16", "--seed", "9",
+        "train",
+        "--case",
+        "1",
+        "--data",
+        data.to_str().unwrap(),
+        "--epochs",
+        "3",
+        "--batch",
+        "16",
+        "--seed",
+        "9",
     ];
 
     let mut args: Vec<&str> = base.to_vec();
@@ -255,8 +301,21 @@ fn checkpointed_train_resumes_to_identical_bytes() {
 
     // A different schedule must be refused, not silently retrained.
     let out = airchitect(&[
-        "train", "--case", "1", "--data", data.to_str().unwrap(), "--epochs", "5", "--batch",
-        "16", "--seed", "9", "--resume", &ckpt_s, "--out", second_s.as_str(),
+        "train",
+        "--case",
+        "1",
+        "--data",
+        data.to_str().unwrap(),
+        "--epochs",
+        "5",
+        "--batch",
+        "16",
+        "--seed",
+        "9",
+        "--resume",
+        &ckpt_s,
+        "--out",
+        second_s.as_str(),
     ]);
     assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
     assert!(stderr(&out).contains("different run"), "{}", stderr(&out));

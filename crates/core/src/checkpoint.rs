@@ -288,7 +288,8 @@ pub fn from_bytes(
     if version != VERSION {
         return Err(CheckpointError::Corrupt("unsupported version"));
     }
-    let (body, stored) = split_crc_footer(buf).ok_or(CheckpointError::Corrupt("truncated header"))?;
+    let (body, stored) =
+        split_crc_footer(buf).ok_or(CheckpointError::Corrupt("truncated header"))?;
     let computed = crc32(body);
     if computed != stored {
         return Err(CheckpointError::ChecksumMismatch { stored, computed });

@@ -56,11 +56,7 @@ impl PenaltyReport {
 /// # Panics
 ///
 /// Panics if `predictions.len() != test.len()` or `test` is empty.
-pub fn case1_penalty(
-    problem: &Case1Problem,
-    test: &Dataset,
-    predictions: &[u32],
-) -> PenaltyReport {
+pub fn case1_penalty(problem: &Case1Problem, test: &Dataset, predictions: &[u32]) -> PenaltyReport {
     assert_eq!(predictions.len(), test.len(), "one prediction per row");
     let performances = (0..test.len())
         .map(|i| {
@@ -76,11 +72,7 @@ pub fn case1_penalty(
 /// # Panics
 ///
 /// Panics if `predictions.len() != test.len()` or `test` is empty.
-pub fn case2_penalty(
-    problem: &Case2Problem,
-    test: &Dataset,
-    predictions: &[u32],
-) -> PenaltyReport {
+pub fn case2_penalty(problem: &Case2Problem, test: &Dataset, predictions: &[u32]) -> PenaltyReport {
     assert_eq!(predictions.len(), test.len(), "one prediction per row");
     let performances = (0..test.len())
         .map(|i| {
@@ -96,11 +88,7 @@ pub fn case2_penalty(
 /// # Panics
 ///
 /// Panics if `predictions.len() != test.len()` or `test` is empty.
-pub fn case3_penalty(
-    problem: &Case3Problem,
-    test: &Dataset,
-    predictions: &[u32],
-) -> PenaltyReport {
+pub fn case3_penalty(problem: &Case3Problem, test: &Dataset, predictions: &[u32]) -> PenaltyReport {
     assert_eq!(predictions.len(), test.len(), "one prediction per row");
     let performances = (0..test.len())
         .map(|i| {

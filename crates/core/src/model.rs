@@ -1,10 +1,10 @@
 //! The AIrchitect recommendation network (paper Fig. 2) and its per-case
 //! feature quantizers.
 
+use airchitect_classifiers::Classifier;
 use airchitect_data::Dataset;
 use airchitect_nn::network::Sequential;
 use airchitect_nn::train::{self, History, TrainConfig, TrainError};
-use airchitect_classifiers::Classifier;
 use serde::{Deserialize, Serialize};
 
 /// Which of the paper's three case studies a model targets.
@@ -407,8 +407,7 @@ impl AirchitectModel {
     /// Predicts config IDs for every row of a raw-feature dataset.
     pub fn predict(&self, dataset: &Dataset) -> Vec<u32> {
         let binned = self.quantizer.transform(dataset);
-        let mut net = self.network.clone();
-        train::predict_dataset(&mut net, &binned)
+        train::predict_dataset_infer(&self.network, &binned)
     }
 
     /// Accuracy against a labeled raw-feature dataset.

@@ -216,7 +216,9 @@ fn parse_body(mut buf: &[u8]) -> Result<AirchitectModel, PersistError> {
     }
     let network =
         nn_serialize::from_bytes(buf).map_err(|e| PersistError::Network(e.to_string()))?;
-    Ok(AirchitectModel::from_parts(case, quantizer, network, trained))
+    Ok(AirchitectModel::from_parts(
+        case, quantizer, network, trained,
+    ))
 }
 
 /// Saves a model to a file atomically (temp file + fsync + rename).

@@ -38,6 +38,10 @@ pub struct PipelineConfig {
     /// 80:10:10 — reduces evaluation noise on the long-tailed CS2/CS3 label
     /// distributions (off by default for paper fidelity).
     pub stratify: bool,
+    /// Kernel threads for training's forward/backward products. Results
+    /// are byte-identical for any value (the compute engine's partition is
+    /// fixed); this only changes wall-clock time. Must be at least 1.
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -48,6 +52,7 @@ impl Default for PipelineConfig {
             batch_size: 256,
             seed: 0,
             stratify: false,
+            threads: 1,
         }
     }
 }
@@ -60,6 +65,7 @@ impl PipelineConfig {
             optimizer: Optimizer::adam(1e-3),
             seed: self.seed,
             lr_decay: 1.0,
+            threads: self.threads,
         }
     }
 }
@@ -509,6 +515,7 @@ mod tests {
             batch_size: 64,
             seed: 7,
             stratify: false,
+            threads: 1,
         }
     }
 
@@ -560,10 +567,8 @@ mod tests {
     }
 
     fn temp_ckpt(tag: &str) -> CheckpointConfig {
-        let dir = std::env::temp_dir().join(format!(
-            "airchitect-pipe-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("airchitect-pipe-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         CheckpointConfig {
             every_epochs: 2,
@@ -597,7 +602,10 @@ mod tests {
         // Crash right after the epoch-4 snapshot (every_epochs = 2).
         let err = run_case1_checkpointed_impl(&cfg, (5, 8), &interrupted, false, Some(4), None)
             .unwrap_err();
-        assert!(matches!(err, PipelineError::Train(TrainError::Checkpoint(_))));
+        assert!(matches!(
+            err,
+            PipelineError::Train(TrainError::Checkpoint(_))
+        ));
 
         let resumed =
             run_case1_checkpointed_impl(&cfg, (5, 8), &interrupted, true, None, None).unwrap();

@@ -135,9 +135,7 @@ impl Recommender {
             .predict_topk(&Case1Problem::features(workload, mac_budget), k);
         Ok(ranked
             .into_iter()
-            .filter_map(|(label, p)| {
-                problem.space().decode(label).map(|(a, df)| (a, df, p))
-            })
+            .filter_map(|(label, p)| problem.space().decode(label).map(|(a, df)| (a, df, p)))
             .collect())
     }
 
@@ -195,13 +193,17 @@ mod tests {
             batch_size: 64,
             seed: 3,
             stratify: false,
+            threads: 1,
         }
     }
 
     #[test]
     fn untrained_model_is_rejected() {
         let model = AirchitectModel::new(CaseStudy::ArrayDataflow, &AirchitectConfig::default());
-        assert_eq!(Recommender::new(model).unwrap_err(), RecommendError::Untrained);
+        assert_eq!(
+            Recommender::new(model).unwrap_err(),
+            RecommendError::Untrained
+        );
     }
 
     #[test]
@@ -233,9 +235,7 @@ mod tests {
         let run = run_case1(&quick(), (5, 8));
         let rec = Recommender::new(run.model).unwrap();
         let problem = Case2Problem::new();
-        let query = Case2Query::from_features(&[
-            1000.0, 64.0, 64.0, 64.0, 8.0, 8.0, 0.0, 10.0,
-        ]);
+        let query = Case2Query::from_features(&[1000.0, 64.0, 64.0, 64.0, 8.0, 8.0, 0.0, 10.0]);
         assert!(matches!(
             rec.recommend_buffers(&problem, &query),
             Err(RecommendError::WrongCaseStudy { .. })

@@ -33,9 +33,7 @@ const LEGACY_VERSION: u32 = 1;
 
 /// Serializes a dataset to an in-memory buffer (version 2, checksummed).
 pub fn to_bytes(dataset: &Dataset) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        28 + dataset.len() * (dataset.feature_dim() * 4 + 4),
-    );
+    let mut buf = BytesMut::with_capacity(28 + dataset.len() * (dataset.feature_dim() * 4 + 4));
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u64_le(dataset.len() as u64);
@@ -67,7 +65,9 @@ pub fn to_bytes(dataset: &Dataset) -> Bytes {
 pub fn from_bytes_integrity(buf: &[u8]) -> Result<(Dataset, Integrity), DataError> {
     // Header: 4 magic + 4 version + 8 rows + 4 dim + 4 classes = 24 bytes.
     if buf.len() < 24 {
-        return Err(DataError::Corrupt { what: "truncated header" });
+        return Err(DataError::Corrupt {
+            what: "truncated header",
+        });
     }
     if &buf[..4] != MAGIC {
         return Err(DataError::Corrupt { what: "bad magic" });
@@ -76,15 +76,20 @@ pub fn from_bytes_integrity(buf: &[u8]) -> Result<(Dataset, Integrity), DataErro
     let (body, integrity) = match version {
         LEGACY_VERSION => (buf, Integrity::UnverifiedLegacy),
         VERSION => {
-            let (body, stored) = split_crc_footer(buf)
-                .ok_or(DataError::Corrupt { what: "truncated header" })?;
+            let (body, stored) = split_crc_footer(buf).ok_or(DataError::Corrupt {
+                what: "truncated header",
+            })?;
             let computed = crc32(body);
             if computed != stored {
                 return Err(DataError::ChecksumMismatch { stored, computed });
             }
             (body, Integrity::Verified)
         }
-        _ => return Err(DataError::Corrupt { what: "unsupported version" }),
+        _ => {
+            return Err(DataError::Corrupt {
+                what: "unsupported version",
+            })
+        }
     };
     parse_body(body).map(|ds| (ds, integrity))
 }
@@ -105,7 +110,9 @@ pub fn from_bytes(buf: &[u8]) -> Result<Dataset, DataError> {
 /// Parses the checksum-free body (header + payload) shared by v1 and v2.
 fn parse_body(mut buf: &[u8]) -> Result<Dataset, DataError> {
     if buf.remaining() < 24 {
-        return Err(DataError::Corrupt { what: "truncated header" });
+        return Err(DataError::Corrupt {
+            what: "truncated header",
+        });
     }
     buf.advance(8); // magic + version, validated by the caller
     let rows = buf.get_u64_le() as usize;
@@ -115,12 +122,18 @@ fn parse_body(mut buf: &[u8]) -> Result<Dataset, DataError> {
         .checked_mul(dim)
         .and_then(|f| f.checked_mul(4))
         .and_then(|f| f.checked_add(rows * 4))
-        .ok_or(DataError::Corrupt { what: "size overflow" })?;
+        .ok_or(DataError::Corrupt {
+            what: "size overflow",
+        })?;
     if buf.remaining() != need {
-        return Err(DataError::Corrupt { what: "payload size mismatch" });
+        return Err(DataError::Corrupt {
+            what: "payload size mismatch",
+        });
     }
     if dim == 0 || classes == 0 {
-        return Err(DataError::Corrupt { what: "zero dim or classes" });
+        return Err(DataError::Corrupt {
+            what: "zero dim or classes",
+        });
     }
     let mut features = Vec::with_capacity(rows * dim);
     for _ in 0..rows * dim {
@@ -130,7 +143,9 @@ fn parse_body(mut buf: &[u8]) -> Result<Dataset, DataError> {
     for r in 0..rows {
         let label = buf.get_u32_le();
         if label >= classes {
-            return Err(DataError::Corrupt { what: "label out of range" });
+            return Err(DataError::Corrupt {
+                what: "label out of range",
+            });
         }
         out.push(&features[r * dim..(r + 1) * dim], label)?;
     }
@@ -263,7 +278,9 @@ mod tests {
         };
         assert!(matches!(
             from_bytes(&v1),
-            Err(DataError::Corrupt { what: "label out of range" })
+            Err(DataError::Corrupt {
+                what: "label out of range"
+            })
         ));
     }
 

@@ -73,12 +73,7 @@ impl Case1Problem {
 
     /// Runtime of the configuration denoted by `label`, or `None` if the
     /// label is out of space or over `mac_budget` (an infeasible prediction).
-    pub fn runtime_of(
-        &self,
-        workload: &GemmWorkload,
-        mac_budget: u64,
-        label: u32,
-    ) -> Option<u64> {
+    pub fn runtime_of(&self, workload: &GemmWorkload, mac_budget: u64, label: u32) -> Option<u64> {
         let (array, df) = self.space.decode(label)?;
         if array.macs() > mac_budget {
             return None;
@@ -192,7 +187,12 @@ pub fn optimal_shape_frequencies(
             .or_insert(0) += 1;
     }
     freq.into_iter()
-        .map(|((r, c, d), n)| ((r, c, Dataflow::from_index(d).expect("stored index < 3")), n))
+        .map(|((r, c, d), n)| {
+            (
+                (r, c, Dataflow::from_index(d).expect("stored index < 3")),
+                n,
+            )
+        })
         .collect()
 }
 
@@ -214,7 +214,10 @@ mod tests {
             if array.macs() > 1 << 8 {
                 continue;
             }
-            assert!(r.cost <= compute::runtime_cycles(&w, array, df), "label {label} beats search");
+            assert!(
+                r.cost <= compute::runtime_cycles(&w, array, df),
+                "label {label} beats search"
+            );
         }
         let (arr, _) = p.space().decode(r.label).unwrap();
         assert!(arr.macs() <= 1 << 8);

@@ -153,14 +153,15 @@ impl Case2Problem {
             },
             None => SearchResult {
                 label: 0,
-                cost: self.stalls_of(
-                    &Case2Query {
-                        limit_kb: u64::MAX,
-                        ..*query
-                    },
-                    0,
-                )
-                .expect("label 0 always decodes"),
+                cost: self
+                    .stalls_of(
+                        &Case2Query {
+                            limit_kb: u64::MAX,
+                            ..*query
+                        },
+                        0,
+                    )
+                    .expect("label 0 always decodes"),
                 evaluations: evals,
             },
         }
@@ -172,11 +173,8 @@ impl Case2Problem {
     /// Total cycles (compute + stalls) rather than raw stalls are compared so
     /// that zero-stall ties score 1.0. Infeasible predictions score 0.
     pub fn normalized_performance(&self, query: &Case2Query, predicted: u32) -> f64 {
-        let compute = airchitect_sim::compute::runtime_cycles(
-            &query.workload,
-            query.array,
-            query.dataflow,
-        );
+        let compute =
+            airchitect_sim::compute::runtime_cycles(&query.workload, query.array, query.dataflow);
         let best = self.search(query).cost + compute;
         match self.stalls_of(query, predicted) {
             Some(s) => best as f64 / (s + compute) as f64,

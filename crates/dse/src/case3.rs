@@ -248,9 +248,8 @@ mod tests {
     #[test]
     fn three_array_system_searches_its_162_label_space() {
         // The paper's Fig. 4 sketch: 3 arrays => 3^3 · 3! = 162 schedules.
-        let p = Case3Problem::with_system(
-            airchitect_sim::multi::MultiArraySystem::heterogeneous_3(),
-        );
+        let p =
+            Case3Problem::with_system(airchitect_sim::multi::MultiArraySystem::heterogeneous_3());
         assert_eq!(p.space().len(), 162);
         let wls = vec![
             GemmWorkload::new(1024, 512, 256).unwrap(),

@@ -78,8 +78,15 @@ impl std::fmt::Display for ParallelError {
             ParallelError::BadBudgetRange { lo, hi } => {
                 write!(f, "bad budget range 2^{lo}..=2^{hi}: need 2 <= lo <= hi")
             }
-            ParallelError::ShardFailed { shard, attempts, last_error } => {
-                write!(f, "shard {shard} failed after {attempts} attempts: {last_error}")
+            ParallelError::ShardFailed {
+                shard,
+                attempts,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} failed after {attempts} attempts: {last_error}"
+                )
             }
             ParallelError::ManifestMismatch { what } => {
                 write!(f, "checkpoint manifest mismatch: {what}")
@@ -187,9 +194,7 @@ where
         let handles: Vec<_> = work
             .iter()
             .map(|&(shard, count)| {
-                scope.spawn(move || {
-                    run_one_shard(shard, count, base_seed, 0, max_retries, worker)
-                })
+                scope.spawn(move || run_one_shard(shard, count, base_seed, 0, max_retries, worker))
             })
             .collect();
         handles
@@ -211,17 +216,14 @@ where
             Err((spent, _)) => {
                 // Sequential fallback: same shard, fresh attempt numbers, on
                 // this thread.
-                match run_one_shard(
-                    shard,
-                    count,
-                    base_seed,
-                    spent,
-                    spent + max_retries,
-                    worker,
-                ) {
+                match run_one_shard(shard, count, base_seed, spent, spent + max_retries, worker) {
                     Ok((ds, seed, attempts)) => out.push((shard, ds, seed, attempts)),
                     Err((attempts, last_error)) => {
-                        return Err(ParallelError::ShardFailed { shard, attempts, last_error })
+                        return Err(ParallelError::ShardFailed {
+                            shard,
+                            attempts,
+                            last_error,
+                        })
                     }
                 }
             }
@@ -250,8 +252,7 @@ fn shard_worker<'a>(
     move |_shard, seed, count| {
         let sampler = CnnWorkloadSampler::new();
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut shard = Dataset::new(4, problem.space().len() as u32)
-            .expect("space is non-empty");
+        let mut shard = Dataset::new(4, problem.space().len() as u32).expect("space is non-empty");
         for _ in 0..count {
             let wl = sampler.sample(&mut rng);
             let budget = 1u64 << rng.random_range(lo..=hi);
@@ -264,10 +265,7 @@ fn shard_worker<'a>(
     }
 }
 
-fn concat_shards(
-    classes: u32,
-    shards: impl IntoIterator<Item = Dataset>,
-) -> Dataset {
+fn concat_shards(classes: u32, shards: impl IntoIterator<Item = Dataset>) -> Dataset {
     let mut out = Dataset::new(4, classes).expect("space is non-empty");
     for shard in shards {
         for i in 0..shard.len() {
@@ -354,12 +352,30 @@ impl Manifest {
         let shards = field("shards", "shards line")?;
         let classes = field("classes", "classes line")?;
         Ok(Manifest {
-            samples: samples.first().and_then(|s| s.parse().ok()).ok_or(bad("samples value"))?,
-            lo: budget.first().and_then(|s| s.parse().ok()).ok_or(bad("budget lo value"))?,
-            hi: budget.get(1).and_then(|s| s.parse().ok()).ok_or(bad("budget hi value"))?,
-            seed: seed.first().and_then(|s| s.parse().ok()).ok_or(bad("seed value"))?,
-            shards: shards.first().and_then(|s| s.parse().ok()).ok_or(bad("shards value"))?,
-            classes: classes.first().and_then(|s| s.parse().ok()).ok_or(bad("classes value"))?,
+            samples: samples
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or(bad("samples value"))?,
+            lo: budget
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or(bad("budget lo value"))?,
+            hi: budget
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or(bad("budget hi value"))?,
+            seed: seed
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or(bad("seed value"))?,
+            shards: shards
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or(bad("shards value"))?,
+            classes: classes
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or(bad("classes value"))?,
         })
     }
 }
@@ -441,8 +457,7 @@ pub fn generate_case1_checkpointed(
 
     // Resume: reuse every shard file that is present, checksum-verified,
     // and the right shape.
-    let mut slots: Vec<Option<(Dataset, u64, u32, bool)>> =
-        (0..threads).map(|_| None).collect();
+    let mut slots: Vec<Option<(Dataset, u64, u32, bool)>> = (0..threads).map(|_| None).collect();
     for (shard, &count) in counts.iter().enumerate() {
         if let Ok((ds, Integrity::Verified)) = codec::load_integrity(shard_path(dir, shard)) {
             if ds.len() == count && ds.num_classes() == classes && ds.feature_dim() == 4 {
@@ -475,7 +490,12 @@ pub fn generate_case1_checkpointed(
     let mut shards = Vec::with_capacity(threads);
     for (shard, slot) in slots.into_iter().enumerate() {
         let (ds, seed, attempts, resumed) = slot.expect("every shard filled");
-        audits.push(ShardAudit { shard, seed, attempts, resumed });
+        audits.push(ShardAudit {
+            shard,
+            seed,
+            attempts,
+            resumed,
+        });
         shards.push(ds);
     }
     Ok(CheckpointedRun {
@@ -488,9 +508,7 @@ pub fn generate_case1_checkpointed(
 fn split_evenly(total: usize, parts: usize) -> Vec<usize> {
     let base = total / parts;
     let extra = total % parts;
-    (0..parts)
-        .map(|i| base + usize::from(i < extra))
-        .collect()
+    (0..parts).map(|i| base + usize::from(i < extra)).collect()
 }
 
 #[cfg(test)]
@@ -596,7 +614,11 @@ mod tests {
         assert_eq!(*shard, 1);
         assert_eq!(*attempts, 3);
         assert_eq!(*seed, attempt_seed(7, 1, 2));
-        assert_ne!(*seed, attempt_seed(7, 1, 0), "retry must derive a fresh seed");
+        assert_ne!(
+            *seed,
+            attempt_seed(7, 1, 0),
+            "retry must derive a fresh seed"
+        );
         assert_eq!(ds.len(), 3);
         // Healthy shards succeed on their first try with the base seed.
         assert_eq!(out[0].3, 1);
@@ -616,7 +638,11 @@ mod tests {
         };
         let err = run_shards(&[(0, 1)], 3, 1, &always_fail).unwrap_err();
         match err {
-            ParallelError::ShardFailed { shard, attempts, last_error } => {
+            ParallelError::ShardFailed {
+                shard,
+                attempts,
+                last_error,
+            } => {
                 assert_eq!(shard, 0);
                 assert_eq!(attempts, 4); // 2 parallel + 2 sequential-fallback
                 assert!(last_error.contains("never succeeds"));
@@ -643,10 +669,8 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "airchitect-ckpt-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("airchitect-ckpt-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
     }
@@ -693,7 +717,10 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let second = generate_case1_checkpointed(&p, &s, 3, &dir).unwrap();
         assert_eq!(first.dataset, second.dataset);
-        assert!(!second.shards[2].resumed, "corrupt shard must be regenerated");
+        assert!(
+            !second.shards[2].resumed,
+            "corrupt shard must be regenerated"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -88,7 +88,10 @@ fn evaluate(problem: &Case1Problem, wl: &GemmWorkload, genome: Genome) -> (u32, 
         .space()
         .encode(genome.array(), genome.dataflow)
         .expect("repaired genomes stay inside the enumerated space");
-    (label, compute::runtime_cycles(wl, genome.array(), genome.dataflow))
+    (
+        label,
+        compute::runtime_cycles(wl, genome.array(), genome.dataflow),
+    )
 }
 
 /// Uniform random sampling of the feasible space.
@@ -279,8 +282,16 @@ impl SearchStrategy for GeneticSearch {
                 };
                 let (pa, pb) = (pick(&mut rng), pick(&mut rng));
                 let mut child = Genome {
-                    row_exp: if rng.random::<bool>() { pa.row_exp } else { pb.row_exp },
-                    col_exp: if rng.random::<bool>() { pa.col_exp } else { pb.col_exp },
+                    row_exp: if rng.random::<bool>() {
+                        pa.row_exp
+                    } else {
+                        pb.row_exp
+                    },
+                    col_exp: if rng.random::<bool>() {
+                        pa.col_exp
+                    } else {
+                        pb.col_exp
+                    },
                     dataflow: if rng.random::<bool>() {
                         pa.dataflow
                     } else {
@@ -288,12 +299,14 @@ impl SearchStrategy for GeneticSearch {
                     },
                 };
                 if rng.random::<f64>() < self.mutation_rate {
-                    child.row_exp = (child.row_exp as i32 + if rng.random::<bool>() { 1 } else { -1 })
-                        .max(1) as u32;
+                    child.row_exp = (child.row_exp as i32
+                        + if rng.random::<bool>() { 1 } else { -1 })
+                    .max(1) as u32;
                 }
                 if rng.random::<f64>() < self.mutation_rate {
-                    child.col_exp = (child.col_exp as i32 + if rng.random::<bool>() { 1 } else { -1 })
-                        .max(1) as u32;
+                    child.col_exp = (child.col_exp as i32
+                        + if rng.random::<bool>() { 1 } else { -1 })
+                    .max(1) as u32;
                 }
                 if rng.random::<f64>() < self.mutation_rate {
                     child.dataflow =
@@ -500,7 +513,11 @@ mod tests {
             let r = s.search(&problem, &wl(), budget);
             let (array, _) = problem.space().decode(r.label).unwrap();
             assert!(array.macs() <= budget, "{} over budget", s.name());
-            assert!(r.cost >= optimum, "{} beat the exhaustive optimum?!", s.name());
+            assert!(
+                r.cost >= optimum,
+                "{} beat the exhaustive optimum?!",
+                s.name()
+            );
             assert!(r.evaluations > 0);
         }
     }
@@ -546,7 +563,10 @@ mod tests {
             seed: 3,
         };
         let r = hc.search(&problem, &wl(), budget);
-        assert_eq!(r.cost, optimum, "8 restarts should find the global optimum in a 63-point space");
+        assert_eq!(
+            r.cost, optimum,
+            "8 restarts should find the global optimum in a 63-point space"
+        );
     }
 
     #[test]
@@ -561,8 +581,14 @@ mod tests {
         let optimum = problem.search(&workloads);
         let mut ga = Case3GeneticSearch::default();
         let r = ga.search(&problem, &workloads);
-        assert!(r.evaluations < optimum.evaluations / 3, "GA must sample far less");
-        assert!(r.cost >= optimum.cost, "GA cannot beat the exhaustive optimum");
+        assert!(
+            r.evaluations < optimum.evaluations / 3,
+            "GA must sample far less"
+        );
+        assert!(
+            r.cost >= optimum.cost,
+            "GA cannot beat the exhaustive optimum"
+        );
         // Within 20% of the optimal makespan with a quarter of the evals.
         assert!(
             (r.cost as f64) <= optimum.cost as f64 * 1.2,
@@ -588,7 +614,10 @@ mod tests {
         ];
         let mut a = Case3GeneticSearch::default();
         let mut b = Case3GeneticSearch::default();
-        assert_eq!(a.search(&problem, &workloads), b.search(&problem, &workloads));
+        assert_eq!(
+            a.search(&problem, &workloads),
+            b.search(&problem, &workloads)
+        );
     }
 
     #[test]

@@ -1,9 +1,18 @@
 //! Network layers: dense, ReLU, and the per-feature embedding front-end.
 
-use airchitect_tensor::{init, ops, Matrix};
+use airchitect_tensor::{gemm, init, ops, Matrix};
 use serde::{Deserialize, Serialize};
 
 use crate::Param;
+
+/// Copies `src` into an optional cache slot, reusing the slot's existing
+/// allocation; only the very first call allocates.
+fn cache_assign(slot: &mut Option<Matrix>, src: &Matrix) {
+    match slot {
+        Some(m) => m.copy_from(src),
+        None => *slot = Some(src.clone()),
+    }
+}
 
 /// A fully-connected layer: `y = x · W + b`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,7 +36,11 @@ impl Dense {
         Self {
             in_dim,
             out_dim,
-            w: Param::new(init::xavier_uniform(in_dim, out_dim, seed).as_slice().to_vec()),
+            w: Param::new(
+                init::xavier_uniform(in_dim, out_dim, seed)
+                    .as_slice()
+                    .to_vec(),
+            ),
             b: Param::new(vec![0.0; out_dim]),
             cache_input: None,
         }
@@ -43,24 +56,44 @@ impl Dense {
         self.out_dim
     }
 
-    fn weight_matrix(&self) -> Matrix {
-        Matrix::from_vec(self.in_dim, self.out_dim, self.w.value.clone())
-    }
-
     /// Forward pass; caches the input when `training` for backprop.
     pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        let mut y = Matrix::zeros(x.rows(), self.out_dim);
+        self.forward_into(x, &mut y, training, gemm::num_threads());
+        y
+    }
+
+    /// [`Dense::forward`] into a caller-owned buffer; allocation-free
+    /// after warm-up (the training cache reuses its buffer too).
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix, training: bool, threads: usize) {
         if training {
-            self.cache_input = Some(x.clone());
+            cache_assign(&mut self.cache_input, x);
         }
-        self.infer(x)
+        self.infer_into(x, out, threads);
     }
 
     /// Inference-only forward pass (no cache, no mutation).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        debug_assert_eq!(x.cols(), self.in_dim, "dense input width mismatch");
-        let mut y = x.matmul(&self.weight_matrix());
-        y.add_row_broadcast(&self.b.value);
+        let mut y = Matrix::zeros(x.rows(), self.out_dim);
+        self.infer_into(x, &mut y, gemm::num_threads());
         y
+    }
+
+    /// [`Dense::infer`] into a caller-owned buffer.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix, threads: usize) {
+        debug_assert_eq!(x.cols(), self.in_dim, "dense input width mismatch");
+        out.resize(x.rows(), self.out_dim);
+        gemm::gemm_nn(
+            x.rows(),
+            self.in_dim,
+            self.out_dim,
+            x.as_slice(),
+            &self.w.value,
+            out.as_mut_slice(),
+            false,
+            threads,
+        );
+        out.add_row_broadcast(&self.b.value);
     }
 
     /// Backward pass: accumulates `dW`, `db` and returns `dX`.
@@ -69,18 +102,61 @@ impl Dense {
     ///
     /// Panics if called before a training-mode forward.
     pub fn backward(&mut self, grad: &Matrix) -> Matrix {
+        assert!(
+            self.cache_input.is_some(),
+            "backward without training forward"
+        );
+        let mut dx = Matrix::zeros(grad.rows(), self.in_dim);
+        self.backward_into(grad, &mut dx, true, gemm::num_threads());
+        self.cache_input = None;
+        dx
+    }
+
+    /// [`Dense::backward`] into a caller-owned `dX` buffer.
+    ///
+    /// `dW` is accumulated straight into the parameter gradient (no
+    /// temporary), `dX` is skipped entirely when `need_dx` is false
+    /// (first trainable layer), and — unlike [`Dense::backward`] — the
+    /// input cache is retained for reuse by the next forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward.
+    pub fn backward_into(&mut self, grad: &Matrix, dx: &mut Matrix, need_dx: bool, threads: usize) {
         let x = self
             .cache_input
-            .take()
+            .as_ref()
             .expect("backward without training forward");
-        let dw = x.matmul_tn(grad);
-        for (g, &d) in self.w.grad.iter_mut().zip(dw.as_slice()) {
-            *g += d;
+        debug_assert_eq!(grad.cols(), self.out_dim, "dense grad width mismatch");
+        debug_assert_eq!(grad.rows(), x.rows(), "dense grad batch mismatch");
+        gemm::gemm_tn(
+            self.in_dim,
+            x.rows(),
+            self.out_dim,
+            x.as_slice(),
+            grad.as_slice(),
+            &mut self.w.grad,
+            true,
+            threads,
+        );
+        for r in 0..grad.rows() {
+            for (g, &d) in self.b.grad.iter_mut().zip(grad.row(r)) {
+                *g += d;
+            }
         }
-        for (g, d) in self.b.grad.iter_mut().zip(grad.column_sums()) {
-            *g += d;
+        if need_dx {
+            dx.resize(grad.rows(), self.in_dim);
+            gemm::gemm_nt(
+                grad.rows(),
+                self.out_dim,
+                self.in_dim,
+                grad.as_slice(),
+                &self.w.value,
+                dx.as_mut_slice(),
+                false,
+                threads,
+            );
         }
-        grad.matmul_nt(&self.weight_matrix())
     }
 
     /// The layer's parameters (weights, then bias).
@@ -132,9 +208,18 @@ impl Relu {
     /// Forward pass; caches the pre-activation when `training`.
     pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
         if training {
-            self.cache_pre = Some(x.clone());
+            cache_assign(&mut self.cache_pre, x);
         }
         self.infer(x)
+    }
+
+    /// [`Relu::forward`] into a caller-owned buffer; allocation-free
+    /// after warm-up.
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix, training: bool) {
+        if training {
+            cache_assign(&mut self.cache_pre, x);
+        }
+        ops::relu_into(x, out);
     }
 
     /// Inference-only forward pass (no cache, no mutation).
@@ -148,11 +233,28 @@ impl Relu {
     ///
     /// Panics if called before a training-mode forward.
     pub fn backward(&mut self, grad: &Matrix) -> Matrix {
+        assert!(
+            self.cache_pre.is_some(),
+            "backward without training forward"
+        );
+        let mut dx = Matrix::zeros(grad.rows(), grad.cols());
+        self.backward_into(grad, &mut dx);
+        self.cache_pre = None;
+        dx
+    }
+
+    /// [`Relu::backward`] into a caller-owned buffer, retaining the
+    /// cache for the next forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward.
+    pub fn backward_into(&mut self, grad: &Matrix, dx: &mut Matrix) {
         let pre = self
             .cache_pre
-            .take()
+            .as_ref()
             .expect("backward without training forward");
-        ops::relu_backward(grad, &pre)
+        ops::relu_backward_into(grad, pre, dx);
     }
 }
 
@@ -188,8 +290,7 @@ impl Embedding {
             num_features > 0 && vocab > 0 && embed_dim > 0,
             "embedding dims must be positive"
         );
-        let init =
-            init::uniform(num_features * vocab, embed_dim, -0.05, 0.05, seed);
+        let init = init::uniform(num_features * vocab, embed_dim, -0.05, 0.05, seed);
         Self {
             num_features,
             vocab,
@@ -224,36 +325,58 @@ impl Embedding {
     ///
     /// Out-of-range bins are clamped to the last vocabulary entry.
     pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
-        let (out, bins) = self.lookup(x);
-        if training {
-            self.cache_bins = bins;
-            self.cache_batch = x.rows();
-        }
+        let mut out = Matrix::zeros(x.rows(), self.out_dim());
+        self.forward_into(x, &mut out, training);
         out
     }
 
-    /// Inference-only forward pass (no cache, no mutation).
-    pub fn infer(&self, x: &Matrix) -> Matrix {
-        self.lookup(x).0
-    }
-
-    fn lookup(&self, x: &Matrix) -> (Matrix, Vec<usize>) {
+    /// [`Embedding::forward`] into a caller-owned buffer; the bin cache
+    /// is recycled too, so steady state allocates nothing.
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix, training: bool) {
+        if !training {
+            self.infer_into(x, out);
+            return;
+        }
         debug_assert_eq!(x.cols(), self.num_features, "embedding width mismatch");
         let batch = x.rows();
-        let mut out = Matrix::zeros(batch, self.out_dim());
-        let mut bins = Vec::with_capacity(batch * self.num_features);
+        out.resize(batch, self.num_features * self.embed_dim);
+        self.cache_bins.clear();
         for r in 0..batch {
             let row = x.row(r);
             let out_row = out.row_mut(r);
             for (f, &raw) in row.iter().enumerate() {
                 let bin = (raw.max(0.0) as usize).min(self.vocab - 1);
-                bins.push(bin);
+                self.cache_bins.push(bin);
                 let src = (f * self.vocab + bin) * self.embed_dim;
                 out_row[f * self.embed_dim..(f + 1) * self.embed_dim]
                     .copy_from_slice(&self.table.value[src..src + self.embed_dim]);
             }
         }
-        (out, bins)
+        self.cache_batch = batch;
+    }
+
+    /// Inference-only forward pass (no cache, no mutation).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.out_dim());
+        self.infer_into(x, &mut out);
+        out
+    }
+
+    /// [`Embedding::infer`] into a caller-owned buffer.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(x.cols(), self.num_features, "embedding width mismatch");
+        let batch = x.rows();
+        out.resize(batch, self.out_dim());
+        for r in 0..batch {
+            let row = x.row(r);
+            let out_row = out.row_mut(r);
+            for (f, &raw) in row.iter().enumerate() {
+                let bin = (raw.max(0.0) as usize).min(self.vocab - 1);
+                let src = (f * self.vocab + bin) * self.embed_dim;
+                out_row[f * self.embed_dim..(f + 1) * self.embed_dim]
+                    .copy_from_slice(&self.table.value[src..src + self.embed_dim]);
+            }
+        }
     }
 
     /// Backward pass: scatters the gradient into the looked-up rows. Returns
@@ -263,6 +386,19 @@ impl Embedding {
     ///
     /// Panics if called before a training-mode forward.
     pub fn backward(&mut self, grad: &Matrix) -> Matrix {
+        self.backward_scatter(grad);
+        let batch = self.cache_batch;
+        self.cache_bins.clear();
+        Matrix::zeros(batch, self.num_features)
+    }
+
+    /// [`Embedding::backward`] without materializing the (always zero)
+    /// input gradient; retains the bin cache for the next forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward.
+    pub fn backward_scatter(&mut self, grad: &Matrix) {
         assert!(
             !self.cache_bins.is_empty(),
             "backward without training forward"
@@ -273,13 +409,14 @@ impl Embedding {
             for f in 0..self.num_features {
                 let bin = self.cache_bins[r * self.num_features + f];
                 let dst = (f * self.vocab + bin) * self.embed_dim;
-                for d in 0..self.embed_dim {
-                    self.table.grad[dst + d] += grow[f * self.embed_dim + d];
+                for (g, &d) in self.table.grad[dst..dst + self.embed_dim]
+                    .iter_mut()
+                    .zip(&grow[f * self.embed_dim..(f + 1) * self.embed_dim])
+                {
+                    *g += d;
                 }
             }
         }
-        self.cache_bins.clear();
-        Matrix::zeros(batch, self.num_features)
     }
 
     /// The layer's parameters.
@@ -357,8 +494,17 @@ impl Dropout {
 
     /// Forward pass; samples and caches a fresh mask when `training`.
     pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        self.forward_into(x, &mut out, training);
+        out
+    }
+
+    /// [`Dropout::forward`] into a caller-owned buffer; the mask cache is
+    /// recycled, so steady state allocates nothing.
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix, training: bool) {
         if !training || self.rate == 0.0 {
-            return x.clone();
+            out.copy_from(x);
+            return;
         }
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
@@ -366,16 +512,26 @@ impl Dropout {
         self.step += 1;
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
-        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        let mask = self
+            .cache_mask
+            .get_or_insert_with(|| Matrix::zeros(x.rows(), x.cols()));
+        mask.resize(x.rows(), x.cols());
         for v in mask.as_mut_slice() {
-            *v = if rng.random::<f32>() < keep { scale } else { 0.0 };
+            *v = if rng.random::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            };
         }
-        let mut out = x.clone();
-        for (o, &m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
-            *o *= m;
+        out.resize(x.rows(), x.cols());
+        for ((o, &v), &m) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(x.as_slice())
+            .zip(mask.as_slice())
+        {
+            *o = v * m;
         }
-        self.cache_mask = Some(mask);
-        out
     }
 
     /// Inference-only forward pass: the identity.
@@ -389,15 +545,36 @@ impl Dropout {
     ///
     /// Panics if called before a training-mode forward.
     pub fn backward(&mut self, grad: &Matrix) -> Matrix {
+        assert!(
+            self.cache_mask.is_some(),
+            "backward without training forward"
+        );
+        let mut dx = Matrix::zeros(grad.rows(), grad.cols());
+        self.backward_into(grad, &mut dx);
+        self.cache_mask = None;
+        dx
+    }
+
+    /// [`Dropout::backward`] into a caller-owned buffer, retaining the
+    /// cached mask allocation for the next forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward.
+    pub fn backward_into(&mut self, grad: &Matrix, dx: &mut Matrix) {
         let mask = self
             .cache_mask
-            .take()
+            .as_ref()
             .expect("backward without training forward");
-        let mut out = grad.clone();
-        for (g, &m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
-            *g *= m;
+        dx.resize(grad.rows(), grad.cols());
+        for ((o, &g), &m) in dx
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(mask.as_slice())
+        {
+            *o = g * m;
         }
-        out
     }
 }
 
@@ -425,6 +602,17 @@ impl Layer {
         }
     }
 
+    /// Dispatches the buffer-reusing forward pass. Allocation-free after
+    /// warm-up: output, caches, and scratch all recycle their buffers.
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix, training: bool, threads: usize) {
+        match self {
+            Layer::Dense(l) => l.forward_into(x, out, training, threads),
+            Layer::Relu(l) => l.forward_into(x, out, training),
+            Layer::Embedding(l) => l.forward_into(x, out, training),
+            Layer::Dropout(l) => l.forward_into(x, out, training),
+        }
+    }
+
     /// Dispatches the inference-only forward pass.
     pub fn infer(&self, x: &Matrix) -> Matrix {
         match self {
@@ -435,6 +623,16 @@ impl Layer {
         }
     }
 
+    /// Dispatches the buffer-reusing inference-only forward pass.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix, threads: usize) {
+        match self {
+            Layer::Dense(l) => l.infer_into(x, out, threads),
+            Layer::Relu(_) => ops::relu_into(x, out),
+            Layer::Embedding(l) => l.infer_into(x, out),
+            Layer::Dropout(_) => out.copy_from(x),
+        }
+    }
+
     /// Dispatches the backward pass.
     pub fn backward(&mut self, grad: &Matrix) -> Matrix {
         match self {
@@ -442,6 +640,39 @@ impl Layer {
             Layer::Relu(l) => l.backward(grad),
             Layer::Embedding(l) => l.backward(grad),
             Layer::Dropout(l) => l.backward(grad),
+        }
+    }
+
+    /// Dispatches the buffer-reusing backward pass.
+    ///
+    /// Parameter gradients always accumulate; `dx` is only written when
+    /// `need_dx` (the first trainable layer can skip it). Unlike
+    /// [`Layer::backward`], layer caches survive the call so their
+    /// buffers can be recycled by the next forward pass.
+    pub fn backward_into(&mut self, grad: &Matrix, dx: &mut Matrix, need_dx: bool, threads: usize) {
+        match self {
+            Layer::Dense(l) => l.backward_into(grad, dx, need_dx, threads),
+            Layer::Relu(l) => l.backward_into(grad, dx),
+            Layer::Embedding(l) => {
+                l.backward_scatter(grad);
+                if need_dx {
+                    dx.resize(grad.rows(), l.num_features());
+                    dx.fill(0.0);
+                }
+            }
+            Layer::Dropout(l) => l.backward_into(grad, dx),
+        }
+    }
+
+    /// Visits every trainable parameter without allocating.
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            Layer::Dense(l) => {
+                f(&mut l.w);
+                f(&mut l.b);
+            }
+            Layer::Relu(_) | Layer::Dropout(_) => {}
+            Layer::Embedding(l) => f(&mut l.table),
         }
     }
 

@@ -1,6 +1,6 @@
 //! Fused softmax + categorical cross-entropy (the paper's loss function).
 
-use airchitect_tensor::{ops, Matrix};
+use airchitect_tensor::Matrix;
 
 /// Computes mean categorical cross-entropy over a batch and the gradient of
 /// the loss w.r.t. the logits.
@@ -28,24 +28,55 @@ use airchitect_tensor::{ops, Matrix};
 /// assert!(l_good < 0.01 && l_bad > 5.0);
 /// ```
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] writing the gradient into a caller-owned
+/// buffer and returning the mean loss.
+///
+/// Fully fused: each row makes one max sweep, one exponentiation sweep
+/// straight into `grad`, and one normalization sweep — the probability
+/// matrix of the two-step formulation is never materialized, and after
+/// warm-up the call performs zero heap allocations.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy_into(logits: &Matrix, labels: &[u32], grad: &mut Matrix) -> f32 {
     assert_eq!(
         labels.len(),
         logits.rows(),
         "one label per logits row required"
     );
     let batch = logits.rows();
-    let probs = ops::softmax_rows(logits);
+    let classes = logits.cols();
+    grad.resize(batch, classes);
+    let inv_batch = 1.0 / batch as f32;
     let mut loss = 0.0f64;
-    let mut grad = probs.clone();
     for (r, &label) in labels.iter().enumerate() {
         let label = label as usize;
-        assert!(label < logits.cols(), "label out of range");
-        let p = probs.get(r, label).max(1e-12);
+        assert!(label < classes, "label out of range");
+        let lrow = logits.row(r);
+        let grow = grad.row_mut(r);
+        let max = lrow.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (g, &v) in grow.iter_mut().zip(lrow) {
+            let e = (v - max).exp();
+            *g = e;
+            sum += e;
+        }
+        let p = (grow[label] / sum).max(1e-12);
         loss -= (p as f64).ln();
-        grad.set(r, label, grad.get(r, label) - 1.0);
+        // grad = (softmax − onehot) / batch, folded into one sweep.
+        let scale = inv_batch / sum;
+        for g in grow.iter_mut() {
+            *g *= scale;
+        }
+        grow[label] -= inv_batch;
     }
-    grad.scale(1.0 / batch as f32);
-    ((loss / batch as f64) as f32, grad)
+    (loss / batch as f64) as f32
 }
 
 #[cfg(test)]

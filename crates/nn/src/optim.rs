@@ -71,22 +71,26 @@ impl Optimizer {
     /// Applies one update to every parameter using its accumulated gradient,
     /// then zeroes the gradients.
     pub fn step(&mut self, params: Vec<&mut Param>) {
+        let ctx = self.prepare();
+        for p in params {
+            ctx.apply(p);
+        }
+    }
+
+    /// Advances the step counter once and captures the coefficients for
+    /// this step as a [`StepCtx`].
+    ///
+    /// Together with [`StepCtx::apply`] this is the allocation-free
+    /// equivalent of [`Optimizer::step`]: the training loop calls
+    /// `prepare()` once per batch and then applies the context to each
+    /// parameter as it visits them, instead of collecting `Vec<&mut
+    /// Param>`. The arithmetic is identical.
+    pub fn prepare(&mut self) -> StepCtx {
         match self {
-            Optimizer::Sgd { lr, momentum } => {
-                for p in params {
-                    if *momentum == 0.0 {
-                        for (v, &g) in p.value.iter_mut().zip(&p.grad) {
-                            *v -= *lr * g;
-                        }
-                    } else {
-                        for i in 0..p.value.len() {
-                            p.m[i] = *momentum * p.m[i] + p.grad[i];
-                            p.value[i] -= *lr * p.m[i];
-                        }
-                    }
-                    p.zero_grad();
-                }
-            }
+            Optimizer::Sgd { lr, momentum } => StepCtx::Sgd {
+                lr: *lr,
+                momentum: *momentum,
+            },
             Optimizer::Adam {
                 lr,
                 beta1,
@@ -95,21 +99,84 @@ impl Optimizer {
                 t,
             } => {
                 *t += 1;
-                let bc1 = 1.0 - beta1.powi(*t as i32);
-                let bc2 = 1.0 - beta2.powi(*t as i32);
-                for p in params {
-                    for i in 0..p.value.len() {
-                        let g = p.grad[i];
-                        p.m[i] = *beta1 * p.m[i] + (1.0 - *beta1) * g;
-                        p.v[i] = *beta2 * p.v[i] + (1.0 - *beta2) * g * g;
-                        let mhat = p.m[i] / bc1;
-                        let vhat = p.v[i] / bc2;
-                        p.value[i] -= *lr * mhat / (vhat.sqrt() + *eps);
-                    }
-                    p.zero_grad();
+                StepCtx::Adam {
+                    lr: *lr,
+                    beta1: *beta1,
+                    beta2: *beta2,
+                    eps: *eps,
+                    bc1: 1.0 - beta1.powi(*t as i32),
+                    bc2: 1.0 - beta2.powi(*t as i32),
                 }
             }
         }
+    }
+}
+
+/// The per-step coefficients captured by [`Optimizer::prepare`], shared
+/// by every parameter updated in that step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepCtx {
+    /// SGD coefficients.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f32,
+    },
+    /// Adam coefficients with the step's bias corrections baked in.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical stabilizer.
+        eps: f32,
+        /// First-moment bias correction `1 − β₁ᵗ`.
+        bc1: f32,
+        /// Second-moment bias correction `1 − β₂ᵗ`.
+        bc2: f32,
+    },
+}
+
+impl StepCtx {
+    /// Updates one parameter from its accumulated gradient, then zeroes
+    /// the gradient. Bitwise-identical to the update inside
+    /// [`Optimizer::step`].
+    pub fn apply(&self, p: &mut Param) {
+        match *self {
+            StepCtx::Sgd { lr, momentum } => {
+                if momentum == 0.0 {
+                    for (v, &g) in p.value.iter_mut().zip(&p.grad) {
+                        *v -= lr * g;
+                    }
+                } else {
+                    for i in 0..p.value.len() {
+                        p.m[i] = momentum * p.m[i] + p.grad[i];
+                        p.value[i] -= lr * p.m[i];
+                    }
+                }
+            }
+            StepCtx::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                bc1,
+                bc2,
+            } => {
+                for i in 0..p.value.len() {
+                    let g = p.grad[i];
+                    p.m[i] = beta1 * p.m[i] + (1.0 - beta1) * g;
+                    p.v[i] = beta2 * p.v[i] + (1.0 - beta2) * g * g;
+                    let mhat = p.m[i] / bc1;
+                    let vhat = p.v[i] / bc2;
+                    p.value[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            }
+        }
+        p.zero_grad();
     }
 }
 

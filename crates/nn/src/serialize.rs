@@ -345,7 +345,10 @@ mod tests {
         let mut back = from_bytes(&values).unwrap();
         assert_ne!(back, net, "values blob alone drops the moments");
         apply_state(&mut back, &state).unwrap();
-        assert_eq!(back, net, "values + state must reproduce the network exactly");
+        assert_eq!(
+            back, net,
+            "values + state must reproduce the network exactly"
+        );
     }
 
     #[test]

@@ -5,14 +5,14 @@
 //! accuracy curves (paper Fig. 10a-c).
 
 use airchitect_data::Dataset;
-use airchitect_tensor::Matrix;
+use airchitect_tensor::{ops, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::loss::softmax_cross_entropy;
+use crate::loss::softmax_cross_entropy_into;
 use crate::metrics;
-use crate::network::Sequential;
+use crate::network::{Sequential, Workspace};
 use crate::optim::Optimizer;
 
 /// Training hyper-parameters.
@@ -29,10 +29,16 @@ pub struct TrainConfig {
     /// Multiplicative learning-rate decay applied after each epoch
     /// (`1.0` disables it; e.g. `0.9` is a gentle step schedule).
     pub lr_decay: f32,
+    /// Kernel threads for the forward/backward products. The compute
+    /// engine's partition is fixed, so this never changes the trained
+    /// model — any value produces byte-identical results; it only
+    /// changes wall-clock time. Must be at least 1.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
-    /// 15 epochs (the paper's CS1 budget), batch 256, Adam(1e-3), no decay.
+    /// 15 epochs (the paper's CS1 budget), batch 256, Adam(1e-3), no decay,
+    /// single-threaded kernels.
     fn default() -> Self {
         Self {
             epochs: 15,
@@ -40,6 +46,7 @@ impl Default for TrainConfig {
             optimizer: Optimizer::adam(1e-3),
             seed: 0,
             lr_decay: 1.0,
+            threads: 1,
         }
     }
 }
@@ -71,7 +78,10 @@ impl History {
     ///
     /// Panics if the history is empty.
     pub fn final_train_accuracy(&self) -> f64 {
-        self.epochs.last().expect("history is non-empty").train_accuracy
+        self.epochs
+            .last()
+            .expect("history is non-empty")
+            .train_accuracy
     }
 
     /// Validation accuracy of the last epoch, if tracked.
@@ -167,16 +177,20 @@ pub struct EpochCheckpoint<'a> {
     pub stats: &'a EpochStats,
 }
 
-/// Builds the feature matrix and label slice for a batch of row indices.
-fn gather(dataset: &Dataset, indices: &[usize]) -> (Matrix, Vec<u32>) {
+/// Builds the feature matrix and label list for a batch of row indices,
+/// reusing the caller's buffers.
+///
+/// `x` is resized to `indices.len() × feature_dim` (reusing its capacity)
+/// and `labels` is cleared and refilled, so a persistent pair of buffers
+/// makes batch assembly allocation-free after the first full-size batch.
+pub fn gather_into(dataset: &Dataset, indices: &[usize], x: &mut Matrix, labels: &mut Vec<u32>) {
     let dim = dataset.feature_dim();
-    let mut data = Vec::with_capacity(indices.len() * dim);
-    let mut labels = Vec::with_capacity(indices.len());
-    for &i in indices {
-        data.extend_from_slice(dataset.row(i));
+    x.resize(indices.len(), dim);
+    labels.clear();
+    for (r, &i) in indices.iter().enumerate() {
+        x.row_mut(r).copy_from_slice(dataset.row(i));
         labels.push(dataset.label(i));
     }
-    (Matrix::from_vec(indices.len(), dim, data), labels)
 }
 
 /// Trains `network` on `train`, optionally tracking validation accuracy.
@@ -236,7 +250,7 @@ where
             got: train.feature_dim(),
         });
     }
-    if config.epochs == 0 || config.batch_size == 0 {
+    if config.epochs == 0 || config.batch_size == 0 || config.threads == 0 {
         return Err(TrainError::BadConfig);
     }
     if !(config.lr_decay > 0.0 && config.lr_decay <= 1.0) {
@@ -264,33 +278,39 @@ where
         indices.shuffle(&mut rng);
     }
 
+    // Persistent buffers for the hot loop: after the first full-size batch
+    // every iteration reuses these and the workspace, so a steady-state
+    // batch performs zero heap allocations.
+    let mut ws = Workspace::with_threads(config.threads);
+    let mut batch_x = Matrix::zeros(1, 1);
+    let mut labels: Vec<u32> = Vec::new();
+    let mut loss_grad = Matrix::zeros(1, 1);
+    let mut preds: Vec<u32> = Vec::new();
+
     for epoch in start..config.epochs {
         indices.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut correct = 0usize;
         let mut batches = 0usize;
         for (batch, chunk) in indices.chunks(config.batch_size).enumerate() {
-            let (x, labels) = gather(train, chunk);
-            let logits = network.forward(&x, true);
-            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            gather_into(train, chunk, &mut batch_x, &mut labels);
+            let logits = network.forward_ws(&batch_x, &mut ws, true);
+            let loss = softmax_cross_entropy_into(logits, &labels, &mut loss_grad);
             if !loss.is_finite() {
                 return Err(TrainError::Diverged { epoch, batch });
             }
-            correct += airchitect_tensor::ops::argmax_rows(&logits)
-                .iter()
-                .zip(&labels)
-                .filter(|(p, l)| p == l)
-                .count();
-            network.backward(&grad);
-            let grad_sq: f32 = network
-                .params_mut()
-                .iter()
-                .map(|p| p.grad.iter().map(|g| g * g).sum::<f32>())
-                .sum();
+            ops::argmax_rows_into(logits, &mut preds);
+            correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+            network.backward_ws(&loss_grad, &mut ws);
+            let mut grad_sq = 0.0f32;
+            network.for_each_param(|p| {
+                grad_sq += p.grad.iter().map(|g| g * g).sum::<f32>();
+            });
             if !grad_sq.is_finite() || grad_sq.sqrt() > GRAD_NORM_LIMIT {
                 return Err(TrainError::Diverged { epoch, batch });
             }
-            optimizer.step(network.params_mut());
+            let ctx = optimizer.prepare();
+            network.for_each_param(|p| ctx.apply(p));
             loss_sum += loss as f64;
             batches += 1;
         }
@@ -329,16 +349,35 @@ pub fn evaluate(network: &mut Sequential, dataset: &Dataset) -> f64 {
 ///
 /// Panics if the dataset width mismatches the network input.
 pub fn predict_dataset(network: &mut Sequential, dataset: &Dataset) -> Vec<u32> {
+    predict_dataset_infer(network, dataset)
+}
+
+/// [`predict_dataset`] over a shared network reference.
+///
+/// Runs batched inference through a local [`Workspace`] (kernel threads
+/// from the process-wide setting), so callers that hold a model inside a
+/// larger structure don't need `&mut` access — or a clone — to predict.
+///
+/// # Panics
+///
+/// Panics if the dataset width mismatches the network input.
+pub fn predict_dataset_infer(network: &Sequential, dataset: &Dataset) -> Vec<u32> {
     assert_eq!(
         dataset.feature_dim(),
         network.in_dim(),
         "dataset width mismatches network input"
     );
+    let mut ws = Workspace::new();
+    let mut x = Matrix::zeros(1, 1);
+    let mut labels: Vec<u32> = Vec::new();
+    let mut preds: Vec<u32> = Vec::new();
     let mut out = Vec::with_capacity(dataset.len());
     let indices: Vec<usize> = (0..dataset.len()).collect();
     for chunk in indices.chunks(1024) {
-        let (x, _) = gather(dataset, chunk);
-        out.extend(network.predict(&x));
+        gather_into(dataset, chunk, &mut x, &mut labels);
+        let logits = network.infer_ws(&x, &mut ws);
+        ops::argmax_rows_into(logits, &mut preds);
+        out.extend_from_slice(&preds);
     }
     out
 }
@@ -427,7 +466,10 @@ mod tests {
         let mut wrong = Sequential::mlp(3, &[4], 2, 1);
         assert!(matches!(
             fit(&mut wrong, &ds, None, &TrainConfig::default()),
-            Err(TrainError::DimMismatch { expected: 3, got: 2 })
+            Err(TrainError::DimMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
         assert_eq!(
             fit(
@@ -472,9 +514,7 @@ mod tests {
         let hist_frozen = fit(&mut frozen, &ds, None, &cfg(0.1)).unwrap();
         let mut steady = Sequential::mlp(2, &[4], 2, 9);
         let hist_steady = fit(&mut steady, &ds, None, &cfg(1.0)).unwrap();
-        let late_delta = |h: &History| {
-            (h.epochs[11].train_loss - h.epochs[6].train_loss).abs()
-        };
+        let late_delta = |h: &History| (h.epochs[11].train_loss - h.epochs[6].train_loss).abs();
         assert!(
             late_delta(&hist_frozen) < late_delta(&hist_steady) + 1e-9,
             "decayed run should change less late in training"

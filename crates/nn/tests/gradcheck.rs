@@ -57,11 +57,7 @@ fn grad_check(mut net: Sequential, x: Matrix, labels: Vec<u32>) {
 #[test]
 fn mlp_gradients_match_finite_differences() {
     let net = Sequential::mlp(3, &[6], 4, 11);
-    let x = Matrix::from_rows(&[
-        &[0.5, -1.2, 0.3],
-        &[1.1, 0.2, -0.4],
-        &[-0.3, 0.8, 1.5],
-    ]);
+    let x = Matrix::from_rows(&[&[0.5, -1.2, 0.3], &[1.1, 0.2, -0.4], &[-0.3, 0.8, 1.5]]);
     grad_check(net, x, vec![0, 3, 1]);
 }
 

@@ -1,0 +1,134 @@
+//! Training determinism across kernel thread counts.
+//!
+//! The compute engine partitions GEMMs over a fixed block grid, so the
+//! reduction order — and therefore every float in the trained model — is
+//! independent of `TrainConfig::threads`. These tests pin that guarantee
+//! at the trainer level: same seed ⇒ byte-identical model for any thread
+//! count, including through a checkpoint/resume cycle.
+
+use airchitect_data::Dataset;
+use airchitect_nn::network::Sequential;
+use airchitect_nn::optim::Optimizer;
+use airchitect_nn::train::{fit, fit_resumable, ResumePoint, TrainConfig};
+
+/// Two well-separated blobs: trivially learnable, fast to train.
+fn blobs(n: usize) -> Dataset {
+    let mut ds = Dataset::new(2, 2).unwrap();
+    for i in 0..n {
+        let t = (i as f32 * 0.37).sin() * 0.1;
+        if i % 2 == 0 {
+            ds.push(&[1.0 + t, 1.0 - t], 0).unwrap();
+        } else {
+            ds.push(&[-1.0 - t, -1.0 + t], 1).unwrap();
+        }
+    }
+    ds
+}
+
+fn config(threads: usize) -> TrainConfig {
+    TrainConfig {
+        epochs: 5,
+        batch_size: 32,
+        lr_decay: 0.9,
+        threads,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn fit_is_byte_identical_across_thread_counts() {
+    let ds = blobs(200);
+    let mut reference = Sequential::mlp(2, &[8, 4], 2, 3);
+    let history = fit(&mut reference, &ds, Some(&ds), &config(1)).unwrap();
+
+    for threads in [2, 4] {
+        let mut net = Sequential::mlp(2, &[8, 4], 2, 3);
+        let h = fit(&mut net, &ds, Some(&ds), &config(threads)).unwrap();
+        // Histories (losses, accuracies) and the full model — values,
+        // gradients, and Adam moment buffers — must match bit for bit.
+        assert_eq!(h, history, "history diverged at {threads} threads");
+        assert_eq!(
+            net.params(),
+            reference.params(),
+            "model diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn embedding_fit_is_byte_identical_across_thread_counts() {
+    let mut ds = Dataset::new(1, 3).unwrap();
+    for i in 0..120 {
+        ds.push(&[(i % 3) as f32], (i % 3) as u32).unwrap();
+    }
+    let mut reference = Sequential::embedding_mlp(1, 4, 8, 16, 3, 5);
+    fit(&mut reference, &ds, None, &config(1)).unwrap();
+
+    for threads in [2, 4] {
+        let mut net = Sequential::embedding_mlp(1, 4, 8, 16, 3, 5);
+        fit(&mut net, &ds, None, &config(threads)).unwrap();
+        assert_eq!(net.params(), reference.params());
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_with_multiple_threads() {
+    // The PR 1 guarantee — a resumed run finishes bit-identical to an
+    // uninterrupted one — must hold when the kernels run multi-threaded,
+    // and even when the interrupted and resumed halves use different
+    // thread counts.
+    let ds = blobs(200);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        lr_decay: 0.9,
+        threads: 4,
+        ..Default::default()
+    };
+    let mut full = Sequential::mlp(2, &[8], 2, 3);
+    fit(&mut full, &ds, None, &cfg).unwrap();
+
+    let mut snap: Option<(Sequential, Optimizer)> = None;
+    let mut partial = Sequential::mlp(2, &[8], 2, 3);
+    fit_resumable(
+        &mut partial,
+        &ds,
+        None,
+        &TrainConfig {
+            epochs: 5,
+            threads: 2,
+            ..cfg
+        },
+        None,
+        |c| {
+            if c.epoch == 4 {
+                snap = Some((c.network.clone(), *c.optimizer));
+            }
+            Ok(())
+        },
+    )
+    .unwrap();
+
+    let (mut resumed, optimizer) = snap.unwrap();
+    let history = fit_resumable(
+        &mut resumed,
+        &ds,
+        None,
+        &cfg,
+        Some(ResumePoint {
+            next_epoch: 5,
+            optimizer,
+        }),
+        |_| Ok(()),
+    )
+    .unwrap();
+    assert_eq!(history.epochs.len(), 3);
+    assert_eq!(resumed, full);
+}
+
+#[test]
+fn zero_threads_is_a_config_error() {
+    let ds = blobs(50);
+    let mut net = Sequential::mlp(2, &[4], 2, 1);
+    assert!(fit(&mut net, &ds, None, &config(0)).is_err());
+}

@@ -14,9 +14,7 @@ use crate::SimError;
 /// assert!((a.aspect_ratio() - 0.5).abs() < 1e-12);
 /// # Ok::<(), airchitect_sim::SimError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ArrayConfig {
     rows: u64,
     cols: u64,

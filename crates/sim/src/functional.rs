@@ -87,6 +87,18 @@ impl SimMatrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Reference matrix product (golden model for the tests).
     ///
     /// # Panics
@@ -96,13 +108,13 @@ impl SimMatrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = SimMatrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in self.row(i).iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                for j in 0..other.cols {
-                    out.data[i * out.cols + j] += a * other.get(k, j);
+                for (o, &b) in out_row.iter_mut().zip(other.row(k)) {
+                    *o += a * b;
                 }
             }
         }
@@ -271,12 +283,11 @@ impl FunctionalArray {
         for t in 0..horizon {
             // Step back-to-front so reads see the previous cycle's registers.
             for i in (0..mh).rev() {
+                let a_row = a.row(m0 + i);
                 for j in (0..nw).rev() {
                     let a_in = if j == 0 {
                         // West edge of row i: a[m0+i][t - i], skewed by i.
-                        t.checked_sub(i)
-                            .filter(|&kk| kk < k)
-                            .map(|kk| a.get(m0 + i, kk))
+                        t.checked_sub(i).filter(|&kk| kk < k).map(|kk| a_row[kk])
                     } else {
                         grid[i * nw + (j - 1)].a
                     };
@@ -298,9 +309,11 @@ impl FunctionalArray {
                 }
             }
         }
-        for i in 0..mh {
-            for j in 0..nw {
-                output.set(m0 + i, n0 + j, output.get(m0 + i, n0 + j) + grid[i * nw + j].acc);
+        // Drain: fold the accumulators into the output tile row by row.
+        for (i, pe_row) in grid.chunks_exact(nw).enumerate() {
+            let out_row = &mut output.row_mut(m0 + i)[n0..n0 + nw];
+            for (o, pe) in out_row.iter_mut().zip(pe_row) {
+                *o += pe.acc;
             }
         }
         macs
@@ -324,9 +337,10 @@ impl FunctionalArray {
         let mut grid = vec![Pe::default(); kh * nw];
         // Fill phase: pin the weight tile (modeled as kh loads, charged as R
         // cycles by the caller to match shifting through the full array).
-        for i in 0..kh {
-            for j in 0..nw {
-                grid[i * nw + j].stationary = Some(b.get(k0 + i, n0 + j));
+        for (i, pe_row) in grid.chunks_exact_mut(nw).enumerate() {
+            let b_row = &b.row(k0 + i)[n0..n0 + nw];
+            for (pe, &w) in pe_row.iter_mut().zip(b_row) {
+                pe.stationary = Some(w);
             }
         }
         let mut macs = 0u64;
@@ -397,9 +411,12 @@ impl FunctionalArray {
         output: &mut SimMatrix,
     ) -> u64 {
         let mut grid = vec![Pe::default(); kh * mw];
-        for i in 0..kh {
-            for j in 0..mw {
-                grid[i * mw + j].stationary = Some(a.get(m0 + j, k0 + i));
+        // Fill phase: PE(i, j) pins A[m0+j][k0+i] — walk A row-wise so each
+        // source row is sliced once.
+        for j in 0..mw {
+            let a_row = a.row(m0 + j);
+            for (i, pe_row) in grid.chunks_exact_mut(mw).enumerate() {
+                pe_row[j].stationary = Some(a_row[k0 + i]);
             }
         }
         let mut macs = 0u64;
@@ -407,11 +424,12 @@ impl FunctionalArray {
         let horizon = n + kh + mw - 2;
         for t in 0..horizon {
             for i in (0..kh).rev() {
+                let b_row = b.row(k0 + i);
                 for j in (0..mw).rev() {
                     let b_in: Option<(usize, f32)> = if j == 0 {
                         t.checked_sub(i)
                             .filter(|&ni| ni < n)
-                            .map(|ni| (ni, b.get(k0 + i, ni)))
+                            .map(|ni| (ni, b_row[ni]))
                     } else {
                         grid[i * mw + (j - 1)].b.map(|v| (t - i - j, v))
                     };

@@ -41,9 +41,9 @@
 #![warn(missing_docs)]
 
 mod array;
-pub mod functional;
 mod dataflow;
 mod error;
+pub mod functional;
 
 pub mod compute;
 pub mod energy;

@@ -48,8 +48,14 @@ impl ArrayInstance {
 
     /// Total cycles for `workload` under `dataflow` on this instance.
     pub fn cycles(&self, workload: &GemmWorkload, dataflow: Dataflow) -> u64 {
-        memory::total_cycles(workload, self.config, dataflow, self.buffers, self.bandwidth)
-            .expect("bandwidth validated at construction")
+        memory::total_cycles(
+            workload,
+            self.config,
+            dataflow,
+            self.buffers,
+            self.bandwidth,
+        )
+        .expect("bandwidth validated at construction")
     }
 }
 

@@ -14,11 +14,7 @@ fn pow2_dim() -> impl Strategy<Value = u64> {
 }
 
 fn dataflow() -> impl Strategy<Value = Dataflow> {
-    prop_oneof![
-        Just(Dataflow::Os),
-        Just(Dataflow::Ws),
-        Just(Dataflow::Is)
-    ]
+    prop_oneof![Just(Dataflow::Os), Just(Dataflow::Ws), Just(Dataflow::Is)]
 }
 
 proptest! {

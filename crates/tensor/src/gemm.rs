@@ -1,0 +1,595 @@
+//! The compute engine: blocked, register-tiled GEMM kernels with an
+//! optional multi-threaded row-partitioned path.
+//!
+//! Three products cover everything the NN stack needs:
+//!
+//! * [`gemm_nn`] — `C = A·B` (forward pass),
+//! * [`gemm_nt`] — `C = A·Bᵀ` (input gradients),
+//! * [`gemm_tn`] — `C = Aᵀ·B` (weight gradients).
+//!
+//! All three write into a caller-owned output slice and optionally
+//! *accumulate* into it (`C += …`), which lets backprop add weight
+//! gradients in place without a temporary.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical regardless of the thread count**. The
+//! output is split into fixed [`ROW_BLOCK`]-row blocks purely as a
+//! function of the matrix shape; threads only decide *which CPU core*
+//! computes a block, never how the sums inside it are ordered. Every
+//! kernel path accumulates along `k` in ascending order, so re-running
+//! with `threads = 1` or `threads = 64` produces the same bytes. This is
+//! what keeps `fit_resumable`'s byte-identical resume guarantee intact
+//! when training runs multi-threaded.
+//!
+//! The transposed variants are computed by transposing one operand into a
+//! thread-local packing buffer (reused across calls, so steady-state cost
+//! is zero allocations) and then running the one well-optimized `nn`
+//! kernel. This turns `matmul_nt`'s scalar dot-product loop — which LLVM
+//! will not vectorize because float addition is not associative — into
+//! the vectorizable streaming form.
+//!
+//! # Kernel selection
+//!
+//! [`set_kernel`] switches the whole process between the tuned
+//! [`Kernel::Blocked`] engine (default) and the original
+//! [`Kernel::Reference`] triple loops. The reference kernels are the
+//! pre-engine baseline; the `bench` harness uses the switch to measure an
+//! honest in-binary speedup. The reference path ignores `threads`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Rows per partition block in the threaded path.
+///
+/// The partition is a pure function of the output shape: block `i` always
+/// covers rows `[i * ROW_BLOCK, (i + 1) * ROW_BLOCK)`, whatever the
+/// thread count. 64 rows of a 459-wide `f32` output is ~115 KiB — enough
+/// work to amortize a thread hand-off, small enough to split the paper's
+/// 256-row training batches four ways.
+pub const ROW_BLOCK: usize = 64;
+
+/// Micro-tile rows held in registers.
+const MR: usize = 4;
+/// Micro-tile columns held in registers (two 8-lane AVX2 vectors).
+const NR: usize = 16;
+
+/// Which GEMM implementation the process uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// The original naive triple loops (pre-engine baseline).
+    Reference,
+    /// The blocked, register-tiled engine (default).
+    Blocked,
+}
+
+static KERNEL: AtomicU8 = AtomicU8::new(1);
+static THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Selects the process-wide GEMM implementation.
+pub fn set_kernel(k: Kernel) {
+    KERNEL.store(
+        match k {
+            Kernel::Reference => 0,
+            Kernel::Blocked => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The currently selected GEMM implementation.
+pub fn kernel() -> Kernel {
+    match KERNEL.load(Ordering::Relaxed) {
+        0 => Kernel::Reference,
+        _ => Kernel::Blocked,
+    }
+}
+
+/// Sets the default thread count used by the allocating
+/// [`Matrix`](crate::Matrix) product methods. Clamped to at least 1.
+pub fn set_num_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The default thread count for the allocating
+/// [`Matrix`](crate::Matrix) product methods (1 unless changed).
+pub fn num_threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Reusable packing buffer for the transposed-operand kernels.
+    static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `out = A·B` (or `out += A·B` when `accumulate`).
+///
+/// `a` is `m×k`, `b` is `k×n`, `out` is `m×n`, all row-major.
+/// `threads > 1` splits the output rows into [`ROW_BLOCK`] blocks and
+/// fans them out over scoped threads; the result is bit-identical for
+/// every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    accumulate: bool,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k, "gemm_nn: bad `a` length");
+    debug_assert_eq!(b.len(), k * n, "gemm_nn: bad `b` length");
+    debug_assert_eq!(out.len(), m * n, "gemm_nn: bad `out` length");
+    match kernel() {
+        Kernel::Reference => gemm_nn_reference(m, k, n, a, b, out, accumulate),
+        Kernel::Blocked => nn_blocked(m, k, n, a, b, out, accumulate, threads),
+    }
+}
+
+/// `out = A·Bᵀ` (or `out += A·Bᵀ` when `accumulate`).
+///
+/// `a` is `m×k`, `b` is `n×k` (its *rows* are dotted against rows of
+/// `a`), `out` is `m×n`. The blocked path transposes `b` into a reusable
+/// thread-local buffer and runs [`gemm_nn`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    accumulate: bool,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k, "gemm_nt: bad `a` length");
+    debug_assert_eq!(b.len(), n * k, "gemm_nt: bad `b` length");
+    debug_assert_eq!(out.len(), m * n, "gemm_nt: bad `out` length");
+    match kernel() {
+        Kernel::Reference => gemm_nt_reference(m, k, n, a, b, out, accumulate),
+        Kernel::Blocked => PACK.with(|p| {
+            let mut pack = p.borrow_mut();
+            ensure_len(&mut pack, k * n);
+            transpose_into(b, n, k, &mut pack);
+            nn_blocked(m, k, n, a, &pack, out, accumulate, threads);
+        }),
+    }
+}
+
+/// `out = Aᵀ·B` (or `out += Aᵀ·B` when `accumulate`).
+///
+/// `a` is `k×m` (transposed on the fly), `b` is `k×n`, `out` is `m×n`.
+/// The blocked path transposes `a` into a reusable thread-local buffer
+/// and runs [`gemm_nn`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    accumulate: bool,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), k * m, "gemm_tn: bad `a` length");
+    debug_assert_eq!(b.len(), k * n, "gemm_tn: bad `b` length");
+    debug_assert_eq!(out.len(), m * n, "gemm_tn: bad `out` length");
+    match kernel() {
+        Kernel::Reference => gemm_tn_reference(m, k, n, a, b, out, accumulate),
+        Kernel::Blocked => PACK.with(|p| {
+            let mut pack = p.borrow_mut();
+            ensure_len(&mut pack, m * k);
+            transpose_into(a, k, m, &mut pack);
+            nn_blocked(m, k, n, &pack, b, out, accumulate, threads);
+        }),
+    }
+}
+
+/// The pre-engine `A·B` triple loop (`i-k-j`, zero-skip), kept verbatim
+/// as the measurement baseline and as the oracle for equivalence tests.
+pub fn gemm_nn_reference(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if !accumulate {
+        out.fill(0.0);
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// The pre-engine `A·Bᵀ` dot-product loop, kept verbatim as the
+/// measurement baseline and equivalence-test oracle.
+pub fn gemm_nt_reference(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            if accumulate {
+                *o += acc;
+            } else {
+                *o = acc;
+            }
+        }
+    }
+}
+
+/// The pre-engine `Aᵀ·B` loop (`k` outermost, zero-skip), kept verbatim
+/// as the measurement baseline and equivalence-test oracle.
+pub fn gemm_tn_reference(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if !accumulate {
+        out.fill(0.0);
+    }
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Cache-blocked transpose of the row-major `rows×cols` slice `src` into
+/// the `cols×rows` slice `dst`.
+pub fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    const TB: usize = 32;
+    for r0 in (0..rows).step_by(TB) {
+        let r1 = (r0 + TB).min(rows);
+        for c0 in (0..cols).step_by(TB) {
+            let c1 = (c0 + TB).min(cols);
+            for r in r0..r1 {
+                let row = &src[r * cols..(r + 1) * cols];
+                for (c, &v) in row.iter().enumerate().take(c1).skip(c0) {
+                    dst[c * rows + r] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Grows/shrinks a reusable buffer to exactly `len` elements. Contents
+/// are unspecified; after warm-up the call never reallocates.
+fn ensure_len(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() != len {
+        buf.resize(len, 0.0);
+    }
+}
+
+/// One unit of the fixed partition: the block's rows of `a` and `out`.
+type BlockTask<'x> = (&'x [f32], &'x mut [f32]);
+
+/// Blocked `A·B`: fixed row partition, optional scoped-thread fan-out.
+#[allow(clippy::too_many_arguments)]
+fn nn_blocked(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    accumulate: bool,
+    threads: usize,
+) {
+    let nblocks = m.div_ceil(ROW_BLOCK);
+    let t = threads.max(1).min(nblocks);
+    if t <= 1 {
+        for (bi, chunk) in out.chunks_mut(ROW_BLOCK * n).enumerate() {
+            let rows = chunk.len() / n;
+            let a_block = &a[bi * ROW_BLOCK * k..bi * ROW_BLOCK * k + rows * k];
+            nn_block(rows, k, n, a_block, b, chunk, accumulate);
+        }
+        return;
+    }
+    // Round-robin the fixed blocks over `t` workers. Which worker runs a
+    // block never affects its contents, so this is safe to re-shape.
+    let mut work: Vec<Vec<BlockTask<'_>>> = (0..t).map(|_| Vec::new()).collect();
+    for (bi, chunk) in out.chunks_mut(ROW_BLOCK * n).enumerate() {
+        let rows = chunk.len() / n;
+        let a_block = &a[bi * ROW_BLOCK * k..bi * ROW_BLOCK * k + rows * k];
+        work[bi % t].push((a_block, chunk));
+    }
+    std::thread::scope(|s| {
+        let local = work.pop().unwrap_or_default();
+        for list in work {
+            s.spawn(move || {
+                for (a_block, chunk) in list {
+                    nn_block(chunk.len() / n, k, n, a_block, b, chunk, accumulate);
+                }
+            });
+        }
+        for (a_block, chunk) in local {
+            nn_block(chunk.len() / n, k, n, a_block, b, chunk, accumulate);
+        }
+    });
+}
+
+/// Computes one `rows×n` output block (`out`) from the matching rows of
+/// `a` (`rows×k`) and all of `b` (`k×n`), dispatching to the widest
+/// vector ISA the CPU supports.
+fn nn_block(rows: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], acc: bool) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: AVX2 + FMA presence was just verified at runtime; the
+            // function body is plain safe Rust compiled with those features.
+            unsafe {
+                return nn_block_avx2(rows, k, n, a, b, out, acc);
+            }
+        }
+    }
+    nn_block_generic(rows, k, n, a, b, out, acc);
+}
+
+/// The portable block kernel, recompiled with AVX2 + FMA enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn nn_block_avx2(
+    rows: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    acc: bool,
+) {
+    nn_block_generic(rows, k, n, a, b, out, acc);
+}
+
+/// Walks the block in `MR×NR` register tiles; ragged edges fall back to
+/// a scalar tile with the same ascending-`k` accumulation order.
+#[inline(always)]
+fn nn_block_generic(
+    rows: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    acc: bool,
+) {
+    debug_assert_eq!(a.len(), rows * k, "nn_block: bad `a` length");
+    debug_assert_eq!(b.len(), k * n, "nn_block: bad `b` length");
+    debug_assert_eq!(out.len(), rows * n, "nn_block: bad `out` length");
+    // Column-panel major: the `k×NR` panel of `b` a micro-tile streams
+    // fits in L1, so walking all row tiles before moving to the next
+    // panel keeps it hot.
+    let mut j0 = 0;
+    while j0 < n {
+        let nr = (n - j0).min(NR);
+        let mut i0 = 0;
+        while i0 < rows {
+            let mr = (rows - i0).min(MR);
+            if mr == MR && nr == NR {
+                micro_full(k, n, a, i0, b, j0, out, acc);
+            } else {
+                micro_edge(k, n, a, i0, mr, b, j0, nr, out, acc);
+            }
+            i0 += MR;
+        }
+        j0 += NR;
+    }
+}
+
+/// Full `MR×NR` register tile: the accumulators live in registers across
+/// the whole `k` sweep and the output is touched exactly once at the end.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_full(
+    k: usize,
+    n: usize,
+    a: &[f32],
+    i0: usize,
+    b: &[f32],
+    j0: usize,
+    out: &mut [f32],
+    acc: bool,
+) {
+    let a0 = &a[i0 * k..][..k];
+    let a1 = &a[(i0 + 1) * k..][..k];
+    let a2 = &a[(i0 + 2) * k..][..k];
+    let a3 = &a[(i0 + 3) * k..][..k];
+    let mut t = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let brow: &[f32; NR] = b[kk * n + j0..kk * n + j0 + NR].try_into().unwrap();
+        let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
+        for (tr, &ar) in t.iter_mut().zip(&av) {
+            for (tv, &bv) in tr.iter_mut().zip(brow) {
+                *tv += ar * bv;
+            }
+        }
+    }
+    for (r, tr) in t.iter().enumerate() {
+        let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR];
+        if acc {
+            for (o, &v) in orow.iter_mut().zip(tr) {
+                *o += v;
+            }
+        } else {
+            orow.copy_from_slice(tr);
+        }
+    }
+}
+
+/// Ragged-edge tile (`mr < MR` or `nr < NR`): scalar dots, still
+/// ascending in `k`, so edge cells see the same reduction order.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_edge(
+    k: usize,
+    n: usize,
+    a: &[f32],
+    i0: usize,
+    mr: usize,
+    b: &[f32],
+    j0: usize,
+    nr: usize,
+    out: &mut [f32],
+    acc: bool,
+) {
+    for r in 0..mr {
+        let arow = &a[(i0 + r) * k..][..k];
+        let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let mut sum = 0.0f32;
+            for (kk, &av) in arow.iter().enumerate() {
+                sum += av * b[kk * n + j0 + j];
+            }
+            if acc {
+                *o += sum;
+            } else {
+                *o = sum;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(7);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn blocked_nn_matches_reference() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (7, 13, 5),
+            (200, 3, 2),
+            (3, 5, 200),
+            (65, 64, 33),
+        ] {
+            let a = rand_vec(m * k, 1);
+            let b = rand_vec(k * n, 2);
+            let mut want = vec![0.0; m * n];
+            gemm_nn_reference(m, k, n, &a, &b, &mut want, false);
+            let mut got = vec![0.0; m * n];
+            nn_blocked(m, k, n, &a, &b, &mut got, false, 1);
+            assert!(max_abs_diff(&want, &got) < 1e-5, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn blocked_nn_is_bit_identical_across_threads() {
+        let (m, k, n) = (230, 37, 61);
+        let a = rand_vec(m * k, 3);
+        let b = rand_vec(k * n, 4);
+        let mut base = vec![0.0; m * n];
+        nn_blocked(m, k, n, &a, &b, &mut base, false, 1);
+        for t in [2, 3, 4, 8, 64] {
+            let mut got = vec![0.0; m * n];
+            nn_blocked(m, k, n, &a, &b, &mut got, false, t);
+            assert_eq!(base, got, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_on_top() {
+        let (m, k, n) = (9, 11, 13);
+        let a = rand_vec(m * k, 5);
+        let b = rand_vec(k * n, 6);
+        let seed = rand_vec(m * n, 7);
+        let mut product = vec![0.0; m * n];
+        nn_blocked(m, k, n, &a, &b, &mut product, false, 1);
+        let mut got = seed.clone();
+        nn_blocked(m, k, n, &a, &b, &mut got, true, 2);
+        for i in 0..m * n {
+            assert!((got[i] - (seed[i] + product[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_into_round_trips() {
+        let (r, c) = (37, 53);
+        let src = rand_vec(r * c, 8);
+        let mut t = vec![0.0; r * c];
+        transpose_into(&src, r, c, &mut t);
+        let mut back = vec![0.0; r * c];
+        transpose_into(&t, c, r, &mut back);
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn thread_globals_round_trip() {
+        set_num_threads(4);
+        assert_eq!(num_threads(), 4);
+        set_num_threads(0);
+        assert_eq!(num_threads(), 1);
+        set_num_threads(1);
+        assert_eq!(kernel(), Kernel::Blocked);
+    }
+}

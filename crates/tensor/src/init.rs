@@ -53,7 +53,11 @@ mod tests {
         let limit = (6.0f32 / 150.0).sqrt();
         assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
         // And is not degenerate.
-        let spread = w.as_slice().iter().cloned().fold(0.0f32, |a, v| a.max(v.abs()));
+        let spread = w
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(0.0f32, |a, v| a.max(v.abs()));
         assert!(spread > limit * 0.5);
     }
 

@@ -22,6 +22,7 @@
 
 mod matrix;
 
+pub mod gemm;
 pub mod init;
 pub mod ops;
 

@@ -1,11 +1,14 @@
 use serde::{Deserialize, Serialize};
 
+use crate::gemm;
+
 /// A dense row-major `f32` matrix.
 ///
-/// The workhorse of the NN stack. Products use an `i-k-j` loop order so the
-/// innermost loop streams both operands sequentially — on the single-core
-/// machines this reproduction targets that is within a small factor of BLAS
-/// for the matrix sizes involved (hundreds of rows/cols).
+/// The workhorse of the NN stack. Products run on the blocked,
+/// register-tiled engine in [`crate::gemm`]; the `_into` variants write
+/// into caller-owned buffers so hot loops can run allocation-free, and
+/// `threads` fans the output rows out over scoped threads with a fixed
+/// partition, so results are bit-identical for every thread count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
@@ -122,7 +125,40 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes the matrix to `rows × cols`, reusing the existing
+    /// allocation when the element count matches. **Contents are
+    /// unspecified afterwards** — this is a buffer-recycling primitive
+    /// for the `_into` operations, not a view change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        let len = rows * cols;
+        if self.data.len() != len {
+            self.data.resize(len, 0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Makes `self` a copy of `other`, reusing the existing allocation
+    /// when possible.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
     /// `self · other`.
+    ///
+    /// Allocates the output; see [`Matrix::matmul_into`] for the
+    /// buffer-reusing variant. Uses [`gemm::num_threads`] threads.
     ///
     /// # Panics
     ///
@@ -130,23 +166,35 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_into(other, &mut out, gemm::num_threads());
         out
     }
 
+    /// `out = self · other`, writing into a caller-owned buffer that is
+    /// reshaped (allocation-free when already the right size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix, threads: usize) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        out.resize(self.rows, other.cols);
+        gemm::gemm_nn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            false,
+            threads,
+        );
+    }
+
     /// `self · otherᵀ` (used for backprop input gradients).
+    ///
+    /// Allocates the output; see [`Matrix::matmul_nt_into`] for the
+    /// buffer-reusing variant. Uses [`gemm::num_threads`] threads.
     ///
     /// # Panics
     ///
@@ -154,21 +202,35 @@ impl Matrix {
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
-            }
-        }
+        self.matmul_nt_into(other, &mut out, gemm::num_threads());
         out
     }
 
+    /// `out = self · otherᵀ`, writing into a caller-owned buffer that is
+    /// reshaped (allocation-free when already the right size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix, threads: usize) {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        out.resize(self.rows, other.rows);
+        gemm::gemm_nt(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            false,
+            threads,
+        );
+    }
+
     /// `selfᵀ · other` (used for backprop weight gradients).
+    ///
+    /// Allocates the output; see [`Matrix::matmul_tn_into`] for the
+    /// buffer-reusing variant. Uses [`gemm::num_threads`] threads.
     ///
     /// # Panics
     ///
@@ -176,30 +238,35 @@ impl Matrix {
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_tn_into(other, &mut out, gemm::num_threads());
         out
+    }
+
+    /// `out = selfᵀ · other`, writing into a caller-owned buffer that is
+    /// reshaped (allocation-free when already the right size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix, threads: usize) {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        out.resize(self.cols, other.cols);
+        gemm::gemm_tn(
+            self.cols,
+            self.rows,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            false,
+            threads,
+        );
     }
 
     /// The transpose as a new matrix.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
-            }
-        }
+        gemm::transpose_into(&self.data, self.rows, self.cols, &mut out.data);
         out
     }
 
@@ -297,7 +364,9 @@ mod tests {
         // Tiny deterministic LCG to avoid pulling rand into unit tests.
         let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         };
         let data: Vec<f32> = (0..rows * cols).map(|_| next()).collect();
@@ -360,6 +429,45 @@ mod tests {
         assert_eq!(s.rows(), 2);
         assert_eq!(s.get(0, 0), 2.0);
         assert_eq!(s.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_reshapes() {
+        let a = rand_matrix(5, 4, 8);
+        let b = rand_matrix(4, 6, 9);
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out, 1);
+        assert_eq!((out.rows(), out.cols()), (5, 6));
+        assert!(approx_eq(&out, &naive_matmul(&a, &b)));
+        // Same shape again: the buffer is reused in place.
+        a.matmul_into(&b, &mut out, 2);
+        assert!(approx_eq(&out, &naive_matmul(&a, &b)));
+    }
+
+    #[test]
+    fn nt_and_tn_into_match_allocating_variants() {
+        let a = rand_matrix(6, 9, 10);
+        let b = rand_matrix(4, 9, 11);
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_nt_into(&b, &mut out, 1);
+        assert_eq!(out, a.matmul_nt(&b));
+        let c = rand_matrix(9, 7, 12);
+        let d = rand_matrix(9, 3, 13);
+        let mut out2 = Matrix::zeros(1, 1);
+        c.matmul_tn_into(&d, &mut out2, 1);
+        assert_eq!(out2, c.matmul_tn(&d));
+    }
+
+    #[test]
+    fn resize_and_copy_from() {
+        let mut m = Matrix::zeros(2, 2);
+        m.resize(3, 5);
+        assert_eq!((m.rows(), m.cols()), (3, 5));
+        let src = rand_matrix(4, 4, 14);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        m.fill(1.5);
+        assert!(m.as_slice().iter().all(|&v| v == 1.5));
     }
 
     #[test]

@@ -52,20 +52,59 @@ pub fn softmax_rows(m: &Matrix) -> Matrix {
     out
 }
 
+/// ReLU written into a caller-owned buffer (reshaped, allocation-free
+/// when already the right size).
+pub fn relu_into(m: &Matrix, out: &mut Matrix) {
+    out.resize(m.rows(), m.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(m.as_slice()) {
+        *o = if v < 0.0 { 0.0 } else { v };
+    }
+}
+
+/// [`relu_backward`] written into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `grad` and `pre_activation`.
+pub fn relu_backward_into(grad: &Matrix, pre_activation: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        (grad.rows(), grad.cols()),
+        (pre_activation.rows(), pre_activation.cols()),
+        "relu_backward shape mismatch"
+    );
+    out.resize(grad.rows(), grad.cols());
+    for ((o, &g), &x) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(grad.as_slice())
+        .zip(pre_activation.as_slice())
+    {
+        *o = if x <= 0.0 { 0.0 } else { g };
+    }
+}
+
 /// Index of the maximum entry in each row.
 pub fn argmax_rows(m: &Matrix) -> Vec<u32> {
-    (0..m.rows())
-        .map(|r| {
-            let row = m.row(r);
-            let mut best = 0usize;
-            for (i, &v) in row.iter().enumerate() {
-                if v > row[best] {
-                    best = i;
-                }
+    let mut out = Vec::new();
+    argmax_rows_into(m, &mut out);
+    out
+}
+
+/// [`argmax_rows`] into a caller-owned buffer (cleared and refilled;
+/// allocation-free once its capacity has grown to the batch size).
+/// Ties break toward the first index.
+pub fn argmax_rows_into(m: &Matrix, out: &mut Vec<u32>) {
+    out.clear();
+    out.extend((0..m.rows()).map(|r| {
+        let row = m.row(r);
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
             }
-            best as u32
-        })
-        .collect()
+        }
+        best as u32
+    }));
 }
 
 #[cfg(test)]

@@ -1,0 +1,137 @@
+//! Property-style equivalence of the blocked/threaded compute engine
+//! against the naive reference kernels, over deliberately ragged shapes.
+
+use airchitect_tensor::gemm;
+use airchitect_tensor::Matrix;
+
+/// Deterministic LCG so the suite needs no RNG dependency.
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Shapes chosen to hit every edge of the tiling: unit, primes (never a
+/// multiple of the 4×16 micro-tile or the 64-row partition), tall/skinny,
+/// short/wide, and exact multiples of the block sizes.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (2, 3, 4),
+    (7, 13, 5),
+    (17, 31, 29),
+    (200, 3, 2),   // tall and skinny
+    (3, 5, 300),   // short and wide
+    (64, 16, 64),  // exact tile multiples
+    (65, 17, 129), // one past the tile boundaries
+    (256, 64, 459),
+];
+
+fn relative_close(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+#[test]
+fn blocked_nn_matches_reference_on_ragged_shapes() {
+    for (si, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let a = rand_matrix(m, k, si as u64 * 2 + 1);
+        let b = rand_matrix(k, n, si as u64 * 2 + 2);
+        let mut want = vec![0.0; m * n];
+        gemm::gemm_nn_reference(m, k, n, a.as_slice(), b.as_slice(), &mut want, false);
+        for threads in [1, 2, 4] {
+            let mut got = Matrix::zeros(1, 1);
+            a.matmul_into(&b, &mut got, threads);
+            assert!(
+                relative_close(&want, got.as_slice(), 1e-5),
+                "nn mismatch at {m}x{k}x{n}, threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn blocked_nt_matches_reference_on_ragged_shapes() {
+    for (si, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let a = rand_matrix(m, k, si as u64 * 3 + 1);
+        let bt = rand_matrix(n, k, si as u64 * 3 + 2);
+        let mut want = vec![0.0; m * n];
+        gemm::gemm_nt_reference(m, k, n, a.as_slice(), bt.as_slice(), &mut want, false);
+        for threads in [1, 2, 4] {
+            let mut got = Matrix::zeros(1, 1);
+            a.matmul_nt_into(&bt, &mut got, threads);
+            assert!(
+                relative_close(&want, got.as_slice(), 1e-5),
+                "nt mismatch at {m}x{k}x{n}, threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn blocked_tn_matches_reference_on_ragged_shapes() {
+    for (si, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let at = rand_matrix(k, m, si as u64 * 5 + 1);
+        let b = rand_matrix(k, n, si as u64 * 5 + 2);
+        let mut want = vec![0.0; m * n];
+        gemm::gemm_tn_reference(m, k, n, at.as_slice(), b.as_slice(), &mut want, false);
+        for threads in [1, 2, 4] {
+            let mut got = Matrix::zeros(1, 1);
+            at.matmul_tn_into(&b, &mut got, threads);
+            assert!(
+                relative_close(&want, got.as_slice(), 1e-5),
+                "tn mismatch at {m}x{k}x{n}, threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_products_bit_identical_across_thread_counts() {
+    for (si, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let a = rand_matrix(m, k, si as u64 * 7 + 1);
+        let b = rand_matrix(k, n, si as u64 * 7 + 2);
+        let bt = b.transpose();
+        let at = a.transpose();
+        let mut nn1 = Matrix::zeros(1, 1);
+        let mut nt1 = Matrix::zeros(1, 1);
+        let mut tn1 = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut nn1, 1);
+        a.matmul_nt_into(&bt, &mut nt1, 1);
+        at.matmul_tn_into(&b, &mut tn1, 1);
+        for threads in [2, 3, 4, 8] {
+            let mut nn = Matrix::zeros(1, 1);
+            let mut nt = Matrix::zeros(1, 1);
+            let mut tn = Matrix::zeros(1, 1);
+            a.matmul_into(&b, &mut nn, threads);
+            a.matmul_nt_into(&bt, &mut nt, threads);
+            at.matmul_tn_into(&b, &mut tn, threads);
+            assert_eq!(nn1, nn, "nn not bit-identical at {m}x{k}x{n} t={threads}");
+            assert_eq!(nt1, nt, "nt not bit-identical at {m}x{k}x{n} t={threads}");
+            assert_eq!(tn1, tn, "tn not bit-identical at {m}x{k}x{n} t={threads}");
+        }
+    }
+}
+
+#[test]
+fn accumulating_gemm_adds_in_place() {
+    let (m, k, n) = (33, 21, 47);
+    let a = rand_matrix(m, k, 91);
+    let b = rand_matrix(k, n, 92);
+    let seed = rand_matrix(m, n, 93);
+    let mut product = vec![0.0; m * n];
+    gemm::gemm_nn(m, k, n, a.as_slice(), b.as_slice(), &mut product, false, 1);
+    let mut acc: Vec<f32> = seed.as_slice().to_vec();
+    gemm::gemm_nn(m, k, n, a.as_slice(), b.as_slice(), &mut acc, true, 4);
+    for i in 0..m * n {
+        let want = seed.as_slice()[i] + product[i];
+        assert!((acc[i] - want).abs() < 1e-5);
+    }
+}

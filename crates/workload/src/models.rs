@@ -35,15 +35,7 @@ impl NetworkTable {
     }
 }
 
-fn conv(
-    name: &str,
-    hw: u64,
-    cin: u64,
-    cout: u64,
-    k: u64,
-    stride: u64,
-    pad: u64,
-) -> ConvLayer {
+fn conv(name: &str, hw: u64, cin: u64, cout: u64, k: u64, stride: u64, pad: u64) -> ConvLayer {
     ConvLayer::new(name, hw, hw, cin, cout, k, k, stride, pad)
         .expect("static layer tables are valid")
 }

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 limit_kb,
             };
             let result = problem.search(&query);
-            let (i, f, o) = problem.space().decode(result.label).expect("label in space");
+            let (i, f, o) = problem
+                .space()
+                .decode(result.label)
+                .expect("label in space");
             println!(
                 "  {bandwidth:>4} {limit_kb:>7}K | {i:>6}K {f:>6}K {o:>6}K | {:>12}",
                 result.cost

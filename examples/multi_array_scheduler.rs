@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_size: 128,
         seed: 33,
         stratify: false,
+        threads: 1,
     });
     println!(
         "  test accuracy {:.3}, geomean performance {:.4}",
@@ -72,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n  learned scheduler achieves {:.1}% of the optimal makespan on average,",
         mean * 100.0
     );
-    println!("  with one inference instead of {} schedule evaluations.", problem.space().len());
+    println!(
+        "  with one inference instead of {} schedule evaluations.",
+        problem.space().len()
+    );
     Ok(())
 }

@@ -22,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch_size: 256,
         seed: 42,
         stratify: false,
+        threads: 1,
     };
     let budget_log2_range = (5, 15);
     let run = run_case1(&config, budget_log2_range);
@@ -65,6 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .encode(array, dataflow)
         .expect("recommended config is in the space");
     let perf = problem.normalized_performance(&workload, budget, label);
-    println!("  recommendation achieves {:.1}% of the optimal runtime", perf * 100.0);
+    println!(
+        "  recommendation achieves {:.1}% of the optimal runtime",
+        perf * 100.0
+    );
     Ok(())
 }

@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch_size: 256,
             seed: 7,
             stratify: false,
+            threads: 1,
         },
         (5, 15),
     );

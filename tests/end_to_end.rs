@@ -23,6 +23,7 @@ fn learned_model_beats_uninformed_baselines_on_cs1() {
             batch_size: 128,
             seed: 21,
             stratify: false,
+            threads: 1,
         },
         (5, 12),
     );
@@ -94,6 +95,7 @@ fn recommender_round_trips_through_model_serialization() {
             batch_size: 64,
             seed: 5,
             stratify: false,
+            threads: 1,
         },
         (5, 9),
     );
@@ -122,6 +124,7 @@ fn recommendation_is_consistent_with_search_labels_format() {
             batch_size: 64,
             seed: 8,
             stratify: false,
+            threads: 1,
         },
         (5, 9),
     );

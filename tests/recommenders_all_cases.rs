@@ -15,6 +15,7 @@ fn quick() -> PipelineConfig {
         batch_size: 64,
         seed: 13,
         stratify: false,
+        threads: 1,
     }
 }
 

@@ -49,7 +49,21 @@ const VOCAB: usize = 64;
 /// Entry point for `airchitect bench`.
 pub fn bench(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
-    args.expect_only(&["suite", "out-dir", "threads", "samples", "epochs", "quick"])?;
+    args.expect_only(&[
+        "suite",
+        "out-dir",
+        "threads",
+        "samples",
+        "epochs",
+        "quick",
+        "trace",
+        "metrics-out",
+    ])?;
+    let tele = crate::commands::telemetry_begin(&args, "bench")?;
+    tele.finish(bench_inner(&args))
+}
+
+fn bench_inner(args: &Args) -> Result<(), CliError> {
     let suite = args.optional("suite").unwrap_or("all");
     let out_dir = args.optional("out-dir").unwrap_or(".").to_string();
     let threads = args.u64_or("threads", 4)? as usize;

@@ -28,6 +28,90 @@ fn run_err(e: impl std::fmt::Display) -> CliError {
     CliError::Run(e.to_string())
 }
 
+/// Shared `--trace` / `--metrics-out FILE` handling.
+///
+/// [`telemetry_begin`] arms the recorder (and opens the JSONL sink) before
+/// a command's work; [`Telemetry::finish`] always tears it down afterwards
+/// — even when the command failed — so a traced error in one invocation
+/// cannot leak recording state into the next (the CLI tests run many
+/// commands in one process).
+pub(crate) struct Telemetry {
+    command: &'static str,
+    trace: bool,
+    active: bool,
+    out: Option<String>,
+}
+
+pub(crate) fn telemetry_begin(args: &Args, command: &'static str) -> Result<Telemetry, CliError> {
+    let trace = args.flag("trace");
+    let out = args.optional("metrics-out").map(str::to_string);
+    let active = trace || out.is_some();
+    if active {
+        airchitect_telemetry::reset();
+        airchitect_telemetry::enable();
+    }
+    if let Some(path) = &out {
+        airchitect_telemetry::sink::open(std::path::Path::new(path), command).map_err(|e| {
+            CliError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            }
+        })?;
+    }
+    Ok(Telemetry {
+        command,
+        trace,
+        active,
+        out,
+    })
+}
+
+impl Telemetry {
+    /// Disables recording, prints the `--trace` summary, and closes the
+    /// sink (flushing whatever was recorded even on failure). The
+    /// command's own error, if any, takes precedence over sink I/O errors.
+    pub(crate) fn finish(self, result: Result<(), CliError>) -> Result<(), CliError> {
+        if !self.active {
+            return result;
+        }
+        if result.is_ok() && self.trace {
+            print!("{}", self.live_report().render());
+        }
+        let closed = airchitect_telemetry::sink::close();
+        airchitect_telemetry::disable();
+        match (result, closed) {
+            (Err(e), _) => Err(e),
+            (Ok(()), Err(e)) => Err(CliError::Io {
+                path: self.out.unwrap_or_default(),
+                message: e.to_string(),
+            }),
+            (Ok(()), Ok(Some(path))) => {
+                println!("telemetry written to {}", path.display());
+                Ok(())
+            }
+            (Ok(()), Ok(None)) => Ok(()),
+        }
+    }
+
+    /// The in-memory state rendered like a parsed file (events are only
+    /// counted by the sink, so that section is empty here).
+    fn live_report(&self) -> airchitect_telemetry::report::Report {
+        let snap = airchitect_telemetry::metrics::snapshot();
+        airchitect_telemetry::report::Report {
+            command: self.command.to_string(),
+            schema_version: airchitect_telemetry::SCHEMA_VERSION,
+            spans: airchitect_telemetry::span::aggregates()
+                .into_iter()
+                .map(|(name, agg)| (name.to_string(), agg))
+                .collect(),
+            events: Vec::new(),
+            counters: snap.counters,
+            gauges: snap.gauges,
+            histograms: snap.histograms,
+        }
+    }
+}
+
 /// Maps a dataset-codec error for `path` onto the exit-code taxonomy:
 /// unreadable file → [`CliError::Io`], damaged contents →
 /// [`CliError::Corrupt`].
@@ -365,19 +449,36 @@ pub fn generate(argv: &[String]) -> Result<(), CliError> {
         "threads",
         "checkpoint-dir",
         "resume",
+        "trace",
+        "metrics-out",
     ])?;
-    let case = parse_case(&args)?;
+    let tele = telemetry_begin(&args, "generate")?;
+    tele.finish(generate_inner(&args))
+}
+
+fn generate_inner(args: &Args) -> Result<(), CliError> {
+    let case = parse_case(args)?;
     let samples = args.required_u64("samples")? as usize;
     let out = args.required("out")?;
     let seed = args.u64_or("seed", 0)?;
     let threads = args.u64_or("threads", 1)? as usize;
-    let checkpoint = checkpoint_args(&args)?;
+    let checkpoint = checkpoint_args(args)?;
     if case != CaseStudy::ArrayDataflow && (threads != 1 || checkpoint.is_some()) {
         return Err(CliError::Usage(
             "`--threads`, `--checkpoint-dir`, and `--resume` are only supported for case 1".into(),
         ));
     }
     let t0 = std::time::Instant::now();
+    let mut datagen_span = airchitect_telemetry::span::Span::enter("pipeline.datagen");
+    datagen_span.field_u64("samples", samples as u64);
+    datagen_span.field_str(
+        "case",
+        match case {
+            CaseStudy::ArrayDataflow => "cs1",
+            CaseStudy::BufferSizing => "cs2",
+            CaseStudy::MultiArrayScheduling => "cs3",
+        },
+    );
     let (ds, resumed_shards) = match case {
         CaseStudy::ArrayDataflow => {
             let budget_log2 = args.u64_or("budget-log2", 15)? as u32;
@@ -426,6 +527,7 @@ pub fn generate(argv: &[String]) -> Result<(), CliError> {
             0,
         ),
     };
+    drop(datagen_span);
     codec::save(&ds, out).map_err(data_err(out))?;
     if resumed_shards > 0 {
         println!("resumed: reused {resumed_shards} checkpointed shard(s)");
@@ -440,7 +542,8 @@ pub fn generate(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `airchitect train` — fit a model on a `.aids` dataset.
+/// `airchitect train` — fit a model on a `.aids` dataset, or (with
+/// `--quick`) run a self-contained CS1 smoke pipeline.
 pub fn train(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     args.expect_only(&[
@@ -454,8 +557,85 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
         "checkpoint-dir",
         "resume",
         "every-epochs",
+        "quick",
+        "samples",
+        "trace",
+        "metrics-out",
     ])?;
-    let case = parse_case(&args)?;
+    let tele = telemetry_begin(&args, "train")?;
+    let result = if args.flag("quick") {
+        train_quick(&args)
+    } else {
+        train_inner(&args)
+    };
+    tele.finish(result)
+}
+
+/// `train --quick`: generate → checkpointed train → evaluate, a small CS1
+/// pipeline sized for seconds. No dataset file is needed, and a traced run
+/// exercises every span kind (datagen, epochs, checkpoint saves, eval).
+fn train_quick(args: &Args) -> Result<(), CliError> {
+    let threads = args.u64_or("threads", 1)? as usize;
+    if threads == 0 {
+        return Err(CliError::Usage("`--threads` must be at least 1".into()));
+    }
+    if args.optional("data").is_some() {
+        return Err(CliError::Usage(
+            "`--quick` generates its own data; drop `--data`".into(),
+        ));
+    }
+    let config = pipeline::PipelineConfig {
+        samples: args.u64_or("samples", 600)? as usize,
+        epochs: args.u64_or("epochs", 6)? as usize,
+        batch_size: args.u64_or("batch", 64)? as usize,
+        seed: args.u64_or("seed", 7)?,
+        stratify: false,
+        threads,
+    };
+    let checkpoint = checkpoint_args(args)?;
+    let (dir, resume, ephemeral) = match &checkpoint {
+        Some((dir, resume)) => (std::path::PathBuf::from(dir), *resume, false),
+        None => (
+            std::env::temp_dir().join(format!("airchitect-quick-{}", std::process::id())),
+            false,
+            true,
+        ),
+    };
+    let ckpt = CheckpointConfig {
+        every_epochs: args.u64_or("every-epochs", 1)? as usize,
+        ..CheckpointConfig::new(&dir)
+    };
+    let t0 = std::time::Instant::now();
+    let run = pipeline::run_case1_checkpointed(&config, (5, 9), &ckpt, resume)
+        .map_err(pipeline_err(&dir.display().to_string()))?;
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    for e in &run.report.history.epochs {
+        println!(
+            "epoch {:>3}: loss {:.4}  accuracy {:.4}",
+            e.epoch, e.train_loss, e.train_accuracy
+        );
+    }
+    println!(
+        "quick cs1 pipeline: {} samples, test accuracy {:.4}, penalty geomean {:.4} ({:?})",
+        config.samples,
+        run.test_accuracy,
+        run.penalty.geomean,
+        t0.elapsed()
+    );
+    if let Some(out) = args.optional("out") {
+        persist::save(&run.model, out).map_err(persist_err(out))?;
+        println!("model written to {out}");
+    }
+    Ok(())
+}
+
+fn train_inner(args: &Args) -> Result<(), CliError> {
+    if args.optional("samples").is_some() {
+        return Err(CliError::Usage("`--samples` needs `--quick`".into()));
+    }
+    let case = parse_case(args)?;
     let threads = args.u64_or("threads", 1)? as usize;
     if threads == 0 {
         return Err(CliError::Usage("`--threads` must be at least 1".into()));
@@ -470,7 +650,7 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
             case.input_dim()
         )));
     }
-    let checkpoint = checkpoint_args(&args)?;
+    let checkpoint = checkpoint_args(args)?;
     let every_epochs = args.u64_or("every-epochs", 1)? as usize;
     if every_epochs == 0 {
         return Err(CliError::Usage(
@@ -543,7 +723,20 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
 /// `airchitect evaluate` — score a trained model against a labeled dataset.
 pub fn evaluate(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
-    args.expect_only(&["model", "data", "penalty", "calibration", "threads"])?;
+    args.expect_only(&[
+        "model",
+        "data",
+        "penalty",
+        "calibration",
+        "threads",
+        "trace",
+        "metrics-out",
+    ])?;
+    let tele = telemetry_begin(&args, "evaluate")?;
+    tele.finish(evaluate_inner(&args))
+}
+
+fn evaluate_inner(args: &Args) -> Result<(), CliError> {
     let threads = args.u64_or("threads", 1)? as usize;
     if threads == 0 {
         return Err(CliError::Usage("`--threads` must be at least 1".into()));
@@ -561,8 +754,12 @@ pub fn evaluate(argv: &[String]) -> Result<(), CliError> {
         )));
     }
     let t0 = std::time::Instant::now();
+    let mut eval_span = airchitect_telemetry::span::Span::enter("pipeline.eval");
+    eval_span.field_u64("test_rows", ds.len() as u64);
     let predictions = model.predict(&ds);
     let accuracy = airchitect_nn::metrics::accuracy(&predictions, ds.labels());
+    eval_span.field_f64("test_accuracy", accuracy);
+    drop(eval_span);
     println!(
         "{}: accuracy {:.4} over {} rows ({:.1} us/inference)",
         model.case_study().name(),
@@ -605,6 +802,40 @@ pub fn evaluate(argv: &[String]) -> Result<(), CliError> {
             penalty.geomean, penalty.catastrophic_fraction
         );
     }
+    Ok(())
+}
+
+/// `airchitect report` — validate and pretty-print a telemetry JSONL file
+/// produced by `--metrics-out`.
+///
+/// Accepts the file as a positional argument (`report run.jsonl`) or via
+/// `--in run.jsonl`.
+pub fn report_file(argv: &[String]) -> Result<(), CliError> {
+    let path = match argv.split_first() {
+        Some((first, rest)) if !first.starts_with("--") => {
+            if !rest.is_empty() {
+                return Err(CliError::Usage(
+                    "`report` takes exactly one telemetry file".into(),
+                ));
+            }
+            first.clone()
+        }
+        _ => {
+            let args = Args::parse(argv)?;
+            args.expect_only(&["in"])?;
+            args.required("in")?.to_string()
+        }
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| CliError::Io {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    let report =
+        airchitect_telemetry::report::parse_report(&text).map_err(|message| CliError::Corrupt {
+            path: path.clone(),
+            message,
+        })?;
+    print!("{}", report.render());
     Ok(())
 }
 

@@ -9,7 +9,12 @@
 //! * `generate`  — produce a labeled dataset file (`.aids`),
 //! * `train`     — train an AIrchitect model on a dataset (`.airm` output),
 //! * `recommend` — constant-time recommendation from a trained model,
-//! * `bench`     — reproducible compute-engine benchmarks (`BENCH_*.json`).
+//! * `bench`     — reproducible compute-engine benchmarks (`BENCH_*.json`),
+//! * `report`    — validate and pretty-print a telemetry JSONL file.
+//!
+//! `generate`, `train`, `evaluate`, and `bench` accept `--trace` (print a
+//! span/metric summary on exit) and `--metrics-out FILE` (stream telemetry
+//! to a versioned JSON-lines file).
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to stay within the
 //! approved dependency set.
@@ -97,6 +102,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "train" => commands::train(rest),
         "recommend" => commands::recommend(rest),
         "evaluate" => commands::evaluate(rest),
+        "report" => commands::report_file(rest),
         "bench" => bench::bench(rest),
         "help" | "--help" | "-h" => {
             println!("{}", HELP.trim_start());
@@ -147,6 +153,9 @@ COMMANDS:
              model, bit for bit. With --checkpoint-dir, the model + optimizer
              state is snapshotted every N epochs (default 1); --resume DIR
              continues a killed run bit-identically to an uninterrupted one.
+             --quick instead runs a self-contained CS1 smoke pipeline
+             (generate -> checkpointed train -> evaluate; --samples N sizes
+             it, --data is not needed, --out is optional).
 
   evaluate   --model model.airm --data data.aids [--penalty] [--calibration]
              [--threads T]
@@ -163,7 +172,16 @@ COMMANDS:
              write BENCH_<suite>.json artifacts. --quick shrinks every suite
              for smoke runs.
 
+  report     FILE (or --in FILE)
+             Validate a telemetry JSON-lines file against the versioned
+             schema and pretty-print its spans, events, and metrics.
+
   help       Show this message.
+
+TELEMETRY (generate | train | evaluate | bench):
+  --trace            print a span/metric summary when the command finishes
+  --metrics-out F    stream spans, events, and a final metrics snapshot to
+                     F as versioned JSON lines (read back with `report`)
 
 EXIT CODES:
   0  success        2  usage error

@@ -185,3 +185,58 @@ fn generate_train_recommend_cycle() {
     .is_err());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn traced_quick_train_emits_schema_valid_telemetry() {
+    let dir = tmpdir();
+    let jsonl = dir.join("quick.jsonl");
+    assert!(run(&argv(&[
+        "train",
+        "--quick",
+        "--samples",
+        "300",
+        "--epochs",
+        "2",
+        "--trace",
+        "--metrics-out",
+        jsonl.to_str().expect("utf8 path"),
+    ]))
+    .is_ok());
+
+    let text = std::fs::read_to_string(&jsonl).expect("telemetry file exists");
+    let report = airchitect_telemetry::report::parse_report(&text).expect("schema-valid JSONL");
+    assert_eq!(report.command, "train");
+    for required in [
+        "pipeline.datagen",
+        "pipeline.train",
+        "pipeline.eval",
+        "train.epoch",
+        "checkpoint.save",
+    ] {
+        assert!(
+            report.spans.iter().any(|(name, _)| name == required),
+            "span `{required}` missing from {:?}",
+            report.spans.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+    }
+    let epochs = &report.spans.iter().find(|(n, _)| n == "train.epoch").unwrap().1;
+    assert_eq!(epochs.count, 2);
+
+    // The `report` subcommand accepts the file both ways.
+    assert!(run(&argv(&["report", jsonl.to_str().expect("utf8 path")])).is_ok());
+    assert!(run(&argv(&["report", "--in", jsonl.to_str().expect("utf8 path")])).is_ok());
+
+    // A truncated file (no end line) is rejected as corrupt.
+    let truncated: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+    let bad = dir.join("truncated.jsonl");
+    std::fs::write(&bad, truncated).expect("write truncated file");
+    assert!(run(&argv(&["report", bad.to_str().expect("utf8 path")])).is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quick_train_rejects_contradictory_flags() {
+    assert!(run(&argv(&["train", "--quick", "--data", "x.aids"])).is_err());
+    assert!(run(&argv(&["train", "--case", "1", "--samples", "10", "--data", "x.aids"])).is_err());
+}

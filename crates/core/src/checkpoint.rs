@@ -362,6 +362,10 @@ pub fn save(
     fingerprint: &RunFingerprint,
 ) -> Result<PathBuf, CheckpointError> {
     let dir = dir.as_ref();
+    let mut span = airchitect_telemetry::span::Span::enter("checkpoint.save");
+    span.field_u64("epochs_done", u64::from(epochs_done));
+    let _save_timer = airchitect_telemetry::metrics::CHECKPOINT_SAVE_US.start_timer();
+    airchitect_telemetry::metrics::CHECKPOINT_SAVES.inc();
     std::fs::create_dir_all(dir)?;
     let path = checkpoint_path(dir);
     atomic_write(&path, &to_bytes(model, optimizer, epochs_done, fingerprint))?;

@@ -44,9 +44,12 @@ impl PenaltyReport {
     }
 
     /// The performances sorted ascending — the curve of paper Fig. 10(g, h).
+    ///
+    /// NaN performances (a degenerate simulator cost model can produce 0/0)
+    /// sort after every finite value instead of panicking.
     pub fn sorted_curve(&self) -> Vec<f64> {
         let mut c = self.performances.clone();
-        c.sort_by(|a, b| a.partial_cmp(b).expect("performances are finite"));
+        c.sort_by(|a, b| a.total_cmp(b));
         c
     }
 }
@@ -246,6 +249,19 @@ mod tests {
         let preds = vec![0u32; ds.len()];
         let curve = case1_penalty(&problem, &ds, &preds).sorted_curve();
         assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sorted_curve_tolerates_nan_performances() {
+        let report = PenaltyReport {
+            performances: vec![0.7, f64::NAN, 0.2, 1.0],
+            accuracy: 0.5,
+            geomean: 0.5,
+            catastrophic_fraction: 0.0,
+        };
+        let curve = report.sorted_curve();
+        assert_eq!(&curve[..3], &[0.2, 0.7, 1.0]);
+        assert!(curve[3].is_nan());
     }
 
     #[test]

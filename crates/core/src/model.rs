@@ -390,6 +390,8 @@ impl AirchitectModel {
     /// Constant-time recommendation: predicts the config ID for one raw
     /// feature row.
     pub fn predict_row(&self, row: &[f32]) -> u32 {
+        let _t = airchitect_telemetry::metrics::INFER_QUERY_US.start_timer();
+        airchitect_telemetry::metrics::INFER_QUERIES.inc();
         self.network.predict_one(&self.quantizer.transform_row(row))
     }
 
@@ -400,6 +402,8 @@ impl AirchitectModel {
     ///
     /// Panics if `k` is zero.
     pub fn predict_topk(&self, row: &[f32], k: usize) -> Vec<(u32, f32)> {
+        let _t = airchitect_telemetry::metrics::INFER_QUERY_US.start_timer();
+        airchitect_telemetry::metrics::INFER_QUERIES.inc();
         self.network
             .predict_topk(&self.quantizer.transform_row(row), k)
     }

@@ -14,6 +14,7 @@ use airchitect_dse::case3::{self, Case3DatasetSpec, Case3Problem};
 use airchitect_dse::parallel::{self, ParallelError};
 use airchitect_nn::optim::Optimizer;
 use airchitect_nn::train::{TrainConfig, TrainError};
+use airchitect_telemetry::span::Span;
 
 use crate::checkpoint::{self, CheckpointError, RunFingerprint};
 use crate::eval::{self, PenaltyReport};
@@ -208,9 +209,13 @@ fn run_common(
             ..Default::default()
         },
     );
-    let report = model
-        .train_with_validation(&split.train, Some(&split.validation))
-        .expect("generated datasets are valid");
+    let report = {
+        let mut span = Span::enter("pipeline.train");
+        span.field_u64("train_rows", split.train.len() as u64);
+        model
+            .train_with_validation(&split.train, Some(&split.validation))
+            .expect("generated datasets are valid")
+    };
     finish_run(case, model, report, split.test, penalty)
 }
 
@@ -222,10 +227,14 @@ fn finish_run(
     test: Dataset,
     penalty: impl FnOnce(&Dataset, &[u32]) -> PenaltyReport,
 ) -> CaseStudyRun {
+    let mut span = Span::enter("pipeline.eval");
+    span.field_u64("test_rows", test.len() as u64);
     let predictions = model.predict(&test);
     let test_accuracy = airchitect_nn::metrics::accuracy(&predictions, test.labels());
     let penalty = penalty(&test, &predictions);
     let label_distributions = eval::label_distributions(&test, &predictions);
+    span.field_f64("test_accuracy", test_accuracy);
+    drop(span);
     CaseStudyRun {
         case,
         model,
@@ -243,14 +252,19 @@ fn finish_run(
 /// the output space is enumerated at its upper end.
 pub fn run_case1(config: &PipelineConfig, budget_log2_range: (u32, u32)) -> CaseStudyRun {
     let problem = Case1Problem::new(1u64 << budget_log2_range.1);
-    let dataset = case1::generate_dataset(
-        &problem,
-        &Case1DatasetSpec {
-            samples: config.samples,
-            budget_log2_range,
-            seed: config.seed,
-        },
-    );
+    let dataset = {
+        let mut span = Span::enter("pipeline.datagen");
+        span.field_u64("samples", config.samples as u64);
+        span.field_str("case", "cs1");
+        case1::generate_dataset(
+            &problem,
+            &Case1DatasetSpec {
+                samples: config.samples,
+                budget_log2_range,
+                seed: config.seed,
+            },
+        )
+    };
     let classes = problem.space().len() as u32;
     run_common(
         CaseStudy::ArrayDataflow,
@@ -317,12 +331,13 @@ fn run_case1_checkpointed_impl(
         seed: config.seed,
     };
     let shards = config.samples.div_ceil(ckpt.every_samples).max(1);
-    let generated = parallel::generate_case1_checkpointed(
-        &problem,
-        &spec,
-        shards,
-        ckpt.dir.join("generation"),
-    )?;
+    let generated = {
+        let mut span = Span::enter("pipeline.datagen");
+        span.field_u64("samples", config.samples as u64);
+        span.field_u64("shards", shards as u64);
+        span.field_str("case", "cs1");
+        parallel::generate_case1_checkpointed(&problem, &spec, shards, ckpt.dir.join("generation"))?
+    };
     let classes = problem.space().len() as u32;
 
     let split = if config.stratify {
@@ -432,6 +447,11 @@ fn train_checkpointed_impl(
         .as_ref()
         .map(|_| checkpoint::checkpoint_path(&ckpt.dir));
     let mut save_failure: Option<CheckpointError> = None;
+    let mut train_span = Span::enter("pipeline.train");
+    train_span.field_u64("train_rows", train.len() as u64);
+    if resume_point.is_some() {
+        train_span.field_str("resumed", "yes");
+    }
     let result = model.train_resumable(train, validation, resume_point, |c| {
         let done = c.epoch + 1;
         if done % ckpt.every_epochs == 0 || done == tc.epochs {
@@ -451,6 +471,7 @@ fn train_checkpointed_impl(
         }
         Ok(())
     });
+    drop(train_span);
     match result {
         Ok(report) => Ok((model, report)),
         Err(TrainError::Diverged { epoch, batch }) => Err(PipelineError::Diverged {
@@ -468,14 +489,19 @@ fn train_checkpointed_impl(
 /// Runs the full case-study-2 pipeline.
 pub fn run_case2(config: &PipelineConfig) -> CaseStudyRun {
     let problem = Case2Problem::new();
-    let dataset = case2::generate_dataset(
-        &problem,
-        &Case2DatasetSpec {
-            samples: config.samples,
-            seed: config.seed,
-            ..Default::default()
-        },
-    );
+    let dataset = {
+        let mut span = Span::enter("pipeline.datagen");
+        span.field_u64("samples", config.samples as u64);
+        span.field_str("case", "cs2");
+        case2::generate_dataset(
+            &problem,
+            &Case2DatasetSpec {
+                samples: config.samples,
+                seed: config.seed,
+                ..Default::default()
+            },
+        )
+    };
     run_common(
         CaseStudy::BufferSizing,
         dataset,
@@ -488,13 +514,18 @@ pub fn run_case2(config: &PipelineConfig) -> CaseStudyRun {
 /// Runs the full case-study-3 pipeline.
 pub fn run_case3(config: &PipelineConfig) -> CaseStudyRun {
     let problem = Case3Problem::new();
-    let dataset = case3::generate_dataset(
-        &problem,
-        &Case3DatasetSpec {
-            samples: config.samples,
-            seed: config.seed,
-        },
-    );
+    let dataset = {
+        let mut span = Span::enter("pipeline.datagen");
+        span.field_u64("samples", config.samples as u64);
+        span.field_str("case", "cs3");
+        case3::generate_dataset(
+            &problem,
+            &Case3DatasetSpec {
+                samples: config.samples,
+                seed: config.seed,
+            },
+        )
+    };
     run_common(
         CaseStudy::MultiArrayScheduling,
         dataset,

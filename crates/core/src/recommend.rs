@@ -32,6 +32,12 @@ pub enum RecommendError {
         /// The offending label.
         label: u32,
     },
+    /// No configuration in the output space fits the requested MAC budget
+    /// (budgets below 4 MACs admit no array shape).
+    NoFeasibleConfig {
+        /// The budget that admitted nothing.
+        mac_budget: u64,
+    },
 }
 
 impl std::fmt::Display for RecommendError {
@@ -46,6 +52,9 @@ impl std::fmt::Display for RecommendError {
             RecommendError::Untrained => write!(f, "model has not been trained"),
             RecommendError::LabelOutOfSpace { label } => {
                 write!(f, "predicted label {label} is outside the output space")
+            }
+            RecommendError::NoFeasibleConfig { mac_budget } => {
+                write!(f, "no configuration fits a budget of {mac_budget} MAC units")
             }
         }
     }
@@ -91,10 +100,14 @@ impl Recommender {
     /// CS1: recommends an array shape and dataflow for a workload under a
     /// MAC budget — one inference, no search.
     ///
+    /// The budget is a hard constraint, not a hint: the model's logits are
+    /// unconstrained, so the classes are ranked and the most likely
+    /// *feasible* configuration (`macs() <= mac_budget`) is returned.
+    ///
     /// # Errors
     ///
-    /// Returns [`RecommendError`] for case-study mismatches or out-of-space
-    /// predictions.
+    /// Returns [`RecommendError`] for case-study mismatches or when no
+    /// in-space configuration fits the budget.
     pub fn recommend_array(
         &self,
         problem: &Case1Problem,
@@ -102,13 +115,18 @@ impl Recommender {
         mac_budget: u64,
     ) -> Result<(ArrayConfig, Dataflow), RecommendError> {
         self.check_case(CaseStudy::ArrayDataflow)?;
-        let label = self
-            .model
-            .predict_row(&Case1Problem::features(workload, mac_budget));
-        problem
-            .space()
-            .decode(label)
-            .ok_or(RecommendError::LabelOutOfSpace { label })
+        let ranked = self.model.predict_topk(
+            &Case1Problem::features(workload, mac_budget),
+            self.model.config().num_classes as usize,
+        );
+        for (label, _) in ranked {
+            if let Some((array, df)) = problem.space().decode(label) {
+                if array.macs() <= mac_budget {
+                    return Ok((array, df));
+                }
+            }
+        }
+        Err(RecommendError::NoFeasibleConfig { mac_budget })
     }
 
     /// CS1: a ranked list of the `k` most likely (array, dataflow)
@@ -213,8 +231,43 @@ mod tests {
         let rec = Recommender::new(run.model).unwrap();
         let wl = GemmWorkload::new(128, 64, 256).unwrap();
         let (array, df) = rec.recommend_array(&problem, &wl, 1 << 9).unwrap();
-        assert!(array.macs() <= 1 << 9 || array.macs() <= 1 << (9 * 2));
+        assert!(array.macs() <= 1 << 9);
         assert!(Dataflow::ALL.contains(&df));
+    }
+
+    #[test]
+    fn recommendation_honors_a_tight_mac_budget() {
+        let run = run_case1(&quick(), (5, 9));
+        let problem = Case1Problem::new(1 << 9);
+        let rec = Recommender::new(run.model).unwrap();
+        // Budgets far below the training range: the raw top-1 label almost
+        // certainly decodes to an oversized array, so feasibility filtering
+        // must kick in rather than the budget being silently ignored.
+        for budget_log2 in [5u32, 6, 7] {
+            let budget = 1u64 << budget_log2;
+            for (m, n, k) in [(128, 64, 256), (200, 100, 50), (32, 32, 32)] {
+                let wl = GemmWorkload::new(m, n, k).unwrap();
+                let (array, _) = rec.recommend_array(&problem, &wl, budget).unwrap();
+                assert!(
+                    array.macs() <= budget,
+                    "array with {} MACs exceeds budget {budget}",
+                    array.macs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_is_reported_not_ignored() {
+        let run = run_case1(&quick(), (5, 9));
+        let problem = Case1Problem::new(1 << 9);
+        let rec = Recommender::new(run.model).unwrap();
+        let wl = GemmWorkload::new(64, 64, 64).unwrap();
+        // A 2-MAC budget admits no array shape (smallest is 2x2 = 4 MACs).
+        assert_eq!(
+            rec.recommend_array(&problem, &wl, 2),
+            Err(RecommendError::NoFeasibleConfig { mac_budget: 2 })
+        );
     }
 
     #[test]

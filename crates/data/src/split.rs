@@ -89,6 +89,10 @@ pub fn paper_split(dataset: &Dataset, seed: u64) -> Result<Split, DataError> {
 /// whole classes absent from validation/test; stratification removes that
 /// source of evaluation noise.
 ///
+/// Any class with at least 3 rows is guaranteed at least one row in each
+/// partition (when all three fractions are nonzero) — rounding alone would
+/// starve small classes, e.g. 3 rows at 80:10:10 rounds to `(2, 0, 1)`.
+///
 /// # Errors
 ///
 /// Returns [`DataError::BadSplit`] under the same conditions as
@@ -115,9 +119,19 @@ pub fn stratified(
     for rows in by_class.iter_mut() {
         rows.shuffle(&mut rng);
         let n = rows.len();
-        let n_train = (n as f64 * train).round() as usize;
-        let n_val = ((n as f64 * validation).round() as usize).min(n - n_train.min(n));
-        let n_train = n_train.min(n);
+        let n_train = ((n as f64 * train).round() as usize).min(n);
+        let n_val = ((n as f64 * validation).round() as usize).min(n - n_train);
+        let mut counts = [n_train, n_val, n - n_train - n_val];
+        // Rounding can starve a partition even when the class could cover
+        // all three; rebalance one row at a time from the largest.
+        if n >= 3 && train > 0.0 && validation > 0.0 && test > 0.0 {
+            while let Some(empty) = counts.iter().position(|&c| c == 0) {
+                let largest = (0..3).max_by_key(|&i| counts[i]).expect("three partitions");
+                counts[largest] -= 1;
+                counts[empty] += 1;
+            }
+        }
+        let [n_train, n_val, _] = counts;
         tr.extend_from_slice(&rows[..n_train]);
         va.extend_from_slice(&rows[n_train..n_train + n_val]);
         te.extend_from_slice(&rows[n_train + n_val..]);
@@ -212,6 +226,46 @@ mod tests {
         }
         // Train is balanced exactly (16 per class).
         assert_eq!(s.train.label_histogram(), vec![16; 4]);
+    }
+
+    #[test]
+    fn stratified_small_classes_reach_every_partition() {
+        // One class per size 1..=10: every class with >= 3 rows must land in
+        // all three partitions, and no row may be lost or duplicated.
+        let mut ds = Dataset::new(1, 10).unwrap();
+        let mut row = 0u32;
+        for class in 0..10u32 {
+            for _ in 0..=class {
+                ds.push(&[row as f32], class).unwrap();
+                row += 1;
+            }
+        }
+        let total = row as usize;
+        for seed in 0..5 {
+            let s = stratified(&ds, 0.8, 0.1, 0.1, seed).unwrap();
+            assert_eq!(s.train.len() + s.validation.len() + s.test.len(), total);
+            let mut all: Vec<i64> = s
+                .train
+                .features()
+                .iter()
+                .chain(s.validation.features())
+                .chain(s.test.features())
+                .map(|&v| v as i64)
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..total as i64).collect::<Vec<i64>>());
+            for part in [&s.train, &s.validation, &s.test] {
+                let hist = part.label_histogram();
+                for class in 2..10 {
+                    // class index c holds c+1 rows, so classes 2..=9 have >= 3.
+                    assert!(
+                        hist[class] > 0,
+                        "class {class} ({} rows) missing from a partition (seed {seed}): {hist:?}",
+                        class + 1
+                    );
+                }
+            }
+        }
     }
 
     #[test]

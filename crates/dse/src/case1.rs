@@ -64,6 +64,8 @@ impl Case1Problem {
             });
         }
         let (label, cost, _) = best.expect("mac_budget admits at least one shape");
+        airchitect_telemetry::metrics::DSE_SEARCHES.inc();
+        airchitect_telemetry::metrics::DSE_SEARCH_POINTS.add(evals);
         SearchResult {
             label,
             cost,

@@ -145,6 +145,8 @@ impl Case2Problem {
                 }
             });
         }
+        airchitect_telemetry::metrics::DSE_SEARCHES.inc();
+        airchitect_telemetry::metrics::DSE_SEARCH_POINTS.add(evals);
         match best {
             Some((label, cost, _)) => SearchResult {
                 label,

@@ -89,6 +89,8 @@ impl Case3Problem {
             });
         }
         let (label, cost) = best.expect("space is non-empty");
+        airchitect_telemetry::metrics::DSE_SEARCHES.inc();
+        airchitect_telemetry::metrics::DSE_SEARCH_POINTS.add(evals);
         SearchResult {
             label,
             cost: cost.makespan,

@@ -29,6 +29,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 use airchitect_data::{codec, DataError, Dataset, Integrity};
+use airchitect_telemetry::span::Field;
+use airchitect_telemetry::{metrics, sink};
 use airchitect_workload::distribution::CnnWorkloadSampler;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -169,8 +171,29 @@ where
     for attempt in first..=last {
         let seed = attempt_seed(base_seed, shard, attempt);
         match catch_unwind(AssertUnwindSafe(|| worker(shard, seed, count))) {
-            Ok(ds) => return Ok((ds, seed, attempt + 1)),
-            Err(p) => last_error = panic_message(p),
+            Ok(ds) => {
+                metrics::DSE_SHARDS_COMPLETED.inc();
+                sink::event(
+                    "dse.shard_done",
+                    &[
+                        ("shard", Field::U64(shard as u64)),
+                        ("attempts", Field::U64(u64::from(attempt) + 1)),
+                        ("samples", Field::U64(count as u64)),
+                    ],
+                );
+                return Ok((ds, seed, attempt + 1));
+            }
+            Err(p) => {
+                last_error = panic_message(p);
+                metrics::DSE_SHARD_RETRIES.inc();
+                sink::event(
+                    "dse.shard_panic",
+                    &[
+                        ("shard", Field::U64(shard as u64)),
+                        ("attempt", Field::U64(u64::from(attempt))),
+                    ],
+                );
+            }
         }
     }
     Err((last + 1, last_error))
@@ -462,6 +485,14 @@ pub fn generate_case1_checkpointed(
         if let Ok((ds, Integrity::Verified)) = codec::load_integrity(shard_path(dir, shard)) {
             if ds.len() == count && ds.num_classes() == classes && ds.feature_dim() == 4 {
                 let (seed, attempts) = read_meta(dir, shard, spec.seed);
+                metrics::DSE_SHARDS_RESUMED.inc();
+                sink::event(
+                    "dse.shard_resumed",
+                    &[
+                        ("shard", Field::U64(shard as u64)),
+                        ("samples", Field::U64(count as u64)),
+                    ],
+                );
                 slots[shard] = Some((ds, seed, attempts, true));
             }
         }

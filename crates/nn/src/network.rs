@@ -351,7 +351,10 @@ impl Sequential {
             .enumerate()
             .map(|(i, &p)| (i as u32, p))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("softmax is finite"));
+        // `total_cmp`, not `partial_cmp`: a corrupt or diverged checkpoint
+        // can emit NaN logits, which must degrade to a bad ranking (NaNs
+        // sink to the tail) rather than a panic in the serving path.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked.truncate(k.min(self.out_dim));
         ranked
     }
@@ -420,6 +423,22 @@ mod tests {
         assert!(top.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)));
         // k larger than the class count is clamped.
         assert_eq!(net.predict_topk(&row, 99).len(), 5);
+    }
+
+    #[test]
+    fn predict_topk_survives_nan_logits() {
+        // A diverged or corrupted parameter set yields NaN logits, which the
+        // softmax sum spreads to every class probability; ranking must return
+        // a full (if meaningless) list instead of panicking in the sort.
+        let mut net = Sequential::mlp(3, &[8], 5, 2);
+        net.for_each_param(|p| p.value.fill(f32::NAN));
+        let top = net.predict_topk(&[0.4, -0.7, 1.3], 5);
+        assert_eq!(top.len(), 5);
+        assert!(top.iter().all(|&(_, p)| p.is_nan()));
+        // Every class still appears exactly once.
+        let mut labels: Vec<u32> = top.iter().map(|&(l, _)| l).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

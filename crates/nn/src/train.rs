@@ -5,6 +5,7 @@
 //! accuracy curves (paper Fig. 10a-c).
 
 use airchitect_data::Dataset;
+use airchitect_telemetry as telemetry;
 use airchitect_tensor::{ops, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -288,11 +289,17 @@ where
     let mut preds: Vec<u32> = Vec::new();
 
     for epoch in start..config.epochs {
+        // Coarse telemetry: one span per epoch (closing after the observer,
+        // so checkpoint writes nest inside it). The per-batch loop below
+        // records only into atomic metrics — no locks, no allocations.
+        let mut epoch_span = telemetry::span::Span::enter("train.epoch");
         indices.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut correct = 0usize;
         let mut batches = 0usize;
         for (batch, chunk) in indices.chunks(config.batch_size).enumerate() {
+            let _batch_timer = telemetry::metrics::TRAIN_BATCH_US.start_timer();
+            telemetry::metrics::TRAIN_BATCHES.inc();
             gather_into(train, chunk, &mut batch_x, &mut labels);
             let logits = network.forward_ws(&batch_x, &mut ws, true);
             let loss = softmax_cross_entropy_into(logits, &labels, &mut loss_grad);
@@ -321,6 +328,17 @@ where
             train_accuracy: correct as f64 / train.len() as f64,
             val_accuracy,
         });
+        let stats = history.epochs.last().expect("just pushed");
+        telemetry::metrics::TRAIN_EPOCHS.inc();
+        telemetry::metrics::TRAIN_LOSS.set(stats.train_loss);
+        telemetry::metrics::TRAIN_ACCURACY.set(stats.train_accuracy);
+        epoch_span.field_u64("epoch", epoch as u64);
+        epoch_span.field_u64("batches", batches as u64);
+        epoch_span.field_f64("loss", stats.train_loss);
+        epoch_span.field_f64("accuracy", stats.train_accuracy);
+        if let Some(v) = val_accuracy {
+            epoch_span.field_f64("val_accuracy", v);
+        }
         optimizer.scale_lr(config.lr_decay);
         observer(&EpochCheckpoint {
             epoch,

@@ -127,6 +127,40 @@ fn resume_is_bit_identical_with_multiple_threads() {
 }
 
 #[test]
+fn tracing_does_not_perturb_thread_determinism() {
+    // Telemetry must be an observer: with recording enabled, training at 1
+    // and 4 threads still produces byte-identical models, and both match an
+    // untraced run. (Other tests in this binary may also record while the
+    // flag is on — harmless, since metrics are write-only counters — so no
+    // exact counter values are asserted here.)
+    let ds = blobs(200);
+    let mut untraced = Sequential::mlp(2, &[8, 4], 2, 3);
+    let untraced_history = fit(&mut untraced, &ds, Some(&ds), &config(1)).unwrap();
+
+    airchitect_telemetry::enable();
+    let mut traced_1 = Sequential::mlp(2, &[8, 4], 2, 3);
+    let history_1 = fit(&mut traced_1, &ds, Some(&ds), &config(1)).unwrap();
+    let mut traced_4 = Sequential::mlp(2, &[8, 4], 2, 3);
+    let history_4 = fit(&mut traced_4, &ds, Some(&ds), &config(4)).unwrap();
+    airchitect_telemetry::disable();
+
+    assert_eq!(history_1, untraced_history, "tracing changed the history");
+    assert_eq!(
+        traced_1.params(),
+        untraced.params(),
+        "tracing changed the trained model"
+    );
+    assert_eq!(
+        traced_1.params(),
+        traced_4.params(),
+        "tracing broke thread determinism"
+    );
+    assert_eq!(history_1, history_4);
+    assert!(airchitect_telemetry::metrics::TRAIN_BATCHES.get() > 0);
+    assert!(airchitect_telemetry::metrics::TRAIN_BATCH_US.snapshot().count > 0);
+}
+
+#[test]
 fn zero_threads_is_a_config_error() {
     let ds = blobs(50);
     let mut net = Sequential::mlp(2, &[4], 2, 1);

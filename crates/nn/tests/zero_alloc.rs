@@ -42,7 +42,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// One training batch through the zero-allocation path, exactly as
-/// `fit_resumable`'s hot loop performs it.
+/// `fit_resumable`'s hot loop performs it — including the telemetry
+/// instrumentation, so this test also proves recording stays off the heap.
 #[allow(clippy::too_many_arguments)]
 fn train_batch(
     network: &mut Sequential,
@@ -55,6 +56,8 @@ fn train_batch(
     preds: &mut Vec<u32>,
     optimizer: &mut Optimizer,
 ) -> f32 {
+    let _batch_timer = airchitect_telemetry::metrics::TRAIN_BATCH_US.start_timer();
+    airchitect_telemetry::metrics::TRAIN_BATCHES.inc();
     gather_into(ds, indices, batch_x, labels);
     let logits = network.forward_ws(batch_x, ws, true);
     let loss = loss::softmax_cross_entropy_into(logits, labels, loss_grad);
@@ -99,6 +102,10 @@ fn steady_state_training_batches_do_not_allocate() {
         );
     }
 
+    // Telemetry is disabled by default: batches must not allocate AND the
+    // instrumentation must be a complete no-op (no counter increments, no
+    // histogram samples).
+    assert!(!airchitect_telemetry::enabled());
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     let mut loss_sink = 0.0f32;
     for _ in 0..10 {
@@ -121,6 +128,48 @@ fn steady_state_training_batches_do_not_allocate() {
         0,
         "steady-state batches must perform zero heap allocations"
     );
+    assert_eq!(
+        airchitect_telemetry::metrics::TRAIN_BATCHES.get(),
+        0,
+        "disabled telemetry must not record counters"
+    );
+    assert_eq!(
+        airchitect_telemetry::metrics::TRAIN_BATCH_US.snapshot().count,
+        0,
+        "disabled telemetry must not record histogram samples"
+    );
+
+    // Enabled telemetry (metrics only, no sink) records through atomics and
+    // must keep the hot loop allocation-free.
+    airchitect_telemetry::enable();
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        loss_sink += train_batch(
+            &mut network,
+            &ds,
+            &batch,
+            &mut ws,
+            &mut batch_x,
+            &mut labels,
+            &mut loss_grad,
+            &mut preds,
+            &mut optimizer,
+        );
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    airchitect_telemetry::disable();
+    assert!(loss_sink.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "enabled metrics recording must stay allocation-free"
+    );
+    assert_eq!(airchitect_telemetry::metrics::TRAIN_BATCHES.get(), 10);
+    assert_eq!(
+        airchitect_telemetry::metrics::TRAIN_BATCH_US.snapshot().count,
+        10
+    );
+    airchitect_telemetry::reset();
 
     // Inference through a warmed workspace is allocation-free too.
     let preds_a = train::predict_dataset(&mut network, &ds);

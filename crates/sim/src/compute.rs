@@ -80,6 +80,7 @@ pub fn tiling(workload: &GemmWorkload, array: ArrayConfig, dataflow: Dataflow) -
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn runtime_cycles(workload: &GemmWorkload, array: ArrayConfig, dataflow: Dataflow) -> u64 {
+    airchitect_telemetry::metrics::SIM_EVALS.inc();
     let t = tiling(workload, array, dataflow);
     t.folds() * (2 * array.rows() + array.cols() + t.temporal_extent - 2)
 }

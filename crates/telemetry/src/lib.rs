@@ -1,0 +1,72 @@
+//! Zero-dependency observability for the AIrchitect pipeline.
+//!
+//! Three layers, all off by default and free when disabled:
+//!
+//! * **Metrics** ([`metrics`]) — a fixed registry of named counters,
+//!   gauges, and histograms backed by atomics. Recording is lock-free and
+//!   allocation-free, so the training hot loop can be instrumented without
+//!   violating its zero-allocation guarantee.
+//! * **Spans** ([`span`]) — RAII wall-clock timers with per-thread nesting
+//!   depth. Every span aggregates into a thread-safe table and, when a sink
+//!   is open, emits one JSONL event. Spans are for coarse phases (data
+//!   generation, epochs, evaluation, checkpoints) — per-batch timing goes
+//!   through a [`metrics::Histogram`] instead.
+//! * **Sink** ([`sink`]) — a JSON-lines file with a versioned schema
+//!   (`SCHEMA_VERSION`). [`sink::close`] appends a snapshot of every
+//!   touched metric so the file alone reconstructs the run.
+//!
+//! The global switch is a single relaxed [`AtomicBool`]: every recording
+//! site loads it first and returns immediately when telemetry is disabled.
+//! No atomics are written, no locks taken, and nothing is allocated on the
+//! disabled path.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Version stamped into every JSONL line as `"v"`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Schema identifier stamped into the meta line.
+pub const SCHEMA_NAME: &str = "airchitect.telemetry";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry is currently recording.
+///
+/// This is the fast path consulted by every instrumentation site; a single
+/// relaxed load that the branch predictor learns immediately.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on. Idempotent.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn recording off. Metric values and span aggregates are retained
+/// until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Zero every metric and drop all span aggregates. Test/CLI helper; not
+/// intended for use while other threads are recording.
+pub fn reset() {
+    metrics::reset_all();
+    span::reset_aggregates();
+}
+
+/// Serialises unit tests that flip the global enabled flag or reset the
+/// registry; every such test must hold this guard.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,403 @@
+//! Atomic metric primitives and the fixed registry of well-known metrics.
+//!
+//! All metrics are `static` instances declared here so that (a) every crate
+//! records into the same cells without registration plumbing and (b) the
+//! registry is a constant list that [`snapshot`] can walk without locking.
+//! Recording is a relaxed-load enabled check followed by at most a couple
+//! of relaxed RMW operations: lock-free, allocation-free, and a no-op when
+//! telemetry is disabled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::enabled;
+
+/// Number of power-of-two latency buckets kept per histogram.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Monotonic event counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n` events. Free when telemetry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins scalar. Stores `f64` bits in an `AtomicU64`; `NaN`
+/// means "never set" and is skipped by [`snapshot`].
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+const GAUGE_UNSET: u64 = f64::NAN.to_bits();
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            bits: AtomicU64::new(GAUGE_UNSET),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record the latest value. Free when telemetry is disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// `None` until the first `set` while enabled.
+    pub fn get(&self) -> Option<f64> {
+        let v = f64::from_bits(self.bits.load(Ordering::Relaxed));
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    fn reset(&self) {
+        self.bits.store(GAUGE_UNSET, Ordering::Relaxed);
+    }
+}
+
+/// Lock-free histogram over `u64` samples (microseconds by convention).
+///
+/// Tracks count/sum/min/max plus power-of-two buckets: bucket `i` counts
+/// samples whose bit length is `i` (bucket 0 holds zeros, the last bucket
+/// absorbs everything ≥ 2^30).
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+impl Histogram {
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [ZERO; HIST_BUCKETS],
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Index of the power-of-two bucket for `v`.
+    #[inline]
+    fn bucket(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Record one sample. Free when telemetry is disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Self::bucket(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Start a wall-clock timer whose drop records elapsed microseconds.
+    ///
+    /// When telemetry is disabled the guard holds no timestamp and drop is
+    /// a no-op — no clock read, no atomics.
+    #[inline]
+    pub fn start_timer(&self) -> HistTimer<'_> {
+        HistTimer {
+            hist: self,
+            start: if enabled() { Some(Instant::now()) } else { None },
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// RAII timer from [`Histogram::start_timer`].
+pub struct HistTimer<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl Drop for HistTimer<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.record(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Well-known metrics. Declared centrally so the registry is a const list.
+// ---------------------------------------------------------------------------
+
+/// Analytical simulator evaluations (`runtime_cycles` calls).
+pub static SIM_EVALS: Counter = Counter::new("sim.evals");
+/// Exhaustive/heuristic searches launched.
+pub static DSE_SEARCHES: Counter = Counter::new("dse.searches");
+/// Design points visited across all searches.
+pub static DSE_SEARCH_POINTS: Counter = Counter::new("dse.search_points");
+/// Dataset-generation shards completed (fresh or retried).
+pub static DSE_SHARDS_COMPLETED: Counter = Counter::new("dse.shards_completed");
+/// Panic-isolated shard retries.
+pub static DSE_SHARD_RETRIES: Counter = Counter::new("dse.shard_retries");
+/// Shards skipped because a checkpointed artifact was reused.
+pub static DSE_SHARDS_RESUMED: Counter = Counter::new("dse.shards_resumed");
+/// Mini-batches processed by the trainer.
+pub static TRAIN_BATCHES: Counter = Counter::new("train.batches");
+/// Epochs completed by the trainer.
+pub static TRAIN_EPOCHS: Counter = Counter::new("train.epochs");
+/// Single-row inference queries answered.
+pub static INFER_QUERIES: Counter = Counter::new("infer.queries");
+/// Checkpoints written.
+pub static CHECKPOINT_SAVES: Counter = Counter::new("checkpoint.saves");
+/// GEMM micro-kernel blocks dispatched to the AVX2+FMA path.
+pub static GEMM_DISPATCH_AVX2: Counter = Counter::new("gemm.kernel_dispatch.avx2");
+/// GEMM micro-kernel blocks dispatched to the portable scalar path.
+pub static GEMM_DISPATCH_SCALAR: Counter = Counter::new("gemm.kernel_dispatch.scalar");
+
+/// Latest training loss.
+pub static TRAIN_LOSS: Gauge = Gauge::new("train.loss");
+/// Latest training accuracy.
+pub static TRAIN_ACCURACY: Gauge = Gauge::new("train.accuracy");
+
+/// Per-mini-batch wall time, microseconds.
+pub static TRAIN_BATCH_US: Histogram = Histogram::new("train.batch_us");
+/// Per-query inference latency, microseconds.
+pub static INFER_QUERY_US: Histogram = Histogram::new("infer.query_us");
+/// Checkpoint persistence latency, microseconds.
+pub static CHECKPOINT_SAVE_US: Histogram = Histogram::new("checkpoint.save_us");
+
+static COUNTERS: [&Counter; 12] = [
+    &SIM_EVALS,
+    &DSE_SEARCHES,
+    &DSE_SEARCH_POINTS,
+    &DSE_SHARDS_COMPLETED,
+    &DSE_SHARD_RETRIES,
+    &DSE_SHARDS_RESUMED,
+    &TRAIN_BATCHES,
+    &TRAIN_EPOCHS,
+    &INFER_QUERIES,
+    &CHECKPOINT_SAVES,
+    &GEMM_DISPATCH_AVX2,
+    &GEMM_DISPATCH_SCALAR,
+];
+static GAUGES: [&Gauge; 2] = [&TRAIN_LOSS, &TRAIN_ACCURACY];
+static HISTOGRAMS: [&Histogram; 3] = [&TRAIN_BATCH_US, &INFER_QUERY_US, &CHECKPOINT_SAVE_US];
+
+/// Every registered counter.
+pub fn counters() -> &'static [&'static Counter] {
+    &COUNTERS
+}
+
+/// Every registered gauge.
+pub fn gauges() -> &'static [&'static Gauge] {
+    &GAUGES
+}
+
+/// Every registered histogram.
+pub fn histograms() -> &'static [&'static Histogram] {
+    &HISTOGRAMS
+}
+
+/// Point-in-time copy of every *touched* metric (untouched metrics are
+/// omitted so telemetry files only carry what the run exercised).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Collect the current value of every touched metric.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: counters()
+            .iter()
+            .filter(|c| c.get() > 0)
+            .map(|c| (c.name().to_string(), c.get()))
+            .collect(),
+        gauges: gauges()
+            .iter()
+            .filter_map(|g| g.get().map(|v| (g.name().to_string(), v)))
+            .collect(),
+        histograms: histograms()
+            .iter()
+            .map(|h| (h.name(), h.snapshot()))
+            .filter(|(_, s)| s.count > 0)
+            .map(|(n, s)| (n.to_string(), s))
+            .collect(),
+    }
+}
+
+/// Zero every registered metric.
+pub(crate) fn reset_all() {
+    for c in counters() {
+        c.reset();
+    }
+    for g in gauges() {
+        g.reset();
+    }
+    for h in histograms() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_do_not_move() {
+        let _g = crate::test_guard();
+        crate::disable();
+        crate::reset();
+        SIM_EVALS.add(5);
+        TRAIN_LOSS.set(1.0);
+        TRAIN_BATCH_US.record(10);
+        assert_eq!(SIM_EVALS.get(), 0);
+        assert_eq!(TRAIN_LOSS.get(), None);
+        assert_eq!(TRAIN_BATCH_US.snapshot().count, 0);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_bucketing_and_stats() {
+        let _g = crate::test_guard();
+        crate::enable();
+        crate::reset();
+        for v in [0u64, 1, 2, 3, 900, 1 << 40] {
+            INFER_QUERY_US.record(v);
+        }
+        let s = INFER_QUERY_US.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1 << 40);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[10], 1); // 900
+        assert_eq!(s.buckets[HIST_BUCKETS - 1], 1); // overflow bucket
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn timer_records_when_enabled_only() {
+        let _g = crate::test_guard();
+        crate::disable();
+        crate::reset();
+        drop(TRAIN_BATCH_US.start_timer());
+        assert_eq!(TRAIN_BATCH_US.snapshot().count, 0);
+        crate::enable();
+        drop(TRAIN_BATCH_US.start_timer());
+        assert_eq!(TRAIN_BATCH_US.snapshot().count, 1);
+        crate::disable();
+        crate::reset();
+    }
+}

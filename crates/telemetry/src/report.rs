@@ -1,0 +1,326 @@
+//! Parse, validate, and pretty-print a telemetry JSONL file.
+//!
+//! [`parse_report`] is strict: every line must match the versioned schema
+//! emitted by [`crate::sink`] (unknown line types, missing fields, or a
+//! version mismatch are errors), so it doubles as the schema validator used
+//! by tests and CI.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+use crate::metrics::{HistogramSnapshot, HIST_BUCKETS};
+use crate::span::SpanAggregate;
+use crate::{SCHEMA_NAME, SCHEMA_VERSION};
+
+/// Fully parsed and aggregated telemetry file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    pub command: String,
+    pub schema_version: u64,
+    /// Span statistics aggregated from `span` lines, sorted by name.
+    pub spans: Vec<(String, SpanAggregate)>,
+    /// `event` line counts by name, sorted by name.
+    pub events: Vec<(String, u64)>,
+    /// Counter snapshot lines, in file order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge snapshot lines, in file order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshot lines, in file order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+fn req_u64(v: &Value, key: &str, line_no: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing or non-integer \"{key}\""))
+}
+
+fn req_str<'a>(v: &'a Value, key: &str, line_no: usize) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing or non-string \"{key}\""))
+}
+
+/// Parse and schema-validate a telemetry file's contents.
+pub fn parse_report(text: &str) -> Result<Report, String> {
+    let mut command = None;
+    let mut schema_version = 0;
+    let mut spans: Vec<(String, SpanAggregate)> = Vec::new();
+    let mut events: Vec<(String, u64)> = Vec::new();
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    let mut emitted = 0u64;
+    let mut end: Option<u64> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        if end.is_some() {
+            return Err(format!("line {line_no}: content after the end line"));
+        }
+        let v = json::parse(raw).map_err(|e| format!("line {line_no}: {e}"))?;
+        if req_u64(&v, "v", line_no)? != SCHEMA_VERSION {
+            return Err(format!("line {line_no}: unsupported schema version"));
+        }
+        let kind = req_str(&v, "type", line_no)?;
+        if kind != "meta" && command.is_none() {
+            return Err(format!("line {line_no}: first line must be \"meta\""));
+        }
+        match kind {
+            "meta" => {
+                if command.is_some() {
+                    return Err(format!("line {line_no}: duplicate meta line"));
+                }
+                if req_str(&v, "schema", line_no)? != SCHEMA_NAME {
+                    return Err(format!("line {line_no}: unknown schema identifier"));
+                }
+                schema_version = req_u64(&v, "schema_version", line_no)?;
+                command = Some(req_str(&v, "command", line_no)?.to_string());
+            }
+            "span" => {
+                let name = req_str(&v, "name", line_no)?.to_string();
+                req_u64(&v, "t_us", line_no)?;
+                req_u64(&v, "depth", line_no)?;
+                req_u64(&v, "tid", line_no)?;
+                let dur = req_u64(&v, "dur_us", line_no)?;
+                emitted += 1;
+                match spans.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, agg)) => {
+                        agg.count += 1;
+                        agg.total_us += dur;
+                        agg.min_us = agg.min_us.min(dur);
+                        agg.max_us = agg.max_us.max(dur);
+                    }
+                    None => spans.push((
+                        name,
+                        SpanAggregate {
+                            count: 1,
+                            total_us: dur,
+                            min_us: dur,
+                            max_us: dur,
+                        },
+                    )),
+                }
+            }
+            "event" => {
+                let name = req_str(&v, "name", line_no)?.to_string();
+                req_u64(&v, "t_us", line_no)?;
+                emitted += 1;
+                match events.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, n)) => *n += 1,
+                    None => events.push((name, 1)),
+                }
+            }
+            "counter" => {
+                let name = req_str(&v, "name", line_no)?.to_string();
+                counters.push((name, req_u64(&v, "value", line_no)?));
+            }
+            "gauge" => {
+                let name = req_str(&v, "name", line_no)?.to_string();
+                let value = v
+                    .get("value")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("line {line_no}: missing gauge value"))?;
+                gauges.push((name, value));
+            }
+            "hist" => {
+                let name = req_str(&v, "name", line_no)?.to_string();
+                let buckets: Vec<u64> = v
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .map(|items| items.iter().filter_map(Value::as_u64).collect())
+                    .ok_or_else(|| format!("line {line_no}: missing histogram buckets"))?;
+                if buckets.len() != HIST_BUCKETS {
+                    return Err(format!(
+                        "line {line_no}: expected {HIST_BUCKETS} buckets, got {}",
+                        buckets.len()
+                    ));
+                }
+                histograms.push((
+                    name,
+                    HistogramSnapshot {
+                        count: req_u64(&v, "count", line_no)?,
+                        sum: req_u64(&v, "sum", line_no)?,
+                        min: req_u64(&v, "min", line_no)?,
+                        max: req_u64(&v, "max", line_no)?,
+                        buckets,
+                    },
+                ));
+            }
+            "end" => {
+                let declared = req_u64(&v, "events", line_no)?;
+                if declared != emitted {
+                    return Err(format!(
+                        "line {line_no}: end line declares {declared} events, file has {emitted}"
+                    ));
+                }
+                end = Some(declared);
+            }
+            other => return Err(format!("line {line_no}: unknown line type \"{other}\"")),
+        }
+    }
+
+    let command = command.ok_or("empty file: missing meta line")?;
+    if end.is_none() {
+        return Err("truncated file: missing end line".to_string());
+    }
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    events.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(Report {
+        command,
+        schema_version,
+        spans,
+        events,
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+/// Schema-validate a telemetry file's contents without keeping the report.
+pub fn validate(text: &str) -> Result<(), String> {
+    parse_report(text).map(|_| ())
+}
+
+impl Report {
+    /// Human-readable rendering for the `report` subcommand.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "telemetry report — command `{}` (schema v{})",
+            self.command, self.schema_version
+        );
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nspans:");
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>7} {:>12} {:>12} {:>12}",
+                "name", "count", "total ms", "mean ms", "max ms"
+            );
+            for (name, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>7} {:>12.3} {:>12.3} {:>12.3}",
+                    name,
+                    s.count,
+                    s.total_us as f64 / 1e3,
+                    s.total_us as f64 / 1e3 / s.count.max(1) as f64,
+                    s.max_us as f64 / 1e3,
+                );
+            }
+        }
+        if !self.events.is_empty() {
+            let _ = writeln!(out, "\nevents:");
+            for (name, n) in &self.events {
+                let _ = writeln!(out, "  {name:<24} {n:>7}");
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<24} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<24} {v:>12.6}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "\nhistograms (µs):");
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>7} {:>10} {:>10} {:>10}",
+                "name", "count", "mean", "min", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>7} {:>10.1} {:>10} {:>10}",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        let buckets: Vec<String> = (0..HIST_BUCKETS).map(|i| (i as u64 % 2).to_string()).collect();
+        format!(
+            concat!(
+                "{{\"v\":1,\"type\":\"meta\",\"schema\":\"airchitect.telemetry\",",
+                "\"schema_version\":1,\"command\":\"train\"}}\n",
+                "{{\"v\":1,\"type\":\"span\",\"name\":\"train.epoch\",\"t_us\":5,",
+                "\"dur_us\":100,\"depth\":1,\"tid\":0,\"fields\":{{\"epoch\":0}}}}\n",
+                "{{\"v\":1,\"type\":\"span\",\"name\":\"train.epoch\",\"t_us\":110,",
+                "\"dur_us\":50,\"depth\":1,\"tid\":0}}\n",
+                "{{\"v\":1,\"type\":\"event\",\"name\":\"dse.shard_retry\",\"t_us\":7}}\n",
+                "{{\"v\":1,\"type\":\"counter\",\"name\":\"sim.evals\",\"value\":42}}\n",
+                "{{\"v\":1,\"type\":\"gauge\",\"name\":\"train.loss\",\"value\":0.25}}\n",
+                "{{\"v\":1,\"type\":\"hist\",\"name\":\"train.batch_us\",\"count\":16,",
+                "\"sum\":160,\"min\":1,\"max\":31,\"buckets\":[{buckets}]}}\n",
+                "{{\"v\":1,\"type\":\"end\",\"events\":3}}\n",
+            ),
+            buckets = buckets.join(",")
+        )
+    }
+
+    #[test]
+    fn parses_and_aggregates_sample() {
+        let r = parse_report(&sample()).unwrap();
+        assert_eq!(r.command, "train");
+        assert_eq!(r.spans.len(), 1);
+        let (name, agg) = &r.spans[0];
+        assert_eq!(name, "train.epoch");
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.total_us, 150);
+        assert_eq!(agg.min_us, 50);
+        assert_eq!(agg.max_us, 100);
+        assert_eq!(r.events, vec![("dse.shard_retry".to_string(), 1)]);
+        assert_eq!(r.counters, vec![("sim.evals".to_string(), 42)]);
+        assert_eq!(r.histograms[0].1.count, 16);
+        let text = r.render();
+        assert!(text.contains("train.epoch"));
+        assert!(text.contains("sim.evals"));
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        // Wrong version.
+        assert!(validate("{\"v\":2,\"type\":\"end\",\"events\":0}").is_err());
+        // Missing meta.
+        assert!(validate(
+            "{\"v\":1,\"type\":\"counter\",\"name\":\"x\",\"value\":1}\n"
+        )
+        .is_err());
+        // Unknown type.
+        let bad = sample().replace("\"type\":\"event\"", "\"type\":\"mystery\"");
+        assert!(validate(&bad).is_err());
+        // Truncated (no end line).
+        let truncated: String = sample()
+            .lines()
+            .take(3)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate(&truncated).is_err());
+        // Event count mismatch.
+        let bad = sample().replace("\"events\":3", "\"events\":7");
+        assert!(validate(&bad).is_err());
+        // Full sample passes.
+        validate(&sample()).unwrap();
+    }
+}

@@ -1,0 +1,192 @@
+//! Global JSON-lines sink with a versioned schema.
+//!
+//! One sink per process, guarded by a mutex that is only contended at
+//! span/event granularity (coarse phases), never per batch. The file is a
+//! sequence of self-describing lines:
+//!
+//! ```text
+//! {"v":1,"type":"meta","schema":"airchitect.telemetry","schema_version":1,"command":"train"}
+//! {"v":1,"type":"span","name":"train.epoch","t_us":1201,"dur_us":833,"depth":1,"tid":0,"fields":{"epoch":0,"loss":1.2}}
+//! {"v":1,"type":"event","name":"dse.shard_retry","t_us":90,"fields":{"shard":3,"attempt":1}}
+//! {"v":1,"type":"counter","name":"sim.evals","value":4096}
+//! {"v":1,"type":"gauge","name":"train.loss","value":0.12}
+//! {"v":1,"type":"hist","name":"train.batch_us","count":10,"sum":950,"min":80,"max":120,"buckets":[...]}
+//! {"v":1,"type":"end","events":14}
+//! ```
+//!
+//! [`close`] appends a snapshot of every touched metric, so the file alone
+//! reconstructs the run's registry.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::{write_escaped, write_f64};
+use crate::metrics;
+use crate::span::Field;
+use crate::{SCHEMA_NAME, SCHEMA_VERSION};
+
+struct SinkInner {
+    out: BufWriter<File>,
+    path: PathBuf,
+    epoch: Instant,
+    events: u64,
+}
+
+static SINK: Mutex<Option<SinkInner>> = Mutex::new(None);
+
+/// Open the process-wide sink, truncating `path`, and write the meta line.
+/// Replaces any previously open sink without closing it.
+pub fn open(path: &Path, command: &str) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    let mut line = String::with_capacity(128);
+    let _ = write!(
+        line,
+        r#"{{"v":{SCHEMA_VERSION},"type":"meta","schema":"{SCHEMA_NAME}","schema_version":{SCHEMA_VERSION},"command":"#
+    );
+    write_escaped(&mut line, command);
+    line.push('}');
+    writeln!(out, "{line}")?;
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = Some(SinkInner {
+        out,
+        path: path.to_path_buf(),
+        epoch: Instant::now(),
+        events: 0,
+    });
+    Ok(())
+}
+
+/// Whether a sink is currently open.
+pub fn is_open() -> bool {
+    SINK.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+}
+
+/// Flush the sink: append a snapshot of every touched metric plus the end
+/// line, then close the file. Returns the sink path, or `None` if no sink
+/// was open.
+pub fn close() -> io::Result<Option<PathBuf>> {
+    let Some(mut inner) = SINK.lock().unwrap_or_else(|e| e.into_inner()).take() else {
+        return Ok(None);
+    };
+    let snap = metrics::snapshot();
+    let mut line = String::with_capacity(256);
+    for (name, value) in &snap.counters {
+        line.clear();
+        let _ = write!(line, r#"{{"v":{SCHEMA_VERSION},"type":"counter","name":"#);
+        write_escaped(&mut line, name);
+        let _ = write!(line, r#","value":{value}}}"#);
+        writeln!(inner.out, "{line}")?;
+    }
+    for (name, value) in &snap.gauges {
+        line.clear();
+        let _ = write!(line, r#"{{"v":{SCHEMA_VERSION},"type":"gauge","name":"#);
+        write_escaped(&mut line, name);
+        line.push_str(",\"value\":");
+        write_f64(&mut line, *value);
+        line.push('}');
+        writeln!(inner.out, "{line}")?;
+    }
+    for (name, h) in &snap.histograms {
+        line.clear();
+        let _ = write!(line, r#"{{"v":{SCHEMA_VERSION},"type":"hist","name":"#);
+        write_escaped(&mut line, name);
+        let _ = write!(
+            line,
+            r#","count":{},"sum":{},"min":{},"max":{},"buckets":["#,
+            h.count, h.sum, h.min, h.max
+        );
+        for (i, b) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{b}");
+        }
+        line.push_str("]}");
+        writeln!(inner.out, "{line}")?;
+    }
+    writeln!(
+        inner.out,
+        r#"{{"v":{SCHEMA_VERSION},"type":"end","events":{}}}"#,
+        inner.events
+    )?;
+    inner.out.flush()?;
+    Ok(Some(inner.path))
+}
+
+fn write_fields(line: &mut String, fields: &[(&'static str, Field)]) {
+    if fields.is_empty() {
+        return;
+    }
+    line.push_str(",\"fields\":{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        write_escaped(line, key);
+        line.push(':');
+        match value {
+            Field::U64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            Field::F64(v) => write_f64(line, *v),
+            Field::Str(s) => write_escaped(line, s),
+        }
+    }
+    line.push('}');
+}
+
+/// Emit one span-close line. Called from `Span::drop`; a no-op without an
+/// open sink.
+pub(crate) fn emit_span(
+    name: &'static str,
+    start: Instant,
+    dur_us: u64,
+    depth: u32,
+    tid: u64,
+    fields: &[(&'static str, Field)],
+) {
+    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(inner) = guard.as_mut() else {
+        return;
+    };
+    let t_us = start
+        .checked_duration_since(inner.epoch)
+        .map_or(0, |d| d.as_micros() as u64);
+    let mut line = String::with_capacity(160);
+    let _ = write!(line, r#"{{"v":{SCHEMA_VERSION},"type":"span","name":"#);
+    write_escaped(&mut line, name);
+    let _ = write!(
+        line,
+        r#","t_us":{t_us},"dur_us":{dur_us},"depth":{depth},"tid":{tid}"#
+    );
+    write_fields(&mut line, fields);
+    line.push('}');
+    if writeln!(inner.out, "{line}").is_ok() {
+        inner.events += 1;
+    }
+}
+
+/// Emit a point-in-time event (e.g. a shard retry after a panic). A no-op
+/// when telemetry is disabled or no sink is open.
+pub fn event(name: &'static str, fields: &[(&'static str, Field)]) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(inner) = guard.as_mut() else {
+        return;
+    };
+    let t_us = inner.epoch.elapsed().as_micros() as u64;
+    let mut line = String::with_capacity(128);
+    let _ = write!(line, r#"{{"v":{SCHEMA_VERSION},"type":"event","name":"#);
+    write_escaped(&mut line, name);
+    let _ = write!(line, r#","t_us":{t_us}"#);
+    write_fields(&mut line, fields);
+    line.push('}');
+    if writeln!(inner.out, "{line}").is_ok() {
+        inner.events += 1;
+    }
+}

@@ -1,0 +1,192 @@
+//! RAII wall-clock spans with per-thread nesting and global aggregation.
+//!
+//! A [`Span`] is cheap enough for coarse phases (data generation, epochs,
+//! evaluation, checkpoints) but deliberately not for per-batch work: its
+//! close path takes a mutex and may format a JSONL event. Per-batch timing
+//! belongs in a [`crate::metrics::Histogram`].
+//!
+//! When telemetry is disabled, [`Span::enter`] reads one atomic and
+//! constructs an inert guard — no clock read, no thread-local access, no
+//! allocation (`Vec::new` does not allocate).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::{enabled, sink};
+
+/// A field value attached to a span event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Field {
+    U64(u64),
+    F64(f64),
+    Str(&'static str),
+}
+
+/// Aggregate wall-clock statistics for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanAggregate {
+    pub count: u64,
+    pub total_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+}
+
+/// Global span-aggregate table. Span names are a small closed set, so a
+/// linear scan under a mutex beats hashing; the lock is only taken on span
+/// close, never per batch.
+static AGGREGATES: Mutex<Vec<(&'static str, SpanAggregate)>> = Mutex::new(Vec::new());
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Current nesting depth on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Small dense id for event attribution (`ThreadId` has no stable
+    /// integer accessor).
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// An open span. Closes (aggregates + emits) on drop.
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    depth: u32,
+    fields: Vec<(&'static str, Field)>,
+}
+
+impl Span {
+    /// Open a span. Inert (and free) when telemetry is disabled.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        if !enabled() {
+            return Span {
+                name,
+                start: None,
+                depth: 0,
+                fields: Vec::new(),
+            };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Span {
+            name,
+            start: Some(Instant::now()),
+            depth,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach an integer field to the closing event.
+    pub fn field_u64(&mut self, key: &'static str, v: u64) {
+        if self.start.is_some() {
+            self.fields.push((key, Field::U64(v)));
+        }
+    }
+
+    /// Attach a float field to the closing event.
+    pub fn field_f64(&mut self, key: &'static str, v: f64) {
+        if self.start.is_some() {
+            self.fields.push((key, Field::F64(v)));
+        }
+    }
+
+    /// Attach a static string field to the closing event.
+    pub fn field_str(&mut self, key: &'static str, v: &'static str) {
+        if self.start.is_some() {
+            self.fields.push((key, Field::Str(v)));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start.take() else {
+            return;
+        };
+        let dur_us = start.elapsed().as_micros() as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+
+        {
+            let mut table = AGGREGATES.lock().unwrap_or_else(|e| e.into_inner());
+            match table.iter_mut().find(|(n, _)| *n == self.name) {
+                Some((_, agg)) => {
+                    agg.count += 1;
+                    agg.total_us += dur_us;
+                    agg.min_us = agg.min_us.min(dur_us);
+                    agg.max_us = agg.max_us.max(dur_us);
+                }
+                None => table.push((
+                    self.name,
+                    SpanAggregate {
+                        count: 1,
+                        total_us: dur_us,
+                        min_us: dur_us,
+                        max_us: dur_us,
+                    },
+                )),
+            }
+        }
+
+        let tid = THREAD_ID.with(|t| *t);
+        sink::emit_span(self.name, start, dur_us, self.depth, tid, &self.fields);
+    }
+}
+
+/// Copy of the aggregate table, sorted by span name for determinism.
+pub fn aggregates() -> Vec<(&'static str, SpanAggregate)> {
+    let mut v = AGGREGATES
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    v.sort_by_key(|(n, _)| *n);
+    v
+}
+
+pub(crate) fn reset_aggregates() {
+    AGGREGATES.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let _g = crate::test_guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _outer = Span::enter("test.outer");
+            let _inner = Span::enter("test.inner");
+        }
+        {
+            let _outer = Span::enter("test.outer");
+        }
+        let aggs = aggregates();
+        let outer = aggs.iter().find(|(n, _)| *n == "test.outer").unwrap().1;
+        let inner = aggs.iter().find(|(n, _)| *n == "test.inner").unwrap().1;
+        assert_eq!(outer.count, 2);
+        assert_eq!(inner.count, 1);
+        assert!(outer.min_us <= outer.max_us);
+        assert_eq!(DEPTH.with(|d| d.get()), 0, "depth must unwind to zero");
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = crate::test_guard();
+        crate::disable();
+        crate::reset();
+        {
+            let mut s = Span::enter("test.disabled");
+            s.field_u64("k", 1);
+        }
+        assert!(aggregates().is_empty());
+    }
+}

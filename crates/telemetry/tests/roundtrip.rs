@@ -1,0 +1,64 @@
+//! Schema round-trip: everything recorded in-process must survive
+//! emit → parse → aggregate and come back equal to the in-memory registry.
+
+use std::fs;
+
+use airchitect_telemetry as telemetry;
+use telemetry::span::{Field, Span};
+use telemetry::{metrics, report, sink, span};
+
+#[test]
+fn emitted_file_reconstructs_the_registry() {
+    let dir = std::env::temp_dir().join(format!("airchitect-telemetry-rt-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+
+    telemetry::enable();
+    telemetry::reset();
+    sink::open(&path, "roundtrip-test").unwrap();
+
+    // Exercise every metric kind plus spans and events.
+    metrics::SIM_EVALS.add(1234);
+    metrics::DSE_SEARCH_POINTS.add(77);
+    metrics::TRAIN_LOSS.set(0.125);
+    for v in [3u64, 9, 90, 1500] {
+        metrics::TRAIN_BATCH_US.record(v);
+    }
+    {
+        let mut outer = Span::enter("rt.pipeline");
+        outer.field_str("case", "cs1");
+        for epoch in 0..3u64 {
+            let mut s = Span::enter("rt.epoch");
+            s.field_u64("epoch", epoch);
+            s.field_f64("loss", 1.0 / (epoch + 1) as f64);
+        }
+    }
+    sink::event("rt.retry", &[(("shard"), Field::U64(2)), ("attempt", Field::U64(1))]);
+
+    let in_memory_metrics = metrics::snapshot();
+    let in_memory_spans = span::aggregates();
+    let closed = sink::close().unwrap();
+    telemetry::disable();
+    assert_eq!(closed.as_deref(), Some(path.as_path()));
+
+    let text = fs::read_to_string(&path).unwrap();
+    let parsed = report::parse_report(&text).unwrap_or_else(|e| panic!("schema violation: {e}"));
+
+    // Metric snapshot lines reconstruct the registry exactly.
+    assert_eq!(parsed.command, "roundtrip-test");
+    assert_eq!(parsed.schema_version, telemetry::SCHEMA_VERSION);
+    assert_eq!(parsed.counters, in_memory_metrics.counters);
+    assert_eq!(parsed.gauges, in_memory_metrics.gauges);
+    assert_eq!(parsed.histograms, in_memory_metrics.histograms);
+
+    // Span events aggregate back to the in-memory span table.
+    let parsed_spans: Vec<(&str, _)> = parsed
+        .spans
+        .iter()
+        .map(|(n, a)| (n.as_str(), *a))
+        .collect();
+    assert_eq!(parsed_spans, in_memory_spans);
+    assert_eq!(parsed.events, vec![("rt.retry".to_string(), 1)]);
+
+    fs::remove_dir_all(&dir).ok();
+}

@@ -368,6 +368,7 @@ fn nn_block(rows: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
     {
         if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
         {
+            airchitect_telemetry::metrics::GEMM_DISPATCH_AVX2.inc();
             // SAFETY: AVX2 + FMA presence was just verified at runtime; the
             // function body is plain safe Rust compiled with those features.
             unsafe {
@@ -375,6 +376,7 @@ fn nn_block(rows: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
             }
         }
     }
+    airchitect_telemetry::metrics::GEMM_DISPATCH_SCALAR.inc();
     nn_block_generic(rows, k, n, a, b, out, acc);
 }
 

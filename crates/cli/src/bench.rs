@@ -13,15 +13,22 @@
 //! * `dse` — conventional search throughput: exhaustive
 //!   [`Case1Problem::search`] plus the sampling strategies in
 //!   `dse::search_algos`.
+//! * `serve` — loadgen against an in-process `airchitect-serve` server:
+//!   concurrent keep-alive clients, mid-run hot-reloads, client-side
+//!   p50/p95/p99 latency and sustained QPS.
 //!
 //! JSON is hand-rolled (flat objects, fixed keys) to stay within the
 //! approved dependency set; `--quick` shrinks every suite for CI smoke
 //! runs.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
-use airchitect::Recommender;
+use airchitect::{persist, Recommender};
+use airchitect_serve::client::HttpClient;
+use airchitect_serve::{ServeConfig, Server};
 use airchitect_data::Dataset;
 use airchitect_dse::case1::Case1Problem;
 use airchitect_dse::search_algos::{GeneticSearch, HillClimb, RandomSearch, SearchStrategy};
@@ -83,14 +90,16 @@ fn bench_inner(args: &Args) -> Result<(), CliError> {
         "train" => bench_train(&out_dir, samples, epochs, threads)?,
         "infer" => bench_infer(&out_dir, quick)?,
         "dse" => bench_dse(&out_dir, quick)?,
+        "serve" => bench_serve(&out_dir, quick)?,
         "all" => {
             bench_train(&out_dir, samples, epochs, threads)?;
             bench_infer(&out_dir, quick)?;
             bench_dse(&out_dir, quick)?;
+            bench_serve(&out_dir, quick)?;
         }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown suite `{other}` (train|infer|dse|all)"
+                "unknown suite `{other}` (train|infer|dse|serve|all)"
             )))
         }
     }
@@ -348,4 +357,207 @@ fn bench_dse(out_dir: &str, quick: bool) -> Result<(), CliError> {
         problem.space().len()
     );
     write_json(out_dir, "BENCH_dse.json", &body)
+}
+
+/// Nearest-rank percentile over an already-sorted latency list.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A briefly-trained CS1 model on raw recommend-path features, persisted
+/// to a temp `.airm` so the server can load (and hot-reload) it.
+fn serve_model_file(rows: usize) -> Result<std::path::PathBuf, CliError> {
+    let mut ds = Dataset::new(4, CS1_CLASSES).unwrap();
+    let mut rng = StdRng::seed_from_u64(29);
+    for _ in 0..rows {
+        let wl = random_workload(&mut rng);
+        let budget = 1u64 << rng.random_range(5..=CS1_BUDGET_LOG2);
+        ds.push(
+            &Case1Problem::features(&wl, budget),
+            rng.random_range(0..CS1_CLASSES),
+        )
+        .unwrap();
+    }
+    let mut model = AirchitectModel::new(
+        CaseStudy::ArrayDataflow,
+        &AirchitectConfig {
+            num_classes: CS1_CLASSES,
+            train: TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    model.train(&ds).map_err(|e| CliError::Run(e.to_string()))?;
+    let path = std::env::temp_dir().join(format!(
+        "airchitect-bench-serve-{}.airm",
+        std::process::id()
+    ));
+    persist::save(&model, &path).map_err(|e| CliError::Run(e.to_string()))?;
+    Ok(path)
+}
+
+/// Loadgen against an in-process server: `CLIENTS` keep-alive connections
+/// hammer `/v1/recommend/array` while a background thread hot-reloads the
+/// model; any 5xx fails the bench (the hot-reload-under-load guarantee).
+fn bench_serve(out_dir: &str, quick: bool) -> Result<(), CliError> {
+    const CLIENTS: usize = 8;
+    let requests: usize = if quick { 2_000 } else { 20_000 };
+    let timeout = Duration::from_secs(30);
+    println!(
+        "bench serve: {requests} requests over {CLIENTS} keep-alive clients, reloads mid-run"
+    );
+
+    let model_path = serve_model_file(if quick { 2_000 } else { 8_000 })?;
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        model_paths: vec![model_path.clone()],
+        workers: 4,
+        queue_depth: 1024,
+        batch_max: 16,
+        cache_capacity: 4096,
+        read_timeout_secs: 30,
+    };
+    let server = Server::bind(&config).map_err(|e| CliError::Run(e.to_string()))?;
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // A pool of distinct bodies; clients stride through it, so later
+    // passes over the pool hit the response cache while early ones miss.
+    let mut rng = StdRng::seed_from_u64(31);
+    let pool: Arc<Vec<String>> = Arc::new(
+        (0..512)
+            .map(|_| {
+                let wl = random_workload(&mut rng);
+                format!(
+                    "{{\"m\":{},\"n\":{},\"k\":{},\"mac_budget\":{}}}",
+                    wl.m(),
+                    wl.n(),
+                    wl.k(),
+                    1u64 << 10
+                )
+            })
+            .collect(),
+    );
+
+    // Background hot-reloader: keeps swapping the model while the load
+    // runs, to prove reloads are invisible to clients.
+    let done = Arc::new(AtomicBool::new(false));
+    let reloader = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || -> Result<u64, String> {
+            let mut client =
+                HttpClient::connect(addr, timeout).map_err(|e| e.to_string())?;
+            let mut reloads = 0u64;
+            // At least one reload always lands, even if the whole load
+            // finishes inside the first sleep interval.
+            loop {
+                let resp = client.post("/v1/reload", "").map_err(|e| e.to_string())?;
+                if resp.status != 200 {
+                    return Err(format!("reload failed with {}: {}", resp.status, resp.body));
+                }
+                reloads += 1;
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Ok(reloads)
+        })
+    };
+
+    let server_errors = Arc::new(AtomicU64::new(0));
+    let cache_hits = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|tid| {
+            let pool = Arc::clone(&pool);
+            let server_errors = Arc::clone(&server_errors);
+            let cache_hits = Arc::clone(&cache_hits);
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client =
+                    HttpClient::connect(addr, timeout).map_err(|e| e.to_string())?;
+                let mut latencies = Vec::with_capacity(requests / CLIENTS);
+                for i in 0..requests / CLIENTS {
+                    let body = &pool[(tid + i * 7) % pool.len()];
+                    let sent = Instant::now();
+                    let resp = client
+                        .post("/v1/recommend/array", body)
+                        .map_err(|e| e.to_string())?;
+                    latencies.push(sent.elapsed().as_micros() as u64);
+                    if resp.status >= 500 {
+                        server_errors.fetch_add(1, Ordering::Relaxed);
+                    } else if resp.status != 200 {
+                        return Err(format!(
+                            "unexpected {}: {}",
+                            resp.status, resp.body
+                        ));
+                    } else if resp.body.starts_with("{\"cached\":true") {
+                        cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests);
+    for handle in clients {
+        let thread_latencies = handle
+            .join()
+            .map_err(|_| CliError::Run("loadgen client panicked".into()))?
+            .map_err(CliError::Run)?;
+        latencies.extend(thread_latencies);
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    done.store(true, Ordering::Release);
+    let reloads = reloader
+        .join()
+        .map_err(|_| CliError::Run("reloader panicked".into()))?
+        .map_err(CliError::Run)?;
+
+    // Graceful shutdown must return Ok from Server::run.
+    let mut shut = HttpClient::connect(addr, timeout).map_err(|e| CliError::Run(e.to_string()))?;
+    let resp = shut
+        .post("/v1/shutdown", "")
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    if resp.status != 200 {
+        return Err(CliError::Run(format!("shutdown returned {}", resp.status)));
+    }
+    server_thread
+        .join()
+        .map_err(|_| CliError::Run("server thread panicked".into()))?
+        .map_err(|e| CliError::Run(format!("server exited with: {e}")))?;
+    let _ = std::fs::remove_file(&model_path);
+
+    let errors = server_errors.load(Ordering::Relaxed);
+    if errors > 0 {
+        return Err(CliError::Run(format!(
+            "{errors} server-side 5xx responses under hot-reload load"
+        )));
+    }
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let qps = total as f64 / wall_secs;
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    let hits = cache_hits.load(Ordering::Relaxed);
+    println!("  {qps:.0} req/s over {total} requests ({reloads} reloads, {hits} cache hits)");
+    println!("  latency p50 {p50} us, p95 {p95} us, p99 {p99} us");
+
+    let body = format!(
+        "{{\n  \"suite\": \"serve\",\n  \"case\": \"cs1\",\n  \"requests\": {total},\n  \
+         \"clients\": {CLIENTS},\n  \"reloads\": {reloads},\n  \"cache_hits\": {hits},\n  \
+         \"server_errors\": {errors},\n  \"qps\": {qps:.2},\n  \"p50_us\": {p50},\n  \
+         \"p95_us\": {p95},\n  \"p99_us\": {p99}\n}}\n"
+    );
+    write_json(out_dir, "BENCH_serve.json", &body)
 }

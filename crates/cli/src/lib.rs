@@ -10,6 +10,7 @@
 //! * `train`     — train an AIrchitect model on a dataset (`.airm` output),
 //! * `recommend` — constant-time recommendation from a trained model,
 //! * `bench`     — reproducible compute-engine benchmarks (`BENCH_*.json`),
+//! * `serve`     — batched, hot-reloadable HTTP inference server,
 //! * `report`    — validate and pretty-print a telemetry JSONL file.
 //!
 //! `generate`, `train`, `evaluate`, and `bench` accept `--trace` (print a
@@ -24,6 +25,7 @@
 pub mod args;
 pub mod bench;
 pub mod commands;
+pub mod serve;
 
 use std::fmt;
 
@@ -104,6 +106,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "evaluate" => commands::evaluate(rest),
         "report" => commands::report_file(rest),
         "bench" => bench::bench(rest),
+        "serve" => serve::serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", HELP.trim_start());
             Ok(())
@@ -165,12 +168,23 @@ COMMANDS:
   recommend  --model model.airm  plus the same query flags as `search`
              Constant-time recommendation from a trained model.
 
-  bench      [--suite train|infer|dse|all] [--out-dir DIR] [--threads T]
+  bench      [--suite train|infer|dse|serve|all] [--out-dir DIR] [--threads T]
              [--samples N] [--epochs E] [--quick]
              Time the compute engine (training epochs vs the naive baseline,
-             batched + single-query inference, DSE search throughput) and
+             batched + single-query inference, DSE search throughput, HTTP
+             serving with concurrent clients and mid-run hot-reloads) and
              write BENCH_<suite>.json artifacts. --quick shrinks every suite
              for smoke runs.
+
+  serve      --model model.airm[,model2.airm...] [--host H] [--port P]
+             [--workers W] [--queue-depth D] [--batch-max B] [--cache-cap C]
+             [--read-timeout-secs S]
+             Serve recommendations over HTTP: POST /v1/recommend/{array|
+             buffers|schedule} (JSON bodies mirroring the `recommend` flags,
+             plus "topk"), GET /healthz, GET /metrics, POST /v1/reload
+             (atomic model hot-swap), POST /v1/shutdown (graceful drain).
+             --port 0 binds an ephemeral port (printed on stdout). Requests
+             beyond --queue-depth are rejected with 429 + Retry-After.
 
   report     FILE (or --in FILE)
              Validate a telemetry JSON-lines file against the versioned

@@ -1,0 +1,80 @@
+//! `airchitect serve` — run the batched, hot-reloadable inference server.
+
+use std::path::PathBuf;
+
+use airchitect_serve::{ServeConfig, ServeError, Server};
+
+use crate::args::Args;
+use crate::CliError;
+
+fn serve_err(e: ServeError) -> CliError {
+    match e {
+        ServeError::Config(msg) => CliError::Usage(msg),
+        other => CliError::Run(other.to_string()),
+    }
+}
+
+/// Entry point for `airchitect serve`. Blocks until `POST /v1/shutdown`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad arguments, model load failures, or socket
+/// failures.
+pub fn serve(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    args.expect_only(&[
+        "model",
+        "host",
+        "port",
+        "workers",
+        "queue-depth",
+        "batch-max",
+        "cache-cap",
+        "read-timeout-secs",
+    ])?;
+    let model_paths: Vec<PathBuf> = args
+        .required("model")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+        .collect();
+    if model_paths.is_empty() {
+        return Err(CliError::Usage(
+            "`--model` needs at least one .airm path (comma-separated for several)".into(),
+        ));
+    }
+    let workers = args.u64_or("workers", 4)? as usize;
+    if workers == 0 {
+        return Err(CliError::Usage("`--workers` must be at least 1".into()));
+    }
+    let batch_max = args.u64_or("batch-max", 16)? as usize;
+    if batch_max == 0 {
+        return Err(CliError::Usage("`--batch-max` must be at least 1".into()));
+    }
+    let host = args.optional("host").unwrap_or("127.0.0.1");
+    let port = args.u64_or("port", 8080)?;
+    if port > u64::from(u16::MAX) {
+        return Err(CliError::Usage(format!("`--port` must be <= 65535 (got {port})")));
+    }
+    let config = ServeConfig {
+        addr: format!("{host}:{port}"),
+        model_paths,
+        workers,
+        queue_depth: args.u64_or("queue-depth", 256)? as usize,
+        batch_max,
+        cache_capacity: args.u64_or("cache-cap", 4096)? as usize,
+        read_timeout_secs: args.u64_or("read-timeout-secs", 5)?,
+    };
+
+    let server = Server::bind(&config).map_err(serve_err)?;
+    // Parseable by scripts: `--port 0` binds an ephemeral port, and this
+    // line is the only way to learn which one.
+    println!("listening on http://{}", server.local_addr());
+    println!(
+        "routes: POST /v1/recommend/{{array|buffers|schedule}} | POST /v1/reload | \
+         POST /v1/shutdown | GET /healthz | GET /metrics"
+    );
+    server.run().map_err(serve_err)?;
+    println!("shutdown complete");
+    Ok(())
+}

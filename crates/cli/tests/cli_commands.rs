@@ -236,6 +236,26 @@ fn traced_quick_train_emits_schema_valid_telemetry() {
 }
 
 #[test]
+fn serve_flag_validation() {
+    // Every bad-flag case is a usage error (exit code 2), not a crash.
+    for bad in [
+        vec!["serve"],                                        // no --model
+        vec!["serve", "--model", ""],                         // empty path list
+        vec!["serve", "--model", "x.airm", "--workers", "0"], // no workers
+        vec!["serve", "--model", "x.airm", "--batch-max", "0"],
+        vec!["serve", "--model", "x.airm", "--port", "99999"],
+        vec!["serve", "--model", "x.airm", "--bogus", "1"], // typo protection
+    ] {
+        let err = run(&argv(&bad)).expect_err(&format!("{bad:?} must be rejected"));
+        assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
+    }
+    // A missing model file is a run error (exit code 1), not a usage error.
+    let err = run(&argv(&["serve", "--model", "/nonexistent/x.airm", "--port", "0"]))
+        .expect_err("missing model file must fail");
+    assert_eq!(err.exit_code(), 1, "{err}");
+}
+
+#[test]
 fn quick_train_rejects_contradictory_flags() {
     assert!(run(&argv(&["train", "--quick", "--data", "x.aids"])).is_err());
     assert!(run(&argv(&["train", "--case", "1", "--samples", "10", "--data", "x.aids"])).is_err());

@@ -32,11 +32,12 @@ pub enum RecommendError {
         /// The offending label.
         label: u32,
     },
-    /// No configuration in the output space fits the requested MAC budget
-    /// (budgets below 4 MACs admit no array shape).
+    /// No configuration in the output space fits the requested budget —
+    /// MAC units for CS1 (budgets below 4 MACs admit no array shape), total
+    /// buffer KB for CS2 (limits below 300 KB admit no split).
     NoFeasibleConfig {
-        /// The budget that admitted nothing.
-        mac_budget: u64,
+        /// The budget that admitted nothing (MACs for CS1, KB for CS2).
+        budget: u64,
     },
 }
 
@@ -53,8 +54,8 @@ impl std::fmt::Display for RecommendError {
             RecommendError::LabelOutOfSpace { label } => {
                 write!(f, "predicted label {label} is outside the output space")
             }
-            RecommendError::NoFeasibleConfig { mac_budget } => {
-                write!(f, "no configuration fits a budget of {mac_budget} MAC units")
+            RecommendError::NoFeasibleConfig { budget } => {
+                write!(f, "no in-space configuration fits a budget of {budget}")
             }
         }
     }
@@ -126,7 +127,7 @@ impl Recommender {
                 }
             }
         }
-        Err(RecommendError::NoFeasibleConfig { mac_budget })
+        Err(RecommendError::NoFeasibleConfig { budget: mac_budget })
     }
 
     /// CS1: a ranked list of the `k` most likely (array, dataflow)
@@ -159,21 +160,61 @@ impl Recommender {
 
     /// CS2: recommends `(ifmap_kb, filter_kb, ofmap_kb)` buffer sizes.
     ///
+    /// The query's capacity limit is a hard constraint, exactly like the MAC
+    /// budget in [`Recommender::recommend_array`]: classes are ranked and the
+    /// most likely split whose total fits `limit_kb` is returned, rather
+    /// than trusting the raw top-1 label to be feasible.
+    ///
     /// # Errors
     ///
-    /// Returns [`RecommendError`] for case-study mismatches or out-of-space
-    /// predictions.
+    /// Returns [`RecommendError`] for case-study mismatches or when no
+    /// in-space split fits the capacity limit.
     pub fn recommend_buffers(
         &self,
         problem: &Case2Problem,
         query: &Case2Query,
     ) -> Result<(u64, u64, u64), RecommendError> {
         self.check_case(CaseStudy::BufferSizing)?;
-        let label = self.model.predict_row(&query.features());
-        problem
-            .space()
-            .decode(label)
-            .ok_or(RecommendError::LabelOutOfSpace { label })
+        let ranked = self.model.predict_topk(
+            &query.features(),
+            self.model.config().num_classes as usize,
+        );
+        for (label, _) in ranked {
+            if let Some((i, f, o)) = problem.space().decode(label) {
+                if i + f + o <= query.limit_kb {
+                    return Ok((i, f, o));
+                }
+            }
+        }
+        Err(RecommendError::NoFeasibleConfig {
+            budget: query.limit_kb,
+        })
+    }
+
+    /// CS2: a ranked list of the `k` most likely buffer splits with their
+    /// softmax confidence, mirroring [`Recommender::recommend_array_topk`].
+    ///
+    /// Like the CS1 top-k, entries are *not* filtered by the capacity limit
+    /// (the caller sees the model's honest ranking); labels outside the
+    /// output space are skipped, so fewer than `k` entries may return.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecommendError::WrongCaseStudy`] for non-CS2 models.
+    pub fn recommend_buffers_topk(
+        &self,
+        problem: &Case2Problem,
+        query: &Case2Query,
+        k: usize,
+    ) -> Result<Vec<(u64, u64, u64, f32)>, RecommendError> {
+        self.check_case(CaseStudy::BufferSizing)?;
+        let ranked = self.model.predict_topk(&query.features(), k);
+        Ok(ranked
+            .into_iter()
+            .filter_map(|(label, p)| {
+                problem.space().decode(label).map(|(i, f, o)| (i, f, o, p))
+            })
+            .collect())
     }
 
     /// CS3: recommends a schedule (workload-to-array mapping plus per-array
@@ -196,13 +237,47 @@ impl Recommender {
             .ok_or(RecommendError::LabelOutOfSpace { label })?;
         Ok(Schedule::new(&perm, &dfs))
     }
+
+    /// CS3: a ranked list of the `k` most likely schedules with their
+    /// softmax confidence, mirroring [`Recommender::recommend_array_topk`].
+    ///
+    /// Labels outside the output space are skipped, so fewer than `k`
+    /// entries may return.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecommendError::WrongCaseStudy`] for non-CS3 models.
+    pub fn recommend_schedule_topk(
+        &self,
+        problem: &Case3Problem,
+        workloads: &[GemmWorkload],
+        k: usize,
+    ) -> Result<Vec<(Schedule, f32)>, RecommendError> {
+        self.check_case(CaseStudy::MultiArrayScheduling)?;
+        let ranked = self
+            .model
+            .predict_topk(&Case3Problem::features(workloads), k);
+        Ok(ranked
+            .into_iter()
+            .filter_map(|(label, p)| {
+                problem
+                    .space()
+                    .decode(label)
+                    .map(|(perm, dfs)| (Schedule::new(&perm, &dfs), p))
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::AirchitectConfig;
-    use crate::pipeline::{run_case1, PipelineConfig};
+    use crate::pipeline::{run_case1, run_case2, run_case3, PipelineConfig};
+
+    fn array_16() -> ArrayConfig {
+        ArrayConfig::new(16, 16).unwrap()
+    }
 
     fn quick() -> PipelineConfig {
         PipelineConfig {
@@ -266,7 +341,7 @@ mod tests {
         // A 2-MAC budget admits no array shape (smallest is 2x2 = 4 MACs).
         assert_eq!(
             rec.recommend_array(&problem, &wl, 2),
-            Err(RecommendError::NoFeasibleConfig { mac_budget: 2 })
+            Err(RecommendError::NoFeasibleConfig { budget: 2 })
         );
     }
 
@@ -281,6 +356,96 @@ mod tests {
         assert!(top.windows(2).all(|w| w[0].2 >= w[1].2));
         let (a1, d1) = rec.recommend_array(&problem, &wl, 1 << 9).unwrap();
         assert_eq!((top[0].0, top[0].1), (a1, d1));
+    }
+
+    #[test]
+    fn buffer_recommendation_honors_the_capacity_limit() {
+        let run = run_case2(&quick());
+        let problem = Case2Problem::new();
+        let rec = Recommender::new(run.model).unwrap();
+        // Limits right at the bottom of the space: the raw top-1 label
+        // almost certainly decodes to an oversized split, so feasibility
+        // filtering must kick in (same contract as the CS1 MAC budget).
+        for limit_kb in [300u64, 400, 500] {
+            let query = Case2Query {
+                workload: GemmWorkload::new(1024, 256, 512).unwrap(),
+                array: array_16(),
+                dataflow: Dataflow::Os,
+                bandwidth: 4,
+                limit_kb,
+            };
+            let (i, f, o) = rec.recommend_buffers(&problem, &query).unwrap();
+            assert!(
+                i + f + o <= limit_kb,
+                "split {i}+{f}+{o} KB exceeds the {limit_kb} KB limit"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_buffer_limit_is_reported_not_ignored() {
+        let run = run_case2(&quick());
+        let problem = Case2Problem::new();
+        let rec = Recommender::new(run.model).unwrap();
+        let query = Case2Query {
+            workload: GemmWorkload::new(512, 256, 384).unwrap(),
+            array: array_16(),
+            dataflow: Dataflow::Os,
+            bandwidth: 4,
+            // Below the 300 KB minimum total of the space.
+            limit_kb: 250,
+        };
+        assert_eq!(
+            rec.recommend_buffers(&problem, &query),
+            Err(RecommendError::NoFeasibleConfig { budget: 250 })
+        );
+    }
+
+    #[test]
+    fn buffer_topk_is_ranked_and_in_space() {
+        let run = run_case2(&quick());
+        let problem = Case2Problem::new();
+        let rec = Recommender::new(run.model).unwrap();
+        let query = Case2Query {
+            workload: GemmWorkload::new(1024, 256, 512).unwrap(),
+            array: array_16(),
+            dataflow: Dataflow::Ws,
+            bandwidth: 8,
+            limit_kb: 3000,
+        };
+        let top = rec.recommend_buffers_topk(&problem, &query, 5).unwrap();
+        assert!(!top.is_empty() && top.len() <= 5);
+        assert!(top.windows(2).all(|w| w[0].3 >= w[1].3));
+        for &(i, f, o, _) in &top {
+            assert!(problem.space().encode(i, f, o).is_some());
+        }
+    }
+
+    #[test]
+    fn schedule_topk_is_ranked_and_returns_permutations() {
+        let run = run_case3(&PipelineConfig {
+            samples: 300,
+            ..quick()
+        });
+        let problem = Case3Problem::new();
+        let rec = Recommender::new(run.model).unwrap();
+        let workloads = vec![
+            GemmWorkload::new(512, 128, 256).unwrap(),
+            GemmWorkload::new(64, 64, 64).unwrap(),
+            GemmWorkload::new(256, 32, 128).unwrap(),
+            GemmWorkload::new(196, 96, 256).unwrap(),
+        ];
+        let top = rec
+            .recommend_schedule_topk(&problem, &workloads, 4)
+            .unwrap();
+        assert!(!top.is_empty() && top.len() <= 4);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        for (schedule, _) in &top {
+            assert!(schedule.is_permutation());
+        }
+        // Head of the ranking agrees with the top-1 API.
+        let top1 = rec.recommend_schedule(&problem, &workloads).unwrap();
+        assert_eq!(top[0].0, top1);
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl Case1Space {
     /// in — enumeration order changes with the budget — so persisted models
     /// must rebuild their space from the class count, not from a guess.
     pub fn from_len(len: usize) -> Option<Self> {
-        (2..=64u32)
+        (2..=63u32)
             .map(|n| Case1Space::new(1u64 << n))
             .find(|s| s.len() == len)
     }

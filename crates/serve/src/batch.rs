@@ -1,0 +1,494 @@
+//! Bounded admission queue and the micro-batching worker pool.
+//!
+//! Connection threads validate and enqueue [`Job`]s; a fixed pool of
+//! workers drains the queue in batches of up to `batch_max`, snapshots the
+//! current model **once per batch per case study**, and answers every job
+//! in the batch from that snapshot. The snapshot discipline is what makes
+//! hot-reload safe: a batch started before a swap finishes entirely on the
+//! old model, so no response ever mixes two models.
+//!
+//! Admission control is reject-on-full rather than block-on-full: when the
+//! queue holds `depth` jobs the push fails immediately and the connection
+//! answers `429` with `Retry-After`, keeping queue latency bounded for the
+//! requests that *are* admitted.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use airchitect::model::CaseStudy;
+use airchitect::recommend::RecommendError;
+use airchitect_dse::case2::Case2Query;
+use airchitect_telemetry::json::write_f64;
+use airchitect_telemetry::metrics;
+use airchitect_workload::GemmWorkload;
+
+use crate::reload::{case_name, CaseProblem, LoadedModel, ModelHub};
+
+/// A decoded, validated recommendation query.
+#[derive(Debug, Clone)]
+pub enum RecQuery {
+    /// CS1: array shape + dataflow under a MAC budget.
+    Array {
+        /// The GEMM workload.
+        workload: GemmWorkload,
+        /// Hard MAC-unit budget.
+        mac_budget: u64,
+    },
+    /// CS2: SRAM buffer split.
+    Buffers {
+        /// The full CS2 query (workload, array, dataflow, bandwidth, limit).
+        query: Case2Query,
+    },
+    /// CS3: schedule for four concurrent workloads.
+    Schedule {
+        /// Exactly four workloads (validated by the router).
+        workloads: Vec<GemmWorkload>,
+    },
+}
+
+impl RecQuery {
+    /// The case study this query targets.
+    pub fn case(&self) -> CaseStudy {
+        match self {
+            RecQuery::Array { .. } => CaseStudy::ArrayDataflow,
+            RecQuery::Buffers { .. } => CaseStudy::BufferSizing,
+            RecQuery::Schedule { .. } => CaseStudy::MultiArrayScheduling,
+        }
+    }
+}
+
+/// A worker's answer, ready for HTTP framing by the connection thread.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Success: the rendered response JSON minus its leading `{` (the
+    /// connection thread prepends `{"cached":...,`), plus the generation of
+    /// the model that produced it (for cache stamping).
+    Ok {
+        /// Rendered JSON tail.
+        body_tail: String,
+        /// Producing model's generation.
+        generation: u64,
+    },
+    /// Failure mapped to an HTTP status. Never a 5xx for domain errors —
+    /// infeasible budgets are 422, missing models 503.
+    Err {
+        /// HTTP status code.
+        status: u16,
+        /// Stable machine-readable code.
+        code: &'static str,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// One queued request.
+#[derive(Debug)]
+pub struct Job {
+    /// The validated query.
+    pub query: RecQuery,
+    /// Ranked-list size; `0` means top-1.
+    pub topk: usize,
+    /// Channel the worker answers on.
+    pub reply: mpsc::Sender<Outcome>,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; client should retry later (429).
+    Full,
+    /// The server is draining; no new work is admitted (503).
+    ShuttingDown,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The bounded MPMC job queue (mutex + condvar; std has no native MPMC
+/// channel with try-push semantics).
+pub struct Queue {
+    state: Mutex<State>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl Queue {
+    /// Creates a queue admitting at most `depth` waiting jobs.
+    pub fn new(depth: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Tries to admit a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::ShuttingDown`] once
+    /// [`Queue::shutdown`] has been called.
+    pub fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.shutdown {
+            return Err(PushError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.depth {
+            metrics::SERVE_REJECTED.inc();
+            return Err(PushError::Full);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available, then drains up to `max` jobs.
+    /// Returns an empty batch only when the queue is shut down *and*
+    /// drained — the worker-exit signal.
+    pub fn pop_batch(&self, max: usize) -> Vec<Job> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if !state.jobs.is_empty() {
+                let n = state.jobs.len().min(max.max(1));
+                return state.jobs.drain(..n).collect();
+            }
+            if state.shutdown {
+                return Vec::new();
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stops admission and wakes every worker; already-queued jobs are
+    /// still drained before the workers exit.
+    pub fn shutdown(&self) {
+        self.state.lock().expect("queue poisoned").shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Spawns `workers` threads draining `queue` in batches of `batch_max`.
+/// The threads exit (joinable) after [`Queue::shutdown`] once the queue is
+/// empty.
+pub fn spawn_workers(
+    workers: usize,
+    batch_max: usize,
+    queue: Arc<Queue>,
+    hub: Arc<ModelHub>,
+) -> Vec<JoinHandle<()>> {
+    (0..workers.max(1))
+        .map(|i| {
+            let queue = Arc::clone(&queue);
+            let hub = Arc::clone(&hub);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&queue, &hub, batch_max))
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+fn worker_loop(queue: &Queue, hub: &ModelHub, batch_max: usize) {
+    loop {
+        let batch = queue.pop_batch(batch_max);
+        if batch.is_empty() {
+            return;
+        }
+        metrics::SERVE_BATCHES.inc();
+        metrics::SERVE_BATCHED_JOBS.add(batch.len() as u64);
+        metrics::SERVE_BATCH_JOBS.record(batch.len() as u64);
+        // One snapshot per case study per batch: every job in this batch
+        // for a given case sees the same model, even mid-reload.
+        let mut snapshots: [Option<Option<Arc<LoadedModel>>>; 3] = [None, None, None];
+        for job in batch {
+            let slot = match job.query.case() {
+                CaseStudy::ArrayDataflow => 0,
+                CaseStudy::BufferSizing => 1,
+                CaseStudy::MultiArrayScheduling => 2,
+            };
+            let snap = snapshots[slot]
+                .get_or_insert_with(|| hub.get(job.query.case()))
+                .clone();
+            let outcome = match snap {
+                Some(model) => execute(&model, &job.query, job.topk),
+                None => Outcome::Err {
+                    status: 503,
+                    code: "model_not_loaded",
+                    message: format!(
+                        "no model loaded for case study `{}`",
+                        case_name(job.query.case())
+                    ),
+                },
+            };
+            // A dead receiver just means the client hung up; drop silently.
+            let _ = job.reply.send(outcome);
+        }
+    }
+}
+
+fn domain_error(err: &RecommendError) -> Outcome {
+    let (status, code) = match err {
+        RecommendError::NoFeasibleConfig { .. } => (422, "infeasible"),
+        RecommendError::LabelOutOfSpace { .. } => (422, "label_out_of_space"),
+        RecommendError::WrongCaseStudy { .. } => (503, "wrong_model"),
+        RecommendError::Untrained => (503, "untrained_model"),
+    };
+    Outcome::Err {
+        status,
+        code,
+        message: err.to_string(),
+    }
+}
+
+/// Runs one query against one model snapshot and renders the result.
+pub fn execute(model: &LoadedModel, query: &RecQuery, topk: usize) -> Outcome {
+    let mut tail = String::with_capacity(128);
+    tail.push_str("\"generation\":");
+    tail.push_str(&model.generation.to_string());
+    tail.push_str(",\"case\":\"");
+    tail.push_str(case_name(model.case));
+    tail.push('"');
+
+    let rec = &model.recommender;
+    let rendered = match (&model.problem, query) {
+        (CaseProblem::Array(problem), RecQuery::Array { workload, mac_budget }) => {
+            if topk == 0 {
+                rec.recommend_array(problem, workload, *mac_budget).map(
+                    |(array, dataflow)| {
+                        tail.push_str(",\"result\":");
+                        render_array(&mut tail, array.rows(), array.cols(), dataflow, None);
+                    },
+                )
+            } else {
+                rec.recommend_array_topk(problem, workload, *mac_budget, topk)
+                    .map(|ranked| {
+                        tail.push_str(",\"results\":[");
+                        for (i, (array, dataflow, score)) in ranked.iter().enumerate() {
+                            if i > 0 {
+                                tail.push(',');
+                            }
+                            render_array(
+                                &mut tail,
+                                array.rows(),
+                                array.cols(),
+                                *dataflow,
+                                Some(*score),
+                            );
+                        }
+                        tail.push(']');
+                    })
+            }
+        }
+        (CaseProblem::Buffers(problem), RecQuery::Buffers { query }) => {
+            if topk == 0 {
+                rec.recommend_buffers(problem, query).map(|(i, f, o)| {
+                    tail.push_str(",\"result\":");
+                    render_buffers(&mut tail, i, f, o, None);
+                })
+            } else {
+                rec.recommend_buffers_topk(problem, query, topk).map(|ranked| {
+                    tail.push_str(",\"results\":[");
+                    for (n, (i, f, o, score)) in ranked.iter().enumerate() {
+                        if n > 0 {
+                            tail.push(',');
+                        }
+                        render_buffers(&mut tail, *i, *f, *o, Some(*score));
+                    }
+                    tail.push(']');
+                })
+            }
+        }
+        (CaseProblem::Schedule(problem), RecQuery::Schedule { workloads }) => {
+            if topk == 0 {
+                rec.recommend_schedule(problem, workloads).map(|schedule| {
+                    tail.push_str(",\"result\":");
+                    render_schedule(&mut tail, &schedule, None);
+                })
+            } else {
+                rec.recommend_schedule_topk(problem, workloads, topk)
+                    .map(|ranked| {
+                        tail.push_str(",\"results\":[");
+                        for (i, (schedule, score)) in ranked.iter().enumerate() {
+                            if i > 0 {
+                                tail.push(',');
+                            }
+                            render_schedule(&mut tail, schedule, Some(*score));
+                        }
+                        tail.push(']');
+                    })
+            }
+        }
+        // Unreachable by construction (the hub slot and the query share the
+        // case study), but a wrong answer must never escape as a 5xx.
+        _ => {
+            return Outcome::Err {
+                status: 503,
+                code: "model_mismatch",
+                message: "loaded model does not match the query's case study".into(),
+            }
+        }
+    };
+
+    match rendered {
+        Ok(()) => {
+            tail.push_str("}\n");
+            Outcome::Ok {
+                body_tail: tail,
+                generation: model.generation,
+            }
+        }
+        Err(err) => domain_error(&err),
+    }
+}
+
+fn render_score(out: &mut String, score: Option<f32>) {
+    if let Some(s) = score {
+        out.push_str(",\"score\":");
+        write_f64(out, f64::from(s));
+    }
+}
+
+fn render_array(
+    out: &mut String,
+    rows: u64,
+    cols: u64,
+    dataflow: airchitect_sim::Dataflow,
+    score: Option<f32>,
+) {
+    out.push_str("{\"rows\":");
+    out.push_str(&rows.to_string());
+    out.push_str(",\"cols\":");
+    out.push_str(&cols.to_string());
+    out.push_str(",\"macs\":");
+    out.push_str(&(rows * cols).to_string());
+    out.push_str(",\"dataflow\":\"");
+    out.push_str(&dataflow.to_string());
+    out.push('"');
+    render_score(out, score);
+    out.push('}');
+}
+
+fn render_buffers(out: &mut String, ifmap: u64, filter: u64, ofmap: u64, score: Option<f32>) {
+    out.push_str("{\"ifmap_kb\":");
+    out.push_str(&ifmap.to_string());
+    out.push_str(",\"filter_kb\":");
+    out.push_str(&filter.to_string());
+    out.push_str(",\"ofmap_kb\":");
+    out.push_str(&ofmap.to_string());
+    out.push_str(",\"total_kb\":");
+    out.push_str(&(ifmap + filter + ofmap).to_string());
+    render_score(out, score);
+    out.push('}');
+}
+
+fn render_schedule(out: &mut String, schedule: &airchitect_sim::multi::Schedule, score: Option<f32>) {
+    out.push_str("{\"assignments\":[");
+    for (array, assignment) in schedule.assignments.iter().enumerate() {
+        if array > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"array\":");
+        out.push_str(&array.to_string());
+        out.push_str(",\"workload\":");
+        out.push_str(&assignment.workload.to_string());
+        out.push_str(",\"dataflow\":\"");
+        out.push_str(&assignment.dataflow.to_string());
+        out.push_str("\"}");
+    }
+    out.push(']');
+    render_score(out, score);
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_job(tag: u64) -> (Job, mpsc::Receiver<Outcome>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                query: RecQuery::Array {
+                    workload: GemmWorkload::new(tag + 1, 64, 64).unwrap(),
+                    mac_budget: 1024,
+                },
+                topk: 0,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        let q = Queue::new(2);
+        let (j1, _r1) = dummy_job(1);
+        let (j2, _r2) = dummy_job(2);
+        let (j3, _r3) = dummy_job(3);
+        q.push(j1).unwrap();
+        q.push(j2).unwrap();
+        assert_eq!(q.push(j3).unwrap_err(), PushError::Full);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn zero_depth_rejects_everything() {
+        let q = Queue::new(0);
+        let (j, _r) = dummy_job(1);
+        assert_eq!(q.push(j).unwrap_err(), PushError::Full);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_but_drains_old() {
+        let q = Queue::new(8);
+        let (j1, _r1) = dummy_job(1);
+        q.push(j1).unwrap();
+        q.shutdown();
+        let (j2, _r2) = dummy_job(2);
+        assert_eq!(q.push(j2).unwrap_err(), PushError::ShuttingDown);
+        assert_eq!(q.pop_batch(16).len(), 1, "queued job survives shutdown");
+        assert!(q.pop_batch(16).is_empty(), "then the exit signal");
+    }
+
+    #[test]
+    fn pop_batch_respects_batch_max() {
+        let q = Queue::new(16);
+        let mut receivers = Vec::new();
+        for i in 0..10 {
+            let (j, r) = dummy_job(i);
+            q.push(j).unwrap();
+            receivers.push(r);
+        }
+        assert_eq!(q.pop_batch(4).len(), 4);
+        assert_eq!(q.pop_batch(4).len(), 4);
+        assert_eq!(q.pop_batch(4).len(), 2);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_shutdown() {
+        let q = Arc::new(Queue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_batch(4));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.shutdown();
+        assert!(h.join().unwrap().is_empty());
+    }
+}

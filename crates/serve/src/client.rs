@@ -1,0 +1,123 @@
+//! A minimal blocking HTTP/1.1 client, just capable enough to drive the
+//! server from the loadgen bench and the integration tests (keep-alive,
+//! `Content-Length` bodies, no redirects, no TLS).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body text (responses from this server are UTF-8).
+    pub body: String,
+    /// Parsed `Retry-After` header, if present.
+    pub retry_after: Option<u64>,
+}
+
+impl ClientResponse {
+    /// Whether the status is a success (2xx).
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects, with a read timeout so tests cannot hang forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Issues a `GET` and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, "")
+    }
+
+    /// Issues a `POST` with a JSON body and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, body)
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: airchitect\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad(format!("bad status line `{}`", line.trim_end())))?;
+
+        let mut content_length = 0usize;
+        let mut retry_after = None;
+        loop {
+            line.clear();
+            self.reader.read_line(&mut line)?;
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad Content-Length `{value}`")))?;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.parse().ok();
+                }
+            }
+        }
+
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            body: String::from_utf8(body).map_err(|_| bad("non-UTF-8 body".into()))?,
+            retry_after,
+        })
+    }
+}

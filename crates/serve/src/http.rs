@@ -1,0 +1,311 @@
+//! Minimal HTTP/1.1 message handling: enough of the protocol for a JSON
+//! API behind `curl` and the loadgen bench — request-line + headers +
+//! `Content-Length` bodies, keep-alive, and fixed-size limits. No chunked
+//! encoding, no TLS, no multiplexing.
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body, bytes.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query strings are not split off; the API does
+    /// not use them).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly before a request started.
+    Closed,
+    /// The read timed out (idle keep-alive connection).
+    TimedOut,
+    /// Malformed or over-limit request; the server should answer with the
+    /// given status and close.
+    Bad {
+        /// Status code to answer with (400 or 413).
+        status: u16,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Any other socket error.
+    Io(std::io::Error),
+}
+
+fn bad(status: u16, reason: impl Into<String>) -> ReadError {
+    ReadError::Bad {
+        status,
+        reason: reason.into(),
+    }
+}
+
+/// Reads one request from a buffered stream.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on close, timeout, malformed input, or I/O
+/// failure.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+
+    // Request line. An immediate EOF here is a clean close, not an error.
+    if read_crlf_line(reader, &mut line, &mut head_bytes)? == 0 {
+        return Err(ReadError::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad(400, "empty request line"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| bad(400, "request line has no target"))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(400, format!("unsupported version `{version}`")));
+    }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        read_crlf_line(reader, &mut line, &mut head_bytes)?;
+        if line.is_empty() {
+            break; // end of headers
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(400, format!("malformed header `{line}`")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| bad(400, "bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(bad(400, "chunked bodies are not supported"));
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad(413, format!("body of {content_length} bytes")));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(map_io)?;
+    }
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// Reads one `\r\n`-terminated line into `line` (terminator stripped),
+/// returning the number of raw bytes consumed (0 only at EOF before any
+/// byte).
+fn read_crlf_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> Result<usize, ReadError> {
+    line.clear();
+    let n = reader.read_line(line).map_err(map_io)?;
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(bad(413, "request head too large"));
+    }
+    if n > 0 && !line.ends_with('\n') {
+        return Err(bad(400, "truncated request"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(n)
+}
+
+fn map_io(e: std::io::Error) -> ReadError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadError::TimedOut,
+        std::io::ErrorKind::UnexpectedEof => ReadError::Closed,
+        _ => ReadError::Io(e),
+    }
+}
+
+/// One response to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body text.
+    pub body: String,
+    /// Optional `Retry-After` header (seconds), set on 429s.
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// A JSON error body `{"error": ..., "code": ...}`.
+    pub fn error(status: u16, code: &str, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        airchitect_telemetry::json::write_escaped(&mut body, message);
+        body.push_str(",\"code\":");
+        airchitect_telemetry::json::write_escaped(&mut body, code);
+        body.push_str("}\n");
+        Self::json(status, body)
+    }
+
+    /// A plain-text response (the `/metrics` endpoint).
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+            retry_after: None,
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `resp` to `stream`, honoring `keep_alive`.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r = parse("POST /v1/recommend/array HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}")
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/recommend/array");
+        assert_eq!(r.body, b"{}");
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let r = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn eof_is_a_clean_close() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_with_413() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(&raw),
+            Err(ReadError::Bad { status: 413, .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_is_a_400() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(ReadError::Bad { status: 400, .. })
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ReadError::Bad { status: 400, .. })
+        ));
+    }
+
+    #[test]
+    fn response_writing_round_trips() {
+        let mut out = Vec::new();
+        let mut resp = Response::json(429, "{}".into());
+        resp.retry_after = Some(1);
+        write_response(&mut out, &resp, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

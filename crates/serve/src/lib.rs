@@ -1,0 +1,117 @@
+//! `airchitect-serve` — a std-only HTTP/1.1 inference server that turns the
+//! constant-time [`Recommender`](airchitect::Recommender) into a long-lived
+//! service (the "learned optimizer as a service" framing of AIRCHITECT v2
+//! and ArchGym).
+//!
+//! The socket handling is deliberately boring; the subsystem is the serving
+//! machinery around it:
+//!
+//! * **Admission control** ([`batch::Queue`]) — a bounded request queue.
+//!   When it is full, recommendation requests are rejected immediately with
+//!   `429 Too Many Requests` and a `Retry-After` header instead of piling
+//!   latency onto every queued caller.
+//! * **Micro-batching** ([`batch`]) — a fixed pool of worker threads drains
+//!   the queue in batches, snapshots the current model once per batch, and
+//!   answers every job in the batch from that snapshot.
+//! * **Response caching** ([`cache`]) — an LRU keyed on the canonicalized
+//!   query (exact integer parameters, not the JSON text), with hit/miss
+//!   counters in the telemetry registry. Entries are stamped with the model
+//!   generation that produced them, so a hot-reload implicitly invalidates
+//!   the whole cache without racing in-flight insertions.
+//! * **Hot reload** ([`reload::ModelHub`]) — `POST /v1/reload` re-reads the
+//!   registered model files (checksum-verified by the `AIRM` codec) and
+//!   atomically swaps an `Arc` per case study. In-flight batches finish on
+//!   the model they snapshotted; no request ever mixes two models.
+//! * **Graceful shutdown** ([`listener`]) — `POST /v1/shutdown` stops the
+//!   accept loop, lets the workers drain the queue, joins every connection
+//!   thread, and returns from [`Server::run`] so the process can exit 0.
+//!
+//! Routes:
+//!
+//! | Route                        | Method | Purpose                            |
+//! |------------------------------|--------|------------------------------------|
+//! | `/v1/recommend/array`        | POST   | CS1: array shape + dataflow        |
+//! | `/v1/recommend/buffers`      | POST   | CS2: SRAM buffer split             |
+//! | `/v1/recommend/schedule`     | POST   | CS3: multi-array schedule          |
+//! | `/v1/reload`                 | POST   | atomic model hot-reload            |
+//! | `/v1/shutdown`               | POST   | drain-then-exit                    |
+//! | `/healthz`                   | GET    | liveness + loaded models           |
+//! | `/metrics`                   | GET    | telemetry registry, text format    |
+//!
+//! All recommendation bodies are JSON; `topk` requests a ranked list. The
+//! crate is zero-dependency (std plus the in-workspace crates) — JSON
+//! parsing is borrowed from `airchitect-telemetry`'s hand-rolled parser.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod listener;
+pub mod reload;
+pub mod router;
+
+use std::path::PathBuf;
+
+pub use listener::Server;
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:8080`; port 0 picks an ephemeral
+    /// port (read it back via [`Server::local_addr`]).
+    pub addr: String,
+    /// Trained `.airm` model files, at most one per case study. The paths
+    /// are remembered for hot-reload.
+    pub model_paths: Vec<PathBuf>,
+    /// Inference worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue depth; a full queue rejects with 429. Zero rejects
+    /// every uncached request (useful for admission-control testing).
+    pub queue_depth: usize,
+    /// Maximum jobs drained into one micro-batch.
+    pub batch_max: usize,
+    /// LRU response-cache capacity in entries; zero disables caching.
+    pub cache_capacity: usize,
+    /// Idle keep-alive / read timeout per connection, seconds. Also bounds
+    /// how long graceful shutdown waits for silent connections.
+    pub read_timeout_secs: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            model_paths: Vec::new(),
+            workers: 2,
+            queue_depth: 256,
+            batch_max: 16,
+            cache_capacity: 4096,
+            read_timeout_secs: 5,
+        }
+    }
+}
+
+/// Error produced when configuring, binding, or running a server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Invalid configuration (no models, zero workers, ...).
+    Config(String),
+    /// A model file failed to load or validate.
+    Model(String),
+    /// Socket-level failure, stringified.
+    Io(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "server config: {msg}"),
+            ServeError::Model(msg) => write!(f, "model: {msg}"),
+            ServeError::Io(msg) => write!(f, "server i/o: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

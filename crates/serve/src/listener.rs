@@ -1,0 +1,289 @@
+//! The server: socket accept loop, per-connection request handling, and
+//! the graceful drain-then-exit shutdown sequence.
+//!
+//! Shutdown protocol (`POST /v1/shutdown`):
+//!
+//! 1. the handling connection gets its `200` *before* anything stops;
+//! 2. the shutdown flag flips, so every connection closes after its
+//!    in-flight request and the accept loop stops admitting sockets;
+//! 3. the queue stops admitting jobs but drains what it holds; workers
+//!    exit once it is empty;
+//! 4. [`Server::run`] joins every worker and connection thread and
+//!    returns `Ok`, letting the process exit 0.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use airchitect_telemetry::metrics;
+
+use crate::batch::{spawn_workers, Job, PushError, Queue};
+use crate::cache::{CachedResponse, LruCache};
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::reload::ModelHub;
+use crate::router::{self, Route};
+use crate::{ServeConfig, ServeError};
+
+/// State shared by the accept loop and every connection thread.
+struct Inner {
+    hub: Arc<ModelHub>,
+    queue: Arc<Queue>,
+    cache: Mutex<LruCache>,
+    shutdown: AtomicBool,
+    read_timeout: Option<Duration>,
+}
+
+/// A bound, ready-to-run inference server. Dropping it without calling
+/// [`Server::run`] leaks nothing but joins nothing either; `run` owns the
+/// full lifecycle.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Loads the models, binds the socket, and starts the worker pool.
+    /// Also enables telemetry recording (the serve counters are the
+    /// product surface of `/metrics`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] for bad configuration, model load failures,
+    /// or bind failures.
+    pub fn bind(config: &ServeConfig) -> Result<Self, ServeError> {
+        airchitect_telemetry::enable();
+        let hub = Arc::new(ModelHub::load(&config.model_paths)?);
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+        let queue = Arc::new(Queue::new(config.queue_depth));
+        let workers = spawn_workers(
+            config.workers,
+            config.batch_max,
+            Arc::clone(&queue),
+            Arc::clone(&hub),
+        );
+        let read_timeout = if config.read_timeout_secs == 0 {
+            None
+        } else {
+            Some(Duration::from_secs(config.read_timeout_secs))
+        };
+        Ok(Self {
+            listener,
+            addr,
+            inner: Arc::new(Inner {
+                hub,
+                queue,
+                cache: Mutex::new(LruCache::new(config.cache_capacity)),
+                shutdown: AtomicBool::new(false),
+                read_timeout,
+            }),
+            workers,
+        })
+    }
+
+    /// The bound address (read the ephemeral port back after `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until `POST /v1/shutdown`, then drains and joins everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] only for accept-loop failures; per-
+    /// connection errors are handled on their own threads.
+    pub fn run(mut self) -> Result<(), ServeError> {
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) => {
+                    if self.inner.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    return Err(ServeError::Io(format!("accept: {e}")));
+                }
+            };
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                // The wake-up connection (or a late client); don't serve it.
+                break;
+            }
+            let inner = Arc::clone(&self.inner);
+            // Reap finished connection threads opportunistically so a
+            // long-lived server doesn't accumulate handles.
+            connections.retain(|h| !h.is_finished());
+            connections.push(
+                std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_connection(stream, &inner))
+                    .expect("spawn connection thread"),
+            );
+        }
+        // Drain: no new jobs, workers exit when the queue is empty.
+        self.inner.queue.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Flips the shutdown flag and unblocks the accept loop by connecting to
+/// ourselves (std has no way to interrupt a blocking `accept`).
+fn initiate_shutdown(inner: &Inner, addr: SocketAddr) {
+    inner.shutdown.store(true, Ordering::Release);
+    let _ = TcpStream::connect(addr);
+}
+
+fn handle_connection(stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(inner.read_timeout);
+    let local = match stream.local_addr() {
+        Ok(a) => a,
+        Err(_) => return,
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ReadError::Closed | ReadError::TimedOut | ReadError::Io(_)) => return,
+            Err(ReadError::Bad { status, reason }) => {
+                let resp = Response::error(status, "bad_request", &reason);
+                let _ = write_response(&mut writer, &resp, false);
+                return;
+            }
+        };
+        let (response, wants_shutdown) = handle_request(&request, inner);
+        // Once draining, finish this response and close the connection.
+        let draining = wants_shutdown || inner.shutdown.load(Ordering::Acquire);
+        let keep_alive = request.keep_alive && !draining;
+        if write_response(&mut writer, &response, keep_alive).is_err() {
+            return;
+        }
+        if wants_shutdown {
+            initiate_shutdown(inner, local);
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request. The `bool` is the shutdown signal: the response
+/// must be written before the server starts tearing itself down.
+fn handle_request(request: &Request, inner: &Inner) -> (Response, bool) {
+    let route = match router::route(&request.method, &request.path) {
+        Ok(r) => r,
+        Err(resp) => return (resp, false),
+    };
+    match route {
+        Route::Healthz => (router::render_healthz(&inner.hub), false),
+        Route::Metrics => (router::render_metrics(), false),
+        Route::Shutdown => (
+            Response::json(200, "{\"shutting_down\":true}\n".into()),
+            true,
+        ),
+        Route::Reload => match inner.hub.reload() {
+            Ok(_) => (router::render_reloaded(&inner.hub), false),
+            // 409, not 5xx: the server is healthy, the *new* artifact is
+            // not; old models keep serving.
+            Err(e) => (
+                Response::error(409, "reload_failed", &e.to_string()),
+                false,
+            ),
+        },
+        Route::Recommend(case) => (recommend(case, &request.body, inner), false),
+    }
+}
+
+fn recommend(case: airchitect::model::CaseStudy, body: &[u8], inner: &Inner) -> Response {
+    metrics::SERVE_REQUESTS.inc();
+    let started = Instant::now();
+    let parsed = match router::parse_recommend(case, body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+
+    // Cache lookup, generation-checked against the live model.
+    let live_generation = inner.hub.generation();
+    let hit = inner
+        .cache
+        .lock()
+        .expect("cache poisoned")
+        .get(&parsed.cache_key, live_generation);
+    if let Some(cached) = hit {
+        metrics::SERVE_CACHE_HITS.inc();
+        let body = format!("{{\"cached\":true,{}", cached.body_tail);
+        metrics::SERVE_REQUEST_US.record(started.elapsed().as_micros() as u64);
+        return Response::json(200, body);
+    }
+    metrics::SERVE_CACHE_MISSES.inc();
+
+    // Admission control: reject-on-full keeps queue latency bounded.
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        query: parsed.query,
+        topk: parsed.topk,
+        reply: reply_tx,
+    };
+    match inner.queue.push(job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            let mut resp = Response::error(
+                429,
+                "queue_full",
+                "request queue is full; retry shortly",
+            );
+            resp.retry_after = Some(1);
+            return resp;
+        }
+        Err(PushError::ShuttingDown) => {
+            return Response::error(503, "draining", "server is shutting down");
+        }
+    }
+
+    let outcome = match reply_rx.recv() {
+        Ok(o) => o,
+        // Workers only exit during shutdown, after draining the queue.
+        Err(_) => return Response::error(503, "draining", "server is shutting down"),
+    };
+    let response = match outcome {
+        crate::batch::Outcome::Ok {
+            body_tail,
+            generation,
+        } => {
+            let body = format!("{{\"cached\":false,{body_tail}");
+            inner.cache.lock().expect("cache poisoned").put(
+                parsed.cache_key,
+                CachedResponse {
+                    body_tail,
+                    generation,
+                },
+            );
+            Response::json(200, body)
+        }
+        crate::batch::Outcome::Err {
+            status,
+            code,
+            message,
+        } => Response::error(status, code, &message),
+    };
+    metrics::SERVE_REQUEST_US.record(started.elapsed().as_micros() as u64);
+    response
+}

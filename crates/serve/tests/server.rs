@@ -1,0 +1,276 @@
+//! Integration: the full server over real sockets — routing, caching,
+//! admission control, hot reload, and graceful shutdown.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+use airchitect::persist;
+use airchitect_data::Dataset;
+use airchitect_nn::train::TrainConfig;
+use airchitect_serve::client::HttpClient;
+use airchitect_serve::{ServeConfig, ServeError, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Trains and persists one tiny model per case study, once per process.
+fn model_file(case: CaseStudy) -> PathBuf {
+    static FILES: OnceLock<[PathBuf; 3]> = OnceLock::new();
+    let files = FILES.get_or_init(|| {
+        // (feature_dim, classes): CS1 = the 2^5-budget space (30 labels),
+        // CS2 = the paper's 1000-label grid, CS3 = the 1944-label space.
+        let specs = [
+            (CaseStudy::ArrayDataflow, 4usize, 30u32),
+            (CaseStudy::BufferSizing, 8, 1000),
+            (CaseStudy::MultiArrayScheduling, 12, 1944),
+        ];
+        specs.map(|(case, dim, classes)| {
+            let mut ds = Dataset::new(dim, classes).unwrap();
+            let mut row = vec![0f32; dim];
+            for i in 0..240usize {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = ((i * 31 + j * 7) % 97) as f32;
+                }
+                ds.push(&row, (i as u32 * 13) % classes).unwrap();
+            }
+            let mut model = AirchitectModel::new(
+                case,
+                &AirchitectConfig {
+                    num_classes: classes,
+                    train: TrainConfig {
+                        epochs: 2,
+                        batch_size: 64,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            model.train(&ds).unwrap();
+            let path = std::env::temp_dir().join(format!(
+                "airchitect-serve-test-{}-{}.airm",
+                std::process::id(),
+                case.name().replace(' ', "-")
+            ));
+            persist::save(&model, &path).unwrap();
+            path
+        })
+    });
+    match case {
+        CaseStudy::ArrayDataflow => files[0].clone(),
+        CaseStudy::BufferSizing => files[1].clone(),
+        CaseStudy::MultiArrayScheduling => files[2].clone(),
+    }
+}
+
+fn all_models() -> Vec<PathBuf> {
+    CaseStudy::ALL.iter().map(|&c| model_file(c)).collect()
+}
+
+type ServerHandle = JoinHandle<Result<(), ServeError>>;
+
+fn start(config: ServeConfig) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind(&config).expect("server binds");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn default_config(models: Vec<PathBuf>) -> ServeConfig {
+    ServeConfig {
+        model_paths: models,
+        read_timeout_secs: 30,
+        ..ServeConfig::default()
+    }
+}
+
+fn shutdown(addr: SocketAddr, handle: ServerHandle) {
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let resp = client.post("/v1/shutdown", "").unwrap();
+    assert_eq!(resp.status, 200);
+    handle
+        .join()
+        .expect("server thread must not panic")
+        .expect("graceful shutdown must return Ok");
+}
+
+const ARRAY_BODY: &str = r#"{"m":128,"n":64,"k":256,"mac_budget":1024}"#;
+const BUFFERS_BODY: &str = r#"{"m":256,"n":256,"k":256,"rows":32,"cols":32,"limit_kb":1500}"#;
+const SCHEDULE_BODY: &str = r#"{"workloads":[{"m":64,"n":64,"k":64},{"m":128,"n":128,"k":128},{"m":256,"n":64,"k":32},{"m":96,"n":96,"k":96}]}"#;
+
+#[test]
+fn healthz_and_every_endpoint_answer() {
+    let (addr, handle) = start(default_config(all_models()));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    for case in ["array", "buffers", "schedule"] {
+        assert!(health.body.contains(case), "healthz lists `{case}`: {}", health.body);
+    }
+
+    for (path, body, expect) in [
+        ("/v1/recommend/array", ARRAY_BODY, "\"dataflow\""),
+        ("/v1/recommend/buffers", BUFFERS_BODY, "\"ifmap_kb\""),
+        ("/v1/recommend/schedule", SCHEDULE_BODY, "\"assignments\""),
+    ] {
+        let resp = client.post(path, body).unwrap();
+        assert_eq!(resp.status, 200, "{path}: {}", resp.body);
+        assert!(resp.body.starts_with("{\"cached\":false,"), "{path}: {}", resp.body);
+        assert!(resp.body.contains("\"result\":"), "{path}: {}", resp.body);
+        assert!(resp.body.contains(expect), "{path}: {}", resp.body);
+    }
+
+    // Top-k returns a ranked list with scores.
+    let body = r#"{"m":128,"n":64,"k":256,"mac_budget":1024,"topk":3}"#;
+    let resp = client.post("/v1/recommend/array", body).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"results\":["), "{}", resp.body);
+    assert!(resp.body.contains("\"score\":"), "{}", resp.body);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn repeat_queries_hit_the_cache_and_metrics_show_it() {
+    let (addr, handle) = start(default_config(all_models()));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    let first = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert!(first.body.starts_with("{\"cached\":false,"), "{}", first.body);
+    // Same query, different JSON formatting: still a cache hit.
+    let reordered = r#"{ "mac_budget": 1024, "k": 256, "n": 64, "m": 128 }"#;
+    let second = client.post("/v1/recommend/array", reordered).unwrap();
+    assert!(second.body.starts_with("{\"cached\":true,"), "{}", second.body);
+    // Identical payload after the flag.
+    assert_eq!(
+        first.body.trim_start_matches("{\"cached\":false,"),
+        second.body.trim_start_matches("{\"cached\":true,"),
+    );
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics.body.lines().any(|l| {
+            l.split_once(' ')
+                .is_some_and(|(k, v)| k == "serve.cache_hits" && v.parse::<u64>().unwrap_or(0) > 0)
+        }),
+        "metrics must report cache hits:\n{}",
+        metrics.body
+    );
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    // Depth 0 = every uncached request is rejected at admission.
+    let config = ServeConfig {
+        queue_depth: 0,
+        cache_capacity: 0,
+        ..default_config(vec![model_file(CaseStudy::ArrayDataflow)])
+    };
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 429);
+    assert_eq!(resp.retry_after, Some(1), "429 must carry Retry-After");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn unloaded_case_answers_503() {
+    let (addr, handle) = start(default_config(vec![model_file(CaseStudy::ArrayDataflow)]));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let resp = client.post("/v1/recommend/buffers", BUFFERS_BODY).unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert!(resp.body.contains("model_not_loaded"), "{}", resp.body);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn bad_requests_get_4xx_not_5xx() {
+    let (addr, handle) = start(default_config(vec![model_file(CaseStudy::ArrayDataflow)]));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    for (path, body, status) in [
+        ("/v1/recommend/array", r#"{"m":0,"n":8,"k":8}"#, 400),
+        ("/v1/recommend/array", "{not json", 400),
+        ("/v1/recommend/array", r#"{"m":8,"n":8,"k":8,"oops":1}"#, 400),
+        // A 2-MAC budget admits no array: domain-infeasible is 422.
+        ("/v1/recommend/array", r#"{"m":8,"n":8,"k":8,"mac_budget":2}"#, 422),
+        ("/v1/nope", "{}", 404),
+    ] {
+        let resp = client.post(path, body).unwrap();
+        assert_eq!(resp.status, status, "{path} {body}: {}", resp.body);
+    }
+    let resp = client.get("/v1/reload").unwrap();
+    assert_eq!(resp.status, 405);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn reload_bumps_the_generation_and_invalidates_the_cache() {
+    let (addr, handle) = start(default_config(vec![model_file(CaseStudy::ArrayDataflow)]));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    let first = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert!(first.body.contains("\"generation\":1"), "{}", first.body);
+    let cached = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert!(cached.body.starts_with("{\"cached\":true,"), "{}", cached.body);
+
+    let reload = client.post("/v1/reload", "").unwrap();
+    assert_eq!(reload.status, 200, "{}", reload.body);
+    assert!(reload.body.contains("\"generation\":2"), "{}", reload.body);
+
+    // The old cache entry is generation-stale: recomputed, not served.
+    let after = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert!(after.body.starts_with("{\"cached\":false,"), "{}", after.body);
+    assert!(after.body.contains("\"generation\":2"), "{}", after.body);
+    // And the fresh entry caches again.
+    let again = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert!(again.body.starts_with("{\"cached\":true,"), "{}", again.body);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn concurrent_load_with_reloads_never_sees_5xx() {
+    const THREADS: usize = 6;
+    const REQUESTS: usize = 60;
+    let (addr, handle) = start(default_config(vec![model_file(CaseStudy::ArrayDataflow)]));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+                for i in 0..REQUESTS {
+                    if tid == 0 && i % 10 == 5 {
+                        let resp = client.post("/v1/reload", "").unwrap();
+                        assert_eq!(resp.status, 200, "reload: {}", resp.body);
+                        continue;
+                    }
+                    let body = format!(
+                        "{{\"m\":{},\"n\":64,\"k\":64,\"mac_budget\":1024}}",
+                        8 + (tid * REQUESTS + i) % 32
+                    );
+                    let resp = client.post("/v1/recommend/array", &body).unwrap();
+                    assert!(
+                        resp.status < 500,
+                        "5xx under reload load: {} {}",
+                        resp.status,
+                        resp.body
+                    );
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("load thread panicked");
+    }
+
+    shutdown(addr, handle);
+}

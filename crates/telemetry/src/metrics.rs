@@ -257,6 +257,20 @@ pub static CHECKPOINT_SAVES: Counter = Counter::new("checkpoint.saves");
 pub static GEMM_DISPATCH_AVX2: Counter = Counter::new("gemm.kernel_dispatch.avx2");
 /// GEMM micro-kernel blocks dispatched to the portable scalar path.
 pub static GEMM_DISPATCH_SCALAR: Counter = Counter::new("gemm.kernel_dispatch.scalar");
+/// HTTP requests accepted by the inference server (any route).
+pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+/// Recommendation requests rejected with 429 because the queue was full.
+pub static SERVE_REJECTED: Counter = Counter::new("serve.rejected");
+/// Recommendation responses served from the LRU cache.
+pub static SERVE_CACHE_HITS: Counter = Counter::new("serve.cache_hits");
+/// Recommendation requests that missed the cache and ran inference.
+pub static SERVE_CACHE_MISSES: Counter = Counter::new("serve.cache_misses");
+/// Micro-batches drained from the server queue by the worker pool.
+pub static SERVE_BATCHES: Counter = Counter::new("serve.batches");
+/// Jobs executed inside those micro-batches.
+pub static SERVE_BATCHED_JOBS: Counter = Counter::new("serve.batched_jobs");
+/// Successful model hot-reloads.
+pub static SERVE_RELOADS: Counter = Counter::new("serve.reloads");
 
 /// Latest training loss.
 pub static TRAIN_LOSS: Gauge = Gauge::new("train.loss");
@@ -269,8 +283,12 @@ pub static TRAIN_BATCH_US: Histogram = Histogram::new("train.batch_us");
 pub static INFER_QUERY_US: Histogram = Histogram::new("infer.query_us");
 /// Checkpoint persistence latency, microseconds.
 pub static CHECKPOINT_SAVE_US: Histogram = Histogram::new("checkpoint.save_us");
+/// End-to-end server request latency (parse to response write), microseconds.
+pub static SERVE_REQUEST_US: Histogram = Histogram::new("serve.request_us");
+/// Jobs per drained micro-batch (a size distribution, not a latency).
+pub static SERVE_BATCH_JOBS: Histogram = Histogram::new("serve.batch_jobs");
 
-static COUNTERS: [&Counter; 12] = [
+static COUNTERS: [&Counter; 19] = [
     &SIM_EVALS,
     &DSE_SEARCHES,
     &DSE_SEARCH_POINTS,
@@ -283,9 +301,22 @@ static COUNTERS: [&Counter; 12] = [
     &CHECKPOINT_SAVES,
     &GEMM_DISPATCH_AVX2,
     &GEMM_DISPATCH_SCALAR,
+    &SERVE_REQUESTS,
+    &SERVE_REJECTED,
+    &SERVE_CACHE_HITS,
+    &SERVE_CACHE_MISSES,
+    &SERVE_BATCHES,
+    &SERVE_BATCHED_JOBS,
+    &SERVE_RELOADS,
 ];
 static GAUGES: [&Gauge; 2] = [&TRAIN_LOSS, &TRAIN_ACCURACY];
-static HISTOGRAMS: [&Histogram; 3] = [&TRAIN_BATCH_US, &INFER_QUERY_US, &CHECKPOINT_SAVE_US];
+static HISTOGRAMS: [&Histogram; 5] = [
+    &TRAIN_BATCH_US,
+    &INFER_QUERY_US,
+    &CHECKPOINT_SAVE_US,
+    &SERVE_REQUEST_US,
+    &SERVE_BATCH_JOBS,
+];
 
 /// Every registered counter.
 pub fn counters() -> &'static [&'static Counter] {

@@ -10,7 +10,8 @@
 //! * [`dse`] — output spaces, exhaustive searchers, dataset generators,
 //! * [`tensor`] / [`nn`] — the from-scratch ML substrate,
 //! * [`classifiers`] — the Fig. 9 baseline model zoo,
-//! * [`core`] — the AIrchitect model, pipelines, and recommendation API.
+//! * [`core`] — the AIrchitect model, pipelines, and recommendation API,
+//! * [`serve`] — the batched, hot-reloadable HTTP inference server.
 //!
 //! See the workspace README for the quickstart and DESIGN.md for the system
 //! inventory.
@@ -22,6 +23,7 @@ pub use airchitect_classifiers as classifiers;
 pub use airchitect_data as data;
 pub use airchitect_dse as dse;
 pub use airchitect_nn as nn;
+pub use airchitect_serve as serve;
 pub use airchitect_sim as sim;
 pub use airchitect_tensor as tensor;
 pub use airchitect_workload as workload;

@@ -1,0 +1,161 @@
+//! Integration: one shared `Recommender` per case study, hammered from many
+//! threads at once, must answer exactly like the single-threaded run.
+//!
+//! This pins the `Send + Sync` contract the serving layer depends on:
+//! inference is `&self`, has no interior mutability, and therefore needs no
+//! locking around the hot path. A regression that adds hidden state (a
+//! cache, a scratch buffer, an RNG) would show up here as cross-thread
+//! nondeterminism.
+
+use airchitect_repro::core::pipeline::{run_case1, run_case2, run_case3, PipelineConfig};
+use airchitect_repro::core::Recommender;
+use airchitect_repro::dse::case1::Case1Problem;
+use airchitect_repro::dse::case2::{Case2Problem, Case2Query};
+use airchitect_repro::dse::case3::Case3Problem;
+use airchitect_repro::sim::multi::Schedule;
+use airchitect_repro::sim::{ArrayConfig, Dataflow};
+use airchitect_repro::workload::GemmWorkload;
+
+const THREADS: usize = 8;
+/// Passes per thread, so every thread answers every query several times.
+const ROUNDS: usize = 3;
+
+fn quick() -> PipelineConfig {
+    PipelineConfig {
+        samples: 400,
+        epochs: 4,
+        batch_size: 64,
+        seed: 17,
+        stratify: false,
+        threads: 1,
+    }
+}
+
+fn cs1_queries() -> Vec<(GemmWorkload, u64)> {
+    let mut queries = Vec::new();
+    for (m, n, k) in [(128, 64, 256), (1024, 1024, 64), (32, 512, 512), (64, 64, 64)] {
+        for budget_log2 in [7u32, 8, 9] {
+            queries.push((GemmWorkload::new(m, n, k).unwrap(), 1u64 << budget_log2));
+        }
+    }
+    queries
+}
+
+fn cs2_queries() -> Vec<Case2Query> {
+    [(3136, 512, 1152, 2000), (256, 256, 256, 1500), (2048, 64, 512, 900)]
+        .into_iter()
+        .map(|(m, n, k, limit_kb)| Case2Query {
+            workload: GemmWorkload::new(m, n, k).unwrap(),
+            array: ArrayConfig::new(32, 32).unwrap(),
+            dataflow: Dataflow::Os,
+            bandwidth: 8,
+            limit_kb,
+        })
+        .collect()
+}
+
+fn cs3_queries() -> Vec<Vec<GemmWorkload>> {
+    [
+        [(2048, 512, 1024), (64, 64, 64), (1024, 32, 512), (196, 512, 256)],
+        [(128, 128, 128), (512, 512, 64), (96, 96, 96), (1024, 64, 1024)],
+    ]
+    .into_iter()
+    .map(|quad| {
+        quad.into_iter()
+            .map(|(m, n, k)| GemmWorkload::new(m, n, k).unwrap())
+            .collect()
+    })
+    .collect()
+}
+
+/// Everything a single-threaded pass computes, for exact comparison.
+#[derive(Debug, PartialEq)]
+struct Answers {
+    cs1: Vec<Result<(ArrayConfig, Dataflow), String>>,
+    cs1_topk: Vec<Vec<(ArrayConfig, Dataflow, f32)>>,
+    cs2: Vec<Result<(u64, u64, u64), String>>,
+    cs2_topk: Vec<Vec<(u64, u64, u64, f32)>>,
+    cs3: Vec<Schedule>,
+    cs3_topk: Vec<Vec<(Schedule, f32)>>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn answer_everything(
+    rec1: &Recommender,
+    rec2: &Recommender,
+    rec3: &Recommender,
+    p1: &Case1Problem,
+    p2: &Case2Problem,
+    p3: &Case3Problem,
+) -> Answers {
+    Answers {
+        cs1: cs1_queries()
+            .iter()
+            .map(|(wl, budget)| {
+                rec1.recommend_array(p1, wl, *budget)
+                    .map_err(|e| e.to_string())
+            })
+            .collect(),
+        cs1_topk: cs1_queries()
+            .iter()
+            .map(|(wl, budget)| rec1.recommend_array_topk(p1, wl, *budget, 5).unwrap())
+            .collect(),
+        cs2: cs2_queries()
+            .iter()
+            .map(|q| rec2.recommend_buffers(p2, q).map_err(|e| e.to_string()))
+            .collect(),
+        cs2_topk: cs2_queries()
+            .iter()
+            .map(|q| rec2.recommend_buffers_topk(p2, q, 5).unwrap())
+            .collect(),
+        cs3: cs3_queries()
+            .iter()
+            .map(|wls| rec3.recommend_schedule(p3, wls).unwrap())
+            .collect(),
+        cs3_topk: cs3_queries()
+            .iter()
+            .map(|wls| rec3.recommend_schedule_topk(p3, wls, 5).unwrap())
+            .collect(),
+    }
+}
+
+#[test]
+fn eight_threads_sharing_recommenders_match_single_threaded_answers() {
+    let rec1 = Recommender::new(run_case1(&quick(), (5, 9)).model).unwrap();
+    let rec2 = Recommender::new(run_case2(&quick()).model).unwrap();
+    let rec3 = Recommender::new(
+        run_case3(&PipelineConfig {
+            samples: 300,
+            ..quick()
+        })
+        .model,
+    )
+    .unwrap();
+    let p1 = Case1Problem::new(1 << 9);
+    let p2 = Case2Problem::new();
+    let p3 = Case3Problem::new();
+
+    let reference = answer_everything(&rec1, &rec2, &rec3, &p1, &p2, &p3);
+
+    // `thread::scope` with borrowed recommenders: this line is also the
+    // compile-time proof that `Recommender` is `Sync`.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    (0..ROUNDS)
+                        .map(|_| answer_everything(&rec1, &rec2, &rec3, &p1, &p2, &p3))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for answers in handle.join().expect("inference thread panicked") {
+                assert_eq!(
+                    answers, reference,
+                    "concurrent inference diverged from the single-threaded answers"
+                );
+            }
+        }
+    });
+}

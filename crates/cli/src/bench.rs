@@ -16,6 +16,9 @@
 //! * `serve` — loadgen against an in-process `airchitect-serve` server:
 //!   concurrent keep-alive clients, mid-run hot-reloads, client-side
 //!   p50/p95/p99 latency and sustained QPS.
+//! * `chaos` — (chaos-enabled builds only, not part of `all`) loadgen
+//!   under a scripted failpoint schedule; gates on zero wrong answers,
+//!   zero hangs, a bounded 5xx fraction, and post-fault recovery.
 //!
 //! JSON is hand-rolled (flat objects, fixed keys) to stay within the
 //! approved dependency set; `--quick` shrinks every suite for CI smoke
@@ -38,6 +41,7 @@ use airchitect_nn::optim::Optimizer;
 use airchitect_nn::train::{fit, TrainConfig};
 use airchitect_tensor::gemm::{self, Kernel};
 use airchitect_tensor::{ops, Matrix};
+use airchitect_sim::{ArrayConfig, Dataflow};
 use airchitect_workload::GemmWorkload;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -91,6 +95,9 @@ fn bench_inner(args: &Args) -> Result<(), CliError> {
         "infer" => bench_infer(&out_dir, quick)?,
         "dse" => bench_dse(&out_dir, quick)?,
         "serve" => bench_serve(&out_dir, quick)?,
+        // Deliberately not part of `all`: it needs a chaos-enabled build
+        // and measures robustness gates, not throughput.
+        "chaos" => bench_chaos(&out_dir, quick)?,
         "all" => {
             bench_train(&out_dir, samples, epochs, threads)?;
             bench_infer(&out_dir, quick)?;
@@ -99,7 +106,7 @@ fn bench_inner(args: &Args) -> Result<(), CliError> {
         }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown suite `{other}` (train|infer|dse|serve|all)"
+                "unknown suite `{other}` (train|infer|dse|serve|chaos|all)"
             )))
         }
     }
@@ -422,6 +429,7 @@ fn bench_serve(out_dir: &str, quick: bool) -> Result<(), CliError> {
         batch_max: 16,
         cache_capacity: 4096,
         read_timeout_secs: 30,
+        ..ServeConfig::default()
     };
     let server = Server::bind(&config).map_err(|e| CliError::Run(e.to_string()))?;
     let addr = server.local_addr();
@@ -560,4 +568,280 @@ fn bench_serve(out_dir: &str, quick: bool) -> Result<(), CliError> {
          \"p95_us\": {p95},\n  \"p99_us\": {p99}\n}}\n"
     );
     write_json(out_dir, "BENCH_serve.json", &body)
+}
+
+/// Renders a CS1 answer exactly as the server does, so response bodies can
+/// be compared byte-for-byte against a locally computed oracle.
+fn render_cs1(array: &ArrayConfig, df: Dataflow) -> String {
+    format!(
+        "\"rows\":{},\"cols\":{},\"macs\":{},\"dataflow\":\"{df}\"",
+        array.rows(),
+        array.cols(),
+        array.macs()
+    )
+}
+
+/// Loadgen under a scripted fault schedule. A conductor thread cycles
+/// failpoints — inference error bursts (trip the breaker, engaging the
+/// search fallback), latency injection, and worker panics — while
+/// keep-alive clients hammer `/v1/recommend/array`. Every 200 body must
+/// match either the precomputed model answer or the precomputed exhaustive
+/// optimum for its workload. Gates: zero wrong answers, zero hung clients,
+/// a bounded 5xx fraction, and full recovery once the faults drain.
+fn bench_chaos(out_dir: &str, quick: bool) -> Result<(), CliError> {
+    if !airchitect_chaos::is_enabled() {
+        return Err(CliError::Usage(
+            "suite `chaos` needs failpoints compiled in (rebuild with `--features chaos`)".into(),
+        ));
+    }
+    const CLIENTS: usize = 4;
+    const BUDGET: u64 = 1 << 10;
+    let requests: usize = if quick { 1_000 } else { 8_000 };
+    let timeout = Duration::from_secs(30);
+    println!("bench chaos: {requests} requests over {CLIENTS} clients under fault injection");
+
+    airchitect_chaos::reset();
+    let model_path = serve_model_file(if quick { 2_000 } else { 4_000 })?;
+
+    // Both oracles for every pooled workload: the model's own answer
+    // (healthy responses) and the exhaustive optimum (degraded responses).
+    let problem = Case1Problem::new(1 << CS1_BUDGET_LOG2);
+    let model = persist::load(&model_path).map_err(|e| CliError::Run(e.to_string()))?;
+    let rec = Recommender::new(model).map_err(|e| CliError::Run(e.to_string()))?;
+    let mut rng = StdRng::seed_from_u64(37);
+    let pool: Arc<Vec<(String, String, String)>> = Arc::new(
+        (0..48)
+            .map(|_| -> Result<(String, String, String), CliError> {
+                let wl = random_workload(&mut rng);
+                let body = format!(
+                    "{{\"m\":{},\"n\":{},\"k\":{},\"mac_budget\":{BUDGET}}}",
+                    wl.m(),
+                    wl.n(),
+                    wl.k()
+                );
+                let (array, df) = rec
+                    .recommend_array(&problem, &wl, BUDGET)
+                    .map_err(|e| CliError::Run(e.to_string()))?;
+                let from_model = render_cs1(&array, df);
+                let found = problem.search(&wl, BUDGET);
+                let (array, df) = problem
+                    .space()
+                    .decode(found.label)
+                    .ok_or_else(|| CliError::Run("search label out of space".into()))?;
+                Ok((body, from_model, render_cs1(&array, df)))
+            })
+            .collect::<Result<_, _>>()?,
+    );
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        model_paths: vec![model_path.clone()],
+        workers: 4,
+        queue_depth: 1024,
+        batch_max: 16,
+        cache_capacity: 0, // every answer must be computed under fault
+        read_timeout_secs: 30,
+        deadline_ms: 2_000,
+        breaker_threshold: 5,
+        breaker_cooldown_ms: 100,
+        fallback_search: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config).map_err(|e| CliError::Run(e.to_string()))?;
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Conductor: cycles the fault schedule until the load drains. Each
+    // entry is bounded (one-shot counts), so the 5xx budget is bounded too.
+    let done = Arc::new(AtomicBool::new(false));
+    let conductor = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || -> u64 {
+            let schedule = [
+                // Failure burst: exactly the breaker threshold, so the
+                // circuit opens, the fallback serves from search, and the
+                // first half-open probe after the cooldown recovers.
+                "serve.infer=err(other):1:5",
+                // Latency injection: rides under the 2 s deadline but
+                // exercises the queue under slow workers.
+                "serve.batch.dispatch=delay(40):0.3:20",
+                // A worker panic: must be isolated to one 500.
+                "serve.batch.dispatch=panic:1:1",
+            ];
+            // Healthy warmup: let the model path serve some of the load
+            // before the first fault lands.
+            std::thread::sleep(Duration::from_millis(50));
+            let mut cycles = 0u64;
+            while !done.load(Ordering::Acquire) {
+                for cfg in schedule {
+                    airchitect_chaos::configure_str(cfg).expect("valid schedule");
+                    std::thread::sleep(Duration::from_millis(60));
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                // Reload corruption: arm a one-shot read fault and trigger
+                // a reload. The server answers 409 (or 503 once the reload
+                // circuit opens) and keeps serving the old model; the
+                // clients' oracle checks prove no mixed-model answers leak.
+                airchitect_chaos::configure_str("serve.reload.read=err(other):1:1")
+                    .expect("valid schedule");
+                if let Ok(mut c) = HttpClient::connect(addr, Duration::from_secs(5)) {
+                    let _ = c.post("/v1/reload", "");
+                }
+                airchitect_chaos::reset();
+                cycles += 1;
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            airchitect_chaos::reset();
+            cycles
+        })
+    };
+
+    let wrong = Arc::new(AtomicU64::new(0));
+    let from_model_n = Arc::new(AtomicU64::new(0));
+    let from_search_n = Arc::new(AtomicU64::new(0));
+    let fivexx = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|tid| {
+            let pool = Arc::clone(&pool);
+            let wrong = Arc::clone(&wrong);
+            let from_model_n = Arc::clone(&from_model_n);
+            let from_search_n = Arc::clone(&from_search_n);
+            let fivexx = Arc::clone(&fivexx);
+            let rejected = Arc::clone(&rejected);
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client =
+                    HttpClient::connect(addr, timeout).map_err(|e| e.to_string())?;
+                let mut latencies = Vec::with_capacity(requests / CLIENTS);
+                for i in 0..requests / CLIENTS {
+                    let (body, from_model, from_search) = &pool[(tid + i * 7) % pool.len()];
+                    let sent = Instant::now();
+                    let resp = client
+                        .post("/v1/recommend/array", body)
+                        .map_err(|e| e.to_string())?;
+                    latencies.push(sent.elapsed().as_micros() as u64);
+                    match resp.status {
+                        200 => {
+                            let ok = (resp.body.contains("\"source\":\"model\"")
+                                && resp.body.contains(from_model))
+                                || (resp.body.contains("\"source\":\"search\"")
+                                    && resp.body.contains(from_search));
+                            if !ok {
+                                wrong.fetch_add(1, Ordering::Relaxed);
+                            } else if resp.body.contains("\"source\":\"search\"") {
+                                from_search_n.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                from_model_n.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        429 => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        s if s >= 500 => {
+                            fivexx.fetch_add(1, Ordering::Relaxed);
+                        }
+                        s => return Err(format!("unexpected {s}: {}", resp.body)),
+                    }
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests);
+    for handle in clients {
+        // A client that hangs past its 30 s read timeout (or dies on a
+        // socket error) fails the whole bench: the no-hang gate.
+        let thread_latencies = handle
+            .join()
+            .map_err(|_| CliError::Run("loadgen client panicked".into()))?
+            .map_err(|e| CliError::Run(format!("client hung or failed: {e}")))?;
+        latencies.extend(thread_latencies);
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    done.store(true, Ordering::Release);
+    let fault_cycles = conductor
+        .join()
+        .map_err(|_| CliError::Run("chaos conductor panicked".into()))?;
+
+    // Recovery gate: with the faults drained, the breaker's half-open
+    // probe must close the circuit and model serving must resume.
+    let mut client = HttpClient::connect(addr, timeout).map_err(|e| CliError::Run(e.to_string()))?;
+    let mut recovered = false;
+    for _ in 0..100 {
+        let resp = client
+            .post("/v1/recommend/array", &pool[0].0)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        if resp.status == 200 && resp.body.contains("\"source\":\"model\"") {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let resp = client
+        .post("/v1/shutdown", "")
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    if resp.status != 200 {
+        return Err(CliError::Run(format!("shutdown returned {}", resp.status)));
+    }
+    server_thread
+        .join()
+        .map_err(|_| CliError::Run("server thread panicked".into()))?
+        .map_err(|e| CliError::Run(format!("server exited with: {e}")))?;
+    let _ = std::fs::remove_file(&model_path);
+
+    if !recovered {
+        return Err(CliError::Run(
+            "server did not recover to model serving after faults drained".into(),
+        ));
+    }
+    let wrong = wrong.load(Ordering::Relaxed);
+    if wrong > 0 {
+        return Err(CliError::Run(format!(
+            "{wrong} responses did not match the model or search oracle"
+        )));
+    }
+    let fivexx = fivexx.load(Ordering::Relaxed);
+    // Injected faults are bounded per cycle (5 inference errors + 1
+    // panic); outside those windows the 5xx budget is 1% of the load.
+    let max_5xx = fault_cycles * 6 + (requests as u64).div_ceil(100);
+    if fivexx > max_5xx {
+        return Err(CliError::Run(format!(
+            "{fivexx} 5xx responses exceeds the {max_5xx} budget"
+        )));
+    }
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let qps = total as f64 / wall_secs;
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    let max_us = latencies.last().copied().unwrap_or(0);
+    let from_model_n = from_model_n.load(Ordering::Relaxed);
+    let from_search_n = from_search_n.load(Ordering::Relaxed);
+    let rejected = rejected.load(Ordering::Relaxed);
+    println!(
+        "  {qps:.0} req/s over {total} requests ({fault_cycles} fault cycles, \
+         {from_model_n} model, {from_search_n} fallback, {fivexx} 5xx, {rejected} 429)"
+    );
+    println!("  latency p50 {p50} us, p95 {p95} us, p99 {p99} us, max {max_us} us");
+
+    let body = format!(
+        "{{\n  \"suite\": \"chaos\",\n  \"case\": \"cs1\",\n  \"requests\": {total},\n  \
+         \"clients\": {CLIENTS},\n  \"fault_cycles\": {fault_cycles},\n  \
+         \"responses_model\": {from_model_n},\n  \"responses_search\": {from_search_n},\n  \
+         \"responses_5xx\": {fivexx},\n  \"responses_429\": {rejected},\n  \
+         \"wrong_answers\": {wrong},\n  \"hung_clients\": 0,\n  \
+         \"max_5xx_allowed\": {max_5xx},\n  \"recovered\": true,\n  \"qps\": {qps:.2},\n  \
+         \"p50_us\": {p50},\n  \"p95_us\": {p95},\n  \"p99_us\": {p99},\n  \
+         \"max_us\": {max_us}\n}}\n"
+    );
+    write_json(out_dir, "BENCH_chaos.json", &body)
 }

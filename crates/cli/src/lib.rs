@@ -168,23 +168,34 @@ COMMANDS:
   recommend  --model model.airm  plus the same query flags as `search`
              Constant-time recommendation from a trained model.
 
-  bench      [--suite train|infer|dse|serve|all] [--out-dir DIR] [--threads T]
-             [--samples N] [--epochs E] [--quick]
+  bench      [--suite train|infer|dse|serve|chaos|all] [--out-dir DIR]
+             [--threads T] [--samples N] [--epochs E] [--quick]
              Time the compute engine (training epochs vs the naive baseline,
              batched + single-query inference, DSE search throughput, HTTP
              serving with concurrent clients and mid-run hot-reloads) and
              write BENCH_<suite>.json artifacts. --quick shrinks every suite
-             for smoke runs.
+             for smoke runs. Suite `chaos` (not in `all`; needs a build with
+             `--features chaos`) drives loadgen under injected faults and
+             gates on zero wrong answers, zero hangs, and bounded 5xx.
 
   serve      --model model.airm[,model2.airm...] [--host H] [--port P]
              [--workers W] [--queue-depth D] [--batch-max B] [--cache-cap C]
-             [--read-timeout-secs S]
+             [--read-timeout-secs S] [--write-timeout-secs S]
+             [--deadline-ms MS] [--breaker-threshold N]
+             [--breaker-cooldown-ms MS] [--fallback search|none]
              Serve recommendations over HTTP: POST /v1/recommend/{array|
              buffers|schedule} (JSON bodies mirroring the `recommend` flags,
              plus "topk"), GET /healthz, GET /metrics, POST /v1/reload
              (atomic model hot-swap), POST /v1/shutdown (graceful drain).
              --port 0 binds an ephemeral port (printed on stdout). Requests
              beyond --queue-depth are rejected with 429 + Retry-After.
+             --deadline-ms caps end-to-end request time (clients can tighten
+             per request with X-Deadline-Ms; over-budget answers 504).
+             --breaker-threshold N opens a circuit after N consecutive
+             failures (0 disables; probes again after the cooldown).
+             --fallback search answers from exhaustive DSE search (stamped
+             "source":"search" + a Warning header) when a circuit is open or
+             a model failed to load, instead of 5xx.
 
   report     FILE (or --in FILE)
              Validate a telemetry JSON-lines file against the versioned

@@ -31,6 +31,11 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         "batch-max",
         "cache-cap",
         "read-timeout-secs",
+        "write-timeout-secs",
+        "deadline-ms",
+        "breaker-threshold",
+        "breaker-cooldown-ms",
+        "fallback",
     ])?;
     let model_paths: Vec<PathBuf> = args
         .required("model")?
@@ -56,6 +61,21 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
     if port > u64::from(u16::MAX) {
         return Err(CliError::Usage(format!("`--port` must be <= 65535 (got {port})")));
     }
+    let fallback_search = match args.optional("fallback") {
+        None | Some("none") => false,
+        Some("search") => true,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "`--fallback` must be `search` or `none` (got `{other}`)"
+            )))
+        }
+    };
+    let breaker_threshold = args.u64_or("breaker-threshold", 5)?;
+    if breaker_threshold > u64::from(u32::MAX) {
+        return Err(CliError::Usage(format!(
+            "`--breaker-threshold` must fit in a u32 (got {breaker_threshold})"
+        )));
+    }
     let config = ServeConfig {
         addr: format!("{host}:{port}"),
         model_paths,
@@ -64,6 +84,11 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         batch_max,
         cache_capacity: args.u64_or("cache-cap", 4096)? as usize,
         read_timeout_secs: args.u64_or("read-timeout-secs", 5)?,
+        write_timeout_secs: args.u64_or("write-timeout-secs", 5)?,
+        deadline_ms: args.u64_or("deadline-ms", 0)?,
+        breaker_threshold: breaker_threshold as u32,
+        breaker_cooldown_ms: args.u64_or("breaker-cooldown-ms", 1000)?,
+        fallback_search,
     };
 
     let server = Server::bind(&config).map_err(serve_err)?;

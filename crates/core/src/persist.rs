@@ -227,12 +227,51 @@ fn parse_body(mut buf: &[u8]) -> Result<AirchitectModel, PersistError> {
 ///
 /// Returns [`PersistError::Io`] on filesystem errors.
 pub fn save(model: &AirchitectModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    airchitect_chaos::fail_point!("persist.write", |e: std::io::Error| Err(
+        PersistError::Io(e.to_string())
+    ));
     atomic_write(path, &to_bytes(model))?;
     Ok(())
 }
 
+/// Transient read errors retried before the load fails for real.
+const READ_RETRIES: u32 = 4;
+
+/// One open-and-read attempt (the `persist.read` failpoint injects here).
+fn try_read(path: &Path) -> std::io::Result<Vec<u8>> {
+    airchitect_chaos::fail_point!("persist.read", Err);
+    let mut f = File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+/// Reads a whole file, retrying transient `Interrupted`/`WouldBlock`
+/// errors with bounded exponential backoff (1/2/4/8 ms). Anything else —
+/// including every corrupt-content error downstream — stays fail-fast.
+fn read_with_retry(path: &Path) -> std::io::Result<Vec<u8>> {
+    let mut backoff_ms = 1u64;
+    for _ in 0..READ_RETRIES {
+        match try_read(path) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                airchitect_telemetry::metrics::PERSIST_READ_RETRIES.inc();
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                backoff_ms *= 2;
+            }
+            other => return other,
+        }
+    }
+    try_read(path)
+}
+
 /// Loads a model from a file written by [`save`], with its integrity
-/// status.
+/// status. Transient `Interrupted`/`WouldBlock` read errors are retried
+/// with bounded backoff; corrupt contents fail fast.
 ///
 /// # Errors
 ///
@@ -240,9 +279,7 @@ pub fn save(model: &AirchitectModel, path: impl AsRef<Path>) -> Result<(), Persi
 pub fn load_integrity(
     path: impl AsRef<Path>,
 ) -> Result<(AirchitectModel, Integrity), PersistError> {
-    let mut f = File::open(path)?;
-    let mut buf = Vec::new();
-    f.read_to_end(&mut buf)?;
+    let buf = read_with_retry(path.as_ref())?;
     from_bytes_integrity(&buf)
 }
 
@@ -335,6 +372,79 @@ mod tests {
             from_bytes(&bytes),
             Err(PersistError::ChecksumMismatch { .. })
         ));
+    }
+
+    /// Only meaningful when the failpoint framework is compiled in
+    /// (`cargo test -p airchitect --features chaos`).
+    #[cfg(feature = "chaos")]
+    mod chaos {
+        use super::*;
+
+        /// Serializes the chaos-dependent tests: the failpoint registry is
+        /// process-global.
+        static CHAOS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+        fn saved_model(name: &str) -> std::path::PathBuf {
+            let dir = std::env::temp_dir().join("airchitect-core-chaos");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(name);
+            save(&small_trained_model(), &path).unwrap();
+            path
+        }
+
+        #[test]
+        fn transient_read_errors_are_retried_to_success() {
+            let _guard = CHAOS.lock().unwrap();
+            let path = saved_model("transient.airm");
+            let fired_before = airchitect_chaos::fired("persist.read");
+            // Two injected EINTRs, then the real read goes through.
+            airchitect_chaos::configure_str("persist.read=err(interrupted):1:2").unwrap();
+            let (_, integrity) = load_integrity(&path).unwrap();
+            airchitect_chaos::remove("persist.read");
+            assert_eq!(integrity, Integrity::Verified);
+            assert_eq!(airchitect_chaos::fired("persist.read") - fired_before, 2);
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn persistent_transient_errors_exhaust_the_retry_budget() {
+            let _guard = CHAOS.lock().unwrap();
+            let path = saved_model("exhaust.airm");
+            airchitect_chaos::configure_str("persist.read=err(wouldblock)").unwrap();
+            let err = load_integrity(&path).unwrap_err();
+            airchitect_chaos::remove("persist.read");
+            assert!(matches!(err, PersistError::Io(_)), "{err}");
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn non_transient_read_errors_fail_fast() {
+            let _guard = CHAOS.lock().unwrap();
+            let path = saved_model("failfast.airm");
+            let fired_before = airchitect_chaos::fired("persist.read");
+            airchitect_chaos::configure_str("persist.read=err(other):1:5").unwrap();
+            assert!(matches!(
+                load_integrity(&path),
+                Err(PersistError::Io(_))
+            ));
+            airchitect_chaos::remove("persist.read");
+            assert_eq!(
+                airchitect_chaos::fired("persist.read") - fired_before,
+                1,
+                "a non-transient error must not be retried"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn injected_write_errors_surface_as_io() {
+            let _guard = CHAOS.lock().unwrap();
+            airchitect_chaos::configure_str("persist.write=err(other):1:1").unwrap();
+            let path = std::env::temp_dir().join("airchitect-core-chaos-w.airm");
+            let err = save(&small_trained_model(), &path).unwrap_err();
+            airchitect_chaos::remove("persist.write");
+            assert!(matches!(err, PersistError::Io(_)), "{err}");
+        }
     }
 
     #[test]

@@ -170,7 +170,10 @@ where
     let mut last_error = String::new();
     for attempt in first..=last {
         let seed = attempt_seed(base_seed, shard, attempt);
-        match catch_unwind(AssertUnwindSafe(|| worker(shard, seed, count))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            airchitect_chaos::fail_point!("dse.shard");
+            worker(shard, seed, count)
+        })) {
             Ok(ds) => {
                 metrics::DSE_SHARDS_COMPLETED.inc();
                 sink::event(
@@ -508,6 +511,9 @@ pub fn generate_case1_checkpointed(
     for (shard, ds, seed, attempts) in
         run_shards(&missing, spec.seed, DEFAULT_MAX_RETRIES, &worker)?
     {
+        airchitect_chaos::fail_point!("dse.shard.save", |e: std::io::Error| Err(
+            ParallelError::Data(DataError::Io(e.to_string()))
+        ));
         codec::save(&ds, shard_path(dir, shard))?;
         airchitect_data::integrity::atomic_write(
             meta_path(dir, shard),
@@ -568,6 +574,28 @@ mod tests {
             assert_eq!(s.iter().sum::<usize>(), t);
             assert!(s.iter().max().unwrap() - s.iter().min().unwrap() <= 1);
         }
+    }
+
+    /// Only meaningful with the failpoint framework compiled in
+    /// (`cargo test -p airchitect-dse --features chaos`).
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn injected_shard_panics_are_retried_and_output_unchanged() {
+        let problem = problem();
+        let spec = spec(30, 5);
+        let reference = generate_case1_parallel(&problem, &spec, 2).unwrap();
+
+        let fired_before = airchitect_chaos::fired("dse.shard");
+        airchitect_chaos::configure_str("dse.shard=panic:1:2").unwrap();
+        let chaotic = generate_case1_parallel(&problem, &spec, 2).unwrap();
+        airchitect_chaos::remove("dse.shard");
+
+        assert_eq!(airchitect_chaos::fired("dse.shard") - fired_before, 2);
+        assert_eq!(
+            chaotic.len(),
+            reference.len(),
+            "retried shards must still produce every sample"
+        );
     }
 
     #[test]

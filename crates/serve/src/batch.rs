@@ -13,9 +13,11 @@
 //! requests that *are* admitted.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use airchitect::model::CaseStudy;
 use airchitect::recommend::RecommendError;
@@ -24,6 +26,8 @@ use airchitect_telemetry::json::write_f64;
 use airchitect_telemetry::metrics;
 use airchitect_workload::GemmWorkload;
 
+use crate::breaker::{Admit, Breakers};
+use crate::fallback::Oracle;
 use crate::reload::{case_name, CaseProblem, LoadedModel, ModelHub};
 
 /// A decoded, validated recommendation query.
@@ -59,6 +63,16 @@ impl RecQuery {
     }
 }
 
+/// Who produced a successful answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The trained recommendation model (cacheable).
+    Model,
+    /// The exhaustive-search fallback oracle (degraded mode; never cached,
+    /// stamped with a `Warning` header).
+    Search,
+}
+
 /// A worker's answer, ready for HTTP framing by the connection thread.
 #[derive(Debug, Clone)]
 pub enum Outcome {
@@ -70,6 +84,8 @@ pub enum Outcome {
         body_tail: String,
         /// Producing model's generation.
         generation: u64,
+        /// Model or degraded-mode search.
+        source: Source,
     },
     /// Failure mapped to an HTTP status. Never a 5xx for domain errors —
     /// infeasible budgets are 422, missing models 503.
@@ -92,6 +108,14 @@ pub struct Job {
     pub topk: usize,
     /// Channel the worker answers on.
     pub reply: mpsc::Sender<Outcome>,
+    /// End-to-end deadline; a job past it is answered 504, never executed.
+    pub deadline: Option<Instant>,
+}
+
+impl Job {
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 /// Why a push was refused.
@@ -193,20 +217,30 @@ pub fn spawn_workers(
     batch_max: usize,
     queue: Arc<Queue>,
     hub: Arc<ModelHub>,
+    breakers: Arc<Breakers>,
+    fallback: Option<Arc<Oracle>>,
 ) -> Vec<JoinHandle<()>> {
     (0..workers.max(1))
         .map(|i| {
             let queue = Arc::clone(&queue);
             let hub = Arc::clone(&hub);
+            let breakers = Arc::clone(&breakers);
+            let fallback = fallback.clone();
             std::thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(&queue, &hub, batch_max))
+                .spawn(move || worker_loop(&queue, &hub, batch_max, &breakers, fallback.as_deref()))
                 .expect("spawn worker thread")
         })
         .collect()
 }
 
-fn worker_loop(queue: &Queue, hub: &ModelHub, batch_max: usize) {
+fn worker_loop(
+    queue: &Queue,
+    hub: &ModelHub,
+    batch_max: usize,
+    breakers: &Breakers,
+    fallback: Option<&Oracle>,
+) {
     loop {
         let batch = queue.pop_batch(batch_max);
         if batch.is_empty() {
@@ -227,20 +261,91 @@ fn worker_loop(queue: &Queue, hub: &ModelHub, batch_max: usize) {
             let snap = snapshots[slot]
                 .get_or_insert_with(|| hub.get(job.query.case()))
                 .clone();
-            let outcome = match snap {
-                Some(model) => execute(&model, &job.query, job.topk),
-                None => Outcome::Err {
-                    status: 503,
-                    code: "model_not_loaded",
-                    message: format!(
-                        "no model loaded for case study `{}`",
-                        case_name(job.query.case())
-                    ),
-                },
-            };
+            let outcome = answer_job(&job, snap.as_deref(), breakers, fallback);
             // A dead receiver just means the client hung up; drop silently.
             let _ = job.reply.send(outcome);
         }
+    }
+}
+
+/// Answers one job: deadline check, breaker admission, panic-isolated
+/// inference, and the degraded-mode fallback when the model is missing or
+/// its circuit is open.
+fn answer_job(
+    job: &Job,
+    model: Option<&LoadedModel>,
+    breakers: &Breakers,
+    fallback: Option<&Oracle>,
+) -> Outcome {
+    // A job that already blew its budget waiting in the queue is dropped
+    // here: the client has (or is about to) time out, so doing the work
+    // would only add load exactly when the server is already behind.
+    if job.expired() {
+        metrics::SERVE_DEADLINE_EXCEEDED.inc();
+        return Outcome::Err {
+            status: 504,
+            code: "deadline_exceeded",
+            message: "request deadline expired before execution".into(),
+        };
+    }
+    let Some(model) = model else {
+        return fallback_or(fallback, job, || Outcome::Err {
+            status: 503,
+            code: "model_not_loaded",
+            message: format!(
+                "no model loaded for case study `{}`",
+                case_name(job.query.case())
+            ),
+        });
+    };
+    let breaker = breakers.infer(job.query.case());
+    match breaker.try_acquire() {
+        Admit::No => fallback_or(fallback, job, || Outcome::Err {
+            status: 503,
+            code: "circuit_open",
+            message: format!(
+                "inference circuit for `{}` is open; retry after cooldown",
+                case_name(job.query.case())
+            ),
+        }),
+        Admit::Yes => {
+            // Panic isolation: a poisoned model or injected panic costs one
+            // 500, never a dead worker thread.
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_inference(model, job)))
+                .unwrap_or_else(|_| Outcome::Err {
+                    status: 500,
+                    code: "inference_panic",
+                    message: "inference panicked; the job was isolated".into(),
+                });
+            // Only 5xx-class outcomes count against the breaker: a 422 for
+            // an infeasible budget is the query's fault, not the model's.
+            let failed = matches!(&outcome, Outcome::Err { status, .. } if *status >= 500);
+            if failed {
+                metrics::SERVE_INFER_FAILURES.inc();
+            }
+            breaker.record(!failed);
+            outcome
+        }
+    }
+}
+
+fn run_inference(model: &LoadedModel, job: &Job) -> Outcome {
+    airchitect_chaos::fail_point!("serve.batch.dispatch");
+    airchitect_chaos::fail_point!("serve.infer", |e: std::io::Error| Outcome::Err {
+        status: 500,
+        code: "inference_failed",
+        message: e.to_string(),
+    });
+    execute(model, &job.query, job.topk)
+}
+
+fn fallback_or(fallback: Option<&Oracle>, job: &Job, otherwise: impl FnOnce() -> Outcome) -> Outcome {
+    match fallback {
+        Some(oracle) => {
+            metrics::SERVE_FALLBACKS.inc();
+            oracle.answer(&job.query, job.topk)
+        }
+        None => otherwise(),
     }
 }
 
@@ -265,7 +370,7 @@ pub fn execute(model: &LoadedModel, query: &RecQuery, topk: usize) -> Outcome {
     tail.push_str(&model.generation.to_string());
     tail.push_str(",\"case\":\"");
     tail.push_str(case_name(model.case));
-    tail.push('"');
+    tail.push_str("\",\"source\":\"model\"");
 
     let rec = &model.recommender;
     let rendered = match (&model.problem, query) {
@@ -353,6 +458,7 @@ pub fn execute(model: &LoadedModel, query: &RecQuery, topk: usize) -> Outcome {
             Outcome::Ok {
                 body_tail: tail,
                 generation: model.generation,
+                source: Source::Model,
             }
         }
         Err(err) => domain_error(&err),
@@ -366,7 +472,7 @@ fn render_score(out: &mut String, score: Option<f32>) {
     }
 }
 
-fn render_array(
+pub(crate) fn render_array(
     out: &mut String,
     rows: u64,
     cols: u64,
@@ -386,7 +492,7 @@ fn render_array(
     out.push('}');
 }
 
-fn render_buffers(out: &mut String, ifmap: u64, filter: u64, ofmap: u64, score: Option<f32>) {
+pub(crate) fn render_buffers(out: &mut String, ifmap: u64, filter: u64, ofmap: u64, score: Option<f32>) {
     out.push_str("{\"ifmap_kb\":");
     out.push_str(&ifmap.to_string());
     out.push_str(",\"filter_kb\":");
@@ -399,7 +505,11 @@ fn render_buffers(out: &mut String, ifmap: u64, filter: u64, ofmap: u64, score: 
     out.push('}');
 }
 
-fn render_schedule(out: &mut String, schedule: &airchitect_sim::multi::Schedule, score: Option<f32>) {
+pub(crate) fn render_schedule(
+    out: &mut String,
+    schedule: &airchitect_sim::multi::Schedule,
+    score: Option<f32>,
+) {
     out.push_str("{\"assignments\":[");
     for (array, assignment) in schedule.assignments.iter().enumerate() {
         if array > 0 {
@@ -432,6 +542,7 @@ mod tests {
                 },
                 topk: 0,
                 reply: tx,
+                deadline: None,
             },
             rx,
         )

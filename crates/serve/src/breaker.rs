@@ -1,0 +1,290 @@
+//! Circuit breakers for inference and hot-reload.
+//!
+//! A breaker trips open after `threshold` *consecutive* failures, fails
+//! fast while open, and after `cooldown` admits exactly one half-open
+//! probe. A successful probe closes the circuit; a failed probe re-opens
+//! it and restarts the cooldown. `threshold == 0` disables the breaker
+//! entirely (every acquire is admitted, nothing is recorded).
+//!
+//! Only 5xx-class outcomes count as failures: domain errors (infeasible
+//! query, label out of space) are the client's problem, not the model's.
+//! Callers enforce that by what they pass to [`Breaker::record`].
+//!
+//! State is published to the gauges `serve.breaker_state.*`
+//! (0 = closed, 1 = open, 2 = half-open) so `/metrics` and `/healthz`
+//! can report it without taking the breaker lock twice.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use airchitect::model::CaseStudy;
+use airchitect_telemetry::metrics::{self, Gauge};
+
+/// Admission decision from [`Breaker::try_acquire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Proceed (possibly as the single half-open probe).
+    Yes,
+    /// Circuit is open: fail fast or fall back.
+    No,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl Phase {
+    fn gauge_code(self) -> f64 {
+        match self {
+            Phase::Closed => 0.0,
+            Phase::Open => 1.0,
+            Phase::HalfOpen => 2.0,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Phase::Closed => "closed",
+            Phase::Open => "open",
+            Phase::HalfOpen => "half_open",
+        }
+    }
+}
+
+struct State {
+    phase: Phase,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+}
+
+/// One circuit breaker guarding a single failure domain.
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    gauge: &'static Gauge,
+    state: Mutex<State>,
+}
+
+impl Breaker {
+    /// Creates a closed breaker publishing its state to `gauge`.
+    pub fn new(threshold: u32, cooldown: Duration, gauge: &'static Gauge) -> Self {
+        gauge.set(Phase::Closed.gauge_code());
+        Self {
+            threshold,
+            cooldown,
+            gauge,
+            state: Mutex::new(State {
+                phase: Phase::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+            }),
+        }
+    }
+
+    fn set_phase(&self, state: &mut State, phase: Phase) {
+        state.phase = phase;
+        self.gauge.set(phase.gauge_code());
+    }
+
+    /// Asks whether a call may proceed. An open breaker whose cooldown has
+    /// elapsed transitions to half-open and admits the caller as the probe.
+    pub fn try_acquire(&self) -> Admit {
+        if self.threshold == 0 {
+            return Admit::Yes;
+        }
+        let mut state = self.state.lock().expect("breaker lock poisoned");
+        match state.phase {
+            Phase::Closed => Admit::Yes,
+            Phase::Open => {
+                let cooled = state
+                    .opened_at
+                    .is_none_or(|at| at.elapsed() >= self.cooldown);
+                if cooled {
+                    self.set_phase(&mut state, Phase::HalfOpen);
+                    state.probe_in_flight = true;
+                    Admit::Yes
+                } else {
+                    Admit::No
+                }
+            }
+            Phase::HalfOpen => {
+                if state.probe_in_flight {
+                    Admit::No
+                } else {
+                    state.probe_in_flight = true;
+                    Admit::Yes
+                }
+            }
+        }
+    }
+
+    /// Records the outcome of an admitted call.
+    pub fn record(&self, ok: bool) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("breaker lock poisoned");
+        match state.phase {
+            Phase::Closed => {
+                if ok {
+                    state.consecutive_failures = 0;
+                } else {
+                    state.consecutive_failures += 1;
+                    if state.consecutive_failures >= self.threshold {
+                        state.opened_at = Some(Instant::now());
+                        self.set_phase(&mut state, Phase::Open);
+                        metrics::SERVE_BREAKER_OPENS.inc();
+                    }
+                }
+            }
+            Phase::HalfOpen => {
+                state.probe_in_flight = false;
+                if ok {
+                    state.consecutive_failures = 0;
+                    state.opened_at = None;
+                    self.set_phase(&mut state, Phase::Closed);
+                } else {
+                    state.opened_at = Some(Instant::now());
+                    self.set_phase(&mut state, Phase::Open);
+                    metrics::SERVE_BREAKER_OPENS.inc();
+                }
+            }
+            // A call admitted before the trip can report after it; the
+            // breaker is already open, nothing more to learn from it.
+            Phase::Open => {}
+        }
+    }
+
+    /// Current phase as a lowercase name for `/healthz`.
+    pub fn phase_name(&self) -> &'static str {
+        self.state.lock().expect("breaker lock poisoned").phase.name()
+    }
+
+    /// True unless the breaker is fully closed.
+    pub fn is_tripped(&self) -> bool {
+        self.state.lock().expect("breaker lock poisoned").phase != Phase::Closed
+    }
+}
+
+/// The server's full breaker set: one per inference case plus hot-reload.
+pub struct Breakers {
+    infer: [Breaker; 3],
+    /// Breaker guarding `POST /v1/reload`.
+    pub reload: Breaker,
+}
+
+impl Breakers {
+    /// Builds all four breakers with a shared threshold and cooldown.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            infer: [
+                Breaker::new(threshold, cooldown, &metrics::SERVE_BREAKER_ARRAY),
+                Breaker::new(threshold, cooldown, &metrics::SERVE_BREAKER_BUFFERS),
+                Breaker::new(threshold, cooldown, &metrics::SERVE_BREAKER_SCHEDULE),
+            ],
+            reload: Breaker::new(threshold, cooldown, &metrics::SERVE_BREAKER_RELOAD),
+        }
+    }
+
+    /// The inference breaker for one case study.
+    pub fn infer(&self, case: CaseStudy) -> &Breaker {
+        &self.infer[crate::reload::slot_index(case)]
+    }
+
+    /// Whether any circuit is not fully closed (drives `/healthz` status).
+    pub fn any_tripped(&self) -> bool {
+        self.infer.iter().any(Breaker::is_tripped) || self.reload.is_tripped()
+    }
+
+    /// `(name, phase)` pairs for every breaker, for `/healthz` rendering.
+    pub fn phases(&self) -> [(&'static str, &'static str); 4] {
+        [
+            ("array", self.infer[0].phase_name()),
+            ("buffers", self.infer[1].phase_name()),
+            ("schedule", self.infer[2].phase_name()),
+            ("reload", self.reload.phase_name()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> Breaker {
+        Breaker::new(
+            threshold,
+            Duration::from_millis(cooldown_ms),
+            &metrics::SERVE_BREAKER_ARRAY,
+        )
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let b = breaker(3, 60_000);
+        b.record(false);
+        b.record(false);
+        b.record(true); // success resets the streak
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.try_acquire(), Admit::Yes);
+        b.record(false);
+        assert_eq!(b.phase_name(), "open");
+        assert_eq!(b.try_acquire(), Admit::No);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let b = breaker(1, 0); // zero cooldown: open -> half-open immediately
+        b.record(false);
+        assert!(b.is_tripped());
+
+        // First acquire becomes the probe; a concurrent one is rejected.
+        assert_eq!(b.try_acquire(), Admit::Yes);
+        assert_eq!(b.phase_name(), "half_open");
+        assert_eq!(b.try_acquire(), Admit::No);
+        b.record(false);
+        assert_eq!(b.phase_name(), "open");
+
+        assert_eq!(b.try_acquire(), Admit::Yes);
+        b.record(true);
+        assert_eq!(b.phase_name(), "closed");
+        assert_eq!(b.try_acquire(), Admit::Yes);
+    }
+
+    #[test]
+    fn open_breaker_rejects_until_cooldown() {
+        let b = breaker(1, 60_000);
+        b.record(false);
+        assert_eq!(b.try_acquire(), Admit::No);
+        assert_eq!(b.try_acquire(), Admit::No);
+        assert_eq!(b.phase_name(), "open");
+    }
+
+    #[test]
+    fn threshold_zero_disables_the_breaker() {
+        let b = breaker(0, 0);
+        for _ in 0..100 {
+            b.record(false);
+        }
+        assert_eq!(b.try_acquire(), Admit::Yes);
+        assert_eq!(b.phase_name(), "closed");
+        assert!(!b.is_tripped());
+    }
+
+    #[test]
+    fn breaker_set_reports_per_case_phases() {
+        let set = Breakers::new(1, Duration::from_secs(60));
+        set.infer(CaseStudy::BufferSizing).record(false);
+        assert!(set.any_tripped());
+        let phases = set.phases();
+        assert_eq!(phases[0], ("array", "closed"));
+        assert_eq!(phases[1], ("buffers", "open"));
+        assert_eq!(phases[3], ("reload", "closed"));
+    }
+}

@@ -15,6 +15,8 @@ pub struct ClientResponse {
     pub body: String,
     /// Parsed `Retry-After` header, if present.
     pub retry_after: Option<u64>,
+    /// Raw `Warning` header, if present (degraded-mode responses).
+    pub warning: Option<String>,
 }
 
 impl ClientResponse {
@@ -53,7 +55,7 @@ impl HttpClient {
     ///
     /// Propagates socket errors and malformed responses.
     pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
-        self.request("GET", path, "")
+        self.request("GET", path, "", None)
     }
 
     /// Issues a `POST` with a JSON body and reads the response.
@@ -62,14 +64,38 @@ impl HttpClient {
     ///
     /// Propagates socket errors and malformed responses.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
-        self.request("POST", path, body)
+        self.request("POST", path, body, None)
     }
 
-    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<ClientResponse> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: airchitect\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
+    /// Issues a `POST` carrying an `X-Deadline-Ms` request budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn post_with_deadline(
+        &mut self,
+        path: &str,
+        body: &str,
+        deadline_ms: u64,
+    ) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, body, Some(deadline_ms))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<ClientResponse> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: airchitect\r\nConnection: keep-alive\r\nContent-Length: {}\r\n",
             body.len()
         );
+        if let Some(ms) = deadline_ms {
+            head.push_str(&format!("X-Deadline-Ms: {ms}\r\n"));
+        }
+        head.push_str("\r\n");
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body.as_bytes())?;
         self.writer.flush()?;
@@ -93,6 +119,7 @@ impl HttpClient {
 
         let mut content_length = 0usize;
         let mut retry_after = None;
+        let mut warning = None;
         loop {
             line.clear();
             self.reader.read_line(&mut line)?;
@@ -108,6 +135,8 @@ impl HttpClient {
                         .map_err(|_| bad(format!("bad Content-Length `{value}`")))?;
                 } else if name.eq_ignore_ascii_case("retry-after") {
                     retry_after = value.parse().ok();
+                } else if name.eq_ignore_ascii_case("warning") {
+                    warning = Some(value.to_string());
                 }
             }
         }
@@ -118,6 +147,7 @@ impl HttpClient {
             status,
             body: String::from_utf8(body).map_err(|_| bad("non-UTF-8 body".into()))?,
             retry_after,
+            warning,
         })
     }
 }

@@ -1,0 +1,232 @@
+//! Degraded-mode serving: answer from exhaustive search when the model
+//! cannot.
+//!
+//! When a case's inference circuit is open, or its model failed
+//! checksum/load at startup (tolerated via `fallback: search`), the server
+//! can still answer `POST /v1/recommend/*` from the DSE oracle — the same
+//! exhaustive search that produced the training labels. Search answers are
+//! slower but *exact*, so degraded mode trades latency for availability
+//! without ever trading away correctness. Responses are stamped
+//! `"source":"search"`, carry a `Warning` header, and are never cached
+//! (the cache must only replay model answers at the model's generation).
+
+use airchitect_dse::case1::Case1Problem;
+use airchitect_dse::case2::Case2Problem;
+use airchitect_dse::case3::Case3Problem;
+use airchitect_sim::multi::Schedule;
+
+use crate::batch::{render_array, render_buffers, render_schedule, Outcome, RecQuery, Source};
+use crate::reload::case_name;
+
+/// `Warning` header stamped on every fallback response.
+pub const WARNING: &str = "199 - \"degraded: answered by exhaustive search, not the model\"";
+
+/// Largest MAC budget the CS1 fallback space covers (the serving spaces
+/// scale to the paper's largest configuration; bigger budgets simply see
+/// every shape in this space).
+const CS1_MAX_BUDGET: u64 = 1 << 18;
+
+/// The exhaustive-search answer engine for all three case studies.
+pub struct Oracle {
+    case1: Case1Problem,
+    case2: Case2Problem,
+    case3: Case3Problem,
+}
+
+impl Oracle {
+    /// Builds the three search problems over the paper's serving spaces.
+    pub fn new() -> Self {
+        Self {
+            case1: Case1Problem::new(CS1_MAX_BUDGET),
+            case2: Case2Problem::new(),
+            case3: Case3Problem::new(),
+        }
+    }
+
+    /// Answers one query by exhaustive search.
+    ///
+    /// The rendered tail mirrors the model path exactly (same field names
+    /// and shapes) so clients need no degraded-mode special casing beyond
+    /// reading `"source"`. `topk > 0` renders a single-entry `results`
+    /// list: search has one optimum, not a ranked distribution.
+    pub fn answer(&self, query: &RecQuery, topk: usize) -> Outcome {
+        let mut tail = String::with_capacity(128);
+        tail.push_str("\"generation\":0,\"case\":\"");
+        tail.push_str(case_name(query.case()));
+        tail.push_str("\",\"source\":\"search\",");
+        tail.push_str(if topk == 0 { "\"result\":" } else { "\"results\":[" });
+
+        match query {
+            RecQuery::Array {
+                workload,
+                mac_budget,
+            } => {
+                // The space's smallest shape is 2x2: below 4 MACs nothing
+                // fits and `search` would panic.
+                if *mac_budget < 4 {
+                    return Outcome::Err {
+                        status: 422,
+                        code: "infeasible",
+                        message: format!("no array fits a budget of {mac_budget} MACs"),
+                    };
+                }
+                let found = self.case1.search(workload, *mac_budget);
+                let Some((array, dataflow)) = self.case1.space().decode(found.label) else {
+                    return search_decode_error();
+                };
+                render_array(&mut tail, array.rows(), array.cols(), dataflow, None);
+            }
+            RecQuery::Buffers { query } => {
+                // `stall_cycles` rejects zero bandwidth; the model path
+                // never simulates so it tolerates it, the search cannot.
+                if query.bandwidth == 0 {
+                    return Outcome::Err {
+                        status: 422,
+                        code: "infeasible",
+                        message: "search fallback requires bandwidth > 0".into(),
+                    };
+                }
+                let found = self.case2.search(query);
+                let Some((i, f, o)) = self.case2.space().decode(found.label) else {
+                    return search_decode_error();
+                };
+                render_buffers(&mut tail, i, f, o, None);
+            }
+            RecQuery::Schedule { workloads } => {
+                // The router guarantees exactly 4 workloads (the search
+                // asserts it).
+                let found = self.case3.search(workloads);
+                let Some((perm, dfs)) = self.case3.space().decode(found.label) else {
+                    return search_decode_error();
+                };
+                render_schedule(&mut tail, &Schedule::new(&perm, &dfs), None);
+            }
+        }
+
+        if topk > 0 {
+            tail.push(']');
+        }
+        tail.push_str("}\n");
+        Outcome::Ok {
+            body_tail: tail,
+            generation: 0,
+            source: Source::Search,
+        }
+    }
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn search_decode_error() -> Outcome {
+    // Unreachable by construction: `search` only returns in-space labels.
+    Outcome::Err {
+        status: 500,
+        code: "search_failed",
+        message: "exhaustive search returned an undecodable label".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airchitect_dse::case2::Case2Query;
+    use airchitect_sim::{ArrayConfig, Dataflow};
+    use airchitect_workload::GemmWorkload;
+
+    fn tail_of(outcome: Outcome) -> String {
+        match outcome {
+            Outcome::Ok {
+                body_tail,
+                generation,
+                source,
+            } => {
+                assert_eq!(generation, 0);
+                assert_eq!(source, Source::Search);
+                body_tail
+            }
+            Outcome::Err { status, code, .. } => panic!("expected Ok, got {status} {code}"),
+        }
+    }
+
+    #[test]
+    fn array_fallback_matches_the_search_oracle() {
+        let oracle = Oracle::new();
+        let workload = GemmWorkload::new(128, 64, 256).unwrap();
+        let query = RecQuery::Array {
+            workload,
+            mac_budget: 1 << 10,
+        };
+        let tail = tail_of(oracle.answer(&query, 0));
+        assert!(tail.contains("\"source\":\"search\""));
+        assert!(tail.contains("\"case\":\"array\""));
+
+        let expect = Case1Problem::new(1 << 18).search(&workload, 1 << 10);
+        let (array, df) = Case1Problem::new(1 << 18)
+            .space()
+            .decode(expect.label)
+            .unwrap();
+        assert!(tail.contains(&format!("\"rows\":{}", array.rows())));
+        assert!(tail.contains(&format!("\"cols\":{}", array.cols())));
+        assert!(tail.contains(&format!("\"dataflow\":\"{df}\"")));
+    }
+
+    #[test]
+    fn infeasible_guards_are_422_not_panics() {
+        let oracle = Oracle::new();
+        let q = RecQuery::Array {
+            workload: GemmWorkload::new(8, 8, 8).unwrap(),
+            mac_budget: 3,
+        };
+        assert!(matches!(
+            oracle.answer(&q, 0),
+            Outcome::Err { status: 422, .. }
+        ));
+        let q = RecQuery::Buffers {
+            query: Case2Query {
+                workload: GemmWorkload::new(8, 8, 8).unwrap(),
+                array: ArrayConfig::new(8, 8).unwrap(),
+                dataflow: Dataflow::Os,
+                bandwidth: 0,
+                limit_kb: 1500,
+            },
+        };
+        assert!(matches!(
+            oracle.answer(&q, 0),
+            Outcome::Err { status: 422, .. }
+        ));
+    }
+
+    #[test]
+    fn topk_renders_a_single_entry_results_list() {
+        let oracle = Oracle::new();
+        let q = RecQuery::Buffers {
+            query: Case2Query {
+                workload: GemmWorkload::new(64, 64, 64).unwrap(),
+                array: ArrayConfig::new(16, 16).unwrap(),
+                dataflow: Dataflow::Ws,
+                bandwidth: 16,
+                limit_kb: 1500,
+            },
+        };
+        let tail = tail_of(oracle.answer(&q, 3));
+        assert!(tail.contains("\"results\":[{"));
+        assert!(tail.ends_with("}]}\n"));
+    }
+
+    #[test]
+    fn schedule_fallback_renders_four_assignments() {
+        let oracle = Oracle::new();
+        let workloads = vec![
+            GemmWorkload::new(8, 8, 8).unwrap(),
+            GemmWorkload::new(16, 16, 16).unwrap(),
+            GemmWorkload::new(32, 32, 32).unwrap(),
+            GemmWorkload::new(64, 64, 64).unwrap(),
+        ];
+        let tail = tail_of(oracle.answer(&RecQuery::Schedule { workloads }, 0));
+        assert_eq!(tail.matches("\"array\":").count(), 4);
+    }
+}

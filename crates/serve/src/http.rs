@@ -22,6 +22,8 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Client-requested end-to-end budget from `X-Deadline-Ms`, if sent.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Why a request could not be read.
@@ -81,6 +83,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
     let mut keep_alive = version != "HTTP/1.0";
 
     let mut content_length = 0usize;
+    let mut deadline_ms = None;
     loop {
         line.clear();
         read_crlf_line(reader, &mut line, &mut head_bytes)?;
@@ -103,6 +106,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
             }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(bad(400, "chunked bodies are not supported"));
+        } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+            deadline_ms = Some(
+                value
+                    .parse::<u64>()
+                    .map_err(|_| bad(400, "X-Deadline-Ms must be a non-negative integer"))?,
+            );
         }
     }
 
@@ -118,6 +127,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
         path,
         body,
         keep_alive,
+        deadline_ms,
     })
 }
 
@@ -161,8 +171,11 @@ pub struct Response {
     pub content_type: &'static str,
     /// Body text.
     pub body: String,
-    /// Optional `Retry-After` header (seconds), set on 429s.
+    /// Optional `Retry-After` header (seconds), set on 429s and retryable
+    /// 503s (draining, circuit open).
     pub retry_after: Option<u64>,
+    /// Optional `Warning` header value, set on degraded-mode responses.
+    pub warning: Option<&'static str>,
 }
 
 impl Response {
@@ -173,6 +186,7 @@ impl Response {
             content_type: "application/json",
             body,
             retry_after: None,
+            warning: None,
         }
     }
 
@@ -193,6 +207,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body,
             retry_after: None,
+            warning: None,
         }
     }
 }
@@ -209,6 +224,7 @@ fn status_text(status: u16) -> &'static str {
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -233,6 +249,9 @@ pub fn write_response<W: Write>(
     );
     if let Some(secs) = resp.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    if let Some(warning) = resp.warning {
+        head.push_str(&format!("Warning: {warning}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;

@@ -45,8 +45,10 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod breaker;
 pub mod cache;
 pub mod client;
+pub mod fallback;
 pub mod http;
 pub mod listener;
 pub mod reload;
@@ -77,6 +79,26 @@ pub struct ServeConfig {
     /// Idle keep-alive / read timeout per connection, seconds. Also bounds
     /// how long graceful shutdown waits for silent connections.
     pub read_timeout_secs: u64,
+    /// Socket write timeout per connection, seconds; zero disables it. A
+    /// reader that stops draining its socket cannot pin a connection
+    /// thread forever.
+    pub write_timeout_secs: u64,
+    /// Default end-to-end request budget in milliseconds; zero disables
+    /// server-side deadlines. Clients may tighten (never extend) it per
+    /// request with an `X-Deadline-Ms` header; an expired budget answers
+    /// `504` at whatever stage it is detected.
+    pub deadline_ms: u64,
+    /// Consecutive 5xx-class failures that open a circuit breaker (one per
+    /// case study for inference, one for reload). Zero disables breakers.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before admitting one half-open
+    /// probe, milliseconds.
+    pub breaker_cooldown_ms: u64,
+    /// Degraded-mode serving: when a case's circuit is open or its model
+    /// failed to load at startup, answer from the exhaustive-search oracle
+    /// (`"source":"search"` + `Warning` header) instead of a 5xx. Also
+    /// makes startup tolerate per-model load failures.
+    pub fallback_search: bool,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +111,11 @@ impl Default for ServeConfig {
             batch_max: 16,
             cache_capacity: 4096,
             read_timeout_secs: 5,
+            write_timeout_secs: 5,
+            deadline_ms: 0,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 1000,
+            fallback_search: false,
         }
     }
 }

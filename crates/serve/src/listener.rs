@@ -21,20 +21,34 @@ use std::time::{Duration, Instant};
 
 use airchitect_telemetry::metrics;
 
-use crate::batch::{spawn_workers, Job, PushError, Queue};
+use crate::batch::{spawn_workers, Job, PushError, Queue, Source};
+use crate::breaker::{Admit, Breakers};
 use crate::cache::{CachedResponse, LruCache};
+use crate::fallback::{self, Oracle};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::reload::ModelHub;
 use crate::router::{self, Route};
 use crate::{ServeConfig, ServeError};
+
+/// Hard ceiling on any effective deadline (10 minutes): an absurd
+/// `X-Deadline-Ms` must not pin resources for hours.
+const MAX_DEADLINE_MS: u64 = 600_000;
+
+/// Consecutive accept failures tolerated (with backoff) before the accept
+/// loop gives up. Transient errors — EMFILE pressure, injected faults —
+/// should never kill an otherwise healthy server.
+const MAX_ACCEPT_ERRORS: u32 = 64;
 
 /// State shared by the accept loop and every connection thread.
 struct Inner {
     hub: Arc<ModelHub>,
     queue: Arc<Queue>,
     cache: Mutex<LruCache>,
+    breakers: Arc<Breakers>,
     shutdown: AtomicBool,
     read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    deadline_ms: u64,
 }
 
 /// A bound, ready-to-run inference server. Dropping it without calling
@@ -58,7 +72,16 @@ impl Server {
     /// or bind failures.
     pub fn bind(config: &ServeConfig) -> Result<Self, ServeError> {
         airchitect_telemetry::enable();
-        let hub = Arc::new(ModelHub::load(&config.model_paths)?);
+        // `fallback_search` doubles as "tolerate startup load failures":
+        // the oracle can answer for a model that failed its checksum.
+        let hub = Arc::new(ModelHub::load(&config.model_paths, config.fallback_search)?);
+        // Built after `enable()` so the breaker gauges publish their
+        // closed state and show up in `/metrics` from the first scrape.
+        let breakers = Arc::new(Breakers::new(
+            config.breaker_threshold,
+            Duration::from_millis(config.breaker_cooldown_ms),
+        ));
+        let fallback = config.fallback_search.then(|| Arc::new(Oracle::new()));
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
         let addr = listener
@@ -70,12 +93,10 @@ impl Server {
             config.batch_max,
             Arc::clone(&queue),
             Arc::clone(&hub),
+            Arc::clone(&breakers),
+            fallback,
         );
-        let read_timeout = if config.read_timeout_secs == 0 {
-            None
-        } else {
-            Some(Duration::from_secs(config.read_timeout_secs))
-        };
+        let secs_opt = |secs: u64| (secs > 0).then(|| Duration::from_secs(secs));
         Ok(Self {
             listener,
             addr,
@@ -83,8 +104,11 @@ impl Server {
                 hub,
                 queue,
                 cache: Mutex::new(LruCache::new(config.cache_capacity)),
+                breakers,
                 shutdown: AtomicBool::new(false),
-                read_timeout,
+                read_timeout: secs_opt(config.read_timeout_secs),
+                write_timeout: secs_opt(config.write_timeout_secs),
+                deadline_ms: config.deadline_ms,
             }),
             workers,
         })
@@ -103,14 +127,27 @@ impl Server {
     /// connection errors are handled on their own threads.
     pub fn run(mut self) -> Result<(), ServeError> {
         let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        let mut accept_errors = 0u32;
         loop {
-            let (stream, _) = match self.listener.accept() {
-                Ok(pair) => pair,
+            let (stream, _) = match accept_one(&self.listener) {
+                Ok(pair) => {
+                    accept_errors = 0;
+                    pair
+                }
                 Err(e) => {
                     if self.inner.shutdown.load(Ordering::Acquire) {
                         break;
                     }
-                    return Err(ServeError::Io(format!("accept: {e}")));
+                    // Transient accept failures (fd pressure, injected
+                    // faults) back off and retry; only a persistent streak
+                    // takes the server down. Pending connections are not
+                    // lost — they stay in the kernel backlog.
+                    accept_errors += 1;
+                    if accept_errors > MAX_ACCEPT_ERRORS {
+                        return Err(ServeError::Io(format!("accept: {e}")));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
                 }
             };
             if self.inner.shutdown.load(Ordering::Acquire) {
@@ -147,9 +184,15 @@ fn initiate_shutdown(inner: &Inner, addr: SocketAddr) {
     let _ = TcpStream::connect(addr);
 }
 
+fn accept_one(listener: &TcpListener) -> std::io::Result<(TcpStream, SocketAddr)> {
+    airchitect_chaos::fail_point!("serve.listener.accept", Err);
+    listener.accept()
+}
+
 fn handle_connection(stream: TcpStream, inner: &Inner) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(inner.read_timeout);
+    let _ = stream.set_write_timeout(inner.write_timeout);
     let local = match stream.local_addr() {
         Ok(a) => a,
         Err(_) => return,
@@ -160,6 +203,8 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
     };
     let mut reader = BufReader::new(stream);
     loop {
+        // Drop the connection as if the socket failed (chaos only).
+        airchitect_chaos::fail_point!("serve.conn.read", |_e: std::io::Error| ());
         let request = match read_request(&mut reader) {
             Ok(r) => r,
             Err(ReadError::Closed | ReadError::TimedOut | ReadError::Io(_)) => return,
@@ -173,6 +218,7 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
         // Once draining, finish this response and close the connection.
         let draining = wants_shutdown || inner.shutdown.load(Ordering::Acquire);
         let keep_alive = request.keep_alive && !draining;
+        airchitect_chaos::fail_point!("serve.conn.write", |_e: std::io::Error| ());
         if write_response(&mut writer, &response, keep_alive).is_err() {
             return;
         }
@@ -193,29 +239,92 @@ fn handle_request(request: &Request, inner: &Inner) -> (Response, bool) {
         Err(resp) => return (resp, false),
     };
     match route {
-        Route::Healthz => (router::render_healthz(&inner.hub), false),
+        Route::Healthz => (
+            router::render_healthz(&inner.hub, &inner.breakers),
+            false,
+        ),
         Route::Metrics => (router::render_metrics(), false),
         Route::Shutdown => (
             Response::json(200, "{\"shutting_down\":true}\n".into()),
             true,
         ),
-        Route::Reload => match inner.hub.reload() {
-            Ok(_) => (router::render_reloaded(&inner.hub), false),
-            // 409, not 5xx: the server is healthy, the *new* artifact is
-            // not; old models keep serving.
-            Err(e) => (
-                Response::error(409, "reload_failed", &e.to_string()),
-                false,
-            ),
-        },
-        Route::Recommend(case) => (recommend(case, &request.body, inner), false),
+        Route::Reload => (reload(inner), false),
+        Route::Recommend(case) => (recommend(case, request, inner), false),
     }
 }
 
-fn recommend(case: airchitect::model::CaseStudy, body: &[u8], inner: &Inner) -> Response {
+/// `POST /v1/reload` behind its circuit breaker: repeated reload failures
+/// (corrupt artifact stuck on disk) stop hammering the filesystem and are
+/// reported as an open circuit instead.
+fn reload(inner: &Inner) -> Response {
+    match inner.breakers.reload.try_acquire() {
+        Admit::No => {
+            let mut resp = Response::error(
+                503,
+                "circuit_open",
+                "reload circuit is open; retry after cooldown",
+            );
+            resp.retry_after = Some(1);
+            resp
+        }
+        Admit::Yes => match inner.hub.reload() {
+            Ok(_) => {
+                inner.breakers.reload.record(true);
+                router::render_reloaded(&inner.hub)
+            }
+            // 409, not 5xx: the server is healthy, the *new* artifact is
+            // not; old models keep serving. It still counts against the
+            // breaker — an operator redeploying a corrupt model in a loop
+            // should trip it.
+            Err(e) => {
+                inner.breakers.reload.record(false);
+                Response::error(409, "reload_failed", &e.to_string())
+            }
+        },
+    }
+}
+
+/// The effective per-request budget: the tighter of the server default and
+/// the client's `X-Deadline-Ms`, both capped at [`MAX_DEADLINE_MS`].
+fn effective_deadline(config_ms: u64, header_ms: Option<u64>) -> Option<Duration> {
+    let ms = match (config_ms, header_ms) {
+        (0, None) => return None,
+        (0, Some(h)) => h,
+        (c, None) => c,
+        (c, Some(h)) => h.min(c),
+    };
+    Some(Duration::from_millis(ms.min(MAX_DEADLINE_MS)))
+}
+
+fn deadline_exceeded() -> Response {
+    metrics::SERVE_DEADLINE_EXCEEDED.inc();
+    Response::error(
+        504,
+        "deadline_exceeded",
+        "request deadline expired before an answer was produced",
+    )
+}
+
+fn draining() -> Response {
+    let mut resp = Response::error(503, "draining", "server is shutting down");
+    resp.retry_after = Some(1);
+    resp
+}
+
+fn recommend(case: airchitect::model::CaseStudy, request: &Request, inner: &Inner) -> Response {
     metrics::SERVE_REQUESTS.inc();
     let started = Instant::now();
-    let parsed = match router::parse_recommend(case, body) {
+    let deadline = effective_deadline(inner.deadline_ms, request.deadline_ms)
+        .map(|budget| started + budget);
+    // Admission-time checks: a draining server or an already-expired
+    // budget (`X-Deadline-Ms: 0`) answers before any work is queued.
+    if inner.shutdown.load(Ordering::Acquire) {
+        return draining();
+    }
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return deadline_exceeded();
+    }
+    let parsed = match router::parse_recommend(case, &request.body) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
@@ -241,6 +350,7 @@ fn recommend(case: airchitect::model::CaseStudy, body: &[u8], inner: &Inner) -> 
         query: parsed.query,
         topk: parsed.topk,
         reply: reply_tx,
+        deadline,
     };
     match inner.queue.push(job) {
         Ok(()) => {}
@@ -253,36 +363,63 @@ fn recommend(case: airchitect::model::CaseStudy, body: &[u8], inner: &Inner) -> 
             resp.retry_after = Some(1);
             return resp;
         }
-        Err(PushError::ShuttingDown) => {
-            return Response::error(503, "draining", "server is shutting down");
-        }
+        Err(PushError::ShuttingDown) => return draining(),
     }
 
-    let outcome = match reply_rx.recv() {
-        Ok(o) => o,
-        // Workers only exit during shutdown, after draining the queue.
-        Err(_) => return Response::error(503, "draining", "server is shutting down"),
+    // Wait for the worker, but never past the deadline: the 504 is
+    // answered on time even if the worker is stuck on an injected stall.
+    let outcome = match deadline {
+        None => match reply_rx.recv() {
+            Ok(o) => o,
+            // Workers only exit during shutdown, after draining the queue.
+            Err(_) => return draining(),
+        },
+        Some(d) => {
+            match reply_rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+                Ok(o) => o,
+                Err(mpsc::RecvTimeoutError::Timeout) => return deadline_exceeded(),
+                Err(mpsc::RecvTimeoutError::Disconnected) => return draining(),
+            }
+        }
     };
     let response = match outcome {
         crate::batch::Outcome::Ok {
             body_tail,
             generation,
+            source,
         } => {
             let body = format!("{{\"cached\":false,{body_tail}");
-            inner.cache.lock().expect("cache poisoned").put(
-                parsed.cache_key,
-                CachedResponse {
-                    body_tail,
-                    generation,
-                },
-            );
-            Response::json(200, body)
+            match source {
+                // Only model answers are cached: a cache must never replay
+                // a degraded-mode answer after the model recovers.
+                Source::Model => {
+                    inner.cache.lock().expect("cache poisoned").put(
+                        parsed.cache_key,
+                        CachedResponse {
+                            body_tail,
+                            generation,
+                        },
+                    );
+                    Response::json(200, body)
+                }
+                Source::Search => {
+                    let mut resp = Response::json(200, body);
+                    resp.warning = Some(fallback::WARNING);
+                    resp
+                }
+            }
         }
         crate::batch::Outcome::Err {
             status,
             code,
             message,
-        } => Response::error(status, code, &message),
+        } => {
+            let mut resp = Response::error(status, code, &message);
+            if code == "circuit_open" {
+                resp.retry_after = Some(1);
+            }
+            resp
+        }
     };
     metrics::SERVE_REQUEST_US.record(started.elapsed().as_micros() as u64);
     response

@@ -14,7 +14,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use airchitect::model::CaseStudy;
 use airchitect::{persist, Recommender};
@@ -51,7 +51,7 @@ pub struct LoadedModel {
     pub path: PathBuf,
 }
 
-fn slot_index(case: CaseStudy) -> usize {
+pub(crate) fn slot_index(case: CaseStudy) -> usize {
     match case {
         CaseStudy::ArrayDataflow => 0,
         CaseStudy::BufferSizing => 1,
@@ -70,13 +70,23 @@ pub fn case_name(case: CaseStudy) -> &'static str {
 
 /// The hot-swappable model registry.
 pub struct ModelHub {
+    /// Every path handed to [`ModelHub::load`], healthy or not; `reload()`
+    /// re-reads all of them, so a model that failed at startup can be
+    /// repaired on disk and brought in without a restart.
+    registered: Vec<PathBuf>,
     slots: [RwLock<Option<Arc<LoadedModel>>>; 3],
     /// Bumped once per successful reload; loads stamp models with the
     /// current value so cache entries can be generation-checked.
     generation: AtomicU64,
+    /// Startup load failures tolerated in degraded mode (cleared by the
+    /// first successful reload); surfaced by `/healthz`.
+    load_errors: Mutex<Vec<String>>,
 }
 
 fn load_one(path: &Path, generation: u64) -> Result<LoadedModel, ServeError> {
+    airchitect_chaos::fail_point!("serve.reload.read", |e: std::io::Error| Err(
+        ServeError::Model(format!("{}: {e}", path.display()))
+    ));
     let model = persist::load(path)
         .map_err(|e| ServeError::Model(format!("{}: {e}", path.display())))?;
     let case = model.case_study();
@@ -109,20 +119,38 @@ impl ModelHub {
     /// Loads every path and fills the slots; at most one model per case
     /// study, at least one model overall.
     ///
+    /// With `tolerate_failures` (degraded-mode serving: the fallback oracle
+    /// answers for missing models), a path that fails to load or verify is
+    /// recorded in [`ModelHub::load_errors`] and its slot left empty instead
+    /// of aborting startup. Duplicate-case and empty-list errors are never
+    /// tolerated — those are operator mistakes, not runtime faults.
+    ///
     /// # Errors
     ///
     /// Returns [`ServeError`] for empty path lists, duplicate case studies,
-    /// or any load/validation failure.
-    pub fn load(paths: &[PathBuf]) -> Result<Self, ServeError> {
+    /// or (unless tolerated) any load/validation failure.
+    pub fn load(paths: &[PathBuf], tolerate_failures: bool) -> Result<Self, ServeError> {
         if paths.is_empty() {
             return Err(ServeError::Config("at least one model is required".into()));
         }
         let hub = Self {
+            registered: paths.to_vec(),
             slots: [RwLock::new(None), RwLock::new(None), RwLock::new(None)],
             generation: AtomicU64::new(1),
+            load_errors: Mutex::new(Vec::new()),
         };
         for path in paths {
-            let loaded = load_one(path, 1)?;
+            let loaded = match load_one(path, 1) {
+                Ok(loaded) => loaded,
+                Err(e) if tolerate_failures => {
+                    hub.load_errors
+                        .lock()
+                        .expect("load_errors poisoned")
+                        .push(e.to_string());
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let slot = &hub.slots[slot_index(loaded.case)];
             let mut guard = slot.write().expect("model slot poisoned");
             if guard.is_some() {
@@ -135,6 +163,12 @@ impl ModelHub {
             *guard = Some(Arc::new(loaded));
         }
         Ok(hub)
+    }
+
+    /// Startup load failures currently tolerated (empty once a reload
+    /// succeeds or when every model loaded cleanly).
+    pub fn load_errors(&self) -> Vec<String> {
+        self.load_errors.lock().expect("load_errors poisoned").clone()
     }
 
     /// The current snapshot for a case study, if a model is loaded.
@@ -158,8 +192,10 @@ impl ModelHub {
     /// Re-reads every registered model file and atomically swaps the slots.
     ///
     /// All files are loaded and validated before the first swap, so a
-    /// corrupt file leaves every slot untouched. On success the hub
-    /// generation is bumped and the new snapshots carry it.
+    /// corrupt file leaves every slot untouched. Paths that failed at
+    /// startup (tolerated degraded-mode loads) are retried here, and a
+    /// fully successful reload clears the recorded load errors. On success
+    /// the hub generation is bumped and the new snapshots carry it.
     ///
     /// # Errors
     ///
@@ -167,9 +203,17 @@ impl ModelHub {
     /// the old models keep serving in that case.
     pub fn reload(&self) -> Result<Vec<Arc<LoadedModel>>, ServeError> {
         let next_gen = self.generation.load(Ordering::Acquire) + 1;
-        let mut fresh = Vec::new();
-        for model in self.all() {
-            fresh.push(Arc::new(load_one(&model.path, next_gen)?));
+        let mut fresh: Vec<Arc<LoadedModel>> = Vec::new();
+        for path in &self.registered {
+            let loaded = load_one(path, next_gen)?;
+            if fresh.iter().any(|m| m.case == loaded.case) {
+                return Err(ServeError::Config(format!(
+                    "two models for {} (second: {})",
+                    loaded.case.name(),
+                    path.display()
+                )));
+            }
+            fresh.push(Arc::new(loaded));
         }
         // Validation passed for every file: publish the generation first,
         // then swap. A reader that races sees either (old gen, old model)
@@ -180,6 +224,10 @@ impl ModelHub {
             let slot = &self.slots[slot_index(loaded.case)];
             *slot.write().expect("model slot poisoned") = Some(Arc::clone(loaded));
         }
+        self.load_errors
+            .lock()
+            .expect("load_errors poisoned")
+            .clear();
         airchitect_telemetry::metrics::SERVE_RELOADS.inc();
         Ok(fresh)
     }
@@ -227,7 +275,7 @@ mod tests {
     fn load_reload_and_generation_bump() {
         let path = temp_path("a.airm");
         persist::save(&tiny_cs1_model(), &path).unwrap();
-        let hub = ModelHub::load(&[path.clone()]).unwrap();
+        let hub = ModelHub::load(&[path.clone()], false).unwrap();
         assert_eq!(hub.generation(), 1);
         let before = hub.get(CaseStudy::ArrayDataflow).unwrap();
         assert_eq!(before.generation, 1);
@@ -246,7 +294,7 @@ mod tests {
     fn corrupt_file_fails_reload_but_keeps_serving() {
         let path = temp_path("b.airm");
         persist::save(&tiny_cs1_model(), &path).unwrap();
-        let hub = ModelHub::load(&[path.clone()]).unwrap();
+        let hub = ModelHub::load(&[path.clone()], false).unwrap();
 
         // Truncate the file: the checksum-verified load must reject it.
         let bytes = std::fs::read(&path).unwrap();
@@ -265,7 +313,12 @@ mod tests {
         persist::save(&model, &p1).unwrap();
         persist::save(&model, &p2).unwrap();
         assert!(matches!(
-            ModelHub::load(&[p1.clone(), p2.clone()]),
+            ModelHub::load(&[p1.clone(), p2.clone()], false),
+            Err(ServeError::Config(_))
+        ));
+        // Duplicates are an operator mistake, never tolerated.
+        assert!(matches!(
+            ModelHub::load(&[p1.clone(), p2.clone()], true),
             Err(ServeError::Config(_))
         ));
         let _ = std::fs::remove_file(&p1);
@@ -274,6 +327,40 @@ mod tests {
 
     #[test]
     fn empty_path_list_is_rejected() {
-        assert!(matches!(ModelHub::load(&[]), Err(ServeError::Config(_))));
+        assert!(matches!(
+            ModelHub::load(&[], false),
+            Err(ServeError::Config(_))
+        ));
+        assert!(matches!(
+            ModelHub::load(&[], true),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn tolerated_load_failure_is_repaired_by_reload() {
+        let path = temp_path("d.airm");
+        persist::save(&tiny_cs1_model(), &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Corrupt the file, then start in tolerant (degraded) mode.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(
+            ModelHub::load(&[path.clone()], false),
+            Err(ServeError::Model(_))
+        ));
+        let hub = ModelHub::load(&[path.clone()], true).unwrap();
+        assert!(hub.get(CaseStudy::ArrayDataflow).is_none());
+        assert_eq!(hub.load_errors().len(), 1);
+
+        // A reload still fails while the file is corrupt...
+        assert!(hub.reload().is_err());
+        // ...but once repaired on disk, reload fills the empty slot and
+        // clears the recorded startup error.
+        std::fs::write(&path, &good).unwrap();
+        hub.reload().unwrap();
+        assert!(hub.get(CaseStudy::ArrayDataflow).is_some());
+        assert!(hub.load_errors().is_empty());
+        let _ = std::fs::remove_file(&path);
     }
 }

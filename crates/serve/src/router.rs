@@ -15,6 +15,7 @@ use airchitect_telemetry::metrics;
 use airchitect_workload::GemmWorkload;
 
 use crate::batch::RecQuery;
+use crate::breaker::Breakers;
 use crate::http::Response;
 use crate::reload::{case_name, ModelHub};
 
@@ -284,9 +285,16 @@ pub fn parse_recommend(case: CaseStudy, body: &[u8]) -> Result<ParsedQuery, Resp
     }
 }
 
-/// Renders `GET /healthz`: liveness, hub generation, loaded models.
-pub fn render_healthz(hub: &ModelHub) -> Response {
-    let mut body = String::from("{\"status\":\"ok\",\"generation\":");
+/// Renders `GET /healthz`: liveness, hub generation, loaded models,
+/// breaker phases, and any tolerated startup load errors. The status is
+/// `degraded` (not `ok`) while any circuit is open or a registered model
+/// is missing — load balancers doing string matches see the difference.
+pub fn render_healthz(hub: &ModelHub, breakers: &Breakers) -> Response {
+    let load_errors = hub.load_errors();
+    let degraded = breakers.any_tripped() || !load_errors.is_empty();
+    let mut body = String::from("{\"status\":\"");
+    body.push_str(if degraded { "degraded" } else { "ok" });
+    body.push_str("\",\"generation\":");
     body.push_str(&hub.generation().to_string());
     body.push_str(",\"models\":[");
     for (i, model) in hub.all().iter().enumerate() {
@@ -300,6 +308,22 @@ pub fn render_healthz(hub: &ModelHub) -> Response {
         body.push_str(",\"generation\":");
         body.push_str(&model.generation.to_string());
         body.push('}');
+    }
+    body.push_str("],\"breakers\":{");
+    for (i, (name, phase)) in breakers.phases().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        json::write_escaped(&mut body, name);
+        body.push(':');
+        json::write_escaped(&mut body, phase);
+    }
+    body.push_str("},\"load_errors\":[");
+    for (i, err) in load_errors.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        json::write_escaped(&mut body, err);
     }
     body.push_str("]}\n");
     Response::json(200, body)

@@ -1,0 +1,283 @@
+//! Chaos integration: the server under injected faults — breaker trips and
+//! half-open recovery, deadlines under injected latency, reload corruption,
+//! accept-loop fault retry, and the degraded-mode fallback when a circuit
+//! is open. Compiled only with `--features chaos`.
+
+#![cfg(feature = "chaos")]
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+use airchitect::persist;
+use airchitect_data::Dataset;
+use airchitect_nn::train::TrainConfig;
+use airchitect_serve::client::HttpClient;
+use airchitect_serve::{ServeConfig, ServeError, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The chaos registry is process-global; serialize every test and always
+/// leave the registry clean.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct ChaosGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        airchitect_chaos::reset();
+    }
+}
+
+fn chaos(cfg: &str) -> ChaosGuard {
+    let guard = chaos_lock();
+    airchitect_chaos::reset();
+    airchitect_chaos::configure_str(cfg).expect("valid chaos config");
+    ChaosGuard { _lock: guard }
+}
+
+fn cs1_model_file() -> PathBuf {
+    static FILE: OnceLock<PathBuf> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let mut ds = Dataset::new(4, 30).unwrap();
+        let mut row = [0f32; 4];
+        for i in 0..240usize {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = ((i * 31 + j * 7) % 97) as f32;
+            }
+            ds.push(&row, (i as u32 * 13) % 30).unwrap();
+        }
+        let mut model = AirchitectModel::new(
+            CaseStudy::ArrayDataflow,
+            &AirchitectConfig {
+                num_classes: 30,
+                train: TrainConfig {
+                    epochs: 2,
+                    batch_size: 64,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        model.train(&ds).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "airchitect-serve-chaos-{}.airm",
+            std::process::id()
+        ));
+        persist::save(&model, &path).unwrap();
+        path
+    })
+    .clone()
+}
+
+type ServerHandle = JoinHandle<Result<(), ServeError>>;
+
+fn start(config: ServeConfig) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind(&config).expect("server binds");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn config(breaker_threshold: u32, cooldown_ms: u64, fallback: bool) -> ServeConfig {
+    ServeConfig {
+        model_paths: vec![cs1_model_file()],
+        read_timeout_secs: 30,
+        cache_capacity: 0, // no caching: every request must reach a worker
+        breaker_threshold,
+        breaker_cooldown_ms: cooldown_ms,
+        fallback_search: fallback,
+        ..ServeConfig::default()
+    }
+}
+
+fn shutdown(addr: SocketAddr, handle: ServerHandle) {
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let resp = client.post("/v1/shutdown", "").unwrap();
+    assert_eq!(resp.status, 200);
+    handle.join().unwrap().unwrap();
+}
+
+const ARRAY_BODY: &str = r#"{"m":128,"n":64,"k":256,"mac_budget":1024}"#;
+
+#[test]
+fn breaker_opens_after_injected_failures_and_half_open_recovers() {
+    let _guard = chaos("serve.infer=err(other):1:3");
+    let (addr, handle) = start(config(3, 150, false));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    // Three injected inference failures: each surfaces as a 500 and counts
+    // against the breaker.
+    for i in 0..3 {
+        let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+        assert_eq!(resp.status, 500, "request {i}: {}", resp.body);
+        assert!(resp.body.contains("inference_failed"), "{}", resp.body);
+    }
+    // The circuit is now open: fail-fast 503 without touching the model.
+    let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert!(resp.body.contains("circuit_open"), "{}", resp.body);
+    assert_eq!(resp.retry_after, Some(1));
+
+    // Open circuits degrade /healthz and are visible in /metrics.
+    let health = client.get("/healthz").unwrap();
+    assert!(health.body.contains("\"status\":\"degraded\""), "{}", health.body);
+    assert!(health.body.contains("\"array\":\"open\""), "{}", health.body);
+    let metrics = client.get("/metrics").unwrap();
+    assert!(
+        metrics.body.contains("serve.breaker_state.array 1"),
+        "{}",
+        metrics.body
+    );
+    // Counters are process-global and cumulative across tests: assert
+    // presence and positivity, not an exact value.
+    assert!(
+        metrics.body.lines().any(|l| {
+            l.split_once(' ')
+                .is_some_and(|(k, v)| k == "serve.breaker_opens" && v.parse::<u64>().unwrap_or(0) > 0)
+        }),
+        "{}",
+        metrics.body
+    );
+
+    // After the cooldown the next request is the half-open probe; the
+    // failpoint is exhausted, so it succeeds and closes the circuit.
+    std::thread::sleep(Duration::from_millis(200));
+    let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 200, "probe must recover: {}", resp.body);
+    let health = client.get("/healthz").unwrap();
+    assert!(health.body.contains("\"status\":\"ok\""), "{}", health.body);
+    assert!(health.body.contains("\"array\":\"closed\""), "{}", health.body);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn open_circuit_with_fallback_serves_the_search_answer() {
+    let _guard = chaos("serve.infer=err(other):1:2");
+    let (addr, handle) = start(config(2, 60_000, true));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    for _ in 0..2 {
+        let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+        assert_eq!(resp.status, 500, "{}", resp.body);
+    }
+    // Circuit open + fallback configured: degraded 200, not a 503.
+    let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"source\":\"search\""), "{}", resp.body);
+    assert!(resp.warning.is_some(), "fallback must carry Warning");
+
+    // The search answer is the exhaustive optimum for this workload.
+    use airchitect_dse::case1::Case1Problem;
+    use airchitect_workload::GemmWorkload;
+    let problem = Case1Problem::new(1 << 18);
+    let found = problem.search(&GemmWorkload::new(128, 64, 256).unwrap(), 1024);
+    let (array, df) = problem.space().decode(found.label).unwrap();
+    let rendered = format!(
+        "\"rows\":{},\"cols\":{},\"macs\":{},\"dataflow\":\"{df}\"",
+        array.rows(),
+        array.cols(),
+        array.macs()
+    );
+    assert!(resp.body.contains(&rendered), "{} !~ {rendered}", resp.body);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn injected_worker_stall_turns_into_a_timely_504() {
+    let _guard = chaos("serve.batch.dispatch=delay(600):1:1");
+    let (addr, handle) = start(ServeConfig {
+        deadline_ms: 150,
+        ..config(0, 0, false)
+    });
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    let started = std::time::Instant::now();
+    let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.body);
+    assert!(resp.body.contains("deadline_exceeded"), "{}", resp.body);
+    // The 504 must be answered at the deadline, not after the stall ends.
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "504 answered after {}ms",
+        started.elapsed().as_millis()
+    );
+
+    // Once the injected stall drains, the server answers normally.
+    let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn injected_worker_panic_is_isolated_to_one_500() {
+    let _guard = chaos("serve.batch.dispatch=panic:1:1");
+    let (addr, handle) = start(config(0, 0, false));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.body);
+    assert!(resp.body.contains("inference_panic"), "{}", resp.body);
+    // The worker survived; later requests are answered.
+    for _ in 0..3 {
+        let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    shutdown(addr, handle);
+}
+
+#[test]
+fn reload_faults_409_then_trip_the_reload_breaker() {
+    // Start clean so the initial load at bind time succeeds, then inject
+    // read faults that only the reload path will hit.
+    let _guard = chaos("");
+    let (addr, handle) = start(config(2, 60_000, false));
+    airchitect_chaos::configure_str("serve.reload.read=err(other):1:2").unwrap();
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    // Two injected read failures: each reload answers 409 and the old
+    // model keeps serving.
+    for _ in 0..2 {
+        let resp = client.post("/v1/reload", "").unwrap();
+        assert_eq!(resp.status, 409, "{}", resp.body);
+        assert!(resp.body.contains("reload_failed"), "{}", resp.body);
+        let ok = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+        assert_eq!(ok.status, 200, "old model must keep serving");
+    }
+    // The reload circuit is now open: fail fast without touching disk.
+    let resp = client.post("/v1/reload", "").unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert!(resp.body.contains("circuit_open"), "{}", resp.body);
+    assert_eq!(resp.retry_after, Some(1));
+    let health = client.get("/healthz").unwrap();
+    assert!(health.body.contains("\"reload\":\"open\""), "{}", health.body);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn injected_accept_errors_are_retried_not_fatal() {
+    let _guard = chaos("serve.listener.accept=err(other):1:5");
+    let (addr, handle) = start(config(0, 0, false));
+    // Every connection still gets through: the accept loop backs off and
+    // retries, and pending sockets wait in the kernel backlog.
+    for _ in 0..3 {
+        let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+        let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    assert!(airchitect_chaos::fired("serve.listener.accept") >= 1);
+    shutdown(addr, handle);
+}

@@ -237,6 +237,236 @@ fn reload_bumps_the_generation_and_invalidates_the_cache() {
 }
 
 #[test]
+fn expired_deadline_answers_504_before_any_work() {
+    // `X-Deadline-Ms: 0` is an already-expired budget: deterministic 504
+    // at admission, no queueing, no inference.
+    let (addr, handle) = start(default_config(vec![model_file(CaseStudy::ArrayDataflow)]));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let resp = client
+        .post_with_deadline("/v1/recommend/array", ARRAY_BODY, 0)
+        .unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.body);
+    assert!(resp.body.contains("deadline_exceeded"), "{}", resp.body);
+
+    // A generous budget answers normally and reports the metric.
+    let resp = client
+        .post_with_deadline("/v1/recommend/array", ARRAY_BODY, 30_000)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let metrics = client.get("/metrics").unwrap();
+    assert!(
+        metrics.body.lines().any(|l| {
+            l.split_once(' ')
+                .is_some_and(|(k, v)| k == "serve.deadline_exceeded" && v.parse::<u64>().unwrap_or(0) > 0)
+        }),
+        "metrics must count deadline_exceeded:\n{}",
+        metrics.body
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn draining_server_answers_503_with_retry_after() {
+    let config = ServeConfig {
+        read_timeout_secs: 5,
+        ..default_config(vec![model_file(CaseStudy::ArrayDataflow)])
+    };
+    let (addr, handle) = start(config);
+    // B's connection is accepted *before* the drain starts; its request
+    // lands while the server is shutting down.
+    let mut drainer = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let mut late = HttpClient::connect(addr, TIMEOUT).unwrap();
+    // Make sure `late` is fully established (thread spawned) first.
+    let health = late.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+
+    let resp = drainer.post("/v1/shutdown", "").unwrap();
+    assert_eq!(resp.status, 200);
+    let resp = late.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert!(resp.body.contains("draining"), "{}", resp.body);
+    assert_eq!(resp.retry_after, Some(1), "503 draining must carry Retry-After");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn slow_reader_cannot_wedge_the_server_or_shutdown() {
+    // Short socket timeouts: a client that sends one request and then
+    // neither reads nor writes must not hold a connection thread (and
+    // therefore graceful shutdown) hostage.
+    let config = ServeConfig {
+        read_timeout_secs: 1,
+        write_timeout_secs: 1,
+        ..default_config(vec![model_file(CaseStudy::ArrayDataflow)])
+    };
+    let (addr, handle) = start(config);
+
+    let raw = std::net::TcpStream::connect(addr).unwrap();
+    {
+        use std::io::Write;
+        let mut w = raw.try_clone().unwrap();
+        let req = format!(
+            "POST /v1/recommend/array HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{ARRAY_BODY}",
+            ARRAY_BODY.len()
+        );
+        w.write_all(req.as_bytes()).unwrap();
+        w.flush().unwrap();
+    }
+    // Never read the response; keep the socket open while other clients
+    // are served.
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    for _ in 0..3 {
+        let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    // Graceful shutdown must complete despite the silent connection: the
+    // 1s read timeout reclaims its thread.
+    shutdown(addr, handle);
+    drop(raw);
+}
+
+#[test]
+fn fallback_serves_the_search_answer_for_a_missing_model() {
+    use airchitect_dse::case2::{Case2Problem, Case2Query};
+    use airchitect_sim::{ArrayConfig, Dataflow};
+    use airchitect_workload::GemmWorkload;
+
+    // Register a CS1 model plus a path that does not exist; tolerant
+    // (fallback) startup serves anyway.
+    let bogus = std::env::temp_dir().join(format!(
+        "airchitect-serve-test-{}-missing.airm",
+        std::process::id()
+    ));
+    let config = ServeConfig {
+        fallback_search: true,
+        ..default_config(vec![model_file(CaseStudy::ArrayDataflow), bogus])
+    };
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    // Degraded is visible before any traffic: the registered model is
+    // missing.
+    let health = client.get("/healthz").unwrap();
+    assert!(health.body.contains("\"status\":\"degraded\""), "{}", health.body);
+    assert!(health.body.contains("\"load_errors\":[\""), "{}", health.body);
+
+    // The loaded CS1 model answers normally, stamped source=model.
+    let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"source\":\"model\""), "{}", resp.body);
+    assert!(resp.warning.is_none());
+
+    // The unloaded CS2 case falls back to exhaustive search: 200 with
+    // source=search and a Warning header, and the answer matches the DSE
+    // oracle exactly.
+    let resp = client.post("/v1/recommend/buffers", BUFFERS_BODY).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"source\":\"search\""), "{}", resp.body);
+    assert!(resp.warning.is_some(), "fallback must carry a Warning header");
+
+    let oracle = Case2Problem::new();
+    let expect = oracle.search(&Case2Query {
+        workload: GemmWorkload::new(256, 256, 256).unwrap(),
+        array: ArrayConfig::new(32, 32).unwrap(),
+        dataflow: Dataflow::Os,
+        bandwidth: 16,
+        limit_kb: 1500,
+    });
+    let (i, f, o) = oracle.space().decode(expect.label).unwrap();
+    let rendered = format!("\"ifmap_kb\":{i},\"filter_kb\":{f},\"ofmap_kb\":{o}");
+    assert!(resp.body.contains(&rendered), "{} !~ {rendered}", resp.body);
+
+    // Fallback answers are never cached.
+    let again = client.post("/v1/recommend/buffers", BUFFERS_BODY).unwrap();
+    assert!(again.body.starts_with("{\"cached\":false,"), "{}", again.body);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn degradation_ladder_is_table_driven() {
+    // Each rung of the degradation ladder, from least to most degraded,
+    // with the exact status + code contract a client can program against.
+    struct Case {
+        name: &'static str,
+        config: ServeConfig,
+        deadline_ms: Option<u64>,
+        status: u16,
+        marker: &'static str,
+        retry_after: Option<u64>,
+    }
+    let cases = [
+        Case {
+            name: "healthy",
+            config: default_config(vec![model_file(CaseStudy::ArrayDataflow)]),
+            deadline_ms: None,
+            status: 200,
+            marker: "\"source\":\"model\"",
+            retry_after: None,
+        },
+        Case {
+            name: "queue-full",
+            config: ServeConfig {
+                queue_depth: 0,
+                cache_capacity: 0,
+                ..default_config(vec![model_file(CaseStudy::ArrayDataflow)])
+            },
+            deadline_ms: None,
+            status: 429,
+            marker: "queue_full",
+            retry_after: Some(1),
+        },
+        Case {
+            name: "deadline-expired",
+            config: default_config(vec![model_file(CaseStudy::ArrayDataflow)]),
+            deadline_ms: Some(0),
+            status: 504,
+            marker: "deadline_exceeded",
+            retry_after: None,
+        },
+        Case {
+            name: "missing-model-without-fallback",
+            config: default_config(vec![model_file(CaseStudy::BufferSizing)]),
+            deadline_ms: None,
+            status: 503,
+            marker: "model_not_loaded",
+            retry_after: None,
+        },
+        Case {
+            name: "missing-model-with-fallback",
+            config: ServeConfig {
+                fallback_search: true,
+                ..default_config(vec![model_file(CaseStudy::BufferSizing)])
+            },
+            deadline_ms: None,
+            status: 200,
+            marker: "\"source\":\"search\"",
+            retry_after: None,
+        },
+    ];
+    for case in cases {
+        let (addr, handle) = start(case.config);
+        let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+        let resp = match case.deadline_ms {
+            Some(ms) => client
+                .post_with_deadline("/v1/recommend/array", ARRAY_BODY, ms)
+                .unwrap(),
+            None => client.post("/v1/recommend/array", ARRAY_BODY).unwrap(),
+        };
+        assert_eq!(resp.status, case.status, "{}: {}", case.name, resp.body);
+        assert!(
+            resp.body.contains(case.marker),
+            "{}: expected `{}` in {}",
+            case.name,
+            case.marker,
+            resp.body
+        );
+        assert_eq!(resp.retry_after, case.retry_after, "{}", case.name);
+        shutdown(addr, handle);
+    }
+}
+
+#[test]
 fn concurrent_load_with_reloads_never_sees_5xx() {
     const THREADS: usize = 6;
     const REQUESTS: usize = 60;

@@ -271,11 +271,29 @@ pub static SERVE_BATCHES: Counter = Counter::new("serve.batches");
 pub static SERVE_BATCHED_JOBS: Counter = Counter::new("serve.batched_jobs");
 /// Successful model hot-reloads.
 pub static SERVE_RELOADS: Counter = Counter::new("serve.reloads");
+/// Requests answered 504 because their end-to-end deadline expired.
+pub static SERVE_DEADLINE_EXCEEDED: Counter = Counter::new("serve.deadline_exceeded");
+/// Circuit-breaker transitions into the open state (any breaker).
+pub static SERVE_BREAKER_OPENS: Counter = Counter::new("serve.breaker_opens");
+/// Recommendations served by the exhaustive-search fallback oracle.
+pub static SERVE_FALLBACKS: Counter = Counter::new("serve.fallbacks");
+/// Inference executions that failed server-side (5xx-class outcomes).
+pub static SERVE_INFER_FAILURES: Counter = Counter::new("serve.infer_failures");
+/// Transient artifact-read errors retried by `core::persist`.
+pub static PERSIST_READ_RETRIES: Counter = Counter::new("persist.read_retries");
 
 /// Latest training loss.
 pub static TRAIN_LOSS: Gauge = Gauge::new("train.loss");
 /// Latest training accuracy.
 pub static TRAIN_ACCURACY: Gauge = Gauge::new("train.accuracy");
+/// CS1 inference breaker state (0 closed, 1 open, 2 half-open).
+pub static SERVE_BREAKER_ARRAY: Gauge = Gauge::new("serve.breaker_state.array");
+/// CS2 inference breaker state (0 closed, 1 open, 2 half-open).
+pub static SERVE_BREAKER_BUFFERS: Gauge = Gauge::new("serve.breaker_state.buffers");
+/// CS3 inference breaker state (0 closed, 1 open, 2 half-open).
+pub static SERVE_BREAKER_SCHEDULE: Gauge = Gauge::new("serve.breaker_state.schedule");
+/// Hot-reload breaker state (0 closed, 1 open, 2 half-open).
+pub static SERVE_BREAKER_RELOAD: Gauge = Gauge::new("serve.breaker_state.reload");
 
 /// Per-mini-batch wall time, microseconds.
 pub static TRAIN_BATCH_US: Histogram = Histogram::new("train.batch_us");
@@ -288,7 +306,7 @@ pub static SERVE_REQUEST_US: Histogram = Histogram::new("serve.request_us");
 /// Jobs per drained micro-batch (a size distribution, not a latency).
 pub static SERVE_BATCH_JOBS: Histogram = Histogram::new("serve.batch_jobs");
 
-static COUNTERS: [&Counter; 19] = [
+static COUNTERS: [&Counter; 24] = [
     &SIM_EVALS,
     &DSE_SEARCHES,
     &DSE_SEARCH_POINTS,
@@ -308,8 +326,20 @@ static COUNTERS: [&Counter; 19] = [
     &SERVE_BATCHES,
     &SERVE_BATCHED_JOBS,
     &SERVE_RELOADS,
+    &SERVE_DEADLINE_EXCEEDED,
+    &SERVE_BREAKER_OPENS,
+    &SERVE_FALLBACKS,
+    &SERVE_INFER_FAILURES,
+    &PERSIST_READ_RETRIES,
 ];
-static GAUGES: [&Gauge; 2] = [&TRAIN_LOSS, &TRAIN_ACCURACY];
+static GAUGES: [&Gauge; 6] = [
+    &TRAIN_LOSS,
+    &TRAIN_ACCURACY,
+    &SERVE_BREAKER_ARRAY,
+    &SERVE_BREAKER_BUFFERS,
+    &SERVE_BREAKER_SCHEDULE,
+    &SERVE_BREAKER_RELOAD,
+];
 static HISTOGRAMS: [&Histogram; 5] = [
     &TRAIN_BATCH_US,
     &INFER_QUERY_US,

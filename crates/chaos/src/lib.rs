@@ -31,6 +31,20 @@
 //! `count` (default unlimited) caps total firings — `:1` is a one-shot
 //! trigger. Per-point fired counters ([`fired`]) let tests assert exactly
 //! how many injections landed.
+//!
+//! Instrumented point names (see DESIGN.md §11 for per-point semantics):
+//!
+//! * persistence — `persist.read`, `persist.write`, `dse.shard`,
+//!   `dse.shard.save`;
+//! * single-process serving — `serve.listener.accept`, `serve.conn.read`,
+//!   `serve.conn.write`, `serve.batch.dispatch`, `serve.infer`,
+//!   `serve.reload.read`;
+//! * cluster mode — `cluster.probe` (health probe fails as unreachable),
+//!   `cluster.spawn` (replica spawn fails, driving restart backoff),
+//!   `cluster.proxy.accept` (router accept loop), `cluster.proxy.read`
+//!   (routed attempt fails before the replica, forcing failover),
+//!   `cluster.proxy.write` (router drops the client connection instead
+//!   of writing the response).
 
 #![warn(missing_docs)]
 
@@ -65,8 +79,14 @@ macro_rules! fail_point {
 #[cfg(not(feature = "enabled"))]
 #[macro_export]
 macro_rules! fail_point {
-    ($name:expr) => {};
-    ($name:expr, $handler:expr) => {};
+    ($name:expr) => {
+        // Evaluate (and discard) the name so call sites passing it via a
+        // variable do not trip `unused_variables` in chaos-free builds.
+        let _ = $name;
+    };
+    ($name:expr, $handler:expr) => {
+        let _ = $name;
+    };
 }
 
 /// Whether failpoints are compiled into this build.

@@ -19,6 +19,10 @@
 //! * `chaos` — (chaos-enabled builds only, not part of `all`) loadgen
 //!   under a scripted failpoint schedule; gates on zero wrong answers,
 //!   zero hangs, a bounded 5xx fraction, and post-fault recovery.
+//! * `cluster` — (not part of `all`) loadgen against a supervised
+//!   multi-replica cluster while one replica is SIGKILLed mid-run; gates
+//!   on zero failed client requests, bounded re-admission of the killed
+//!   replica, and aggregate QPS at least matching a single replica.
 //!
 //! JSON is hand-rolled (flat objects, fixed keys) to stay within the
 //! approved dependency set; `--quick` shrinks every suite for CI smoke
@@ -30,8 +34,8 @@ use std::time::{Duration, Instant};
 
 use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
 use airchitect::{persist, Recommender};
-use airchitect_serve::client::HttpClient;
-use airchitect_serve::{ServeConfig, Server};
+use airchitect_serve::client::{HttpClient, RetryClient};
+use airchitect_serve::{Cluster, ClusterConfig, ServeConfig, Server};
 use airchitect_data::Dataset;
 use airchitect_dse::case1::Case1Problem;
 use airchitect_dse::search_algos::{GeneticSearch, HillClimb, RandomSearch, SearchStrategy};
@@ -98,6 +102,9 @@ fn bench_inner(args: &Args) -> Result<(), CliError> {
         // Deliberately not part of `all`: it needs a chaos-enabled build
         // and measures robustness gates, not throughput.
         "chaos" => bench_chaos(&out_dir, quick)?,
+        // Also not part of `all`: it spawns replica child processes and
+        // gates on failure-recovery behavior, not raw throughput.
+        "cluster" => bench_cluster(&out_dir, quick)?,
         "all" => {
             bench_train(&out_dir, samples, epochs, threads)?;
             bench_infer(&out_dir, quick)?;
@@ -106,7 +113,7 @@ fn bench_inner(args: &Args) -> Result<(), CliError> {
         }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown suite `{other}` (train|infer|dse|serve|chaos|all)"
+                "unknown suite `{other}` (train|infer|dse|serve|chaos|cluster|all)"
             )))
         }
     }
@@ -568,6 +575,292 @@ fn bench_serve(out_dir: &str, quick: bool) -> Result<(), CliError> {
          \"p95_us\": {p95},\n  \"p99_us\": {p99}\n}}\n"
     );
     write_json(out_dir, "BENCH_serve.json", &body)
+}
+
+/// Shared loadgen over self-healing clients: `clients` threads stride
+/// through a body pool against `addr`, returning (latencies_us,
+/// failed_count). Failures are exhausted-retry transport errors or
+/// non-200 statuses — under cluster failover both should be zero.
+fn cluster_loadgen(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: usize,
+    pool: &Arc<Vec<String>>,
+    progress: &Arc<AtomicU64>,
+) -> Result<(Vec<u64>, u64), CliError> {
+    let timeout = Duration::from_secs(10);
+    let failed = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|tid| {
+            let pool = Arc::clone(pool);
+            let failed = Arc::clone(&failed);
+            let progress = Arc::clone(progress);
+            std::thread::spawn(move || -> Vec<u64> {
+                let mut client =
+                    RetryClient::new(addr, timeout, 4, Duration::from_millis(50));
+                let mut latencies = Vec::with_capacity(requests / clients);
+                for i in 0..requests / clients {
+                    let body = &pool[(tid + i * 7) % pool.len()];
+                    let sent = Instant::now();
+                    match client.post("/v1/recommend/array", body) {
+                        Ok(resp) if resp.status == 200 => {}
+                        _ => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    latencies.push(sent.elapsed().as_micros() as u64);
+                    progress.fetch_add(1, Ordering::Relaxed);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(requests);
+    for handle in handles {
+        latencies.extend(
+            handle
+                .join()
+                .map_err(|_| CliError::Run("loadgen client panicked".into()))?,
+        );
+    }
+    Ok((latencies, failed.load(Ordering::Relaxed)))
+}
+
+/// Loadgen against a supervised cluster with a mid-run replica SIGKILL.
+///
+/// Gates (any failure fails the bench):
+/// * zero failed client requests while a replica dies under load — the
+///   router's retry-on-next-replica must absorb the crash;
+/// * the killed replica is restarted and re-admitted to the ring within a
+///   bounded window after the load drains;
+/// * aggregate cluster QPS at least matches the single-replica figure —
+///   measured through the same router with one replica, so the constant
+///   per-hop proxy cost cancels and the gate isolates what scaling out
+///   (and dying mid-run) actually costs. Replica caches are disabled so
+///   the comparison is inference-bound, not cache-bound. On machines too
+///   small to run the fleet in parallel the >= 1x requirement relaxes to a
+///   bounded-degradation floor (see the gate comment below).
+fn bench_cluster(out_dir: &str, quick: bool) -> Result<(), CliError> {
+    const CLIENTS: usize = 16;
+    const REPLICAS: usize = 3;
+    let requests: usize = if quick { 2_000 } else { 12_000 };
+    let single_requests: usize = if quick { 1_000 } else { 4_000 };
+    println!(
+        "bench cluster: {requests} requests over {CLIENTS} clients against {REPLICAS} replicas, \
+         one SIGKILL mid-run"
+    );
+
+    let model_path = serve_model_file(if quick { 2_000 } else { 8_000 })?;
+    // Replica caches off: the QPS gate compares inference throughput, and
+    // a killed replica must cost recomputation, not a warm cache.
+    let replica_config = ServeConfig {
+        model_paths: vec![model_path.clone()],
+        workers: 2,
+        queue_depth: 1024,
+        cache_capacity: 0,
+        read_timeout_secs: 30,
+        ..ServeConfig::default()
+    };
+
+    let mut rng = StdRng::seed_from_u64(41);
+    let pool: Arc<Vec<String>> = Arc::new(
+        (0..256)
+            .map(|_| {
+                let wl = random_workload(&mut rng);
+                format!(
+                    "{{\"m\":{},\"n\":{},\"k\":{},\"mac_budget\":{}}}",
+                    wl.m(),
+                    wl.n(),
+                    wl.k(),
+                    1u64 << 10
+                )
+            })
+            .collect(),
+    );
+
+    let program = std::env::current_exe()
+        .map_err(|e| CliError::Run(format!("cannot locate own binary: {e}")))?;
+    let mk_cfg = |replicas: usize| ClusterConfig {
+        addr: "127.0.0.1:0".into(),
+        replica_argv: Cluster::replica_argv(&program.display().to_string(), &replica_config),
+        replicas,
+        probe_interval_ms: 100,
+        restart_base_ms: 100,
+        backend_timeout_ms: 30_000,
+        read_timeout_secs: 30,
+        ..ClusterConfig::default()
+    };
+
+    // Baseline: one replica behind the same router with the same loadgen,
+    // so both figures pay the identical per-hop proxy cost and the gate
+    // compares replica capacity rather than hop latency.
+    let single_qps = {
+        let cluster = Cluster::start(mk_cfg(1)).map_err(|e| CliError::Run(e.to_string()))?;
+        let addr = cluster.local_addr();
+        if !cluster.wait_healthy(1, Duration::from_secs(60)) {
+            return Err(CliError::Run(
+                "baseline cluster never reached 1 healthy replica".into(),
+            ));
+        }
+        let cluster_thread = std::thread::spawn(move || cluster.run());
+        let progress = Arc::new(AtomicU64::new(0));
+        let t0 = Instant::now();
+        let (_, failed) = cluster_loadgen(addr, CLIENTS, single_requests, &pool, &progress)?;
+        let qps = single_requests as f64 / t0.elapsed().as_secs_f64();
+        let mut shut = RetryClient::new(addr, Duration::from_secs(5), 3, Duration::from_millis(50));
+        let _ = shut.post("/v1/shutdown", "");
+        cluster_thread
+            .join()
+            .map_err(|_| CliError::Run("baseline cluster thread panicked".into()))?
+            .map_err(|e| CliError::Run(format!("baseline cluster exited with: {e}")))?;
+        if failed > 0 {
+            return Err(CliError::Run(format!(
+                "{failed} failed requests against the single-replica baseline"
+            )));
+        }
+        println!("  single replica baseline (through router): {qps:.0} req/s");
+        qps
+    };
+
+    let cluster_cfg = mk_cfg(REPLICAS);
+    let probe_interval_ms = cluster_cfg.probe_interval_ms;
+    let cluster = Cluster::start(cluster_cfg).map_err(|e| CliError::Run(e.to_string()))?;
+    let addr = cluster.local_addr();
+    let fleet = cluster.fleet();
+    if !cluster.wait_healthy(REPLICAS, Duration::from_secs(60)) {
+        return Err(CliError::Run(format!(
+            "cluster never reached {REPLICAS} healthy replicas"
+        )));
+    }
+    let cluster_thread = std::thread::spawn(move || cluster.run());
+
+    // Killer: SIGKILL one replica once ~40% of the load has gone through.
+    let progress = Arc::new(AtomicU64::new(0));
+    let victim: u32 = 0;
+    let kill_at = (requests * 2 / 5) as u64;
+    let killed_at_ms = Arc::new(AtomicU64::new(0));
+    let killer = {
+        let fleet = Arc::clone(&fleet);
+        let progress = Arc::clone(&progress);
+        let killed_at_ms = Arc::clone(&killed_at_ms);
+        let t0 = Instant::now();
+        std::thread::spawn(move || {
+            while progress.load(Ordering::Relaxed) < kill_at {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let killed = fleet.kill_replica(victim);
+            killed_at_ms.store(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+            killed
+        })
+    };
+
+    let t0 = Instant::now();
+    let (mut latencies, failed) = cluster_loadgen(addr, CLIENTS, requests, &pool, &progress)?;
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let killed = killer
+        .join()
+        .map_err(|_| CliError::Run("killer thread panicked".into()))?;
+    if !killed {
+        return Err(CliError::Run(format!(
+            "kill_replica({victim}) found no live child to kill"
+        )));
+    }
+
+    // Re-admission gate: the killed replica must return to the ring. The
+    // load can drain before the probe thread has even ejected the victim
+    // (it still counts as healthy until then), so wait for the full
+    // eject -> restart -> re-admit cycle, not just the healthy count.
+    let readmit_deadline = Instant::now() + Duration::from_secs(30);
+    let readmit_t0 = Instant::now();
+    loop {
+        let restarts: u64 = fleet.views().iter().map(|v| v.restarts_total).sum();
+        if restarts >= 1 && fleet.healthy() >= REPLICAS {
+            break;
+        }
+        if Instant::now() >= readmit_deadline {
+            return Err(CliError::Run(format!(
+                "replica {victim} was not restarted and re-admitted within 30 s of the load \
+                 draining"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(probe_interval_ms));
+    }
+    let readmit_ms = readmit_t0.elapsed().as_millis() as u64;
+
+    let views = fleet.views();
+    let restarts_total: u64 = views.iter().map(|v| v.restarts_total).sum();
+    let failovers_total: u64 = views.iter().map(|v| v.failovers_total).sum();
+    let hedges_fired: u64 = views.iter().map(|v| v.hedges_fired).sum();
+
+    let mut shut = RetryClient::new(addr, Duration::from_secs(5), 3, Duration::from_millis(50));
+    let resp = shut
+        .post("/v1/shutdown", "")
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    if resp.status != 200 {
+        return Err(CliError::Run(format!("shutdown returned {}", resp.status)));
+    }
+    cluster_thread
+        .join()
+        .map_err(|_| CliError::Run("cluster thread panicked".into()))?
+        .map_err(|e| CliError::Run(format!("cluster exited with: {e}")))?;
+    let _ = std::fs::remove_file(&model_path);
+
+    // The headline gate: a replica died mid-run and no client saw it.
+    if failed > 0 {
+        return Err(CliError::Run(format!(
+            "{failed} client-visible failures while replica {victim} was killed under load"
+        )));
+    }
+    // Throughput gate. Scaling out only pays when the fleet has cores to
+    // run on: with router + REPLICAS x 2 workers all time-sharing a small
+    // CPU, three processes plus a mid-run SIGKILL can only cost throughput
+    // relative to one. Require the full >= 1x figure when the hardware can
+    // express the parallelism, and a bounded-degradation floor when the
+    // replicas are just contending for the same cores.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let required = if cores >= 2 * REPLICAS + 2 { 1.0 } else { 0.6 };
+    let qps = requests as f64 / wall_secs;
+    if qps < single_qps * required {
+        return Err(CliError::Run(format!(
+            "cluster QPS {qps:.0} fell below {required:.1}x the single-replica baseline \
+             {single_qps:.0} ({cores} cores)"
+        )));
+    }
+    if restarts_total == 0 {
+        return Err(CliError::Run(
+            "the killed replica recorded no restart".into(),
+        ));
+    }
+
+    latencies.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    println!(
+        "  {qps:.0} req/s ({:.2}x single replica), 0 failed, replica {victim} killed and \
+         re-admitted in {readmit_ms} ms",
+        qps / single_qps
+    );
+    println!(
+        "  {restarts_total} restarts, {failovers_total} failovers, {hedges_fired} hedges; \
+         latency p50 {p50} us, p95 {p95} us, p99 {p99} us"
+    );
+
+    let body = format!(
+        "{{\n  \"suite\": \"cluster\",\n  \"case\": \"cs1\",\n  \"replicas\": {REPLICAS},\n  \
+         \"requests\": {requests},\n  \"clients\": {CLIENTS},\n  \"failed_requests\": {failed},\n  \
+         \"killed_replica\": {victim},\n  \"kill_at_request\": {kill_at},\n  \
+         \"restarts_total\": {restarts_total},\n  \"failovers_total\": {failovers_total},\n  \
+         \"hedges_fired\": {hedges_fired},\n  \"readmit_ms\": {readmit_ms},\n  \
+         \"qps\": {qps:.2},\n  \"single_replica_qps\": {single_qps:.2},\n  \
+         \"speedup\": {:.4},\n  \"p50_us\": {p50},\n  \"p95_us\": {p95},\n  \"p99_us\": {p99}\n}}\n",
+        qps / single_qps
+    );
+    write_json(out_dir, "BENCH_cluster.json", &body)
 }
 
 /// Renders a CS1 answer exactly as the server does, so response bodies can

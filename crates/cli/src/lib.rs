@@ -168,7 +168,7 @@ COMMANDS:
   recommend  --model model.airm  plus the same query flags as `search`
              Constant-time recommendation from a trained model.
 
-  bench      [--suite train|infer|dse|serve|chaos|all] [--out-dir DIR]
+  bench      [--suite train|infer|dse|serve|chaos|cluster|all] [--out-dir DIR]
              [--threads T] [--samples N] [--epochs E] [--quick]
              Time the compute engine (training epochs vs the naive baseline,
              batched + single-query inference, DSE search throughput, HTTP
@@ -177,8 +177,13 @@ COMMANDS:
              for smoke runs. Suite `chaos` (not in `all`; needs a build with
              `--features chaos`) drives loadgen under injected faults and
              gates on zero wrong answers, zero hangs, and bounded 5xx.
+             Suite `cluster` (not in `all`) loadgens a supervised
+             multi-replica cluster, SIGKILLs one replica mid-run, and gates
+             on zero failed client requests, bounded re-admission, and
+             cluster QPS at least matching a single replica.
 
   serve      --model model.airm[,model2.airm...] [--host H] [--port P]
+             [--cluster] [--replicas N]
              [--workers W] [--queue-depth D] [--batch-max B] [--cache-cap C]
              [--read-timeout-secs S] [--write-timeout-secs S]
              [--deadline-ms MS] [--breaker-threshold N]
@@ -196,6 +201,15 @@ COMMANDS:
              --fallback search answers from exhaustive DSE search (stamped
              "source":"search" + a Warning header) when a circuit is open or
              a model failed to load, instead of 5xx.
+             --cluster [--replicas N] [--probe-interval-ms MS]
+             [--probe-timeout-ms MS] [--hedge-ms MS] [--max-inflight N]
+             [--backend-timeout-ms MS]
+             Cluster mode: supervise N replica child processes (health
+             probes, exponential-backoff restarts with a restart-storm cap)
+             behind a consistent-hashing router that retries idempotent
+             recommends on the next replica, hedges tail-latent requests
+             (--hedge-ms 0 derives the delay from the rolling p99), and
+             aggregates /healthz + /metrics across the fleet.
 
   report     FILE (or --in FILE)
              Validate a telemetry JSON-lines file against the versioned

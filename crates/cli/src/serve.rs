@@ -1,8 +1,10 @@
-//! `airchitect serve` — run the batched, hot-reloadable inference server.
+//! `airchitect serve` — run the batched, hot-reloadable inference server,
+//! or (with `--cluster`) a supervised fleet of replica processes behind a
+//! consistent-hashing router.
 
 use std::path::PathBuf;
 
-use airchitect_serve::{ServeConfig, ServeError, Server};
+use airchitect_serve::{Cluster, ClusterConfig, ServeConfig, ServeError, Server};
 
 use crate::args::Args;
 use crate::CliError;
@@ -36,6 +38,13 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         "breaker-threshold",
         "breaker-cooldown-ms",
         "fallback",
+        "cluster",
+        "replicas",
+        "probe-interval-ms",
+        "probe-timeout-ms",
+        "hedge-ms",
+        "max-inflight",
+        "backend-timeout-ms",
     ])?;
     let model_paths: Vec<PathBuf> = args
         .required("model")?
@@ -90,6 +99,36 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         breaker_cooldown_ms: args.u64_or("breaker-cooldown-ms", 1000)?,
         fallback_search,
     };
+
+    if args.flag("cluster") {
+        let replicas = args.u64_or("replicas", 3)? as usize;
+        if replicas == 0 {
+            return Err(CliError::Usage("`--replicas` must be at least 1".into()));
+        }
+        let program = std::env::current_exe()
+            .map_err(|e| CliError::Run(format!("cannot locate own binary for replicas: {e}")))?;
+        let cluster_cfg = ClusterConfig {
+            addr: config.addr.clone(),
+            replica_argv: Cluster::replica_argv(&program.display().to_string(), &config),
+            replicas,
+            probe_interval_ms: args.u64_or("probe-interval-ms", 200)?,
+            probe_timeout_ms: args.u64_or("probe-timeout-ms", 1000)?,
+            hedge_ms: args.u64_or("hedge-ms", 0)?,
+            max_inflight: args.u64_or("max-inflight", 256)?,
+            backend_timeout_ms: args.u64_or("backend-timeout-ms", 10_000)?,
+            read_timeout_secs: config.read_timeout_secs,
+            write_timeout_secs: config.write_timeout_secs,
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::start(cluster_cfg).map_err(serve_err)?;
+        // Same parseable line the replicas print, so scripts can treat a
+        // router exactly like a single server.
+        println!("listening on http://{}", cluster.local_addr());
+        println!("cluster: {replicas} replicas, supervised with health probes and restarts");
+        cluster.run().map_err(serve_err)?;
+        println!("shutdown complete");
+        return Ok(());
+    }
 
     let server = Server::bind(&config).map_err(serve_err)?;
     // Parseable by scripts: `--port 0` binds an ephemeral port, and this

@@ -1,0 +1,167 @@
+//! End-to-end cluster test against the real `airchitect` binary: boot a
+//! supervised 2-replica cluster, hammer it through the router, SIGKILL a
+//! replica mid-run, and assert that no client request fails and the
+//! killed replica is restarted and re-admitted to the ring.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+use airchitect::persist;
+use airchitect_data::Dataset;
+use airchitect_dse::case1::Case1Problem;
+use airchitect_nn::train::TrainConfig;
+use airchitect_serve::client::RetryClient;
+use airchitect_serve::{Cluster, ClusterConfig, ServeConfig};
+use airchitect_workload::GemmWorkload;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const CS1_CLASSES: u32 = 459;
+
+/// A briefly trained CS1 model persisted to a temp `.airm` (accuracy is
+/// irrelevant; the replicas just need a loadable model).
+fn model_file() -> PathBuf {
+    let mut ds = Dataset::new(4, CS1_CLASSES).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..400 {
+        let wl = GemmWorkload::new(
+            rng.random_range(16..512u64),
+            rng.random_range(16..512u64),
+            rng.random_range(16..512u64),
+        )
+        .unwrap();
+        ds.push(
+            &Case1Problem::features(&wl, 1 << 10),
+            rng.random_range(0..CS1_CLASSES),
+        )
+        .unwrap();
+    }
+    let mut model = AirchitectModel::new(
+        CaseStudy::ArrayDataflow,
+        &AirchitectConfig {
+            num_classes: CS1_CLASSES,
+            train: TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    model.train(&ds).expect("train");
+    let path = std::env::temp_dir().join(format!(
+        "airchitect-cluster-test-{}.airm",
+        std::process::id()
+    ));
+    persist::save(&model, &path).expect("persist model");
+    path
+}
+
+#[test]
+fn cluster_survives_a_replica_sigkill_under_load() {
+    let model_path = model_file();
+    let replica_config = ServeConfig {
+        model_paths: vec![model_path.clone()],
+        workers: 2,
+        queue_depth: 1024,
+        cache_capacity: 64,
+        read_timeout_secs: 30,
+        ..ServeConfig::default()
+    };
+    let cfg = ClusterConfig {
+        addr: "127.0.0.1:0".into(),
+        replica_argv: Cluster::replica_argv(env!("CARGO_BIN_EXE_airchitect"), &replica_config),
+        replicas: 2,
+        probe_interval_ms: 50,
+        probe_timeout_ms: 2000,
+        restart_base_ms: 50,
+        backend_timeout_ms: 30_000,
+        read_timeout_secs: 30,
+        ..ClusterConfig::default()
+    };
+    let probe_interval_ms = cfg.probe_interval_ms;
+    let cluster = Cluster::start(cfg).expect("cluster starts");
+    let addr = cluster.local_addr();
+    let fleet = cluster.fleet();
+    assert!(
+        cluster.wait_healthy(2, Duration::from_secs(60)),
+        "both replicas should pass startup probes"
+    );
+    let cluster_thread = std::thread::spawn(move || cluster.run());
+
+    // Router healthz aggregates the fleet.
+    let mut client = RetryClient::new(addr, Duration::from_secs(10), 4, Duration::from_millis(50));
+    let healthz = client.get("/healthz").expect("healthz");
+    assert_eq!(healthz.status, 200);
+    assert!(healthz.body.contains("\"role\":\"router\""), "{}", healthz.body);
+    assert!(healthz.body.contains("\"status\":\"ok\""), "{}", healthz.body);
+
+    // Load with a SIGKILL a quarter of the way through. RetryClient only
+    // retries transport errors, so a 5xx leaking through the router's
+    // failover would fail the assertion below.
+    let victim: u32 = 0;
+    let bodies: Vec<String> = (0..16)
+        .map(|i| format!("{{\"m\":{},\"n\":64,\"k\":32}}", 16 + i * 8))
+        .collect();
+    let mut failures = 0u64;
+    for i in 0..200 {
+        if i == 50 {
+            assert!(
+                fleet.kill_replica(victim),
+                "victim replica should have a live child to kill"
+            );
+        }
+        let resp = client
+            .post("/v1/recommend/array", &bodies[i % bodies.len()])
+            .expect("request survives failover");
+        if resp.status != 200 {
+            failures += 1;
+        }
+    }
+    assert_eq!(
+        failures, 0,
+        "a replica SIGKILL must not surface as client-visible errors"
+    );
+
+    // The supervisor restarts and re-admits the killed replica. The
+    // request loop can drain before the probe thread even notices the
+    // death (the victim still counts as healthy until ejected), so wait
+    // for the full eject -> restart -> re-admit cycle, not just the
+    // healthy count.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let restarts: u64 = fleet.views().iter().map(|v| v.restarts_total).sum();
+        if restarts >= 1 && fleet.healthy() >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "killed replica was not restarted and re-admitted within 30 s"
+        );
+        std::thread::sleep(Duration::from_millis(probe_interval_ms));
+    }
+
+    // Per-replica gauges show up in the router's aggregated metrics.
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    for line in [
+        "cluster.replica.0.restarts_total",
+        "cluster.replica.1.healthy 1",
+        "cluster.proxy_requests",
+    ] {
+        assert!(metrics.body.contains(line), "missing `{line}` in:\n{}", metrics.body);
+    }
+
+    // Reload fans out to every replica.
+    let reload = client.post("/v1/reload", "").expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.body);
+    assert!(reload.body.contains("\"reloaded\":true"), "{}", reload.body);
+
+    let shutdown = client.post("/v1/shutdown", "").expect("shutdown");
+    assert_eq!(shutdown.status, 200);
+    cluster_thread
+        .join()
+        .expect("cluster thread joins")
+        .expect("cluster exits cleanly");
+    let _ = std::fs::remove_file(&model_path);
+}

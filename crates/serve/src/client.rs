@@ -33,7 +33,9 @@ pub struct HttpClient {
 }
 
 impl HttpClient {
-    /// Connects, with a read timeout so tests cannot hang forever.
+    /// Connects, with the same budget applied as the connect, read, *and*
+    /// write timeout so neither tests nor the loadgen can hang forever on
+    /// a stalled connection.
     ///
     /// # Errors
     ///
@@ -41,6 +43,7 @@ impl HttpClient {
     pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {
@@ -149,5 +152,153 @@ impl HttpClient {
             retry_after,
             warning,
         })
+    }
+}
+
+/// A self-healing client: keeps one keep-alive connection, reconnects
+/// lazily, and retries a request (with linear backoff) when the transport
+/// fails mid-flight. Only I/O errors are retried — an HTTP error status
+/// is a *delivered* answer and is returned as-is, so this is safe for the
+/// idempotent endpoints it is meant for (recommends, healthz, metrics).
+///
+/// Used by the loadgen bench (a replica being killed mid-run must not
+/// fail the client) and by the cluster router's control-plane calls.
+pub struct RetryClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    attempts: u32,
+    backoff: Duration,
+    conn: Option<HttpClient>,
+}
+
+impl RetryClient {
+    /// A disconnected client for `addr`; `attempts` is the total number
+    /// of tries per request (clamped to at least 1), `backoff` the sleep
+    /// added before each retry (linearly scaled by the attempt number).
+    #[must_use]
+    pub fn new(addr: SocketAddr, timeout: Duration, attempts: u32, backoff: Duration) -> Self {
+        Self {
+            addr,
+            timeout,
+            attempts: attempts.max(1),
+            backoff,
+            conn: None,
+        }
+    }
+
+    /// Drops the pooled connection (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// Issues a `GET`, reconnecting and retrying on transport failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last I/O error once every attempt is exhausted.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, "", None)
+    }
+
+    /// Issues a `POST`, reconnecting and retrying on transport failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last I/O error once every attempt is exhausted.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, body, None)
+    }
+
+    /// Issues a request with retry-on-transport-failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last I/O error once every attempt is exhausted.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<ClientResponse> {
+        let mut last = None;
+        for attempt in 0..self.attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff * attempt);
+            }
+            let conn = match self.conn.as_mut() {
+                Some(c) => c,
+                None => match HttpClient::connect(self.addr, self.timeout) {
+                    Ok(c) => self.conn.insert(c),
+                    Err(e) => {
+                        last = Some(e);
+                        continue;
+                    }
+                },
+            };
+            match conn.request(method, path, body, deadline_ms) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    // The connection is in an unknown state (possibly a
+                    // half-written request or half-read response): drop
+                    // it and retry on a fresh one.
+                    self.conn = None;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| std::io::Error::other("no attempts made")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    /// A server whose first `drop_first` connections are closed without a
+    /// response; later connections get one canned 200 per request.
+    fn flaky_server(drop_first: usize) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().enumerate() {
+                let Ok(mut stream) = stream else { break };
+                if i < drop_first {
+                    drop(stream); // immediate close: client sees EOF
+                    continue;
+                }
+                std::thread::spawn(move || {
+                    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+                    while crate::http::read_request(&mut reader).is_ok() {
+                        let _ = stream.write_all(
+                            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok",
+                        );
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn retry_client_survives_dropped_connections() {
+        let addr = flaky_server(2);
+        let mut client =
+            RetryClient::new(addr, Duration::from_secs(2), 4, Duration::from_millis(1));
+        let resp = client.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ok");
+        // The healed connection keeps serving without further retries.
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+    }
+
+    #[test]
+    fn retry_client_gives_up_after_its_attempts() {
+        let addr = flaky_server(usize::MAX);
+        let mut client =
+            RetryClient::new(addr, Duration::from_secs(2), 2, Duration::from_millis(1));
+        assert!(client.get("/healthz").is_err());
     }
 }

@@ -174,8 +174,13 @@ pub struct Response {
     /// Optional `Retry-After` header (seconds), set on 429s and retryable
     /// 503s (draining, circuit open).
     pub retry_after: Option<u64>,
-    /// Optional `Warning` header value, set on degraded-mode responses.
-    pub warning: Option<&'static str>,
+    /// Optional `Warning` header value, set on degraded-mode responses
+    /// (owned so a proxy can pass an upstream replica's warning through).
+    pub warning: Option<String>,
+    /// Additional response headers, written verbatim after the standard
+    /// set. Used by the cluster router for passthrough annotation
+    /// (`X-Replica`); names must be valid header tokens.
+    pub extra: Vec<(String, String)>,
 }
 
 impl Response {
@@ -187,6 +192,7 @@ impl Response {
             body,
             retry_after: None,
             warning: None,
+            extra: Vec::new(),
         }
     }
 
@@ -208,11 +214,13 @@ impl Response {
             body,
             retry_after: None,
             warning: None,
+            extra: Vec::new(),
         }
     }
 }
 
-fn status_text(status: u16) -> &'static str {
+/// Canonical reason phrase for the status codes this server emits.
+pub(crate) fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
@@ -223,6 +231,7 @@ fn status_text(status: u16) -> &'static str {
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -250,8 +259,11 @@ pub fn write_response<W: Write>(
     if let Some(secs) = resp.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
     }
-    if let Some(warning) = resp.warning {
+    if let Some(warning) = &resp.warning {
         head.push_str(&format!("Warning: {warning}\r\n"));
+    }
+    for (name, value) in &resp.extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
@@ -320,11 +332,13 @@ mod tests {
         let mut out = Vec::new();
         let mut resp = Response::json(429, "{}".into());
         resp.retry_after = Some(1);
+        resp.extra.push(("X-Replica".into(), "2".into()));
         write_response(&mut out, &resp, true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("X-Replica: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

@@ -25,6 +25,12 @@
 //! * **Graceful shutdown** ([`listener`]) — `POST /v1/shutdown` stops the
 //!   accept loop, lets the workers drain the queue, joins every connection
 //!   thread, and returns from [`Server::run`] so the process can exit 0.
+//! * **Cluster mode** ([`supervisor`], [`ring`], [`proxy`]) — `serve
+//!   --cluster` supervises N single-process replicas as child processes
+//!   (health probes, exponential-backoff restarts, restart-storm caps) and
+//!   fronts them with a consistent-hashing router that fails over, hedges
+//!   tail-latent requests, and aggregates `/healthz` and `/metrics` across
+//!   the fleet.
 //!
 //! Routes:
 //!
@@ -51,12 +57,17 @@ pub mod client;
 pub mod fallback;
 pub mod http;
 pub mod listener;
+pub mod proxy;
 pub mod reload;
+pub mod ring;
 pub mod router;
+pub mod supervisor;
 
 use std::path::PathBuf;
 
 pub use listener::Server;
+pub use proxy::Cluster;
+pub use supervisor::ClusterConfig;
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]

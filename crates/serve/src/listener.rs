@@ -39,6 +39,44 @@ const MAX_DEADLINE_MS: u64 = 600_000;
 /// should never kill an otherwise healthy server.
 const MAX_ACCEPT_ERRORS: u32 = 64;
 
+/// One step of an accept loop shared by the server and the cluster
+/// router: transient failures back off and retry (pending connections
+/// stay in the kernel backlog), a persistent streak errors out, and a
+/// failure observed while `shutdown` is set ends the loop cleanly.
+/// Returns `Ok(None)` for "stop accepting".
+pub(crate) fn accept_with_retry(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    errors: &mut u32,
+    point: &'static str,
+) -> Result<Option<(TcpStream, SocketAddr)>, ServeError> {
+    loop {
+        // The closure gives the failpoint's injected error an early
+        // return target without leaving the loop.
+        #[allow(clippy::redundant_closure_call)]
+        let attempt = (|| {
+            airchitect_chaos::fail_point!(point, Err);
+            listener.accept()
+        })();
+        match attempt {
+            Ok(pair) => {
+                *errors = 0;
+                return Ok(Some(pair));
+            }
+            Err(e) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+                *errors += 1;
+                if *errors > MAX_ACCEPT_ERRORS {
+                    return Err(ServeError::Io(format!("accept: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
 /// State shared by the accept loop and every connection thread.
 struct Inner {
     hub: Arc<ModelHub>,
@@ -129,26 +167,14 @@ impl Server {
         let mut connections: Vec<JoinHandle<()>> = Vec::new();
         let mut accept_errors = 0u32;
         loop {
-            let (stream, _) = match accept_one(&self.listener) {
-                Ok(pair) => {
-                    accept_errors = 0;
-                    pair
-                }
-                Err(e) => {
-                    if self.inner.shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    // Transient accept failures (fd pressure, injected
-                    // faults) back off and retry; only a persistent streak
-                    // takes the server down. Pending connections are not
-                    // lost — they stay in the kernel backlog.
-                    accept_errors += 1;
-                    if accept_errors > MAX_ACCEPT_ERRORS {
-                        return Err(ServeError::Io(format!("accept: {e}")));
-                    }
-                    std::thread::sleep(Duration::from_millis(10));
-                    continue;
-                }
+            let (stream, _) = match accept_with_retry(
+                &self.listener,
+                &self.inner.shutdown,
+                &mut accept_errors,
+                "serve.listener.accept",
+            )? {
+                Some(pair) => pair,
+                None => break,
             };
             if self.inner.shutdown.load(Ordering::Acquire) {
                 // The wake-up connection (or a late client); don't serve it.
@@ -182,11 +208,6 @@ impl Server {
 fn initiate_shutdown(inner: &Inner, addr: SocketAddr) {
     inner.shutdown.store(true, Ordering::Release);
     let _ = TcpStream::connect(addr);
-}
-
-fn accept_one(listener: &TcpListener) -> std::io::Result<(TcpStream, SocketAddr)> {
-    airchitect_chaos::fail_point!("serve.listener.accept", Err);
-    listener.accept()
 }
 
 fn handle_connection(stream: TcpStream, inner: &Inner) {
@@ -404,7 +425,7 @@ fn recommend(case: airchitect::model::CaseStudy, request: &Request, inner: &Inne
                 }
                 Source::Search => {
                     let mut resp = Response::json(200, body);
-                    resp.warning = Some(fallback::WARNING);
+                    resp.warning = Some(fallback::WARNING.to_string());
                     resp
                 }
             }

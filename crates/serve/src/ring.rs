@@ -1,0 +1,244 @@
+//! Consistent-hash ring over replica ids.
+//!
+//! The router hashes each recommendation's canonical cache key onto the
+//! ring, so a given query always lands on the same replica while that
+//! replica stays healthy — replica-local response caches keep their hit
+//! rates across the fleet. Each member owns `vnodes` points on the ring
+//! (virtual nodes), which evens out the key share per replica; removing a
+//! member only remaps the keys that hashed onto *its* points, every other
+//! key keeps its route (the property test in this module pins that down).
+//!
+//! Hashing is FNV-1a 64-bit with a splitmix64 finalizer: tiny,
+//! deterministic across processes, and the finalizer spreads the high
+//! bits (which order the ring) even for short structured keys, where raw
+//! FNV clumps badly.
+
+/// Virtual nodes per ring member. 64 keeps the per-replica key share
+/// within a few percent of even for small fleets.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// FNV-1a 64-bit hash of `bytes`, finalized with the splitmix64 mixer so
+/// the high bits avalanche (ring order sorts on them).
+#[must_use]
+pub fn hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring mapping byte keys to `u32` replica ids.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    vnodes: usize,
+    /// `(point_hash, member)` sorted by `(point_hash, member)`; ties
+    /// between members are broken deterministically by id.
+    points: Vec<(u64, u32)>,
+    /// Sorted member ids (for `len`/`members`).
+    members: Vec<u32>,
+}
+
+impl Ring {
+    /// An empty ring with `vnodes` points per future member (0 is
+    /// clamped to 1).
+    #[must_use]
+    pub fn new(vnodes: usize) -> Self {
+        Self {
+            vnodes: vnodes.max(1),
+            points: Vec::new(),
+            members: Vec::new(),
+        }
+    }
+
+    /// Number of members currently on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `id` is currently a member.
+    #[must_use]
+    pub fn contains(&self, id: u32) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// Adds `id`; a no-op if it is already a member.
+    pub fn add(&mut self, id: u32) {
+        let Err(pos) = self.members.binary_search(&id) else {
+            return;
+        };
+        self.members.insert(pos, id);
+        for v in 0..self.vnodes {
+            let mut seed = [0u8; 12];
+            seed[..4].copy_from_slice(&id.to_le_bytes());
+            seed[4..].copy_from_slice(&(v as u64).to_le_bytes());
+            let point = (hash64(&seed), id);
+            let at = self.points.partition_point(|p| *p < point);
+            self.points.insert(at, point);
+        }
+    }
+
+    /// Removes `id`; a no-op if it is not a member.
+    pub fn remove(&mut self, id: u32) {
+        let Ok(pos) = self.members.binary_search(&id) else {
+            return;
+        };
+        self.members.remove(pos);
+        self.points.retain(|&(_, m)| m != id);
+    }
+
+    /// The member owning `key`, or `None` on an empty ring.
+    #[must_use]
+    pub fn primary(&self, key: &[u8]) -> Option<u32> {
+        self.ordered(key, 1).first().copied()
+    }
+
+    /// Up to `n` *distinct* members in ring-walk order starting at `key`'s
+    /// point: the primary first, then the natural failover sequence (the
+    /// owners a key would fall to if earlier members left the ring).
+    #[must_use]
+    pub fn ordered(&self, key: &[u8], n: usize) -> Vec<u32> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let h = hash64(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut out = Vec::with_capacity(n.min(self.members.len()));
+        for i in 0..self.points.len() {
+            let (_, member) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&member) {
+                out.push(member);
+                if out.len() >= n.min(self.members.len()) {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> impl Iterator<Item = Vec<u8>> {
+        (0..n).map(|i| i.to_le_bytes().to_vec())
+    }
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        let ring = Ring::new(DEFAULT_VNODES);
+        assert!(ring.is_empty());
+        assert_eq!(ring.primary(b"k"), None);
+        assert!(ring.ordered(b"k", 3).is_empty());
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_all_members() {
+        let mut ring = Ring::new(DEFAULT_VNODES);
+        for id in 0..3 {
+            ring.add(id);
+        }
+        let mut hit = [false; 3];
+        for key in keys(512) {
+            let a = ring.primary(&key).unwrap();
+            let b = ring.primary(&key).unwrap();
+            assert_eq!(a, b);
+            hit[a as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "some replica owns no keys: {hit:?}");
+    }
+
+    #[test]
+    fn ordered_lists_distinct_members_primary_first() {
+        let mut ring = Ring::new(DEFAULT_VNODES);
+        for id in 0..4 {
+            ring.add(id);
+        }
+        for key in keys(64) {
+            let order = ring.ordered(&key, 4);
+            assert_eq!(order.len(), 4);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "duplicate member in {order:?}");
+            assert_eq!(order[0], ring.primary(&key).unwrap());
+        }
+    }
+
+    #[test]
+    fn removal_remaps_only_the_removed_members_keys() {
+        let mut ring = Ring::new(DEFAULT_VNODES);
+        for id in 0..5 {
+            ring.add(id);
+        }
+        let before: Vec<(Vec<u8>, u32)> = keys(1024)
+            .map(|k| {
+                let owner = ring.primary(&k).unwrap();
+                (k, owner)
+            })
+            .collect();
+        ring.remove(2);
+        for (key, owner) in before {
+            let now = ring.primary(&key).unwrap();
+            if owner == 2 {
+                assert_ne!(now, 2);
+            } else {
+                assert_eq!(now, owner, "stable key moved");
+            }
+        }
+    }
+
+    #[test]
+    fn re_adding_a_member_restores_its_keys() {
+        let mut ring = Ring::new(DEFAULT_VNODES);
+        for id in 0..3 {
+            ring.add(id);
+        }
+        let before: Vec<u32> = keys(256).map(|k| ring.primary(&k).unwrap()).collect();
+        ring.remove(1);
+        ring.add(1);
+        let after: Vec<u32> = keys(256).map(|k| ring.primary(&k).unwrap()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn add_and_remove_are_idempotent() {
+        let mut ring = Ring::new(8);
+        ring.add(7);
+        ring.add(7);
+        assert_eq!(ring.len(), 1);
+        ring.remove(7);
+        ring.remove(7);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn shares_are_roughly_even() {
+        let mut ring = Ring::new(DEFAULT_VNODES);
+        for id in 0..3 {
+            ring.add(id);
+        }
+        let mut counts = [0usize; 3];
+        for key in keys(3000) {
+            counts[ring.primary(&key).unwrap() as usize] += 1;
+        }
+        for &c in &counts {
+            // Each replica should own somewhere near a third; vnodes keep
+            // the skew well inside a factor of two.
+            assert!((500..=1800).contains(&c), "uneven shares: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the consistent-hash ring: the consistency
+//! guarantee (membership changes only remap keys owned by the changed
+//! member) must hold for arbitrary member sets and keys, not just the
+//! hand-picked cases in the unit tests.
+
+use airchitect_serve::ring::{Ring, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+fn build(members: &[u32], vnodes: usize) -> Ring {
+    let mut ring = Ring::new(vnodes);
+    for &id in members {
+        ring.add(id);
+    }
+    ring
+}
+
+proptest! {
+    /// Removing one member never remaps a key owned by anyone else.
+    #[test]
+    fn removal_is_minimal(
+        members in proptest::collection::vec(0u32..32, 2..8),
+        victim_idx in 0usize..8,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..40), 1..64),
+    ) {
+        let mut members = members;
+        members.sort_unstable();
+        members.dedup();
+        prop_assume!(members.len() >= 2);
+        let victim = members[victim_idx % members.len()];
+        let mut ring = build(&members, DEFAULT_VNODES);
+        let before: Vec<u32> = keys.iter().map(|k| ring.primary(k).unwrap()).collect();
+        ring.remove(victim);
+        for (key, owner) in keys.iter().zip(before) {
+            let now = ring.primary(key).unwrap();
+            if owner == victim {
+                prop_assert_ne!(now, victim);
+            } else {
+                prop_assert_eq!(now, owner);
+            }
+        }
+    }
+
+    /// Adding a member only steals keys for itself; everyone else's keys
+    /// keep their owner.
+    #[test]
+    fn addition_is_minimal(
+        members in proptest::collection::vec(0u32..32, 1..7),
+        newcomer in 32u32..40,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..40), 1..64),
+    ) {
+        let mut members = members;
+        members.sort_unstable();
+        members.dedup();
+        let mut ring = build(&members, DEFAULT_VNODES);
+        let before: Vec<u32> = keys.iter().map(|k| ring.primary(k).unwrap()).collect();
+        ring.add(newcomer);
+        for (key, owner) in keys.iter().zip(before) {
+            let now = ring.primary(key).unwrap();
+            prop_assert!(
+                now == owner || now == newcomer,
+                "key moved to {} which is neither its old owner {} nor the newcomer {}",
+                now, owner, newcomer
+            );
+        }
+    }
+
+    /// Remove-then-re-add is a no-op for every key (vnode points are a
+    /// pure function of the member id).
+    #[test]
+    fn readd_roundtrips(
+        members in proptest::collection::vec(0u32..16, 2..6),
+        victim_idx in 0usize..6,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..40), 1..32),
+    ) {
+        let mut members = members;
+        members.sort_unstable();
+        members.dedup();
+        let victim = members[victim_idx % members.len()];
+        let mut ring = build(&members, DEFAULT_VNODES);
+        let before: Vec<Option<u32>> = keys.iter().map(|k| ring.primary(k)).collect();
+        ring.remove(victim);
+        ring.add(victim);
+        let after: Vec<Option<u32>> = keys.iter().map(|k| ring.primary(k)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// The failover order is a permutation prefix: distinct members,
+    /// primary first, and stable under repetition.
+    #[test]
+    fn ordered_is_distinct_and_deterministic(
+        members in proptest::collection::vec(0u32..32, 1..8),
+        key in proptest::collection::vec(any::<u8>(), 1..40),
+        n in 1usize..8,
+    ) {
+        let mut members = members;
+        members.sort_unstable();
+        members.dedup();
+        let ring = build(&members, DEFAULT_VNODES);
+        let order = ring.ordered(&key, n);
+        prop_assert_eq!(order.len(), n.min(members.len()));
+        let mut dedup = order.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), order.len());
+        prop_assert_eq!(order.first().copied(), ring.primary(&key));
+        prop_assert_eq!(&ring.ordered(&key, n), &order);
+        for id in &order {
+            prop_assert!(members.contains(id));
+        }
+    }
+}

@@ -281,6 +281,24 @@ pub static SERVE_FALLBACKS: Counter = Counter::new("serve.fallbacks");
 pub static SERVE_INFER_FAILURES: Counter = Counter::new("serve.infer_failures");
 /// Transient artifact-read errors retried by `core::persist`.
 pub static PERSIST_READ_RETRIES: Counter = Counter::new("persist.read_retries");
+/// Recommendation requests routed by the cluster proxy.
+pub static CLUSTER_PROXY_REQUESTS: Counter = Counter::new("cluster.proxy_requests");
+/// Requests retried on another replica after a failure or skip.
+pub static CLUSTER_FAILOVERS: Counter = Counter::new("cluster.failovers");
+/// Hedged duplicates fired after the p99-derived delay.
+pub static CLUSTER_HEDGES_FIRED: Counter = Counter::new("cluster.hedges_fired");
+/// Hedged requests where the duplicate answered first.
+pub static CLUSTER_HEDGE_WINS: Counter = Counter::new("cluster.hedge_wins");
+/// Replica child processes (re)started by the supervisor after a crash.
+pub static CLUSTER_RESTARTS: Counter = Counter::new("cluster.restarts");
+/// Health probes issued by the supervisor.
+pub static CLUSTER_PROBES: Counter = Counter::new("cluster.probes");
+/// Health probes that failed (unreachable, non-200, or injected fault).
+pub static CLUSTER_PROBE_FAILURES: Counter = Counter::new("cluster.probe_failures");
+/// Replicas ejected from the routing ring (degraded, unreachable, or dead).
+pub static CLUSTER_EJECTIONS: Counter = Counter::new("cluster.ejections");
+/// Previously ejected replicas re-admitted after consecutive healthy probes.
+pub static CLUSTER_READMISSIONS: Counter = Counter::new("cluster.readmissions");
 
 /// Latest training loss.
 pub static TRAIN_LOSS: Gauge = Gauge::new("train.loss");
@@ -294,6 +312,8 @@ pub static SERVE_BREAKER_BUFFERS: Gauge = Gauge::new("serve.breaker_state.buffer
 pub static SERVE_BREAKER_SCHEDULE: Gauge = Gauge::new("serve.breaker_state.schedule");
 /// Hot-reload breaker state (0 closed, 1 open, 2 half-open).
 pub static SERVE_BREAKER_RELOAD: Gauge = Gauge::new("serve.breaker_state.reload");
+/// Replicas currently admitted to the cluster routing ring.
+pub static CLUSTER_HEALTHY_REPLICAS: Gauge = Gauge::new("cluster.healthy_replicas");
 
 /// Per-mini-batch wall time, microseconds.
 pub static TRAIN_BATCH_US: Histogram = Histogram::new("train.batch_us");
@@ -305,8 +325,10 @@ pub static CHECKPOINT_SAVE_US: Histogram = Histogram::new("checkpoint.save_us");
 pub static SERVE_REQUEST_US: Histogram = Histogram::new("serve.request_us");
 /// Jobs per drained micro-batch (a size distribution, not a latency).
 pub static SERVE_BATCH_JOBS: Histogram = Histogram::new("serve.batch_jobs");
+/// Router-observed backend round-trip latency, microseconds.
+pub static CLUSTER_BACKEND_US: Histogram = Histogram::new("cluster.backend_us");
 
-static COUNTERS: [&Counter; 24] = [
+static COUNTERS: [&Counter; 33] = [
     &SIM_EVALS,
     &DSE_SEARCHES,
     &DSE_SEARCH_POINTS,
@@ -331,21 +353,32 @@ static COUNTERS: [&Counter; 24] = [
     &SERVE_FALLBACKS,
     &SERVE_INFER_FAILURES,
     &PERSIST_READ_RETRIES,
+    &CLUSTER_PROXY_REQUESTS,
+    &CLUSTER_FAILOVERS,
+    &CLUSTER_HEDGES_FIRED,
+    &CLUSTER_HEDGE_WINS,
+    &CLUSTER_RESTARTS,
+    &CLUSTER_PROBES,
+    &CLUSTER_PROBE_FAILURES,
+    &CLUSTER_EJECTIONS,
+    &CLUSTER_READMISSIONS,
 ];
-static GAUGES: [&Gauge; 6] = [
+static GAUGES: [&Gauge; 7] = [
     &TRAIN_LOSS,
     &TRAIN_ACCURACY,
     &SERVE_BREAKER_ARRAY,
     &SERVE_BREAKER_BUFFERS,
     &SERVE_BREAKER_SCHEDULE,
     &SERVE_BREAKER_RELOAD,
+    &CLUSTER_HEALTHY_REPLICAS,
 ];
-static HISTOGRAMS: [&Histogram; 5] = [
+static HISTOGRAMS: [&Histogram; 6] = [
     &TRAIN_BATCH_US,
     &INFER_QUERY_US,
     &CHECKPOINT_SAVE_US,
     &SERVE_REQUEST_US,
     &SERVE_BATCH_JOBS,
+    &CLUSTER_BACKEND_US,
 ];
 
 /// Every registered counter.

@@ -38,6 +38,7 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         "breaker-threshold",
         "breaker-cooldown-ms",
         "fallback",
+        "no-bypass",
         "cluster",
         "replicas",
         "probe-interval-ms",
@@ -98,6 +99,7 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         breaker_threshold: breaker_threshold as u32,
         breaker_cooldown_ms: args.u64_or("breaker-cooldown-ms", 1000)?,
         fallback_search,
+        single_query_bypass: !args.flag("no-bypass"),
     };
 
     if args.flag("cluster") {

@@ -162,6 +162,24 @@ impl FeatureQuantizer {
             .collect()
     }
 
+    /// Quantizes one raw feature row into `u8` bin indices without
+    /// allocating — the bin-tuple extraction for the quantized inference
+    /// path. Produces exactly the same bins as
+    /// [`FeatureQuantizer::transform_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the column count, or if the
+    /// vocabulary exceeds 256 (bins must fit `u8`).
+    pub fn bin_row_into(&self, row: &[f32], out: &mut [u8]) {
+        assert_eq!(row.len(), self.columns.len(), "feature width mismatch");
+        assert_eq!(out.len(), self.columns.len(), "bin buffer width mismatch");
+        assert!(self.vocab <= 256, "vocab too large for u8 bins");
+        for (slot, (&v, q)) in out.iter_mut().zip(row.iter().zip(&self.columns)) {
+            *slot = q.bin(v, self.vocab) as u8;
+        }
+    }
+
     /// Quantizes a whole dataset out of place.
     pub fn transform(&self, dataset: &Dataset) -> Dataset {
         let mut out = Dataset::new(dataset.feature_dim(), dataset.num_classes())

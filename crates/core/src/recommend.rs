@@ -5,14 +5,31 @@
 //! (`ArrayConfig`, `Dataflow`, buffer sizes, `Schedule`) instead of raw
 //! config IDs.
 
+use std::cell::RefCell;
+
 use airchitect_dse::case1::Case1Problem;
 use airchitect_dse::case2::{Case2Problem, Case2Query};
 use airchitect_dse::case3::Case3Problem;
+use airchitect_nn::quant::{QuantArena, QuantizedNetwork};
 use airchitect_sim::multi::Schedule;
 use airchitect_sim::{ArrayConfig, Dataflow};
 use airchitect_workload::GemmWorkload;
 
 use crate::model::{AirchitectModel, CaseStudy};
+
+thread_local! {
+    /// Per-worker scratch arena for the quantized hot path. Thread-local
+    /// so concurrent serve workers never contend, and reused across
+    /// queries so the steady state allocates nothing.
+    static ARENA: RefCell<QuantArena> = RefCell::new(QuantArena::new());
+}
+
+/// How many ranked candidates the fast paths probe with the cheap linear
+/// top-K selection before falling back to a full sort of the logits. The
+/// feasibility filter almost always accepts within the first few ranks,
+/// so the full sort — several times the cost of the inference itself on
+/// CS1 — stays off the common path.
+const FAST_RANK_PROBE: usize = 8;
 
 /// Error produced by a recommendation query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,10 +84,15 @@ impl std::error::Error for RecommendError {}
 #[derive(Debug, Clone)]
 pub struct Recommender {
     model: AirchitectModel,
+    /// Int8 compilation of `model`'s network, when its architecture
+    /// supports the fused hot path. `None` falls back to the f32 path.
+    quant: Option<QuantizedNetwork>,
 }
 
 impl Recommender {
-    /// Wraps a trained model.
+    /// Wraps a trained model. The network is also compiled to the int8
+    /// hot path when its architecture supports it (the `recommend_*_fast`
+    /// variants fall back to the f32 path otherwise).
     ///
     /// # Errors
     ///
@@ -80,12 +102,49 @@ impl Recommender {
         if !model.is_trained() {
             return Err(RecommendError::Untrained);
         }
-        Ok(Self { model })
+        let quant = QuantizedNetwork::from_network(model.network()).ok();
+        Ok(Self { model, quant })
     }
 
     /// The wrapped model.
     pub fn model(&self) -> &AirchitectModel {
         &self.model
+    }
+
+    /// The int8 compilation of the model, when available.
+    pub fn quantized(&self) -> Option<&QuantizedNetwork> {
+        self.quant.as_ref()
+    }
+
+    /// Runs one quantized inference over the thread-local arena and hands
+    /// the logits-bearing arena to `f`. Telemetry mirrors the f32 path.
+    fn infer_quant<R>(
+        &self,
+        quant: &QuantizedNetwork,
+        features: &[f32],
+        f: impl FnOnce(&mut QuantArena) -> R,
+    ) -> R {
+        let _t = airchitect_telemetry::metrics::INFER_QUERY_US.start_timer();
+        airchitect_telemetry::metrics::INFER_QUERIES.inc();
+        let mut bins = [0u8; 16];
+        let n = features.len();
+        self.model.quantizer().bin_row_into(features, &mut bins[..n]);
+        ARENA.with(|a| {
+            let mut arena = a.borrow_mut();
+            quant.infer(&bins[..n], &mut arena);
+            f(&mut arena)
+        })
+    }
+
+    /// The quantized network's raw top-1 label for a feature row, or
+    /// `None` when the model could not be compiled to the int8 path.
+    ///
+    /// Diagnostic companion to [`AirchitectModel::predict_row`]: comparing
+    /// the two over a held-out set measures how often int8 quantization
+    /// flips the top pick (the `bench --suite infer` agreement gate).
+    pub fn quantized_top1(&self, features: &[f32]) -> Option<u32> {
+        let quant = self.quant.as_ref()?;
+        Some(self.infer_quant(quant, features, |arena| arena.top1()))
     }
 
     fn check_case(&self, query: CaseStudy) -> Result<(), RecommendError> {
@@ -266,6 +325,131 @@ impl Recommender {
                     .map(|(perm, dfs)| (Schedule::new(&perm, &dfs), p))
             })
             .collect())
+    }
+
+    /// CS1 on the int8 hot path: same contract as
+    /// [`Recommender::recommend_array`] (budget feasibility, error cases)
+    /// but answered by the fused quantized pass — allocation-free after
+    /// the per-thread arena has warmed up. The common case where the
+    /// top-1 pick is feasible skips the full ranking entirely.
+    ///
+    /// Falls back to the f32 path when the model could not be quantized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecommendError`] for case-study mismatches or when no
+    /// in-space configuration fits the budget.
+    pub fn recommend_array_fast(
+        &self,
+        problem: &Case1Problem,
+        workload: &GemmWorkload,
+        mac_budget: u64,
+    ) -> Result<(ArrayConfig, Dataflow), RecommendError> {
+        self.check_case(CaseStudy::ArrayDataflow)?;
+        let Some(quant) = &self.quant else {
+            return self.recommend_array(problem, workload, mac_budget);
+        };
+        let features = Case1Problem::features(workload, mac_budget);
+        self.infer_quant(quant, &features, |arena| {
+            // Escalating rank walk: top-1, then a cheap linear top-K
+            // selection, then the full sort only if the budget is so
+            // tight that none of the likely picks fit.
+            if let Some((array, df)) = problem.space().decode(arena.top1()) {
+                if array.macs() <= mac_budget {
+                    return Ok((array, df));
+                }
+            }
+            for &label in arena.top_k(FAST_RANK_PROBE) {
+                if let Some((array, df)) = problem.space().decode(label) {
+                    if array.macs() <= mac_budget {
+                        return Ok((array, df));
+                    }
+                }
+            }
+            for &label in arena.ranked() {
+                if let Some((array, df)) = problem.space().decode(label) {
+                    if array.macs() <= mac_budget {
+                        return Ok((array, df));
+                    }
+                }
+            }
+            Err(RecommendError::NoFeasibleConfig { budget: mac_budget })
+        })
+    }
+
+    /// CS2 on the int8 hot path: same contract as
+    /// [`Recommender::recommend_buffers`] (capacity feasibility, error
+    /// cases) but answered by the fused quantized pass.
+    ///
+    /// Falls back to the f32 path when the model could not be quantized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecommendError`] for case-study mismatches or when no
+    /// in-space split fits the capacity limit.
+    pub fn recommend_buffers_fast(
+        &self,
+        problem: &Case2Problem,
+        query: &Case2Query,
+    ) -> Result<(u64, u64, u64), RecommendError> {
+        self.check_case(CaseStudy::BufferSizing)?;
+        let Some(quant) = &self.quant else {
+            return self.recommend_buffers(problem, query);
+        };
+        let features = query.features();
+        self.infer_quant(quant, &features, |arena| {
+            // Same escalating rank walk as `recommend_array_fast`.
+            if let Some((i, f, o)) = problem.space().decode(arena.top1()) {
+                if i + f + o <= query.limit_kb {
+                    return Ok((i, f, o));
+                }
+            }
+            for &label in arena.top_k(FAST_RANK_PROBE) {
+                if let Some((i, f, o)) = problem.space().decode(label) {
+                    if i + f + o <= query.limit_kb {
+                        return Ok((i, f, o));
+                    }
+                }
+            }
+            for &label in arena.ranked() {
+                if let Some((i, f, o)) = problem.space().decode(label) {
+                    if i + f + o <= query.limit_kb {
+                        return Ok((i, f, o));
+                    }
+                }
+            }
+            Err(RecommendError::NoFeasibleConfig {
+                budget: query.limit_kb,
+            })
+        })
+    }
+
+    /// CS3 on the int8 hot path: same contract as
+    /// [`Recommender::recommend_schedule`] but answered by the fused
+    /// quantized pass (top-1 only, like the f32 variant).
+    ///
+    /// Falls back to the f32 path when the model could not be quantized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecommendError`] for case-study mismatches or
+    /// out-of-space predictions.
+    pub fn recommend_schedule_fast(
+        &self,
+        problem: &Case3Problem,
+        workloads: &[GemmWorkload],
+    ) -> Result<Schedule, RecommendError> {
+        self.check_case(CaseStudy::MultiArrayScheduling)?;
+        let Some(quant) = &self.quant else {
+            return self.recommend_schedule(problem, workloads);
+        };
+        let features = Case3Problem::features(workloads);
+        let label = self.infer_quant(quant, &features, |arena| arena.top1());
+        let (perm, dfs) = problem
+            .space()
+            .decode(label)
+            .ok_or(RecommendError::LabelOutOfSpace { label })?;
+        Ok(Schedule::new(&perm, &dfs))
     }
 }
 
@@ -456,6 +640,97 @@ mod tests {
         let query = Case2Query::from_features(&[1000.0, 64.0, 64.0, 64.0, 8.0, 8.0, 0.0, 10.0]);
         assert!(matches!(
             rec.recommend_buffers(&problem, &query),
+            Err(RecommendError::WrongCaseStudy { .. })
+        ));
+    }
+
+    #[test]
+    fn fast_array_path_matches_contract_and_mostly_agrees() {
+        let run = run_case1(&quick(), (5, 9));
+        let problem = Case1Problem::new(1 << 9);
+        let rec = Recommender::new(run.model).unwrap();
+        assert!(rec.quantized().is_some(), "embedding MLP must quantize");
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (m, n, k) in [(128u64, 64u64, 256u64), (200, 100, 50), (32, 32, 32), (512, 512, 512)] {
+            let wl = GemmWorkload::new(m, n, k).unwrap();
+            for budget_log2 in [6u32, 8, 9] {
+                let budget = 1u64 << budget_log2;
+                let fast = rec.recommend_array_fast(&problem, &wl, budget).unwrap();
+                // The hard feasibility contract holds unconditionally.
+                assert!(fast.0.macs() <= budget);
+                total += 1;
+                if fast == rec.recommend_array(&problem, &wl, budget).unwrap() {
+                    agree += 1;
+                }
+            }
+        }
+        // Quantization noise may flip near-ties, but wholesale divergence
+        // means the fused pass is wrong.
+        assert!(agree * 2 > total, "fast path agreed on {agree}/{total}");
+        // Infeasible budgets error identically.
+        let wl = GemmWorkload::new(64, 64, 64).unwrap();
+        assert_eq!(
+            rec.recommend_array_fast(&problem, &wl, 2),
+            Err(RecommendError::NoFeasibleConfig { budget: 2 })
+        );
+    }
+
+    #[test]
+    fn fast_buffer_path_honors_the_capacity_limit() {
+        let run = run_case2(&quick());
+        let problem = Case2Problem::new();
+        let rec = Recommender::new(run.model).unwrap();
+        for limit_kb in [300u64, 500, 3000] {
+            let query = Case2Query {
+                workload: GemmWorkload::new(1024, 256, 512).unwrap(),
+                array: array_16(),
+                dataflow: Dataflow::Os,
+                bandwidth: 4,
+                limit_kb,
+            };
+            let (i, f, o) = rec.recommend_buffers_fast(&problem, &query).unwrap();
+            assert!(i + f + o <= limit_kb);
+        }
+        let infeasible = Case2Query {
+            workload: GemmWorkload::new(512, 256, 384).unwrap(),
+            array: array_16(),
+            dataflow: Dataflow::Os,
+            bandwidth: 4,
+            limit_kb: 250,
+        };
+        assert_eq!(
+            rec.recommend_buffers_fast(&problem, &infeasible),
+            Err(RecommendError::NoFeasibleConfig { budget: 250 })
+        );
+    }
+
+    #[test]
+    fn fast_schedule_path_returns_valid_permutations() {
+        let run = run_case3(&PipelineConfig {
+            samples: 300,
+            ..quick()
+        });
+        let problem = Case3Problem::new();
+        let rec = Recommender::new(run.model).unwrap();
+        let workloads = vec![
+            GemmWorkload::new(512, 128, 256).unwrap(),
+            GemmWorkload::new(64, 64, 64).unwrap(),
+            GemmWorkload::new(256, 32, 128).unwrap(),
+            GemmWorkload::new(196, 96, 256).unwrap(),
+        ];
+        let schedule = rec.recommend_schedule_fast(&problem, &workloads).unwrap();
+        assert!(schedule.is_permutation());
+    }
+
+    #[test]
+    fn fast_paths_reject_wrong_case_studies_like_the_f32_ones() {
+        let run = run_case1(&quick(), (5, 8));
+        let rec = Recommender::new(run.model).unwrap();
+        let problem = Case2Problem::new();
+        let query = Case2Query::from_features(&[1000.0, 64.0, 64.0, 64.0, 8.0, 8.0, 0.0, 10.0]);
+        assert!(matches!(
+            rec.recommend_buffers_fast(&problem, &query),
             Err(RecommendError::WrongCaseStudy { .. })
         ));
     }

@@ -57,8 +57,18 @@ impl Log2Binner {
     }
 
     /// Quantizes one value.
+    ///
+    /// Non-finite and sub-unit inputs are clamped to bin 0: `NaN`,
+    /// `-inf`, negative values, and anything in `[0, 1)` all map to the
+    /// first bin, and `+inf` maps to the last. This is a contract, not an
+    /// accident — untrusted feature rows (e.g. a serve request that
+    /// divided by zero upstream) must land on a valid embedding row
+    /// rather than poison the lookup index.
     pub fn bin(&self, v: f32) -> u32 {
-        let lg = (v.max(1.0) as f64).log2();
+        if v.is_nan() || v < 1.0 {
+            return 0;
+        }
+        let lg = (v as f64).log2();
         let b = (lg * self.bins_per_octave as f64).round() as u32;
         b.min(self.vocab - 1)
     }
@@ -74,6 +84,33 @@ impl Default for Log2Binner {
     fn default() -> Self {
         Self::new(2, 64)
     }
+}
+
+/// Maximum number of bins [`pack_bins`] can pack into one `u128` key.
+pub const MAX_PACKED_BINS: usize = 16;
+
+/// Packs a tuple of per-feature bin indices into a single `u128` key,
+/// 8 bits per feature, feature 0 in the low byte.
+///
+/// This is the memo-cache key for the quantized inference path: because
+/// every feature is already a small discrete vocabulary (≤ 256 bins), the
+/// entire quantized input of up to [`MAX_PACKED_BINS`] features fits in
+/// one integer compare.
+///
+/// # Panics
+///
+/// Panics if `bins.len() > MAX_PACKED_BINS`.
+#[inline]
+pub fn pack_bins(bins: &[u8]) -> u128 {
+    assert!(
+        bins.len() <= MAX_PACKED_BINS,
+        "pack_bins: at most {MAX_PACKED_BINS} features fit in one key"
+    );
+    let mut key = 0u128;
+    for (i, &b) in bins.iter().enumerate() {
+        key |= u128::from(b) << (8 * i);
+    }
+    key
 }
 
 /// Per-column z-score normalizer fit on a training set.
@@ -168,6 +205,43 @@ mod tests {
         assert_eq!(q.bin(f32::MAX), 7);
         assert_eq!(q.bin(0.0), 0); // values below 1 clamp to bin 0
         assert_eq!(q.bin(-5.0), 0);
+    }
+
+    #[test]
+    fn binner_guards_non_finite_and_negative_inputs() {
+        // The clamped-to-bin-0 contract: garbage in, a *valid* index out.
+        let q = Log2Binner::new(2, 64);
+        assert_eq!(q.bin(f32::NAN), 0);
+        assert_eq!(q.bin(-f32::NAN), 0);
+        assert_eq!(q.bin(f32::NEG_INFINITY), 0);
+        assert_eq!(q.bin(-1e30), 0);
+        assert_eq!(q.bin(-0.0), 0);
+        assert_eq!(q.bin(0.5), 0);
+        assert_eq!(q.bin(f32::MIN_POSITIVE), 0);
+        // +inf clamps to the *last* bin, still in-vocabulary.
+        assert_eq!(q.bin(f32::INFINITY), 63);
+        // The guard does not disturb ordinary values.
+        assert_eq!(q.bin(1.0), 0);
+        assert_eq!(q.bin(4.0), 4);
+    }
+
+    #[test]
+    fn pack_bins_is_positional_and_injective_per_slot() {
+        assert_eq!(pack_bins(&[]), 0);
+        assert_eq!(pack_bins(&[7]), 7);
+        assert_eq!(pack_bins(&[1, 2]), 0x0201);
+        assert_eq!(pack_bins(&[0, 0, 255]), 0xFF0000);
+        // Distinct tuples of the same arity get distinct keys.
+        assert_ne!(pack_bins(&[1, 2, 3]), pack_bins(&[3, 2, 1]));
+        // 16 features (the CS3 case is 12) fill the key exactly.
+        let full = [0xABu8; 16];
+        assert_eq!(pack_bins(&full), u128::from_le_bytes(full));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16 features")]
+    fn pack_bins_rejects_oversized_tuples() {
+        let _ = pack_bins(&[0u8; 17]);
     }
 
     #[test]

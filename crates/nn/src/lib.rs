@@ -13,6 +13,8 @@
 //!   curves (paper Fig. 10a-c),
 //! * [`metrics`] — accuracy and the geometric mean used for the
 //!   misprediction-penalty analysis (paper Fig. 10g-h),
+//! * [`quant`] — offline int8 compilation of a trained network into the
+//!   fused single-query hot path ([`quant::QuantizedNetwork`]),
 //! * [`serialize`] — binary save/load of trained networks.
 //!
 //! # Example: learn XOR
@@ -42,6 +44,7 @@ pub mod loss;
 pub mod metrics;
 pub mod network;
 pub mod optim;
+pub mod quant;
 pub mod serialize;
 pub mod train;
 

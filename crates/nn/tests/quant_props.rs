@@ -1,0 +1,50 @@
+//! Property-based tests for the `AIQN` quantized-network codec: for
+//! arbitrary network shapes and seeds the serialization must be
+//! deterministic, roundtrip byte-identically, and the loaded artifact
+//! must infer bit-for-bit like the original.
+
+use airchitect_nn::network::Sequential;
+use airchitect_nn::quant::{QuantArena, QuantizedNetwork};
+use proptest::prelude::*;
+
+proptest! {
+    /// `to_bytes ∘ from_bytes` is the identity on the byte level, and a
+    /// reloaded artifact produces bit-identical logits for any query —
+    /// including out-of-vocab bins, which clamp.
+    #[test]
+    fn roundtrip_is_byte_identical_and_infers_identically(
+        (features, vocab, embed_dim, hidden, classes, seed, bins) in
+            (1usize..5, 2usize..10, 1usize..6, 1usize..24, 2usize..12, any::<u64>())
+                .prop_flat_map(|(f, v, e, h, c, s)| (
+                    Just(f), Just(v), Just(e), Just(h), Just(c), Just(s),
+                    proptest::collection::vec(any::<u8>(), f),
+                ))
+    ) {
+        let net = Sequential::embedding_mlp(features, vocab, embed_dim, hidden, classes, seed);
+        let quant = QuantizedNetwork::from_network(&net).unwrap();
+        let bytes = quant.to_bytes();
+        let loaded = QuantizedNetwork::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&bytes, &loaded.to_bytes());
+
+        let mut a = QuantArena::new();
+        let mut b = QuantArena::new();
+        quant.infer(&bins, &mut a);
+        loaded.infer(&bins, &mut b);
+        prop_assert_eq!(a.logits(), b.logits());
+        prop_assert_eq!(a.top1(), b.top1());
+        prop_assert_eq!(a.ranked(), b.ranked());
+    }
+
+    /// Any truncation of a valid artifact is rejected with an error —
+    /// never a panic, never a silent partial load.
+    #[test]
+    fn truncations_are_rejected(
+        (features, vocab, embed_dim, hidden, classes, seed, frac) in
+            (1usize..4, 2usize..8, 1usize..5, 1usize..16, 2usize..8, any::<u64>(), 0.0f64..1.0),
+    ) {
+        let net = Sequential::embedding_mlp(features, vocab, embed_dim, hidden, classes, seed);
+        let bytes = QuantizedNetwork::from_network(&net).unwrap().to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(QuantizedNetwork::from_bytes(&bytes[..cut]).is_err(), "cut {}", cut);
+    }
+}

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use airchitect_data::Dataset;
 use airchitect_nn::network::{Sequential, Workspace};
+use airchitect_nn::quant::{QuantArena, QuantizedNetwork};
 use airchitect_nn::optim::Optimizer;
 use airchitect_nn::train::gather_into;
 use airchitect_nn::{loss, train};
@@ -184,5 +185,31 @@ fn steady_state_training_batches_do_not_allocate() {
         &preds_a[..64],
         &preds[..],
         "paths must agree on predictions"
+    );
+
+    // The int8 single-query path is allocation-free as well: once the
+    // arena has been sized by a first query against this network's
+    // shape, further queries — including memo misses, which write into
+    // the preallocated memo storage, and every ranking accessor — must
+    // not touch the allocator.
+    let emb_net = Sequential::embedding_mlp(3, 8, 4, 16, 6, 17);
+    let quant = QuantizedNetwork::from_network(&emb_net).unwrap();
+    let mut arena = QuantArena::new();
+    quant.infer(&[1, 2, 3], &mut arena); // warm-up sizes the arena
+    let _ = arena.ranked();
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut sink = 0u32;
+    for i in 0..32u8 {
+        quant.infer(&[i % 8, (i * 3) % 8, (i * 5) % 8], &mut arena);
+        sink ^= arena.top1();
+        sink ^= arena.top_k(4).len() as u32;
+        sink ^= arena.ranked()[0];
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(sink != u32::MAX);
+    assert_eq!(
+        after - before,
+        0,
+        "warmed quantized queries must perform zero heap allocations"
     );
 }

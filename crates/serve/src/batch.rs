@@ -465,6 +465,69 @@ pub fn execute(model: &LoadedModel, query: &RecQuery, topk: usize) -> Outcome {
     }
 }
 
+/// Runs one top-1 query inline on the int8-quantized hot path and renders
+/// exactly the body [`execute`] produces for `topk == 0`. This is the
+/// listener's single-query bypass: no queue hop, no micro-batch, no
+/// worker thread — the connection thread answers directly.
+///
+/// The `serve.infer` failpoint fires here as on the batched path, so
+/// injected inference faults (and the breaker accounting the caller does
+/// on them) behave identically in both modes.
+pub fn execute_fast(model: &LoadedModel, query: &RecQuery) -> Outcome {
+    airchitect_chaos::fail_point!("serve.infer", |e: std::io::Error| Outcome::Err {
+        status: 500,
+        code: "inference_failed",
+        message: e.to_string(),
+    });
+    let mut tail = String::with_capacity(128);
+    tail.push_str("\"generation\":");
+    tail.push_str(&model.generation.to_string());
+    tail.push_str(",\"case\":\"");
+    tail.push_str(case_name(model.case));
+    tail.push_str("\",\"source\":\"model\"");
+
+    let rec = &model.recommender;
+    let rendered = match (&model.problem, query) {
+        (CaseProblem::Array(problem), RecQuery::Array { workload, mac_budget }) => rec
+            .recommend_array_fast(problem, workload, *mac_budget)
+            .map(|(array, dataflow)| {
+                tail.push_str(",\"result\":");
+                render_array(&mut tail, array.rows(), array.cols(), dataflow, None);
+            }),
+        (CaseProblem::Buffers(problem), RecQuery::Buffers { query }) => {
+            rec.recommend_buffers_fast(problem, query).map(|(i, f, o)| {
+                tail.push_str(",\"result\":");
+                render_buffers(&mut tail, i, f, o, None);
+            })
+        }
+        (CaseProblem::Schedule(problem), RecQuery::Schedule { workloads }) => {
+            rec.recommend_schedule_fast(problem, workloads).map(|schedule| {
+                tail.push_str(",\"result\":");
+                render_schedule(&mut tail, &schedule, None);
+            })
+        }
+        _ => {
+            return Outcome::Err {
+                status: 503,
+                code: "model_mismatch",
+                message: "loaded model does not match the query's case study".into(),
+            }
+        }
+    };
+
+    match rendered {
+        Ok(()) => {
+            tail.push_str("}\n");
+            Outcome::Ok {
+                body_tail: tail,
+                generation: model.generation,
+                source: Source::Model,
+            }
+        }
+        Err(err) => domain_error(&err),
+    }
+}
+
 fn render_score(out: &mut String, score: Option<f32>) {
     if let Some(s) = score {
         out.push_str(",\"score\":");

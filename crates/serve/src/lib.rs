@@ -110,6 +110,13 @@ pub struct ServeConfig {
     /// (`"source":"search"` + `Warning` header) instead of a 5xx. Also
     /// makes startup tolerate per-model load failures.
     pub fallback_search: bool,
+    /// Single-query bypass: when the queue is empty, answer top-1
+    /// requests inline on the int8-quantized hot path instead of taking
+    /// the micro-batch round-trip. Model-source answers only — missing
+    /// models, open circuits, ranked (`topk`) queries, and models the
+    /// quantizer rejected all take the queue path unchanged. Disable to
+    /// force every request through the queue (admission-control tests).
+    pub single_query_bypass: bool,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +134,7 @@ impl Default for ServeConfig {
             breaker_threshold: 5,
             breaker_cooldown_ms: 1000,
             fallback_search: false,
+            single_query_bypass: true,
         }
     }
 }

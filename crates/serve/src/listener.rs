@@ -87,6 +87,7 @@ struct Inner {
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
     deadline_ms: u64,
+    bypass: bool,
 }
 
 /// A bound, ready-to-run inference server. Dropping it without calling
@@ -147,6 +148,7 @@ impl Server {
                 read_timeout: secs_opt(config.read_timeout_secs),
                 write_timeout: secs_opt(config.write_timeout_secs),
                 deadline_ms: config.deadline_ms,
+                bypass: config.single_query_bypass,
             }),
             workers,
         })
@@ -365,6 +367,44 @@ fn recommend(case: airchitect::model::CaseStudy, request: &Request, inner: &Inne
     }
     metrics::SERVE_CACHE_MISSES.inc();
 
+    // Single-query bypass: with no batch window to join (empty queue), a
+    // top-1 request is answered inline on the int8-quantized hot path —
+    // no queue hop, no worker round-trip. Only model-source answers are
+    // taken here; every other situation (missing model, unquantizable
+    // model, open circuit, ranked query) falls through so the queue path
+    // stays the single owner of fallback and circuit-open policy.
+    if inner.bypass && parsed.topk == 0 && inner.queue.is_empty() {
+        if let Some(model) = inner.hub.get(case) {
+            if model.recommender.quantized().is_some() {
+                let breaker = inner.breakers.infer(case);
+                if matches!(breaker.try_acquire(), Admit::Yes) {
+                    metrics::SERVE_BYPASS.inc();
+                    // Same panic isolation and breaker accounting as the
+                    // worker's answer_job: a poisoned model costs one 500.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || crate::batch::execute_fast(&model, &parsed.query),
+                    ))
+                    .unwrap_or_else(|_| crate::batch::Outcome::Err {
+                        status: 500,
+                        code: "inference_panic",
+                        message: "inference panicked; the request was isolated".into(),
+                    });
+                    let failed = matches!(
+                        &outcome,
+                        crate::batch::Outcome::Err { status, .. } if *status >= 500
+                    );
+                    if failed {
+                        metrics::SERVE_INFER_FAILURES.inc();
+                    }
+                    breaker.record(!failed);
+                    let response = outcome_response(outcome, parsed.cache_key, inner);
+                    metrics::SERVE_REQUEST_US.record(started.elapsed().as_micros() as u64);
+                    return response;
+                }
+            }
+        }
+    }
+
     // Admission control: reject-on-full keeps queue latency bounded.
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
@@ -403,7 +443,20 @@ fn recommend(case: airchitect::model::CaseStudy, request: &Request, inner: &Inne
             }
         }
     };
-    let response = match outcome {
+    let response = outcome_response(outcome, parsed.cache_key, inner);
+    metrics::SERVE_REQUEST_US.record(started.elapsed().as_micros() as u64);
+    response
+}
+
+/// Frames an inference [`Outcome`](crate::batch::Outcome) as HTTP and
+/// handles response caching — shared by the queue path and the
+/// single-query bypass so both produce byte-identical responses.
+fn outcome_response(
+    outcome: crate::batch::Outcome,
+    cache_key: Vec<u8>,
+    inner: &Inner,
+) -> Response {
+    match outcome {
         crate::batch::Outcome::Ok {
             body_tail,
             generation,
@@ -415,7 +468,7 @@ fn recommend(case: airchitect::model::CaseStudy, request: &Request, inner: &Inne
                 // a degraded-mode answer after the model recovers.
                 Source::Model => {
                     inner.cache.lock().expect("cache poisoned").put(
-                        parsed.cache_key,
+                        cache_key,
                         CachedResponse {
                             body_tail,
                             generation,
@@ -441,7 +494,5 @@ fn recommend(case: airchitect::model::CaseStudy, request: &Request, inner: &Inne
             }
             resp
         }
-    };
-    metrics::SERVE_REQUEST_US.record(started.elapsed().as_micros() as u64);
-    response
+    }
 }

@@ -848,6 +848,9 @@ impl Cluster {
             argv.push("--fallback".into());
             argv.push("search".into());
         }
+        if !config.single_query_bypass {
+            argv.push("--no-bypass".into());
+        }
         argv
     }
 

@@ -198,8 +198,12 @@ fn open_circuit_with_fallback_serves_the_search_answer() {
 #[test]
 fn injected_worker_stall_turns_into_a_timely_504() {
     let _guard = chaos("serve.batch.dispatch=delay(600):1:1");
+    // Bypass disabled: the stall is injected on the *worker* dispatch
+    // path, and the 504-at-deadline contract is about a connection thread
+    // abandoning a stuck worker.
     let (addr, handle) = start(ServeConfig {
         deadline_ms: 150,
+        single_query_bypass: false,
         ..config(0, 0, false)
     });
     let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
@@ -224,13 +228,37 @@ fn injected_worker_stall_turns_into_a_timely_504() {
 #[test]
 fn injected_worker_panic_is_isolated_to_one_500() {
     let _guard = chaos("serve.batch.dispatch=panic:1:1");
-    let (addr, handle) = start(config(0, 0, false));
+    // Bypass disabled: the panic is injected on the worker dispatch path.
+    let (addr, handle) = start(ServeConfig {
+        single_query_bypass: false,
+        ..config(0, 0, false)
+    });
     let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
 
     let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
     assert_eq!(resp.status, 500, "{}", resp.body);
     assert!(resp.body.contains("inference_panic"), "{}", resp.body);
     // The worker survived; later requests are answered.
+    for _ in 0..3 {
+        let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    shutdown(addr, handle);
+}
+
+#[test]
+fn injected_panic_on_the_bypass_is_isolated_to_one_500() {
+    // `serve.infer` fires inside `execute_fast`, so with the bypass
+    // enabled (the default) the panic lands on the *connection* thread —
+    // it must be caught there exactly like the worker catches its own.
+    let _guard = chaos("serve.infer=panic:1:1");
+    let (addr, handle) = start(config(0, 0, false));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.body);
+    assert!(resp.body.contains("inference_panic"), "{}", resp.body);
+    // The connection (and server) survived; later requests are answered.
     for _ in 0..3 {
         let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
         assert_eq!(resp.status, 200, "{}", resp.body);

@@ -165,10 +165,13 @@ fn repeat_queries_hit_the_cache_and_metrics_show_it() {
 
 #[test]
 fn full_queue_answers_429_with_retry_after() {
-    // Depth 0 = every uncached request is rejected at admission.
+    // Depth 0 = every uncached request is rejected at admission. The
+    // single-query bypass would answer inline without touching the queue,
+    // so it is disabled to exercise the admission-control path.
     let config = ServeConfig {
         queue_depth: 0,
         cache_capacity: 0,
+        single_query_bypass: false,
         ..default_config(vec![model_file(CaseStudy::ArrayDataflow)])
     };
     let (addr, handle) = start(config);
@@ -406,9 +409,12 @@ fn degradation_ladder_is_table_driven() {
         },
         Case {
             name: "queue-full",
+            // Bypass disabled: this rung is about queue admission, which
+            // an inline answer would never reach.
             config: ServeConfig {
                 queue_depth: 0,
                 cache_capacity: 0,
+                single_query_bypass: false,
                 ..default_config(vec![model_file(CaseStudy::ArrayDataflow)])
             },
             deadline_ms: None,
@@ -464,6 +470,100 @@ fn degradation_ladder_is_table_driven() {
         assert_eq!(resp.retry_after, case.retry_after, "{}", case.name);
         shutdown(addr, handle);
     }
+}
+
+#[test]
+fn reload_swaps_the_quantized_model_and_bypass_answers_from_it() {
+    use airchitect::Recommender;
+    use airchitect_dse::case1::Case1Problem;
+    use airchitect_dse::space::Case1Space;
+    use airchitect_workload::GemmWorkload;
+
+    fn train_cs1(label_mul: u32, seed: u64) -> AirchitectModel {
+        let mut ds = Dataset::new(4, 30).unwrap();
+        let mut row = [0f32; 4];
+        for i in 0..240usize {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = ((i * 31 + j * 7) % 97) as f32;
+            }
+            ds.push(&row, (i as u32 * label_mul) % 30).unwrap();
+        }
+        let mut model = AirchitectModel::new(
+            CaseStudy::ArrayDataflow,
+            &AirchitectConfig {
+                num_classes: 30,
+                seed,
+                train: TrainConfig {
+                    epochs: 2,
+                    batch_size: 64,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        model.train(&ds).unwrap();
+        model
+    }
+
+    let path = std::env::temp_dir().join(format!(
+        "airchitect-serve-quant-reload-{}.airm",
+        std::process::id()
+    ));
+    persist::save(&train_cs1(13, 0), &path).unwrap();
+    let (addr, handle) = start(default_config(vec![path.clone()]));
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    let first = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert!(first.body.contains("\"generation\":1"), "{}", first.body);
+
+    // Swap a differently-trained model onto the same path and hot-reload:
+    // the quantized artifact must be rebuilt, and the embedding memo's
+    // id-stamping must make every old row miss.
+    let model_b = train_cs1(7, 99);
+    persist::save(&model_b, &path).unwrap();
+    let resp = client.post("/v1/reload", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // Compute model B's own int8 fast answer in-process; the served body
+    // must match it exactly — an answer from A's quantized weights (a
+    // stale memo row or an unswapped artifact) would not.
+    let rec = Recommender::new(model_b).unwrap();
+    assert!(rec.quantized().is_some(), "embedding MLP must quantize");
+    let space = Case1Space::from_len(30).expect("30-label CS1 space");
+    let problem = Case1Problem::new(space.mac_budget());
+    let wl = GemmWorkload::new(128, 64, 256).unwrap();
+    let (array, df) = rec.recommend_array_fast(&problem, &wl, 1024).unwrap();
+    let expected = format!(
+        "\"rows\":{},\"cols\":{},\"macs\":{},\"dataflow\":\"{df}\"",
+        array.rows(),
+        array.cols(),
+        array.macs()
+    );
+    let after = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(after.status, 200, "{}", after.body);
+    assert!(after.body.contains("\"cached\":false"), "reload must invalidate the cache: {}", after.body);
+    assert!(after.body.contains("\"generation\":2"), "{}", after.body);
+    assert!(after.body.contains(&expected), "{} !~ {expected}", after.body);
+
+    // The inline path actually served these: the bypass counter moved and
+    // the quantized pass touched the embedding memo.
+    let metrics = client.get("/metrics").unwrap();
+    let counter = |name: &str| {
+        metrics
+            .body
+            .lines()
+            .find_map(|l| {
+                l.split_once(' ')
+                    .filter(|(k, _)| *k == name)
+                    .and_then(|(_, v)| v.parse::<u64>().ok())
+            })
+            .unwrap_or(0)
+    };
+    assert!(counter("serve.bypass") > 0, "{}", metrics.body);
+    assert!(counter("quant.memo_misses") > 0, "{}", metrics.body);
+
+    shutdown(addr, handle);
 }
 
 #[test]

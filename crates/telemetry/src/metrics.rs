@@ -299,6 +299,16 @@ pub static CLUSTER_PROBE_FAILURES: Counter = Counter::new("cluster.probe_failure
 pub static CLUSTER_EJECTIONS: Counter = Counter::new("cluster.ejections");
 /// Previously ejected replicas re-admitted after consecutive healthy probes.
 pub static CLUSTER_READMISSIONS: Counter = Counter::new("cluster.readmissions");
+/// Int8 GEMV calls dispatched to the AVX2 kernel.
+pub static QGEMV_DISPATCH_AVX2: Counter = Counter::new("qgemv.dispatch.avx2");
+/// Int8 GEMV calls dispatched to the portable scalar kernel.
+pub static QGEMV_DISPATCH_SCALAR: Counter = Counter::new("qgemv.dispatch.scalar");
+/// Embedding-concat memo hits on the quantized inference path.
+pub static QUANT_MEMO_HITS: Counter = Counter::new("quant.memo_hits");
+/// Embedding-concat memo misses on the quantized inference path.
+pub static QUANT_MEMO_MISSES: Counter = Counter::new("quant.memo_misses");
+/// Recommendations answered inline on the single-query bypass (no queue).
+pub static SERVE_BYPASS: Counter = Counter::new("serve.bypass");
 
 /// Latest training loss.
 pub static TRAIN_LOSS: Gauge = Gauge::new("train.loss");
@@ -328,7 +338,7 @@ pub static SERVE_BATCH_JOBS: Histogram = Histogram::new("serve.batch_jobs");
 /// Router-observed backend round-trip latency, microseconds.
 pub static CLUSTER_BACKEND_US: Histogram = Histogram::new("cluster.backend_us");
 
-static COUNTERS: [&Counter; 33] = [
+static COUNTERS: [&Counter; 38] = [
     &SIM_EVALS,
     &DSE_SEARCHES,
     &DSE_SEARCH_POINTS,
@@ -362,6 +372,11 @@ static COUNTERS: [&Counter; 33] = [
     &CLUSTER_PROBE_FAILURES,
     &CLUSTER_EJECTIONS,
     &CLUSTER_READMISSIONS,
+    &QGEMV_DISPATCH_AVX2,
+    &QGEMV_DISPATCH_SCALAR,
+    &QUANT_MEMO_HITS,
+    &QUANT_MEMO_MISSES,
+    &SERVE_BYPASS,
 ];
 static GAUGES: [&Gauge; 7] = [
     &TRAIN_LOSS,

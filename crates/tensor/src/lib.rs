@@ -25,5 +25,6 @@ mod matrix;
 pub mod gemm;
 pub mod init;
 pub mod ops;
+pub mod qgemm;
 
 pub use matrix::Matrix;

@@ -1,0 +1,382 @@
+//! Int8 GEMV kernels for the quantized single-query inference path.
+//!
+//! The quantized network stores each dense layer's weights **transposed**
+//! (`out_dim × in_dim`, row-major), so a 1-row inference is `out_dim`
+//! contiguous dot products over the activation vector — no packing, no
+//! blocking, no strided loads.
+//!
+//! Activations are int8-*valued* but handed over pre-widened to `i16`:
+//! they are reused across every output row, so widening them once outside
+//! the kernel halves the sign-extension work in the inner loop (only the
+//! weight bytes still need `vpmovsxbw`, the port-5-bound shuffle that
+//! otherwise caps throughput). Accumulation is exact `i32` integer math:
+//! with `|a| ≤ 127` and `|w| ≤ 127` an `i32` accumulator holds well over
+//! `100 000` terms before it could overflow, far beyond any layer width
+//! in this codebase.
+//!
+//! Dispatch mirrors [`crate::gemm`]: the AVX2 kernel is selected by
+//! runtime feature detection and the portable scalar kernel — the
+//! correctness oracle the property tests compare against — always stays
+//! available. Because the math is integer, the two kernels agree **bit
+//! exactly**, not just approximately.
+
+use airchitect_telemetry::metrics;
+
+/// `out[o] = Σ_k a[k] · w[o·in_dim + k]`, with `in_dim = a.len()`.
+///
+/// `a` holds int8-range activation values pre-widened to `i16` (see the
+/// module docs); `w` holds `out.len()` transposed weight rows of
+/// `a.len()` elements each. Dispatches to the AVX2 kernel when the CPU
+/// supports it, the scalar oracle otherwise; both produce identical
+/// results.
+///
+/// # Panics
+///
+/// Panics if `w.len() != a.len() * out.len()`.
+pub fn gemv_i8(a: &[i16], w: &[i8], out: &mut [i32]) {
+    assert_eq!(
+        w.len(),
+        a.len() * out.len(),
+        "gemv_i8: weight buffer must be out_dim x in_dim"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            metrics::QGEMV_DISPATCH_AVX2.inc();
+            // SAFETY: AVX2 presence was just verified at runtime; the
+            // kernel has no other safety requirements (slice bounds are
+            // checked by the asserted length relation above).
+            unsafe { return gemv_i8_avx2(a, w, out) };
+        }
+    }
+    metrics::QGEMV_DISPATCH_SCALAR.inc();
+    gemv_i8_scalar(a, w, out);
+}
+
+/// `out[o] = Σ_k a[k] · w[o·in_dim + k]` for **non-negative** activations.
+///
+/// The unsigned-activation sibling of [`gemv_i8`], for layers whose input
+/// went through a ReLU: with `a[k] ≤ 127` the AVX2 kernel can use
+/// `vpmaddubsw` (u8 × i8), which consumes 32 weight bytes per
+/// instruction — twice the width of the sign-extending path — without
+/// ever saturating (worst pair sum `2 · 127 · 127 < 32767`).
+///
+/// # Panics
+///
+/// Panics if `w.len() != a.len() * out.len()`. Debug builds also assert
+/// `a[k] ≤ 127`; in release, values above 127 would saturate the SIMD
+/// path and are a contract violation.
+pub fn gemv_u8_i8(a: &[u8], w: &[i8], out: &mut [i32]) {
+    assert_eq!(
+        w.len(),
+        a.len() * out.len(),
+        "gemv_u8_i8: weight buffer must be out_dim x in_dim"
+    );
+    debug_assert!(
+        a.iter().all(|&x| x <= 127),
+        "gemv_u8_i8: activations must stay in 0..=127"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            metrics::QGEMV_DISPATCH_AVX2.inc();
+            // SAFETY: AVX2 presence was just verified at runtime; slice
+            // bounds are checked by the asserted length relation above.
+            unsafe { return gemv_u8_i8_avx2(a, w, out) };
+        }
+    }
+    metrics::QGEMV_DISPATCH_SCALAR.inc();
+    gemv_u8_i8_scalar(a, w, out);
+}
+
+/// Portable scalar oracle for [`gemv_u8_i8`]; same contract.
+///
+/// # Panics
+///
+/// Panics if `w.len() != a.len() * out.len()`.
+pub fn gemv_u8_i8_scalar(a: &[u8], w: &[i8], out: &mut [i32]) {
+    assert_eq!(
+        w.len(),
+        a.len() * out.len(),
+        "gemv_u8_i8_scalar: weight buffer must be out_dim x in_dim"
+    );
+    let k = a.len();
+    for (o, slot) in out.iter_mut().enumerate() {
+        let row = &w[o * k..(o + 1) * k];
+        let mut acc = 0i32;
+        for (&x, &y) in a.iter().zip(row) {
+            acc += i32::from(x) * i32::from(y);
+        }
+        *slot = acc;
+    }
+}
+
+/// Whether [`gemv_i8`] will dispatch to the AVX2 kernel on this CPU.
+///
+/// Benchmarks use this to decide if the sub-10µs latency gate applies:
+/// the scalar fallback is correct but not held to the same budget.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Portable scalar reference kernel — the correctness oracle.
+///
+/// Same contract as [`gemv_i8`]; exported so tests (and non-x86 builds)
+/// can pin the AVX2 kernel against it.
+///
+/// # Panics
+///
+/// Panics if `w.len() != a.len() * out.len()`.
+pub fn gemv_i8_scalar(a: &[i16], w: &[i8], out: &mut [i32]) {
+    assert_eq!(
+        w.len(),
+        a.len() * out.len(),
+        "gemv_i8_scalar: weight buffer must be out_dim x in_dim"
+    );
+    let k = a.len();
+    for (o, slot) in out.iter_mut().enumerate() {
+        let row = &w[o * k..(o + 1) * k];
+        let mut acc = 0i32;
+        for (&x, &y) in a.iter().zip(row) {
+            acc += i32::from(x) * i32::from(y);
+        }
+        *slot = acc;
+    }
+}
+
+/// AVX2 kernel: activations load as ready-made `i16` lanes, 16 weight
+/// bytes at a time are sign-extended (`_mm256_cvtepi8_epi16`) and
+/// multiply-accumulated pairwise into `i32` (`_mm256_madd_epi16` — the
+/// signed-safe sibling of `_mm256_maddubs_epi16`, which would saturate on
+/// signed×signed input). Output rows are processed two at a time so each
+/// activation load feeds two accumulator chains, and the chains also hide
+/// the madd latency.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemv_i8_avx2(a: &[i16], w: &[i8], out: &mut [i32]) {
+    use std::arch::x86_64::*;
+    let k = a.len();
+    let mut o = 0usize;
+    while o + 2 <= out.len() {
+        let row0 = w.as_ptr().add(o * k);
+        let row1 = w.as_ptr().add((o + 1) * k);
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 16 <= k {
+            let av = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let w0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(row0.add(i).cast()));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(av, w0));
+            let w1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(row1.add(i).cast()));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(av, w1));
+            i += 16;
+        }
+        let (mut s0, mut s1) = (hsum_epi32(acc0), hsum_epi32(acc1));
+        while i < k {
+            let x = i32::from(*a.get_unchecked(i));
+            s0 += x * i32::from(*row0.add(i));
+            s1 += x * i32::from(*row1.add(i));
+            i += 1;
+        }
+        *out.get_unchecked_mut(o) = s0;
+        *out.get_unchecked_mut(o + 1) = s1;
+        o += 2;
+    }
+    if o < out.len() {
+        let row = &w[o * k..(o + 1) * k];
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 16 <= k {
+            let av = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let wv = _mm256_cvtepi8_epi16(_mm_loadu_si128(row.as_ptr().add(i).cast()));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, wv));
+            i += 16;
+        }
+        let mut sum = hsum_epi32(acc);
+        for (&x, &y) in a[i..].iter().zip(&row[i..]) {
+            sum += i32::from(x) * i32::from(y);
+        }
+        out[o] = sum;
+    }
+}
+
+/// AVX2 kernel for the unsigned-activation path: 32 bytes of activations
+/// and weights per step through `vpmaddubsw` (u8 × i8 → saturating i16
+/// pairs — safe because activations stay ≤ 127), widened to `i32` with a
+/// `vpmaddwd` against ones. Two output rows share each activation load.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemv_u8_i8_avx2(a: &[u8], w: &[i8], out: &mut [i32]) {
+    use std::arch::x86_64::*;
+    let k = a.len();
+    let ones = _mm256_set1_epi16(1);
+    let mut o = 0usize;
+    while o + 2 <= out.len() {
+        let row0 = w.as_ptr().add(o * k);
+        let row1 = w.as_ptr().add((o + 1) * k);
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 32 <= k {
+            let av = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let w0 = _mm256_loadu_si256(row0.add(i).cast());
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(_mm256_maddubs_epi16(av, w0), ones));
+            let w1 = _mm256_loadu_si256(row1.add(i).cast());
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(_mm256_maddubs_epi16(av, w1), ones));
+            i += 32;
+        }
+        let (mut s0, mut s1) = (hsum_epi32(acc0), hsum_epi32(acc1));
+        while i < k {
+            let x = i32::from(*a.get_unchecked(i));
+            s0 += x * i32::from(*row0.add(i));
+            s1 += x * i32::from(*row1.add(i));
+            i += 1;
+        }
+        *out.get_unchecked_mut(o) = s0;
+        *out.get_unchecked_mut(o + 1) = s1;
+        o += 2;
+    }
+    if o < out.len() {
+        let row = &w[o * k..(o + 1) * k];
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 32 <= k {
+            let av = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let wv = _mm256_loadu_si256(row.as_ptr().add(i).cast());
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(_mm256_maddubs_epi16(av, wv), ones));
+            i += 32;
+        }
+        let mut sum = hsum_epi32(acc);
+        for (&x, &y) in a[i..].iter().zip(&row[i..]) {
+            sum += i32::from(x) * i32::from(y);
+        }
+        out[o] = sum;
+    }
+}
+
+/// Horizontal sum of the eight `i32` lanes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_epi32(acc: std::arch::x86_64::__m256i) -> i32 {
+    use std::arch::x86_64::*;
+    let lo = _mm256_castsi256_si128(acc);
+    let hi = _mm256_extracti128_si256(acc, 1);
+    let s = _mm_add_epi32(lo, hi);
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+    _mm_cvtsi128_si32(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic i8 stream without pulling `rand` into unit tests.
+    fn rand_i8(n: usize, seed: u64) -> Vec<i8> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(11);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as i8
+            })
+            .collect()
+    }
+
+    fn widen(v: &[i8]) -> Vec<i16> {
+        v.iter().map(|&x| i16::from(x)).collect()
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_across_shapes() {
+        // Cover the sub-lane tail (k < 16), exact single/double lanes,
+        // the 16-lane remainder of the unrolled loop, and long rows.
+        for (in_dim, out_dim, seed) in [
+            (1usize, 1usize, 1u64),
+            (7, 3, 2),
+            (16, 5, 3),
+            (17, 4, 4),
+            (32, 9, 5),
+            (48, 11, 6),
+            (64, 459, 7),
+            (96, 31, 8),
+            (192, 13, 9),
+            (256, 1944, 10),
+        ] {
+            let a = widen(&rand_i8(in_dim, seed));
+            let w = rand_i8(in_dim * out_dim, seed ^ 0xABCD);
+            let mut got = vec![0i32; out_dim];
+            let mut expect = vec![0i32; out_dim];
+            gemv_i8(&a, &w, &mut got);
+            gemv_i8_scalar(&a, &w, &mut expect);
+            assert_eq!(got, expect, "shape {in_dim}x{out_dim}");
+        }
+    }
+
+    #[test]
+    fn unsigned_dispatch_matches_scalar_across_shapes() {
+        for (in_dim, out_dim, seed) in [
+            (1usize, 1usize, 1u64),
+            (7, 3, 2),
+            (31, 4, 3),
+            (32, 5, 4),
+            (33, 9, 5),
+            (64, 459, 6),
+            (100, 7, 7),
+            (256, 1944, 8),
+        ] {
+            // Activations must stay in the saturation-safe 0..=127 band.
+            let a: Vec<u8> = rand_i8(in_dim, seed).iter().map(|&x| (x as u8) & 0x7F).collect();
+            let w = rand_i8(in_dim * out_dim, seed ^ 0xF00D);
+            let mut got = vec![0i32; out_dim];
+            let mut expect = vec![0i32; out_dim];
+            gemv_u8_i8(&a, &w, &mut got);
+            gemv_u8_i8_scalar(&a, &w, &mut expect);
+            assert_eq!(got, expect, "shape {in_dim}x{out_dim}");
+        }
+    }
+
+    #[test]
+    fn unsigned_extremes_do_not_saturate() {
+        // 127 * -128 pairs are the saturation worst case: |sum of two
+        // pairs| = 2 * 127 * 128 = 32512 < 32767, so vpmaddubsw is exact.
+        let a = vec![127u8; 300];
+        let w = vec![-128i8; 300 * 4];
+        let mut got = vec![0i32; 4];
+        gemv_u8_i8(&a, &w, &mut got);
+        assert_eq!(got, vec![127 * -128 * 300; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out_dim x in_dim")]
+    fn unsigned_mismatched_buffers_panic() {
+        let mut out = vec![0i32; 2];
+        gemv_u8_i8(&[1, 2, 3], &[1, 2, 3, 4], &mut out);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_lanes() {
+        // -128 * -128 * long rows stresses the i16 widening: madd pairs
+        // peak at 2 * 128^2 = 32768 which still fits i32 per pair.
+        let a = vec![-128i16; 300];
+        let w = vec![-128i8; 300 * 4];
+        let mut got = vec![0i32; 4];
+        gemv_i8(&a, &w, &mut got);
+        assert_eq!(got, vec![128 * 128 * 300; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out_dim x in_dim")]
+    fn mismatched_buffers_panic() {
+        let mut out = vec![0i32; 2];
+        gemv_i8(&[1, 2, 3], &[1, 2, 3, 4], &mut out);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the int8 gemv kernels: whatever path the
+//! runtime dispatch picks (AVX2 or scalar), the result must be exactly
+//! the plain widening-i32 dot product, for arbitrary shapes and values —
+//! not just the hand-picked shapes in the unit tests.
+
+use airchitect_tensor::qgemm;
+use proptest::prelude::*;
+
+fn reference_i16(a: &[i16], w: &[i8], out_dim: usize) -> Vec<i32> {
+    let in_dim = a.len();
+    (0..out_dim)
+        .map(|o| {
+            a.iter()
+                .zip(&w[o * in_dim..][..in_dim])
+                .map(|(&x, &y)| i32::from(x) * i32::from(y))
+                .sum()
+        })
+        .collect()
+}
+
+fn reference_u8(a: &[u8], w: &[i8], out_dim: usize) -> Vec<i32> {
+    let in_dim = a.len();
+    (0..out_dim)
+        .map(|o| {
+            a.iter()
+                .zip(&w[o * in_dim..][..in_dim])
+                .map(|(&x, &y)| i32::from(x) * i32::from(y))
+                .sum()
+        })
+        .collect()
+}
+
+proptest! {
+    /// The signed kernel (int8-valued activations pre-widened to i16)
+    /// matches the exact integer dot product on every dispatch path.
+    #[test]
+    fn signed_kernel_is_exact(
+        (a, w, out_dim) in (1usize..96, 1usize..48).prop_flat_map(|(in_dim, out_dim)| (
+            proptest::collection::vec(-128i16..=127, in_dim),
+            proptest::collection::vec(any::<i8>(), in_dim * out_dim),
+            Just(out_dim),
+        ))
+    ) {
+        let mut got = vec![0i32; out_dim];
+        qgemm::gemv_i8(&a, &w, &mut got);
+        prop_assert_eq!(got, reference_i16(&a, &w, out_dim));
+    }
+
+    /// The unsigned kernel (post-ReLU activations, contract `a <= 127`)
+    /// matches the exact integer dot product on every dispatch path —
+    /// in particular the `vpmaddubsw` path must never saturate.
+    #[test]
+    fn unsigned_kernel_is_exact(
+        (a, w, out_dim) in (1usize..96, 1usize..48).prop_flat_map(|(in_dim, out_dim)| (
+            proptest::collection::vec(0u8..=127, in_dim),
+            proptest::collection::vec(any::<i8>(), in_dim * out_dim),
+            Just(out_dim),
+        ))
+    ) {
+        let mut got = vec![0i32; out_dim];
+        qgemm::gemv_u8_i8(&a, &w, &mut got);
+        prop_assert_eq!(got, reference_u8(&a, &w, out_dim));
+    }
+
+    /// Both kernels agree with each other where their domains overlap
+    /// (non-negative int8 activations).
+    #[test]
+    fn kernels_agree_on_the_shared_domain(
+        (a, w, out_dim) in (1usize..80, 1usize..32).prop_flat_map(|(in_dim, out_dim)| (
+            proptest::collection::vec(0u8..=127, in_dim),
+            proptest::collection::vec(any::<i8>(), in_dim * out_dim),
+            Just(out_dim),
+        ))
+    ) {
+        let widened: Vec<i16> = a.iter().map(|&v| i16::from(v)).collect();
+        let mut via_signed = vec![0i32; out_dim];
+        let mut via_unsigned = vec![0i32; out_dim];
+        qgemm::gemv_i8(&widened, &w, &mut via_signed);
+        qgemm::gemv_u8_i8(&a, &w, &mut via_unsigned);
+        prop_assert_eq!(via_signed, via_unsigned);
+    }
+}

@@ -39,6 +39,8 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         "breaker-cooldown-ms",
         "fallback",
         "no-bypass",
+        "event-loops",
+        "threaded",
         "cluster",
         "replicas",
         "probe-interval-ms",
@@ -100,6 +102,10 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         breaker_cooldown_ms: args.u64_or("breaker-cooldown-ms", 1000)?,
         fallback_search,
         single_query_bypass: !args.flag("no-bypass"),
+        event_loops: args.u64_or("event-loops", 0)? as usize,
+        // The env default keeps one invocation form usable in both modes
+        // (CI runs every suite twice that way).
+        threaded: args.flag("threaded") || ServeConfig::default().threaded,
     };
 
     if args.flag("cluster") {
@@ -136,6 +142,11 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
     // Parseable by scripts: `--port 0` binds an ephemeral port, and this
     // line is the only way to learn which one.
     println!("listening on http://{}", server.local_addr());
+    if server.event_loops() > 0 {
+        println!("listener: evented, {} event loop(s)", server.event_loops());
+    } else {
+        println!("listener: thread-per-connection");
+    }
     println!(
         "routes: POST /v1/recommend/{{array|buffers|schedule}} | POST /v1/reload | \
          POST /v1/shutdown | GET /healthz | GET /metrics"

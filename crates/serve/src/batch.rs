@@ -19,6 +19,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use airchitect_telemetry::metrics::SERVE_WAKEUPS;
+
 use airchitect::model::CaseStudy;
 use airchitect::recommend::RecommendError;
 use airchitect_dse::case2::Case2Query;
@@ -99,6 +101,124 @@ pub enum Outcome {
     },
 }
 
+/// How a worker delivers its [`Outcome`] back to whoever queued the job.
+///
+/// The threaded listener blocks a connection thread on an mpsc receiver;
+/// the evented listener cannot block anything, so its replies land on the
+/// owning shard's [`CompletionQueue`] and an eventfd wake re-arms the
+/// connection inside the loop.
+#[derive(Debug)]
+pub enum Reply {
+    /// Blocking delivery: the connection thread waits on the paired
+    /// receiver (threaded listener).
+    Channel(mpsc::Sender<Outcome>),
+    /// Non-blocking delivery: push onto the shard's completion queue and
+    /// wake its event loop (evented listener).
+    Completion {
+        /// The owning shard's completion queue.
+        queue: Arc<CompletionQueue>,
+        /// Connection token (slot index + generation) on that shard.
+        conn: u64,
+        /// Per-connection request sequence number, so a late reply for an
+        /// already-504'd request is discarded instead of misdelivered.
+        req: u64,
+    },
+}
+
+impl Reply {
+    /// Delivers `outcome`. A hung-up receiver (client gone) is dropped
+    /// silently in both modes.
+    pub fn send(&self, outcome: Outcome) {
+        match self {
+            Reply::Channel(tx) => {
+                let _ = tx.send(outcome);
+            }
+            Reply::Completion { queue, conn, req } => queue.push(*conn, *req, outcome),
+        }
+    }
+}
+
+/// A completion delivered to an evented shard: `(connection token,
+/// request sequence, outcome)`.
+pub type Completion = (u64, u64, Outcome);
+
+/// Mailbox between batch workers and one evented shard. Workers push
+/// finished outcomes; the shard drains after an eventfd wake. The wake is
+/// only issued on the empty→non-empty transition, so a burst of
+/// completions costs one syscall, not one per job.
+#[derive(Debug)]
+pub struct CompletionQueue {
+    entries: Mutex<Vec<Completion>>,
+    #[cfg(target_os = "linux")]
+    waker: crate::reactor::Waker,
+}
+
+impl CompletionQueue {
+    /// Creates the queue and its waker eventfd.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the eventfd cannot be created (fd exhaustion).
+    pub fn new() -> std::io::Result<Self> {
+        Ok(Self {
+            entries: Mutex::new(Vec::new()),
+            #[cfg(target_os = "linux")]
+            waker: crate::reactor::Waker::new()?,
+        })
+    }
+
+    /// Pushes one completion and wakes the owning loop if it was idle.
+    pub fn push(&self, conn: u64, req: u64, outcome: Outcome) {
+        let was_empty = {
+            let mut entries = self.entries.lock().expect("completions poisoned");
+            let was_empty = entries.is_empty();
+            entries.push((conn, req, outcome));
+            was_empty
+        };
+        if was_empty {
+            self.wake();
+        }
+    }
+
+    /// Drains every pending completion into `out` (which is cleared
+    /// first).
+    pub fn drain_into(&self, out: &mut Vec<Completion>) {
+        out.clear();
+        let mut entries = self.entries.lock().expect("completions poisoned");
+        std::mem::swap(out, &mut entries);
+    }
+
+    /// Number of undelivered completions (the shard's ready-queue depth
+    /// gauge).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("completions poisoned").len()
+    }
+
+    /// Whether no completions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wakes the owning loop without queueing anything (shutdown nudges).
+    pub fn wake(&self) {
+        SERVE_WAKEUPS.inc();
+        #[cfg(target_os = "linux")]
+        self.waker.wake();
+    }
+
+    /// The waker fd to register for read-readiness in the shard's poller.
+    #[cfg(target_os = "linux")]
+    pub fn waker_fd(&self) -> std::os::fd::RawFd {
+        self.waker.as_raw_fd()
+    }
+
+    /// Consumes pending wakes after the poller reported readiness.
+    #[cfg(target_os = "linux")]
+    pub fn drain_wakes(&self) {
+        self.waker.drain();
+    }
+}
+
 /// One queued request.
 #[derive(Debug)]
 pub struct Job {
@@ -106,8 +226,8 @@ pub struct Job {
     pub query: RecQuery,
     /// Ranked-list size; `0` means top-1.
     pub topk: usize,
-    /// Channel the worker answers on.
-    pub reply: mpsc::Sender<Outcome>,
+    /// Where the worker's answer goes.
+    pub reply: Reply,
     /// End-to-end deadline; a job past it is answered 504, never executed.
     pub deadline: Option<Instant>,
 }
@@ -263,7 +383,7 @@ fn worker_loop(
                 .clone();
             let outcome = answer_job(&job, snap.as_deref(), breakers, fallback);
             // A dead receiver just means the client hung up; drop silently.
-            let _ = job.reply.send(outcome);
+            job.reply.send(outcome);
         }
     }
 }
@@ -604,7 +724,7 @@ mod tests {
                     mac_budget: 1024,
                 },
                 topk: 0,
-                reply: tx,
+                reply: Reply::Channel(tx),
                 deadline: None,
             },
             rx,
@@ -654,6 +774,25 @@ mod tests {
         assert_eq!(q.pop_batch(4).len(), 4);
         assert_eq!(q.pop_batch(4).len(), 4);
         assert_eq!(q.pop_batch(4).len(), 2);
+    }
+
+    #[test]
+    fn completion_queue_drains_in_push_order() {
+        let q = CompletionQueue::new().unwrap();
+        let outcome = || Outcome::Err {
+            status: 504,
+            code: "deadline_exceeded",
+            message: String::new(),
+        };
+        q.push(1, 10, outcome());
+        q.push(2, 20, outcome());
+        assert_eq!(q.len(), 2);
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].0, out[0].1), (1, 10));
+        assert_eq!((out[1].0, out[1].1), (2, 20));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -2,6 +2,13 @@
 //! API behind `curl` and the loadgen bench — request-line + headers +
 //! `Content-Length` bodies, keep-alive, and fixed-size limits. No chunked
 //! encoding, no TLS, no multiplexing.
+//!
+//! Two parsing front-ends share one grammar: [`read_request`] blocks on a
+//! `BufRead` (threaded listener, cluster proxy, test clients) and
+//! [`try_parse`] makes a resumable attempt over whatever bytes a
+//! nonblocking socket has delivered so far (evented listener). Both route
+//! every request line and header through the same `Head` builder, so the
+//! two listeners cannot drift on protocol decisions.
 
 use std::io::{BufRead, Write};
 
@@ -52,6 +59,114 @@ fn bad(status: u16, reason: impl Into<String>) -> ReadError {
     }
 }
 
+/// Partially assembled request head, shared by the blocking and
+/// incremental parsers.
+struct Head {
+    method: String,
+    path: String,
+    keep_alive: bool,
+    content_length: Option<usize>,
+    deadline_ms: Option<u64>,
+}
+
+impl Head {
+    /// Parses the request line.
+    fn start(line: &str) -> Result<Self, ReadError> {
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| bad(400, "empty request line"))?
+            .to_ascii_uppercase();
+        let path = parts
+            .next()
+            .ok_or_else(|| bad(400, "request line has no target"))?
+            .to_string();
+        let version = parts.next().unwrap_or("HTTP/1.1");
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad(400, format!("unsupported version `{version}`")));
+        }
+        Ok(Self {
+            method,
+            path,
+            // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+            keep_alive: version != "HTTP/1.0",
+            content_length: None,
+            deadline_ms: None,
+        })
+    }
+
+    /// Applies one header line.
+    fn header(&mut self, line: &str) -> Result<(), ReadError> {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(400, format!("malformed header `{line}`")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let parsed = value
+                .parse::<usize>()
+                .map_err(|_| bad(400, "bad Content-Length"))?;
+            // Conflicting duplicates are the classic request-smuggling
+            // vector: two framings of the same stream. Reject outright;
+            // repeated *identical* values are tolerated per RFC 9110.
+            if let Some(prev) = self.content_length {
+                if prev != parsed {
+                    return Err(bad(400, "conflicting duplicate Content-Length headers"));
+                }
+            }
+            self.content_length = Some(parsed);
+        } else if name.eq_ignore_ascii_case("connection") {
+            // `Connection` is a comma-separated token list
+            // (`keep-alive, X-Custom`); whole-value equality would
+            // misread every multi-token form. `close` wins over
+            // `keep-alive` if a confused client sends both.
+            let mut close = false;
+            let mut keep = false;
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
+                }
+            }
+            if close {
+                self.keep_alive = false;
+            } else if keep {
+                self.keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(bad(400, "chunked bodies are not supported"));
+        } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+            self.deadline_ms = Some(
+                value
+                    .parse::<u64>()
+                    .map_err(|_| bad(400, "X-Deadline-Ms must be a non-negative integer"))?,
+            );
+        }
+        Ok(())
+    }
+
+    /// Validates the body length once the header block is complete.
+    fn body_length(&self) -> Result<usize, ReadError> {
+        let len = self.content_length.unwrap_or(0);
+        if len > MAX_BODY_BYTES {
+            return Err(bad(413, format!("body of {len} bytes")));
+        }
+        Ok(len)
+    }
+
+    fn into_request(self, body: Vec<u8>) -> Request {
+        Request {
+            method: self.method,
+            path: self.path,
+            body,
+            keep_alive: self.keep_alive,
+            deadline_ms: self.deadline_ms,
+        }
+    }
+}
+
 /// Reads one request from a buffered stream.
 ///
 /// # Errors
@@ -66,90 +181,56 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
     if read_crlf_line(reader, &mut line, &mut head_bytes)? == 0 {
         return Err(ReadError::Closed);
     }
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| bad(400, "empty request line"))?
-        .to_ascii_uppercase();
-    let path = parts
-        .next()
-        .ok_or_else(|| bad(400, "request line has no target"))?
-        .to_string();
-    let version = parts.next().unwrap_or("HTTP/1.1");
-    if !version.starts_with("HTTP/1.") {
-        return Err(bad(400, format!("unsupported version `{version}`")));
-    }
-    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
-    let mut keep_alive = version != "HTTP/1.0";
-
-    let mut content_length = 0usize;
-    let mut deadline_ms = None;
+    let mut head = Head::start(&line)?;
     loop {
-        line.clear();
         read_crlf_line(reader, &mut line, &mut head_bytes)?;
         if line.is_empty() {
             break; // end of headers
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(bad(400, format!("malformed header `{line}`")));
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse::<usize>()
-                .map_err(|_| bad(400, "bad Content-Length"))?;
-        } else if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
-                keep_alive = false;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
-                keep_alive = true;
-            }
-        } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            return Err(bad(400, "chunked bodies are not supported"));
-        } else if name.eq_ignore_ascii_case("x-deadline-ms") {
-            deadline_ms = Some(
-                value
-                    .parse::<u64>()
-                    .map_err(|_| bad(400, "X-Deadline-Ms must be a non-negative integer"))?,
-            );
-        }
+        head.header(&line)?;
     }
 
-    if content_length > MAX_BODY_BYTES {
-        return Err(bad(413, format!("body of {content_length} bytes")));
-    }
+    let content_length = head.body_length()?;
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
         reader.read_exact(&mut body).map_err(map_io)?;
     }
-    Ok(Request {
-        method,
-        path,
-        body,
-        keep_alive,
-        deadline_ms,
-    })
+    Ok(head.into_request(body))
 }
 
 /// Reads one `\r\n`-terminated line into `line` (terminator stripped),
 /// returning the number of raw bytes consumed (0 only at EOF before any
 /// byte).
+///
+/// The head limit is enforced *while* reading via `Read::take`: a client
+/// streaming megabytes without a newline is cut off (and answered 413) at
+/// the cap instead of having the whole flood buffered first.
 fn read_crlf_line<R: BufRead>(
     reader: &mut R,
     line: &mut String,
     head_bytes: &mut usize,
 ) -> Result<usize, ReadError> {
     line.clear();
-    let n = reader.read_line(line).map_err(map_io)?;
+    // One byte past the cap is enough to distinguish "over the limit"
+    // from "line ends exactly at it".
+    let cap = (MAX_HEAD_BYTES + 1).saturating_sub(*head_bytes) as u64;
+    let mut raw = Vec::new();
+    let n = std::io::Read::take(&mut *reader, cap)
+        .read_until(b'\n', &mut raw)
+        .map_err(map_io)?;
     *head_bytes += n;
     if *head_bytes > MAX_HEAD_BYTES {
         return Err(bad(413, "request head too large"));
     }
-    if n > 0 && !line.ends_with('\n') {
+    if n > 0 && raw.last() != Some(&b'\n') {
         return Err(bad(400, "truncated request"));
     }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
+    while matches!(raw.last(), Some(b'\n' | b'\r')) {
+        raw.pop();
+    }
+    match std::str::from_utf8(&raw) {
+        Ok(s) => line.push_str(s),
+        Err(_) => return Err(bad(400, "request head is not valid UTF-8")),
     }
     Ok(n)
 }
@@ -160,6 +241,83 @@ fn map_io(e: std::io::Error) -> ReadError {
         std::io::ErrorKind::UnexpectedEof => ReadError::Closed,
         _ => ReadError::Io(e),
     }
+}
+
+/// Result of one [`try_parse`] attempt over an accumulated buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request; the first `consumed` buffer bytes belong to it
+    /// and must be drained before the next attempt.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed (head + body).
+        consumed: usize,
+    },
+    /// The buffer does not yet hold a complete request; read more bytes
+    /// and try again.
+    Partial,
+}
+
+/// Incremental request parser for the evented listener: makes one attempt
+/// over everything a nonblocking socket has delivered so far. Stateless —
+/// re-parsing a small head on each readiness event is cheaper than
+/// carrying parser state, and the head cap bounds the work.
+///
+/// Limits are enforced on the spot: a buffer exceeding [`MAX_HEAD_BYTES`]
+/// without a complete header block is rejected 413 immediately, exactly
+/// like the blocking reader's capped line reads.
+///
+/// # Errors
+///
+/// Only [`ReadError::Bad`] is produced (there is no I/O here).
+pub fn try_parse(buf: &[u8]) -> Result<Parsed, ReadError> {
+    let mut pos = 0usize;
+    let mut head: Option<Head> = None;
+    loop {
+        let Some(nl) = find_newline(buf, pos) else {
+            // No complete line: everything buffered so far is head bytes.
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err(bad(413, "request head too large"));
+            }
+            return Ok(Parsed::Partial);
+        };
+        let next = nl + 1;
+        if next > MAX_HEAD_BYTES {
+            return Err(bad(413, "request head too large"));
+        }
+        let mut line = &buf[pos..nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let line = std::str::from_utf8(line)
+            .map_err(|_| bad(400, "request head is not valid UTF-8"))?;
+        pos = next;
+        match head.as_mut() {
+            None => head = Some(Head::start(line)?),
+            Some(h) => {
+                if line.is_empty() {
+                    // End of headers: the body either is fully buffered or
+                    // we wait for more bytes.
+                    let h = head.take().expect("head present");
+                    let content_length = h.body_length()?;
+                    if buf.len() < pos + content_length {
+                        return Ok(Parsed::Partial);
+                    }
+                    let body = buf[pos..pos + content_length].to_vec();
+                    return Ok(Parsed::Complete {
+                        request: h.into_request(body),
+                        consumed: pos + content_length,
+                    });
+                }
+                h.header(line)?;
+            }
+        }
+    }
+}
+
+fn find_newline(buf: &[u8], from: usize) -> Option<usize> {
+    buf.get(from..)?.iter().position(|&b| b == b'\n').map(|i| from + i)
 }
 
 /// One response to serialize.
@@ -299,6 +457,33 @@ mod tests {
     }
 
     #[test]
+    fn connection_header_is_a_token_list() {
+        // Multi-token values used to fail whole-value equality and be
+        // ignored entirely.
+        let r = parse("GET /healthz HTTP/1.0\r\nConnection: keep-alive, X-Custom\r\n\r\n").unwrap();
+        assert!(r.keep_alive, "keep-alive token recognised inside a list");
+        let r = parse("GET /healthz HTTP/1.1\r\nConnection: foo , close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "close token recognised inside a list");
+        // `close` wins when both appear.
+        let r = parse("GET /healthz HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_length_is_rejected() {
+        let raw =
+            "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\n{}";
+        assert!(matches!(
+            parse(raw),
+            Err(ReadError::Bad { status: 400, .. })
+        ));
+        // Identical duplicates are harmless and tolerated.
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}";
+        let r = parse(raw).unwrap();
+        assert_eq!(r.body, b"{}");
+    }
+
+    #[test]
     fn eof_is_a_clean_close() {
         assert!(matches!(parse(""), Err(ReadError::Closed)));
     }
@@ -316,6 +501,27 @@ mod tests {
     }
 
     #[test]
+    fn newline_free_megabyte_head_is_cut_off_at_the_cap() {
+        // Regression: `read_line` used to buffer the entire flood before
+        // the head-size check ran. The capped reader must stop at
+        // MAX_HEAD_BYTES + 1 and answer 413.
+        let raw = vec![b'a'; 1024 * 1024];
+        let mut reader = BufReader::new(&raw[..]);
+        match read_request(&mut reader) {
+            Err(ReadError::Bad { status: 413, .. }) => {}
+            other => panic!("expected 413, got {other:?}"),
+        }
+        // The reader stopped just past the cap instead of draining 1 MiB.
+        let mut rest = Vec::new();
+        std::io::Read::read_to_end(&mut reader, &mut rest).unwrap();
+        assert!(
+            rest.len() >= raw.len() - (MAX_HEAD_BYTES + 1),
+            "flood must not be buffered past the cap (left: {})",
+            rest.len()
+        );
+    }
+
+    #[test]
     fn garbage_is_a_400() {
         assert!(matches!(
             parse("NOT-HTTP\r\n\r\n"),
@@ -323,6 +529,71 @@ mod tests {
         ));
         assert!(matches!(
             parse("GET /x HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ReadError::Bad { status: 400, .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_matches_the_blocking_one() {
+        let raw = "POST /v1/recommend/array HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\nX-Deadline-Ms: 250\r\n\r\n{}";
+        // Byte-at-a-time: Partial until the last byte, then Complete.
+        for cut in 0..raw.len() {
+            let parsed = try_parse(&raw.as_bytes()[..cut]).unwrap();
+            assert!(matches!(parsed, Parsed::Partial), "cut at {cut}");
+        }
+        match try_parse(raw.as_bytes()).unwrap() {
+            Parsed::Complete { request, consumed } => {
+                assert_eq!(consumed, raw.len());
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.body, b"{}");
+                assert_eq!(request.deadline_ms, Some(250));
+                assert!(request.keep_alive);
+            }
+            Parsed::Partial => panic!("full buffer must parse"),
+        }
+    }
+
+    #[test]
+    fn incremental_parser_handles_pipelined_requests() {
+        let one = "GET /healthz HTTP/1.1\r\n\r\n";
+        let two = "POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+        let buf = format!("{one}{two}");
+        let Parsed::Complete { request, consumed } = try_parse(buf.as_bytes()).unwrap() else {
+            panic!("first request must parse");
+        };
+        assert_eq!(request.path, "/healthz");
+        assert_eq!(consumed, one.len());
+        let Parsed::Complete { request, consumed } = try_parse(&buf.as_bytes()[one.len()..]).unwrap()
+        else {
+            panic!("second request must parse");
+        };
+        assert_eq!(request.body, b"abc");
+        assert_eq!(consumed, two.len());
+    }
+
+    #[test]
+    fn incremental_parser_enforces_the_head_cap() {
+        let flood = vec![b'a'; MAX_HEAD_BYTES + 2];
+        assert!(matches!(
+            try_parse(&flood),
+            Err(ReadError::Bad { status: 413, .. })
+        ));
+        // A valid head that simply runs long is also cut off.
+        let mut long = b"GET / HTTP/1.1\r\n".to_vec();
+        while long.len() <= MAX_HEAD_BYTES + 2 {
+            long.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert!(matches!(
+            try_parse(&long),
+            Err(ReadError::Bad { status: 413, .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_rejects_conflicting_content_length() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\n{}";
+        assert!(matches!(
+            try_parse(raw.as_bytes()),
             Err(ReadError::Bad { status: 400, .. })
         ));
     }

@@ -22,9 +22,19 @@
 //!   registered model files (checksum-verified by the `AIRM` codec) and
 //!   atomically swaps an `Arc` per case study. In-flight batches finish on
 //!   the model they snapshotted; no request ever mixes two models.
+//! * **Evented c10k core** ([`listener`], `evented`, `reactor`) — on
+//!   Linux the default listener is N event-loop shards, each with its own
+//!   `SO_REUSEPORT` acceptor and epoll reactor driving nonblocking
+//!   connection state machines; batch-worker replies re-arm their
+//!   connection through a completion queue + eventfd wakeup. The legacy
+//!   thread-per-connection listener stays behind `--threaded` (and is the
+//!   only mode off-Linux). Both share one dispatch path, so admission
+//!   control, deadlines, breakers, caching, bypass, and chaos semantics
+//!   are identical.
 //! * **Graceful shutdown** ([`listener`]) — `POST /v1/shutdown` stops the
 //!   accept loop, lets the workers drain the queue, joins every connection
-//!   thread, and returns from [`Server::run`] so the process can exit 0.
+//!   thread (or shard), and returns from [`Server::run`] so the process
+//!   can exit 0.
 //! * **Cluster mode** ([`supervisor`], [`ring`], [`proxy`]) — `serve
 //!   --cluster` supervises N single-process replicas as child processes
 //!   (health probes, exponential-backoff restarts, restart-storm caps) and
@@ -54,10 +64,14 @@ pub mod batch;
 pub mod breaker;
 pub mod cache;
 pub mod client;
+#[cfg(target_os = "linux")]
+mod evented;
 pub mod fallback;
 pub mod http;
 pub mod listener;
 pub mod proxy;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod reload;
 pub mod ring;
 pub mod router;
@@ -117,6 +131,15 @@ pub struct ServeConfig {
     /// quantizer rejected all take the queue path unchanged. Disable to
     /// force every request through the queue (admission-control tests).
     pub single_query_bypass: bool,
+    /// Event-loop shards for the evented listener (each gets its own
+    /// `SO_REUSEPORT` acceptor and epoll reactor); zero auto-selects from
+    /// the CPU count. Ignored in threaded mode.
+    pub event_loops: usize,
+    /// Use the legacy thread-per-connection listener instead of the
+    /// evented one. Forced on for non-Linux targets (the reactor is built
+    /// on epoll). Defaults to the `AIRCHITECT_SERVE_THREADED` environment
+    /// variable so one test binary can exercise both listeners.
+    pub threaded: bool,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +158,8 @@ impl Default for ServeConfig {
             breaker_cooldown_ms: 1000,
             fallback_search: false,
             single_query_bypass: true,
+            event_loops: 0,
+            threaded: std::env::var_os("AIRCHITECT_SERVE_THREADED").is_some_and(|v| v != "0"),
         }
     }
 }

@@ -1,19 +1,32 @@
-//! The server: socket accept loop, per-connection request handling, and
-//! the graceful drain-then-exit shutdown sequence.
+//! The server: accept handling, request dispatch, and the graceful
+//! drain-then-exit shutdown sequence — in two listener modes sharing one
+//! dispatch path.
+//!
+//! * **Evented** (default on Linux): N event-loop shards, each with its
+//!   own `SO_REUSEPORT` acceptor and epoll reactor ([`crate::evented`]).
+//!   Connections are nonblocking state machines; batch-worker replies
+//!   come back through a completion queue + eventfd wake.
+//! * **Threaded** (`--threaded`, and the only mode off-Linux): one OS
+//!   thread per connection, with a timer-based reaper so finished handles
+//!   are released without waiting for the next accept.
+//!
+//! Both modes call [`handle_request_step`] for every request, so routing,
+//! admission control, deadlines, breakers, caching, bypass, and chaos
+//! semantics are decided in exactly one place.
 //!
 //! Shutdown protocol (`POST /v1/shutdown`):
 //!
 //! 1. the handling connection gets its `200` *before* anything stops;
 //! 2. the shutdown flag flips, so every connection closes after its
-//!    in-flight request and the accept loop stops admitting sockets;
+//!    in-flight request and the accept paths stop admitting sockets;
 //! 3. the queue stops admitting jobs but drains what it holds; workers
 //!    exit once it is empty;
-//! 4. [`Server::run`] joins every worker and connection thread and
-//!    returns `Ok`, letting the process exit 0.
+//! 4. [`Server::run`] joins every worker and connection (thread or
+//!    shard) and returns `Ok`, letting the process exit 0.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -21,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use airchitect_telemetry::metrics;
 
-use crate::batch::{spawn_workers, Job, PushError, Queue, Source};
+use crate::batch::{spawn_workers, CompletionQueue, Job, PushError, Queue, Reply, Source};
 use crate::breaker::{Admit, Breakers};
 use crate::cache::{CachedResponse, LruCache};
 use crate::fallback::{self, Oracle};
@@ -34,16 +47,20 @@ use crate::{ServeConfig, ServeError};
 /// `X-Deadline-Ms` must not pin resources for hours.
 const MAX_DEADLINE_MS: u64 = 600_000;
 
-/// Consecutive accept failures tolerated (with backoff) before the accept
-/// loop gives up. Transient errors — EMFILE pressure, injected faults —
+/// Consecutive accept failures tolerated (with backoff) before an accept
+/// path gives up. Transient errors — EMFILE pressure, injected faults —
 /// should never kill an otherwise healthy server.
-const MAX_ACCEPT_ERRORS: u32 = 64;
+pub(crate) const MAX_ACCEPT_ERRORS: u32 = 64;
 
-/// One step of an accept loop shared by the server and the cluster
-/// router: transient failures back off and retry (pending connections
-/// stay in the kernel backlog), a persistent streak errors out, and a
-/// failure observed while `shutdown` is set ends the loop cleanly.
-/// Returns `Ok(None)` for "stop accepting".
+/// How often the threaded listener's reaper sweeps finished connection
+/// handles.
+const REAP_INTERVAL: Duration = Duration::from_millis(200);
+
+/// One step of a blocking accept loop shared by the threaded server and
+/// the cluster router: transient failures back off and retry (pending
+/// connections stay in the kernel backlog), a persistent streak errors
+/// out, and a failure observed while `shutdown` is set ends the loop
+/// cleanly. Returns `Ok(None)` for "stop accepting".
 pub(crate) fn accept_with_retry(
     listener: &TcpListener,
     shutdown: &AtomicBool,
@@ -77,31 +94,66 @@ pub(crate) fn accept_with_retry(
     }
 }
 
-/// State shared by the accept loop and every connection thread.
-struct Inner {
-    hub: Arc<ModelHub>,
-    queue: Arc<Queue>,
-    cache: Mutex<LruCache>,
-    breakers: Arc<Breakers>,
-    shutdown: AtomicBool,
-    read_timeout: Option<Duration>,
-    write_timeout: Option<Duration>,
-    deadline_ms: u64,
-    bypass: bool,
+/// Per-shard counters for the evented listener, surfaced as
+/// `serve.shard.N.*` lines in `/metrics`.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    /// Connections currently registered with this shard's poller.
+    pub(crate) open: AtomicU64,
+    /// Connections this shard has accepted since startup.
+    pub(crate) accepted: AtomicU64,
+    /// Eventfd wakeups this shard has observed.
+    pub(crate) wakeups: AtomicU64,
+}
+
+/// The listener-visible face of one evented shard: its stats and its
+/// completion queue (whose depth is the ready-queue gauge and whose waker
+/// nudges the loop during shutdown).
+pub(crate) struct ShardHandle {
+    pub(crate) stats: Arc<ShardStats>,
+    pub(crate) completions: Arc<CompletionQueue>,
+}
+
+/// State shared by every accept path and connection.
+pub(crate) struct Inner {
+    pub(crate) hub: Arc<ModelHub>,
+    pub(crate) queue: Arc<Queue>,
+    pub(crate) cache: Mutex<LruCache>,
+    pub(crate) breakers: Arc<Breakers>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) read_timeout: Option<Duration>,
+    pub(crate) write_timeout: Option<Duration>,
+    pub(crate) deadline_ms: u64,
+    pub(crate) bypass: bool,
+    /// Evented shards (empty in threaded mode).
+    pub(crate) shards: Vec<ShardHandle>,
+    /// Live connection threads (zero in evented mode).
+    pub(crate) threaded_open: AtomicU64,
+}
+
+enum Mode {
+    Threaded {
+        listener: TcpListener,
+    },
+    #[cfg(target_os = "linux")]
+    Evented {
+        shards: Vec<crate::evented::ShardSeed>,
+    },
 }
 
 /// A bound, ready-to-run inference server. Dropping it without calling
 /// [`Server::run`] leaks nothing but joins nothing either; `run` owns the
 /// full lifecycle.
 pub struct Server {
-    listener: TcpListener,
     addr: SocketAddr,
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    mode: Mode,
+    event_loops: usize,
 }
 
 impl Server {
-    /// Loads the models, binds the socket, and starts the worker pool.
+    /// Loads the models, binds the socket(s), and starts the worker pool.
     /// Also enables telemetry recording (the serve counters are the
     /// product surface of `/metrics`).
     ///
@@ -121,11 +173,38 @@ impl Server {
             Duration::from_millis(config.breaker_cooldown_ms),
         ));
         let fallback = config.fallback_search.then(|| Arc::new(Oracle::new()));
-        let listener = TcpListener::bind(&config.addr)
-            .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
-        let addr = listener
-            .local_addr()
-            .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+
+        #[cfg(target_os = "linux")]
+        let use_evented = !config.threaded;
+        #[cfg(not(target_os = "linux"))]
+        let use_evented = false;
+
+        let (mode, addr, shard_handles, event_loops) = if use_evented {
+            #[cfg(target_os = "linux")]
+            {
+                let seeds = crate::evented::bind_shards(config)?;
+                let addr = seeds[0].addr;
+                let handles = seeds
+                    .iter()
+                    .map(|s| ShardHandle {
+                        stats: Arc::clone(&s.stats),
+                        completions: Arc::clone(&s.completions),
+                    })
+                    .collect::<Vec<_>>();
+                let n = seeds.len();
+                (Mode::Evented { shards: seeds }, addr, handles, n)
+            }
+            #[cfg(not(target_os = "linux"))]
+            unreachable!("evented mode is Linux-only")
+        } else {
+            let listener = TcpListener::bind(&config.addr)
+                .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+            (Mode::Threaded { listener }, addr, Vec::new(), 0)
+        };
+
         let queue = Arc::new(Queue::new(config.queue_depth));
         let workers = spawn_workers(
             config.workers,
@@ -137,7 +216,6 @@ impl Server {
         );
         let secs_opt = |secs: u64| (secs > 0).then(|| Duration::from_secs(secs));
         Ok(Self {
-            listener,
             addr,
             inner: Arc::new(Inner {
                 hub,
@@ -149,8 +227,12 @@ impl Server {
                 write_timeout: secs_opt(config.write_timeout_secs),
                 deadline_ms: config.deadline_ms,
                 bypass: config.single_query_bypass,
+                shards: shard_handles,
+                threaded_open: AtomicU64::new(0),
             }),
             workers,
+            mode,
+            event_loops,
         })
     }
 
@@ -159,60 +241,179 @@ impl Server {
         self.addr
     }
 
+    /// Number of event-loop shards (0 in threaded mode).
+    pub fn event_loops(&self) -> usize {
+        self.event_loops
+    }
+
     /// Serves until `POST /v1/shutdown`, then drains and joins everything.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Io`] only for accept-loop failures; per-
-    /// connection errors are handled on their own threads.
-    pub fn run(mut self) -> Result<(), ServeError> {
-        let mut connections: Vec<JoinHandle<()>> = Vec::new();
-        let mut accept_errors = 0u32;
-        loop {
-            let (stream, _) = match accept_with_retry(
-                &self.listener,
-                &self.inner.shutdown,
-                &mut accept_errors,
-                "serve.listener.accept",
-            )? {
-                Some(pair) => pair,
-                None => break,
-            };
-            if self.inner.shutdown.load(Ordering::Acquire) {
-                // The wake-up connection (or a late client); don't serve it.
-                break;
+    /// Returns [`ServeError::Io`] only for accept failures; per-connection
+    /// errors are handled inside their own thread or shard.
+    pub fn run(self) -> Result<(), ServeError> {
+        let Server {
+            addr,
+            inner,
+            mut workers,
+            mode,
+            ..
+        } = self;
+        match mode {
+            Mode::Threaded { listener } => {
+                let connections = ReapedSet::start(REAP_INTERVAL);
+                let result = run_threaded_accept(&listener, &inner, &connections);
+                // Drain: no new jobs, workers exit when the queue is
+                // empty, then every connection thread is joined.
+                inner.queue.shutdown();
+                for handle in workers.drain(..) {
+                    let _ = handle.join();
+                }
+                connections.finish();
+                let _ = addr; // threaded shutdown self-connects via `initiate_shutdown`
+                result
             }
-            let inner = Arc::clone(&self.inner);
-            // Reap finished connection threads opportunistically so a
-            // long-lived server doesn't accumulate handles.
-            connections.retain(|h| !h.is_finished());
-            connections.push(
-                std::thread::Builder::new()
-                    .name("serve-conn".into())
-                    .spawn(move || handle_connection(stream, &inner))
-                    .expect("spawn connection thread"),
-            );
+            #[cfg(target_os = "linux")]
+            Mode::Evented { shards } => {
+                let result = crate::evented::run_shards(shards, &inner);
+                inner.queue.shutdown();
+                for handle in workers.drain(..) {
+                    let _ = handle.join();
+                }
+                result
+            }
         }
-        // Drain: no new jobs, workers exit when the queue is empty.
-        self.inner.queue.shutdown();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-        for handle in connections {
-            let _ = handle.join();
-        }
-        Ok(())
     }
 }
 
-/// Flips the shutdown flag and unblocks the accept loop by connecting to
-/// ourselves (std has no way to interrupt a blocking `accept`).
+fn run_threaded_accept(
+    listener: &TcpListener,
+    inner: &Arc<Inner>,
+    connections: &ReapedSet,
+) -> Result<(), ServeError> {
+    let mut accept_errors = 0u32;
+    loop {
+        let (stream, _) = match accept_with_retry(
+            listener,
+            &inner.shutdown,
+            &mut accept_errors,
+            "serve.listener.accept",
+        )? {
+            Some(pair) => pair,
+            None => return Ok(()),
+        };
+        if inner.shutdown.load(Ordering::Acquire) {
+            // The wake-up connection (or a late client); don't serve it.
+            return Ok(());
+        }
+        let inner = Arc::clone(inner);
+        connections.push(
+            std::thread::Builder::new()
+                .name("serve-conn".into())
+                .spawn(move || handle_connection(stream, &inner))
+                .expect("spawn connection thread"),
+        );
+    }
+}
+
+/// Connection-thread handles for the threaded listener, reaped on a
+/// timer. The accept loop used to sweep finished handles only on the
+/// *next* accept, so an idle server after a burst held every handle until
+/// shutdown; the background sweeper releases them within
+/// [`REAP_INTERVAL`] regardless of traffic, and a hard in-push bound
+/// covers bursts faster than the timer.
+pub(crate) struct ReapedSet {
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stop: Arc<AtomicBool>,
+    sweeper: Option<JoinHandle<()>>,
+}
+
+/// Sweep immediately (without waiting for the timer) once this many
+/// handles are held.
+const REAP_PUSH_BOUND: usize = 1024;
+
+impl ReapedSet {
+    /// Starts the background sweeper.
+    pub(crate) fn start(interval: Duration) -> Self {
+        let handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let sweeper = {
+            let handles = Arc::clone(&handles);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("serve-reaper".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(interval);
+                        let mut held = handles.lock().expect("reaper poisoned");
+                        held.retain(|h| !h.is_finished());
+                        metrics::SERVE_CONN_THREADS.set(held.len() as f64);
+                    }
+                })
+                .expect("spawn reaper thread")
+        };
+        Self {
+            handles,
+            stop,
+            sweeper: Some(sweeper),
+        }
+    }
+
+    /// Tracks one connection thread.
+    pub(crate) fn push(&self, handle: JoinHandle<()>) {
+        let mut held = self.handles.lock().expect("reaper poisoned");
+        held.push(handle);
+        if held.len() >= REAP_PUSH_BOUND {
+            held.retain(|h| !h.is_finished());
+        }
+    }
+
+    /// Currently held handles (finished ones linger until the next sweep).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.handles.lock().expect("reaper poisoned").len()
+    }
+
+    /// Stops the sweeper and joins every remaining connection thread.
+    pub(crate) fn finish(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("reaper poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        metrics::SERVE_CONN_THREADS.set(0.0);
+    }
+}
+
+/// Flips the shutdown flag and unblocks whichever accept path is active:
+/// the threaded loop by connecting to ourselves (std has no way to
+/// interrupt a blocking `accept`), the evented shards by waking their
+/// loops.
 fn initiate_shutdown(inner: &Inner, addr: SocketAddr) {
     inner.shutdown.store(true, Ordering::Release);
-    let _ = TcpStream::connect(addr);
+    for shard in &inner.shards {
+        shard.completions.wake();
+    }
+    if inner.shards.is_empty() {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+struct OpenGuard<'a>(&'a Inner);
+
+impl Drop for OpenGuard<'_> {
+    fn drop(&mut self) {
+        self.0.threaded_open.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 fn handle_connection(stream: TcpStream, inner: &Inner) {
+    inner.threaded_open.fetch_add(1, Ordering::Relaxed);
+    let _open = OpenGuard(inner);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(inner.read_timeout);
     let _ = stream.set_write_timeout(inner.write_timeout);
@@ -254,26 +455,136 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
     }
 }
 
-/// Dispatches one request. The `bool` is the shutdown signal: the response
-/// must be written before the server starts tearing itself down.
-fn handle_request(request: &Request, inner: &Inner) -> (Response, bool) {
+/// How one request resolves from the caller's point of view.
+pub(crate) enum Step {
+    /// The response is ready — nothing was queued.
+    Respond(Response),
+    /// The request was queued; the worker's outcome will arrive on the
+    /// [`Reply`] built by the dispatch call. The caller owns waiting (or
+    /// not blocking) and must frame the outcome with
+    /// [`outcome_response`], record `serve.request_us`, and answer 504 /
+    /// draining itself if the deadline passes or the queue drains first.
+    Queued {
+        /// When request handling started (for the latency histogram).
+        started: Instant,
+        /// Absolute deadline, if one applies.
+        deadline: Option<Instant>,
+        /// Cache key for a successful model answer.
+        cache_key: Vec<u8>,
+    },
+}
+
+/// Dispatches one request without blocking. The `bool` is the shutdown
+/// signal: the response must be written before the server starts tearing
+/// itself down. `make_reply` is only invoked if the request is queued.
+pub(crate) fn handle_request_step(
+    request: &Request,
+    inner: &Inner,
+    make_reply: &mut dyn FnMut() -> Reply,
+) -> (Step, bool) {
     let route = match router::route(&request.method, &request.path) {
         Ok(r) => r,
-        Err(resp) => return (resp, false),
+        Err(resp) => return (Step::Respond(resp), false),
     };
     match route {
         Route::Healthz => (
-            router::render_healthz(&inner.hub, &inner.breakers),
+            Step::Respond(router::render_healthz(&inner.hub, &inner.breakers)),
             false,
         ),
-        Route::Metrics => (router::render_metrics(), false),
+        Route::Metrics => (Step::Respond(render_metrics_response(inner)), false),
         Route::Shutdown => (
-            Response::json(200, "{\"shutting_down\":true}\n".into()),
+            Step::Respond(Response::json(200, "{\"shutting_down\":true}\n".into())),
             true,
         ),
-        Route::Reload => (reload(inner), false),
-        Route::Recommend(case) => (recommend(case, request, inner), false),
+        Route::Reload => (Step::Respond(reload(inner)), false),
+        Route::Recommend(case) => (recommend_step(case, request, inner, make_reply), false),
     }
+}
+
+/// Blocking dispatch for the threaded listener: runs the shared step,
+/// then waits out a queued reply on the connection thread.
+fn handle_request(request: &Request, inner: &Inner) -> (Response, bool) {
+    let mut rx_slot: Option<mpsc::Receiver<crate::batch::Outcome>> = None;
+    let (step, wants_shutdown) = handle_request_step(request, inner, &mut || {
+        let (tx, rx) = mpsc::channel();
+        rx_slot = Some(rx);
+        Reply::Channel(tx)
+    });
+    let response = match step {
+        Step::Respond(resp) => resp,
+        Step::Queued {
+            started,
+            deadline,
+            cache_key,
+        } => {
+            let rx = rx_slot.take().expect("queued dispatch built a reply");
+            await_reply(&rx, started, deadline, cache_key, inner)
+        }
+    };
+    (response, wants_shutdown)
+}
+
+/// Waits for the worker, but never past the deadline: the 504 is answered
+/// on time even if the worker is stuck on an injected stall. Records the
+/// request latency on every terminal path.
+fn await_reply(
+    rx: &mpsc::Receiver<crate::batch::Outcome>,
+    started: Instant,
+    deadline: Option<Instant>,
+    cache_key: Vec<u8>,
+    inner: &Inner,
+) -> Response {
+    let outcome = match deadline {
+        None => match rx.recv() {
+            Ok(o) => o,
+            // Workers only exit during shutdown, after draining the queue.
+            Err(_) => return record_latency(started, draining()),
+        },
+        Some(d) => match rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+            Ok(o) => o,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                return record_latency(started, deadline_exceeded())
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return record_latency(started, draining())
+            }
+        },
+    };
+    record_latency(started, outcome_response(outcome, cache_key, inner))
+}
+
+/// `/metrics` body: the telemetry registry plus the listener's live
+/// connection accounting — an aggregate `serve.open_connections` line and
+/// per-shard `serve.shard.N.*` gauges in evented mode (the same manual
+/// append pattern the cluster router uses for per-replica series).
+fn render_metrics_response(inner: &Inner) -> Response {
+    use std::fmt::Write as _;
+    let mut resp = router::render_metrics();
+    let mut total = inner.threaded_open.load(Ordering::Relaxed);
+    let mut shard_lines = String::new();
+    for (i, shard) in inner.shards.iter().enumerate() {
+        let open = shard.stats.open.load(Ordering::Relaxed);
+        total += open;
+        let _ = writeln!(shard_lines, "serve.shard.{i}.open_connections {open}");
+        let _ = writeln!(
+            shard_lines,
+            "serve.shard.{i}.ready_depth {}",
+            shard.completions.len()
+        );
+        let _ = writeln!(
+            shard_lines,
+            "serve.shard.{i}.wakeups {}",
+            shard.stats.wakeups.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            shard_lines,
+            "serve.shard.{i}.accepted {}",
+            shard.stats.accepted.load(Ordering::Relaxed)
+        );
+    }
+    let _ = writeln!(resp.body, "serve.open_connections {total}");
+    resp.body.push_str(&shard_lines);
+    resp
 }
 
 /// `POST /v1/reload` behind its circuit breaker: repeated reload failures
@@ -319,7 +630,7 @@ fn effective_deadline(config_ms: u64, header_ms: Option<u64>) -> Option<Duration
     Some(Duration::from_millis(ms.min(MAX_DEADLINE_MS)))
 }
 
-fn deadline_exceeded() -> Response {
+pub(crate) fn deadline_exceeded() -> Response {
     metrics::SERVE_DEADLINE_EXCEEDED.inc();
     Response::error(
         504,
@@ -328,28 +639,43 @@ fn deadline_exceeded() -> Response {
     )
 }
 
-fn draining() -> Response {
+pub(crate) fn draining() -> Response {
     let mut resp = Response::error(503, "draining", "server is shutting down");
     resp.retry_after = Some(1);
     resp
 }
 
-fn recommend(case: airchitect::model::CaseStudy, request: &Request, inner: &Inner) -> Response {
+/// Records the end-to-end latency for a finished request. *Every*
+/// terminal path goes through this — 504s, 429s, and draining rejections
+/// included — so the histogram reflects the traffic the server actually
+/// saw, not just its successes.
+pub(crate) fn record_latency(started: Instant, response: Response) -> Response {
+    metrics::SERVE_REQUEST_US.record(started.elapsed().as_micros() as u64);
+    response
+}
+
+fn recommend_step(
+    case: airchitect::model::CaseStudy,
+    request: &Request,
+    inner: &Inner,
+    make_reply: &mut dyn FnMut() -> Reply,
+) -> Step {
     metrics::SERVE_REQUESTS.inc();
     let started = Instant::now();
-    let deadline = effective_deadline(inner.deadline_ms, request.deadline_ms)
-        .map(|budget| started + budget);
+    let respond = |resp: Response| Step::Respond(record_latency(started, resp));
+    let deadline =
+        effective_deadline(inner.deadline_ms, request.deadline_ms).map(|budget| started + budget);
     // Admission-time checks: a draining server or an already-expired
     // budget (`X-Deadline-Ms: 0`) answers before any work is queued.
     if inner.shutdown.load(Ordering::Acquire) {
-        return draining();
+        return respond(draining());
     }
     if deadline.is_some_and(|d| Instant::now() >= d) {
-        return deadline_exceeded();
+        return respond(deadline_exceeded());
     }
     let parsed = match router::parse_recommend(case, &request.body) {
         Ok(p) => p,
-        Err(resp) => return resp,
+        Err(resp) => return respond(resp),
     };
 
     // Cache lookup, generation-checked against the live model.
@@ -362,8 +688,7 @@ fn recommend(case: airchitect::model::CaseStudy, request: &Request, inner: &Inne
     if let Some(cached) = hit {
         metrics::SERVE_CACHE_HITS.inc();
         let body = format!("{{\"cached\":true,{}", cached.body_tail);
-        metrics::SERVE_REQUEST_US.record(started.elapsed().as_micros() as u64);
-        return Response::json(200, body);
+        return respond(Response::json(200, body));
     }
     metrics::SERVE_CACHE_MISSES.inc();
 
@@ -381,9 +706,9 @@ fn recommend(case: airchitect::model::CaseStudy, request: &Request, inner: &Inne
                     metrics::SERVE_BYPASS.inc();
                     // Same panic isolation and breaker accounting as the
                     // worker's answer_job: a poisoned model costs one 500.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || crate::batch::execute_fast(&model, &parsed.query),
-                    ))
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        crate::batch::execute_fast(&model, &parsed.query)
+                    }))
                     .unwrap_or_else(|_| crate::batch::Outcome::Err {
                         status: 500,
                         code: "inference_panic",
@@ -397,61 +722,39 @@ fn recommend(case: airchitect::model::CaseStudy, request: &Request, inner: &Inne
                         metrics::SERVE_INFER_FAILURES.inc();
                     }
                     breaker.record(!failed);
-                    let response = outcome_response(outcome, parsed.cache_key, inner);
-                    metrics::SERVE_REQUEST_US.record(started.elapsed().as_micros() as u64);
-                    return response;
+                    return respond(outcome_response(outcome, parsed.cache_key, inner));
                 }
             }
         }
     }
 
     // Admission control: reject-on-full keeps queue latency bounded.
-    let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         query: parsed.query,
         topk: parsed.topk,
-        reply: reply_tx,
+        reply: make_reply(),
         deadline,
     };
     match inner.queue.push(job) {
-        Ok(()) => {}
-        Err(PushError::Full) => {
-            let mut resp = Response::error(
-                429,
-                "queue_full",
-                "request queue is full; retry shortly",
-            );
-            resp.retry_after = Some(1);
-            return resp;
-        }
-        Err(PushError::ShuttingDown) => return draining(),
-    }
-
-    // Wait for the worker, but never past the deadline: the 504 is
-    // answered on time even if the worker is stuck on an injected stall.
-    let outcome = match deadline {
-        None => match reply_rx.recv() {
-            Ok(o) => o,
-            // Workers only exit during shutdown, after draining the queue.
-            Err(_) => return draining(),
+        Ok(()) => Step::Queued {
+            started,
+            deadline,
+            cache_key: parsed.cache_key,
         },
-        Some(d) => {
-            match reply_rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
-                Ok(o) => o,
-                Err(mpsc::RecvTimeoutError::Timeout) => return deadline_exceeded(),
-                Err(mpsc::RecvTimeoutError::Disconnected) => return draining(),
-            }
+        Err(PushError::Full) => {
+            let mut resp =
+                Response::error(429, "queue_full", "request queue is full; retry shortly");
+            resp.retry_after = Some(1);
+            respond(resp)
         }
-    };
-    let response = outcome_response(outcome, parsed.cache_key, inner);
-    metrics::SERVE_REQUEST_US.record(started.elapsed().as_micros() as u64);
-    response
+        Err(PushError::ShuttingDown) => respond(draining()),
+    }
 }
 
 /// Frames an inference [`Outcome`](crate::batch::Outcome) as HTTP and
 /// handles response caching — shared by the queue path and the
 /// single-query bypass so both produce byte-identical responses.
-fn outcome_response(
+pub(crate) fn outcome_response(
     outcome: crate::batch::Outcome,
     cache_key: Vec<u8>,
     inner: &Inner,
@@ -494,5 +797,70 @@ fn outcome_response(
             }
             resp
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reaper_releases_finished_handles_without_an_accept() {
+        let set = ReapedSet::start(Duration::from_millis(10));
+        for _ in 0..8 {
+            set.push(std::thread::spawn(|| {}));
+        }
+        // The threads exit immediately; only the timer sweeps them.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while set.len() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(set.len(), 0, "finished handles must be reaped on the timer");
+        set.finish();
+    }
+
+    #[test]
+    fn reaper_push_bound_sweeps_bursts_between_timer_ticks() {
+        // A huge interval so only the in-push bound can sweep.
+        let set = ReapedSet::start(Duration::from_secs(3600));
+        for _ in 0..REAP_PUSH_BOUND + 8 {
+            set.push(std::thread::spawn(|| {}));
+        }
+        assert!(
+            set.len() < REAP_PUSH_BOUND,
+            "push bound must sweep finished handles (len: {})",
+            set.len()
+        );
+        // Don't wait an hour: drop the sweeper by hand.
+        set.stop.store(true, Ordering::Release);
+        let handles = std::mem::take(&mut *set.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    #[test]
+    fn effective_deadline_prefers_the_tighter_budget() {
+        assert_eq!(effective_deadline(0, None), None);
+        assert_eq!(
+            effective_deadline(0, Some(50)),
+            Some(Duration::from_millis(50))
+        );
+        assert_eq!(
+            effective_deadline(100, None),
+            Some(Duration::from_millis(100))
+        );
+        assert_eq!(
+            effective_deadline(100, Some(50)),
+            Some(Duration::from_millis(50))
+        );
+        assert_eq!(
+            effective_deadline(50, Some(100)),
+            Some(Duration::from_millis(50))
+        );
+        assert_eq!(
+            effective_deadline(0, Some(u64::MAX)),
+            Some(Duration::from_millis(MAX_DEADLINE_MS))
+        );
     }
 }

@@ -840,6 +840,7 @@ impl Cluster {
             ("--deadline-ms", config.deadline_ms),
             ("--breaker-threshold", u64::from(config.breaker_threshold)),
             ("--breaker-cooldown-ms", config.breaker_cooldown_ms),
+            ("--event-loops", config.event_loops as u64),
         ] {
             argv.push(flag.into());
             argv.push(value.to_string());
@@ -850,6 +851,9 @@ impl Cluster {
         }
         if !config.single_query_bypass {
             argv.push("--no-bypass".into());
+        }
+        if config.threaded {
+            argv.push("--threaded".into());
         }
         argv
     }

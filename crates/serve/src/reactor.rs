@@ -1,0 +1,548 @@
+//! Thin, std-only Linux readiness primitives for the evented listener:
+//! an epoll poller, an eventfd waker, `SO_REUSEPORT` listener binding, a
+//! source-bound nonblocking `connect` (for the c10k loadgen), and
+//! `RLIMIT_NOFILE` introspection.
+//!
+//! The workspace is hermetic (no external crates), so the handful of
+//! syscalls std does not expose are declared here as `extern "C"` against
+//! the system libc that every Rust binary already links. Everything is
+//! wrapped in owned-fd types immediately; no raw fd escapes unmanaged.
+
+#![allow(clippy::missing_errors_doc)]
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+mod ffi {
+    pub type CInt = i32;
+
+    pub const EPOLL_CLOEXEC: CInt = 0x80000;
+    pub const EPOLL_CTL_ADD: CInt = 1;
+    pub const EPOLL_CTL_DEL: CInt = 2;
+    pub const EPOLL_CTL_MOD: CInt = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    pub const EFD_CLOEXEC: CInt = 0x80000;
+    pub const EFD_NONBLOCK: CInt = 0x800;
+
+    pub const AF_INET: CInt = 2;
+    pub const AF_INET6: CInt = 10;
+    pub const SOCK_STREAM: CInt = 1;
+    pub const SOCK_NONBLOCK: CInt = 0x800;
+    pub const SOCK_CLOEXEC: CInt = 0x80000;
+    pub const SOL_SOCKET: CInt = 1;
+    pub const SO_REUSEADDR: CInt = 2;
+    pub const SO_ERROR: CInt = 4;
+    pub const SO_REUSEPORT: CInt = 15;
+
+    pub const RLIMIT_NOFILE: CInt = 7;
+
+    // x86_64 packs epoll_event (no alignment padding between the 32-bit
+    // mask and the 64-bit payload); this layout matches the kernel ABI.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    pub struct Rlimit {
+        pub cur: u64,
+        pub max: u64,
+    }
+
+    #[repr(C)]
+    pub struct SockaddrIn {
+        pub family: u16,
+        pub port: u16,
+        pub addr: u32,
+        pub zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    pub struct SockaddrIn6 {
+        pub family: u16,
+        pub port: u16,
+        pub flowinfo: u32,
+        pub addr: [u8; 16],
+        pub scope_id: u32,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: CInt) -> CInt;
+        pub fn epoll_ctl(epfd: CInt, op: CInt, fd: CInt, event: *mut EpollEvent) -> CInt;
+        pub fn epoll_wait(
+            epfd: CInt,
+            events: *mut EpollEvent,
+            maxevents: CInt,
+            timeout_ms: CInt,
+        ) -> CInt;
+        pub fn eventfd(initval: u32, flags: CInt) -> CInt;
+        pub fn read(fd: CInt, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: CInt, buf: *const u8, count: usize) -> isize;
+        pub fn socket(domain: CInt, ty: CInt, protocol: CInt) -> CInt;
+        pub fn setsockopt(
+            fd: CInt,
+            level: CInt,
+            optname: CInt,
+            optval: *const u8,
+            optlen: u32,
+        ) -> CInt;
+        pub fn getsockopt(
+            fd: CInt,
+            level: CInt,
+            optname: CInt,
+            optval: *mut u8,
+            optlen: *mut u32,
+        ) -> CInt;
+        pub fn bind(fd: CInt, addr: *const u8, len: u32) -> CInt;
+        pub fn connect(fd: CInt, addr: *const u8, len: u32) -> CInt;
+        pub fn listen(fd: CInt, backlog: CInt) -> CInt;
+        pub fn getrlimit(resource: CInt, rlim: *mut Rlimit) -> CInt;
+        pub fn setrlimit(resource: CInt, rlim: *const Rlimit) -> CInt;
+    }
+}
+
+fn cvt(ret: ffi::CInt) -> io::Result<ffi::CInt> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Which readiness events a registration asks for. Level-triggered;
+/// `EPOLLERR`/`EPOLLHUP` are always reported regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when a read would not block.
+    pub readable: bool,
+    /// Report when a write would not block.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-readiness only.
+    pub const READ: Self = Self {
+        readable: true,
+        writable: false,
+    };
+    /// Read and write readiness.
+    pub const READ_WRITE: Self = Self {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = 0;
+        if self.readable {
+            m |= ffi::EPOLLIN;
+        }
+        if self.writable {
+            m |= ffi::EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One delivered readiness event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The `u64` registered with the fd.
+    pub token: u64,
+    /// Read would not block (or the peer half-closed).
+    pub readable: bool,
+    /// Write would not block.
+    pub writable: bool,
+    /// Error or hangup condition on the fd.
+    pub failed: bool,
+}
+
+/// Reusable buffer for [`Poller::wait`] results.
+pub struct Events {
+    buf: Vec<ffi::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `cap` events per wait.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: vec![
+                ffi::EpollEvent { events: 0, data: 0 };
+                cap.clamp(1, 4096)
+            ],
+            len: 0,
+        }
+    }
+
+    /// The events delivered by the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            // Copy packed fields out by value; never take references into
+            // a packed struct.
+            let events = { raw.events };
+            let data = { raw.data };
+            Event {
+                token: data,
+                readable: events & (ffi::EPOLLIN | ffi::EPOLLHUP) != 0,
+                writable: events & ffi::EPOLLOUT != 0,
+                failed: events & (ffi::EPOLLERR | ffi::EPOLLHUP) != 0,
+            }
+        })
+    }
+}
+
+/// A level-triggered epoll instance.
+pub struct Poller {
+    ep: OwnedFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        let fd = cvt(unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) })?;
+        Ok(Self {
+            ep: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: ffi::CInt, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = ffi::EpollEvent {
+            events: interest.mask(),
+            data: token,
+        };
+        cvt(unsafe { ffi::epoll_ctl(self.ep.as_raw_fd(), op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` under `token`.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(ffi::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Changes the interest set of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(ffi::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Deregisters `fd`. Closing the fd also removes it; this exists for
+    /// deregistering without closing (e.g. a drained listener).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = ffi::EpollEvent { events: 0, data: 0 };
+        cvt(unsafe { ffi::epoll_ctl(self.ep.as_raw_fd(), ffi::EPOLL_CTL_DEL, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Waits for readiness, filling `events`. Returns the event count; an
+    /// interrupted wait (`EINTR`) returns 0 instead of erroring so callers
+    /// simply loop.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let ms: ffi::CInt = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as ffi::CInt,
+        };
+        let n = unsafe {
+            ffi::epoll_wait(
+                self.ep.as_raw_fd(),
+                events.buf.as_mut_ptr(),
+                events.buf.len() as ffi::CInt,
+                ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                events.len = 0;
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        events.len = n as usize;
+        Ok(events.len)
+    }
+}
+
+/// A nonblocking eventfd used to wake an event loop from another thread.
+#[derive(Debug)]
+pub struct Waker {
+    fd: OwnedFd,
+}
+
+impl Waker {
+    /// Creates the eventfd (`EFD_CLOEXEC | EFD_NONBLOCK`).
+    pub fn new() -> io::Result<Self> {
+        let fd = cvt(unsafe { ffi::eventfd(0, ffi::EFD_CLOEXEC | ffi::EFD_NONBLOCK) })?;
+        Ok(Self {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    /// The fd to register for read-readiness in the loop's poller.
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Wakes the loop. A full counter (`EAGAIN`) already means "a wake is
+    /// pending", so that is success too.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            let _ = ffi::write(self.fd.as_raw_fd(), (&raw const one).cast(), 8);
+        }
+    }
+
+    /// Consumes all pending wakes (called by the loop after readiness).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe {
+            let _ = ffi::read(self.fd.as_raw_fd(), buf.as_mut_ptr(), 8);
+        }
+    }
+}
+
+fn sockaddr_bytes(addr: SocketAddr) -> (Vec<u8>, ffi::CInt) {
+    match addr {
+        SocketAddr::V4(v4) => {
+            let sa = ffi::SockaddrIn {
+                family: ffi::AF_INET as u16,
+                port: v4.port().to_be(),
+                addr: u32::from(*v4.ip()).to_be(),
+                zero: [0; 8],
+            };
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    (&raw const sa).cast::<u8>(),
+                    std::mem::size_of::<ffi::SockaddrIn>(),
+                )
+            }
+            .to_vec();
+            (bytes, ffi::AF_INET)
+        }
+        SocketAddr::V6(v6) => {
+            let sa = ffi::SockaddrIn6 {
+                family: ffi::AF_INET6 as u16,
+                port: v6.port().to_be(),
+                flowinfo: v6.flowinfo().to_be(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    (&raw const sa).cast::<u8>(),
+                    std::mem::size_of::<ffi::SockaddrIn6>(),
+                )
+            }
+            .to_vec();
+            (bytes, ffi::AF_INET6)
+        }
+    }
+}
+
+fn setsockopt_one(fd: RawFd, opt: ffi::CInt) -> io::Result<()> {
+    let one: ffi::CInt = 1;
+    cvt(unsafe {
+        ffi::setsockopt(
+            fd,
+            ffi::SOL_SOCKET,
+            opt,
+            (&raw const one).cast(),
+            std::mem::size_of::<ffi::CInt>() as u32,
+        )
+    })?;
+    Ok(())
+}
+
+/// Binds a listener with `SO_REUSEPORT` (and `SO_REUSEADDR`) so N event
+/// loops can each own an acceptor on the same address and let the kernel
+/// spread incoming connections across them.
+pub fn bind_reuseport(addr: SocketAddr, backlog: i32) -> io::Result<TcpListener> {
+    let (sa, domain) = sockaddr_bytes(addr);
+    let fd = cvt(unsafe { ffi::socket(domain, ffi::SOCK_STREAM | ffi::SOCK_CLOEXEC, 0) })?;
+    let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+    setsockopt_one(fd, ffi::SO_REUSEADDR)?;
+    setsockopt_one(fd, ffi::SO_REUSEPORT)?;
+    cvt(unsafe { ffi::bind(fd, sa.as_ptr(), sa.len() as u32) })?;
+    cvt(unsafe { ffi::listen(fd, backlog) })?;
+    Ok(TcpListener::from(owned))
+}
+
+/// Starts a nonblocking connect to `dst`, optionally binding the source
+/// address first (distinct loopback sources dodge the ~28k ephemeral-port
+/// ceiling per (src, dst) pair in the c10k loadgen). Returns immediately;
+/// completion is signalled by write-readiness, success by a clear
+/// [`take_socket_error`].
+pub fn connect_from(src: Option<Ipv4Addr>, dst: SocketAddrV4) -> io::Result<TcpStream> {
+    let fd = cvt(unsafe {
+        ffi::socket(
+            ffi::AF_INET,
+            ffi::SOCK_STREAM | ffi::SOCK_CLOEXEC | ffi::SOCK_NONBLOCK,
+            0,
+        )
+    })?;
+    let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+    if let Some(ip) = src {
+        let (sa, _) = sockaddr_bytes(SocketAddr::V4(SocketAddrV4::new(ip, 0)));
+        cvt(unsafe { ffi::bind(fd, sa.as_ptr(), sa.len() as u32) })?;
+    }
+    let (sa, _) = sockaddr_bytes(SocketAddr::V4(dst));
+    let rc = unsafe { ffi::connect(fd, sa.as_ptr(), sa.len() as u32) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        // EINPROGRESS is the expected nonblocking-connect outcome.
+        if err.raw_os_error() != Some(115) {
+            return Err(err);
+        }
+    }
+    Ok(TcpStream::from(owned))
+}
+
+/// Reads and clears `SO_ERROR` — the deferred result of a nonblocking
+/// connect. `Ok(None)` means the connect succeeded.
+pub fn take_socket_error(stream: &TcpStream) -> io::Result<Option<io::Error>> {
+    let mut val: ffi::CInt = 0;
+    let mut len = std::mem::size_of::<ffi::CInt>() as u32;
+    cvt(unsafe {
+        ffi::getsockopt(
+            stream.as_raw_fd(),
+            ffi::SOL_SOCKET,
+            ffi::SO_ERROR,
+            (&raw mut val).cast(),
+            &mut len,
+        )
+    })?;
+    if val == 0 {
+        Ok(None)
+    } else {
+        Ok(Some(io::Error::from_raw_os_error(val)))
+    }
+}
+
+/// The current `RLIMIT_NOFILE` (soft, hard) limits.
+pub fn nofile_limit() -> (u64, u64) {
+    let mut rl = ffi::Rlimit { cur: 0, max: 0 };
+    if unsafe { ffi::getrlimit(ffi::RLIMIT_NOFILE, &mut rl) } != 0 {
+        return (1024, 1024);
+    }
+    (rl.cur, rl.max)
+}
+
+/// Best-effort raise of the soft fd limit toward `want` (capped at the
+/// hard limit — unprivileged processes cannot raise that). Returns the
+/// effective soft limit afterwards; the c10k bench sizes its connection
+/// target from this instead of failing on constrained machines.
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    let (soft, hard) = nofile_limit();
+    if want <= soft {
+        return soft;
+    }
+    let target = want.min(hard);
+    let rl = ffi::Rlimit {
+        cur: target,
+        max: hard,
+    };
+    if unsafe { ffi::setrlimit(ffi::RLIMIT_NOFILE, &rl) } == 0 {
+        target
+    } else {
+        soft
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn waker_wakes_a_polled_loop() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.add(waker.as_raw_fd(), 7, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(8);
+        // Nothing pending: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(n, 0);
+        waker.wake();
+        waker.wake(); // coalesces
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, 7);
+        assert!(ev.readable);
+        waker.drain();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(n, 0, "drained waker is no longer readable");
+    }
+
+    #[test]
+    fn reuseport_listeners_share_a_port_and_serve() {
+        let first = bind_reuseport("127.0.0.1:0".parse().unwrap(), 64).unwrap();
+        let addr = first.local_addr().unwrap();
+        let second = bind_reuseport(addr, 64).unwrap();
+        assert_eq!(second.local_addr().unwrap().port(), addr.port());
+
+        // Each accepted connection lands on exactly one of the listeners.
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"ping").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut served = false;
+        while std::time::Instant::now() < deadline && !served {
+            for l in [&first, &second] {
+                if let Ok((mut s, _)) = l.accept() {
+                    let mut buf = [0u8; 4];
+                    s.set_nonblocking(false).unwrap();
+                    s.read_exact(&mut buf).unwrap();
+                    assert_eq!(&buf, b"ping");
+                    served = true;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(served, "one of the reuseport listeners must accept");
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_against_a_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = match listener.local_addr().unwrap() {
+            SocketAddr::V4(v4) => v4,
+            SocketAddr::V6(_) => unreachable!(),
+        };
+        let stream = connect_from(None, addr).unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .add(stream.as_raw_fd(), 1, Interest::READ_WRITE)
+            .unwrap();
+        let mut events = Events::with_capacity(4);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(n >= 1);
+        assert!(take_socket_error(&stream).unwrap().is_none());
+        let _ = listener.accept().unwrap();
+    }
+
+    #[test]
+    fn nofile_limit_is_sane_and_raise_is_best_effort() {
+        let (soft, hard) = nofile_limit();
+        assert!(soft > 0 && hard >= soft);
+        let effective = raise_nofile_limit(soft); // no-op
+        assert_eq!(effective, soft);
+        let effective = raise_nofile_limit(hard);
+        assert!(effective <= hard && effective >= soft);
+    }
+}

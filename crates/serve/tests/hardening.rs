@@ -1,0 +1,395 @@
+//! Integration: serving-core hardening — the timer-based connection-thread
+//! reaper, request-latency accounting on every terminal path, per-shard
+//! reactor telemetry, and socket-level parser robustness (dribbled bytes,
+//! pipelining, unbounded heads).
+//!
+//! Lives in its own binary so its metric assertions see a registry no
+//! other suite is writing to (telemetry statics are per-process).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+use airchitect::persist;
+use airchitect_data::Dataset;
+use airchitect_nn::train::TrainConfig;
+use airchitect_serve::client::HttpClient;
+use airchitect_serve::{ServeConfig, ServeError, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Trains and persists one tiny CS1 model, once per process.
+fn model_file() -> PathBuf {
+    static FILE: OnceLock<PathBuf> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let (dim, classes) = (4usize, 30u32);
+        let mut ds = Dataset::new(dim, classes).unwrap();
+        let mut row = vec![0f32; dim];
+        for i in 0..240usize {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = ((i * 31 + j * 7) % 97) as f32;
+            }
+            ds.push(&row, (i as u32 * 13) % classes).unwrap();
+        }
+        let mut model = AirchitectModel::new(
+            CaseStudy::ArrayDataflow,
+            &AirchitectConfig {
+                num_classes: classes,
+                train: TrainConfig {
+                    epochs: 2,
+                    batch_size: 64,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        model.train(&ds).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "airchitect-hardening-test-{}.airm",
+            std::process::id()
+        ));
+        persist::save(&model, &path).unwrap();
+        path
+    })
+    .clone()
+}
+
+type ServerHandle = JoinHandle<Result<(), ServeError>>;
+
+fn start(config: ServeConfig) -> (SocketAddr, ServerHandle) {
+    let server = Server::bind(&config).expect("server binds");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn shutdown(addr: SocketAddr, handle: ServerHandle) {
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let resp = client.post("/v1/shutdown", "").unwrap();
+    assert_eq!(resp.status, 200);
+    handle
+        .join()
+        .expect("server thread must not panic")
+        .expect("graceful shutdown must return Ok");
+}
+
+const ARRAY_BODY: &str = r#"{"m":128,"n":64,"k":256,"mac_budget":1024}"#;
+
+/// Reads a metric value (`name value`) out of a `/metrics` scrape.
+fn metric(body: &str, name: &str) -> Option<f64> {
+    body.lines().find_map(|l| {
+        l.split_once(' ')
+            .and_then(|(k, v)| (k == name).then(|| v.parse().ok()).flatten())
+    })
+}
+
+/// The threaded listener used to release finished connection threads only
+/// when the *next* accept arrived; after a burst against an idle server
+/// they all lingered. The timer reaper must return the handle count to
+/// baseline with no further traffic.
+#[test]
+fn conn_thread_count_returns_to_baseline_after_a_burst() {
+    let config = ServeConfig {
+        model_paths: vec![model_file()],
+        read_timeout_secs: 30,
+        threaded: true,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(config);
+
+    // Burst: 8 concurrent connections, one request each, then hang up.
+    {
+        let clients: Vec<HttpClient> = (0..8)
+            .map(|_| {
+                let mut c = HttpClient::connect(addr, TIMEOUT).unwrap();
+                assert_eq!(c.get("/healthz").unwrap().status, 200);
+                c
+            })
+            .collect();
+        drop(clients);
+    }
+
+    // No accepts happen while we wait: the reaper alone must notice the
+    // burst threads finishing. One persistent scraper connection polls,
+    // so the floor is that single live thread.
+    let mut scraper = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut last = f64::MAX;
+    while Instant::now() < deadline {
+        let scrape = scraper.get("/metrics").unwrap();
+        assert_eq!(scrape.status, 200);
+        last = metric(&scrape.body, "serve.conn_threads").unwrap_or(f64::MAX);
+        if last <= 1.0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        last <= 1.0,
+        "burst connection threads were not reaped without a new accept \
+         (serve.conn_threads stuck at {last})"
+    );
+    shutdown(addr, handle);
+}
+
+/// `serve.request_us` must observe *every* terminal path — 504s from an
+/// expired budget, 429s from a full queue, and parse rejections — not
+/// just successful answers, or the histogram lies about tail latency
+/// exactly when the server is struggling.
+#[test]
+fn latency_histogram_counts_rejected_and_expired_requests() {
+    let config = ServeConfig {
+        model_paths: vec![model_file()],
+        read_timeout_secs: 30,
+        queue_depth: 0,            // every queued push answers 429
+        single_query_bypass: false, // force the queue path
+        cache_capacity: 0,         // no cache hits short-circuiting
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    let before = {
+        let scrape = client.get("/metrics").unwrap();
+        metric(&scrape.body, "serve.request_us_count").unwrap_or(0.0)
+    };
+
+    // 504: the budget is already spent at admission.
+    let resp = client
+        .post_with_deadline("/v1/recommend/array", ARRAY_BODY, 0)
+        .unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.body);
+    // 429: queue depth zero.
+    let resp = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    // 400: parse rejection.
+    let resp = client.post("/v1/recommend/array", "{\"m\":-1}").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    let after = {
+        let scrape = client.get("/metrics").unwrap();
+        metric(&scrape.body, "serve.request_us_count").unwrap_or(0.0)
+    };
+    assert!(
+        after >= before + 3.0,
+        "504/429/400 terminal paths must all record serve.request_us \
+         (count went {before} -> {after})"
+    );
+    shutdown(addr, handle);
+}
+
+/// The evented listener publishes per-shard gauges; the aggregate
+/// connection gauge must cover the scraping connection itself.
+#[cfg(target_os = "linux")]
+#[test]
+fn evented_listener_exposes_per_shard_metrics() {
+    if ServeConfig::default().threaded {
+        return; // threaded CI leg: no shards to inspect
+    }
+    let config = ServeConfig {
+        model_paths: vec![model_file()],
+        read_timeout_secs: 30,
+        event_loops: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    assert_eq!(client.post("/v1/recommend/array", ARRAY_BODY).unwrap().status, 200);
+
+    let scrape = client.get("/metrics").unwrap();
+    for shard in 0..2 {
+        for series in ["open_connections", "ready_depth", "wakeups", "accepted"] {
+            let name = format!("serve.shard.{shard}.{series}");
+            assert!(
+                metric(&scrape.body, &name).is_some(),
+                "missing {name} in:\n{}",
+                scrape.body
+            );
+        }
+    }
+    let open = metric(&scrape.body, "serve.open_connections").unwrap();
+    assert!(open >= 1.0, "the scraping connection must be counted ({open})");
+    let accepted: f64 = (0..2)
+        .map(|s| metric(&scrape.body, &format!("serve.shard.{s}.accepted")).unwrap())
+        .sum();
+    assert!(accepted >= 1.0, "accept counters must move ({accepted})");
+    shutdown(addr, handle);
+}
+
+/// A request trickled in over many small writes (slow client, tiny MTU)
+/// must parse exactly like one delivered whole, and two requests sent
+/// back-to-back in one segment must both be answered, in order.
+#[test]
+fn dribbled_and_pipelined_requests_are_served() {
+    let config = ServeConfig {
+        model_paths: vec![model_file()],
+        read_timeout_secs: 30,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(config);
+
+    // Dribble: a few bytes at a time with pauses.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let request = format!(
+        "POST /v1/recommend/array HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{ARRAY_BODY}",
+        ARRAY_BODY.len()
+    );
+    for chunk in request.as_bytes().chunks(7) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") || !body_complete(&buf) {
+        let n = stream.read(&mut tmp).unwrap();
+        assert!(n > 0, "connection closed before a full response");
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("\"dataflow\""), "{text}");
+
+    // Pipeline: two requests in one write on the same connection.
+    let two = format!("{request}{request}");
+    stream.write_all(two.as_bytes()).unwrap();
+    let mut buf = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while count_responses(&buf) < 2 && Instant::now() < deadline {
+        let n = stream.read(&mut tmp).unwrap();
+        assert!(n > 0, "connection closed after {} responses", count_responses(&buf));
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    assert_eq!(count_responses(&buf), 2, "{}", String::from_utf8_lossy(&buf));
+    shutdown(addr, handle);
+}
+
+fn body_complete(buf: &[u8]) -> bool {
+    response_len(buf).is_some()
+}
+
+/// Bytes of one complete response at the front of `buf`.
+fn response_len(buf: &[u8]) -> Option<usize> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let len: usize = head.split("\r\n").find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().parse().ok())
+            .flatten()
+    })?;
+    (buf.len() >= head_end + len).then_some(head_end + len)
+}
+
+fn count_responses(buf: &[u8]) -> usize {
+    let mut rest = buf;
+    let mut n = 0;
+    while let Some(len) = response_len(rest) {
+        rest = &rest[len..];
+        n += 1;
+    }
+    n
+}
+
+/// A newline-free megabyte "head" must be rejected at the cap with a 413
+/// while the flood is still arriving — not buffered to completion.
+#[test]
+fn newline_free_megabyte_head_is_answered_413_mid_flood() {
+    let config = ServeConfig {
+        model_paths: vec![model_file()],
+        read_timeout_secs: 30,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(config);
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Read on a second thread so the 413 is captured the moment it is
+    // sent; the server closes right after and further flood writes may
+    // RST the socket.
+    let reader = {
+        let mut r = stream.try_clone().unwrap();
+        std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let mut tmp = [0u8; 4096];
+            loop {
+                match r.read(&mut tmp) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => buf.extend_from_slice(&tmp[..n]),
+                }
+            }
+            buf
+        })
+    };
+    let flood = vec![b'A'; 1024 * 1024];
+    let mut w = stream;
+    for chunk in flood.chunks(8 * 1024) {
+        if w.write_all(chunk).is_err() {
+            break; // server already rejected and closed
+        }
+    }
+    let _ = w.shutdown(std::net::Shutdown::Write);
+    let buf = reader.join().unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(
+        text.starts_with("HTTP/1.1 413"),
+        "flooded head must answer 413, got: {:?}",
+        &text[..text.len().min(120)]
+    );
+    shutdown(addr, handle);
+}
+
+/// Both listeners answer the same requests with the same statuses and
+/// body shapes — the mode flag must not change observable semantics.
+#[test]
+fn threaded_and_evented_listeners_answer_identically() {
+    let base = ServeConfig {
+        model_paths: vec![model_file()],
+        read_timeout_secs: 30,
+        cache_capacity: 0, // identical `cached` flags on both servers
+        ..ServeConfig::default()
+    };
+    let threaded = ServeConfig {
+        threaded: true,
+        ..base.clone()
+    };
+    let evented = ServeConfig {
+        threaded: false,
+        ..base
+    };
+    if !cfg!(target_os = "linux") {
+        return; // only one listener exists off-Linux
+    }
+    let (addr_a, handle_a) = start(threaded);
+    let (addr_b, handle_b) = start(evented);
+    let mut a = HttpClient::connect(addr_a, TIMEOUT).unwrap();
+    let mut b = HttpClient::connect(addr_b, TIMEOUT).unwrap();
+
+    for (method_post, path, body) in [
+        (true, "/v1/recommend/array", ARRAY_BODY),
+        (true, "/v1/recommend/array", "{\"m\":-1}"),
+        (true, "/v1/recommend/buffers", ARRAY_BODY),
+        (false, "/healthz", ""),
+        (true, "/nope", ""),
+    ] {
+        let (ra, rb) = if method_post {
+            (a.post(path, body).unwrap(), b.post(path, body).unwrap())
+        } else {
+            (a.get(path).unwrap(), b.get(path).unwrap())
+        };
+        assert_eq!(ra.status, rb.status, "{path}: {} vs {}", ra.body, rb.body);
+        if path.starts_with("/v1/recommend") && ra.status == 200 {
+            assert_eq!(ra.body, rb.body, "{path}");
+        }
+    }
+    shutdown(addr_a, handle_a);
+    shutdown(addr_b, handle_b);
+}

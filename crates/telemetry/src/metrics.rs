@@ -309,6 +309,10 @@ pub static QUANT_MEMO_HITS: Counter = Counter::new("quant.memo_hits");
 pub static QUANT_MEMO_MISSES: Counter = Counter::new("quant.memo_misses");
 /// Recommendations answered inline on the single-query bypass (no queue).
 pub static SERVE_BYPASS: Counter = Counter::new("serve.bypass");
+/// Event-loop wakeups issued by batch workers delivering completions to
+/// the evented listener (one eventfd write per empty→non-empty queue
+/// transition, not one per completion).
+pub static SERVE_WAKEUPS: Counter = Counter::new("serve.wakeups");
 
 /// Latest training loss.
 pub static TRAIN_LOSS: Gauge = Gauge::new("train.loss");
@@ -324,6 +328,9 @@ pub static SERVE_BREAKER_SCHEDULE: Gauge = Gauge::new("serve.breaker_state.sched
 pub static SERVE_BREAKER_RELOAD: Gauge = Gauge::new("serve.breaker_state.reload");
 /// Replicas currently admitted to the cluster routing ring.
 pub static CLUSTER_HEALTHY_REPLICAS: Gauge = Gauge::new("cluster.healthy_replicas");
+/// Live connection-thread handles held by the threaded listener (updated
+/// by its timer-based reaper; absent in evented mode).
+pub static SERVE_CONN_THREADS: Gauge = Gauge::new("serve.conn_threads");
 
 /// Per-mini-batch wall time, microseconds.
 pub static TRAIN_BATCH_US: Histogram = Histogram::new("train.batch_us");
@@ -338,7 +345,7 @@ pub static SERVE_BATCH_JOBS: Histogram = Histogram::new("serve.batch_jobs");
 /// Router-observed backend round-trip latency, microseconds.
 pub static CLUSTER_BACKEND_US: Histogram = Histogram::new("cluster.backend_us");
 
-static COUNTERS: [&Counter; 38] = [
+static COUNTERS: [&Counter; 39] = [
     &SIM_EVALS,
     &DSE_SEARCHES,
     &DSE_SEARCH_POINTS,
@@ -377,8 +384,9 @@ static COUNTERS: [&Counter; 38] = [
     &QUANT_MEMO_HITS,
     &QUANT_MEMO_MISSES,
     &SERVE_BYPASS,
+    &SERVE_WAKEUPS,
 ];
-static GAUGES: [&Gauge; 7] = [
+static GAUGES: [&Gauge; 8] = [
     &TRAIN_LOSS,
     &TRAIN_ACCURACY,
     &SERVE_BREAKER_ARRAY,
@@ -386,6 +394,7 @@ static GAUGES: [&Gauge; 7] = [
     &SERVE_BREAKER_SCHEDULE,
     &SERVE_BREAKER_RELOAD,
     &CLUSTER_HEALTHY_REPLICAS,
+    &SERVE_CONN_THREADS,
 ];
 static HISTOGRAMS: [&Histogram; 6] = [
     &TRAIN_BATCH_US,

@@ -23,6 +23,12 @@
 //!   multi-replica cluster while one replica is SIGKILLed mid-run; gates
 //!   on zero failed client requests, bounded re-admission of the killed
 //!   replica, and aggregate QPS at least matching a single replica.
+//! * `online` — (not part of `all`) closed-loop drift soak: a CNN-trained
+//!   model serves a query distribution that drifts to skinny LLM-style
+//!   GEMMs under shadow-oracle sampling; when the drift policy fires, the
+//!   misprediction log is replayed into a fine-tune + hot-reload cycle.
+//!   Gates on oracle agreement strictly improving after at least one
+//!   automatic cycle, zero failed requests, and zero 5xx.
 //!
 //! JSON is hand-rolled (flat objects, fixed keys) to stay within the
 //! approved dependency set; `--quick` shrinks every suite for CI smoke
@@ -41,6 +47,9 @@ use airchitect_data::Dataset;
 use airchitect_dse::case1::Case1Problem;
 use airchitect_dse::case2::Case2Query;
 use airchitect_dse::case3::Case3Problem;
+use airchitect_dse::space::Case1Space;
+use airchitect_online::{fine_tune, read_dir, DriftStats, FineTuneOptions, OnlinePolicy};
+use airchitect_telemetry::metrics;
 use airchitect_dse::search_algos::{GeneticSearch, HillClimb, RandomSearch, SearchStrategy};
 use airchitect_nn::loss::softmax_cross_entropy;
 use airchitect_nn::network::Sequential;
@@ -111,6 +120,9 @@ fn bench_inner(args: &Args) -> Result<(), CliError> {
         // Not part of `all`: the evented-listener scale gate holds tens of
         // thousands of sockets open and is its own CI job.
         "c10k" => bench_c10k(&out_dir, quick)?,
+        // Not part of `all`: a multi-minute soak that trains, drifts, and
+        // fine-tunes — the online-learning loop gate, its own CI job.
+        "online" => bench_online(&out_dir, quick)?,
         "all" => {
             bench_train(&out_dir, samples, epochs, threads)?;
             bench_infer(&out_dir, quick)?;
@@ -119,7 +131,7 @@ fn bench_inner(args: &Args) -> Result<(), CliError> {
         }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown suite `{other}` (train|infer|dse|serve|chaos|cluster|c10k|all)"
+                "unknown suite `{other}` (train|infer|dse|serve|chaos|cluster|c10k|online|all)"
             )))
         }
     }
@@ -719,6 +731,467 @@ fn bench_serve(out_dir: &str, quick: bool) -> Result<(), CliError> {
          \"p95_us\": {p95},\n  \"p99_us\": {p99}\n}}\n"
     );
     write_json(out_dir, "BENCH_serve.json", &body)
+}
+
+/// MAC budget of the online suite's CS1 space: small enough that the exact
+/// oracle scores a sampled query in well under a millisecond, large enough
+/// (135 labels) that a drifted model has real room to be wrong.
+const ONLINE_BUDGET_LOG2: u32 = 10;
+
+/// The online suite's recommend body for one workload.
+fn online_body(wl: &GemmWorkload) -> String {
+    format!(
+        "{{\"m\":{},\"n\":{},\"k\":{},\"mac_budget\":{}}}",
+        wl.m(),
+        wl.n(),
+        wl.k(),
+        1u64 << ONLINE_BUDGET_LOG2
+    )
+}
+
+/// CNN-shaped GEMMs: the balanced-ish dims convolution layers lower to.
+/// The base model is trained (on oracle labels) over this regime only.
+fn online_cnn_workload(rng: &mut StdRng) -> GemmWorkload {
+    GemmWorkload::new(
+        rng.random_range(64..512u64),
+        rng.random_range(64..512u64),
+        rng.random_range(32..384u64),
+    )
+    .expect("dims are positive")
+}
+
+/// Drifted traffic: skinny LLM-decode-style GEMMs (tiny M, huge N/K)
+/// whose optimal arrays look nothing like the CNN regime's.
+fn online_drifted_workload(rng: &mut StdRng) -> GemmWorkload {
+    GemmWorkload::new(
+        rng.random_range(1..8u64),
+        rng.random_range(1024..8192u64),
+        rng.random_range(1024..8192u64),
+    )
+    .expect("dims are positive")
+}
+
+/// Trains the base model on *oracle-labeled* CNN-shaped rows (so its
+/// initial agreement is real, not random) and persists it to a temp
+/// `.airm` the server can load and hot-reload.
+fn online_model_file(
+    problem: &Case1Problem,
+    classes: u32,
+    rows: usize,
+    epochs: usize,
+) -> Result<std::path::PathBuf, CliError> {
+    let budget = 1u64 << ONLINE_BUDGET_LOG2;
+    let mut ds = Dataset::new(4, classes).unwrap();
+    let mut rng = StdRng::seed_from_u64(37);
+    for _ in 0..rows {
+        let wl = online_cnn_workload(&mut rng);
+        ds.push(
+            &Case1Problem::features(&wl, budget),
+            problem.search(&wl, budget).label,
+        )
+        .unwrap();
+    }
+    let mut model = AirchitectModel::new(
+        CaseStudy::ArrayDataflow,
+        &AirchitectConfig {
+            num_classes: classes,
+            train: TrainConfig {
+                epochs,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    model.train(&ds).map_err(|e| CliError::Run(e.to_string()))?;
+    let path = std::env::temp_dir().join(format!(
+        "airchitect-bench-online-{}.airm",
+        std::process::id()
+    ));
+    persist::save(&model, &path).map_err(|e| CliError::Run(e.to_string()))?;
+    Ok(path)
+}
+
+/// Fire-and-count loadgen: `clients` keep-alive connections stride through
+/// `pool`; non-200s count as failed (5xx separately), transport errors
+/// count as failed and reconnect. Returns the number of requests issued.
+fn online_loadgen(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: usize,
+    pool: &Arc<Vec<String>>,
+    failed: &Arc<AtomicU64>,
+    fivexx: &Arc<AtomicU64>,
+) -> Result<u64, CliError> {
+    let timeout = Duration::from_secs(30);
+    let per_client = requests / clients;
+    let handles: Vec<_> = (0..clients)
+        .map(|tid| {
+            let pool = Arc::clone(pool);
+            let failed = Arc::clone(failed);
+            let fivexx = Arc::clone(fivexx);
+            std::thread::spawn(move || {
+                let mut client = match HttpClient::connect(addr, timeout) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        failed.fetch_add(per_client as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for i in 0..per_client {
+                    let body = &pool[(tid + i * 7) % pool.len()];
+                    match client.post("/v1/recommend/array", body) {
+                        Ok(resp) if resp.status == 200 => {}
+                        Ok(resp) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            if resp.status >= 500 {
+                                fivexx.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            // The socket may be dead; reconnect for the rest
+                            // of this client's share.
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            match HttpClient::connect(addr, timeout) {
+                                Ok(c) => client = c,
+                                Err(_) => {
+                                    failed.fetch_add(
+                                        (per_client - i - 1) as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle
+            .join()
+            .map_err(|_| CliError::Run("online loadgen client panicked".into()))?;
+    }
+    Ok((per_client * clients) as u64)
+}
+
+/// Fraction of eval queries where the live server's answer matches the
+/// exact oracle's decoded `(rows, cols, dataflow)`. Measured through HTTP
+/// so a hot-reload that silently failed to take effect would be caught.
+fn online_agreement(
+    addr: std::net::SocketAddr,
+    eval: &[(String, String)],
+    failed: &Arc<AtomicU64>,
+    fivexx: &Arc<AtomicU64>,
+) -> Result<f64, CliError> {
+    let timeout = Duration::from_secs(30);
+    let mut client =
+        HttpClient::connect(addr, timeout).map_err(|e| CliError::Run(e.to_string()))?;
+    let mut agree = 0usize;
+    for (body, expected) in eval {
+        match client.post("/v1/recommend/array", body) {
+            Ok(resp) if resp.status == 200 => {
+                if resp.body.contains(expected.as_str()) {
+                    agree += 1;
+                }
+            }
+            Ok(resp) => {
+                failed.fetch_add(1, Ordering::Relaxed);
+                if resp.status >= 500 {
+                    fivexx.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) => return Err(CliError::Run(format!("agreement probe failed: {e}"))),
+        }
+    }
+    Ok(agree as f64 / eval.len().max(1) as f64)
+}
+
+/// Blocks until the shadow pool has scored (or dropped) every admitted
+/// sample, so the misprediction log is complete before it is replayed.
+fn online_drain_shadow(timeout: Duration) -> bool {
+    let t0 = Instant::now();
+    loop {
+        let sampled = metrics::SERVE_SHADOW_SAMPLED.get();
+        let done =
+            metrics::SERVE_SHADOW_RECORDS.get() + metrics::SERVE_SHADOW_DROPPED.get();
+        if done >= sampled {
+            return true;
+        }
+        if t0.elapsed() > timeout {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Closed-loop online-learning soak.
+///
+/// A CS1 model trained on oracle-labeled CNN-shaped GEMMs serves live
+/// traffic with shadow-oracle sampling at rate 1.0. The query distribution
+/// then drifts to skinny LLM-decode shapes the model has never seen; the
+/// [`OnlinePolicy`] watches the shadow counters, and each time it fires the
+/// controller replays the misprediction log through [`fine_tune`], persists
+/// the tuned checkpoint over the served path, and pushes it live with
+/// `POST /v1/reload`.
+///
+/// Gates (any failure fails the bench, after the artifact is written):
+/// * at least one automatic fine-tune + hot-reload cycle fired;
+/// * top-1 agreement vs the exact oracle over the drifted distribution is
+///   strictly higher after the cycle(s) than before;
+/// * zero failed client requests and zero 5xx — reloads and shadow
+///   sampling must be invisible to the serving path.
+fn bench_online(out_dir: &str, quick: bool) -> Result<(), CliError> {
+    const CLIENTS: usize = 4;
+    let train_rows = if quick { 1_200 } else { 4_000 };
+    let train_epochs = if quick { 2 } else { 4 };
+    let warm_requests = if quick { 512 } else { 4_096 };
+    let drift_pool_size = if quick { 48 } else { 96 };
+    let chunk_requests = drift_pool_size * 4;
+    let max_rounds = if quick { 4 } else { 6 };
+    let budget = 1u64 << ONLINE_BUDGET_LOG2;
+    let drain_timeout = Duration::from_secs(60);
+
+    let space = Case1Space::new(budget);
+    let classes = space.len() as u32;
+    let problem = Case1Problem::new(budget);
+    println!(
+        "bench online: {classes}-class CS1 space, {train_rows} oracle-labeled CNN rows, \
+         drift pool {drift_pool_size}, up to {max_rounds} rounds"
+    );
+
+    println!("  training base model on the CNN regime...");
+    let model_path = online_model_file(&problem, classes, train_rows, train_epochs)?;
+    let shadow_dir = std::env::temp_dir().join(format!(
+        "airchitect-bench-online-shadow-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&shadow_dir);
+
+    // Counter baselines, so the artifact reports this run only.
+    let sampled0 = metrics::SERVE_SHADOW_SAMPLED.get();
+    let dropped0 = metrics::SERVE_SHADOW_DROPPED.get();
+    let records0 = metrics::SERVE_SHADOW_RECORDS.get();
+    let disagree0 = metrics::SERVE_SHADOW_DISAGREEMENTS.get();
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        model_paths: vec![model_path.clone()],
+        workers: 2,
+        queue_depth: 1024,
+        batch_max: 16,
+        cache_capacity: 4096,
+        read_timeout_secs: 30,
+        shadow_rate: 1.0,
+        shadow_dir: Some(shadow_dir.clone()),
+        shadow_queue_depth: 4096,
+        shadow_threads: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config).map_err(|e| CliError::Run(e.to_string()))?;
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Distinct body pools per phase; the drifted pool doubles as the
+    // agreement eval set, with oracle answers decoded up front.
+    let mut rng = StdRng::seed_from_u64(41);
+    let warm_pool: Arc<Vec<String>> = Arc::new(
+        (0..256)
+            .map(|_| online_body(&online_cnn_workload(&mut rng)))
+            .collect(),
+    );
+    let mut eval: Vec<(String, String)> = Vec::with_capacity(drift_pool_size);
+    for _ in 0..drift_pool_size {
+        let wl = online_drifted_workload(&mut rng);
+        let label = problem.search(&wl, budget).label;
+        let (array, dataflow) = space
+            .decode(label)
+            .ok_or_else(|| CliError::Run("oracle label outside its own space".into()))?;
+        let expected = format!(
+            "\"result\":{{\"rows\":{},\"cols\":{},\"macs\":{},\"dataflow\":\"{dataflow}\"}}",
+            array.rows(),
+            array.cols(),
+            array.rows() * array.cols(),
+        );
+        eval.push((online_body(&wl), expected));
+    }
+    let drift_pool: Arc<Vec<String>> =
+        Arc::new(eval.iter().map(|(body, _)| body.clone()).collect());
+
+    let failed = Arc::new(AtomicU64::new(0));
+    let fivexx = Arc::new(AtomicU64::new(0));
+    let t_soak = Instant::now();
+    let mut requests_total = 0u64;
+
+    // Phase A: in-distribution traffic. The shadow records written here are
+    // overwhelmingly agreements — the policy must not fire on them.
+    requests_total +=
+        online_loadgen(addr, CLIENTS, warm_requests, &warm_pool, &failed, &fivexx)?;
+    if !online_drain_shadow(drain_timeout) {
+        return Err(CliError::Run("shadow queue failed to drain after warmup".into()));
+    }
+    let agreement_before = online_agreement(addr, &eval, &failed, &fivexx)?;
+    requests_total += eval.len() as u64;
+    println!("  drifted-distribution agreement before fine-tune: {agreement_before:.4}");
+
+    // Phase B: drifted traffic, policy-watched. Each round drives a chunk,
+    // drains the shadow pool, consults the policy on the counter deltas
+    // since the last cycle, and fires fine-tune + reload when it triggers.
+    let policy = OnlinePolicy::default();
+    let opts = FineTuneOptions {
+        epochs: if quick { 8 } else { 10 },
+        lr: 3e-3,
+        batch_size: 32,
+        threads: 2,
+        seed: 7,
+    };
+    let mut cycles = 0u64;
+    let mut agreement_after = agreement_before;
+    let mut cycle_records0 = metrics::SERVE_SHADOW_RECORDS.get();
+    let mut cycle_disagree0 = metrics::SERVE_SHADOW_DISAGREEMENTS.get();
+    for round in 0..max_rounds {
+        requests_total +=
+            online_loadgen(addr, CLIENTS, chunk_requests, &drift_pool, &failed, &fivexx)?;
+        if !online_drain_shadow(drain_timeout) {
+            return Err(CliError::Run(format!(
+                "shadow queue failed to drain in round {round}"
+            )));
+        }
+        let window_samples = metrics::SERVE_SHADOW_RECORDS.get() - cycle_records0;
+        let window_disagreements =
+            metrics::SERVE_SHADOW_DISAGREEMENTS.get() - cycle_disagree0;
+        let stats = DriftStats {
+            window_samples,
+            window_disagreements,
+            agreement: if window_samples == 0 {
+                1.0
+            } else {
+                (window_samples - window_disagreements) as f64 / window_samples as f64
+            },
+            oracle_mean_us: metrics::SERVE_SHADOW_ORACLE_US.snapshot().mean(),
+            total_samples: metrics::SERVE_SHADOW_RECORDS.get() - records0,
+            total_disagreements: metrics::SERVE_SHADOW_DISAGREEMENTS.get() - disagree0,
+        };
+        if policy.should_fine_tune(&stats) {
+            let scan = read_dir(&shadow_dir).map_err(|e| CliError::Io {
+                path: shadow_dir.display().to_string(),
+                message: e.to_string(),
+            })?;
+            let mut model =
+                persist::load(&model_path).map_err(|e| CliError::Run(e.to_string()))?;
+            let outcome = fine_tune(&mut model, &scan.records, &opts)
+                .map_err(|e| CliError::Run(e.to_string()))?;
+            if outcome.report.is_some() {
+                persist::save(&model, &model_path)
+                    .map_err(|e| CliError::Run(e.to_string()))?;
+                let mut client = HttpClient::connect(addr, Duration::from_secs(30))
+                    .map_err(|e| CliError::Run(e.to_string()))?;
+                let resp = client
+                    .post("/v1/reload", "")
+                    .map_err(|e| CliError::Run(e.to_string()))?;
+                if resp.status != 200 {
+                    return Err(CliError::Run(format!(
+                        "reload after fine-tune returned {}: {}",
+                        resp.status, resp.body
+                    )));
+                }
+                cycles += 1;
+                cycle_records0 = metrics::SERVE_SHADOW_RECORDS.get();
+                cycle_disagree0 = metrics::SERVE_SHADOW_DISAGREEMENTS.get();
+                println!(
+                    "  round {round}: policy fired (window agreement {:.4}) -> \
+                     fine-tuned on {} rows (v{}), hot-reloaded",
+                    stats.agreement, outcome.used_rows, outcome.target_version
+                );
+            }
+        }
+        agreement_after = online_agreement(addr, &eval, &failed, &fivexx)?;
+        requests_total += eval.len() as u64;
+        println!("  round {round}: drifted agreement {agreement_after:.4} ({cycles} cycles)");
+        if cycles >= 1 && agreement_after > agreement_before {
+            break;
+        }
+    }
+    let wall_secs = t_soak.elapsed().as_secs_f64();
+
+    // Graceful shutdown closes the misprediction log with its end line.
+    let mut shut = HttpClient::connect(addr, Duration::from_secs(30))
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let resp = shut
+        .post("/v1/shutdown", "")
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    if resp.status != 200 {
+        return Err(CliError::Run(format!("shutdown returned {}", resp.status)));
+    }
+    server_thread
+        .join()
+        .map_err(|_| CliError::Run("server thread panicked".into()))?
+        .map_err(|e| CliError::Run(format!("server exited with: {e}")))?;
+
+    // Every closed log segment must be a schema-valid telemetry file.
+    let scan = read_dir(&shadow_dir).map_err(|e| CliError::Io {
+        path: shadow_dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let _ = std::fs::remove_file(&model_path);
+    let _ = std::fs::remove_dir_all(&shadow_dir);
+
+    let sampled = metrics::SERVE_SHADOW_SAMPLED.get() - sampled0;
+    let dropped = metrics::SERVE_SHADOW_DROPPED.get() - dropped0;
+    let records = metrics::SERVE_SHADOW_RECORDS.get() - records0;
+    let disagreements = metrics::SERVE_SHADOW_DISAGREEMENTS.get() - disagree0;
+    let oracle = metrics::SERVE_SHADOW_ORACLE_US.snapshot();
+    let failed = failed.load(Ordering::Relaxed);
+    let fivexx = fivexx.load(Ordering::Relaxed);
+    let qps = requests_total as f64 / wall_secs;
+    println!(
+        "  {requests_total} requests ({failed} failed, {fivexx} 5xx), {sampled} sampled, \
+         {records} records, {disagreements} disagreements, {dropped} dropped"
+    );
+    println!(
+        "  agreement {agreement_before:.4} -> {agreement_after:.4} after {cycles} \
+         fine-tune cycle(s); oracle mean {:.0} us",
+        oracle.mean()
+    );
+
+    // The artifact is written before the gates run, so a failed soak still
+    // leaves its numbers behind for debugging.
+    let body = format!(
+        "{{\n  \"suite\": \"online\",\n  \"case\": \"cs1\",\n  \
+         \"budget_log2\": {ONLINE_BUDGET_LOG2},\n  \"classes\": {classes},\n  \
+         \"requests\": {requests_total},\n  \"failed_requests\": {failed},\n  \
+         \"http_5xx\": {fivexx},\n  \"sampled\": {sampled},\n  \
+         \"dropped\": {dropped},\n  \"records\": {records},\n  \
+         \"disagreements\": {disagreements},\n  \"log_segments\": {},\n  \
+         \"torn_segments\": {},\n  \"cycles\": {cycles},\n  \
+         \"agreement_before\": {agreement_before:.4},\n  \
+         \"agreement_after\": {agreement_after:.4},\n  \
+         \"oracle_mean_us\": {:.2},\n  \"oracle_max_us\": {},\n  \
+         \"qps\": {qps:.2}\n}}\n",
+        scan.segments,
+        scan.torn_segments,
+        oracle.mean(),
+        oracle.max,
+    );
+    write_json(out_dir, "BENCH_online.json", &body)?;
+
+    if cycles == 0 {
+        return Err(CliError::Run(
+            "drift policy never fired: no fine-tune + reload cycle ran".into(),
+        ));
+    }
+    if agreement_after <= agreement_before {
+        return Err(CliError::Run(format!(
+            "oracle agreement did not improve after fine-tune \
+             ({agreement_before:.4} -> {agreement_after:.4})"
+        )));
+    }
+    if failed > 0 || fivexx > 0 {
+        return Err(CliError::Run(format!(
+            "{failed} failed requests / {fivexx} 5xx during the online soak"
+        )));
+    }
+    Ok(())
 }
 
 /// Shared loadgen over self-healing clients: `clients` threads stride

@@ -14,6 +14,7 @@ use airchitect_dse::search_algos::SearchStrategy;
 use airchitect_dse::space::{Case1Space, Case2Space, Case3Space};
 use airchitect_nn::optim::Optimizer;
 use airchitect_nn::train::TrainConfig;
+use airchitect_online as online;
 use airchitect_sim::functional::{FunctionalArray, SimMatrix};
 use airchitect_sim::memory::BufferConfig;
 use airchitect_sim::{report, ArrayConfig, Dataflow};
@@ -108,6 +109,8 @@ impl Telemetry {
             counters: snap.counters,
             gauges: snap.gauges,
             histograms: snap.histograms,
+            shadow_records: 0,
+            shadow_disagreements: 0,
         }
     }
 }
@@ -561,14 +564,115 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
         "samples",
         "trace",
         "metrics-out",
+        "from-log",
+        "model",
+        "lr",
     ])?;
     let tele = telemetry_begin(&args, "train")?;
-    let result = if args.flag("quick") {
+    let result = if args.optional("from-log").is_some() {
+        train_from_log(&args)
+    } else if args.flag("quick") {
         train_quick(&args)
     } else {
         train_inner(&args)
     };
     tele.finish(result)
+}
+
+/// `train --from-log`: replay a shadow-oracle misprediction log and
+/// fine-tune the current checkpoint on the disagreements, continuing from
+/// its existing weights with a reduced learning rate. The checksummed
+/// output artifact is what an operator (or the online soak) pushes through
+/// `POST /v1/reload`.
+fn train_from_log(args: &Args) -> Result<(), CliError> {
+    for forbidden in ["case", "data", "quick", "samples", "checkpoint-dir", "resume"] {
+        if args.optional(forbidden).is_some() || args.flag(forbidden) {
+            return Err(CliError::Usage(format!(
+                "`--from-log` fine-tunes an existing model; drop `--{forbidden}`"
+            )));
+        }
+    }
+    let dir = args.required("from-log")?;
+    let model_path = args.required("model")?;
+    let out = args.required("out")?;
+    let threads = args.u64_or("threads", 1)? as usize;
+    if threads == 0 {
+        return Err(CliError::Usage("`--threads` must be at least 1".into()));
+    }
+    let lr = match args.optional("lr") {
+        None => 1e-4f32,
+        Some(raw) => {
+            let lr: f32 = raw
+                .parse()
+                .ok()
+                .filter(|lr: &f32| lr.is_finite() && *lr > 0.0)
+                .ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "`--lr` must be a positive learning rate (got `{raw}`)"
+                    ))
+                })?;
+            lr
+        }
+    };
+    let opts = online::FineTuneOptions {
+        epochs: args.u64_or("epochs", 4)? as usize,
+        lr,
+        batch_size: args.u64_or("batch", 64)? as usize,
+        threads,
+        seed: args.u64_or("seed", 0)?,
+    };
+    if opts.epochs == 0 {
+        return Err(CliError::Usage("`--epochs` must be at least 1".into()));
+    }
+
+    let mut model = persist::load(model_path).map_err(persist_err(model_path))?;
+    let scan = online::read_dir(std::path::Path::new(dir)).map_err(|e| CliError::Io {
+        path: dir.to_string(),
+        message: format!("read misprediction log: {e}"),
+    })?;
+    println!(
+        "misprediction log: {} record(s) across {} segment(s) ({} torn, {} skipped line(s))",
+        scan.records.len(),
+        scan.segments,
+        scan.torn_segments,
+        scan.skipped_lines
+    );
+    let t0 = std::time::Instant::now();
+    let outcome = online::fine_tune(&mut model, &scan.records, &opts).map_err(run_err)?;
+    println!(
+        "replayed {} record(s) for {}: {} disagreement(s), {} row(s) trained \
+         (skipped: {} cross-version, {} other-case, {} out-of-space)",
+        outcome.records_seen,
+        model.case_study().name(),
+        outcome.disagreements,
+        outcome.used_rows,
+        outcome.skipped_cross_version,
+        outcome.skipped_other_case,
+        outcome.skipped_out_of_space,
+    );
+    match &outcome.report {
+        Some(report) => {
+            for e in &report.history.epochs {
+                println!(
+                    "epoch {:>3}: loss {:.4}  accuracy {:.4}",
+                    e.epoch, e.train_loss, e.train_accuracy
+                );
+            }
+            persist::save(&model, out).map_err(persist_err(out))?;
+            println!(
+                "fine-tuned against model version {} in {:?}; model written to {out}",
+                outcome.target_version,
+                t0.elapsed()
+            );
+        }
+        None => {
+            // Nothing to learn from — still emit the artifact so callers
+            // can reload unconditionally.
+            persist::save(&model, out).map_err(persist_err(out))?;
+            println!("no usable disagreements; model copied unchanged to {out}");
+        }
+    }
+    Ok(())
 }
 
 /// `train --quick`: generate → checkpointed train → evaluate, a small CS1

@@ -159,6 +159,14 @@ COMMANDS:
              --quick instead runs a self-contained CS1 smoke pipeline
              (generate -> checkpointed train -> evaluate; --samples N sizes
              it, --data is not needed, --out is optional).
+             --from-log DIR --model base.airm --out tuned.airm
+             [--epochs E] [--batch B] [--lr LR] [--seed S] [--threads T]
+             instead fine-tunes an existing model on a shadow-oracle
+             misprediction log (see `serve --shadow-oracle`): replays the
+             log, keeps disagreements scored against the newest model
+             version, and continues training from the current weights with
+             a reduced learning rate (default 1e-4) under the usual
+             divergence guards. Push the output through POST /v1/reload.
 
   evaluate   --model model.airm --data data.aids [--penalty] [--calibration]
              [--threads T]
@@ -168,7 +176,8 @@ COMMANDS:
   recommend  --model model.airm  plus the same query flags as `search`
              Constant-time recommendation from a trained model.
 
-  bench      [--suite train|infer|dse|serve|chaos|cluster|all] [--out-dir DIR]
+  bench      [--suite train|infer|dse|serve|chaos|cluster|online|all]
+             [--out-dir DIR]
              [--threads T] [--samples N] [--epochs E] [--quick]
              Time the compute engine (training epochs vs the naive baseline,
              batched + single-query inference, DSE search throughput, HTTP
@@ -181,6 +190,11 @@ COMMANDS:
              multi-replica cluster, SIGKILLs one replica mid-run, and gates
              on zero failed client requests, bounded re-admission, and
              cluster QPS at least matching a single replica.
+             Suite `online` (not in `all`) soaks a live server with a
+             drifting query distribution under shadow-oracle sampling,
+             fires `train --from-log` + POST /v1/reload when the drift
+             policy triggers, and gates on oracle agreement strictly
+             improving with zero failed requests and zero 5xx.
 
   serve      --model model.airm[,model2.airm...] [--host H] [--port P]
              [--cluster] [--replicas N]
@@ -201,6 +215,16 @@ COMMANDS:
              --fallback search answers from exhaustive DSE search (stamped
              "source":"search" + a Warning header) when a circuit is open or
              a model failed to load, instead of 5xx.
+             --nodelay sets TCP_NODELAY on accepted sockets in both
+             listener modes (also via AIRCHITECT_SERVE_NODELAY=1).
+             --shadow-oracle RATE --shadow-log-dir DIR
+             [--shadow-queue-depth D] [--shadow-threads T]
+             samples RATE (0..=1, deterministic per query) of admitted
+             recommend requests, re-scores them against the exact DSE
+             oracle on a low-priority background pool, and appends
+             versioned records to a rotating JSONL misprediction log in
+             DIR for `train --from-log`. A full shadow queue drops samples
+             (serve.shadow.dropped) instead of delaying requests.
              --cluster [--replicas N] [--probe-interval-ms MS]
              [--probe-timeout-ms MS] [--hedge-ms MS] [--max-inflight N]
              [--backend-timeout-ms MS]

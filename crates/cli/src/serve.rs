@@ -41,6 +41,11 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         "no-bypass",
         "event-loops",
         "threaded",
+        "nodelay",
+        "shadow-oracle",
+        "shadow-log-dir",
+        "shadow-queue-depth",
+        "shadow-threads",
         "cluster",
         "replicas",
         "probe-interval-ms",
@@ -82,6 +87,28 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
             )))
         }
     };
+    let shadow_rate = match args.optional("shadow-oracle") {
+        None => 0.0,
+        Some(raw) => {
+            let rate: f64 = raw.parse().map_err(|_| {
+                CliError::Usage(format!(
+                    "`--shadow-oracle` must be a sampling rate in 0..=1 (got `{raw}`)"
+                ))
+            })?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(CliError::Usage(format!(
+                    "`--shadow-oracle` must be a sampling rate in 0..=1 (got `{raw}`)"
+                )));
+            }
+            if rate > 0.0 && args.optional("shadow-log-dir").is_none() {
+                return Err(CliError::Usage(
+                    "`--shadow-oracle` needs `--shadow-log-dir` for the misprediction log"
+                        .into(),
+                ));
+            }
+            rate
+        }
+    };
     let breaker_threshold = args.u64_or("breaker-threshold", 5)?;
     if breaker_threshold > u64::from(u32::MAX) {
         return Err(CliError::Usage(format!(
@@ -106,6 +133,11 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
         // The env default keeps one invocation form usable in both modes
         // (CI runs every suite twice that way).
         threaded: args.flag("threaded") || ServeConfig::default().threaded,
+        nodelay: args.flag("nodelay") || ServeConfig::default().nodelay,
+        shadow_rate,
+        shadow_dir: args.optional("shadow-log-dir").map(PathBuf::from),
+        shadow_queue_depth: args.u64_or("shadow-queue-depth", 64)? as usize,
+        shadow_threads: args.u64_or("shadow-threads", 1)? as usize,
     };
 
     if args.flag("cluster") {

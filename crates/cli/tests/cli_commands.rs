@@ -260,3 +260,114 @@ fn quick_train_rejects_contradictory_flags() {
     assert!(run(&argv(&["train", "--quick", "--data", "x.aids"])).is_err());
     assert!(run(&argv(&["train", "--case", "1", "--samples", "10", "--data", "x.aids"])).is_err());
 }
+
+#[test]
+fn serve_shadow_flag_validation() {
+    // Shadow flags are validated before any socket is touched.
+    for bad in [
+        vec!["serve", "--model", "x.airm", "--shadow-oracle", "2.0"], // rate > 1
+        vec!["serve", "--model", "x.airm", "--shadow-oracle", "nan"], // not a number
+        vec!["serve", "--model", "x.airm", "--shadow-oracle", "0.5"], // no log dir
+    ] {
+        let err = run(&argv(&bad)).expect_err(&format!("{bad:?} must be rejected"));
+        assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
+    }
+}
+
+#[test]
+fn train_from_log_fine_tunes_an_existing_model() {
+    use airchitect_cli as _;
+    use airchitect_online::{MispredLog, MispredRecord};
+    use airchitect_repro_imports::*;
+
+    let dir = tmpdir().join("from-log");
+    std::fs::create_dir_all(&dir).expect("create log dir");
+    let log_dir = dir.join("log");
+
+    // A tiny CS1 model (30 classes over the 2^5-budget space).
+    let (dim, classes) = (4usize, 30u32);
+    let mut ds = Dataset::new(dim, classes).unwrap();
+    let mut row = vec![0f32; dim];
+    for i in 0..120usize {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = ((i * 31 + j * 7) % 97) as f32;
+        }
+        ds.push(&row, (i as u32 * 13) % classes).unwrap();
+    }
+    let mut model = AirchitectModel::new(
+        CaseStudy::ArrayDataflow,
+        &AirchitectConfig {
+            num_classes: classes,
+            train: TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    model.train(&ds).unwrap();
+    let base = dir.join("base.airm");
+    persist::save(&model, &base).unwrap();
+
+    // A misprediction log with two current-version disagreements and one
+    // stale record the replay must skip.
+    let mut log = MispredLog::create(
+        &log_dir,
+        "shadow-test",
+        airchitect_telemetry::rotate::RotateConfig::default(),
+    )
+    .unwrap();
+    for (features, version) in [
+        (vec![1.0f32, 2.0, 3.0, 4.0], 2u64),
+        (vec![5.0f32, 6.0, 7.0, 8.0], 2),
+        (vec![9.0f32, 1.0, 1.0, 1.0], 1), // stale: skipped
+    ] {
+        log.append(&MispredRecord {
+            case: CaseStudy::ArrayDataflow,
+            features,
+            model_label: 3,
+            oracle_label: 7,
+            model_version: version,
+            oracle_us: 40,
+        })
+        .unwrap();
+    }
+    log.close().unwrap();
+
+    let base_s = base.to_str().unwrap();
+    let log_s = log_dir.to_str().unwrap();
+    let tuned = dir.join("tuned.airm");
+    let tuned_s = tuned.to_str().unwrap();
+
+    // Contradictory or malformed flags are usage errors.
+    for bad in [
+        vec!["train", "--from-log", log_s], // no --model / --out
+        vec!["train", "--from-log", log_s, "--model", base_s, "--out", tuned_s, "--quick"],
+        vec!["train", "--from-log", log_s, "--model", base_s, "--out", tuned_s, "--data", "x"],
+        vec!["train", "--from-log", log_s, "--model", base_s, "--out", tuned_s, "--lr", "-1"],
+    ] {
+        let err = run(&argv(&bad)).expect_err(&format!("{bad:?} must be rejected"));
+        assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
+    }
+
+    // The happy path writes a loadable fine-tuned artifact.
+    assert!(run(&argv(&[
+        "train", "--from-log", log_s, "--model", base_s, "--out", tuned_s, "--epochs", "2",
+        "--lr", "1e-3",
+    ]))
+    .is_ok());
+    let tuned_model = persist::load(&tuned).expect("fine-tuned artifact loads");
+    assert_eq!(tuned_model.config().num_classes, classes);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The imports the from-log test needs, grouped so the test body reads
+/// like the others.
+mod airchitect_repro_imports {
+    pub use airchitect::model::{AirchitectConfig, AirchitectModel, CaseStudy};
+    pub use airchitect::persist;
+    pub use airchitect_data::Dataset;
+    pub use airchitect_nn::train::TrainConfig;
+}

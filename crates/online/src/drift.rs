@@ -1,0 +1,196 @@
+//! Rolling drift statistics over shadow-scored queries, and the policy
+//! deciding when accumulated disagreement justifies a fine-tune cycle.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use airchitect_telemetry::metrics::{
+    SERVE_SHADOW_AGREEMENT, SERVE_SHADOW_ORACLE_MEAN_US,
+};
+
+/// Snapshot of the drift monitor's rolling window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftStats {
+    /// Observations currently in the window.
+    pub window_samples: u64,
+    /// Disagreements currently in the window.
+    pub window_disagreements: u64,
+    /// Top-1 model-vs-oracle agreement over the window (1.0 when empty).
+    pub agreement: f64,
+    /// Mean oracle search latency over the window, microseconds.
+    pub oracle_mean_us: f64,
+    /// Observations since construction (never reset).
+    pub total_samples: u64,
+    /// Disagreements since construction (never reset).
+    pub total_disagreements: u64,
+}
+
+struct MonitorInner {
+    window: VecDeque<(bool, u64)>,
+    capacity: usize,
+    total_samples: u64,
+    total_disagreements: u64,
+}
+
+impl MonitorInner {
+    fn stats(&self) -> DriftStats {
+        let n = self.window.len() as u64;
+        let disagreements =
+            self.window.iter().filter(|(agree, _)| !agree).count() as u64;
+        let agreement = if n == 0 {
+            1.0
+        } else {
+            (n - disagreements) as f64 / n as f64
+        };
+        let oracle_mean_us = if n == 0 {
+            0.0
+        } else {
+            self.window.iter().map(|(_, us)| *us).sum::<u64>() as f64 / n as f64
+        };
+        DriftStats {
+            window_samples: n,
+            window_disagreements: disagreements,
+            agreement,
+            oracle_mean_us,
+            total_samples: self.total_samples,
+            total_disagreements: self.total_disagreements,
+        }
+    }
+}
+
+/// Rolling window over shadow observations, publishing
+/// `serve.shadow.agreement` and `serve.shadow.oracle_mean_us` gauges on
+/// every observation.
+pub struct DriftMonitor {
+    inner: Mutex<MonitorInner>,
+}
+
+impl DriftMonitor {
+    /// A monitor keeping the most recent `window` observations (min 1).
+    pub fn new(window: usize) -> DriftMonitor {
+        DriftMonitor {
+            inner: Mutex::new(MonitorInner {
+                window: VecDeque::new(),
+                capacity: window.max(1),
+                total_samples: 0,
+                total_disagreements: 0,
+            }),
+        }
+    }
+
+    /// Record one shadow-scored query and return the updated stats.
+    pub fn observe(&self, agree: bool, oracle_us: u64) -> DriftStats {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.window.len() == inner.capacity {
+            inner.window.pop_front();
+        }
+        inner.window.push_back((agree, oracle_us));
+        inner.total_samples += 1;
+        if !agree {
+            inner.total_disagreements += 1;
+        }
+        let stats = inner.stats();
+        SERVE_SHADOW_AGREEMENT.set(stats.agreement);
+        SERVE_SHADOW_ORACLE_MEAN_US.set(stats.oracle_mean_us);
+        stats
+    }
+
+    /// Current stats without recording anything.
+    pub fn stats(&self) -> DriftStats {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats()
+    }
+
+    /// Clear the rolling window (totals are kept). Called after a
+    /// fine-tune + reload cycle so the next trigger measures the new model.
+    pub fn reset_window(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.window.clear();
+    }
+}
+
+/// When to fire a fine-tune cycle: the window must be warm, hold enough
+/// disagreements to learn from, and show agreement at or below the
+/// trigger threshold. All three conditions must hold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlinePolicy {
+    /// Minimum window observations before the policy may fire.
+    pub min_samples: u64,
+    /// Minimum disagreements in the window (a fine-tune needs rows).
+    pub min_disagreements: u64,
+    /// Fire only while rolling agreement is at or below this.
+    pub max_agreement: f64,
+}
+
+impl Default for OnlinePolicy {
+    fn default() -> Self {
+        OnlinePolicy {
+            min_samples: 32,
+            min_disagreements: 8,
+            max_agreement: 0.95,
+        }
+    }
+}
+
+impl OnlinePolicy {
+    /// Should a fine-tune cycle fire on these stats?
+    pub fn should_fine_tune(&self, stats: &DriftStats) -> bool {
+        stats.window_samples >= self.min_samples
+            && stats.window_disagreements >= self.min_disagreements
+            && stats.agreement <= self.max_agreement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_window_tracks_agreement_and_latency() {
+        let m = DriftMonitor::new(4);
+        assert_eq!(m.stats().agreement, 1.0);
+        m.observe(true, 100);
+        m.observe(false, 200);
+        let s = m.observe(false, 300);
+        assert_eq!(s.window_samples, 3);
+        assert_eq!(s.window_disagreements, 2);
+        assert!((s.agreement - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.oracle_mean_us - 200.0).abs() < 1e-9);
+        // Window evicts oldest: four more agreements push the misses out.
+        for _ in 0..4 {
+            m.observe(true, 100);
+        }
+        let s = m.stats();
+        assert_eq!(s.window_samples, 4);
+        assert_eq!(s.agreement, 1.0);
+        assert_eq!(s.total_samples, 7);
+        assert_eq!(s.total_disagreements, 2);
+        m.reset_window();
+        let s = m.stats();
+        assert_eq!(s.window_samples, 0);
+        assert_eq!(s.total_samples, 7);
+    }
+
+    #[test]
+    fn policy_requires_all_three_conditions() {
+        let policy = OnlinePolicy {
+            min_samples: 4,
+            min_disagreements: 2,
+            max_agreement: 0.75,
+        };
+        let m = DriftMonitor::new(16);
+        // Warm but fully agreeing: no trigger.
+        for _ in 0..4 {
+            m.observe(true, 10);
+        }
+        assert!(!policy.should_fine_tune(&m.stats()));
+        // One disagreement: still under min_disagreements.
+        m.observe(false, 10);
+        assert!(!policy.should_fine_tune(&m.stats()));
+        // Second disagreement drops agreement to 4/6 ≤ 0.75: fires.
+        m.observe(false, 10);
+        assert!(policy.should_fine_tune(&m.stats()));
+    }
+}

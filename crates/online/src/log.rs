@@ -1,0 +1,247 @@
+//! The rotating misprediction log: an append-only directory of JSONL
+//! segments, each a self-contained, schema-valid telemetry file.
+//!
+//! Writers ([`MispredLog`]) are single-owner: in cluster mode every replica
+//! opens its own log with a pid-scoped prefix, so a shared directory never
+//! sees interleaved writes. The reader ([`read_dir`]) is tolerant by
+//! design — it scans every `*.jsonl` file, keeps whatever complete shadow
+//! records it finds, and counts (rather than fails on) torn trailing lines
+//! and foreign content, because logs are routinely read while a server is
+//! still appending or after one was killed mid-write.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use airchitect_telemetry::json::{self, Value};
+use airchitect_telemetry::rotate::{read_lines_tolerant, RotateConfig, RotatingWriter};
+use airchitect_telemetry::{SCHEMA_NAME, SCHEMA_VERSION};
+
+use crate::record::MispredRecord;
+
+/// Command string stamped into each segment's meta line.
+const LOG_COMMAND: &str = "serve.shadow";
+
+/// Append-side handle over a rotating sequence of misprediction segments.
+///
+/// Every segment is book-ended with the telemetry sink's meta and end
+/// lines, so the strict `report` validator accepts each file on its own.
+/// Records are flushed per append: a crash loses at most the line being
+/// written (which the tolerant reader then reports as torn).
+#[derive(Debug)]
+pub struct MispredLog {
+    w: RotatingWriter,
+    /// Shadow records written to the *active* segment.
+    events: u64,
+}
+
+impl MispredLog {
+    /// Open segment `<prefix>.0.jsonl` under `dir` and write its meta line.
+    pub fn create(dir: &Path, prefix: &str, config: RotateConfig) -> io::Result<MispredLog> {
+        let w = RotatingWriter::create(dir, prefix, config)?;
+        let mut log = MispredLog { w, events: 0 };
+        log.write_meta()?;
+        Ok(log)
+    }
+
+    fn write_meta(&mut self) -> io::Result<()> {
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "{{\"v\":{SCHEMA_VERSION},\"type\":\"meta\",\"schema\":\"{SCHEMA_NAME}\",\
+             \"schema_version\":{SCHEMA_VERSION},\"command\":"
+        );
+        json::write_escaped(&mut line, LOG_COMMAND);
+        line.push('}');
+        self.w.write_line(&line)
+    }
+
+    fn end_line(&self) -> String {
+        format!(
+            "{{\"v\":{SCHEMA_VERSION},\"type\":\"end\",\"events\":{}}}",
+            self.events
+        )
+    }
+
+    /// Append one record, rotating first (footer on the old segment, header
+    /// on the new) when the next line would cross a rotation boundary.
+    pub fn append(&mut self, rec: &MispredRecord) -> io::Result<()> {
+        let line = rec.render();
+        if self.w.should_rotate(line.len() + 1) {
+            let end = self.end_line();
+            self.w.write_line(&end)?;
+            self.w.rotate()?;
+            self.events = 0;
+            self.write_meta()?;
+        }
+        self.w.write_line(&line)?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Path of the active segment.
+    pub fn path(&self) -> &Path {
+        self.w.path()
+    }
+
+    /// Write the active segment's end line and close the log.
+    pub fn close(mut self) -> io::Result<()> {
+        let end = self.end_line();
+        self.w.write_line(&end)
+    }
+}
+
+/// Result of scanning a misprediction-log directory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogScan {
+    /// Every complete shadow record found, in (file name, line) order.
+    pub records: Vec<MispredRecord>,
+    /// `*.jsonl` files scanned.
+    pub segments: usize,
+    /// Segments whose final line was torn (writer killed mid-append).
+    pub torn_segments: u64,
+    /// Complete lines that were not valid shadow records and not
+    /// recognised meta/end book-ends.
+    pub skipped_lines: u64,
+}
+
+/// Scan `dir` for misprediction records across every `*.jsonl` segment.
+///
+/// Files are visited in lexicographic name order so replay is
+/// deterministic. Meta and end lines are skipped silently; anything else
+/// that fails to parse as a shadow record is counted in
+/// [`LogScan::skipped_lines`].
+pub fn read_dir(dir: &Path) -> io::Result<LogScan> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|x| x == "jsonl").unwrap_or(false))
+        .collect();
+    files.sort();
+
+    let mut scan = LogScan::default();
+    for path in files {
+        scan.segments += 1;
+        let (lines, torn) = read_lines_tolerant(&path)?;
+        if torn {
+            scan.torn_segments += 1;
+        }
+        for line in lines {
+            let Ok(v) = json::parse(&line) else {
+                scan.skipped_lines += 1;
+                continue;
+            };
+            match v.get("type").and_then(Value::as_str) {
+                Some("shadow") => match MispredRecord::from_value(&v) {
+                    Ok(rec) => scan.records.push(rec),
+                    Err(_) => scan.skipped_lines += 1,
+                },
+                Some("meta") | Some("end") => {}
+                _ => scan.skipped_lines += 1,
+            }
+        }
+    }
+    Ok(scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airchitect::CaseStudy;
+    use airchitect_telemetry::report;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "airchitect-mispred-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(i: u32) -> MispredRecord {
+        MispredRecord {
+            case: CaseStudy::ArrayDataflow,
+            features: vec![15.0, i as f32, 64.0, 3.0],
+            model_label: i,
+            oracle_label: i + 1,
+            model_version: 1,
+            oracle_us: 100 + u64::from(i),
+        }
+    }
+
+    #[test]
+    fn segments_are_valid_telemetry_files() {
+        let dir = temp_dir("valid");
+        // Small byte budget so a handful of records forces rotation.
+        let config = RotateConfig {
+            max_bytes: 400,
+            max_age: None,
+        };
+        let mut log = MispredLog::create(&dir, "shadow-1", config).unwrap();
+        for i in 0..10 {
+            log.append(&rec(i)).unwrap();
+        }
+        log.close().unwrap();
+
+        let segs =
+            airchitect_telemetry::rotate::segments(&dir, "shadow-1").unwrap();
+        assert!(segs.len() >= 2, "expected rotation, got {} segment(s)", segs.len());
+        for seg in &segs {
+            let text = fs::read_to_string(seg).unwrap();
+            report::validate(&text).unwrap_or_else(|e| {
+                panic!("segment {} failed validation: {e}", seg.display())
+            });
+        }
+
+        let scan = read_dir(&dir).unwrap();
+        assert_eq!(scan.records.len(), 10);
+        assert_eq!(scan.torn_segments, 0);
+        assert_eq!(scan.skipped_lines, 0);
+        let labels: Vec<u32> = scan.records.iter().map(|r| r.model_label).collect();
+        assert_eq!(labels, (0..10).collect::<Vec<_>>());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reader_tolerates_torn_and_foreign_lines() {
+        let dir = temp_dir("torn");
+        let mut log =
+            MispredLog::create(&dir, "shadow-1", RotateConfig::default()).unwrap();
+        log.append(&rec(0)).unwrap();
+        log.append(&rec(1)).unwrap();
+        // Simulate a writer killed mid-append: no end line, torn last line.
+        let path = log.path().to_path_buf();
+        drop(log);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"v\":1,\"type\":\"shadow\",\"rv\":1,\"case\":\"arr");
+        fs::write(&path, text).unwrap();
+        // A foreign jsonl file with junk content.
+        fs::write(dir.join("other.jsonl"), "junk\n{\"v\":1,\"type\":\"x\"}\n").unwrap();
+
+        let scan = read_dir(&dir).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.segments, 2);
+        assert_eq!(scan.torn_segments, 1);
+        assert_eq!(scan.skipped_lines, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn separate_prefixes_share_a_directory() {
+        let dir = temp_dir("shared");
+        let mut a =
+            MispredLog::create(&dir, "shadow-100", RotateConfig::default()).unwrap();
+        let mut b =
+            MispredLog::create(&dir, "shadow-200", RotateConfig::default()).unwrap();
+        a.append(&rec(0)).unwrap();
+        b.append(&rec(1)).unwrap();
+        a.close().unwrap();
+        b.close().unwrap();
+        let scan = read_dir(&dir).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.segments, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

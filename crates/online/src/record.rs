@@ -1,0 +1,198 @@
+//! The versioned misprediction record written by the shadow-oracle pool.
+//!
+//! One record per sampled query: the features the model saw, the label it
+//! answered, the label the exhaustive DSE oracle computed, the model
+//! generation the answer was scored against, and how long the oracle
+//! search took. The wire format is one JSONL line in the telemetry sink
+//! schema (`"type":"shadow"`), validated by
+//! [`airchitect_telemetry::report::parse_report`].
+
+use std::fmt::Write as _;
+
+use airchitect::CaseStudy;
+use airchitect_telemetry::json::{self, Value};
+use airchitect_telemetry::report::SHADOW_RECORD_VERSION;
+use airchitect_telemetry::SCHEMA_VERSION;
+
+/// Wire name of a case study, matching the serve route segment.
+pub fn case_name(case: CaseStudy) -> &'static str {
+    match case {
+        CaseStudy::ArrayDataflow => "array",
+        CaseStudy::BufferSizing => "buffers",
+        CaseStudy::MultiArrayScheduling => "schedule",
+    }
+}
+
+/// Inverse of [`case_name`].
+pub fn case_from_name(name: &str) -> Option<CaseStudy> {
+    match name {
+        "array" => Some(CaseStudy::ArrayDataflow),
+        "buffers" => Some(CaseStudy::BufferSizing),
+        "schedule" => Some(CaseStudy::MultiArrayScheduling),
+        _ => None,
+    }
+}
+
+/// One shadow-scored query: model answer vs oracle answer, stamped with the
+/// model generation it was scored against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MispredRecord {
+    /// Which case study the query targeted.
+    pub case: CaseStudy,
+    /// The encoded feature row the model saw (`input_dim()` entries).
+    pub features: Vec<f32>,
+    /// The served model's top-1 label.
+    pub model_label: u32,
+    /// The exhaustive DSE oracle's label.
+    pub oracle_label: u32,
+    /// Hub generation of the model that produced `model_label`.
+    pub model_version: u64,
+    /// Wall-clock microseconds the oracle search took.
+    pub oracle_us: u64,
+}
+
+impl MispredRecord {
+    /// Did the model's top-1 disagree with the oracle?
+    pub fn is_disagreement(&self) -> bool {
+        self.model_label != self.oracle_label
+    }
+
+    /// Render as one JSONL line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(128 + 8 * self.features.len());
+        let _ = write!(
+            out,
+            "{{\"v\":{SCHEMA_VERSION},\"type\":\"shadow\",\"rv\":{SHADOW_RECORD_VERSION},\
+             \"case\":\"{}\",\"model_version\":{},\"model_label\":{},\
+             \"oracle_label\":{},\"oracle_us\":{},\"features\":[",
+            case_name(self.case),
+            self.model_version,
+            self.model_label,
+            self.oracle_label,
+            self.oracle_us,
+        );
+        for (i, f) in self.features.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_f64(&mut out, f64::from(*f));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse one JSONL line previously produced by [`MispredRecord::render`].
+    pub fn parse(line: &str) -> Result<MispredRecord, String> {
+        let v = json::parse(line)?;
+        Self::from_value(&v)
+    }
+
+    /// Build a record from an already-parsed JSON value.
+    pub fn from_value(v: &Value) -> Result<MispredRecord, String> {
+        fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer \"{key}\""))
+        }
+        fn u32_field(v: &Value, key: &str) -> Result<u32, String> {
+            u32::try_from(u64_field(v, key)?)
+                .map_err(|_| format!("\"{key}\" out of range"))
+        }
+        if v.get("type").and_then(Value::as_str) != Some("shadow") {
+            return Err("not a shadow record".to_string());
+        }
+        if u64_field(v, "rv")? != SHADOW_RECORD_VERSION {
+            return Err("unsupported shadow record version".to_string());
+        }
+        let case_str = v
+            .get("case")
+            .and_then(Value::as_str)
+            .ok_or("missing \"case\"")?;
+        let case =
+            case_from_name(case_str).ok_or_else(|| format!("unknown case \"{case_str}\""))?;
+        let features = v
+            .get("features")
+            .and_then(Value::as_arr)
+            .ok_or("missing \"features\"")?
+            .iter()
+            .map(|f| f.as_f64().map(|x| x as f32))
+            .collect::<Option<Vec<f32>>>()
+            .ok_or("non-numeric feature")?;
+        if features.is_empty() {
+            return Err("empty feature row".to_string());
+        }
+        Ok(MispredRecord {
+            case,
+            features,
+            model_label: u32_field(v, "model_label")?,
+            oracle_label: u32_field(v, "oracle_label")?,
+            model_version: u64_field(v, "model_version")?,
+            oracle_us: u64_field(v, "oracle_us")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airchitect_telemetry::report;
+
+    fn sample() -> MispredRecord {
+        MispredRecord {
+            case: CaseStudy::ArrayDataflow,
+            features: vec![15.0, 64.0, 64.0, 3.0],
+            model_label: 17,
+            oracle_label: 4,
+            model_version: 2,
+            oracle_us: 135,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_jsonl() {
+        for case in CaseStudy::ALL {
+            let rec = MispredRecord {
+                case,
+                features: (0..case.input_dim()).map(|i| i as f32 * 1.5).collect(),
+                ..sample()
+            };
+            let line = rec.render();
+            assert_eq!(MispredRecord::parse(&line).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn rendered_line_passes_report_validator() {
+        let text = format!(
+            concat!(
+                "{{\"v\":1,\"type\":\"meta\",\"schema\":\"airchitect.telemetry\",",
+                "\"schema_version\":1,\"command\":\"serve.shadow\"}}\n",
+                "{}\n",
+                "{{\"v\":1,\"type\":\"end\",\"events\":1}}\n",
+            ),
+            sample().render()
+        );
+        let r = report::parse_report(&text).unwrap();
+        assert_eq!(r.shadow_records, 1);
+        assert_eq!(r.shadow_disagreements, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(MispredRecord::parse("not json").is_err());
+        let line = sample().render();
+        assert!(MispredRecord::parse(&line.replace("\"rv\":1", "\"rv\":2")).is_err());
+        assert!(
+            MispredRecord::parse(&line.replace("\"case\":\"array\"", "\"case\":\"x\""))
+                .is_err()
+        );
+        assert!(MispredRecord::parse(
+            &line.replace("\"type\":\"shadow\"", "\"type\":\"event\"")
+        )
+        .is_err());
+        assert!(MispredRecord::parse(
+            &line.replace("\"model_label\":17", "\"model_label\":4294967296")
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! Replay the misprediction log into a fine-tune pass over the current
+//! checkpoint.
+//!
+//! Fine-tuning *continues* training the existing network — it never
+//! rebuilds from scratch — with a reduced learning rate and few epochs, so
+//! a drifted model moves toward the oracle without forgetting the offline
+//! corpus wholesale. The usual divergence guards
+//! ([`airchitect_nn::train::TrainError::Diverged`]) apply unchanged.
+
+use airchitect::model::TrainReport;
+use airchitect::{AirchitectModel, CaseStudy};
+use airchitect_data::Dataset;
+use airchitect_nn::optim::Optimizer;
+use airchitect_nn::train::{TrainConfig, TrainError};
+
+use crate::record::MispredRecord;
+
+/// Knobs for one fine-tune pass. Defaults are deliberately gentle: a tenth
+/// of the offline learning rate and a handful of epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FineTuneOptions {
+    /// Passes over the disagreement set.
+    pub epochs: usize,
+    /// Reduced Adam learning rate.
+    pub lr: f32,
+    /// Minibatch size (clamped to the disagreement-set size by the
+    /// training loop).
+    pub batch_size: usize,
+    /// Kernel threads (deterministic at any value).
+    pub threads: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for FineTuneOptions {
+    fn default() -> Self {
+        FineTuneOptions {
+            epochs: 4,
+            lr: 1e-4,
+            batch_size: 64,
+            threads: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// What a fine-tune pass did with the replayed records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FineTuneOutcome {
+    /// Records replayed (all cases, all versions).
+    pub records_seen: u64,
+    /// Records for this model's case study whose model answer disagreed
+    /// with the oracle.
+    pub disagreements: u64,
+    /// Deduplicated disagreement rows actually trained on.
+    pub used_rows: u64,
+    /// The model version the pass trained against (the newest version
+    /// present in the log for this case).
+    pub target_version: u64,
+    /// Records skipped because they were scored against an older model
+    /// version than `target_version`.
+    pub skipped_cross_version: u64,
+    /// Records skipped because their case study didn't match the model.
+    pub skipped_other_case: u64,
+    /// Records skipped because the oracle label or feature width fell
+    /// outside the model's space (a log written against a different space).
+    pub skipped_out_of_space: u64,
+    /// Training report, or `None` when no usable disagreements were found
+    /// (the model is returned untouched in that case).
+    pub report: Option<TrainReport>,
+}
+
+/// Fine-tune errors: only training itself can fail; an empty or
+/// cross-version log yields an outcome with `report: None` instead.
+#[derive(Debug)]
+pub enum FineTuneError {
+    /// The underlying incremental training pass failed (including the
+    /// divergence guard).
+    Train(TrainError),
+}
+
+impl std::fmt::Display for FineTuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FineTuneError::Train(e) => write!(f, "fine-tune training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FineTuneError {}
+
+/// Replay `records` and fine-tune `model` on the disagreements scored
+/// against the newest model version present for its case study.
+///
+/// Cross-version records are skipped (a record scored against generation N
+/// says nothing reliable about generation N+1's behaviour), as are records
+/// for other case studies and records whose oracle label or feature width
+/// doesn't fit the model's space. Duplicate feature rows are trained once.
+pub fn fine_tune(
+    model: &mut AirchitectModel,
+    records: &[MispredRecord],
+    opts: &FineTuneOptions,
+) -> Result<FineTuneOutcome, FineTuneError> {
+    let case: CaseStudy = model.case_study();
+    let dim = case.input_dim();
+    let classes = model.config().num_classes;
+
+    let mut outcome = FineTuneOutcome {
+        records_seen: records.len() as u64,
+        disagreements: 0,
+        used_rows: 0,
+        target_version: 0,
+        skipped_cross_version: 0,
+        skipped_other_case: 0,
+        skipped_out_of_space: 0,
+        report: None,
+    };
+
+    outcome.target_version = records
+        .iter()
+        .filter(|r| r.case == case)
+        .map(|r| r.model_version)
+        .max()
+        .unwrap_or(0);
+
+    let mut ds = Dataset::new(dim, classes).expect("model dims are valid");
+    let mut seen_rows: Vec<(Vec<u32>, u32)> = Vec::new();
+    for rec in records {
+        if rec.case != case {
+            outcome.skipped_other_case += 1;
+            continue;
+        }
+        if rec.model_version != outcome.target_version {
+            outcome.skipped_cross_version += 1;
+            continue;
+        }
+        if rec.features.len() != dim || rec.oracle_label >= classes {
+            outcome.skipped_out_of_space += 1;
+            continue;
+        }
+        if !rec.is_disagreement() {
+            continue;
+        }
+        outcome.disagreements += 1;
+        let bits: Vec<u32> = rec.features.iter().map(|f| f.to_bits()).collect();
+        let key = (bits, rec.oracle_label);
+        if seen_rows.contains(&key) {
+            continue;
+        }
+        ds.push(&rec.features, rec.oracle_label)
+            .expect("row checked against model dims");
+        seen_rows.push(key);
+    }
+    outcome.used_rows = ds.len() as u64;
+
+    if ds.is_empty() {
+        return Ok(outcome);
+    }
+
+    model.set_train_config(TrainConfig {
+        epochs: opts.epochs,
+        batch_size: opts.batch_size.min(ds.len()).max(1),
+        optimizer: Optimizer::adam(opts.lr),
+        seed: opts.seed,
+        lr_decay: 1.0,
+        threads: opts.threads.max(1),
+    });
+    let report = model.train(&ds).map_err(FineTuneError::Train)?;
+    outcome.report = Some(report);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airchitect::AirchitectConfig;
+    use airchitect_dse::case1::Case1Problem;
+    use airchitect_dse::space::Case1Space;
+    use airchitect_workload::GemmWorkload;
+
+    /// A tiny trained CS1 model over the 2^5-budget space (30 classes),
+    /// mirroring the serve crate's reload test helper.
+    fn tiny_model() -> (AirchitectModel, Case1Problem) {
+        let space = Case1Space::new(1 << 5);
+        let problem = Case1Problem::new(1 << 5);
+        let mut model = AirchitectModel::new(
+            CaseStudy::ArrayDataflow,
+            &AirchitectConfig {
+                num_classes: space.len() as u32,
+                train: TrainConfig {
+                    epochs: 2,
+                    batch_size: 8,
+                    ..TrainConfig::default()
+                },
+                ..AirchitectConfig::default()
+            },
+        );
+        let mut ds = Dataset::new(4, space.len() as u32).unwrap();
+        for m in [8u64, 16, 32, 64] {
+            let wl = GemmWorkload::new(m, 16, 32).unwrap();
+            let label = problem.search(&wl, 1 << 5).label;
+            ds.push(&Case1Problem::features(&wl, 1 << 5), label).unwrap();
+        }
+        model.train(&ds).unwrap();
+        (model, problem)
+    }
+
+    fn rec(
+        problem: &Case1Problem,
+        m: u64,
+        model_label: u32,
+        version: u64,
+    ) -> MispredRecord {
+        let wl = GemmWorkload::new(m, 16, 32).unwrap();
+        let oracle = problem.search(&wl, 1 << 5).label;
+        MispredRecord {
+            case: CaseStudy::ArrayDataflow,
+            features: Case1Problem::features(&wl, 1 << 5).to_vec(),
+            model_label,
+            oracle_label: oracle,
+            model_version: version,
+            oracle_us: 50,
+        }
+    }
+
+    #[test]
+    fn trains_on_deduped_disagreements_and_skips_cross_version() {
+        let (mut model, problem) = tiny_model();
+        let oracle_128 = {
+            let wl = GemmWorkload::new(128, 16, 32).unwrap();
+            problem.search(&wl, 1 << 5).label
+        };
+        let records = vec![
+            // Current-version disagreement (model answered label+1).
+            rec(&problem, 128, oracle_128 + 1, 2),
+            // Duplicate of the same row: deduped.
+            rec(&problem, 128, oracle_128 + 1, 2),
+            // Current-version agreement: filtered out.
+            rec(&problem, 8, rec(&problem, 8, 0, 2).oracle_label, 2),
+            // Stale version: skipped.
+            rec(&problem, 64, 0, 1),
+            // Other case study: skipped.
+            MispredRecord {
+                case: CaseStudy::BufferSizing,
+                features: vec![0.0; 8],
+                model_label: 0,
+                oracle_label: 1,
+                model_version: 2,
+                oracle_us: 10,
+            },
+            // Oracle label outside this model's space: skipped.
+            MispredRecord {
+                oracle_label: 1_000_000,
+                ..rec(&problem, 32, 0, 2)
+            },
+        ];
+        let outcome = fine_tune(&mut model, &records, &FineTuneOptions::default())
+            .unwrap();
+        assert_eq!(outcome.records_seen, 6);
+        assert_eq!(outcome.target_version, 2);
+        assert_eq!(outcome.skipped_cross_version, 1);
+        assert_eq!(outcome.skipped_other_case, 1);
+        assert_eq!(outcome.skipped_out_of_space, 1);
+        assert_eq!(outcome.disagreements, 2);
+        assert_eq!(outcome.used_rows, 1);
+        assert!(outcome.report.is_some());
+    }
+
+    #[test]
+    fn empty_or_agreeing_log_leaves_model_untouched() {
+        let (mut model, problem) = tiny_model();
+        let before: Vec<u32> = (0..4)
+            .map(|i| {
+                let wl = GemmWorkload::new(8 << i, 16, 32).unwrap();
+                model.predict_row(&Case1Problem::features(&wl, 1 << 5))
+            })
+            .collect();
+        let outcome =
+            fine_tune(&mut model, &[], &FineTuneOptions::default()).unwrap();
+        assert!(outcome.report.is_none());
+        assert_eq!(outcome.used_rows, 0);
+        // All-agreement log: also a no-op.
+        let agree = rec(&problem, 8, rec(&problem, 8, 0, 1).oracle_label, 1);
+        let outcome =
+            fine_tune(&mut model, &[agree], &FineTuneOptions::default()).unwrap();
+        assert!(outcome.report.is_none());
+        let after: Vec<u32> = (0..4)
+            .map(|i| {
+                let wl = GemmWorkload::new(8 << i, 16, 32).unwrap();
+                model.predict_row(&Case1Problem::features(&wl, 1 << 5))
+            })
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn fine_tune_moves_model_toward_oracle() {
+        let (mut model, problem) = tiny_model();
+        // Score a query the tiny model likely gets wrong, then fine-tune on
+        // the disagreement until the model answers the oracle label.
+        let wl = GemmWorkload::new(128, 24, 8).unwrap();
+        let features = Case1Problem::features(&wl, 1 << 5);
+        let oracle = problem.search(&wl, 1 << 5).label;
+        let opts = FineTuneOptions {
+            epochs: 8,
+            lr: 5e-3,
+            ..FineTuneOptions::default()
+        };
+        for _ in 0..20 {
+            let model_label = model.predict_row(&features);
+            if model_label == oracle {
+                break;
+            }
+            let recd = MispredRecord {
+                case: CaseStudy::ArrayDataflow,
+                features: features.to_vec(),
+                model_label,
+                oracle_label: oracle,
+                model_version: 1,
+                oracle_us: 10,
+            };
+            fine_tune(&mut model, &[recd], &opts).unwrap();
+        }
+        assert_eq!(model.predict_row(&features), oracle);
+    }
+}

@@ -379,6 +379,9 @@ impl Shard {
                         continue;
                     }
                     self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    if inner.nodelay {
+                        let _ = stream.set_nodelay(true);
+                    }
                     self.register(stream);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
@@ -402,7 +405,6 @@ impl Shard {
         if stream.set_nonblocking(true).is_err() {
             return;
         }
-        let _ = stream.set_nodelay(true);
         let (idx, token) = self.conns.claim();
         if self.poller.add(stream.as_raw_fd(), token, Interest::READ).is_err() {
             // Slot stays on the free list; the claim only bumped nothing.

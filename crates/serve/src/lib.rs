@@ -75,6 +75,7 @@ pub mod reactor;
 pub mod reload;
 pub mod ring;
 pub mod router;
+mod shadow;
 pub mod supervisor;
 
 use std::path::PathBuf;
@@ -140,6 +141,24 @@ pub struct ServeConfig {
     /// on epoll). Defaults to the `AIRCHITECT_SERVE_THREADED` environment
     /// variable so one test binary can exercise both listeners.
     pub threaded: bool,
+    /// Opt-in `TCP_NODELAY` on accepted sockets (both listener modes):
+    /// trades Nagle batching for first-byte latency on small responses.
+    /// Defaults to the `AIRCHITECT_SERVE_NODELAY` environment variable.
+    pub nodelay: bool,
+    /// Shadow-oracle sampling rate in `0.0..=1.0`; zero disables the
+    /// online-learning loop. Sampled requests are re-scored against the
+    /// exact DSE oracle in a background pool and logged to `shadow_dir`.
+    pub shadow_rate: f64,
+    /// Directory for the rotating JSONL misprediction log. Required when
+    /// `shadow_rate > 0`. Cluster replicas may share it (files are
+    /// pid-scoped).
+    pub shadow_dir: Option<PathBuf>,
+    /// Bounded shadow-queue depth; a full queue drops samples (counted in
+    /// `serve.shadow.dropped`) rather than delaying requests.
+    pub shadow_queue_depth: usize,
+    /// Dedicated low-priority shadow worker threads (never borrowed from
+    /// the batch-worker pool).
+    pub shadow_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -160,6 +179,11 @@ impl Default for ServeConfig {
             single_query_bypass: true,
             event_loops: 0,
             threaded: std::env::var_os("AIRCHITECT_SERVE_THREADED").is_some_and(|v| v != "0"),
+            nodelay: std::env::var_os("AIRCHITECT_SERVE_NODELAY").is_some_and(|v| v != "0"),
+            shadow_rate: 0.0,
+            shadow_dir: None,
+            shadow_queue_depth: 64,
+            shadow_threads: 1,
         }
     }
 }

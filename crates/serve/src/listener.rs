@@ -125,6 +125,10 @@ pub(crate) struct Inner {
     pub(crate) write_timeout: Option<Duration>,
     pub(crate) deadline_ms: u64,
     pub(crate) bypass: bool,
+    /// Opt-in `TCP_NODELAY` on accepted sockets (both listener modes).
+    pub(crate) nodelay: bool,
+    /// Shadow-oracle sampling pipeline; `None` when disabled.
+    pub(crate) shadow: Option<Arc<crate::shadow::ShadowState>>,
     /// Evented shards (empty in threaded mode).
     pub(crate) shards: Vec<ShardHandle>,
     /// Live connection threads (zero in evented mode).
@@ -227,6 +231,8 @@ impl Server {
                 write_timeout: secs_opt(config.write_timeout_secs),
                 deadline_ms: config.deadline_ms,
                 bypass: config.single_query_bypass,
+                nodelay: config.nodelay,
+                shadow: crate::shadow::ShadowState::start(config)?,
                 shards: shard_handles,
                 threaded_open: AtomicU64::new(0),
             }),
@@ -260,7 +266,7 @@ impl Server {
             mode,
             ..
         } = self;
-        match mode {
+        let result = match mode {
             Mode::Threaded { listener } => {
                 let connections = ReapedSet::start(REAP_INTERVAL);
                 let result = run_threaded_accept(&listener, &inner, &connections);
@@ -283,7 +289,13 @@ impl Server {
                 }
                 result
             }
+        };
+        // Drain the shadow pool last: in-flight oracle records land in the
+        // log (with their end line) before the process exits.
+        if let Some(shadow) = &inner.shadow {
+            shadow.finish();
         }
+        result
     }
 }
 
@@ -414,7 +426,9 @@ impl Drop for OpenGuard<'_> {
 fn handle_connection(stream: TcpStream, inner: &Inner) {
     inner.threaded_open.fetch_add(1, Ordering::Relaxed);
     let _open = OpenGuard(inner);
-    let _ = stream.set_nodelay(true);
+    if inner.nodelay {
+        let _ = stream.set_nodelay(true);
+    }
     let _ = stream.set_read_timeout(inner.read_timeout);
     let _ = stream.set_write_timeout(inner.write_timeout);
     let local = match stream.local_addr() {
@@ -677,6 +691,15 @@ fn recommend_step(
         Ok(p) => p,
         Err(resp) => return respond(resp),
     };
+
+    // Shadow-oracle sampling, before the cache so hot queries are scored
+    // too. The task snapshots the live model: concurrent reloads can't
+    // change which generation this request is scored against.
+    if let Some(shadow) = &inner.shadow {
+        if let Some(model) = inner.hub.get(case) {
+            shadow.maybe_sample(&parsed.cache_key, &parsed.query, model);
+        }
+    }
 
     // Cache lookup, generation-checked against the live model.
     let live_generation = inner.hub.generation();

@@ -855,6 +855,21 @@ impl Cluster {
         if config.threaded {
             argv.push("--threaded".into());
         }
+        if config.nodelay {
+            argv.push("--nodelay".into());
+        }
+        if config.shadow_rate > 0.0 {
+            argv.push("--shadow-oracle".into());
+            argv.push(config.shadow_rate.to_string());
+            if let Some(dir) = &config.shadow_dir {
+                argv.push("--shadow-log-dir".into());
+                argv.push(dir.display().to_string());
+            }
+            argv.push("--shadow-queue-depth".into());
+            argv.push(config.shadow_queue_depth.to_string());
+            argv.push("--shadow-threads".into());
+            argv.push(config.shadow_threads.to_string());
+        }
         argv
     }
 

@@ -1,0 +1,211 @@
+//! Shadow-oracle sampling: the serve-side half of the online-learning
+//! loop.
+//!
+//! A deterministic hash over the request's canonical cache key admits a
+//! configured fraction of recommendation requests into a bounded queue; a
+//! low-priority pool of dedicated threads (never borrowed from the batch
+//! workers) replays each sampled query against both the served model and
+//! the exact DSE oracle, and appends a versioned record to the rotating
+//! misprediction log.
+//!
+//! Two properties matter for correctness under hot-reload:
+//!
+//! * The sampled task carries the `Arc<LoadedModel>` snapshot that was
+//!   live at *admission*. The oracle may run seconds later, after any
+//!   number of reloads, but the record is scored against — and stamped
+//!   with the generation of — exactly the model the request saw.
+//! * Pushes never block the request path. A full queue drops the sample
+//!   and bumps `serve.shadow.dropped`; the serving latency budget is
+//!   untouched by oracle backpressure.
+
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use airchitect_dse::case1::Case1Problem;
+use airchitect_dse::case3::Case3Problem;
+use airchitect_online::drift::DriftMonitor;
+use airchitect_online::log::MispredLog;
+use airchitect_online::record::MispredRecord;
+use airchitect_online::sampler::{self, spawn_pool, ShadowQueue};
+use airchitect_telemetry::metrics;
+use airchitect_telemetry::rotate::RotateConfig;
+
+use crate::batch::RecQuery;
+use crate::reload::{CaseProblem, LoadedModel};
+use crate::{ServeConfig, ServeError};
+
+/// Segment size of the misprediction log. Small enough that a long soak
+/// rotates several times; large enough that rotation overhead is noise.
+const SHADOW_LOG_MAX_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Observations kept by the rolling drift window.
+const DRIFT_WINDOW: usize = 256;
+
+/// One sampled request awaiting oracle scoring. The model snapshot is the
+/// one that was live when the request was admitted.
+pub(crate) struct ShadowTask {
+    query: RecQuery,
+    model: Arc<LoadedModel>,
+}
+
+/// Serve-side shadow machinery: sampler, queue, worker pool, log, and the
+/// drift monitor feeding the `serve.shadow.*` gauges.
+pub(crate) struct ShadowState {
+    rate_ppm: u32,
+    queue: Arc<ShadowQueue<ShadowTask>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    log: Arc<Mutex<Option<MispredLog>>>,
+}
+
+impl ShadowState {
+    /// Build the shadow pipeline, or `None` when sampling is disabled.
+    pub(crate) fn start(config: &ServeConfig) -> Result<Option<Arc<ShadowState>>, ServeError> {
+        let rate_ppm = sampler::rate_to_ppm(config.shadow_rate);
+        if rate_ppm == 0 {
+            return Ok(None);
+        }
+        if !(0.0..=1.0).contains(&config.shadow_rate) {
+            return Err(ServeError::Config(format!(
+                "shadow-oracle rate must be in 0..=1, got {}",
+                config.shadow_rate
+            )));
+        }
+        let dir = config.shadow_dir.as_ref().ok_or_else(|| {
+            ServeError::Config("shadow-oracle sampling needs a log directory".into())
+        })?;
+        // Pid-scoped prefix: cluster replicas share a directory without
+        // ever sharing a file.
+        let prefix = format!("shadow-{}", std::process::id());
+        let log = MispredLog::create(
+            dir,
+            &prefix,
+            RotateConfig {
+                max_bytes: SHADOW_LOG_MAX_BYTES,
+                max_age: None,
+            },
+        )
+        .map_err(|e| ServeError::Io(format!("open misprediction log: {e}")))?;
+        let log = Arc::new(Mutex::new(Some(log)));
+        let monitor = Arc::new(DriftMonitor::new(DRIFT_WINDOW));
+        let queue = Arc::new(ShadowQueue::new(config.shadow_queue_depth.max(1)));
+
+        let worker_log = Arc::clone(&log);
+        let workers = spawn_pool(
+            Arc::clone(&queue),
+            config.shadow_threads.max(1),
+            move |task: ShadowTask| {
+                // A panicking oracle (or model) costs one record, not a
+                // worker thread — same isolation contract as inference.
+                let record = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    score(&task)
+                }))
+                .ok()
+                .flatten();
+                let Some(record) = record else { return };
+                metrics::SERVE_SHADOW_ORACLE_US.record(record.oracle_us);
+                metrics::SERVE_SHADOW_RECORDS.inc();
+                if record.is_disagreement() {
+                    metrics::SERVE_SHADOW_DISAGREEMENTS.inc();
+                }
+                monitor.observe(!record.is_disagreement(), record.oracle_us);
+                let mut slot = worker_log.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(log) = slot.as_mut() {
+                    let _ = log.append(&record);
+                }
+            },
+        );
+        Ok(Some(Arc::new(ShadowState {
+            rate_ppm,
+            queue,
+            workers: Mutex::new(workers),
+            log,
+        })))
+    }
+
+    /// Deterministically sample one admitted request. Never blocks: a full
+    /// queue drops the sample and counts it.
+    pub(crate) fn maybe_sample(
+        &self,
+        cache_key: &[u8],
+        query: &RecQuery,
+        model: Arc<LoadedModel>,
+    ) {
+        if !sampler::sampled(cache_key, self.rate_ppm) {
+            return;
+        }
+        metrics::SERVE_SHADOW_SAMPLED.inc();
+        let task = ShadowTask {
+            query: query.clone(),
+            model,
+        };
+        if self.queue.push(task).is_err() {
+            metrics::SERVE_SHADOW_DROPPED.inc();
+        }
+    }
+
+    /// Drain the queue, join the pool, and close the log (writing its end
+    /// line). Called once during server shutdown, after the batch workers
+    /// have exited.
+    pub(crate) fn finish(&self) {
+        self.queue.shutdown();
+        let workers = std::mem::take(
+            &mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        for handle in workers {
+            let _ = handle.join();
+        }
+        let log = self
+            .log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(log) = log {
+            let _ = log.close();
+        }
+    }
+}
+
+/// Score one sampled query: the snapshot model's top-1 answer vs the exact
+/// DSE oracle over the snapshot's own (space-matched) problem.
+fn score(task: &ShadowTask) -> Option<MispredRecord> {
+    let model = &task.model;
+    let (features, oracle_label, oracle_us) = match (&task.query, &model.problem) {
+        (
+            RecQuery::Array {
+                workload,
+                mac_budget,
+            },
+            CaseProblem::Array(problem),
+        ) => {
+            let features = Case1Problem::features(workload, *mac_budget).to_vec();
+            let t = Instant::now();
+            let result = problem.search(workload, *mac_budget);
+            (features, result.label, t.elapsed().as_micros() as u64)
+        }
+        (RecQuery::Buffers { query }, CaseProblem::Buffers(problem)) => {
+            let features = query.features().to_vec();
+            let t = Instant::now();
+            let result = problem.search(query);
+            (features, result.label, t.elapsed().as_micros() as u64)
+        }
+        (RecQuery::Schedule { workloads }, CaseProblem::Schedule(problem)) => {
+            let features = Case3Problem::features(workloads).to_vec();
+            let t = Instant::now();
+            let result = problem.search(workloads);
+            (features, result.label, t.elapsed().as_micros() as u64)
+        }
+        // Query/model case mismatch can't happen (the hub keyed the model
+        // by the query's case), but don't let a logic slip panic a worker.
+        _ => return None,
+    };
+    let model_label = model.recommender.model().predict_row(&features);
+    Some(MispredRecord {
+        case: model.case,
+        features,
+        model_label,
+        oracle_label,
+        model_version: model.generation,
+        oracle_us,
+    })
+}

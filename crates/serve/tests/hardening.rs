@@ -347,6 +347,44 @@ fn newline_free_megabyte_head_is_answered_413_mid_flood() {
     shutdown(addr, handle);
 }
 
+/// `--nodelay` is opt-in and mode-independent: with it set, both listener
+/// modes keep answering identically (TCP_NODELAY must never change
+/// observable semantics, only latency).
+#[test]
+fn nodelay_keeps_listener_parity() {
+    if !cfg!(target_os = "linux") {
+        return; // only one listener exists off-Linux
+    }
+    let base = ServeConfig {
+        model_paths: vec![model_file()],
+        read_timeout_secs: 30,
+        cache_capacity: 0,
+        nodelay: true,
+        ..ServeConfig::default()
+    };
+    let threaded = ServeConfig {
+        threaded: true,
+        ..base.clone()
+    };
+    let evented = ServeConfig {
+        threaded: false,
+        ..base
+    };
+    let (addr_a, handle_a) = start(threaded);
+    let (addr_b, handle_b) = start(evented);
+    let mut a = HttpClient::connect(addr_a, TIMEOUT).unwrap();
+    let mut b = HttpClient::connect(addr_b, TIMEOUT).unwrap();
+    for _ in 0..4 {
+        let ra = a.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+        let rb = b.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+        assert_eq!(ra.status, 200, "{}", ra.body);
+        assert_eq!(ra.status, rb.status);
+        assert_eq!(ra.body, rb.body);
+    }
+    shutdown(addr_a, handle_a);
+    shutdown(addr_b, handle_b);
+}
+
 /// Both listeners answer the same requests with the same statuses and
 /// body shapes — the mode flag must not change observable semantics.
 #[test]

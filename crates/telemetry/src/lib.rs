@@ -23,6 +23,7 @@
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod rotate;
 pub mod sink;
 pub mod span;
 

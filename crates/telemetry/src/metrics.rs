@@ -313,6 +313,17 @@ pub static SERVE_BYPASS: Counter = Counter::new("serve.bypass");
 /// the evented listener (one eventfd write per empty→non-empty queue
 /// transition, not one per completion).
 pub static SERVE_WAKEUPS: Counter = Counter::new("serve.wakeups");
+/// Admitted requests sampled into the shadow-oracle queue.
+pub static SERVE_SHADOW_SAMPLED: Counter = Counter::new("serve.shadow.sampled");
+/// Sampled requests dropped because the shadow queue was full (the
+/// backpressure signal for shadow-pool starvation).
+pub static SERVE_SHADOW_DROPPED: Counter = Counter::new("serve.shadow.dropped");
+/// Misprediction-log records written by the shadow pool.
+pub static SERVE_SHADOW_RECORDS: Counter = Counter::new("serve.shadow.records");
+/// Shadow-scored requests where the model's top-1 disagreed with the
+/// exact DSE oracle.
+pub static SERVE_SHADOW_DISAGREEMENTS: Counter =
+    Counter::new("serve.shadow.disagreements");
 
 /// Latest training loss.
 pub static TRAIN_LOSS: Gauge = Gauge::new("train.loss");
@@ -331,6 +342,12 @@ pub static CLUSTER_HEALTHY_REPLICAS: Gauge = Gauge::new("cluster.healthy_replica
 /// Live connection-thread handles held by the threaded listener (updated
 /// by its timer-based reaper; absent in evented mode).
 pub static SERVE_CONN_THREADS: Gauge = Gauge::new("serve.conn_threads");
+/// Rolling top-1 agreement between the served model and the shadow DSE
+/// oracle, in `[0, 1]` over the drift monitor's window.
+pub static SERVE_SHADOW_AGREEMENT: Gauge = Gauge::new("serve.shadow.agreement");
+/// Rolling mean shadow-oracle search latency, microseconds.
+pub static SERVE_SHADOW_ORACLE_MEAN_US: Gauge =
+    Gauge::new("serve.shadow.oracle_mean_us");
 
 /// Per-mini-batch wall time, microseconds.
 pub static TRAIN_BATCH_US: Histogram = Histogram::new("train.batch_us");
@@ -344,8 +361,12 @@ pub static SERVE_REQUEST_US: Histogram = Histogram::new("serve.request_us");
 pub static SERVE_BATCH_JOBS: Histogram = Histogram::new("serve.batch_jobs");
 /// Router-observed backend round-trip latency, microseconds.
 pub static CLUSTER_BACKEND_US: Histogram = Histogram::new("cluster.backend_us");
+/// Exact DSE-oracle search latency per shadow-sampled request,
+/// microseconds (the shadow pool's cost, never on the serving path).
+pub static SERVE_SHADOW_ORACLE_US: Histogram =
+    Histogram::new("serve.shadow.oracle_us");
 
-static COUNTERS: [&Counter; 39] = [
+static COUNTERS: [&Counter; 43] = [
     &SIM_EVALS,
     &DSE_SEARCHES,
     &DSE_SEARCH_POINTS,
@@ -385,8 +406,12 @@ static COUNTERS: [&Counter; 39] = [
     &QUANT_MEMO_MISSES,
     &SERVE_BYPASS,
     &SERVE_WAKEUPS,
+    &SERVE_SHADOW_SAMPLED,
+    &SERVE_SHADOW_DROPPED,
+    &SERVE_SHADOW_RECORDS,
+    &SERVE_SHADOW_DISAGREEMENTS,
 ];
-static GAUGES: [&Gauge; 8] = [
+static GAUGES: [&Gauge; 10] = [
     &TRAIN_LOSS,
     &TRAIN_ACCURACY,
     &SERVE_BREAKER_ARRAY,
@@ -395,14 +420,17 @@ static GAUGES: [&Gauge; 8] = [
     &SERVE_BREAKER_RELOAD,
     &CLUSTER_HEALTHY_REPLICAS,
     &SERVE_CONN_THREADS,
+    &SERVE_SHADOW_AGREEMENT,
+    &SERVE_SHADOW_ORACLE_MEAN_US,
 ];
-static HISTOGRAMS: [&Histogram; 6] = [
+static HISTOGRAMS: [&Histogram; 7] = [
     &TRAIN_BATCH_US,
     &INFER_QUERY_US,
     &CHECKPOINT_SAVE_US,
     &SERVE_REQUEST_US,
     &SERVE_BATCH_JOBS,
     &CLUSTER_BACKEND_US,
+    &SERVE_SHADOW_ORACLE_US,
 ];
 
 /// Every registered counter.

@@ -12,6 +12,14 @@ use crate::metrics::{HistogramSnapshot, HIST_BUCKETS};
 use crate::span::SpanAggregate;
 use crate::{SCHEMA_NAME, SCHEMA_VERSION};
 
+/// Version of the shadow-oracle misprediction record, stamped as `"rv"` on
+/// every `"type":"shadow"` line. The serve-side shadow pool writes records
+/// at this version; the validator below rejects any other.
+pub const SHADOW_RECORD_VERSION: u64 = 1;
+
+/// Case names a shadow record may carry (mirroring the serve routes).
+pub const SHADOW_CASES: [&str; 3] = ["array", "buffers", "schedule"];
+
 /// Fully parsed and aggregated telemetry file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
@@ -27,6 +35,10 @@ pub struct Report {
     pub gauges: Vec<(String, f64)>,
     /// Histogram snapshot lines, in file order.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Shadow-oracle misprediction records seen, and how many of those
+    /// disagreed with the model's answer.
+    pub shadow_records: u64,
+    pub shadow_disagreements: u64,
 }
 
 fn req_u64(v: &Value, key: &str, line_no: usize) -> Result<u64, String> {
@@ -51,6 +63,8 @@ pub fn parse_report(text: &str) -> Result<Report, String> {
     let mut gauges = Vec::new();
     let mut histograms = Vec::new();
     let mut emitted = 0u64;
+    let mut shadow_records = 0u64;
+    let mut shadow_disagreements = 0u64;
     let mut end: Option<u64> = None;
 
     for (i, raw) in text.lines().enumerate() {
@@ -150,6 +164,41 @@ pub fn parse_report(text: &str) -> Result<Report, String> {
                     },
                 ));
             }
+            "shadow" => {
+                if req_u64(&v, "rv", line_no)? != SHADOW_RECORD_VERSION {
+                    return Err(format!(
+                        "line {line_no}: unsupported shadow record version"
+                    ));
+                }
+                let case = req_str(&v, "case", line_no)?;
+                if !SHADOW_CASES.contains(&case) {
+                    return Err(format!(
+                        "line {line_no}: unknown shadow case \"{case}\""
+                    ));
+                }
+                req_u64(&v, "model_version", line_no)?;
+                let model_label = req_u64(&v, "model_label", line_no)?;
+                let oracle_label = req_u64(&v, "oracle_label", line_no)?;
+                req_u64(&v, "oracle_us", line_no)?;
+                let features = v
+                    .get("features")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| {
+                        format!("line {line_no}: missing shadow features array")
+                    })?;
+                if features.is_empty() || features.iter().any(|f| f.as_f64().is_none())
+                {
+                    return Err(format!(
+                        "line {line_no}: shadow features must be a non-empty \
+                         numeric array"
+                    ));
+                }
+                emitted += 1;
+                shadow_records += 1;
+                if model_label != oracle_label {
+                    shadow_disagreements += 1;
+                }
+            }
             "end" => {
                 let declared = req_u64(&v, "events", line_no)?;
                 if declared != emitted {
@@ -177,6 +226,8 @@ pub fn parse_report(text: &str) -> Result<Report, String> {
         counters,
         gauges,
         histograms,
+        shadow_records,
+        shadow_disagreements,
     })
 }
 
@@ -230,6 +281,13 @@ impl Report {
             for (name, v) in &self.gauges {
                 let _ = writeln!(out, "  {name:<24} {v:>12.6}");
             }
+        }
+        if self.shadow_records > 0 {
+            let _ = writeln!(
+                out,
+                "\nshadow oracle: {} records, {} disagreements",
+                self.shadow_records, self.shadow_disagreements
+            );
         }
         if !self.histograms.is_empty() {
             let _ = writeln!(out, "\nhistograms (µs):");
@@ -296,6 +354,52 @@ mod tests {
         let text = r.render();
         assert!(text.contains("train.epoch"));
         assert!(text.contains("sim.evals"));
+    }
+
+    fn shadow_line(extra: &str) -> String {
+        format!(
+            concat!(
+                "{{\"v\":1,\"type\":\"shadow\",\"rv\":1,\"case\":\"array\",",
+                "\"model_version\":2,\"model_label\":17,\"oracle_label\":4,",
+                "\"oracle_us\":135,\"features\":[15.0,64,64,3]{extra}}}\n",
+            ),
+            extra = extra
+        )
+    }
+
+    #[test]
+    fn parses_shadow_records() {
+        let meta = concat!(
+            "{\"v\":1,\"type\":\"meta\",\"schema\":\"airchitect.telemetry\",",
+            "\"schema_version\":1,\"command\":\"serve\"}\n",
+        );
+        let agree = shadow_line("").replace("\"oracle_label\":4", "\"oracle_label\":17");
+        let text = format!(
+            "{meta}{}{}{}",
+            shadow_line(""),
+            agree,
+            "{\"v\":1,\"type\":\"end\",\"events\":2}\n"
+        );
+        let r = parse_report(&text).unwrap();
+        assert_eq!(r.shadow_records, 2);
+        assert_eq!(r.shadow_disagreements, 1);
+        assert!(r.render().contains("shadow oracle: 2 records, 1 disagreements"));
+
+        // Wrong record version.
+        let bad = text.replace("\"rv\":1", "\"rv\":9");
+        assert!(validate(&bad).unwrap_err().contains("shadow record version"));
+        // Unknown case.
+        let bad = text.replace("\"case\":\"array\"", "\"case\":\"mesh\"");
+        assert!(validate(&bad).unwrap_err().contains("unknown shadow case"));
+        // Missing field.
+        let bad = text.replace("\"oracle_us\":135,", "");
+        assert!(validate(&bad).is_err());
+        // Non-numeric feature.
+        let bad = text.replace("[15.0,64,64,3]", "[15.0,\"x\"]");
+        assert!(validate(&bad).unwrap_err().contains("numeric array"));
+        // Shadow lines count toward the end-line event total.
+        let bad = text.replace("\"events\":2", "\"events\":0");
+        assert!(validate(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Size/age-based rotation for JSONL files.
+//!
+//! [`RotatingWriter`] owns a sequence of `<prefix>.<seq>.jsonl` segments in
+//! one directory and appends whole lines to the active segment. Rotation is
+//! *explicit*: callers ask [`RotatingWriter::should_rotate`] before a write
+//! and call [`RotatingWriter::rotate`] themselves, which lets a wrapping log
+//! append a footer line to the outgoing segment and a header line to the new
+//! one (the misprediction log keeps every segment a self-contained,
+//! schema-valid telemetry file this way).
+//!
+//! [`read_lines_tolerant`] is the matching reader: it yields only complete
+//! (newline-terminated) lines and reports a torn trailing fragment — the
+//! normal end state of a segment whose writer was killed mid-append —
+//! instead of failing.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// When to cut over to a new segment. Zero / `None` disables that trigger.
+#[derive(Debug, Clone, Copy)]
+pub struct RotateConfig {
+    /// Rotate before a write that would push the segment past this size.
+    pub max_bytes: u64,
+    /// Rotate once the active segment has been open this long.
+    pub max_age: Option<Duration>,
+}
+
+impl Default for RotateConfig {
+    fn default() -> Self {
+        RotateConfig {
+            max_bytes: 64 * 1024 * 1024,
+            max_age: None,
+        }
+    }
+}
+
+/// Line-oriented writer over a rotating sequence of segment files.
+#[derive(Debug)]
+pub struct RotatingWriter {
+    dir: PathBuf,
+    prefix: String,
+    config: RotateConfig,
+    out: BufWriter<File>,
+    path: PathBuf,
+    seq: u64,
+    written: u64,
+    opened: Instant,
+}
+
+impl RotatingWriter {
+    /// Open segment `<prefix>.0.jsonl` in `dir` (created if missing),
+    /// truncating any stale file with the same name.
+    pub fn create(
+        dir: &Path,
+        prefix: &str,
+        config: RotateConfig,
+    ) -> std::io::Result<RotatingWriter> {
+        std::fs::create_dir_all(dir)?;
+        let seq = 0;
+        let path = segment_path(dir, prefix, seq);
+        let out = BufWriter::new(open_segment(&path)?);
+        Ok(RotatingWriter {
+            dir: dir.to_path_buf(),
+            prefix: prefix.to_string(),
+            config,
+            out,
+            path,
+            seq,
+            written: 0,
+            opened: Instant::now(),
+        })
+    }
+
+    /// Path of the active segment.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequence number of the active segment.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Bytes written to the active segment so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Would appending `next_len` more bytes cross a rotation boundary?
+    ///
+    /// The size trigger fires only when the active segment already holds at
+    /// least one line, so a single oversized record still lands somewhere
+    /// instead of rotating forever.
+    pub fn should_rotate(&self, next_len: usize) -> bool {
+        if self.config.max_bytes > 0
+            && self.written > 0
+            && self.written + next_len as u64 > self.config.max_bytes
+        {
+            return true;
+        }
+        if let Some(age) = self.config.max_age {
+            if self.opened.elapsed() >= age {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Append one line (a trailing newline is added) and flush it to disk.
+    pub fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.written += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Flush and close the active segment, then open the next one.
+    pub fn rotate(&mut self) -> std::io::Result<()> {
+        self.out.flush()?;
+        self.seq += 1;
+        self.path = segment_path(&self.dir, &self.prefix, self.seq);
+        self.out = BufWriter::new(open_segment(&self.path)?);
+        self.written = 0;
+        self.opened = Instant::now();
+        Ok(())
+    }
+
+    /// Flush buffered bytes without rotating.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+fn segment_path(dir: &Path, prefix: &str, seq: u64) -> PathBuf {
+    dir.join(format!("{prefix}.{seq}.jsonl"))
+}
+
+fn open_segment(path: &Path) -> std::io::Result<File> {
+    OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)
+}
+
+/// Complete lines of `path`, plus whether a torn (newline-less) trailing
+/// fragment was discarded.
+pub fn read_lines_tolerant(path: &Path) -> std::io::Result<(Vec<String>, bool)> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    let torn = !text.is_empty() && !text.ends_with('\n');
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    if torn {
+        lines.pop();
+    }
+    Ok((lines, torn))
+}
+
+/// All `<prefix>.<seq>.jsonl` segments under `dir`, sorted by sequence
+/// number. Files that do not match the naming scheme are ignored.
+pub fn segments(dir: &Path, prefix: &str) -> std::io::Result<Vec<PathBuf>> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(prefix) else {
+            continue;
+        };
+        let Some(mid) = rest.strip_prefix('.') else {
+            continue;
+        };
+        let Some(seq_str) = mid.strip_suffix(".jsonl") else {
+            continue;
+        };
+        let Ok(seq) = seq_str.parse::<u64>() else {
+            continue;
+        };
+        found.push((seq, entry.path()));
+    }
+    found.sort_by_key(|(seq, _)| *seq);
+    Ok(found.into_iter().map(|(_, p)| p).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "airchitect-rotate-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn rotates_on_size_boundary() {
+        let dir = temp_dir("size");
+        let config = RotateConfig {
+            max_bytes: 32,
+            max_age: None,
+        };
+        let mut w = RotatingWriter::create(&dir, "log", config).unwrap();
+        // Each line is 10 bytes + newline = 11 on disk.
+        let line = "0123456789";
+        for _ in 0..5 {
+            if w.should_rotate(line.len() + 1) {
+                w.rotate().unwrap();
+            }
+            w.write_line(line).unwrap();
+        }
+        // 32-byte budget holds 2 lines (22B); 3rd would hit 33 > 32.
+        // 5 lines → segments of 2, 2, 1.
+        let segs = segments(&dir, "log").unwrap();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].file_name().unwrap().to_str().unwrap(), "log.0.jsonl");
+        let (lines0, torn0) = read_lines_tolerant(&segs[0]).unwrap();
+        assert_eq!((lines0.len(), torn0), (2, false));
+        let (lines2, _) = read_lines_tolerant(&segs[2]).unwrap();
+        assert_eq!(lines2.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exact_fit_does_not_rotate() {
+        let dir = temp_dir("fit");
+        let config = RotateConfig {
+            max_bytes: 22,
+            max_age: None,
+        };
+        let mut w = RotatingWriter::create(&dir, "log", config).unwrap();
+        let line = "0123456789";
+        // Two 11-byte writes land exactly on the 22-byte budget.
+        assert!(!w.should_rotate(line.len() + 1));
+        w.write_line(line).unwrap();
+        assert!(!w.should_rotate(line.len() + 1));
+        w.write_line(line).unwrap();
+        // The next write would overflow.
+        assert!(w.should_rotate(line.len() + 1));
+        assert_eq!(segments(&dir, "log").unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_first_line_still_lands() {
+        let dir = temp_dir("oversize");
+        let config = RotateConfig {
+            max_bytes: 4,
+            max_age: None,
+        };
+        let mut w = RotatingWriter::create(&dir, "log", config).unwrap();
+        // An empty segment never asks for rotation, however large the line.
+        assert!(!w.should_rotate(100));
+        w.write_line("way-over-budget").unwrap();
+        assert!(w.should_rotate(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotates_on_age() {
+        let dir = temp_dir("age");
+        let config = RotateConfig {
+            max_bytes: 0,
+            max_age: Some(Duration::from_millis(0)),
+        };
+        let mut w = RotatingWriter::create(&dir, "log", config).unwrap();
+        w.write_line("a").unwrap();
+        assert!(w.should_rotate(2));
+        w.rotate().unwrap();
+        assert_eq!(w.seq(), 1);
+        w.write_line("b").unwrap();
+        assert_eq!(segments(&dir, "log").unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tolerant_reader_flags_torn_final_line() {
+        let dir = temp_dir("torn");
+        let path = dir.join("log.0.jsonl");
+        std::fs::write(&path, "complete line 1\ncomplete line 2\ntorn frag").unwrap();
+        let (lines, torn) = read_lines_tolerant(&path).unwrap();
+        assert!(torn);
+        assert_eq!(lines, vec!["complete line 1", "complete line 2"]);
+
+        std::fs::write(&path, "complete line 1\n").unwrap();
+        let (lines, torn) = read_lines_tolerant(&path).unwrap();
+        assert!(!torn);
+        assert_eq!(lines, vec!["complete line 1"]);
+
+        std::fs::write(&path, "").unwrap();
+        let (lines, torn) = read_lines_tolerant(&path).unwrap();
+        assert!(!torn);
+        assert!(lines.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_listing_ignores_foreign_files() {
+        let dir = temp_dir("listing");
+        std::fs::write(dir.join("log.0.jsonl"), "").unwrap();
+        std::fs::write(dir.join("log.10.jsonl"), "").unwrap();
+        std::fs::write(dir.join("log.2.jsonl"), "").unwrap();
+        std::fs::write(dir.join("other.1.jsonl"), "").unwrap();
+        std::fs::write(dir.join("log.x.jsonl"), "").unwrap();
+        std::fs::write(dir.join("log.3.txt"), "").unwrap();
+        let segs = segments(&dir, "log").unwrap();
+        let names: Vec<&str> = segs
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap())
+            .collect();
+        assert_eq!(names, vec!["log.0.jsonl", "log.2.jsonl", "log.10.jsonl"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -29,6 +29,12 @@
 //!   misprediction log is replayed into a fine-tune + hot-reload cycle.
 //!   Gates on oracle agreement strictly improving after at least one
 //!   automatic cycle, zero failed requests, and zero 5xx.
+//! * `rollout` — (not part of `all`) safe-rollout soak: corrupted,
+//!   regressed, and good checkpoints are pushed through the versioned
+//!   registry and `/v1/reload` under live load. Gates on the bad versions
+//!   being rejected/rolled back and quarantined, the good one promoting,
+//!   zero failed requests, and the bad candidate's answer fraction
+//!   staying within the canary split.
 //!
 //! JSON is hand-rolled (flat objects, fixed keys) to stay within the
 //! approved dependency set; `--quick` shrinks every suite for CI smoke
@@ -123,6 +129,9 @@ fn bench_inner(args: &Args) -> Result<(), CliError> {
         // Not part of `all`: a multi-minute soak that trains, drifts, and
         // fine-tunes — the online-learning loop gate, its own CI job.
         "online" => bench_online(&out_dir, quick)?,
+        // Not part of `all`: the safe-rollout gate — canary evaluation,
+        // quarantine, and promotion under live load, its own CI job.
+        "rollout" => bench_rollout(&out_dir, quick)?,
         "all" => {
             bench_train(&out_dir, samples, epochs, threads)?;
             bench_infer(&out_dir, quick)?;
@@ -131,7 +140,7 @@ fn bench_inner(args: &Args) -> Result<(), CliError> {
         }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown suite `{other}` (train|infer|dse|serve|chaos|cluster|c10k|online|all)"
+                "unknown suite `{other}` (train|infer|dse|serve|chaos|cluster|c10k|online|rollout|all)"
             )))
         }
     }
@@ -1478,6 +1487,437 @@ fn bench_cluster(out_dir: &str, quick: bool) -> Result<(), CliError> {
         qps / single_qps
     );
     write_json(out_dir, "BENCH_cluster.json", &body)
+}
+
+/// One rollout-soak request body with both models' precomputed answers.
+struct RolloutBody {
+    body: String,
+    /// The incumbent's (and, after the good promote, the fleet's) answer.
+    from_incumbent: String,
+    /// The regressed candidate's answer; differs from the incumbent's on
+    /// every in-slice entry by construction.
+    from_candidate: String,
+}
+
+/// Polls `/healthz` until the rollout state machine reports `idle`,
+/// returning the final body. Background loadgen clients keep the canary
+/// fed with samples while this waits.
+fn rollout_settle(client: &mut HttpClient, deadline: Duration) -> Result<String, CliError> {
+    let t0 = Instant::now();
+    loop {
+        let health = client
+            .get("/healthz")
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        if health.status == 200 && health.body.contains("\"state\":\"idle\"") {
+            return Ok(health.body);
+        }
+        if t0.elapsed() > deadline {
+            return Err(CliError::Run(format!(
+                "rollout did not settle within {deadline:?}: {}",
+                health.body
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Safe-rollout soak: continuous loadgen against a registry-backed server
+/// while three checkpoints are pushed through `/v1/reload` mid-run — a
+/// corrupted artifact, a regressed (disagreeing) fine-tune, and a good
+/// one.
+///
+/// The body pool is built so the canary exposure is provable, not
+/// statistical: every 4th pool slot holds a key the server's own
+/// deterministic sampler puts in the canary slice (and on which the
+/// regressed model provably disagrees); the other slots hold
+/// out-of-slice keys. Clients stride the pool with a step coprime to its
+/// length, so any window of a client's stream contains at most
+/// `ceil(n/4)` in-slice requests — the bad candidate can never answer
+/// more than the canary split of the traffic, plus a per-client edge
+/// request at each window boundary.
+///
+/// Gates (any failure fails the bench):
+/// * the corrupted checkpoint is rejected at staging and quarantined;
+/// * the regressed checkpoint is rolled back by the agreement gate and
+///   quarantined — and its answer fraction stays within the split bound;
+/// * the good checkpoint promotes, on disk and in the live server;
+/// * zero failed requests and zero wrong (neither-model) answers.
+fn bench_rollout(out_dir: &str, quick: bool) -> Result<(), CliError> {
+    use airchitect_serve::registry::{Registry, DEFAULT_RETAIN};
+
+    const CLIENTS: usize = 4;
+    const SPLIT: f64 = 0.25;
+    const POOL: usize = 64;
+    const BUDGET: u64 = 1 << 10;
+    let min_samples: u64 = if quick { 12 } else { 50 };
+    let train_rows = if quick { 2_000 } else { 4_000 };
+    let timeout = Duration::from_secs(30);
+    let settle_deadline = Duration::from_secs(60);
+    println!(
+        "bench rollout: canary split {SPLIT}, {CLIENTS} clients, \
+         corrupt + regressed + good checkpoints mid-run"
+    );
+
+    // Incumbent A and a regressed candidate B (different random labels, so
+    // their answers disagree on most queries).
+    let train = |seed: u64| -> Result<AirchitectModel, CliError> {
+        let mut ds = Dataset::new(4, CS1_CLASSES).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..train_rows {
+            let wl = random_workload(&mut rng);
+            let budget = 1u64 << rng.random_range(5..=CS1_BUDGET_LOG2);
+            ds.push(
+                &Case1Problem::features(&wl, budget),
+                rng.random_range(0..CS1_CLASSES),
+            )
+            .unwrap();
+        }
+        let mut model = AirchitectModel::new(
+            CaseStudy::ArrayDataflow,
+            &AirchitectConfig {
+                num_classes: CS1_CLASSES,
+                train: TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        model.train(&ds).map_err(|e| CliError::Run(e.to_string()))?;
+        Ok(model)
+    };
+    let model_a = train(29)?;
+    let model_b = train(43)?;
+    let bytes_a = persist::to_bytes(&model_a);
+    let bytes_b = persist::to_bytes(&model_b);
+    let rec_a = Recommender::new(model_a).map_err(|e| CliError::Run(e.to_string()))?;
+    let rec_b = Recommender::new(model_b).map_err(|e| CliError::Run(e.to_string()))?;
+
+    // Registry-backed server: the seed artifact becomes v1.
+    let dir = std::env::temp_dir().join(format!("airchitect-bench-rollout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| CliError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let seed_path = dir.join("seed.airm");
+    std::fs::write(&seed_path, &bytes_a[..]).map_err(|e| CliError::Io {
+        path: seed_path.display().to_string(),
+        message: e.to_string(),
+    })?;
+
+    // Build the pool: in-slice slots (index % 4 == 0) carry keys the
+    // server's sampler admits to the canary AND on which A and B disagree;
+    // the rest are out-of-slice keys. Classification uses the same
+    // `cache_key` + `sampled` pair the server does, so the split is exact.
+    let problem = Case1Problem::new(1 << CS1_BUDGET_LOG2);
+    let ppm = airchitect_online::sampler::rate_to_ppm(SPLIT);
+    let mut rng = StdRng::seed_from_u64(47);
+    let mut in_slice: Vec<RolloutBody> = Vec::new();
+    let mut out_slice: Vec<RolloutBody> = Vec::new();
+    let (want_in, want_out) = (POOL / 4, POOL - POOL / 4);
+    while in_slice.len() < want_in || out_slice.len() < want_out {
+        let wl = random_workload(&mut rng);
+        let body = format!(
+            "{{\"m\":{},\"n\":{},\"k\":{},\"mac_budget\":{BUDGET}}}",
+            wl.m(),
+            wl.n(),
+            wl.k()
+        );
+        let parsed = airchitect_serve::router::parse_recommend(
+            CaseStudy::ArrayDataflow,
+            body.as_bytes(),
+        )
+        .map_err(|r| CliError::Run(format!("pool body rejected: {}", r.body)))?;
+        let (array, df) = rec_a
+            .recommend_array_fast(&problem, &wl, BUDGET)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let from_incumbent = render_cs1(&array, df);
+        let (array, df) = rec_b
+            .recommend_array_fast(&problem, &wl, BUDGET)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let from_candidate = render_cs1(&array, df);
+        let entry = RolloutBody {
+            body,
+            from_incumbent,
+            from_candidate,
+        };
+        if airchitect_online::sampler::sampled(&parsed.cache_key, ppm) {
+            if entry.from_candidate != entry.from_incumbent && in_slice.len() < want_in {
+                in_slice.push(entry);
+            }
+        } else if out_slice.len() < want_out {
+            out_slice.push(entry);
+        }
+    }
+    let mut in_slice = in_slice.into_iter();
+    let mut out_slice = out_slice.into_iter();
+    let pool: Arc<Vec<RolloutBody>> = Arc::new(
+        (0..POOL)
+            .map(|i| {
+                if i % 4 == 0 {
+                    in_slice.next().expect("filled above")
+                } else {
+                    out_slice.next().expect("filled above")
+                }
+            })
+            .collect(),
+    );
+
+    let samples0 = metrics::SERVE_CANARY_SAMPLES.get();
+    let agreements0 = metrics::SERVE_CANARY_AGREEMENTS.get();
+    let promotions0 = metrics::SERVE_CANARY_PROMOTIONS.get();
+    let rollbacks0 = metrics::SERVE_CANARY_ROLLBACKS.get();
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        model_paths: vec![seed_path],
+        model_dir: Some(dir.clone()),
+        canary_split: SPLIT,
+        canary_min_samples: min_samples,
+        canary_min_agreement: 0.9,
+        canary_max_p99_ratio: 1e9, // latency gate off: CI machines jitter
+        workers: 2,
+        queue_depth: 1024,
+        // Every in-slice request must reach the canary comparator, not a
+        // warm cache.
+        cache_capacity: 0,
+        read_timeout_secs: 30,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config).map_err(|e| CliError::Run(e.to_string()))?;
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Continuous loadgen: every response must match one of the two
+    // precomputed answers; candidate-only answers are tallied so the
+    // exposure bound can be checked.
+    let done = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let wrong = Arc::new(AtomicU64::new(0));
+    let candidate_answers = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|tid| {
+            let pool = Arc::clone(&pool);
+            let done = Arc::clone(&done);
+            let total = Arc::clone(&total);
+            let failed = Arc::clone(&failed);
+            let wrong = Arc::clone(&wrong);
+            let candidate_answers = Arc::clone(&candidate_answers);
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut client =
+                    HttpClient::connect(addr, timeout).map_err(|e| e.to_string())?;
+                let mut i = 0usize;
+                while !done.load(Ordering::Acquire) {
+                    let entry = &pool[(tid + i * 7) % pool.len()];
+                    i += 1;
+                    let resp = client
+                        .post("/v1/recommend/array", &entry.body)
+                        .map_err(|e| e.to_string())?;
+                    total.fetch_add(1, Ordering::Relaxed);
+                    if resp.status != 200 {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    } else if entry.from_candidate != entry.from_incumbent
+                        && resp.body.contains(&entry.from_candidate)
+                    {
+                        candidate_answers.fetch_add(1, Ordering::Relaxed);
+                    } else if !resp.body.contains(&entry.from_incumbent) {
+                        wrong.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+
+    let orchestrate = || -> Result<(u64, u64), CliError> {
+        let mut client =
+            HttpClient::connect(addr, timeout).map_err(|e| CliError::Run(e.to_string()))?;
+        // Warmup: a full pass over the pool proves the baseline serves.
+        while total.load(Ordering::Relaxed) < POOL as u64 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Phase 1: a corrupted checkpoint must be rejected at staging.
+        let mut reg = Registry::open(&dir, DEFAULT_RETAIN)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let corrupt_v = reg
+            .add_version(b"definitely not a model artifact")
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let resp = client
+            .post("/v1/reload", "")
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        if resp.status != 409 || !resp.body.contains("stage_failed") {
+            return Err(CliError::Run(format!(
+                "corrupt checkpoint was not rejected: {} {}",
+                resp.status, resp.body
+            )));
+        }
+        let reg = Registry::open(&dir, DEFAULT_RETAIN)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let quarantined = |reg: &Registry, v: u64| {
+            reg.manifest()
+                .entries
+                .iter()
+                .any(|e| e.version == v && e.quarantined)
+        };
+        if !quarantined(&reg, corrupt_v) {
+            return Err(CliError::Run(format!(
+                "corrupt version v{corrupt_v} was not quarantined"
+            )));
+        }
+        println!("  corrupt checkpoint v{corrupt_v}: rejected at staging and quarantined");
+
+        // Phase 2: a regressed checkpoint canaries, fails the agreement
+        // gate, and is rolled back + quarantined.
+        let mut reg = Registry::open(&dir, DEFAULT_RETAIN)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let bad_v = reg
+            .add_version(&bytes_b)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let window_start = total.load(Ordering::Relaxed);
+        let resp = client
+            .post("/v1/reload", "")
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        if resp.status != 200 || !resp.body.contains("\"staged\":true") {
+            return Err(CliError::Run(format!(
+                "regressed checkpoint failed to stage: {} {}",
+                resp.status, resp.body
+            )));
+        }
+        let health = rollout_settle(&mut client, settle_deadline)?;
+        let window = total.load(Ordering::Relaxed) - window_start;
+        if !health.contains("rolled_back") {
+            return Err(CliError::Run(format!(
+                "regressed checkpoint was not rolled back: {health}"
+            )));
+        }
+        let reg = Registry::open(&dir, DEFAULT_RETAIN)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        if !quarantined(&reg, bad_v) {
+            return Err(CliError::Run(format!(
+                "regressed version v{bad_v} was not quarantined after rollback"
+            )));
+        }
+        println!("  regressed checkpoint v{bad_v}: canaried, rolled back, quarantined");
+
+        // Phase 3: a good checkpoint (the incumbent's own bytes, so perfect
+        // agreement) canaries and promotes.
+        let mut reg = Registry::open(&dir, DEFAULT_RETAIN)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let good_v = reg
+            .add_version(&bytes_a)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        let resp = client
+            .post("/v1/reload", "")
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        if resp.status != 200 || !resp.body.contains("\"staged\":true") {
+            return Err(CliError::Run(format!(
+                "good checkpoint failed to stage: {} {}",
+                resp.status, resp.body
+            )));
+        }
+        let health = rollout_settle(&mut client, settle_deadline)?;
+        if !health.contains("promoted") {
+            return Err(CliError::Run(format!(
+                "good checkpoint was not promoted: {health}"
+            )));
+        }
+        let reg = Registry::open(&dir, DEFAULT_RETAIN)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        if reg.manifest().active != Some(good_v) {
+            return Err(CliError::Run(format!(
+                "registry active is {:?}, expected v{good_v}",
+                reg.manifest().active
+            )));
+        }
+        println!("  good checkpoint v{good_v}: canaried and promoted (active on disk)");
+        Ok((window, good_v))
+    };
+    let orchestration = orchestrate();
+    done.store(true, Ordering::Release);
+    for handle in clients {
+        handle
+            .join()
+            .map_err(|_| CliError::Run("rollout loadgen client panicked".into()))?
+            .map_err(CliError::Run)?;
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let mut shut =
+        HttpClient::connect(addr, timeout).map_err(|e| CliError::Run(e.to_string()))?;
+    let resp = shut
+        .post("/v1/shutdown", "")
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    if resp.status != 200 {
+        return Err(CliError::Run(format!("shutdown returned {}", resp.status)));
+    }
+    server_thread
+        .join()
+        .map_err(|_| CliError::Run("server thread panicked".into()))?
+        .map_err(|e| CliError::Run(format!("server exited with: {e}")))?;
+    let _ = std::fs::remove_dir_all(&dir);
+    let (window, good_v) = orchestration?;
+
+    let total = total.load(Ordering::Relaxed);
+    let failed = failed.load(Ordering::Relaxed);
+    let wrong = wrong.load(Ordering::Relaxed);
+    let candidate_answers = candidate_answers.load(Ordering::Relaxed);
+    let samples = metrics::SERVE_CANARY_SAMPLES.get() - samples0;
+    let agreements = metrics::SERVE_CANARY_AGREEMENTS.get() - agreements0;
+    let promotions = metrics::SERVE_CANARY_PROMOTIONS.get() - promotions0;
+    let rollbacks = metrics::SERVE_CANARY_ROLLBACKS.get() - rollbacks0;
+    let candidate_fraction = candidate_answers as f64 / window.max(1) as f64;
+    let qps = total as f64 / wall_secs;
+    println!(
+        "  {total} requests ({failed} failed, {wrong} wrong), {samples} canary samples, \
+         {promotions} promotions, {rollbacks} rollbacks"
+    );
+    println!(
+        "  bad-candidate answers: {candidate_answers}/{window} in the canary window \
+         ({candidate_fraction:.4} vs split {SPLIT})"
+    );
+
+    // The artifact is written before the gates run, so a failed soak still
+    // leaves its numbers behind for debugging.
+    let body = format!(
+        "{{\n  \"suite\": \"rollout\",\n  \"case\": \"cs1\",\n  \
+         \"canary_split\": {SPLIT},\n  \"canary_min_samples\": {min_samples},\n  \
+         \"requests\": {total},\n  \"failed_requests\": {failed},\n  \
+         \"wrong_answers\": {wrong},\n  \"corrupt_rejected\": true,\n  \
+         \"regressed_rolled_back\": true,\n  \"good_promoted\": true,\n  \
+         \"promoted_version\": {good_v},\n  \
+         \"bad_candidate_answers\": {candidate_answers},\n  \
+         \"canary_window_requests\": {window},\n  \
+         \"bad_candidate_fraction\": {candidate_fraction:.4},\n  \
+         \"canary_samples\": {samples},\n  \"canary_agreements\": {agreements},\n  \
+         \"canary_promotions\": {promotions},\n  \"canary_rollbacks\": {rollbacks},\n  \
+         \"qps\": {qps:.2}\n}}\n"
+    );
+    write_json(out_dir, "BENCH_rollout.json", &body)?;
+
+    if failed > 0 {
+        return Err(CliError::Run(format!(
+            "{failed} requests failed during the rollout soak (gate: zero)"
+        )));
+    }
+    if wrong > 0 {
+        return Err(CliError::Run(format!(
+            "{wrong} responses matched neither the incumbent nor the candidate"
+        )));
+    }
+    // Exposure bound: in-slice keys occupy every 4th pool slot and clients
+    // stride with a step coprime to the pool, so any measurement window
+    // can exceed the split by at most one edge request per client.
+    let allowed = window as f64 * SPLIT + CLIENTS as f64;
+    if (candidate_answers as f64) > allowed {
+        return Err(CliError::Run(format!(
+            "{candidate_answers} bad-candidate answers exceed the split bound \
+             ({allowed:.0} of {window})"
+        )));
+    }
+    Ok(())
 }
 
 /// Renders a CS1 answer exactly as the server does, so response bodies can

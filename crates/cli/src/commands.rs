@@ -566,6 +566,7 @@ pub fn train(argv: &[String]) -> Result<(), CliError> {
         "metrics-out",
         "from-log",
         "model",
+        "model-dir",
         "lr",
     ])?;
     let tele = telemetry_begin(&args, "train")?;
@@ -594,7 +595,22 @@ fn train_from_log(args: &Args) -> Result<(), CliError> {
     }
     let dir = args.required("from-log")?;
     let model_path = args.required("model")?;
-    let out = args.required("out")?;
+    let out = args.optional("out");
+    let model_dir = args.optional("model-dir");
+    match (out, model_dir) {
+        (None, None) => {
+            return Err(CliError::Usage(
+                "`--from-log` needs `--out <path>` or `--model-dir <registry>`".into(),
+            ))
+        }
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "`--out` and `--model-dir` are exclusive; the registry names its own artifacts"
+                    .into(),
+            ))
+        }
+        _ => {}
+    }
     let threads = args.u64_or("threads", 1)? as usize;
     if threads == 0 {
         return Err(CliError::Usage("`--threads` must be at least 1".into()));
@@ -658,9 +674,9 @@ fn train_from_log(args: &Args) -> Result<(), CliError> {
                     e.epoch, e.train_loss, e.train_accuracy
                 );
             }
-            persist::save(&model, out).map_err(persist_err(out))?;
+            let written = emit_artifact(&model, out, model_dir)?;
             println!(
-                "fine-tuned against model version {} in {:?}; model written to {out}",
+                "fine-tuned against model version {} in {:?}; model written to {written}",
                 outcome.target_version,
                 t0.elapsed()
             );
@@ -668,11 +684,46 @@ fn train_from_log(args: &Args) -> Result<(), CliError> {
         None => {
             // Nothing to learn from — still emit the artifact so callers
             // can reload unconditionally.
-            persist::save(&model, out).map_err(persist_err(out))?;
-            println!("no usable disagreements; model copied unchanged to {out}");
+            let written = emit_artifact(&model, out, model_dir)?;
+            println!("no usable disagreements; model copied unchanged to {written}");
         }
     }
     Ok(())
+}
+
+/// Writes the fine-tuned artifact either to a plain `--out` path or into
+/// the `--model-dir` registry as a new staged version. Registration
+/// refuses any artifact whose fingerprint matches a quarantined
+/// (rolled-back) version — re-emitting known-bad weights must not re-enter
+/// the rollout pipeline.
+fn emit_artifact(
+    model: &AirchitectModel,
+    out: Option<&str>,
+    model_dir: Option<&str>,
+) -> Result<String, CliError> {
+    use airchitect_serve::registry::{Registry, RegistryError, DEFAULT_RETAIN};
+    if let Some(out) = out {
+        persist::save(model, out).map_err(persist_err(out))?;
+        return Ok(out.to_string());
+    }
+    let dir = model_dir.expect("caller validated out|model-dir");
+    let bytes = persist::to_bytes(model);
+    let mut reg = Registry::open(dir, DEFAULT_RETAIN)
+        .map_err(|e| CliError::Run(format!("--model-dir {dir}: {e}")))?;
+    match reg.add_version(&bytes) {
+        Ok(version) => Ok(format!(
+            "{} (staged version {version}; promote via POST /v1/reload)",
+            reg.version_path(version).display()
+        )),
+        Err(RegistryError::Quarantined {
+            version,
+            fingerprint,
+        }) => Err(CliError::Run(format!(
+            "artifact fingerprint 0x{fingerprint:08x} matches quarantined version {version}; \
+             refusing to re-register rolled-back weights"
+        ))),
+        Err(e) => Err(CliError::Run(format!("register artifact in {dir}: {e}"))),
+    }
 }
 
 /// `train --quick`: generate → checkpointed train → evaluate, a small CS1

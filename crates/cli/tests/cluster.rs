@@ -19,11 +19,12 @@ use rand::{RngExt, SeedableRng};
 
 const CS1_CLASSES: u32 = 459;
 
-/// A briefly trained CS1 model persisted to a temp `.airm` (accuracy is
-/// irrelevant; the replicas just need a loadable model).
-fn model_file() -> PathBuf {
+/// A briefly trained CS1 model (accuracy is irrelevant; the replicas
+/// just need a loadable model). Different seeds give different weights,
+/// so artifacts trained from different seeds have distinct bytes.
+fn train_model(seed: u64) -> AirchitectModel {
     let mut ds = Dataset::new(4, CS1_CLASSES).unwrap();
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..400 {
         let wl = GemmWorkload::new(
             rng.random_range(16..512u64),
@@ -49,11 +50,16 @@ fn model_file() -> PathBuf {
         },
     );
     model.train(&ds).expect("train");
+    model
+}
+
+/// The default test model persisted to a temp `.airm`.
+fn model_file() -> PathBuf {
     let path = std::env::temp_dir().join(format!(
         "airchitect-cluster-test-{}.airm",
         std::process::id()
     ));
-    persist::save(&model, &path).expect("persist model");
+    persist::save(&train_model(3), &path).expect("persist model");
     path
 }
 
@@ -164,4 +170,173 @@ fn cluster_survives_a_replica_sigkill_under_load() {
         .expect("cluster thread joins")
         .expect("cluster exits cleanly");
     let _ = std::fs::remove_file(&model_path);
+}
+
+/// The answer portion of a recommend response: everything after the
+/// `"generation":N` field. The `"cached"` flag and producing generation
+/// legitimately change across reloads and restarts; the recommendation
+/// itself must not.
+fn answer_of(body: &str) -> &str {
+    let i = body.find("\"generation\":").expect("generation field");
+    let rest = &body[i..];
+    let j = rest.find(',').expect("fields after generation");
+    &rest[j..]
+}
+
+/// SIGKILL-ing the replica that is mid-canary during a rolling reload
+/// must roll the whole fleet back: the candidate version ends up
+/// quarantined, the registry stays on the incumbent, the killed replica
+/// is restarted onto `current.airm`, and every replica answers exactly
+/// as it did before the rollout started.
+#[test]
+fn rolling_reload_mid_rollout_sigkill_rolls_the_fleet_back() {
+    use airchitect_serve::registry::{Registry, DEFAULT_RETAIN};
+
+    let dir = std::env::temp_dir().join(format!(
+        "airchitect-cluster-rollout-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Seed the registry the way `serve --cluster --model-dir` does: the
+    // router owns the MANIFEST, replicas serve `current.airm` by path.
+    let seed_bytes = persist::to_bytes(&train_model(3));
+    let current_path = {
+        let mut reg = Registry::open(&dir, DEFAULT_RETAIN).expect("open registry");
+        let v = reg.add_version(&seed_bytes).expect("seed version");
+        reg.promote(v).expect("promote seed");
+        reg.current_path()
+    };
+    let candidate_path = dir.join("candidate.airm");
+    persist::save(&train_model(7), &candidate_path).expect("persist candidate");
+
+    // min_samples is unreachable (no sampled traffic is driven), so the
+    // staged replica sits in `evaluating` until we kill it.
+    let replica_config = ServeConfig {
+        model_paths: vec![current_path],
+        workers: 2,
+        queue_depth: 1024,
+        cache_capacity: 64,
+        read_timeout_secs: 30,
+        canary_split: 1.0,
+        canary_min_samples: 10_000,
+        canary_min_agreement: 0.9,
+        canary_max_p99_ratio: 1e9,
+        ..ServeConfig::default()
+    };
+    let cfg = ClusterConfig {
+        addr: "127.0.0.1:0".into(),
+        replica_argv: Cluster::replica_argv(env!("CARGO_BIN_EXE_airchitect"), &replica_config),
+        replicas: 2,
+        probe_interval_ms: 50,
+        probe_timeout_ms: 2000,
+        restart_base_ms: 50,
+        backend_timeout_ms: 30_000,
+        read_timeout_secs: 30,
+        model_dir: Some(dir.clone()),
+        rollout_timeout_ms: 3_000,
+        ..ClusterConfig::default()
+    };
+    let probe_interval_ms = cfg.probe_interval_ms;
+    let cluster = Cluster::start(cfg).expect("cluster starts");
+    let addr = cluster.local_addr();
+    let fleet = cluster.fleet();
+    assert!(
+        cluster.wait_healthy(2, Duration::from_secs(60)),
+        "both replicas should pass startup probes"
+    );
+    let cluster_thread = std::thread::spawn(move || cluster.run());
+    let mut client = RetryClient::new(addr, Duration::from_secs(30), 4, Duration::from_millis(50));
+
+    // Baseline answers; the fleet must return to exactly these.
+    let bodies: Vec<String> = (0..16)
+        .map(|i| format!("{{\"m\":{},\"n\":64,\"k\":32}}", 16 + i * 8))
+        .collect();
+    let baseline: Vec<String> = bodies
+        .iter()
+        .map(|b| {
+            let resp = client.post("/v1/recommend/array", b).expect("baseline request");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            resp.body
+        })
+        .collect();
+
+    // Kick off the rolling reload; it blocks in the router until the
+    // fleet-wide verdict, so drive it from a second thread.
+    let reload_thread = {
+        let body = format!("{{\"path\":{:?}}}", candidate_path.display().to_string());
+        std::thread::spawn(move || {
+            let mut c = RetryClient::new(addr, Duration::from_secs(60), 1, Duration::from_millis(50));
+            c.post("/v1/reload", &body).expect("reload request completes")
+        })
+    };
+
+    // Wait for one replica to enter canary evaluation, then SIGKILL it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'found: loop {
+        assert!(Instant::now() < deadline, "no replica ever started evaluating");
+        for view in fleet.views() {
+            let Some(replica_addr) = view.addr else { continue };
+            let mut probe =
+                RetryClient::new(replica_addr, Duration::from_secs(5), 1, Duration::from_millis(20));
+            if let Ok(health) = probe.get("/healthz") {
+                if health.body.contains("\"state\":\"evaluating\"") {
+                    assert!(fleet.kill_replica(view.id), "evaluating replica should be killable");
+                    break 'found;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The router must notice the dead canary and roll the fleet back.
+    let reload = reload_thread.join().expect("reload thread joins");
+    assert_eq!(reload.status, 409, "{}", reload.body);
+    assert!(reload.body.contains("\"rolled_back\":true"), "{}", reload.body);
+
+    // Disk is authoritative: incumbent active, candidate quarantined.
+    let manifest = Registry::open(&dir, DEFAULT_RETAIN).expect("reopen registry").manifest().clone();
+    assert_eq!(manifest.active, Some(1), "{manifest:?}");
+    let candidate = manifest.entries.iter().find(|e| e.version == 2).expect("candidate entry");
+    assert!(candidate.quarantined, "{manifest:?}");
+
+    // The killed replica restarts from `current.airm` and rejoins.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let restarts: u64 = fleet.views().iter().map(|v| v.restarts_total).sum();
+        if restarts >= 1 && fleet.healthy() >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "killed replica was not restarted and re-admitted within 30 s"
+        );
+        std::thread::sleep(Duration::from_millis(probe_interval_ms));
+    }
+
+    // Every replica answers exactly as before the aborted rollout.
+    for (body, expected) in bodies.iter().zip(&baseline) {
+        let resp = client.post("/v1/recommend/array", body).expect("post-rollback request");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(
+            answer_of(&resp.body),
+            answer_of(expected),
+            "fleet answers diverged after rollback"
+        );
+    }
+    let metrics = client.get("/metrics").expect("metrics");
+    assert!(
+        metrics.body.contains("cluster.rollout.rollbacks 1"),
+        "{}",
+        metrics.body
+    );
+
+    let shutdown = client.post("/v1/shutdown", "").expect("shutdown");
+    assert_eq!(shutdown.status, 200);
+    cluster_thread
+        .join()
+        .expect("cluster thread joins")
+        .expect("cluster exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -188,6 +188,11 @@ struct Conn {
     /// Monotonically increasing per-connection request id.
     next_req: u64,
     last_activity: Instant,
+    /// When the currently-incomplete request head started arriving.
+    /// `last_activity` refreshes on every byte, so a slowloris client
+    /// trickling one header byte per timeout window never goes idle;
+    /// this anchor only clears when a full request parses.
+    head_since: Option<Instant>,
     /// When the current unflushed response started waiting (write-stall
     /// timeout anchor); `None` while the write buffer is empty.
     write_since: Option<Instant>,
@@ -422,6 +427,7 @@ impl Shard {
                 pending: None,
                 next_req: 1,
                 last_activity: Instant::now(),
+                head_since: None,
                 write_since: None,
                 close_after_write: false,
                 peer_closed: false,
@@ -525,6 +531,7 @@ impl Shard {
                 Ok(Parsed::Complete { request, consumed }) => {
                     if let Some(conn) = self.conns.get_mut(idx) {
                         conn.read_buf.drain(..consumed);
+                        conn.head_since = None;
                     }
                     self.dispatch(idx, &request, inner);
                 }
@@ -532,6 +539,9 @@ impl Shard {
                     let Some(conn) = self.conns.get_mut(idx) else {
                         return;
                     };
+                    if conn.head_since.is_none() {
+                        conn.head_since = Some(Instant::now());
+                    }
                     if conn.peer_closed {
                         // EOF mid-request: same 400 the blocking reader
                         // produces for a truncated head.
@@ -728,6 +738,7 @@ impl Shard {
                 Nothing,
                 Close,
                 Deadline,
+                Reap408,
             }
             let action = {
                 let Some(conn) = self.conns.slots[idx].as_mut() else {
@@ -747,6 +758,17 @@ impl Shard {
                     Action::Close
                 } else if conn.pending.is_none()
                     && conn.write_buf.is_empty()
+                    && conn.head_since.is_some_and(|since| {
+                        self.read_timeout
+                            .is_some_and(|t| now.duration_since(since) >= t)
+                    })
+                {
+                    // Slowloris: header bytes trickling in keep
+                    // `last_activity` fresh, but the request head has
+                    // been incomplete for a whole timeout window.
+                    Action::Reap408
+                } else if conn.pending.is_none()
+                    && conn.write_buf.is_empty()
                     && self
                         .read_timeout
                         .is_some_and(|t| now.duration_since(conn.last_activity) >= t)
@@ -760,6 +782,12 @@ impl Shard {
             match action {
                 Action::Nothing => {}
                 Action::Close => self.close(idx),
+                Action::Reap408 => {
+                    airchitect_telemetry::metrics::SERVE_SLOWLORIS_REAPED.inc();
+                    let resp =
+                        Response::error(408, "request_timeout", "request header read timed out");
+                    self.respond(idx, &resp, false);
+                }
                 Action::Deadline => {
                     // Answer the 504 now; the worker's eventual outcome is
                     // discarded by the request-id check.
@@ -795,6 +823,7 @@ mod tests {
             pending: None,
             next_req: 1,
             last_activity: Instant::now(),
+            head_since: None,
             write_since: None,
             close_after_write: false,
             peer_closed: false,

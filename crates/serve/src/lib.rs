@@ -63,6 +63,7 @@
 pub mod batch;
 pub mod breaker;
 pub mod cache;
+pub mod canary;
 pub mod client;
 #[cfg(target_os = "linux")]
 mod evented;
@@ -72,6 +73,7 @@ pub mod listener;
 pub mod proxy;
 #[cfg(target_os = "linux")]
 pub mod reactor;
+pub mod registry;
 pub mod reload;
 pub mod ring;
 pub mod router;
@@ -159,6 +161,25 @@ pub struct ServeConfig {
     /// Dedicated low-priority shadow worker threads (never borrowed from
     /// the batch-worker pool).
     pub shadow_threads: usize,
+    /// Versioned model registry directory (`--model-dir`). When set and
+    /// `model_paths` is empty, the server boots from the registry's
+    /// `current.airm`; reloads stage the newest unpromoted version and
+    /// failed canaries quarantine it.
+    pub model_dir: Option<PathBuf>,
+    /// Canary traffic split in `0.0..=1.0`; zero keeps the legacy
+    /// immediate-swap reload. With a split, `/v1/reload` stages the
+    /// candidate and this fraction of single-query traffic is answered by
+    /// it (compared against the incumbent) until the gates decide.
+    pub canary_split: f64,
+    /// Compared samples required before the canary gates are judged.
+    pub canary_min_samples: u64,
+    /// Minimum candidate-vs-incumbent agreement rate for promotion.
+    pub canary_min_agreement: f64,
+    /// Maximum candidate p99 latency as a multiple of the incumbent's.
+    pub canary_max_p99_ratio: f64,
+    /// Rolling cluster reload: how long the router waits for one
+    /// replica's canary verdict before declaring the rollout failed.
+    pub rollout_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -184,6 +205,12 @@ impl Default for ServeConfig {
             shadow_dir: None,
             shadow_queue_depth: 64,
             shadow_threads: 1,
+            model_dir: None,
+            canary_split: 0.0,
+            canary_min_samples: 50,
+            canary_min_agreement: 0.9,
+            canary_max_p99_ratio: 4.0,
+            rollout_timeout_ms: 30_000,
         }
     }
 }

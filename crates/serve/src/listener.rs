@@ -37,8 +37,10 @@ use airchitect_telemetry::metrics;
 use crate::batch::{spawn_workers, CompletionQueue, Job, PushError, Queue, Reply, Source};
 use crate::breaker::{Admit, Breakers};
 use crate::cache::{CachedResponse, LruCache};
+use crate::canary::{Rollout, RolloutConfig};
 use crate::fallback::{self, Oracle};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::registry::{Registry, DEFAULT_RETAIN};
 use crate::reload::ModelHub;
 use crate::router::{self, Route};
 use crate::{ServeConfig, ServeError};
@@ -129,6 +131,9 @@ pub(crate) struct Inner {
     pub(crate) nodelay: bool,
     /// Shadow-oracle sampling pipeline; `None` when disabled.
     pub(crate) shadow: Option<Arc<crate::shadow::ShadowState>>,
+    /// Canary rollout controller (inert when the split is zero and no
+    /// registry is attached, but always present so dispatch is uniform).
+    pub(crate) rollout: Rollout,
     /// Evented shards (empty in threaded mode).
     pub(crate) shards: Vec<ShardHandle>,
     /// Live connection threads (zero in evented mode).
@@ -167,9 +172,54 @@ impl Server {
     /// or bind failures.
     pub fn bind(config: &ServeConfig) -> Result<Self, ServeError> {
         airchitect_telemetry::enable();
+        // Registry mode: boot from the stable `current.airm` copy so a
+        // restart (even one SIGKILLed mid-rollout) lands on the version
+        // the last successful promote installed. A `--model` given
+        // alongside an *empty* registry seeds version 1; with an active
+        // version already on disk, the registry wins.
+        let mut model_paths = config.model_paths.clone();
+        let registry = match &config.model_dir {
+            Some(dir) => {
+                let mut reg = Registry::open(dir, DEFAULT_RETAIN)
+                    .map_err(|e| ServeError::Config(format!("--model-dir: {e}")))?;
+                if model_paths.len() > 1 {
+                    return Err(ServeError::Config(
+                        "--model-dir manages a single model; pass at most one --model".into(),
+                    ));
+                }
+                if reg.manifest().active.is_none() {
+                    let seed = model_paths.first().ok_or_else(|| {
+                        ServeError::Config(format!(
+                            "registry at {} has no active version; seed it with --model or `train --model-dir`",
+                            dir.display()
+                        ))
+                    })?;
+                    let bytes = std::fs::read(seed)
+                        .map_err(|e| ServeError::Io(format!("{}: {e}", seed.display())))?;
+                    let version = reg
+                        .add_version(&bytes)
+                        .and_then(|v| reg.promote(v).map(|_| v))
+                        .map_err(|e| ServeError::Config(format!("--model-dir seed: {e}")))?;
+                    let _ = version;
+                }
+                model_paths = vec![reg.current_path()];
+                Some(reg)
+            }
+            None => None,
+        };
         // `fallback_search` doubles as "tolerate startup load failures":
         // the oracle can answer for a model that failed its checksum.
-        let hub = Arc::new(ModelHub::load(&config.model_paths, config.fallback_search)?);
+        let hub = Arc::new(ModelHub::load(&model_paths, config.fallback_search)?);
+        let rollout = Rollout::new(
+            RolloutConfig {
+                split_ppm: airchitect_online::sampler::rate_to_ppm(config.canary_split),
+                min_samples: config.canary_min_samples.max(1),
+                min_agreement: config.canary_min_agreement,
+                max_p99_ratio: config.canary_max_p99_ratio,
+            },
+            Arc::clone(&hub),
+            registry,
+        );
         // Built after `enable()` so the breaker gauges publish their
         // closed state and show up in `/metrics` from the first scrape.
         let breakers = Arc::new(Breakers::new(
@@ -233,6 +283,7 @@ impl Server {
                 bypass: config.single_query_bypass,
                 nodelay: config.nodelay,
                 shadow: crate::shadow::ShadowState::start(config)?,
+                rollout,
                 shards: shard_handles,
                 threaded_open: AtomicU64::new(0),
             }),
@@ -502,7 +553,11 @@ pub(crate) fn handle_request_step(
     };
     match route {
         Route::Healthz => (
-            Step::Respond(router::render_healthz(&inner.hub, &inner.breakers)),
+            Step::Respond(router::render_healthz(
+                &inner.hub,
+                &inner.breakers,
+                Some(&inner.rollout),
+            )),
             false,
         ),
         Route::Metrics => (Step::Respond(render_metrics_response(inner)), false),
@@ -510,7 +565,8 @@ pub(crate) fn handle_request_step(
             Step::Respond(Response::json(200, "{\"shutting_down\":true}\n".into())),
             true,
         ),
-        Route::Reload => (Step::Respond(reload(inner)), false),
+        Route::Reload => (Step::Respond(reload(request, inner)), false),
+        Route::Rollback => (Step::Respond(inner.rollout.rollback_now()), false),
         Route::Recommend(case) => (recommend_step(case, request, inner, make_reply), false),
     }
 }
@@ -604,7 +660,12 @@ fn render_metrics_response(inner: &Inner) -> Response {
 /// `POST /v1/reload` behind its circuit breaker: repeated reload failures
 /// (corrupt artifact stuck on disk) stop hammering the filesystem and are
 /// reported as an open circuit instead.
-fn reload(inner: &Inner) -> Response {
+///
+/// With a canary split configured the reload *stages* the candidate and
+/// hands it to the rollout controller; without one it keeps the legacy
+/// immediate swap (in registry mode, promoting the newest unquarantined
+/// version first so the swap picks it up from `current.airm`).
+fn reload(request: &Request, inner: &Inner) -> Response {
     match inner.breakers.reload.try_acquire() {
         Admit::No => {
             let mut resp = Response::error(
@@ -615,20 +676,27 @@ fn reload(inner: &Inner) -> Response {
             resp.retry_after = Some(1);
             resp
         }
-        Admit::Yes => match inner.hub.reload() {
-            Ok(_) => {
-                inner.breakers.reload.record(true);
-                router::render_reloaded(&inner.hub)
-            }
-            // 409, not 5xx: the server is healthy, the *new* artifact is
-            // not; old models keep serving. It still counts against the
+        Admit::Yes
+            if inner.rollout.enabled() && !crate::canary::reload_is_immediate(&request.body) =>
+        {
+            let resp = inner.rollout.stage_reload(&request.body);
+            // A stage failure counts against the breaker exactly like a
+            // failed legacy reload: redeploying a corrupt artifact in a
+            // loop should trip it.
+            inner.breakers.reload.record(resp.status == 200);
+            resp
+        }
+        Admit::Yes => {
+            // Immediate swap: explicit `{"path", "version"}` bodies from
+            // the rolling coordinator are honored, registry mode promotes
+            // the newest candidate first, plain mode re-reads the
+            // registered paths. A failure still counts against the
             // breaker — an operator redeploying a corrupt model in a loop
             // should trip it.
-            Err(e) => {
-                inner.breakers.reload.record(false);
-                Response::error(409, "reload_failed", &e.to_string())
-            }
-        },
+            let resp = inner.rollout.immediate_reload(&request.body);
+            inner.breakers.reload.record(resp.status == 200);
+            resp
+        }
     }
 }
 
@@ -727,16 +795,54 @@ fn recommend_step(
                 let breaker = inner.breakers.infer(case);
                 if matches!(breaker.try_acquire(), Admit::Yes) {
                     metrics::SERVE_BYPASS.inc();
+                    // Canary slice: a deterministically sampled request is
+                    // answered by the staged candidate *and* the incumbent,
+                    // the answers compared, and the verdict tallied. The
+                    // client gets the candidate's answer when it succeeded,
+                    // the incumbent's otherwise — a bad canary can lose the
+                    // vote but never fail a request.
+                    if let Some(candidate) = inner.rollout.active() {
+                        if inner.rollout.in_slice(&parsed.cache_key) {
+                            if let Some(cand_model) = candidate.model(case) {
+                                if cand_model.recommender.quantized().is_some() {
+                                    let inc_start = Instant::now();
+                                    let inc = guarded_fast(&model, &parsed.query);
+                                    let inc_us = inc_start.elapsed().as_micros() as u64;
+                                    let cand_start = Instant::now();
+                                    let cand = guarded_fast(cand_model, &parsed.query);
+                                    let cand_us = cand_start.elapsed().as_micros() as u64;
+                                    let cand_failed = matches!(
+                                        &cand,
+                                        crate::batch::Outcome::Err { .. }
+                                    );
+                                    let agreed =
+                                        !cand_failed && answers_agree(&inc, &cand);
+                                    inner.rollout.record_sample(
+                                        &candidate,
+                                        agreed,
+                                        cand_failed,
+                                        cand_us,
+                                        inc_us,
+                                    );
+                                    let inc_failed = matches!(
+                                        &inc,
+                                        crate::batch::Outcome::Err { status, .. } if *status >= 500
+                                    );
+                                    if inc_failed {
+                                        metrics::SERVE_INFER_FAILURES.inc();
+                                    }
+                                    breaker.record(!inc_failed);
+                                    // Never cached: the winning answer may
+                                    // carry a generation that is not live.
+                                    let served = if cand_failed { inc } else { cand };
+                                    return respond(uncached_response(served));
+                                }
+                            }
+                        }
+                    }
                     // Same panic isolation and breaker accounting as the
                     // worker's answer_job: a poisoned model costs one 500.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        crate::batch::execute_fast(&model, &parsed.query)
-                    }))
-                    .unwrap_or_else(|_| crate::batch::Outcome::Err {
-                        status: 500,
-                        code: "inference_panic",
-                        message: "inference panicked; the request was isolated".into(),
-                    });
+                    let outcome = guarded_fast(&model, &parsed.query);
                     let failed = matches!(
                         &outcome,
                         crate::batch::Outcome::Err { status, .. } if *status >= 500
@@ -820,6 +926,53 @@ pub(crate) fn outcome_response(
             }
             resp
         }
+    }
+}
+
+/// Panic-isolated [`execute_fast`](crate::batch::execute_fast): a poisoned
+/// model costs one 500, never the connection (or shard) that hit it.
+fn guarded_fast(
+    model: &crate::reload::LoadedModel,
+    query: &crate::batch::RecQuery,
+) -> crate::batch::Outcome {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::batch::execute_fast(model, query)
+    }))
+    .unwrap_or_else(|_| crate::batch::Outcome::Err {
+        status: 500,
+        code: "inference_panic",
+        message: "inference panicked; the request was isolated".into(),
+    })
+}
+
+/// Whether two successful fast-path answers agree on everything but the
+/// producing generation (the tail's first field, which legitimately
+/// differs between incumbent and candidate).
+fn answers_agree(a: &crate::batch::Outcome, b: &crate::batch::Outcome) -> bool {
+    let tail = |o: &crate::batch::Outcome| match o {
+        crate::batch::Outcome::Ok { body_tail, .. } => body_tail
+            .find(',')
+            .map(|i| body_tail[i..].to_string()),
+        crate::batch::Outcome::Err { .. } => None,
+    };
+    match (tail(a), tail(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Frames an outcome as HTTP without touching the response cache (canary
+/// comparisons: the served answer may come from a non-live generation).
+fn uncached_response(outcome: crate::batch::Outcome) -> Response {
+    match outcome {
+        crate::batch::Outcome::Ok { body_tail, .. } => {
+            Response::json(200, format!("{{\"cached\":false,{body_tail}"))
+        }
+        crate::batch::Outcome::Err {
+            status,
+            code,
+            message,
+        } => Response::error(status, code, &message),
     }
 }
 

@@ -19,9 +19,20 @@
 //!    `X-Replica` header naming the replica that produced it.
 //!
 //! `/healthz` and `/metrics` are answered by the router itself with
-//! fleet-level aggregation; `/v1/reload` broadcasts to every live
-//! replica; `/v1/shutdown` drains the router, then the supervisor drains
-//! the children.
+//! fleet-level aggregation; `/v1/shutdown` drains the router, then the
+//! supervisor drains the children.
+//!
+//! `/v1/reload` depends on the deployment: without a registry it
+//! broadcasts to every live replica (legacy fan-out); with `--model-dir`
+//! it runs a **rolling rollout** — one replica at a time is told to
+//! canary the registry's newest candidate version, the router polls that
+//! replica's `/healthz` until the canary verdict lands, and only when
+//! *every* replica has promoted does the router promote the version in
+//! the registry (rewriting the shared `current.airm` that replicas boot
+//! from). Any failure — a stage rejection, a canary rollback, a verdict
+//! timeout, a replica dying mid-evaluation — quarantines the version and
+//! rolls the whole fleet back onto the incumbent, so the fleet never
+//! settles split across two versions.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -32,13 +43,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use airchitect::model::CaseStudy;
-use airchitect_telemetry::json;
+use airchitect_telemetry::json::{self, Value};
 use airchitect_telemetry::metrics;
 
 use crate::breaker::Admit;
 use crate::client::RetryClient;
 use crate::http::{self, read_request, write_response, ReadError, Request, Response};
 use crate::listener::accept_with_retry;
+use crate::registry::{Registry, RegistryError, DEFAULT_RETAIN};
 use crate::router::{self, Route};
 use crate::supervisor::{fleet_status, ClusterConfig, Fleet, ReplicaSlot, Supervisor};
 use crate::{ServeConfig, ServeError};
@@ -281,6 +293,14 @@ struct ProxyInner {
     cfg: ClusterConfig,
     latency: LatencyEstimator,
     shutdown: AtomicBool,
+    /// The shared model registry (`--model-dir` deployments only).
+    registry: Option<Mutex<Registry>>,
+    /// Serializes rollouts: a second `/v1/reload` while one is in flight
+    /// answers `409` instead of interleaving canaries.
+    rollout_lock: Mutex<()>,
+    /// The last version a rolling rollout promoted — the fleet-wide
+    /// `/v1/rollback` target.
+    last_promoted: Mutex<Option<u64>>,
 }
 
 /// The bound cluster router. [`Router::run`] owns the accept loop; it
@@ -303,6 +323,13 @@ impl Router {
         let addr = listener
             .local_addr()
             .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+        let registry = match &cfg.model_dir {
+            Some(dir) => Some(Mutex::new(
+                Registry::open(dir, DEFAULT_RETAIN)
+                    .map_err(|e| ServeError::Config(format!("--model-dir: {e}")))?,
+            )),
+            None => None,
+        };
         Ok(Self {
             listener,
             addr,
@@ -311,6 +338,9 @@ impl Router {
                 cfg: cfg.clone(),
                 latency: LatencyEstimator::new(),
                 shutdown: AtomicBool::new(false),
+                registry,
+                rollout_lock: Mutex::new(()),
+                last_promoted: Mutex::new(None),
             }),
         })
     }
@@ -423,7 +453,8 @@ fn dispatch(
             Response::json(200, "{\"shutting_down\":true}\n".into()),
             true,
         ),
-        Route::Reload => (broadcast_reload(inner), false),
+        Route::Reload => (rolling_reload(request, inner), false),
+        Route::Rollback => (fleet_rollback(inner), false),
         Route::Recommend(case) => {
             if inner.shutdown.load(Ordering::Acquire) {
                 let mut resp = Response::error(503, "draining", "router is shutting down");
@@ -533,6 +564,326 @@ fn broadcast_reload(inner: &ProxyInner) -> Response {
     }
     body.push_str("]}\n");
     Response::json(if all_ok { 200 } else { 502 }, body)
+}
+
+// ---------------------------------------------------------------------
+// Rolling rollout (registry deployments)
+// ---------------------------------------------------------------------
+
+/// A control-plane client for one replica (reload/rollback/healthz).
+fn control_client(inner: &ProxyInner, addr: SocketAddr) -> RetryClient {
+    RetryClient::new(
+        addr,
+        Duration::from_millis(inner.cfg.backend_timeout_ms.max(1)),
+        2,
+        Duration::from_millis(50),
+    )
+}
+
+/// Extracts `rollout.state` and `rollout.last` from a replica `/healthz`
+/// body. Returns `None` when the body has no rollout object (old replica
+/// or parse failure).
+fn parse_rollout_state(body: &str) -> Option<(String, String)> {
+    let Ok(Value::Obj(members)) = json::parse(body) else {
+        return None;
+    };
+    let rollout = members.iter().find(|(k, _)| k == "rollout")?;
+    let Value::Obj(fields) = &rollout.1 else {
+        return None;
+    };
+    let get = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_str())
+            .map(str::to_string)
+    };
+    Some((get("state")?, get("last")?))
+}
+
+/// Polls one replica until its canary evaluation settles. `Ok` carries
+/// the verdict (`promoted` / `rolled_back` / `none` — the last meaning
+/// the replica restarted and lost the candidate). `Err` is a timeout.
+fn wait_verdict(inner: &ProxyInner, addr: SocketAddr) -> Result<String, ()> {
+    let deadline = Instant::now() + Duration::from_millis(inner.cfg.rollout_timeout_ms.max(1));
+    let mut client = control_client(inner, addr);
+    while Instant::now() < deadline {
+        if let Ok(resp) = client.get("/healthz") {
+            if let Some((state, last)) = parse_rollout_state(&resp.body) {
+                if state == "idle" {
+                    return Ok(last);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Err(())
+}
+
+/// Rolls the whole fleet back onto the incumbent: quarantine the failed
+/// version, tell every replica to drop any canary, then force an
+/// immediate reload so replicas that already promoted in memory re-read
+/// the (still-incumbent) `current.airm`.
+fn roll_fleet_back(inner: &ProxyInner, version: u64, detail: &str) -> Response {
+    metrics::CLUSTER_ROLLOUT_ROLLBACKS.inc();
+    if let Some(reg) = &inner.registry {
+        let mut reg = reg.lock().expect("registry poisoned");
+        let _ = reg.quarantine(version);
+    }
+    for v in inner.fleet.views() {
+        let Some(addr) = v.addr else { continue };
+        let mut client = control_client(inner, addr);
+        let _ = client.post("/v1/rollback", "");
+        let _ = client.post("/v1/reload", "{\"immediate\":true}");
+    }
+    metrics::CLUSTER_ROLLOUT_REPLICAS_DONE.set(0.0);
+    let mut body = String::from(
+        "{\"reloaded\":false,\"rollout\":{\"rolled_back\":true,\"version\":",
+    );
+    body.push_str(&version.to_string());
+    body.push_str(",\"detail\":");
+    json::write_escaped(&mut body, detail);
+    body.push_str("}}\n");
+    Response::json(409, body)
+}
+
+/// `POST /v1/reload` on a registry deployment: a rolling, drain-aware,
+/// canary-verified rollout — one replica at a time, fleet-wide rollback
+/// on the first failure, registry promotion only after unanimity.
+///
+/// The optional body `{"path": "..."}` registers the named artifact as a
+/// new version first (the curl-driven deploy path); otherwise the newest
+/// unpromoted registry version is rolled out.
+fn rolling_reload(request: &Request, inner: &ProxyInner) -> Response {
+    let Some(registry) = &inner.registry else {
+        // Legacy fan-out for registry-less clusters.
+        return broadcast_reload(inner);
+    };
+    let Ok(_rollout) = inner.rollout_lock.try_lock() else {
+        return Response::error(
+            409,
+            "rollout_in_progress",
+            "a rolling rollout is already running",
+        );
+    };
+    // Optional body: register a fresh artifact as the candidate version.
+    let explicit_path = match parse_router_reload_body(&request.body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let (version, artifact) = {
+        let mut reg = registry.lock().expect("registry poisoned");
+        // Pick up versions `train --model-dir` registered out-of-process.
+        if let Err(e) = reg.refresh() {
+            return Response::error(500, "registry_error", &e.to_string());
+        }
+        let version = if let Some(path) = explicit_path {
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    return Response::error(
+                        400,
+                        "bad_artifact",
+                        &format!("{}: {e}", path.display()),
+                    )
+                }
+            };
+            match reg.add_version(&bytes) {
+                Ok(v) => v,
+                Err(e @ RegistryError::Quarantined { .. }) => {
+                    return Response::error(409, "quarantined", &e.to_string())
+                }
+                Err(e) => return Response::error(500, "registry_error", &e.to_string()),
+            }
+        } else {
+            match reg.latest_candidate() {
+                Some(entry) => entry.version,
+                None => {
+                    return Response::error(
+                        409,
+                        "no_candidate",
+                        "registry has no unquarantined version newer than active",
+                    )
+                }
+            }
+        };
+        (version, reg.version_path(version))
+    };
+    metrics::CLUSTER_ROLLOUT_STARTED.inc();
+    metrics::CLUSTER_ROLLOUT_REPLICAS_DONE.set(0.0);
+    let mut reload_body = String::from("{\"path\":");
+    json::write_escaped(&mut reload_body, &artifact.display().to_string());
+    reload_body.push_str(&format!(",\"version\":{version}}}"));
+
+    let replicas: Vec<(u32, SocketAddr)> = inner
+        .fleet
+        .views()
+        .iter()
+        .filter_map(|v| v.addr.map(|a| (v.id, a)))
+        .collect();
+    if replicas.is_empty() {
+        return Response::error(503, "no_replicas", "no replica has a known address");
+    }
+    let mut done = 0usize;
+    for &(id, addr) in &replicas {
+        let mut client = control_client(inner, addr);
+        match client.post("/v1/reload", &reload_body) {
+            Ok(resp) if resp.status == 200 => {}
+            Ok(resp) => {
+                return roll_fleet_back(
+                    inner,
+                    version,
+                    &format!("replica {id} rejected the candidate ({})", resp.status),
+                )
+            }
+            Err(e) => {
+                return roll_fleet_back(
+                    inner,
+                    version,
+                    &format!("replica {id} unreachable for reload: {e}"),
+                )
+            }
+        }
+        match wait_verdict(inner, addr) {
+            Ok(last) if last == "promoted" => {
+                // Re-probe before advancing: the replica must still be
+                // answering healthily on the new model.
+                match client.get("/healthz") {
+                    Ok(h) if h.status == 200 => {}
+                    _ => {
+                        return roll_fleet_back(
+                            inner,
+                            version,
+                            &format!("replica {id} unhealthy after promote"),
+                        )
+                    }
+                }
+                metrics::CLUSTER_ROLLOUT_REPLICA_RELOADS.inc();
+                done += 1;
+                metrics::CLUSTER_ROLLOUT_REPLICAS_DONE.set(done as f64);
+            }
+            Ok(last) => {
+                return roll_fleet_back(
+                    inner,
+                    version,
+                    &format!("replica {id} canary verdict: {last}"),
+                )
+            }
+            Err(()) => {
+                return roll_fleet_back(
+                    inner,
+                    version,
+                    &format!("replica {id} canary verdict timed out"),
+                )
+            }
+        }
+    }
+    // Unanimous: promote on disk (current.airm + MANIFEST move together;
+    // any replica restarting from here boots the new version).
+    {
+        let mut reg = registry.lock().expect("registry poisoned");
+        if let Err(e) = reg.promote(version) {
+            return roll_fleet_back(inner, version, &format!("registry promote failed: {e}"));
+        }
+    }
+    *inner.last_promoted.lock().expect("last_promoted poisoned") = Some(version);
+    metrics::CLUSTER_ROLLOUT_PROMOTED.inc();
+    let mut body = String::from("{\"reloaded\":true,\"rollout\":{\"rolled_back\":false,\"version\":");
+    body.push_str(&version.to_string());
+    body.push_str(",\"replicas\":");
+    body.push_str(&done.to_string());
+    body.push_str("}}\n");
+    Response::json(200, body)
+}
+
+/// Fleet-wide `POST /v1/rollback`: quarantines the last rollout-promoted
+/// version (restoring `current.airm` to its predecessor) and forces every
+/// replica back onto it. Idempotent — with nothing promoted it reports
+/// `false`.
+fn fleet_rollback(inner: &ProxyInner) -> Response {
+    let Some(registry) = &inner.registry else {
+        return Response::error(
+            409,
+            "no_registry",
+            "rollback requires a registry (--model-dir) deployment",
+        );
+    };
+    let Ok(_rollout) = inner.rollout_lock.try_lock() else {
+        return Response::error(
+            409,
+            "rollout_in_progress",
+            "a rolling rollout is already running",
+        );
+    };
+    let reverted = inner
+        .last_promoted
+        .lock()
+        .expect("last_promoted poisoned")
+        .take();
+    let Some(version) = reverted else {
+        return Response::json(
+            200,
+            "{\"rolled_back\":false,\"detail\":\"nothing_to_roll_back\"}\n".into(),
+        );
+    };
+    {
+        let mut reg = registry.lock().expect("registry poisoned");
+        if let Err(e) = reg.quarantine(version) {
+            return Response::error(500, "registry_error", &e.to_string());
+        }
+    }
+    metrics::CLUSTER_ROLLOUT_ROLLBACKS.inc();
+    let mut failures = 0usize;
+    for v in inner.fleet.views() {
+        let Some(addr) = v.addr else { continue };
+        let mut client = control_client(inner, addr);
+        let ok = client
+            .post("/v1/reload", "{\"immediate\":true}")
+            .map(|r| r.status == 200)
+            .unwrap_or(false);
+        if !ok {
+            failures += 1;
+        }
+    }
+    let mut body = String::from("{\"rolled_back\":true,\"version\":");
+    body.push_str(&version.to_string());
+    body.push_str(",\"replica_failures\":");
+    body.push_str(&failures.to_string());
+    body.push_str("}\n");
+    Response::json(if failures == 0 { 200 } else { 502 }, body)
+}
+
+/// Parses the router's `/v1/reload` body: optional `{"path": "..."}`.
+fn parse_router_reload_body(body: &[u8]) -> Result<Option<std::path::PathBuf>, Response> {
+    if body.iter().all(u8::is_ascii_whitespace) {
+        return Ok(None);
+    }
+    let bad = |code: &str, msg: &str| Response::error(400, code, msg);
+    let text = std::str::from_utf8(body)
+        .map_err(|_| bad("bad_encoding", "request body is not UTF-8"))?;
+    let members = match json::parse(text) {
+        Ok(Value::Obj(members)) => members,
+        Ok(_) => return Err(bad("bad_request", "request body must be a JSON object")),
+        Err(e) => return Err(bad("bad_json", &format!("malformed JSON: {e}"))),
+    };
+    let mut path = None;
+    for (key, value) in &members {
+        match key.as_str() {
+            "path" => {
+                let s = value
+                    .as_str()
+                    .ok_or_else(|| bad("bad_field", "`path` must be a string"))?;
+                path = Some(std::path::PathBuf::from(s));
+            }
+            other => {
+                return Err(bad(
+                    "unknown_field",
+                    &format!("unknown field `{other}` (allowed: path)"),
+                ))
+            }
+        }
+    }
+    Ok(path)
 }
 
 // ---------------------------------------------------------------------
@@ -869,6 +1220,20 @@ impl Cluster {
             argv.push(config.shadow_queue_depth.to_string());
             argv.push("--shadow-threads".into());
             argv.push(config.shadow_threads.to_string());
+        }
+        // Canary thresholds ride along so the rolling rollout can drive
+        // each replica's evaluation. `--model-dir` deliberately does NOT:
+        // replicas serve the registry's `current.airm` by path, while the
+        // router alone owns the MANIFEST.
+        if config.canary_split > 0.0 {
+            argv.push("--canary-split".into());
+            argv.push(config.canary_split.to_string());
+            argv.push("--canary-min-samples".into());
+            argv.push(config.canary_min_samples.to_string());
+            argv.push("--canary-min-agreement".into());
+            argv.push(config.canary_min_agreement.to_string());
+            argv.push("--canary-max-p99-ratio".into());
+            argv.push(config.canary_max_p99_ratio.to_string());
         }
         argv
     }

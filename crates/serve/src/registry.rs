@@ -1,0 +1,578 @@
+//! Versioned on-disk model registry with atomic promote/rollback.
+//!
+//! Layout under `--model-dir`:
+//!
+//! ```text
+//! DIR/
+//!   MANIFEST        checksummed text manifest (CRC32 footer)
+//!   current.airm    atomic copy of the active version's artifact
+//!   v0001.airm …    immutable version artifacts
+//! ```
+//!
+//! The `MANIFEST` names the active version, every retained prior version,
+//! and the quarantine list — versions that failed a canary (or failed to
+//! load at all) and must never be re-promoted, identified by the CRC32
+//! fingerprint of their artifact bytes so a re-emitted identical
+//! checkpoint is refused too. All mutations go through the same
+//! atomic-write primitive as model persistence (temp file + fsync +
+//! rename), and the in-memory state is only committed after the disk
+//! write succeeds, so an injected fault mid-promote leaves both the file
+//! and the `Registry` on the old state.
+//!
+//! `current.airm` exists so restarts land on the fleet-active version: a
+//! replica (or single server) started with `--model DIR/current.airm`
+//! always boots the artifact the last successful promote installed, even
+//! if it was SIGKILLed mid-rollout.
+
+use std::path::{Path, PathBuf};
+
+use airchitect_data::integrity::{append_crc_footer, atomic_write, crc32, split_crc_footer};
+
+/// Manifest schema magic + version line.
+const HEADER: &str = "AIRREG 1";
+
+/// Artifact fingerprint: CRC32 of the payload with a valid integrity
+/// footer stripped. Hashing the whole file would be degenerate — CRC32 of
+/// any `body || crc32(body)` is the same residue constant — so every
+/// checksummed artifact would share one fingerprint and quarantining one
+/// model would quarantine them all.
+fn artifact_fingerprint(bytes: &[u8]) -> u32 {
+    match split_crc_footer(bytes) {
+        Some((body, stored)) if crc32(body) == stored => stored,
+        _ => crc32(bytes),
+    }
+}
+/// Default number of non-active, non-quarantined prior versions retained.
+pub const DEFAULT_RETAIN: usize = 3;
+
+/// Error produced by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Filesystem error, stringified.
+    Io(String),
+    /// The MANIFEST failed its checksum or schema validation.
+    Corrupt(String),
+    /// The artifact's fingerprint matches a quarantined (rolled-back)
+    /// version; re-registering it is refused.
+    Quarantined {
+        /// The quarantined version whose fingerprint matched.
+        version: u64,
+        /// The offending artifact fingerprint.
+        fingerprint: u32,
+    },
+    /// The named version is not in the manifest (or is quarantined where
+    /// an ok version is required).
+    NotFound(u64),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Io(msg) => write!(f, "registry i/o: {msg}"),
+            RegistryError::Corrupt(msg) => write!(f, "corrupt MANIFEST: {msg}"),
+            RegistryError::Quarantined {
+                version,
+                fingerprint,
+            } => write!(
+                f,
+                "artifact fingerprint {fingerprint:#010x} matches quarantined version v{version}; refusing"
+            ),
+            RegistryError::NotFound(v) => write!(f, "version v{v} not in the registry"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e.to_string())
+    }
+}
+
+/// One versioned artifact named by the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionEntry {
+    /// Monotonic version number (1-based).
+    pub version: u64,
+    /// CRC32 of the artifact bytes, doubling as the quarantine identity.
+    pub fingerprint: u32,
+    /// Rolled back by a failed canary; never promotable again.
+    pub quarantined: bool,
+}
+
+/// The parsed MANIFEST contents.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// The promoted version, if any. Never a quarantined one.
+    pub active: Option<u64>,
+    /// Every known version, in strictly increasing version order.
+    pub entries: Vec<VersionEntry>,
+}
+
+impl Manifest {
+    fn entry(&self, version: u64) -> Option<&VersionEntry> {
+        self.entries.iter().find(|e| e.version == version)
+    }
+
+    fn render(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        if let Some(v) = self.active {
+            out.push_str(&format!("active {v}\n"));
+        }
+        for e in &self.entries {
+            out.push_str(&format!(
+                "version {} fp {:#010x} {}\n",
+                e.version,
+                e.fingerprint,
+                if e.quarantined { "quarantined" } else { "ok" }
+            ));
+        }
+        let mut bytes = out.into_bytes();
+        append_crc_footer(&mut bytes);
+        bytes
+    }
+
+    /// Parses and validates MANIFEST bytes: checksum, schema, strictly
+    /// increasing version order, and an active pointer that names an
+    /// existing non-quarantined entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Corrupt`] on any violation.
+    pub fn parse(bytes: &[u8]) -> Result<Self, RegistryError> {
+        let (body, stored) =
+            split_crc_footer(bytes).ok_or(RegistryError::Corrupt("truncated file".into()))?;
+        let computed = crc32(body);
+        if computed != stored {
+            return Err(RegistryError::Corrupt(format!(
+                "checksum mismatch: file says {stored:#010x}, contents hash to {computed:#010x}"
+            )));
+        }
+        let text = std::str::from_utf8(body)
+            .map_err(|_| RegistryError::Corrupt("not UTF-8".into()))?;
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(RegistryError::Corrupt("bad header".into()));
+        }
+        let mut manifest = Manifest::default();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("active") => {
+                    if manifest.active.is_some() || !manifest.entries.is_empty() {
+                        return Err(RegistryError::Corrupt(
+                            "active line must appear once, before versions".into(),
+                        ));
+                    }
+                    let v = parts
+                        .next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or(RegistryError::Corrupt("bad active line".into()))?;
+                    manifest.active = Some(v);
+                }
+                Some("version") => {
+                    let v = parts
+                        .next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or(RegistryError::Corrupt("bad version number".into()))?;
+                    if parts.next() != Some("fp") {
+                        return Err(RegistryError::Corrupt("missing fp field".into()));
+                    }
+                    let fp = parts
+                        .next()
+                        .and_then(|s| s.strip_prefix("0x"))
+                        .and_then(|s| u32::from_str_radix(s, 16).ok())
+                        .ok_or(RegistryError::Corrupt("bad fingerprint".into()))?;
+                    let quarantined = match parts.next() {
+                        Some("ok") => false,
+                        Some("quarantined") => true,
+                        _ => return Err(RegistryError::Corrupt("bad version state".into())),
+                    };
+                    if let Some(last) = manifest.entries.last() {
+                        if v <= last.version {
+                            return Err(RegistryError::Corrupt(format!(
+                                "version v{v} out of order after v{}",
+                                last.version
+                            )));
+                        }
+                    }
+                    manifest.entries.push(VersionEntry {
+                        version: v,
+                        fingerprint: fp,
+                        quarantined,
+                    });
+                }
+                Some(other) => {
+                    return Err(RegistryError::Corrupt(format!("unknown line `{other}`")))
+                }
+                None => {} // blank line
+            }
+        }
+        if let Some(active) = manifest.active {
+            match manifest.entry(active) {
+                Some(e) if !e.quarantined => {}
+                Some(_) => {
+                    return Err(RegistryError::Corrupt(format!(
+                        "active version v{active} is quarantined"
+                    )))
+                }
+                None => {
+                    return Err(RegistryError::Corrupt(format!(
+                        "active version v{active} has no entry"
+                    )))
+                }
+            }
+        }
+        Ok(manifest)
+    }
+}
+
+/// A versioned model store rooted at one directory.
+#[derive(Debug)]
+pub struct Registry {
+    dir: PathBuf,
+    retain: usize,
+    manifest: Manifest,
+}
+
+impl Registry {
+    /// Opens (or initializes) the registry at `dir`, creating the
+    /// directory and an empty manifest if absent. `retain` bounds how many
+    /// non-active prior versions [`Registry::promote`] keeps on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] on filesystem errors and
+    /// [`RegistryError::Corrupt`] if an existing MANIFEST fails
+    /// validation (a corrupt manifest is never silently reinitialized).
+    pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<Self, RegistryError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let manifest_path = dir.join("MANIFEST");
+        let manifest = match std::fs::read(&manifest_path) {
+            Ok(bytes) => Manifest::parse(&bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let m = Manifest::default();
+                atomic_write(&manifest_path, &m.render())?;
+                m
+            }
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Self {
+            dir,
+            retain: retain.max(1),
+            manifest,
+        })
+    }
+
+    /// The current manifest state.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Re-reads the MANIFEST from disk, picking up versions registered by
+    /// another process (`train --model-dir` staging into a live server's
+    /// registry). On any error the in-memory state is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] when the file is unreadable,
+    /// [`RegistryError::Corrupt`] when it fails validation.
+    pub fn refresh(&mut self) -> Result<(), RegistryError> {
+        let bytes = std::fs::read(self.dir.join("MANIFEST"))?;
+        self.manifest = Manifest::parse(&bytes)?;
+        Ok(())
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Artifact path for a version.
+    pub fn version_path(&self, version: u64) -> PathBuf {
+        self.dir.join(format!("v{version:04}.airm"))
+    }
+
+    /// Stable path of the active artifact copy, rewritten atomically by
+    /// every promote. Start servers against this path.
+    pub fn current_path(&self) -> PathBuf {
+        self.dir.join("current.airm")
+    }
+
+    /// Whether `fingerprint` matches any quarantined version.
+    pub fn quarantined_fingerprint(&self, fingerprint: u32) -> Option<u64> {
+        self.manifest
+            .entries
+            .iter()
+            .find(|e| e.quarantined && e.fingerprint == fingerprint)
+            .map(|e| e.version)
+    }
+
+    /// The newest non-quarantined version newer than the active one — the
+    /// next reload's canary candidate.
+    pub fn latest_candidate(&self) -> Option<VersionEntry> {
+        let floor = self.manifest.active.unwrap_or(0);
+        self.manifest
+            .entries
+            .iter()
+            .rev()
+            .find(|e| !e.quarantined && e.version > floor)
+            .copied()
+    }
+
+    /// Registers `bytes` as a new version (without promoting it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Quarantined`] when the bytes fingerprint a
+    /// rolled-back version (a failed fine-tune re-emitted verbatim must
+    /// not sneak back in), or [`RegistryError::Io`] on write failure.
+    pub fn add_version(&mut self, bytes: &[u8]) -> Result<u64, RegistryError> {
+        let fingerprint = artifact_fingerprint(bytes);
+        if let Some(version) = self.quarantined_fingerprint(fingerprint) {
+            return Err(RegistryError::Quarantined {
+                version,
+                fingerprint,
+            });
+        }
+        let version = self.manifest.entries.last().map_or(1, |e| e.version + 1);
+        atomic_write(self.version_path(version), bytes)?;
+        let mut next = self.manifest.clone();
+        next.entries.push(VersionEntry {
+            version,
+            fingerprint,
+            quarantined: false,
+        });
+        self.store(next)?;
+        Ok(version)
+    }
+
+    /// Promotes `version` to active: atomically rewrites `current.airm`
+    /// with its artifact bytes, swaps the manifest pointer, and prunes
+    /// non-quarantined prior versions beyond the retain budget.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] for unknown or quarantined versions;
+    /// [`RegistryError::Io`] on write failure (the manifest — on disk and
+    /// in memory — keeps its old state).
+    pub fn promote(&mut self, version: u64) -> Result<PathBuf, RegistryError> {
+        airchitect_chaos::fail_point!("registry.promote", |e: std::io::Error| Err(
+            RegistryError::Io(e.to_string())
+        ));
+        match self.manifest.entry(version) {
+            Some(e) if !e.quarantined => {}
+            _ => return Err(RegistryError::NotFound(version)),
+        }
+        let bytes = std::fs::read(self.version_path(version))?;
+        atomic_write(self.current_path(), &bytes)?;
+        let mut next = self.manifest.clone();
+        next.active = Some(version);
+        // Retain the active version, every quarantined entry (the
+        // do-not-repeat list), and the newest `retain` other versions.
+        let mut keep_ok: Vec<u64> = next
+            .entries
+            .iter()
+            .filter(|e| !e.quarantined && e.version != version)
+            .map(|e| e.version)
+            .collect();
+        keep_ok.sort_unstable();
+        let pruned: Vec<u64> = keep_ok
+            .iter()
+            .rev()
+            .skip(self.retain)
+            .copied()
+            .collect();
+        next.entries.retain(|e| !pruned.contains(&e.version));
+        self.store(next)?;
+        for v in pruned {
+            let _ = std::fs::remove_file(self.version_path(v));
+        }
+        Ok(self.current_path())
+    }
+
+    /// Quarantines `version` after a failed canary (idempotent). The
+    /// active pointer is moved off it if it was active (it should not be
+    /// in the canary flow, where promotion happens last).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] for unknown versions;
+    /// [`RegistryError::Io`] on write failure (state unchanged).
+    pub fn quarantine(&mut self, version: u64) -> Result<(), RegistryError> {
+        airchitect_chaos::fail_point!("registry.quarantine", |e: std::io::Error| Err(
+            RegistryError::Io(e.to_string())
+        ));
+        if self.manifest.entry(version).is_none() {
+            return Err(RegistryError::NotFound(version));
+        }
+        let mut next = self.manifest.clone();
+        for e in &mut next.entries {
+            if e.version == version {
+                e.quarantined = true;
+            }
+        }
+        if next.active == Some(version) {
+            next.active = next
+                .entries
+                .iter()
+                .rev()
+                .find(|e| !e.quarantined)
+                .map(|e| e.version);
+            // Keep the stable artifact copy pointing at the new active so
+            // a restart after this rollback boots the right version.
+            if let Some(fallback) = next.active {
+                let bytes = std::fs::read(self.version_path(fallback))?;
+                atomic_write(self.current_path(), &bytes)?;
+            }
+        }
+        self.store(next)
+    }
+
+    /// Writes `next` to disk, committing it to memory only on success.
+    fn store(&mut self, next: Manifest) -> Result<(), RegistryError> {
+        airchitect_chaos::fail_point!("registry.manifest.write", |e: std::io::Error| Err(
+            RegistryError::Io(e.to_string())
+        ));
+        atomic_write(self.dir.join("MANIFEST"), &next.render())?;
+        self.manifest = next;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "airchitect-registry-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn open_add_promote_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut reg = Registry::open(&dir, 3).unwrap();
+        assert_eq!(reg.manifest().active, None);
+        let v1 = reg.add_version(b"model-one").unwrap();
+        assert_eq!(v1, 1);
+        assert_eq!(reg.latest_candidate().unwrap().version, 1);
+        reg.promote(v1).unwrap();
+        assert_eq!(reg.manifest().active, Some(1));
+        assert_eq!(std::fs::read(reg.current_path()).unwrap(), b"model-one");
+        assert!(reg.latest_candidate().is_none(), "nothing newer than active");
+
+        // A reopened registry sees the same state.
+        let back = Registry::open(&dir, 3).unwrap();
+        assert_eq!(back.manifest(), reg.manifest());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantined_fingerprint_is_refused() {
+        let dir = temp_dir("quarantine");
+        let mut reg = Registry::open(&dir, 3).unwrap();
+        let v1 = reg.add_version(b"good").unwrap();
+        reg.promote(v1).unwrap();
+        let v2 = reg.add_version(b"bad-finetune").unwrap();
+        reg.quarantine(v2).unwrap();
+        assert_eq!(reg.manifest().active, Some(v1), "active untouched");
+        // Re-emitting the identical artifact is refused...
+        assert!(matches!(
+            reg.add_version(b"bad-finetune"),
+            Err(RegistryError::Quarantined { version, .. }) if version == v2
+        ));
+        // ...and the quarantined version cannot be promoted.
+        assert!(matches!(reg.promote(v2), Err(RegistryError::NotFound(_))));
+        // Different bytes are fine.
+        assert_eq!(reg.add_version(b"better-finetune").unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promote_prunes_beyond_retain() {
+        let dir = temp_dir("prune");
+        let mut reg = Registry::open(&dir, 2).unwrap();
+        for i in 0..6u8 {
+            let v = reg.add_version(&[i; 8]).unwrap();
+            reg.promote(v).unwrap();
+        }
+        let versions: Vec<u64> = reg.manifest().entries.iter().map(|e| e.version).collect();
+        // active (6) + the 2 newest priors (4, 5).
+        assert_eq!(versions, vec![4, 5, 6]);
+        assert!(!reg.version_path(1).exists());
+        assert!(reg.version_path(6).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksummed_artifacts_get_distinct_fingerprints() {
+        // CRC32 of `body || crc32(body)` is a constant residue, so two
+        // different footer-carrying artifacts would collide if the
+        // fingerprint hashed the whole file. Quarantining one must not
+        // refuse the other.
+        let mut one = b"model-one".to_vec();
+        append_crc_footer(&mut one);
+        let mut two = b"model-two".to_vec();
+        append_crc_footer(&mut two);
+        assert_eq!(crc32(&one), crc32(&two), "residue premise");
+        assert_ne!(artifact_fingerprint(&one), artifact_fingerprint(&two));
+
+        let dir = temp_dir("fingerprint");
+        let mut reg = Registry::open(&dir, 3).unwrap();
+        let v1 = reg.add_version(&one).unwrap();
+        let v2 = reg.add_version(&two).unwrap();
+        reg.quarantine(v2).unwrap();
+        // The quarantine must bind to `two` only...
+        assert!(matches!(
+            reg.add_version(&two),
+            Err(RegistryError::Quarantined { version, .. }) if version == v2
+        ));
+        // ...not to every checksummed artifact.
+        assert_eq!(reg.add_version(&one).unwrap(), 3);
+        let _ = (v1, std::fs::remove_dir_all(&dir));
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected_not_reinitialized() {
+        let dir = temp_dir("corrupt");
+        let mut reg = Registry::open(&dir, 3).unwrap();
+        reg.add_version(b"x").unwrap();
+        let path = dir.join("MANIFEST");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Registry::open(&dir, 3),
+            Err(RegistryError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn active_must_reference_ok_entry() {
+        let mut m = Manifest {
+            active: Some(2),
+            entries: vec![VersionEntry {
+                version: 1,
+                fingerprint: 7,
+                quarantined: false,
+            }],
+        };
+        assert!(matches!(
+            Manifest::parse(&m.render()),
+            Err(RegistryError::Corrupt(_))
+        ));
+        m.active = Some(1);
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+}

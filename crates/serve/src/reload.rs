@@ -171,6 +171,16 @@ impl ModelHub {
         self.load_errors.lock().expect("load_errors poisoned").clone()
     }
 
+    /// Records an operational note surfaced through `/healthz`'s
+    /// `load_errors` array (used by the rollout controller for registry
+    /// persistence failures); cleared by the next successful reload.
+    pub fn note_error(&self, msg: String) {
+        self.load_errors
+            .lock()
+            .expect("load_errors poisoned")
+            .push(msg);
+    }
+
     /// The current snapshot for a case study, if a model is loaded.
     pub fn get(&self, case: CaseStudy) -> Option<Arc<LoadedModel>> {
         self.slots[slot_index(case)]
@@ -230,6 +240,58 @@ impl ModelHub {
             .clear();
         airchitect_telemetry::metrics::SERVE_RELOADS.inc();
         Ok(fresh)
+    }
+
+    /// Loads and validates a candidate model set from `paths` (default:
+    /// the registered paths) at the *next* generation, without touching
+    /// the live slots. This is the staging half of a canary rollout: the
+    /// returned snapshots serve the canary traffic slice and are only
+    /// swapped in by [`ModelHub::install`] after the gates pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] exactly like [`ModelHub::reload`] would; the
+    /// live models are unaffected either way.
+    pub fn stage(
+        &self,
+        paths: Option<&[PathBuf]>,
+    ) -> Result<(Vec<Arc<LoadedModel>>, u64), ServeError> {
+        let next_gen = self.generation.load(Ordering::Acquire) + 1;
+        let paths = paths.unwrap_or(&self.registered);
+        if paths.is_empty() {
+            return Err(ServeError::Config("no model paths to stage".into()));
+        }
+        let mut fresh: Vec<Arc<LoadedModel>> = Vec::new();
+        for path in paths {
+            let loaded = load_one(path, next_gen)?;
+            if fresh.iter().any(|m| m.case == loaded.case) {
+                return Err(ServeError::Config(format!(
+                    "two models for {} (second: {})",
+                    loaded.case.name(),
+                    path.display()
+                )));
+            }
+            fresh.push(Arc::new(loaded));
+        }
+        Ok((fresh, next_gen))
+    }
+
+    /// Atomically installs previously staged (or captured) snapshots and
+    /// publishes `generation`. Slots not named by `models` keep their
+    /// current occupant, so a single-case canary promote leaves the other
+    /// case studies serving their incumbents. Same ordering discipline as
+    /// [`ModelHub::reload`]: generation first, then slots.
+    pub fn install(&self, models: &[Arc<LoadedModel>], generation: u64) {
+        self.generation.fetch_max(generation, Ordering::Release);
+        for loaded in models {
+            let slot = &self.slots[slot_index(loaded.case)];
+            *slot.write().expect("model slot poisoned") = Some(Arc::clone(loaded));
+        }
+        self.load_errors
+            .lock()
+            .expect("load_errors poisoned")
+            .clear();
+        airchitect_telemetry::metrics::SERVE_RELOADS.inc();
     }
 }
 

@@ -30,6 +30,8 @@ pub enum Route {
     Recommend(CaseStudy),
     /// `POST /v1/reload`.
     Reload,
+    /// `POST /v1/rollback`.
+    Rollback,
     /// `POST /v1/shutdown`.
     Shutdown,
     /// `GET /healthz`.
@@ -50,6 +52,7 @@ pub fn route(method: &str, path: &str) -> Result<Route, Response> {
         "/v1/recommend/buffers" => (true, Route::Recommend(CaseStudy::BufferSizing)),
         "/v1/recommend/schedule" => (true, Route::Recommend(CaseStudy::MultiArrayScheduling)),
         "/v1/reload" => (true, Route::Reload),
+        "/v1/rollback" => (true, Route::Rollback),
         "/v1/shutdown" => (true, Route::Shutdown),
         "/healthz" => (false, Route::Healthz),
         "/metrics" => (false, Route::Metrics),
@@ -286,10 +289,17 @@ pub fn parse_recommend(case: CaseStudy, body: &[u8]) -> Result<ParsedQuery, Resp
 }
 
 /// Renders `GET /healthz`: liveness, hub generation, loaded models,
-/// breaker phases, and any tolerated startup load errors. The status is
-/// `degraded` (not `ok`) while any circuit is open or a registered model
-/// is missing — load balancers doing string matches see the difference.
-pub fn render_healthz(hub: &ModelHub, breakers: &Breakers) -> Response {
+/// breaker phases, rollout state, and any tolerated startup load errors.
+/// The status is `degraded` (not `ok`) while any circuit is open or a
+/// registered model is missing — load balancers doing string matches see
+/// the difference. A canary in flight does *not* flip the status: the
+/// incumbent still answers all non-canary traffic, and the cluster
+/// supervisor's probe must keep seeing a healthy replica mid-rollout.
+pub fn render_healthz(
+    hub: &ModelHub,
+    breakers: &Breakers,
+    rollout: Option<&crate::canary::Rollout>,
+) -> Response {
     let load_errors = hub.load_errors();
     let degraded = breakers.any_tripped() || !load_errors.is_empty();
     let mut body = String::from("{\"status\":\"");
@@ -325,7 +335,16 @@ pub fn render_healthz(hub: &ModelHub, breakers: &Breakers) -> Response {
         }
         json::write_escaped(&mut body, err);
     }
-    body.push_str("]}\n");
+    body.push(']');
+    if let Some(rollout) = rollout {
+        body.push_str(",\"rollout\":");
+        rollout.write_status(&mut body);
+        if let Some(version) = rollout.active_version() {
+            body.push_str(",\"version\":");
+            body.push_str(&version.to_string());
+        }
+    }
+    body.push_str("}\n");
     Response::json(200, body)
 }
 
@@ -349,12 +368,23 @@ pub fn render_metrics() -> Response {
     Response::text(200, body)
 }
 
-/// Renders the `POST /v1/reload` success acknowledgement.
-pub fn render_reloaded(hub: &ModelHub) -> Response {
+/// Renders the `POST /v1/reload` success acknowledgement (the immediate
+/// swap path — a canary-mode reload answers from the rollout controller
+/// instead). Reports the loaded generation and, when a registry is
+/// attached, the active model version and rollout state.
+pub fn render_reloaded(hub: &ModelHub, rollout: Option<&crate::canary::Rollout>) -> Response {
     let mut body = String::from("{\"reloaded\":true,\"generation\":");
     body.push_str(&hub.generation().to_string());
     body.push_str(",\"models\":");
     body.push_str(&hub.all().len().to_string());
+    if let Some(rollout) = rollout {
+        if let Some(version) = rollout.active_version() {
+            body.push_str(",\"version\":");
+            body.push_str(&version.to_string());
+        }
+        body.push_str(",\"rollout\":");
+        rollout.write_status(&mut body);
+    }
     body.push_str("}\n");
     Response::json(200, body)
 }
@@ -372,6 +402,8 @@ mod tests {
         assert_eq!(route("GET", "/healthz").unwrap(), Route::Healthz);
         assert_eq!(route("GET", "/metrics").unwrap(), Route::Metrics);
         assert_eq!(route("POST", "/v1/reload").unwrap(), Route::Reload);
+        assert_eq!(route("POST", "/v1/rollback").unwrap(), Route::Rollback);
+        assert_eq!(route("GET", "/v1/rollback").unwrap_err().status, 405);
         assert_eq!(route("GET", "/nope").unwrap_err().status, 404);
         assert_eq!(route("GET", "/v1/reload").unwrap_err().status, 405);
         assert_eq!(route("POST", "/healthz").unwrap_err().status, 405);

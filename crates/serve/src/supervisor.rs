@@ -92,6 +92,13 @@ pub struct ClusterConfig {
     pub read_timeout_secs: u64,
     /// Router-side client connection write timeout, seconds.
     pub write_timeout_secs: u64,
+    /// Versioned model registry shared by the fleet (`--model-dir`). When
+    /// set, `/v1/reload` becomes a rolling one-replica-at-a-time rollout
+    /// driven through each replica's canary state machine.
+    pub model_dir: Option<std::path::PathBuf>,
+    /// How long the router waits for one replica's canary verdict before
+    /// declaring the rollout failed and rolling the fleet back.
+    pub rollout_timeout_ms: u64,
 }
 
 impl Default for ClusterConfig {
@@ -117,6 +124,8 @@ impl Default for ClusterConfig {
             vnodes: DEFAULT_VNODES,
             read_timeout_secs: 5,
             write_timeout_secs: 5,
+            model_dir: None,
+            rollout_timeout_ms: 30_000,
         }
     }
 }

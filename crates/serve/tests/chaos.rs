@@ -309,3 +309,159 @@ fn injected_accept_errors_are_retried_not_fatal() {
     assert!(airchitect_chaos::fired("serve.listener.accept") >= 1);
     shutdown(addr, handle);
 }
+
+// --- Safe-rollout chaos: injected faults on the registry persist paths ---
+
+/// Fresh registry dir + canary config for one chaos rollout test.
+fn rollout_config(name: &str) -> (PathBuf, ServeConfig) {
+    let dir = std::env::temp_dir().join(format!(
+        "airchitect-chaos-rollout-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        dir.clone(),
+        ServeConfig {
+            model_paths: vec![cs1_model_file()],
+            model_dir: Some(dir),
+            canary_split: 1.0,
+            canary_min_samples: 2,
+            canary_min_agreement: 0.9,
+            canary_max_p99_ratio: 1e9,
+            read_timeout_secs: 30,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+/// Drives sampled traffic until the rollout settles, returning healthz.
+fn settle(client: &mut HttpClient) -> String {
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        for m in [64u64, 96, 128] {
+            let body = format!("{{\"m\":{m},\"n\":64,\"k\":256,\"mac_budget\":1024}}");
+            let resp = client.post("/v1/recommend/array", &body).unwrap();
+            assert!(resp.status < 500, "{} {}", resp.status, resp.body);
+        }
+        let health = client.get("/healthz").unwrap();
+        if health.body.contains("\"state\":\"idle\"") {
+            return health.body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "rollout never settled: {}",
+            health.body
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A promote that cannot persist must fail the rollout — incumbent keeps
+/// serving, registry state unchanged, candidate NOT quarantined (the
+/// artifact was fine) — and a retry after the fault clears promotes.
+#[test]
+fn injected_promote_persist_failure_fails_the_rollout_then_recovers() {
+    use airchitect_serve::registry::Registry;
+
+    let _guard = chaos(""); // clean: bind-time seeding must succeed
+    let (dir, config) = rollout_config("promote-fault");
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    {
+        let bytes = std::fs::read(dir.join("current.airm")).unwrap();
+        let mut reg = Registry::open(&dir, 3).unwrap();
+        assert_eq!(reg.add_version(&bytes).unwrap(), 2);
+    }
+    airchitect_chaos::configure_str("registry.promote=err(other):1:1").unwrap();
+
+    let resp = client.post("/v1/reload", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"staged\":true"), "{}", resp.body);
+    let health = settle(&mut client);
+    assert!(health.contains("\"last\":\"rolled_back\""), "{health}");
+    assert!(health.contains("\"version\":1"), "{health}");
+
+    // The artifact itself was fine: not quarantined, so the retry (fault
+    // exhausted) stages the same version again and promotes cleanly.
+    {
+        let reg = Registry::open(&dir, 3).unwrap();
+        assert_eq!(reg.manifest().active, Some(1));
+        assert!(reg.manifest().entries.iter().any(|e| e.version == 2 && !e.quarantined));
+    }
+    let retry = client.post("/v1/reload", "").unwrap();
+    assert_eq!(retry.status, 200, "{}", retry.body);
+    let health = settle(&mut client);
+    assert!(health.contains("\"last\":\"promoted\""), "{health}");
+    assert!(health.contains("\"version\":2"), "{health}");
+    assert_eq!(Registry::open(&dir, 3).unwrap().manifest().active, Some(2));
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A quarantine whose MANIFEST write fails must not take the server down:
+/// the stage failure still answers 409, serving continues, and the
+/// persist error is surfaced through /healthz load_errors.
+#[test]
+fn injected_quarantine_persist_failure_is_surfaced_not_fatal() {
+    use airchitect_serve::registry::Registry;
+
+    let _guard = chaos("");
+    let (dir, config) = rollout_config("quarantine-fault");
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    {
+        let mut reg = Registry::open(&dir, 3).unwrap();
+        assert_eq!(reg.add_version(b"corrupt artifact bytes").unwrap(), 2);
+    }
+    airchitect_chaos::configure_str("registry.quarantine=err(other):1:1").unwrap();
+
+    let resp = client.post("/v1/reload", "").unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.body);
+    assert!(resp.body.contains("stage_failed"), "{}", resp.body);
+    let ok = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(ok.status, 200, "incumbent must keep serving");
+    let health = client.get("/healthz").unwrap();
+    assert!(health.body.contains("quarantine"), "persist failure must surface: {}", health.body);
+    // The failed quarantine left the entry promotable on disk — and the
+    // next stage attempt (fault exhausted) quarantines it for real.
+    let retry = client.post("/v1/reload", "").unwrap();
+    assert_eq!(retry.status, 409, "{}", retry.body);
+    let reg = Registry::open(&dir, 3).unwrap();
+    assert!(reg.manifest().entries.iter().any(|e| e.version == 2 && e.quarantined));
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Clone-mutate-store-commit: a MANIFEST write fault mid-promote leaves
+/// both the on-disk file and the in-memory registry on the old state.
+#[test]
+fn injected_manifest_write_failure_keeps_registry_atomic() {
+    use airchitect_serve::registry::Registry;
+
+    let _guard = chaos("");
+    let dir = std::env::temp_dir().join(format!(
+        "airchitect-chaos-manifest-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut reg = Registry::open(&dir, 3).unwrap();
+    let v1 = reg.add_version(b"one").unwrap();
+    reg.promote(v1).unwrap();
+    let v2 = reg.add_version(b"two").unwrap();
+
+    airchitect_chaos::configure_str("registry.manifest.write=err(other):1:1").unwrap();
+    assert!(reg.promote(v2).is_err(), "injected write fault must surface");
+    // `current.airm` is written before the MANIFEST, so it may already
+    // hold v2's bytes — the manifest pointer is what must not tear.
+    assert_eq!(reg.manifest().active, Some(v1), "memory keeps old state");
+    let reopened = Registry::open(&dir, 3).unwrap();
+    assert_eq!(reopened.manifest().active, Some(v1), "disk keeps old state");
+
+    // Fault exhausted: the same promote now lands.
+    reg.promote(v2).unwrap();
+    assert_eq!(reg.manifest().active, Some(v2));
+    assert_eq!(std::fs::read(dir.join("current.airm")).unwrap(), b"two");
+    let _ = std::fs::remove_dir_all(&dir);
+}

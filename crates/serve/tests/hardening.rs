@@ -431,3 +431,69 @@ fn threaded_and_evented_listeners_answer_identically() {
     shutdown(addr_a, handle_a);
     shutdown(addr_b, handle_b);
 }
+
+/// A slowloris client trickles header bytes forever, refreshing the
+/// per-chunk activity clock on every byte so the idle timeout never
+/// fires. The evented core's header-phase deadline must answer 408 and
+/// reap the connection once a request head has been incomplete for a
+/// whole read-timeout window, and count the reap in
+/// `serve.slowloris_reaped`.
+#[test]
+fn slowloris_header_trickle_is_reaped_with_408() {
+    if !cfg!(target_os = "linux") {
+        return; // the evented core is Linux-only
+    }
+    let config = ServeConfig {
+        model_paths: vec![model_file()],
+        read_timeout_secs: 1,
+        event_loops: 1,
+        threaded: false,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(config);
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let reader = {
+        let mut r = stream.try_clone().unwrap();
+        std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let mut tmp = [0u8; 4096];
+            loop {
+                match r.read(&mut tmp) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => buf.extend_from_slice(&tmp[..n]),
+                }
+            }
+            buf
+        })
+    };
+    // Never idle, never complete: one header byte every 200ms keeps
+    // `last_activity` fresh while the head stays unparsable.
+    let mut w = stream;
+    let _ = w.write_all(b"GET /healthz HTTP/1.1\r\nHost:");
+    for _ in 0..15 {
+        std::thread::sleep(Duration::from_millis(200));
+        if w.write_all(b"x").is_err() {
+            break; // already reaped
+        }
+    }
+    let buf = reader.join().unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(
+        text.starts_with("HTTP/1.1 408"),
+        "trickled head must answer 408, got: {:?}",
+        &text[..text.len().min(120)]
+    );
+
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let scrape = client.get("/metrics").unwrap();
+    assert!(
+        metric(&scrape.body, "serve.slowloris_reaped").unwrap_or(0.0) >= 1.0,
+        "reap must be counted:\n{}",
+        scrape.body
+    );
+    shutdown(addr, handle);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the model-registry MANIFEST codec: the
+//! checksum must catch arbitrary corruption, the ordering and
+//! active-pointer invariants must hold for arbitrary version sets, and a
+//! well-formed manifest must roundtrip through parse exactly.
+
+use airchitect_data::integrity::append_crc_footer;
+use airchitect_serve::registry::{Manifest, RegistryError, VersionEntry};
+use proptest::prelude::*;
+
+/// Renders manifest text the way the registry does (header, optional
+/// `active` line, one `version` line per entry, CRC32 footer). Kept
+/// independent of the private `Manifest::render` so the tests pin the
+/// on-disk format, not the implementation.
+fn render(active: Option<u64>, entries: &[(u64, u32, bool)]) -> Vec<u8> {
+    let mut out = String::from("AIRREG 1\n");
+    if let Some(v) = active {
+        out.push_str(&format!("active {v}\n"));
+    }
+    for &(version, fp, quarantined) in entries {
+        out.push_str(&format!(
+            "version {version} fp {fp:#010x} {}\n",
+            if quarantined { "quarantined" } else { "ok" }
+        ));
+    }
+    let mut bytes = out.into_bytes();
+    append_crc_footer(&mut bytes);
+    bytes
+}
+
+/// Strictly increasing distinct versions with arbitrary fingerprints and
+/// quarantine flags.
+fn entries_strategy() -> impl Strategy<Value = Vec<(u64, u32, bool)>> {
+    proptest::collection::vec((1u64..50, any::<u32>(), any::<bool>()), 1..8).prop_map(|mut v| {
+        v.sort_by_key(|e| e.0);
+        v.dedup_by_key(|e| e.0);
+        v
+    })
+}
+
+proptest! {
+    /// A well-formed manifest roundtrips through parse with every field
+    /// intact.
+    #[test]
+    fn valid_manifest_roundtrips(
+        entries in entries_strategy(),
+        pick_active in any::<bool>(),
+        active_idx in 0usize..8,
+    ) {
+        // Point active at a non-quarantined entry when one was picked.
+        let ok: Vec<u64> = entries
+            .iter()
+            .filter(|e| !e.2)
+            .map(|e| e.0)
+            .collect();
+        let active = (pick_active && !ok.is_empty()).then(|| ok[active_idx % ok.len()]);
+        let parsed = Manifest::parse(&render(active, &entries)).unwrap();
+        prop_assert_eq!(parsed.active, active);
+        prop_assert_eq!(parsed.entries.len(), entries.len());
+        for (got, want) in parsed.entries.iter().zip(&entries) {
+            let expect = VersionEntry {
+                version: want.0,
+                fingerprint: want.1,
+                quarantined: want.2,
+            };
+            prop_assert_eq!(*got, expect);
+        }
+    }
+
+    /// Flipping any single bit anywhere in the file — header, body, or
+    /// footer — is rejected. CRC32 detects every single-bit error, so
+    /// this holds deterministically, not probabilistically.
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        entries in entries_strategy(),
+        bit in any::<usize>(),
+    ) {
+        let mut bytes = render(None, &entries);
+        let bit = bit % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(Manifest::parse(&bytes).is_err());
+    }
+
+    /// Truncating the file from the end is rejected: either the footer is
+    /// gone or the checksum no longer matches.
+    #[test]
+    fn truncation_is_rejected(
+        entries in entries_strategy(),
+        cut in 1usize..64,
+    ) {
+        let bytes = render(None, &entries);
+        let cut = 1 + cut % (bytes.len() - 1);
+        prop_assert!(Manifest::parse(&bytes[..bytes.len() - cut]).is_err());
+    }
+
+    /// Version lines out of strictly increasing order are rejected even
+    /// when the checksum is valid (re-rendered after the swap).
+    #[test]
+    fn out_of_order_versions_are_rejected(
+        entries in entries_strategy(),
+        i in any::<usize>(),
+    ) {
+        prop_assume!(entries.len() >= 2);
+        let mut shuffled = entries;
+        let i = i % (shuffled.len() - 1);
+        shuffled.swap(i, i + 1);
+        let err = Manifest::parse(&render(None, &shuffled)).unwrap_err();
+        prop_assert!(matches!(err, RegistryError::Corrupt(_)), "got {err:?}");
+    }
+
+    /// Duplicate version numbers are rejected (strictly increasing means
+    /// no repeats either).
+    #[test]
+    fn duplicate_versions_are_rejected(
+        entries in entries_strategy(),
+        i in any::<usize>(),
+    ) {
+        let mut dup = entries;
+        let i = i % dup.len();
+        let copy = dup[i];
+        dup.insert(i + 1, copy);
+        prop_assert!(Manifest::parse(&render(None, &dup)).is_err());
+    }
+
+    /// An active pointer naming a quarantined or absent version is
+    /// rejected: the fleet must never boot a rolled-back artifact.
+    #[test]
+    fn active_must_name_an_ok_entry(
+        entries in entries_strategy(),
+        idx in any::<usize>(),
+        missing in 100u64..200,
+    ) {
+        // Active pointing at a version with no entry at all.
+        prop_assert!(Manifest::parse(&render(Some(missing), &entries)).is_err());
+        // Active pointing at a quarantined entry.
+        let mut poisoned = entries;
+        let i = idx % poisoned.len();
+        poisoned[i].2 = true;
+        let victim = poisoned[i].0;
+        prop_assert!(Manifest::parse(&render(Some(victim), &poisoned)).is_err());
+    }
+}

@@ -604,3 +604,294 @@ fn concurrent_load_with_reloads_never_sees_5xx() {
 
     shutdown(addr, handle);
 }
+
+// --- Safe-rollout suite: registry mode, canary evaluation, rollback ---
+
+fn train_cs1_variant(label_mul: u32, seed: u64) -> AirchitectModel {
+    let mut ds = Dataset::new(4, 30).unwrap();
+    let mut row = [0f32; 4];
+    for i in 0..240usize {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = ((i * 31 + j * 7) % 97) as f32;
+        }
+        ds.push(&row, (i as u32 * label_mul) % 30).unwrap();
+    }
+    let mut model = AirchitectModel::new(
+        CaseStudy::ArrayDataflow,
+        &AirchitectConfig {
+            num_classes: 30,
+            seed,
+            train: TrainConfig {
+                epochs: 2,
+                batch_size: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    model.train(&ds).unwrap();
+    model
+}
+
+/// Fresh registry dir + incumbent artifact for one rollout test.
+fn rollout_fixture(name: &str, canary_split: f64) -> (PathBuf, ServeConfig) {
+    let dir = std::env::temp_dir().join(format!(
+        "airchitect-serve-rollout-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let seed_path = dir.join("seed.airm");
+    persist::save(&train_cs1_variant(13, 0), &seed_path).unwrap();
+    let config = ServeConfig {
+        model_paths: vec![seed_path],
+        model_dir: Some(dir.clone()),
+        canary_split,
+        canary_min_samples: 3,
+        canary_min_agreement: 0.9,
+        canary_max_p99_ratio: 1e9, // latency gate off: CI machines jitter
+        read_timeout_secs: 30,
+        ..ServeConfig::default()
+    };
+    (dir, config)
+}
+
+/// Polls `/healthz` until the rollout state machine is idle, driving
+/// sampled traffic between polls, and returns the final healthz body.
+fn drive_until_idle(client: &mut HttpClient, traffic: &[String]) -> String {
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        for body in traffic {
+            let resp = client.post("/v1/recommend/array", body).unwrap();
+            assert!(resp.status < 500, "{} {}", resp.status, resp.body);
+        }
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        if health.body.contains("\"state\":\"idle\"") {
+            return health.body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "rollout never settled: {}",
+            health.body
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Satellite regression: the reload acknowledgement must carry the loaded
+/// model version, the new generation, and the rollout state object — and
+/// `/healthz` must expose the same rollout state.
+#[test]
+fn reload_ack_reports_version_generation_and_rollout_state() {
+    let (dir, config) = rollout_fixture("ack", 0.0);
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    let resp = client.post("/v1/reload", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"reloaded\":true"), "{}", resp.body);
+    assert!(resp.body.contains("\"generation\":2"), "{}", resp.body);
+    assert!(resp.body.contains("\"version\":1"), "{}", resp.body);
+    assert!(resp.body.contains("\"rollout\":{"), "{}", resp.body);
+    assert!(resp.body.contains("\"state\":\"idle\""), "{}", resp.body);
+    assert!(resp.body.contains("\"registry\":true"), "{}", resp.body);
+
+    let health = client.get("/healthz").unwrap();
+    assert!(health.body.contains("\"rollout\":{"), "{}", health.body);
+    assert!(health.body.contains("\"version\":1"), "{}", health.body);
+    assert!(health.body.contains("\"last\":\"none\""), "{}", health.body);
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without a canary split, a reload body naming an explicit candidate —
+/// what the rolling cluster coordinator sends each replica — must swap to
+/// exactly that artifact and report `last: "promoted"` so the
+/// coordinator's verdict poll advances. A candidate that cannot load
+/// answers 409 and keeps the incumbent serving.
+#[test]
+fn immediate_reload_honors_explicit_candidate_path() {
+    let (dir, config) = rollout_fixture("immediate", 0.0);
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    let candidate = dir.join("candidate.airm");
+    persist::save(&train_cs1_variant(17, 9), &candidate).unwrap();
+    let body = format!("{{\"path\":{:?},\"version\":2}}", candidate.display().to_string());
+    let resp = client.post("/v1/reload", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"reloaded\":true"), "{}", resp.body);
+    assert!(resp.body.contains("\"generation\":2"), "{}", resp.body);
+
+    let health = client.get("/healthz").unwrap();
+    assert!(health.body.contains("\"last\":\"promoted\""), "{}", health.body);
+    assert!(health.body.contains("\"state\":\"idle\""), "{}", health.body);
+
+    // A corrupt explicit candidate is rejected; the swapped model stays.
+    let bad = dir.join("bad.airm");
+    std::fs::write(&bad, b"definitely not a model artifact").unwrap();
+    let body = format!("{{\"path\":{:?},\"version\":3}}", bad.display().to_string());
+    let resp = client.post("/v1/reload", &body).unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.body);
+    assert!(resp.body.contains("reload_failed"), "{}", resp.body);
+    let health = client.get("/healthz").unwrap();
+    assert!(health.body.contains("\"generation\":2"), "{}", health.body);
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A staged candidate that agrees with the incumbent must promote after
+/// the sample quota: disk registry first (MANIFEST + current.airm), then
+/// the in-memory swap, with `/healthz` reporting the new version.
+#[test]
+fn canary_promotes_an_agreeing_candidate_and_persists_it() {
+    use airchitect_serve::registry::Registry;
+
+    let (dir, config) = rollout_fixture("promote", 1.0);
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    // Register the identical artifact as v2 out-of-process, the way
+    // `train --from-log --model-dir` stages a fine-tune.
+    {
+        let bytes = std::fs::read(dir.join("seed.airm")).unwrap();
+        let mut reg = Registry::open(&dir, 3).unwrap();
+        assert_eq!(reg.add_version(&bytes).unwrap(), 2);
+    }
+
+    let resp = client.post("/v1/reload", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"staged\":true"), "{}", resp.body);
+    assert!(resp.body.contains("\"reloaded\":false"), "{}", resp.body);
+    assert!(resp.body.contains("\"state\":\"evaluating\""), "{}", resp.body);
+    assert!(resp.body.contains("\"version\":2"), "{}", resp.body);
+
+    // A second reload during evaluation is refused.
+    let dup = client.post("/v1/reload", "").unwrap();
+    assert_eq!(dup.status, 409, "{}", dup.body);
+    assert!(dup.body.contains("rollout_in_progress"), "{}", dup.body);
+
+    // Identical weights agree on every sampled query: 3 samples promote.
+    let traffic: Vec<String> = (0..4)
+        .map(|i| format!("{{\"m\":{},\"n\":64,\"k\":256,\"mac_budget\":1024}}", 64 + i * 32))
+        .collect();
+    let health = drive_until_idle(&mut client, &traffic);
+    assert!(health.contains("\"last\":\"promoted\""), "{health}");
+    assert!(health.contains("\"version\":2"), "{health}");
+
+    // Disk agrees: the MANIFEST promoted v2 and current.airm was rewritten.
+    let reg = Registry::open(&dir, 3).unwrap();
+    assert_eq!(reg.manifest().active, Some(2));
+    assert!(reg.current_path().exists());
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A candidate that disagrees with the incumbent must lose the vote:
+/// automatic rollback, version quarantined in the MANIFEST, incumbent
+/// still serving, and the same artifact refused on re-registration.
+#[test]
+fn canary_rolls_back_and_quarantines_a_disagreeing_candidate() {
+    use airchitect::Recommender;
+    use airchitect_dse::case1::Case1Problem;
+    use airchitect_dse::space::Case1Space;
+    use airchitect_serve::registry::{Registry, RegistryError};
+    use airchitect_workload::GemmWorkload;
+
+    let (dir, config) = rollout_fixture("rollback", 1.0);
+
+    // Find a query where the two trainings actually disagree, so the
+    // agreement gate trips deterministically.
+    let model_a = train_cs1_variant(13, 0);
+    let model_b = train_cs1_variant(7, 99);
+    let rec_a = Recommender::new(model_a).unwrap();
+    let rec_b = Recommender::new(model_b).unwrap();
+    let space = Case1Space::from_len(30).expect("30-label CS1 space");
+    let problem = Case1Problem::new(space.mac_budget());
+    let disagreeing_m = (1..=32u64)
+        .map(|i| i * 16)
+        .find(|&m| {
+            let wl = GemmWorkload::new(m, 64, 256).unwrap();
+            rec_a.recommend_array_fast(&problem, &wl, 1024).unwrap()
+                != rec_b.recommend_array_fast(&problem, &wl, 1024).unwrap()
+        })
+        .expect("differently-trained models must disagree somewhere");
+
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+    {
+        let bytes = persist::to_bytes(rec_b.model());
+        let mut reg = Registry::open(&dir, 3).unwrap();
+        assert_eq!(reg.add_version(&bytes).unwrap(), 2);
+    }
+    let resp = client.post("/v1/reload", "").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"staged\":true"), "{}", resp.body);
+
+    let traffic = vec![format!(
+        "{{\"m\":{disagreeing_m},\"n\":64,\"k\":256,\"mac_budget\":1024}}"
+    )];
+    let health = drive_until_idle(&mut client, &traffic);
+    assert!(health.contains("\"last\":\"rolled_back\""), "{health}");
+    assert!(health.contains("\"version\":1"), "incumbent must survive: {health}");
+
+    // The MANIFEST quarantined v2 and re-registering the identical
+    // artifact is refused — known-bad weights cannot re-enter the pipe.
+    let mut reg = Registry::open(&dir, 3).unwrap();
+    assert_eq!(reg.manifest().active, Some(1));
+    let entry = reg.manifest().entries.iter().find(|e| e.version == 2).unwrap();
+    assert!(entry.quarantined, "{:?}", reg.manifest());
+    assert!(matches!(
+        reg.add_version(&persist::to_bytes(rec_b.model())),
+        Err(RegistryError::Quarantined { version: 2, .. })
+    ));
+
+    // With the only candidate quarantined, another reload has nothing to
+    // stage; `/v1/rollback` with nothing in flight is an idempotent no-op.
+    let none = client.post("/v1/reload", "").unwrap();
+    assert_eq!(none.status, 409, "{}", none.body);
+    assert!(none.body.contains("no_candidate"), "{}", none.body);
+    let rb = client.post("/v1/rollback", "").unwrap();
+    assert_eq!(rb.status, 200, "{}", rb.body);
+    assert!(rb.body.contains("\"rolled_back\":false"), "{}", rb.body);
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An artifact that cannot even load (corrupt bytes) must fail at the
+/// staging step: 409, immediate quarantine, incumbent untouched.
+#[test]
+fn corrupt_candidate_fails_staging_and_is_quarantined() {
+    use airchitect_serve::registry::Registry;
+
+    let (dir, config) = rollout_fixture("corrupt", 1.0);
+    let (addr, handle) = start(config);
+    let mut client = HttpClient::connect(addr, TIMEOUT).unwrap();
+
+    {
+        let mut reg = Registry::open(&dir, 3).unwrap();
+        assert_eq!(reg.add_version(b"not a model at all").unwrap(), 2);
+    }
+    let resp = client.post("/v1/reload", "").unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.body);
+    assert!(resp.body.contains("stage_failed"), "{}", resp.body);
+
+    let health = client.get("/healthz").unwrap();
+    assert!(health.body.contains("\"last\":\"rolled_back\""), "{}", health.body);
+    assert!(health.body.contains("\"version\":1"), "{}", health.body);
+
+    // Serving is unaffected and the bad version is quarantined on disk.
+    let ok = client.post("/v1/recommend/array", ARRAY_BODY).unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    let reg = Registry::open(&dir, 3).unwrap();
+    assert_eq!(reg.manifest().active, Some(1));
+    assert!(reg.manifest().entries.iter().any(|e| e.version == 2 && e.quarantined));
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -324,6 +324,36 @@ pub static SERVE_SHADOW_RECORDS: Counter = Counter::new("serve.shadow.records");
 /// exact DSE oracle.
 pub static SERVE_SHADOW_DISAGREEMENTS: Counter =
     Counter::new("serve.shadow.disagreements");
+/// Candidate models staged as canaries by `/v1/reload`.
+pub static SERVE_CANARY_STAGED: Counter = Counter::new("serve.canary.staged");
+/// Single-query requests answered by the canary candidate (the exposure
+/// counter the rollout gate bounds against the configured split).
+pub static SERVE_CANARY_SAMPLES: Counter = Counter::new("serve.canary.samples");
+/// Canary samples where candidate and incumbent agreed on the answer.
+pub static SERVE_CANARY_AGREEMENTS: Counter = Counter::new("serve.canary.agreements");
+/// Canary samples where the candidate returned a 5xx-class outcome (the
+/// incumbent's answer was served instead; any such failure rolls back).
+pub static SERVE_CANARY_CANDIDATE_FAILURES: Counter =
+    Counter::new("serve.canary.candidate_failures");
+/// Candidates promoted to incumbent after passing the canary gates.
+pub static SERVE_CANARY_PROMOTIONS: Counter = Counter::new("serve.canary.promotions");
+/// Candidates rolled back (gate failure, candidate error, or explicit
+/// `/v1/rollback`), quarantined in the registry when one is attached.
+pub static SERVE_CANARY_ROLLBACKS: Counter = Counter::new("serve.canary.rollbacks");
+/// Half-open connections reaped by the header-phase deadline (slowloris
+/// defense: dribbled header bytes no longer reset the clock).
+pub static SERVE_SLOWLORIS_REAPED: Counter = Counter::new("serve.slowloris_reaped");
+/// Rolling cluster reloads started by the router.
+pub static CLUSTER_ROLLOUT_STARTED: Counter = Counter::new("cluster.rollout.started");
+/// Rolling reloads where every replica promoted its canary.
+pub static CLUSTER_ROLLOUT_PROMOTED: Counter = Counter::new("cluster.rollout.promoted");
+/// Fleet-wide rollbacks (a replica's canary failed mid-rollout, so every
+/// replica was reverted to the incumbent).
+pub static CLUSTER_ROLLOUT_ROLLBACKS: Counter =
+    Counter::new("cluster.rollout.rollbacks");
+/// Per-replica reload attempts issued during rolling reloads.
+pub static CLUSTER_ROLLOUT_REPLICA_RELOADS: Counter =
+    Counter::new("cluster.rollout.replica_reloads");
 
 /// Latest training loss.
 pub static TRAIN_LOSS: Gauge = Gauge::new("train.loss");
@@ -348,6 +378,17 @@ pub static SERVE_SHADOW_AGREEMENT: Gauge = Gauge::new("serve.shadow.agreement");
 /// Rolling mean shadow-oracle search latency, microseconds.
 pub static SERVE_SHADOW_ORACLE_MEAN_US: Gauge =
     Gauge::new("serve.shadow.oracle_mean_us");
+/// Whether a canary candidate is currently staged (1) or not (0).
+pub static SERVE_CANARY_ACTIVE: Gauge = Gauge::new("serve.canary.active");
+/// Candidate-vs-incumbent agreement over the current canary's samples.
+pub static SERVE_CANARY_AGREEMENT: Gauge = Gauge::new("serve.canary.agreement");
+/// Candidate p99 latency divided by incumbent p99 over the current
+/// canary's samples (the latency gate compares this to the threshold).
+pub static SERVE_CANARY_P99_RATIO: Gauge = Gauge::new("serve.canary.p99_ratio");
+/// Replicas that have promoted the candidate in the in-flight rolling
+/// reload (reset to 0 when no rollout is in progress).
+pub static CLUSTER_ROLLOUT_REPLICAS_DONE: Gauge =
+    Gauge::new("cluster.rollout.replicas_done");
 
 /// Per-mini-batch wall time, microseconds.
 pub static TRAIN_BATCH_US: Histogram = Histogram::new("train.batch_us");
@@ -366,7 +407,7 @@ pub static CLUSTER_BACKEND_US: Histogram = Histogram::new("cluster.backend_us");
 pub static SERVE_SHADOW_ORACLE_US: Histogram =
     Histogram::new("serve.shadow.oracle_us");
 
-static COUNTERS: [&Counter; 43] = [
+static COUNTERS: [&Counter; 54] = [
     &SIM_EVALS,
     &DSE_SEARCHES,
     &DSE_SEARCH_POINTS,
@@ -410,8 +451,19 @@ static COUNTERS: [&Counter; 43] = [
     &SERVE_SHADOW_DROPPED,
     &SERVE_SHADOW_RECORDS,
     &SERVE_SHADOW_DISAGREEMENTS,
+    &SERVE_CANARY_STAGED,
+    &SERVE_CANARY_SAMPLES,
+    &SERVE_CANARY_AGREEMENTS,
+    &SERVE_CANARY_CANDIDATE_FAILURES,
+    &SERVE_CANARY_PROMOTIONS,
+    &SERVE_CANARY_ROLLBACKS,
+    &SERVE_SLOWLORIS_REAPED,
+    &CLUSTER_ROLLOUT_STARTED,
+    &CLUSTER_ROLLOUT_PROMOTED,
+    &CLUSTER_ROLLOUT_ROLLBACKS,
+    &CLUSTER_ROLLOUT_REPLICA_RELOADS,
 ];
-static GAUGES: [&Gauge; 10] = [
+static GAUGES: [&Gauge; 14] = [
     &TRAIN_LOSS,
     &TRAIN_ACCURACY,
     &SERVE_BREAKER_ARRAY,
@@ -422,6 +474,10 @@ static GAUGES: [&Gauge; 10] = [
     &SERVE_CONN_THREADS,
     &SERVE_SHADOW_AGREEMENT,
     &SERVE_SHADOW_ORACLE_MEAN_US,
+    &SERVE_CANARY_ACTIVE,
+    &SERVE_CANARY_AGREEMENT,
+    &SERVE_CANARY_P99_RATIO,
+    &CLUSTER_ROLLOUT_REPLICAS_DONE,
 ];
 static HISTOGRAMS: [&Histogram; 7] = [
     &TRAIN_BATCH_US,

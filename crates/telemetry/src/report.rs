@@ -216,6 +216,35 @@ pub fn parse_report(text: &str) -> Result<Report, String> {
     if end.is_none() {
         return Err("truncated file: missing end line".to_string());
     }
+    // Rollout-series consistency: tallies that violate their definitional
+    // invariants cannot have come from the canary state machine, so the
+    // file is rejected rather than rendered.
+    {
+        let counter =
+            |name: &str| -> Option<u64> { counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v) };
+        let bounded = [
+            ("serve.canary.agreements", "serve.canary.samples"),
+            ("serve.canary.candidate_failures", "serve.canary.samples"),
+            ("cluster.rollout.promoted", "cluster.rollout.started"),
+        ];
+        for (part, whole) in bounded {
+            if let (Some(p), Some(w)) = (counter(part), counter(whole)) {
+                if p > w {
+                    return Err(format!("{part} ({p}) exceeds {whole} ({w})"));
+                }
+            }
+        }
+        for (name, value) in &gauges {
+            let bad = match name.as_str() {
+                "serve.canary.active" => *value != 0.0 && *value != 1.0,
+                "serve.canary.agreement" => !(0.0..=1.0).contains(value),
+                _ => false,
+            };
+            if bad {
+                return Err(format!("gauge {name} out of range: {value}"));
+            }
+        }
+    }
     spans.sort_by(|a, b| a.0.cmp(&b.0));
     events.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(Report {
@@ -400,6 +429,73 @@ mod tests {
         // Shadow lines count toward the end-line event total.
         let bad = text.replace("\"events\":2", "\"events\":0");
         assert!(validate(&bad).is_err());
+    }
+
+    #[test]
+    fn validates_rollout_series_consistency() {
+        let meta = concat!(
+            "{\"v\":1,\"type\":\"meta\",\"schema\":\"airchitect.telemetry\",",
+            "\"schema_version\":1,\"command\":\"serve\"}\n",
+        );
+        let counter = |name: &str, value: u64| {
+            format!("{{\"v\":1,\"type\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}\n")
+        };
+        let gauge = |name: &str, value: f64| {
+            format!("{{\"v\":1,\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{value}}}\n")
+        };
+        let end = "{\"v\":1,\"type\":\"end\",\"events\":0}\n";
+
+        // A consistent canary snapshot passes.
+        let good = format!(
+            "{meta}{}{}{}{}{}{}{}{end}",
+            counter("serve.canary.samples", 10),
+            counter("serve.canary.agreements", 9),
+            counter("serve.canary.candidate_failures", 1),
+            counter("cluster.rollout.started", 2),
+            counter("cluster.rollout.promoted", 2),
+            gauge("serve.canary.active", 1.0),
+            gauge("serve.canary.agreement", 0.9),
+        );
+        validate(&good).unwrap();
+
+        // Agreements cannot exceed samples.
+        let bad = format!(
+            "{meta}{}{}{end}",
+            counter("serve.canary.samples", 3),
+            counter("serve.canary.agreements", 4),
+        );
+        assert!(validate(&bad).unwrap_err().contains("serve.canary.agreements"));
+
+        // Candidate failures cannot exceed samples.
+        let bad = format!(
+            "{meta}{}{}{end}",
+            counter("serve.canary.samples", 3),
+            counter("serve.canary.candidate_failures", 5),
+        );
+        assert!(validate(&bad)
+            .unwrap_err()
+            .contains("serve.canary.candidate_failures"));
+
+        // A fleet cannot promote more rollouts than it started.
+        let bad = format!(
+            "{meta}{}{}{end}",
+            counter("cluster.rollout.started", 1),
+            counter("cluster.rollout.promoted", 2),
+        );
+        assert!(validate(&bad).unwrap_err().contains("cluster.rollout.promoted"));
+
+        // The canary-active gauge is boolean.
+        let bad = format!("{meta}{}{end}", gauge("serve.canary.active", 0.5));
+        assert!(validate(&bad).unwrap_err().contains("serve.canary.active"));
+
+        // The agreement gauge is a rate.
+        let bad = format!("{meta}{}{end}", gauge("serve.canary.agreement", 1.5));
+        assert!(validate(&bad).unwrap_err().contains("serve.canary.agreement"));
+
+        // A counter appearing without its bounding partner is fine — the
+        // invariants only fire when both sides of the pair are present.
+        let partial = format!("{meta}{}{end}", counter("serve.canary.agreements", 7));
+        validate(&partial).unwrap();
     }
 
     #[test]
